@@ -1,0 +1,1 @@
+bench/bench_support.ml: Analyzer Catalog Engine Gc List Log Printf Uv_db Uv_mahif Uv_retroactive Uv_transpiler Uv_util Uv_workloads Whatif

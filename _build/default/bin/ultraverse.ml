@@ -1,0 +1,305 @@
+(* The ultraverse command-line tool.
+
+   Subcommands:
+     transpile <app.js>                 — DSE-transpile every database-updating
+                                          transaction and print the SQL procedures
+     analyze <history.sql> --tau N      — dependency analysis for a retroactive
+                                          target: replay set, mutated/consulted
+     whatif <history.sql> --tau N ...   — run the retroactive operation and
+                                          report the alternate universe
+     workloads                          — list the bundled benchmarks *)
+
+open Cmdliner
+open Uv_db
+open Uv_retroactive
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* transpile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let transpile_cmd =
+  let run path verbose =
+    let source = read_file path in
+    let program = Uv_applang.Parser.parse_program source in
+    let results = Uv_transpiler.Transpile.transpile_all ~program () in
+    if results = [] then print_endline "no database-updating transactions found"
+    else
+      List.iter
+        (fun (t : Uv_transpiler.Transpile.t) ->
+          Printf.printf
+            "-- %s: %d path(s), %d DSE run(s), %d unexplored stub(s)\n%s\n\n"
+            t.Uv_transpiler.Transpile.txn_name t.Uv_transpiler.Transpile.paths
+            t.Uv_transpiler.Transpile.runs t.Uv_transpiler.Transpile.unexplored
+            (Uv_sql.Printer.stmt t.Uv_transpiler.Transpile.procedure);
+          if verbose then
+            print_endline
+              (Uv_transpiler.Transpile.augmented_source program
+                 t.Uv_transpiler.Transpile.txn_name))
+        results;
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"APP.JS"
+           ~doc:"application source (MiniJS)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "augmented" ] ~doc:"also print the augmented application code")
+  in
+  Cmd.v
+    (Cmd.info "transpile"
+       ~doc:"transpile application-level transactions into SQL procedures")
+    Term.(const run $ path $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* shared: build an engine from a history script                        *)
+(* ------------------------------------------------------------------ *)
+
+let load_history path =
+  let eng = Engine.create () in
+  let stmts = Uv_sql.Parser.parse_script (read_file path) in
+  List.iter
+    (fun s ->
+      try ignore (Engine.exec eng s)
+      with Engine.Sql_error msg ->
+        Printf.eprintf "warning: statement failed (%s): %s\n" msg
+          (Uv_sql.Printer.stmt_compact s))
+    stmts;
+  eng
+
+let parse_op op stmt_text =
+  match (op, stmt_text) with
+  | "remove", _ -> Analyzer.Remove
+  | "add", Some sql -> Analyzer.Add (Uv_sql.Parser.parse_stmt sql)
+  | "change", Some sql -> Analyzer.Change (Uv_sql.Parser.parse_stmt sql)
+  | _ -> failwith "--op add/change requires --stmt"
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run path tau op stmt_text dot explain =
+    let eng = load_history path in
+    let analyzer = Analyzer.analyze (Engine.log eng) in
+    let target = { Analyzer.tau; op = parse_op op stmt_text } in
+    let rs = Analyzer.replay_set analyzer target in
+    Printf.printf "history:        %d statements\n" (Log.length (Engine.log eng));
+    Printf.printf "replay set:     %d (column-only %d, row-only %d)\n"
+      rs.Analyzer.member_count rs.Analyzer.col_only_count rs.Analyzer.row_only_count;
+    Printf.printf "mutated:        %s\n" (String.concat ", " rs.Analyzer.mutated);
+    Printf.printf "consulted:      %s\n" (String.concat ", " rs.Analyzer.consulted);
+    print_endline "members:";
+    Array.iteri
+      (fun i m ->
+        if m then
+          Printf.printf "  Q%-5d %s\n" (i + 1)
+            (Log.entry (Engine.log eng) (i + 1)).Log.sql)
+      rs.Analyzer.members;
+    if explain then begin
+      print_endline "provenance:";
+      let _, lines = Analyzer.explain_report analyzer target in
+      List.iter (fun l -> print_endline ("  " ^ l)) lines
+    end;
+    (match dot with
+    | Some out_path ->
+        let oc = open_out out_path in
+        output_string oc (Analyzer.to_dot analyzer ~members:rs.Analyzer.members);
+        close_out oc;
+        Printf.printf "conflict graph written to %s\n" out_path
+    | None -> ());
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let tau =
+    Arg.(required & opt (some int) None & info [ "tau" ] ~doc:"target commit index")
+  in
+  let op =
+    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
+  in
+  let stmt_text =
+    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~doc:"write the replay conflict graph as Graphviz DOT")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"print per-member provenance (which conflict pulled each \
+                   statement into the replay set)")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"query dependency analysis for a retroactive target")
+    Term.(const run $ path $ tau $ op $ stmt_text $ dot $ explain)
+
+(* ------------------------------------------------------------------ *)
+(* whatif                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let whatif_cmd =
+  let run path tau op stmt_text hash_jumper query =
+    let eng = load_history path in
+    let analyzer = Analyzer.analyze (Engine.log eng) in
+    let target = { Analyzer.tau; op = parse_op op stmt_text } in
+    let config = { Whatif.default_config with Whatif.hash_jumper } in
+    let out = Whatif.run ~config ~analyzer eng target in
+    Printf.printf "replayed %d of %d statements (%d rolled back) in %.2f ms\n"
+      out.Whatif.replayed
+      (Log.length (Engine.log eng))
+      out.Whatif.undone out.Whatif.real_ms;
+    Printf.printf "serial cost %.2f ms, parallel (8 workers) %.2f ms\n"
+      out.Whatif.serial_cost_ms out.Whatif.parallel_cost_ms;
+    (match out.Whatif.hash_jump_at with
+    | Some i -> Printf.printf "hash-hit at commit %d: the change is effectless\n" i
+    | None -> ());
+    Printf.printf "alternate universe %s the original\n"
+      (if out.Whatif.changed then "DIFFERS from" else "equals");
+    (match query with
+    | None -> ()
+    | Some q -> (
+        match Uv_sql.Parser.parse_stmt q with
+        | Uv_sql.Ast.Select sel ->
+            let r = Whatif.query_new_universe out sel in
+            print_endline (String.concat " | " r.Engine.columns);
+            List.iter
+              (fun row ->
+                print_endline
+                  (String.concat " | "
+                     (Array.to_list (Array.map Uv_sql.Value.to_string row))))
+              r.Engine.rows
+        | _ -> prerr_endline "--query must be a SELECT"));
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let tau =
+    Arg.(required & opt (some int) None & info [ "tau" ] ~doc:"target commit index")
+  in
+  let op =
+    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
+  in
+  let stmt_text =
+    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
+  in
+  let hash_jumper =
+    Arg.(value & flag & info [ "hash-jumper" ] ~doc:"enable early termination")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~doc:"SELECT to run against the alternate universe")
+  in
+  Cmd.v
+    (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
+    Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ query)
+
+(* ------------------------------------------------------------------ *)
+(* workloads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* log: durable statement-log tooling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let log_save_cmd =
+  let run history out =
+    let eng = load_history history in
+    Log_io.save (Engine.log eng) ~path:out;
+    Printf.printf "%d records -> %s\n" (Log.length (Engine.log eng)) out;
+    0
+  in
+  let history =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~doc:"destination ULOGv1 file")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"execute a history and persist its durable log")
+    Term.(const run $ history $ out)
+
+let log_replay_cmd =
+  let run path query =
+    let records = Log_io.load ~path in
+    let eng = Engine.create () in
+    Log_io.replay eng records;
+    Printf.printf "replayed %d records; db hash %Lx\n" (List.length records)
+      (Engine.db_hash eng);
+    (match query with
+    | None -> ()
+    | Some q ->
+        let r = Engine.query_sql eng q in
+        print_endline (String.concat " | " r.Engine.columns);
+        List.iter
+          (fun row ->
+            print_endline
+              (String.concat " | "
+                 (Array.to_list (Array.map Uv_sql.Value.to_string row))))
+          r.Engine.rows);
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~doc:"SELECT to run against the rebuilt database")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"rebuild a database from a persisted log")
+    Term.(const run $ path $ query)
+
+let dump_cmd =
+  let run history out =
+    let eng = load_history history in
+    Dump.save (Engine.catalog eng) ~path:out;
+    Printf.printf "dumped %d tables -> %s
+"
+      (List.length (Catalog.tables (Engine.catalog eng)))
+      out;
+    0
+  in
+  let history =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~doc:"destination SQL dump file")
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"execute a history and write a logical dump (checkpoint)")
+    Term.(const run $ history $ out)
+
+let log_cmd =
+  Cmd.group
+    (Cmd.info "log" ~doc:"durable statement-log tooling (ULOGv1)")
+    [ log_save_cmd; log_replay_cmd ]
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Uv_workloads.Workload.t) ->
+        Printf.printf "%-10s mahif-comparable: %b\n" w.Uv_workloads.Workload.name
+          w.Uv_workloads.Workload.mahif_capable)
+      (Uv_workloads.Workload.all ());
+    0
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"list bundled benchmarks") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "ultraverse" ~version:"1.0.0"
+      ~doc:"what-if analysis for database-backed applications"
+  in
+  exit (Cmd.eval' (Cmd.group info [ transpile_cmd; analyze_cmd; whatif_cmd; log_cmd; dump_cmd; workloads_cmd ]))

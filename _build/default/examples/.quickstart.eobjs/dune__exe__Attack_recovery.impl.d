@@ -1,0 +1,1 @@
+examples/attack_recovery.ml: Analyzer Array Engine List Log Printf String Uv_db Uv_retroactive Uv_sql Uv_transpiler Uv_util Uv_workloads Whatif

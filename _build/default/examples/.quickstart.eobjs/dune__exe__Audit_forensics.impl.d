@@ -1,0 +1,1 @@
+examples/audit_forensics.ml: Analyzer Array Engine Filename Int64 List Log Log_io Printf String Sys Uv_db Uv_retroactive Uv_sql Whatif

@@ -1,0 +1,1 @@
+examples/dynamism_gallery.ml: Array Engine List Printf String Uv_applang Uv_db Uv_sql Uv_transpiler

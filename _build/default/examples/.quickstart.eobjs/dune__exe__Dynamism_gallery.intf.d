@@ -1,0 +1,1 @@
+examples/dynamism_gallery.mli:

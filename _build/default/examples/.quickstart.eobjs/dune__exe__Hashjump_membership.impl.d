@@ -1,0 +1,1 @@
+examples/hashjump_membership.ml: Analyzer Engine Log Printf Uv_db Uv_retroactive Uv_sql Whatif

@@ -1,0 +1,1 @@
+examples/hashjump_membership.mli:

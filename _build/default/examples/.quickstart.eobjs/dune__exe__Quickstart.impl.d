@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyzer Array Engine List Log Printf Uv_db Uv_retroactive Uv_sql Uv_transpiler Whatif

@@ -1,0 +1,1 @@
+examples/stock_whatif.ml: Analyzer Array Engine Format Log Printf Scenario Uv_db Uv_retroactive Uv_sql Uv_transpiler Whatif

@@ -1,0 +1,1 @@
+examples/stock_whatif.mli:

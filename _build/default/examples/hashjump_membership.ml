@@ -1,0 +1,73 @@
+(* Hash-jumper demo: the paper's Figure 7 membership scenario.
+
+   Alice's membership is initialised 'gold' (Q16) and later overwritten to
+   'diamond' (Q99) by her purchase activity. A what-if analysis that
+   changes the initialisation is *effectless*: once the overwrite
+   replays, the table state provably re-joins the original timeline, and
+   the Hash-jumper terminates the replay early instead of grinding
+   through the remaining history.
+
+   Run with: dune exec examples/hashjump_membership.exe *)
+
+open Uv_db
+open Uv_retroactive
+
+let () =
+  let eng = Engine.create () in
+  ignore
+    (Engine.exec_sql eng
+       "CREATE TABLE Membership (uid INT PRIMARY KEY, level VARCHAR(10))");
+  ignore
+    (Engine.exec_sql eng
+       "CREATE PROCEDURE UpdateMembership(IN u INT, IN lvl VARCHAR(10)) BEGIN \
+        UPDATE Membership SET level = lvl WHERE uid = u; END");
+  Engine.reset_log eng;
+  let base = Engine.snapshot eng in
+
+  (* Q1: Alice initialised as gold *)
+  ignore (Engine.exec_sql eng "INSERT INTO Membership VALUES (1, 'gold')");
+  (* many other members come and go *)
+  for u = 2 to 400 do
+    ignore
+      (Engine.exec_sql eng
+         (Printf.sprintf "INSERT INTO Membership VALUES (%d, 'silver')" u))
+  done;
+  (* Alice's activity upgrades her to diamond — overwriting the init *)
+  ignore (Engine.exec_sql eng "CALL UpdateMembership(1, 'diamond')");
+  (* a long tail of unrelated updates *)
+  for u = 2 to 400 do
+    if u mod 3 = 0 then
+      ignore (Engine.exec_sql eng (Printf.sprintf "CALL UpdateMembership(%d, 'gold')" u))
+  done;
+
+  let n = Log.length (Engine.log eng) in
+  Printf.printf "history: %d statements\n" n;
+
+  let analyzer = Analyzer.analyze ~base (Engine.log eng) in
+  let target =
+    {
+      Analyzer.tau = 1;
+      op =
+        Analyzer.Change
+          (Uv_sql.Parser.parse_stmt "INSERT INTO Membership VALUES (1, 'bronze')");
+    }
+  in
+
+  let run jumper =
+    let config = { Whatif.default_config with Whatif.hash_jumper = jumper } in
+    Whatif.run ~config ~analyzer eng target
+  in
+  let without = run false in
+  let with_hj = run true in
+  Printf.printf
+    "what if Alice had started as 'bronze' instead of 'gold'?\n\
+    \  without Hash-jumper: replayed %d statements (%.2f ms)\n\
+    \  with Hash-jumper:    replayed %d, hash-hit at commit %s, declared %s\n"
+    without.Whatif.replayed without.Whatif.real_ms with_hj.Whatif.replayed
+    (match with_hj.Whatif.hash_jump_at with
+    | Some i -> string_of_int i
+    | None -> "-")
+    (if with_hj.Whatif.changed then "CHANGED" else "EFFECTLESS");
+  Printf.printf
+    "the 'diamond' overwrite makes the initial level unobservable, so the\n\
+     original tables are simply retained (§4.5).\n"

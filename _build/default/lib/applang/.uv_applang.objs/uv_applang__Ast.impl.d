@@ -1,0 +1,1 @@
+lib/applang/ast.ml: List

@@ -1,0 +1,1 @@
+lib/applang/interp.ml: Ast Buffer Float Hashtbl List Option Parser Printf String Uv_symexec Uv_util Value

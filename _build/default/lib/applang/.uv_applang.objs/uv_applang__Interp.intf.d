@@ -1,0 +1,1 @@
+lib/applang/interp.mli: Ast Uv_symexec Value

@@ -1,0 +1,1 @@
+lib/applang/parser.ml: Array Ast Buffer List Printf String

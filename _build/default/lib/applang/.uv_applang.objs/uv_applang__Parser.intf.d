@@ -1,0 +1,1 @@
+lib/applang/parser.mli: Ast

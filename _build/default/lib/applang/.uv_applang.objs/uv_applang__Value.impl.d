@@ -1,0 +1,1 @@
+lib/applang/value.ml: Ast Float Hashtbl List Printf String Uv_sql Uv_symexec

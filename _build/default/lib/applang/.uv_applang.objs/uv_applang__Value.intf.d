@@ -1,0 +1,1 @@
+lib/applang/value.mli: Ast Hashtbl Uv_sql Uv_symexec

@@ -1,0 +1,53 @@
+(** Abstract syntax of MiniJS, the dynamically-typed application language.
+
+    MiniJS covers the JavaScript features the paper's dynamism catalogue
+    (§3.1, §C) exercises: untyped variables, first-class functions and
+    dynamically resolved call targets ([obj\[name\](args)]), template
+    literals, objects and arrays, and blackbox native APIs. Application
+    "transactions" are top-level function declarations that call
+    [SQL_exec]. *)
+
+type expr =
+  | Num of float
+  | Str of string
+  | Template of part list
+  | Bool of bool
+  | Null
+  | Undefined
+  | Ident of string
+  | Binop of string * expr * expr
+      (** "+" "-" "*" "/" "%" "==" "!=" "===" "!==" "<" "<=" ">" ">="
+          "&&" "||" *)
+  | Unop of string * expr  (** "!" "-" "typeof" *)
+  | Cond of expr * expr * expr  (** ternary *)
+  | Call of expr * expr list
+  | Member of expr * string
+  | Index of expr * expr
+  | Object_lit of (string * expr) list
+  | Array_lit of expr list
+  | Fun_expr of string list * stmt list
+
+and part = Ptext of string | Phole of expr
+
+and lvalue =
+  | L_ident of string
+  | L_member of expr * string
+  | L_index of expr * expr
+
+and stmt =
+  | Expr_stmt of expr
+  | Let of string * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Fun_decl of string * string list * stmt list
+
+type program = stmt list
+
+val functions : program -> (string * string list * stmt list) list
+(** Top-level function declarations — the application-level transaction
+    candidates. *)

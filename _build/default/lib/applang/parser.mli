@@ -1,0 +1,6 @@
+(** Lexer and recursive-descent parser for MiniJS. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,1 @@
+lib/db/catalog.ml: Ast Buffer Hashtbl List Option Printer Schema Storage String Uv_sql Uv_util Value

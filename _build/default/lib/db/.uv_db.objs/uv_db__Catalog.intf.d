@@ -1,0 +1,1 @@
+lib/db/catalog.mli: Ast Storage Uv_sql Value

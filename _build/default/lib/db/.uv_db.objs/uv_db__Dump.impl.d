@@ -1,0 +1,1 @@
+lib/db/dump.ml: Array Ast Buffer Catalog Engine Fun Hashtbl List Parser Printer Schema Storage Uv_sql

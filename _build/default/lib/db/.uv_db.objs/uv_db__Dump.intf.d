@@ -1,0 +1,1 @@
+lib/db/dump.mli: Catalog Engine

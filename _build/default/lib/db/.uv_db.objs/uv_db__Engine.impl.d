@@ -1,0 +1,1 @@
+lib/db/engine.ml: Array Ast Catalog Float Fun Hashtbl List Log Option Parser Printer Printf Schema Storage String Uv_sql Uv_util Value

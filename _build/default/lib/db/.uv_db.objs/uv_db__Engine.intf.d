@@ -1,0 +1,1 @@
+lib/db/engine.mli: Ast Catalog Log Uv_sql Uv_util Value

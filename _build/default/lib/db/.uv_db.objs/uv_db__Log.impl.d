@@ -1,0 +1,1 @@
+lib/db/log.ml: Array Ast Catalog List Storage String Uv_sql Value

@@ -1,0 +1,1 @@
+lib/db/log.mli: Ast Catalog Storage Uv_sql Value

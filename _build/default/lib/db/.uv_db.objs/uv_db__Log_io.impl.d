@@ -1,0 +1,1 @@
+lib/db/log_io.ml: Buffer Engine Fun List Log Printf String Uv_sql

@@ -1,0 +1,1 @@
+lib/db/log_io.mli: Engine Log Uv_sql

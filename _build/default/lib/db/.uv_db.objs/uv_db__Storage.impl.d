@@ -1,0 +1,1 @@
+lib/db/storage.ml: Array Buffer Float Hashtbl List Option Printf Schema String Sys Uv_sql Uv_util Value

@@ -1,0 +1,1 @@
+lib/db/storage.mli: Schema Uv_sql Value

@@ -1,0 +1,108 @@
+open Uv_sql
+
+(* Multi-row INSERTs are chunked so no single statement grows unbounded. *)
+let rows_per_insert = 100
+
+let create_table_stmt tbl =
+  let sch = Storage.schema tbl in
+  Ast.Create_table
+    { name = sch.Schema.tbl_name; columns = sch.Schema.tbl_columns; if_not_exists = false }
+
+let insert_stmts tbl =
+  let sch = Storage.schema tbl in
+  let name = sch.Schema.tbl_name in
+  let rows =
+    List.sort (fun (a, _) (b, _) -> compare a b) (Storage.to_rows tbl)
+  in
+  let rec chunk acc current k = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | (_, row) :: rest ->
+        let r = List.map (fun v -> Ast.Lit v) (Array.to_list row) in
+        if k + 1 >= rows_per_insert then
+          chunk (List.rev (r :: current) :: acc) [] 0 rest
+        else chunk acc (r :: current) (k + 1) rest
+  in
+  List.map
+    (fun values -> Ast.Insert { table = name; columns = None; values })
+    (chunk [] [] 0 rows)
+
+let to_sql cat =
+  let buf = Buffer.create 4096 in
+  let emit stmt =
+    Buffer.add_string buf (Printer.stmt stmt);
+    Buffer.add_string buf ";\n"
+  in
+  let by_name cmp_of = List.sort (fun a b -> compare (cmp_of a) (cmp_of b)) in
+  Buffer.add_string buf "-- ultraverse dump\n";
+  (* tables, then their rows *)
+  let tables = by_name fst (Catalog.tables cat) in
+  List.iter (fun (_, tbl) -> emit (create_table_stmt tbl)) tables;
+  List.iter (fun (_, tbl) -> List.iter emit (insert_stmts tbl)) tables;
+  (* secondary indexes *)
+  List.iter
+    (fun (name, (table, columns)) ->
+      emit (Ast.Create_index { name; table; columns }))
+    (by_name fst (Catalog.indexes cat));
+  (* views *)
+  List.iter
+    (fun name ->
+      match Catalog.view cat name with
+      | Some query -> emit (Ast.Create_view { name; query; or_replace = false })
+      | None -> ())
+    (List.sort compare (Catalog.view_names cat));
+  (* procedures *)
+  List.iter
+    (fun name ->
+      match Catalog.procedure cat name with
+      | Some (p : Catalog.procedure) ->
+          emit
+            (Ast.Create_procedure
+               {
+                 name = p.Catalog.proc_name;
+                 params = p.Catalog.proc_params;
+                 label = p.Catalog.proc_label;
+                 body = p.Catalog.proc_body;
+               })
+      | None -> ())
+    (List.sort compare (Catalog.procedure_names cat));
+  (* triggers: enumerate per table and event, dedup by name *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (tname, _) ->
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun (tr : Catalog.trigger) ->
+              if not (Hashtbl.mem seen tr.Catalog.trig_name) then begin
+                Hashtbl.replace seen tr.Catalog.trig_name ();
+                emit
+                  (Ast.Create_trigger
+                     {
+                       name = tr.Catalog.trig_name;
+                       timing = tr.Catalog.trig_timing;
+                       event = tr.Catalog.trig_event;
+                       table = tr.Catalog.trig_table;
+                       body = tr.Catalog.trig_body;
+                     })
+              end)
+            (Catalog.triggers_for cat tname ev))
+        [ Ast.Ev_insert; Ast.Ev_update; Ast.Ev_delete ])
+    tables;
+  Buffer.contents buf
+
+let save cat ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_sql cat))
+
+let restore eng script =
+  List.iter
+    (fun stmt -> ignore (Engine.exec eng stmt))
+    (Parser.parse_script script)
+
+let load eng ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> restore eng (really_input_string ic (in_channel_length ic)))

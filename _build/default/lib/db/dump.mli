@@ -1,0 +1,30 @@
+(** Logical database dump (the mysqldump equivalent).
+
+    Renders the entire catalog — table schemas, rows, views, stored
+    procedures, triggers and CREATE INDEX definitions — as a SQL script
+    that rebuilds a bit-identical database when executed on a fresh
+    engine. Together with {!Log_io} this completes the recovery story:
+    a dump is the checkpoint, the persisted statement log is the tail.
+
+    Determinism: tables and catalog objects are emitted in name order,
+    rows in rowid (insertion) order, so dumping the same database twice
+    yields the same script.
+
+    Caveat: the AUTO_INCREMENT counter is re-derived from the dumped
+    rows (each explicit key bumps the counter past itself), so it can
+    differ from the source only when the row holding the highest key had
+    been deleted — the next fresh key may then be lower than it would
+    have been on the source. *)
+
+val to_sql : Catalog.t -> string
+(** Render the catalog as an executable SQL script. *)
+
+val save : Catalog.t -> path:string -> unit
+(** [save cat ~path] writes {!to_sql} to a file. *)
+
+val restore : Engine.t -> string -> unit
+(** Execute a dump script against an engine (normally a fresh one).
+    @raise Engine.Sql_error if a statement fails. *)
+
+val load : Engine.t -> path:string -> unit
+(** Read a file written by {!save} and {!restore} it. *)

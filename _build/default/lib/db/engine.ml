@@ -1,0 +1,1252 @@
+open Uv_sql
+open Ast
+
+exception Sql_error of string
+exception Signal_raised of string
+
+let sql_error fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+  rows_written : int;
+}
+
+let empty_result = { columns = []; rows = []; rows_written = 0 }
+
+type t = {
+  cat : Catalog.t;
+  log : Log.t;
+  clock : Uv_util.Clock.t;
+  prng : Uv_util.Prng.t;
+  enforce_fk : bool;
+  mutable sim_time : int;
+  mutable last_insert_id : Value.t;
+  (* per-statement execution state *)
+  mutable journal : Log.undo list;
+  mutable nondet_in : Value.t list;
+  mutable nondet_out : Value.t list; (* reversed *)
+  mutable written : string list; (* table names, most recent first *)
+  mutable rows_written : int;
+  mutable trigger_depth : int;
+}
+
+let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
+    ?(log = Log.create ()) cat =
+  {
+    cat;
+    log;
+    clock = Uv_util.Clock.create ~rtt_ms ();
+    prng = Uv_util.Prng.create seed;
+    enforce_fk;
+    sim_time = 1_700_000_000;
+    last_insert_id = Value.Null;
+    journal = [];
+    nondet_in = [];
+    nondet_out = [];
+    written = [];
+    rows_written = 0;
+    trigger_depth = 0;
+  }
+
+let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false) () =
+  {
+    cat = Catalog.create ();
+    log = Log.create ();
+    clock = Uv_util.Clock.create ~rtt_ms ();
+    prng = Uv_util.Prng.create seed;
+    enforce_fk;
+    sim_time = 1_700_000_000;
+    last_insert_id = Value.Null;
+    journal = [];
+    nondet_in = [];
+    nondet_out = [];
+    written = [];
+    rows_written = 0;
+    trigger_depth = 0;
+  }
+
+let catalog t = t.cat
+let log t = t.log
+let clock t = t.clock
+
+let set_sim_time t s = t.sim_time <- s
+
+let find_table t name =
+  match Catalog.table t.cat name with
+  | Some tbl -> tbl
+  | None -> sql_error "unknown table %s" name
+
+let table_hash t name = Storage.hash (find_table t name)
+
+let db_hash t = Catalog.db_hash t.cat
+
+let snapshot t = Catalog.snapshot t.cat
+
+let restore t snap = Catalog.restore t.cat ~from:snap
+
+let reset_log t = Log.truncate t.log 0
+
+let memory_bytes t = Catalog.memory_bytes t.cat
+
+(* ------------------------------------------------------------------ *)
+(* Journalled storage mutations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mark_written t name =
+  match t.written with
+  | hd :: _ when String.equal hd name -> ()
+  | _ -> if not (List.mem name t.written) then t.written <- name :: t.written
+
+let j_insert t tbl row =
+  let id = Storage.insert tbl row in
+  t.journal <- Log.U_row_insert (Storage.name tbl, id) :: t.journal;
+  mark_written t (Storage.name tbl);
+  t.rows_written <- t.rows_written + 1;
+  id
+
+let j_delete t tbl id =
+  let row = Storage.delete tbl id in
+  t.journal <- Log.U_row_delete (Storage.name tbl, id, row) :: t.journal;
+  mark_written t (Storage.name tbl);
+  t.rows_written <- t.rows_written + 1;
+  row
+
+let j_update t tbl id row =
+  let before = Storage.update tbl id row in
+  t.journal <- Log.U_row_update (Storage.name tbl, id, before, Array.copy row) :: t.journal;
+  mark_written t (Storage.name tbl);
+  t.rows_written <- t.rows_written + 1;
+  before
+
+let undo_journal t =
+  Log.apply_undo t.cat t.journal;
+  t.journal <- []
+
+(* Object-definition captures pushed before DDL mutations so the entry's
+   undo list can restore the prior schema state. *)
+let capture_table t name =
+  t.journal <-
+    Log.U_table_def (name, Option.map Storage.copy (Catalog.table t.cat name))
+    :: t.journal
+
+let capture_view t name =
+  t.journal <- Log.U_view_def (name, Catalog.view t.cat name) :: t.journal
+
+let capture_proc t name =
+  t.journal <- Log.U_proc_def (name, Catalog.procedure t.cat name) :: t.journal
+
+let capture_trigger t name =
+  let prior =
+    (* catalog stores triggers by name across all tables *)
+    List.find_opt
+      (fun (tr : Catalog.trigger) -> String.equal tr.Catalog.trig_name name)
+      (List.concat_map
+         (fun ev ->
+           List.concat_map
+             (fun (tname, _) -> Catalog.triggers_for t.cat tname ev)
+             (Catalog.tables t.cat))
+         [ Ast.Ev_insert; Ast.Ev_update; Ast.Ev_delete ])
+  in
+  t.journal <- Log.U_trigger_def (name, prior) :: t.journal
+
+let capture_index t name existing =
+  t.journal <- Log.U_index_def (name, existing) :: t.journal
+
+(* ------------------------------------------------------------------ *)
+(* Non-determinism                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Forced replay values are consumed in draw order; fresh draws are used
+   once the recorded list runs out (retroactively added statements). *)
+let draw t fresh =
+  let v =
+    match t.nondet_in with
+    | v :: rest ->
+        t.nondet_in <- rest;
+        v
+    | [] -> fresh ()
+  in
+  t.nondet_out <- v :: t.nondet_out;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  vars : (string, Value.t) Hashtbl.t;
+  bindings : (string * Value.t) list; (* current row: qualified + plain *)
+}
+
+let empty_env () = { vars = Hashtbl.create 4; bindings = [] }
+
+let with_bindings env bindings = { env with bindings }
+
+let lookup_binding env key = List.assoc_opt key env.bindings
+
+let is_aggregate_name = function
+  | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" -> true
+  | "COUNT.D" | "SUM.D" | "AVG.D" | "MIN.D" | "MAX.D" -> true
+  | _ -> false
+
+let rec expr_has_aggregate = function
+  | Fun_call (name, args) ->
+      is_aggregate_name name || List.exists expr_has_aggregate args
+  | Binop (_, a, b) -> expr_has_aggregate a || expr_has_aggregate b
+  | Unop (_, a) -> expr_has_aggregate a
+  | In_list (a, items) -> List.exists expr_has_aggregate (a :: items)
+  | Between (a, b, c) -> List.exists expr_has_aggregate [ a; b; c ]
+  | Is_null (a, _) -> expr_has_aggregate a
+  | Lit _ | Col _ | Var _ | Subselect _ | Exists _ -> false
+
+let like_match pattern s =
+  (* SQL LIKE: % = any run, _ = any single char. *)
+  let np = String.length pattern and ns = String.length s in
+  let rec go p i =
+    if p >= np then i >= ns
+    else
+      match pattern.[p] with
+      | '%' ->
+          let rec try_from j = if go (p + 1) j then true else j < ns && try_from (j + 1) in
+          try_from i
+      | '_' -> i < ns && go (p + 1) (i + 1)
+      | c -> i < ns && s.[i] = c && go (p + 1) (i + 1)
+  in
+  go 0 0
+
+let rec eval t env e : Value.t =
+  match e with
+  | Lit v -> v
+  | Var name -> (
+      match Hashtbl.find_opt env.vars name with
+      | Some v -> v
+      | None -> sql_error "unknown variable %s" name)
+  | Col (qual, name) -> (
+      let key = match qual with Some q -> q ^ "." ^ name | None -> name in
+      match lookup_binding env key with
+      | Some v -> v
+      | None -> (
+          (* An unqualified name may also be a procedure variable. *)
+          match (qual, Hashtbl.find_opt env.vars name) with
+          | None, Some v -> v
+          | _ -> sql_error "unknown column %s" key))
+  | Binop (op, a, b) -> eval_binop t env op a b
+  | Unop (Not, a) -> Value.Bool (not (Value.to_bool (eval t env a)))
+  | Unop (Neg, a) -> Value.sub (Value.Int 0) (eval t env a)
+  | Fun_call ("ROWCOUNT", [ Subselect s ]) ->
+      (* dialect extension: the number of rows a query returns, usable
+         where MySQL would need a COUNT over a derived table. The
+         transpiler emits it for rows.length over grouped queries. *)
+      Value.Int (List.length (run_select t env s).rows)
+  | Fun_call (name, args) -> eval_fun t env name args
+  | Subselect s -> (
+      let r = run_select t env s in
+      match r.rows with
+      | [] -> Value.Null
+      | row :: _ -> if Array.length row = 0 then Value.Null else row.(0))
+  | Exists s ->
+      let r = run_select t env { s with sel_limit = Some 1 } in
+      Value.Bool (r.rows <> [])
+  | In_list (e, items) ->
+      let v = eval t env e in
+      (* a subselect item contributes every row of its result, not just a
+         scalar: x IN (SELECT ...) *)
+      Value.Bool
+        (List.exists
+           (function
+             | Subselect s ->
+                 let r = run_select t env s in
+                 List.exists
+                   (fun row -> Array.length row > 0 && Value.equal_sql v row.(0))
+                   r.rows
+             | it -> Value.equal_sql v (eval t env it))
+           items)
+  | Between (e, lo, hi) ->
+      let v = eval t env e in
+      let l = eval t env lo and h = eval t env hi in
+      if Value.is_null v || Value.is_null l || Value.is_null h then Value.Null
+      else Value.Bool (Value.compare_sql v l >= 0 && Value.compare_sql v h <= 0)
+  | Is_null (e, positive) ->
+      let v = eval t env e in
+      Value.Bool (Value.is_null v = positive)
+
+and eval_binop t env op a b =
+  match op with
+  | And ->
+      (* short-circuit *)
+      if not (Value.to_bool (eval t env a)) then Value.Bool false
+      else Value.Bool (Value.to_bool (eval t env b))
+  | Or ->
+      if Value.to_bool (eval t env a) then Value.Bool true
+      else Value.Bool (Value.to_bool (eval t env b))
+  | _ -> (
+      let va = eval t env a and vb = eval t env b in
+      match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Mod -> Value.modulo va vb
+      | Eq -> cmp_value va vb (fun c -> c = 0)
+      | Neq -> cmp_value va vb (fun c -> c <> 0)
+      | Lt -> cmp_value va vb (fun c -> c < 0)
+      | Le -> cmp_value va vb (fun c -> c <= 0)
+      | Gt -> cmp_value va vb (fun c -> c > 0)
+      | Ge -> cmp_value va vb (fun c -> c >= 0)
+      | And | Or -> assert false)
+
+and cmp_value a b pred =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else Value.Bool (pred (Value.compare_sql a b))
+
+and eval_fun t env name args =
+  let v i = eval t env (List.nth args i) in
+  match (name, List.length args) with
+  | "CONCAT", _ ->
+      Value.Text
+        (String.concat ""
+           (List.map (fun a -> Value.to_string (eval t env a)) args))
+  | "UPPER", 1 -> Value.Text (String.uppercase_ascii (Value.to_string (v 0)))
+  | "LOWER", 1 -> Value.Text (String.lowercase_ascii (Value.to_string (v 0)))
+  | "LENGTH", 1 -> Value.Int (String.length (Value.to_string (v 0)))
+  | "ABS", 1 -> (
+      match v 0 with
+      | Value.Int i -> Value.Int (abs i)
+      | x -> Value.Float (Float.abs (Value.to_float x)))
+  | "ROUND", 1 -> Value.Int (int_of_float (Float.round (Value.to_float (v 0))))
+  | "FLOOR", 1 -> Value.Int (int_of_float (Float.floor (Value.to_float (v 0))))
+  | "CEIL", 1 | "CEILING", 1 -> Value.Int (int_of_float (Float.ceil (Value.to_float (v 0))))
+  | "MOD", 2 -> Value.modulo (v 0) (v 1)
+  | "IF", 3 -> if Value.to_bool (v 0) then v 1 else v 2
+  | "IFNULL", 2 -> ( match v 0 with Value.Null -> v 1 | x -> x)
+  | "COALESCE", _ ->
+      let rec first = function
+        | [] -> Value.Null
+        | a :: rest -> ( match eval t env a with Value.Null -> first rest | x -> x)
+      in
+      first args
+  | "NULLIF", 2 -> if Value.equal_sql (v 0) (v 1) then Value.Null else v 0
+  | "SUBSTR", 3 | "SUBSTRING", 3 ->
+      let s = Value.to_string (v 0) in
+      let start = max 0 (Value.to_int (v 1) - 1) in
+      let len = Value.to_int (v 2) in
+      let len = max 0 (min len (String.length s - start)) in
+      if start >= String.length s then Value.Text ""
+      else Value.Text (String.sub s start len)
+  | "LIKE", 2 ->
+      let s = v 0 and p = v 1 in
+      if Value.is_null s || Value.is_null p then Value.Null
+      else Value.Bool (like_match (Value.to_string p) (Value.to_string s))
+  | "RAND", 0 -> draw t (fun () -> Value.Float (Uv_util.Prng.float t.prng 1.0))
+  | ("NOW" | "CURTIME" | "CURRENT_TIMESTAMP" | "UNIX_TIMESTAMP"), 0 ->
+      draw t (fun () -> Value.Int t.sim_time)
+  | "LAST_INSERT_ID", 0 -> t.last_insert_id
+  | ( ( "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "COUNT.D" | "SUM.D"
+      | "AVG.D" | "MIN.D" | "MAX.D" ),
+      _ ) ->
+      sql_error "aggregate %s used outside a SELECT projection" name
+  | _ -> sql_error "unknown function %s/%d" name (List.length args)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A row source: a prefix for qualified names, ordered column names, and
+   the rows themselves. *)
+and source_rows t env (table_name : string) :
+    string list * Value.t array list =
+  match Catalog.table t.cat table_name with
+  | Some tbl ->
+      let cols = Schema.column_names (Storage.schema tbl) in
+      let rows = List.map snd (Storage.to_rows tbl) in
+      (cols, rows)
+  | None -> (
+      match Catalog.view t.cat table_name with
+      | Some view_sel ->
+          let r = run_select t env view_sel in
+          (r.columns, r.rows)
+      | None -> sql_error "unknown table or view %s" table_name)
+
+and bindings_of prefix cols row =
+  let qualified =
+    List.mapi (fun i c -> (prefix ^ "." ^ c, row.(i))) cols
+  in
+  let plain = List.mapi (fun i c -> (c, row.(i))) cols in
+  qualified @ plain
+
+and run_select t env (s : select) : result =
+  (* 1. build the joined row set *)
+  let sources, joined =
+    match s.sel_from with
+    | None -> ([], [ [] ])
+    | Some (tbl, alias) ->
+        let prefix = Option.value alias ~default:tbl in
+        let cols, rows =
+          (* single-table scan with an equality on an indexed column:
+             fetch candidates through the index *)
+          match (s.sel_joins, s.sel_where, Catalog.table t.cat tbl) with
+          | [], Some w, Some storage -> (
+              match index_probe t env storage w with
+              | Some ids ->
+                  ( Schema.column_names (Storage.schema storage),
+                    List.filter_map (fun id -> Storage.get storage id)
+                      (List.sort compare ids) )
+              | None -> source_rows t env tbl)
+          | _ -> source_rows t env tbl
+        in
+        let base =
+          List.map (fun row -> bindings_of prefix cols row) rows
+        in
+        let sources = ref [ (prefix, cols) ] in
+        let acc = ref base in
+        List.iter
+          (fun j ->
+            let jprefix = Option.value j.join_alias ~default:j.join_table in
+            let jcols, jrows = source_rows t env j.join_table in
+            sources := (jprefix, jcols) :: !sources;
+            let next = ref [] in
+            List.iter
+              (fun left ->
+                List.iter
+                  (fun jrow ->
+                    let row_bindings = left @ bindings_of jprefix jcols jrow in
+                    let jenv = with_bindings env (row_bindings @ env.bindings) in
+                    if Value.to_bool (eval t jenv j.join_on) then
+                      next := row_bindings :: !next)
+                  jrows)
+              !acc;
+            acc := List.rev !next)
+          s.sel_joins;
+        (List.rev !sources, !acc)
+  in
+  (* 2. WHERE *)
+  let filtered =
+    match s.sel_where with
+    | None -> joined
+    | Some w ->
+        List.filter
+          (fun b ->
+            let renv = with_bindings env (b @ env.bindings) in
+            Value.to_bool (eval t renv w))
+          joined
+  in
+  select_project t env s sources filtered
+
+and select_project t env (s : select) sources rows : result =
+  let row_env b = with_bindings env (b @ env.bindings) in
+  (* expand items *)
+  let star_columns () =
+    List.concat_map (fun (p, cols) -> List.map (fun c -> (p, c)) cols) sources
+  in
+  let items =
+    List.concat_map
+      (function
+        | Star ->
+            List.map (fun (p, c) -> (Col (Some p, c), Some c)) (star_columns ())
+        | Item (e, alias) -> [ (e, alias) ])
+      s.sel_items
+  in
+  let item_name (e, alias) =
+    match alias with
+    | Some a -> a
+    | None -> Printer.expr e
+  in
+  let columns = List.map item_name items in
+  let has_agg = List.exists (fun (e, _) -> expr_has_aggregate e) items in
+  let grouped = s.sel_group_by <> [] || has_agg || s.sel_having <> None in
+  let output_rows =
+    if not grouped then
+      List.map
+        (fun b ->
+          Array.of_list (List.map (fun (e, _) -> eval t (row_env b) e) items))
+        rows
+    else begin
+      (* group rows *)
+      let groups : (string, Value.t list * (string * Value.t) list list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref [] in
+      List.iter
+        (fun b ->
+          let keyvals = List.map (eval t (row_env b)) s.sel_group_by in
+          let key = String.concat "\x00" (List.map Value.serialize keyvals) in
+          (match Hashtbl.find_opt groups key with
+          | Some (kv, members) -> Hashtbl.replace groups key (kv, b :: members)
+          | None ->
+              order := key :: !order;
+              Hashtbl.replace groups key (keyvals, [ b ])))
+        rows;
+      let keys = List.rev !order in
+      let keys =
+        if keys = [] && s.sel_group_by = [] then [ "" ] (* aggregate over empty set *)
+        else keys
+      in
+      List.filter_map
+        (fun key ->
+          let _, members =
+            match Hashtbl.find_opt groups key with
+            | Some (kv, ms) -> (kv, List.rev ms)
+            | None -> ([], [])
+          in
+          let rep = match members with b :: _ -> b | [] -> [] in
+          let keep =
+            match s.sel_having with
+            | None -> true
+            | Some h -> Value.to_bool (eval_agg t env members rep h)
+          in
+          if keep then
+            Some
+              (Array.of_list
+                 (List.map
+                    (fun (e, _) -> eval_agg t env members rep e)
+                    items))
+          else None)
+        keys
+    end
+  in
+  (* DISTINCT: deduplicate projected rows, preserving first occurrence *)
+  let output_rows, rows =
+    if s.sel_distinct then begin
+      let seen = Hashtbl.create 16 in
+      let keep = ref [] and kept_src = ref [] in
+      List.iter2
+        (fun out src ->
+          let key =
+            String.concat "\x00"
+              (Array.to_list (Array.map Value.serialize out))
+          in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            keep := out :: !keep;
+            kept_src := src :: !kept_src
+          end)
+        output_rows
+        (if grouped then List.map (fun _ -> []) output_rows else rows);
+      (List.rev !keep, List.rev !kept_src)
+    end
+    else (output_rows, if grouped then List.map (fun _ -> []) output_rows else rows)
+  in
+  (* ORDER BY *)
+  let output_rows =
+    match s.sel_order_by with
+    | [] -> output_rows
+    | obs ->
+        (* order keys must be computed against source rows for ungrouped
+           selects; for simplicity we sort on projected values when the
+           expression matches an output column, else on source order keys *)
+        if not grouped then begin
+          let keyed =
+            List.map2
+              (fun b out ->
+                let keys = List.map (fun (e, _) -> eval t (row_env b) e) obs in
+                (keys, out))
+              rows output_rows
+          in
+          sort_keyed obs keyed
+        end
+        else begin
+          (* grouped: evaluate order expressions over the projected row via
+             column-name bindings *)
+          let keyed =
+            List.map
+              (fun out ->
+                let b = List.map2 (fun c v -> (c, v)) columns (Array.to_list out) in
+                let keys =
+                  List.map (fun (e, _) -> eval t (with_bindings env b) e) obs
+                in
+                (keys, out))
+              output_rows
+          in
+          sort_keyed obs keyed
+        end
+  in
+  let output_rows =
+    match s.sel_offset with
+    | None -> output_rows
+    | Some off -> List.filteri (fun i _ -> i >= off) output_rows
+  in
+  let output_rows =
+    match s.sel_limit with
+    | None -> output_rows
+    | Some n -> List.filteri (fun i _ -> i < n) output_rows
+  in
+  { columns; rows = output_rows; rows_written = 0 }
+
+and sort_keyed obs keyed =
+  let dirs = List.map snd obs in
+  let cmp (ka, _) (kb, _) =
+    let rec go ks1 ks2 ds =
+      match (ks1, ks2, ds) with
+      | [], [], _ -> 0
+      | a :: r1, b :: r2, d :: rd ->
+          let c = Value.compare_sql a b in
+          let c = match d with Asc -> c | Desc -> -c in
+          if c <> 0 then c else go r1 r2 rd
+      | _ -> 0
+    in
+    go ka kb dirs
+  in
+  List.map snd (List.stable_sort cmp keyed)
+
+(* Aggregate-aware evaluation over one group. [members] are the group's
+   source-row bindings; [rep] is the representative row for non-aggregate
+   subexpressions. *)
+and eval_agg t env members rep e : Value.t =
+  match e with
+  | Fun_call (name, args) when is_aggregate_name name ->
+      let member_env b = with_bindings env (b @ env.bindings) in
+      let values arg = List.map (fun b -> eval t (member_env b) arg) members in
+      (* NAME.D — the DISTINCT form: deduplicate the argument values *)
+      let distinct_values arg =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun v ->
+            let k = Storage.index_key v in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.replace seen k ();
+              true
+            end)
+          (values arg)
+      in
+      let name, values =
+        if String.length name > 2 && String.sub name (String.length name - 2) 2 = ".D"
+        then (String.sub name 0 (String.length name - 2), distinct_values)
+        else (name, values)
+      in
+      (match (name, args) with
+      | "COUNT", ([] | [ Col (_, "*") ]) -> Value.Int (List.length members)
+      | "COUNT", [ arg ] ->
+          Value.Int
+            (List.length (List.filter (fun v -> not (Value.is_null v)) (values arg)))
+      | "SUM", [ arg ] ->
+          let vs = List.filter (fun v -> not (Value.is_null v)) (values arg) in
+          if vs = [] then Value.Null
+          else List.fold_left Value.add (Value.Int 0) vs
+      | "AVG", [ arg ] ->
+          let vs = List.filter (fun v -> not (Value.is_null v)) (values arg) in
+          if vs = [] then Value.Null
+          else
+            Value.div
+              (List.fold_left Value.add (Value.Int 0) vs)
+              (Value.Int (List.length vs))
+      | "MIN", [ arg ] ->
+          let vs = List.filter (fun v -> not (Value.is_null v)) (values arg) in
+          (match vs with
+          | [] -> Value.Null
+          | hd :: tl ->
+              List.fold_left (fun a v -> if Value.compare_sql v a < 0 then v else a) hd tl)
+      | "MAX", [ arg ] ->
+          let vs = List.filter (fun v -> not (Value.is_null v)) (values arg) in
+          (match vs with
+          | [] -> Value.Null
+          | hd :: tl ->
+              List.fold_left (fun a v -> if Value.compare_sql v a > 0 then v else a) hd tl)
+      | _ -> sql_error "malformed aggregate %s" name)
+  | Binop (op, a, b) ->
+      let env' = with_bindings env (rep @ env.bindings) in
+      let va = eval_agg t env members rep a and vb = eval_agg t env members rep b in
+      ignore env';
+      (match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Mod -> Value.modulo va vb
+      | Eq -> cmp_value va vb (fun c -> c = 0)
+      | Neq -> cmp_value va vb (fun c -> c <> 0)
+      | Lt -> cmp_value va vb (fun c -> c < 0)
+      | Le -> cmp_value va vb (fun c -> c <= 0)
+      | Gt -> cmp_value va vb (fun c -> c > 0)
+      | Ge -> cmp_value va vb (fun c -> c >= 0)
+      | And -> Value.Bool (Value.to_bool va && Value.to_bool vb)
+      | Or -> Value.Bool (Value.to_bool va || Value.to_bool vb))
+  | Unop (Not, a) -> Value.Bool (not (Value.to_bool (eval_agg t env members rep a)))
+  | Unop (Neg, a) -> Value.sub (Value.Int 0) (eval_agg t env members rep a)
+  | _ -> eval t (with_bindings env (rep @ env.bindings)) e
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+and check_foreign_keys t tbl row =
+  if t.enforce_fk then
+    let sch = Storage.schema tbl in
+    List.iter
+      (fun (local, ftbl, fcol) ->
+        match Storage.column_index tbl local with
+        | None -> ()
+        | Some i ->
+            let v = row.(i) in
+            if not (Value.is_null v) then begin
+              let target = find_table t ftbl in
+              match Storage.column_index target fcol with
+              | None -> ()
+              | Some fi ->
+                  let exists =
+                    Storage.fold target ~init:false ~f:(fun acc _ trow ->
+                        acc || Value.equal_sql trow.(fi) v)
+                  in
+                  if not exists then
+                    sql_error "foreign key violation: %s.%s = %s not in %s.%s"
+                      (Storage.name tbl) local (Value.to_string v) ftbl fcol
+            end)
+      (Schema.foreign_keys sch)
+
+and run_triggers t timing event table_name ~old_row ~new_row =
+  if t.trigger_depth > 8 then sql_error "trigger recursion limit exceeded";
+  let trigs = Catalog.triggers_for t.cat table_name event in
+  let relevant = List.filter (fun tr -> tr.Catalog.trig_timing = timing) trigs in
+  if relevant <> [] then begin
+    let tbl = find_table t table_name in
+    let cols = Schema.column_names (Storage.schema tbl) in
+    let bind prefix row =
+      match row with
+      | None -> []
+      | Some r -> List.mapi (fun i c -> (prefix ^ "." ^ c, r.(i))) cols
+    in
+    let bindings = bind "NEW" new_row @ bind "OLD" old_row in
+    t.trigger_depth <- t.trigger_depth + 1;
+    Fun.protect
+      ~finally:(fun () -> t.trigger_depth <- t.trigger_depth - 1)
+      (fun () ->
+        List.iter
+          (fun trig ->
+            let env = { vars = Hashtbl.create 4; bindings } in
+            ignore (run_pstmts t env ~label:None trig.Catalog.trig_body))
+          relevant)
+  end
+
+(* NOT NULL and PRIMARY KEY uniqueness, checked on every insert and on
+   every updated row image ([skip_rowid] = the row being rewritten). PK
+   columns holding NULL are not compared (MySQL treats an unfilled key as
+   an error elsewhere; here NULL never equals anything). *)
+and check_row_constraints t tbl (skip_rowid : int option) (row : Value.t array)
+    : unit =
+  ignore t;
+  let sch = Storage.schema tbl in
+  List.iteri
+    (fun i (col : Schema.column) ->
+      if
+        col.Schema.not_null && Value.is_null row.(i)
+        && not col.Schema.auto_increment
+      then
+        sql_error "column %s.%s cannot be NULL" (Storage.name tbl)
+          col.Schema.col_name)
+    sch.Schema.tbl_columns;
+  (* single-column UNIQUE constraints *)
+  List.iter
+    (fun uname ->
+      match Storage.column_index tbl uname with
+      | None -> ()
+      | Some ui ->
+          if not (Value.is_null row.(ui)) then
+            let candidates =
+              match Storage.indexed_lookup tbl uname row.(ui) with
+              | Some ids -> ids
+              | None -> Storage.fold tbl ~init:[] ~f:(fun acc id _ -> id :: acc)
+            in
+            List.iter
+              (fun id ->
+                if Some id <> skip_rowid then
+                  match Storage.get tbl id with
+                  | Some other ->
+                      if Value.equal_sql other.(ui) row.(ui) then
+                        sql_error "duplicate entry for UNIQUE column %s.%s"
+                          (Storage.name tbl) uname
+                  | None -> ())
+              candidates)
+    (Schema.unique_columns sch);
+  match Schema.primary_key_columns sch with
+  | [] -> ()
+  | pks -> (
+      let idx_of name =
+        match Storage.column_index tbl name with
+        | Some i -> i
+        | None -> sql_error "unknown PRIMARY KEY column %s" name
+      in
+      let pk_idxs = List.map idx_of pks in
+      if not (List.exists (fun i -> Value.is_null row.(i)) pk_idxs) then
+        let first_idx = List.hd pk_idxs in
+        let candidates =
+          match Storage.indexed_lookup tbl (List.hd pks) row.(first_idx) with
+          | Some ids -> ids
+          | None -> Storage.fold tbl ~init:[] ~f:(fun acc id _ -> id :: acc)
+        in
+        List.iter
+          (fun id ->
+            if Some id <> skip_rowid then
+              match Storage.get tbl id with
+              | Some other ->
+                  if
+                    List.for_all
+                      (fun i -> Value.equal_sql other.(i) row.(i))
+                      pk_idxs
+                  then
+                    sql_error "duplicate entry for PRIMARY KEY in %s"
+                      (Storage.name tbl)
+              | None -> ())
+          candidates)
+
+and insert_row t table_name (columns : string list option) (values : Value.t list)
+    : unit =
+  (* Updatable view: route to the parent table (§4.2 "Updatable VIEWs"). *)
+  match Catalog.table t.cat table_name with
+  | None -> (
+      match Catalog.view t.cat table_name with
+      | Some vsel -> (
+          match vsel.sel_from with
+          | Some (parent, _) -> insert_row t parent columns values
+          | None -> sql_error "view %s is not insertable" table_name)
+      | None -> sql_error "unknown table %s" table_name)
+  | Some tbl ->
+      let sch = Storage.schema tbl in
+      let ncols = List.length sch.Schema.tbl_columns in
+      let row = Array.make ncols Value.Null in
+      let set_col name v =
+        match Storage.column_index tbl name with
+        | Some i ->
+            let col = List.nth sch.Schema.tbl_columns i in
+            row.(i) <- Value.coerce col.Schema.col_ty v
+        | None -> sql_error "unknown column %s.%s" table_name name
+      in
+      (match columns with
+      | Some cols ->
+          if List.length cols <> List.length values then
+            sql_error "INSERT into %s: %d columns but %d values" table_name
+              (List.length cols) (List.length values);
+          List.iter2 set_col cols values
+      | None ->
+          if List.length values <> ncols then
+            sql_error "INSERT into %s: expected %d values, got %d" table_name ncols
+              (List.length values);
+          List.iteri
+            (fun i v ->
+              let col = List.nth sch.Schema.tbl_columns i in
+              row.(i) <- Value.coerce col.Schema.col_ty v)
+            values);
+      (* AUTO_INCREMENT: fill a missing value, or bump past an explicit one.
+         The assigned value is a recorded draw so replay reuses it (§4.4). *)
+      (match Schema.auto_increment_column sch with
+      | Some ac -> (
+          match Storage.column_index tbl ac with
+          | Some i ->
+              if Value.is_null row.(i) then begin
+                let v =
+                  draw t (fun () -> Value.Int (Storage.take_auto_value tbl))
+                in
+                Storage.bump_auto_value tbl (Value.to_int v);
+                row.(i) <- Value.coerce Value.Tint v;
+                t.last_insert_id <- row.(i)
+              end
+              else Storage.bump_auto_value tbl (Value.to_int row.(i))
+          | None -> ())
+      | None -> ());
+      check_row_constraints t tbl None row;
+      check_foreign_keys t tbl row;
+      run_triggers t Before Ev_insert table_name ~old_row:None ~new_row:(Some row);
+      ignore (j_insert t tbl row);
+      run_triggers t After Ev_insert table_name ~old_row:None ~new_row:(Some row)
+
+(* Find an AND-reachable equality conjunct [col = value] on an indexed
+   column whose value is computable without row bindings; the index rows
+   are then a sound superset of the matches. *)
+and index_probe t env tbl (w : expr) : Storage.rowid list option =
+  let tbl_name = Storage.name tbl in
+  let try_eq col e =
+    match Storage.column_index tbl col with
+    | None -> None
+    | Some _ -> (
+        match eval t env e with
+        | Value.Null -> Some [] (* col = NULL matches no row *)
+        | v -> Storage.indexed_lookup tbl col v
+        | exception Sql_error _ -> None)
+  in
+  match w with
+  | Binop (And, a, b) -> (
+      match index_probe t env tbl a with
+      | Some _ as r -> r
+      | None -> index_probe t env tbl b)
+  | Binop (Eq, Col (qual, col), e) when qual = None || qual = Some tbl_name ->
+      try_eq col e
+  | Binop (Eq, e, Col (qual, col)) when qual = None || qual = Some tbl_name ->
+      try_eq col e
+  | _ -> None
+
+and matching_rows t env tbl where =
+  let cols = Schema.column_names (Storage.schema tbl) in
+  let name = Storage.name tbl in
+  let candidates =
+    match where with
+    | Some w -> (
+        match index_probe t env tbl w with
+        | Some ids ->
+            List.filter_map
+              (fun id -> Option.map (fun row -> (id, row)) (Storage.get tbl id))
+              (List.sort compare ids)
+        | None -> Storage.to_rows tbl)
+    | None -> Storage.to_rows tbl
+  in
+  candidates
+  |> List.filter (fun (_, row) ->
+         match where with
+         | None -> true
+         | Some w ->
+             let b =
+               List.mapi (fun i c -> (c, row.(i))) cols
+               @ List.mapi (fun i c -> (name ^ "." ^ c, row.(i))) cols
+             in
+             Value.to_bool (eval t (with_bindings env (b @ env.bindings)) w))
+
+and resolve_write_target t table_name where =
+  (* For UPDATE/DELETE on an updatable view, push the view predicate into
+     the WHERE clause and target the parent table. *)
+  match Catalog.table t.cat table_name with
+  | Some tbl -> (tbl, where)
+  | None -> (
+      match Catalog.view t.cat table_name with
+      | Some vsel -> (
+          match vsel.sel_from with
+          | Some (parent, _) ->
+              let tbl = find_table t parent in
+              let where' =
+                match (vsel.sel_where, where) with
+                | None, w -> w
+                | Some vw, None -> Some vw
+                | Some vw, Some w -> Some (Binop (And, vw, w))
+              in
+              (tbl, where')
+          | None -> sql_error "view %s is not updatable" table_name)
+      | None -> sql_error "unknown table %s" table_name)
+
+and update_rows t env table_name assigns where : int =
+  let tbl, where = resolve_write_target t table_name where in
+  let sch = Storage.schema tbl in
+  let cols = Schema.column_names sch in
+  let name = Storage.name tbl in
+  let victims = matching_rows t env tbl where in
+  List.iter
+    (fun (rid, row) ->
+      let b =
+        List.mapi (fun i c -> (c, row.(i))) cols
+        @ List.mapi (fun i c -> (name ^ "." ^ c, row.(i))) cols
+      in
+      let renv = with_bindings env (b @ env.bindings) in
+      let fresh = Array.copy row in
+      List.iter
+        (fun (cname, e) ->
+          match Storage.column_index tbl cname with
+          | Some i ->
+              let col = List.nth sch.Schema.tbl_columns i in
+              fresh.(i) <- Value.coerce col.Schema.col_ty (eval t renv e)
+          | None -> sql_error "unknown column %s.%s" name cname)
+        assigns;
+      check_row_constraints t tbl (Some rid) fresh;
+      run_triggers t Before Ev_update name ~old_row:(Some row) ~new_row:(Some fresh);
+      ignore (j_update t tbl rid fresh);
+      run_triggers t After Ev_update name ~old_row:(Some row) ~new_row:(Some fresh))
+    victims;
+  List.length victims
+
+and delete_rows t env table_name where : int =
+  let tbl, where = resolve_write_target t table_name where in
+  let name = Storage.name tbl in
+  let victims = matching_rows t env tbl where in
+  List.iter
+    (fun (rid, row) ->
+      run_triggers t Before Ev_delete name ~old_row:(Some row) ~new_row:None;
+      ignore (j_delete t tbl rid);
+      run_triggers t After Ev_delete name ~old_row:(Some row) ~new_row:None)
+    victims;
+  List.length victims
+
+(* ------------------------------------------------------------------ *)
+(* Procedure bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and run_pstmts t env ~label body : result =
+  let exception Leave_block in
+  let last = ref empty_result in
+  (try
+     List.iter
+       (fun p ->
+         match run_pstmt t env ~label p with
+         | `Result r -> last := r
+         | `Leave l -> (
+             match label with
+             | Some lbl when String.equal l lbl -> raise Leave_block
+             | _ -> raise Leave_block (* leaving any enclosing label ends us *)))
+       body
+   with Leave_block -> ());
+  !last
+
+and run_pstmt t env ~label p : [ `Result of result | `Leave of string ] =
+  match p with
+  | P_stmt s -> `Result (exec_stmt t env s)
+  | P_declare (v, ty, init) ->
+      let value =
+        match init with
+        | None -> Value.Null
+        | Some e -> Value.coerce ty (eval t env e)
+      in
+      Hashtbl.replace env.vars v value;
+      `Result empty_result
+  | P_set (v, e) ->
+      Hashtbl.replace env.vars v (eval t env e);
+      `Result empty_result
+  | P_select_into (s, vars) ->
+      let r = run_select t env s in
+      (match r.rows with
+      | [] -> List.iter (fun v -> Hashtbl.replace env.vars v Value.Null) vars
+      | row :: _ ->
+          List.iteri
+            (fun i v ->
+              let value = if i < Array.length row then row.(i) else Value.Null in
+              Hashtbl.replace env.vars v value)
+            vars);
+      `Result empty_result
+  | P_if (branches, else_body) ->
+      let rec pick = function
+        | [] -> else_body
+        | (cond, body) :: rest ->
+            if Value.to_bool (eval t env cond) then body else pick rest
+      in
+      run_block t env ~label (pick branches)
+  | P_while (cond, body) ->
+      let guard = ref 0 in
+      let out = ref (`Result empty_result) in
+      let continue = ref true in
+      while !continue && Value.to_bool (eval t env cond) do
+        incr guard;
+        if !guard > 1_000_000 then sql_error "WHILE iteration limit exceeded";
+        match run_block t env ~label body with
+        | `Leave _ as l ->
+            out := l;
+            continue := false
+        | `Result _ as r -> out := r
+      done;
+      !out
+  | P_leave l -> `Leave l
+  | P_signal state -> raise (Signal_raised state)
+
+and run_block t env ~label body :
+    [ `Result of result | `Leave of string ] =
+  let rec go last = function
+    | [] -> `Result last
+    | p :: rest -> (
+        match run_pstmt t env ~label p with
+        | `Result r -> go r rest
+        | `Leave l -> (
+            match label with
+            | Some lbl when String.equal l lbl -> `Leave l
+            | _ -> `Leave l))
+  in
+  go empty_result body
+
+and call_procedure t name args : result =
+  match Catalog.procedure t.cat name with
+  | None -> sql_error "unknown procedure %s" name
+  | Some proc ->
+      if List.length args <> List.length proc.Catalog.proc_params then
+        sql_error "procedure %s expects %d arguments, got %d" name
+          (List.length proc.Catalog.proc_params)
+          (List.length args);
+      let env = empty_env () in
+      List.iter2
+        (fun (pname, ty) v -> Hashtbl.replace env.vars pname (Value.coerce ty v))
+        proc.Catalog.proc_params args;
+      run_pstmts t env ~label:proc.Catalog.proc_label proc.Catalog.proc_body
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and exec_stmt t env (s : stmt) : result =
+  match s with
+  | Select sel -> run_select t env sel
+  | Insert { table; columns; values } ->
+      List.iter
+        (fun row_exprs ->
+          let vs = List.map (eval t env) row_exprs in
+          insert_row t table columns vs)
+        values;
+      { empty_result with rows_written = List.length values }
+  | Insert_select { table; columns; query } ->
+      (* materialise the source rows first: INSERT INTO t SELECT ... FROM t
+         must not observe its own insertions *)
+      let r = run_select t env query in
+      List.iter (fun row -> insert_row t table columns (Array.to_list row)) r.rows;
+      { empty_result with rows_written = List.length r.rows }
+  | Update { table; assigns; where } ->
+      let n = update_rows t env table assigns where in
+      { empty_result with rows_written = n }
+  | Delete { table; where } ->
+      let n = delete_rows t env table where in
+      { empty_result with rows_written = n }
+  | Call (name, args) ->
+      let vs = List.map (eval t env) args in
+      call_procedure t name vs
+  | Transaction stmts ->
+      let last = ref empty_result in
+      List.iter (fun s -> last := exec_stmt t env s) stmts;
+      !last
+  | Create_table { name; columns; if_not_exists } ->
+      if Catalog.table t.cat name <> None then begin
+        if not if_not_exists then sql_error "table %s already exists" name
+      end
+      else begin
+        capture_table t name;
+        Catalog.add_table t.cat (Storage.create (Schema.table name columns))
+      end;
+      empty_result
+  | Drop_table { name; if_exists } ->
+      if Catalog.table t.cat name = None then begin
+        if not if_exists then sql_error "unknown table %s" name
+      end
+      else begin
+        capture_table t name;
+        Catalog.remove_table t.cat name
+      end;
+      empty_result
+  | Truncate_table name ->
+      let tbl = find_table t name in
+      let ids = List.map fst (Storage.to_rows tbl) in
+      List.iter (fun id -> ignore (j_delete t tbl id)) ids;
+      empty_result
+  | Alter_table (name, action) ->
+      let tbl = find_table t name in
+      capture_table t name;
+      (match action with
+      | Rename_table n2 -> capture_table t n2
+      | _ -> ());
+      let sch = Storage.schema tbl in
+      (match action with
+      | Add_column c ->
+          let fresh =
+            { sch with Schema.tbl_columns = sch.Schema.tbl_columns @ [ c ] }
+          in
+          Storage.set_schema tbl fresh (fun row ->
+              Array.append row [| Value.Null |])
+      | Drop_column cname ->
+          let idx =
+            match Storage.column_index tbl cname with
+            | Some i -> i
+            | None -> sql_error "unknown column %s.%s" name cname
+          in
+          let fresh =
+            {
+              sch with
+              Schema.tbl_columns =
+                List.filteri (fun i _ -> i <> idx) sch.Schema.tbl_columns;
+            }
+          in
+          Storage.set_schema tbl fresh (fun row ->
+              Array.of_list
+                (List.filteri (fun i _ -> i <> idx) (Array.to_list row)))
+      | Rename_table n2 -> Catalog.rename_table t.cat name n2);
+      empty_result
+  | Create_view { name; query; or_replace } ->
+      if (not or_replace) && Catalog.view t.cat name <> None then
+        sql_error "view %s already exists" name;
+      capture_view t name;
+      Catalog.add_view t.cat name query;
+      empty_result
+  | Drop_view name ->
+      capture_view t name;
+      Catalog.remove_view t.cat name;
+      empty_result
+  | Create_index { name; table; columns } ->
+      capture_index t name None;
+      Catalog.add_index t.cat name (table, columns);
+      (match (Catalog.table t.cat table, columns) with
+      | Some tbl, col :: _ -> Storage.create_value_index tbl col
+      | _ -> ());
+      empty_result
+  | Drop_index { name; _ } ->
+      capture_index t name None;
+      Catalog.remove_index t.cat name;
+      empty_result
+  | Create_procedure { name; params; label; body } ->
+      capture_proc t name;
+      Catalog.add_procedure t.cat
+        {
+          Catalog.proc_name = name;
+          proc_params = params;
+          proc_label = label;
+          proc_body = body;
+        };
+      empty_result
+  | Drop_procedure name ->
+      capture_proc t name;
+      Catalog.remove_procedure t.cat name;
+      empty_result
+  | Create_trigger { name; timing; event; table; body } ->
+      capture_trigger t name;
+      Catalog.add_trigger t.cat
+        {
+          Catalog.trig_name = name;
+          trig_timing = timing;
+          trig_event = event;
+          trig_table = table;
+          trig_body = body;
+        };
+      empty_result
+  | Drop_trigger name ->
+      capture_trigger t name;
+      Catalog.remove_trigger t.cat name;
+      empty_result
+
+(* ------------------------------------------------------------------ *)
+(* Top-level entry points                                               *)
+(* ------------------------------------------------------------------ *)
+
+let begin_statement t nondet =
+  t.journal <- [];
+  t.nondet_in <- nondet;
+  t.nondet_out <- [];
+  t.written <- [];
+  t.rows_written <- 0
+
+let exec ?app_txn ?(nondet = []) t stmt =
+  begin_statement t nondet;
+  Uv_util.Clock.charge_rtt t.clock ();
+  t.sim_time <- t.sim_time + 1;
+  match
+    try exec_stmt t (empty_env ()) stmt
+    with Failure msg -> sql_error "%s" msg
+  with
+  | r ->
+      let written_hashes =
+        List.rev_map (fun name -> (name, table_hash t name)) t.written
+      in
+      let entry =
+        {
+          Log.index = Log.length t.log + 1;
+          stmt;
+          sql = Printer.stmt_compact stmt;
+          nondet = List.rev t.nondet_out;
+          rows_written = t.rows_written;
+          written_hashes;
+          undo = t.journal;
+          app_txn;
+        }
+      in
+      Log.append t.log entry;
+      { r with rows_written = t.rows_written }
+  | exception ((Sql_error _ | Signal_raised _) as exn) ->
+      undo_journal t;
+      raise exn
+
+let exec_sql ?app_txn ?nondet t sql = exec ?app_txn ?nondet t (Parser.parse_stmt sql)
+
+let exec_script t sql = List.map (fun s -> exec t s) (Parser.parse_script sql)
+
+let query t sel =
+  begin_statement t [];
+  run_select t (empty_env ()) sel
+
+let query_sql t sql =
+  match Parser.parse_stmt sql with
+  | Select sel -> query t sel
+  | _ -> sql_error "query_sql expects a SELECT"

@@ -1,0 +1,95 @@
+(** The SQL execution engine.
+
+    A self-contained, in-memory relational engine covering the SQL surface
+    of Table A: DDL, DML, views (including updatable views), stored
+    procedures with control flow, triggers, transactions, and built-in
+    functions — plus the bookkeeping Ultraverse's retroactive plugin needs:
+    a committed-statement log with recorded non-determinism, per-table
+    incremental hashes, and a round-trip cost clock.
+
+    Concurrency model: statements execute atomically in commit order (the
+    paper's replay likewise serializes commits; parallelism is modelled by
+    the scheduler in [Uv_retroactive]). A failed statement (SIGNAL or
+    runtime error) is rolled back completely and not logged.
+
+    Constraints: PRIMARY KEY uniqueness and NOT NULL are always enforced;
+    single-column UNIQUE constraints likewise; FOREIGN KEYs only when the
+    engine is created with [~enforce_fk:true] (the workloads rely on
+    MySQL's default of application-managed integrity).
+
+    Dialect extensions beyond MySQL's surface: [ROWCOUNT((SELECT ...))]
+    evaluates the subquery and returns its row count — the transpiler
+    emits it where MySQL would need a COUNT over a derived table. *)
+
+open Uv_sql
+
+exception Sql_error of string
+(** Runtime error (unknown table, type error, ...). The offending
+    statement's effects are rolled back before this escapes [exec]. *)
+
+exception Signal_raised of string
+(** A procedure executed [SIGNAL SQLSTATE 's']. Effects rolled back. *)
+
+type result = {
+  columns : string list;
+  rows : Value.t array list;
+  rows_written : int;
+}
+
+val empty_result : result
+
+type t
+
+val create : ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> unit -> t
+(** Fresh engine with an empty database. [seed] fixes the RAND() stream;
+    [rtt_ms] the simulated client-server round trip; [enforce_fk]
+    (default false) enables FOREIGN KEY existence checks on insert. *)
+
+val of_catalog :
+  ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> ?log:Log.t -> Catalog.t -> t
+(** Engine over an existing catalog *by reference* (the what-if engine's
+    temporary database). Mutations are visible through the catalog.
+    [log] seeds the committed history (scenario universes carry their
+    merged logs); new commits append to it. *)
+
+val catalog : t -> Catalog.t
+val log : t -> Log.t
+val clock : t -> Uv_util.Clock.t
+
+val exec : ?app_txn:string -> ?nondet:Value.t list -> t -> Ast.stmt -> result
+(** Execute one top-level client statement: charges one round trip,
+    appends a log entry on success. [~nondet] forces recorded values for
+    RAND()/NOW()/AUTO_INCREMENT draws in order (retroactive replay);
+    draws beyond the list fall back to fresh values (retroactively *added*
+    queries, §4.4). [~app_txn] tags the entry with the application-level
+    transaction that issued it. *)
+
+val exec_sql : ?app_txn:string -> ?nondet:Value.t list -> t -> string -> result
+(** [exec] after parsing. *)
+
+val exec_script : t -> string -> result list
+
+val query : t -> Ast.select -> result
+(** Evaluate a SELECT without logging it or charging a round trip (used
+    internally and by tests to inspect state). *)
+
+val query_sql : t -> string -> result
+
+val table_hash : t -> string -> int64
+(** Raises [Sql_error] for an unknown table. *)
+
+val db_hash : t -> int64
+
+val snapshot : t -> Catalog.t
+
+val restore : t -> Catalog.t -> unit
+(** Replace the live database with a deep copy of the snapshot. The log
+    is left untouched (callers manage log truncation). *)
+
+val reset_log : t -> unit
+
+val set_sim_time : t -> int -> unit
+(** Set the logical NOW() clock (seconds). Each statement advances it by
+    one second. *)
+
+val memory_bytes : t -> int

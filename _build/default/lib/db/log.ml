@@ -1,0 +1,119 @@
+open Uv_sql
+
+type undo =
+  | U_row_insert of string * int
+  | U_row_delete of string * int * Value.t array
+  | U_row_update of string * int * Value.t array * Value.t array
+  | U_table_def of string * Storage.t option
+  | U_view_def of string * Ast.select option
+  | U_proc_def of string * Catalog.procedure option
+  | U_trigger_def of string * Catalog.trigger option
+  | U_index_def of string * (string * string list) option
+
+type entry = {
+  index : int;
+  stmt : Ast.stmt;
+  sql : string;
+  nondet : Value.t list;
+  rows_written : int;
+  written_hashes : (string * int64) list;
+  undo : undo list;
+  app_txn : string option;
+}
+
+let apply_undo cat undos =
+  List.iter
+    (fun u ->
+      match u with
+      | U_row_insert (table, rowid) -> (
+          match Catalog.table cat table with
+          | Some tbl -> ( try ignore (Storage.delete tbl rowid) with Not_found -> ())
+          | None -> ())
+      | U_row_delete (table, rowid, row) -> (
+          match Catalog.table cat table with
+          | Some tbl -> Storage.insert_with_rowid tbl rowid row
+          | None -> ())
+      | U_row_update (table, rowid, before, after) -> (
+          match Catalog.table cat table with
+          | Some tbl -> (
+              match Storage.get tbl rowid with
+              | None -> ()
+              | Some current ->
+                  let n = Array.length current in
+                  let fresh = Array.copy current in
+                  for i = 0 to n - 1 do
+                    if
+                      i < Array.length before
+                      && i < Array.length after
+                      && Value.serialize before.(i) <> Value.serialize after.(i)
+                    then fresh.(i) <- before.(i)
+                  done;
+                  ignore (Storage.update tbl rowid fresh))
+          | None -> ())
+      | U_table_def (name, prior) -> (
+          Catalog.remove_table cat name;
+          match prior with
+          | Some tbl -> Catalog.add_table cat (Storage.copy tbl)
+          | None -> ())
+      | U_view_def (name, prior) -> (
+          Catalog.remove_view cat name;
+          match prior with Some v -> Catalog.add_view cat name v | None -> ())
+      | U_proc_def (name, prior) -> (
+          Catalog.remove_procedure cat name;
+          match prior with Some p -> Catalog.add_procedure cat p | None -> ())
+      | U_trigger_def (name, prior) -> (
+          Catalog.remove_trigger cat name;
+          match prior with Some tr -> Catalog.add_trigger cat tr | None -> ())
+      | U_index_def (name, prior) -> (
+          Catalog.remove_index cat name;
+          match prior with Some i -> Catalog.add_index cat name i | None -> ()))
+    undos
+
+type t = { mutable items : entry array; mutable len : int }
+
+let create () = { items = [||]; len = 0 }
+
+let append t e =
+  if t.len = Array.length t.items then begin
+    let cap = max 16 (2 * Array.length t.items) in
+    let fresh = Array.make cap e in
+    Array.blit t.items 0 fresh 0 t.len;
+    t.items <- fresh
+  end;
+  t.items.(t.len) <- e;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let entry t i =
+  if i < 1 || i > t.len then invalid_arg "Log.entry: index out of range";
+  t.items.(i - 1)
+
+let entries t = Array.to_list (Array.sub t.items 0 t.len)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.items.(i)
+  done
+
+let to_array t = Array.sub t.items 0 t.len
+
+let copy t = { items = Array.copy t.items; len = t.len }
+
+let truncate t n = if n < t.len then t.len <- max 0 n
+
+(* A MySQL statement-format binlog event: 19-byte common header, 13-byte
+   query-event post-header, and ~40 bytes of status variables, database
+   name and checksum alongside the statement text. *)
+let binlog_bytes e = 19 + 13 + 40 + String.length e.sql
+
+(* Ultraverse's own record: commit index (4), a small R/W-set digest
+   (the paper reports 12-110 bytes/query), nondet values, and one 8-byte
+   hash per written table. *)
+let uv_log_bytes e =
+  let nondet = List.fold_left (fun a v -> a + String.length (Value.serialize v)) 0 e.nondet in
+  4
+  + (8 * List.length e.written_hashes)
+  + nondet
+  + (match e.app_txn with Some s -> String.length s | None -> 0)
+  + 8

@@ -1,0 +1,81 @@
+(** Committed-statement log (the engine's "binary log").
+
+    One entry per committed top-level statement, carrying everything the
+    retroactive plugin needs: the statement AST, the recorded
+    non-deterministic draws (RAND/NOW/AUTO_INCREMENT — replayed verbatim,
+    §4.4 "Replaying Non-determinism"), the post-commit hash of every table
+    the statement wrote (consumed by the Hash-jumper), and the
+    application-level transaction tag emitted by the augmented application
+    code (§3, Figure 3). *)
+
+open Uv_sql
+
+type undo =
+  | U_row_insert of string * int
+      (** the statement inserted (table, rowid): undo deletes it *)
+  | U_row_delete of string * int * Value.t array
+      (** the statement deleted this row image: undo re-inserts it *)
+  | U_row_update of string * int * Value.t array * Value.t array
+      (** (table, rowid, before, after) images of an updated row. Undo
+          restores only the cells the statement changed (before <> after)
+          so that independent later writes to *other* columns of the same
+          row survive selective rollback — matching the column-granular
+          dependency rules. *)
+  | U_table_def of string * Storage.t option
+      (** full table state before a DDL statement touched it
+          ([None] = table did not exist) *)
+  | U_view_def of string * Ast.select option
+  | U_proc_def of string * Catalog.procedure option
+  | U_trigger_def of string * Catalog.trigger option
+  | U_index_def of string * (string * string list) option
+
+type entry = {
+  index : int;  (** commit order, 1-based *)
+  stmt : Ast.stmt;
+  sql : string;  (** rendered statement, as a binlog would store it *)
+  nondet : Value.t list;  (** draws in evaluation order *)
+  rows_written : int;
+  written_hashes : (string * int64) list;
+      (** post-commit hash of each written table *)
+  undo : undo list;
+      (** row-level inverse operations, most recent change first — the
+          binlog-row-format before-images that make selective rollback
+          (§4.4 rollback option (i)) possible *)
+  app_txn : string option;  (** application-level transaction name *)
+}
+
+val apply_undo : Catalog.t -> undo list -> unit
+(** Apply one entry's inverse operations (already ordered most recent
+    first) against a catalog. Entries must be undone in reverse commit
+    order. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> entry -> unit
+
+val length : t -> int
+
+val entry : t -> int -> entry
+(** [entry log i] with [i] the 1-based commit index. *)
+
+val entries : t -> entry list
+(** In commit order. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val to_array : t -> entry array
+
+val copy : t -> t
+
+val truncate : t -> int -> unit
+(** [truncate log n] keeps the first [n] entries. *)
+
+val binlog_bytes : entry -> int
+(** Size this entry would occupy in a MySQL-style statement binlog
+    (rendered SQL + fixed header), for Table 7(b). *)
+
+val uv_log_bytes : entry -> int
+(** Size of Ultraverse's *additional* per-query log record: the R/W-set
+    digests and table hashes, not the SQL text (Table 7(b)). *)

@@ -1,0 +1,157 @@
+type record = {
+  r_sql : string;
+  r_nondet : Uv_sql.Value.t list;
+  r_app_txn : string option;
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let header = "ULOGv1"
+
+(* ------------------------------------------------------------------ *)
+(* Escaping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' ->
+        if !i + 1 >= n then corrupt "dangling escape";
+        (match s.[!i + 1] with
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | c -> corrupt "unknown escape \\%c" c);
+        incr i
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let records_of_log log =
+  List.map
+    (fun (e : Log.entry) ->
+      { r_sql = e.Log.sql; r_nondet = e.Log.nondet; r_app_txn = e.Log.app_txn })
+    (Log.entries log)
+
+let print records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf ("Q " ^ escape r.r_sql ^ "\n");
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            ("N " ^ escape (Uv_sql.Value.serialize v) ^ "\n"))
+        r.r_nondet;
+      (match r.r_app_txn with
+      | Some tag -> Buffer.add_string buf ("A " ^ escape tag ^ "\n")
+      | None -> ());
+      Buffer.add_string buf "E\n")
+    records;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  match lines with
+  | [] -> corrupt "empty file"
+  | h :: rest ->
+      if h <> header then corrupt "bad header %S (want %S)" h header;
+      let records = ref [] in
+      (* fields of the record currently being assembled *)
+      let sql = ref None and nondet = ref [] and tag = ref None in
+      let flush () =
+        match !sql with
+        | None -> corrupt "record end without a Q line"
+        | Some q ->
+            records :=
+              { r_sql = q; r_nondet = List.rev !nondet; r_app_txn = !tag }
+              :: !records;
+            sql := None;
+            nondet := [];
+            tag := None
+      in
+      List.iter
+        (fun line ->
+          let payload () =
+            if String.length line < 2 then corrupt "short line %S" line
+            else unescape (String.sub line 2 (String.length line - 2))
+          in
+          match line.[0] with
+          | 'Q' ->
+              if !sql <> None then corrupt "Q line inside an open record";
+              sql := Some (payload ())
+          | 'N' ->
+              if !sql = None then corrupt "N line outside a record";
+              let v =
+                try Uv_sql.Value.deserialize (payload ())
+                with Failure m -> corrupt "bad value: %s" m
+              in
+              nondet := v :: !nondet
+          | 'A' ->
+              if !sql = None then corrupt "A line outside a record";
+              tag := Some (payload ())
+          | 'E' -> flush ()
+          | c -> corrupt "unknown line tag %C" c)
+        rest;
+      if !sql <> None then corrupt "truncated final record";
+      List.rev !records
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let save log ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print (records_of_log log)))
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let replay eng records =
+  List.iter
+    (fun r ->
+      try
+        ignore
+          (Engine.exec_sql ?app_txn:r.r_app_txn ~nondet:r.r_nondet eng r.r_sql)
+      with Engine.Sql_error _ | Engine.Signal_raised _ -> ())
+    records

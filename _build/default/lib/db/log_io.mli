@@ -1,0 +1,62 @@
+(** Durable form of the statement log.
+
+    Ultraverse's recovery story (paper §4.1) keeps the query history —
+    statement text, per-statement non-determinism and the application-
+    transaction tag — on disk next to the DBMS redo log; everything else
+    (row images, undo records, table hashes) is re-derivable by replay.
+    This module implements that redo-log persistence: a line-oriented,
+    versioned, 8-bit-clean text format.
+
+    {2 Format}
+
+    {v
+    ULOGv1
+    Q <escaped sql>
+    N <escaped serialized value>     (zero or more, in draw order)
+    A <escaped tag>                  (optional)
+    E
+    v}
+
+    Escaping maps backslash, newline and carriage return to
+    [\\], [\n], [\r] so records survive any statement text. *)
+
+type record = {
+  r_sql : string;  (** statement text, parseable by {!Uv_sql.Parser} *)
+  r_nondet : Uv_sql.Value.t list;
+      (** recorded RAND / NOW / AUTO_INCREMENT draws, in order *)
+  r_app_txn : string option;  (** application-transaction tag *)
+}
+
+exception Corrupt of string
+(** Raised by {!parse} and {!load} on a malformed or truncated file. *)
+
+val records_of_log : Log.t -> record list
+(** Project the durable fields out of an in-memory log. *)
+
+val print : record list -> string
+(** Render records in the ULOGv1 format. *)
+
+val parse : string -> record list
+(** Inverse of {!print}.
+    @raise Corrupt on bad input. *)
+
+val save : Log.t -> path:string -> unit
+(** [save log ~path] writes the log's durable projection to [path]. *)
+
+val load : path:string -> record list
+(** Read a file written by {!save}.
+    @raise Corrupt on bad input. *)
+
+val replay : Engine.t -> record list -> unit
+(** Re-execute the records in order against [engine], forcing each
+    statement's recorded non-determinism, rebuilding the full in-memory
+    log (undo images, table hashes, row counts) as a side effect.
+    Statements that fail with a SQL error are skipped, mirroring how the
+    original execution logged only successful statements. *)
+
+val escape : string -> string
+(** Exposed for property tests. *)
+
+val unescape : string -> string
+(** Inverse of {!escape}.
+    @raise Corrupt on a dangling escape. *)

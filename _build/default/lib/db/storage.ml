@@ -1,0 +1,242 @@
+open Uv_sql
+
+type rowid = int
+
+type t = {
+  mutable schema : Schema.table;
+  rows : (rowid, Value.t array) Hashtbl.t;
+  mutable next_rowid : rowid;
+  mutable next_auto : int;
+  mutable hash : Uv_util.Table_hash.t;
+  (* column name -> (serialized value -> rowids) *)
+  mutable indexes : (string * (string, rowid list) Hashtbl.t) list;
+}
+
+let create schema =
+  let t =
+    {
+      schema;
+      rows = Hashtbl.create 64;
+      next_rowid = 1;
+      next_auto = 1;
+      hash = Uv_util.Table_hash.create ();
+      indexes = [];
+    }
+  in
+  (* primary-key and UNIQUE columns get an index out of the box *)
+  List.iter
+    (fun c ->
+      t.indexes <-
+        (c, Hashtbl.create 64) :: t.indexes)
+    (Schema.primary_key_columns schema @ Schema.unique_columns schema);
+  t
+
+let schema t = t.schema
+
+let name t = t.schema.Schema.tbl_name
+
+let row_count t = Hashtbl.length t.rows
+
+let hash t = Uv_util.Table_hash.value t.hash
+
+let next_auto_value t = t.next_auto
+
+let take_auto_value t =
+  let v = t.next_auto in
+  t.next_auto <- v + 1;
+  v
+
+let bump_auto_value t v = if v >= t.next_auto then t.next_auto <- v + 1
+
+(* Index keys must respect SQL equality classes: Int 5, Float 5.0,
+   Bool-ish 1/0 and the numeric string "5" all compare equal under
+   [Value.compare_sql], so they must share a key. *)
+let index_key v =
+  let num f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      "N" ^ string_of_int (int_of_float f)
+    else "N" ^ Printf.sprintf "%h" f
+  in
+  match v with
+  | Value.Int i -> "N" ^ string_of_int i
+  | Value.Float f -> num f
+  | Value.Bool b -> num (if b then 1.0 else 0.0)
+  | Value.Null -> "\x00null"
+  | Value.Text s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> num f
+      | None -> "T" ^ s)
+
+let index_add t row id =
+  List.iter
+    (fun (col, tbl) ->
+      match
+        let rec find i = function
+          | [] -> None
+          | (c : Schema.column) :: rest ->
+              if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
+        in
+        find 0 t.schema.Schema.tbl_columns
+      with
+      | Some ci when ci < Array.length row ->
+          let k = index_key row.(ci) in
+          Hashtbl.replace tbl k
+            (id :: Option.value (Hashtbl.find_opt tbl k) ~default:[])
+      | _ -> ())
+    t.indexes
+
+let index_remove t row id =
+  List.iter
+    (fun (col, tbl) ->
+      match
+        let rec find i = function
+          | [] -> None
+          | (c : Schema.column) :: rest ->
+              if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
+        in
+        find 0 t.schema.Schema.tbl_columns
+      with
+      | Some ci when ci < Array.length row ->
+          let k = index_key row.(ci) in
+          let remaining =
+            List.filter (fun x -> x <> id)
+              (Option.value (Hashtbl.find_opt tbl k) ~default:[])
+          in
+          if remaining = [] then Hashtbl.remove tbl k
+          else Hashtbl.replace tbl k remaining
+      | _ -> ())
+    t.indexes
+
+let serialize_row t row =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf t.schema.Schema.tbl_name;
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Value.serialize v))
+    row;
+  Buffer.contents buf
+
+let insert t row =
+  let id = t.next_rowid in
+  t.next_rowid <- id + 1;
+  Hashtbl.replace t.rows id row;
+  Uv_util.Table_hash.add_row t.hash (serialize_row t row);
+  index_add t row id;
+  id
+
+let insert_with_rowid t id row =
+  Hashtbl.replace t.rows id row;
+  if id >= t.next_rowid then t.next_rowid <- id + 1;
+  Uv_util.Table_hash.add_row t.hash (serialize_row t row);
+  index_add t row id
+
+let delete t id =
+  match Hashtbl.find_opt t.rows id with
+  | None -> raise Not_found
+  | Some row ->
+      Hashtbl.remove t.rows id;
+      Uv_util.Table_hash.remove_row t.hash (serialize_row t row);
+      index_remove t row id;
+      row
+
+let update t id row =
+  match Hashtbl.find_opt t.rows id with
+  | None -> raise Not_found
+  | Some before ->
+      Uv_util.Table_hash.remove_row t.hash (serialize_row t before);
+      Hashtbl.replace t.rows id row;
+      Uv_util.Table_hash.add_row t.hash (serialize_row t row);
+      index_remove t before id;
+      index_add t row id;
+      before
+
+let get t id = Hashtbl.find_opt t.rows id
+
+let iter t f = Hashtbl.iter (fun id row -> f id row) t.rows
+
+let fold t ~init ~f = Hashtbl.fold (fun id row acc -> f acc id row) t.rows init
+
+let to_rows t =
+  let all = Hashtbl.fold (fun id row acc -> (id, row) :: acc) t.rows [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let copy t =
+  {
+    schema = t.schema;
+    rows = Hashtbl.copy t.rows;
+    next_rowid = t.next_rowid;
+    next_auto = t.next_auto;
+    hash = Uv_util.Table_hash.copy t.hash;
+    indexes = List.map (fun (c, tbl) -> (c, Hashtbl.copy tbl)) t.indexes;
+  }
+
+let set_schema t schema remap =
+  let fresh = Uv_util.Table_hash.create () in
+  let updates = Hashtbl.fold (fun id row acc -> (id, remap row) :: acc) t.rows [] in
+  t.schema <- schema;
+  (* drop indexes on columns that no longer exist, rebuild the rest *)
+  let kept =
+    List.filter
+      (fun (c, _) ->
+        List.exists
+          (fun (col : Schema.column) -> String.equal col.Schema.col_name c)
+          schema.Schema.tbl_columns)
+      t.indexes
+  in
+  t.indexes <- List.map (fun (c, _) -> (c, Hashtbl.create 64)) kept;
+  List.iter
+    (fun (id, row) ->
+      Hashtbl.replace t.rows id row;
+      Uv_util.Table_hash.add_row fresh (serialize_row t row);
+      index_add t row id)
+    updates;
+  t.hash <- fresh
+
+let create_value_index t col =
+  if not (List.mem_assoc col t.indexes) then begin
+    let tbl = Hashtbl.create 64 in
+    t.indexes <- (col, tbl) :: t.indexes;
+    (* populate only the new index: re-adding rows through [index_add]
+       would duplicate their entries in every pre-existing index *)
+    let rec find i = function
+      | [] -> None
+      | (c : Schema.column) :: rest ->
+          if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
+    in
+    match find 0 t.schema.Schema.tbl_columns with
+    | None -> ()
+    | Some ci ->
+        Hashtbl.iter
+          (fun id row ->
+            if ci < Array.length row then
+              let k = index_key row.(ci) in
+              Hashtbl.replace tbl k
+                (id :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+          t.rows
+  end
+
+let indexed_lookup t col v =
+  match List.assoc_opt col t.indexes with
+  | None -> None
+  | Some tbl -> Some (Option.value (Hashtbl.find_opt tbl (index_key v)) ~default:[])
+
+let indexed_columns t = List.map fst t.indexes
+
+let column_index t col =
+  let rec find i = function
+    | [] -> None
+    | (c : Schema.column) :: rest ->
+        if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
+  in
+  find 0 t.schema.Schema.tbl_columns
+
+let memory_bytes t =
+  let word = Sys.word_size / 8 in
+  let per_value v =
+    match v with
+    | Value.Text s -> (3 * word) + String.length s
+    | _ -> 3 * word
+  in
+  fold t ~init:256 ~f:(fun acc _ row ->
+      acc + (4 * word) + Array.fold_left (fun a v -> a + per_value v) 0 row)

@@ -1,0 +1,85 @@
+(** Physical table storage.
+
+    Rows are value arrays in schema column order, keyed by an internal
+    rowid. Every mutation keeps the table's incremental hash (§4.5) in
+    sync: inserts add the row digest, deletes subtract it, updates do
+    both — so reading the hash is O(1) at any commit point. *)
+
+open Uv_sql
+
+type rowid = int
+
+type t
+
+val create : Schema.table -> t
+
+val schema : t -> Schema.table
+
+val name : t -> string
+
+val row_count : t -> int
+
+val hash : t -> int64
+(** Current incremental table hash (§4.5). *)
+
+val next_auto_value : t -> int
+(** Peek the next AUTO_INCREMENT value without consuming it. *)
+
+val take_auto_value : t -> int
+(** Consume and return the next AUTO_INCREMENT value. *)
+
+val bump_auto_value : t -> int -> unit
+(** Raise the counter to at least [v + 1] (applied when an explicit value
+    is inserted into an AUTO_INCREMENT column). *)
+
+val insert : t -> Value.t array -> rowid
+(** Insert a row (already coerced and padded to schema width). *)
+
+val insert_with_rowid : t -> rowid -> Value.t array -> unit
+(** Re-insert a row under a known rowid (undo of a delete). *)
+
+val delete : t -> rowid -> Value.t array
+(** Remove a row; returns the removed image. Raises [Not_found]. *)
+
+val update : t -> rowid -> Value.t array -> Value.t array
+(** Replace a row; returns the before-image. Raises [Not_found]. *)
+
+val get : t -> rowid -> Value.t array option
+
+val iter : t -> (rowid -> Value.t array -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> rowid -> Value.t array -> 'a) -> 'a
+
+val to_rows : t -> (rowid * Value.t array) list
+(** Rows in ascending rowid order (deterministic iteration). *)
+
+val copy : t -> t
+(** Deep copy (snapshotting). *)
+
+val set_schema : t -> Schema.table -> (Value.t array -> Value.t array) -> unit
+(** [set_schema t schema remap] rewrites every row through [remap]
+    (ALTER TABLE), refreshing the hash. *)
+
+val column_index : t -> string -> int option
+
+val index_key : Uv_sql.Value.t -> string
+(** Canonical SQL-equality-class key: [Int 5], [Float 5.0] and ["5"] all
+    map to the same key. Used by the hash indexes and by DISTINCT
+    aggregate deduplication. *)
+
+val create_value_index : t -> string -> unit
+(** Build (or rebuild) a hash index on the column; maintained by every
+    subsequent mutation. Primary-key columns are indexed automatically
+    at [create]. *)
+
+val indexed_lookup : t -> string -> Value.t -> rowid list option
+(** [Some rowids] holding exactly the rows whose column equals the value
+    when the column is indexed; [None] when it is not. *)
+
+val indexed_columns : t -> string list
+
+val serialize_row : t -> Value.t array -> string
+(** Canonical row serialization used for hashing. *)
+
+val memory_bytes : t -> int
+(** Rough live size, for the RAM-overhead benches. *)

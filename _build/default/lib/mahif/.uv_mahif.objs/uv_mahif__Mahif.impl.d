@@ -1,0 +1,1 @@
+lib/mahif/mahif.ml: Array Ast Hashtbl List Option Printf Schema String Sys Uv_db Uv_sql Uv_util Value

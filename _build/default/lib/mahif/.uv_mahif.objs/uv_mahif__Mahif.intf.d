@@ -1,0 +1,1 @@
+lib/mahif/mahif.mli: Uv_db

@@ -1,0 +1,273 @@
+open Uv_sql
+open Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Symbolic numeric expression, conditioned on statement presence. Trees
+   are deliberately unshared: Mahif's published prototype materialises
+   per-tuple expressions the same way, which is what drives its
+   super-linear growth. *)
+type sexpr =
+  | Const of float
+  | Gite of bexpr * sexpr * sexpr
+      (** if the guard holds in the hypothetical history then _ else _ *)
+  | Add of sexpr * sexpr
+  | Sub of sexpr * sexpr
+  | Mul of sexpr * sexpr
+
+(* Symbolic boolean for tuple presence / predicate match. *)
+and bexpr =
+  | Btrue
+  | Bpresent of int  (** statement i is in the history *)
+  | Band of bexpr * bexpr
+  | Bor of bexpr * bexpr
+  | Bnot of bexpr
+  | Beq of sexpr * sexpr
+
+type tuple = { cells : sexpr array; alive : bexpr }
+
+type table_state = {
+  columns : string list;
+  mutable tuples : tuple list; (* newest first *)
+}
+
+type t = {
+  tables : (string, table_state) Hashtbl.t;
+  mutable nstmts : int;
+}
+
+let create () = { tables = Hashtbl.create 8; nstmts = 0 }
+
+let statement_count t = t.nstmts
+
+(* ------------------------------------------------------------------ *)
+(* Value handling: Mahif's fragment is numeric-only                     *)
+(* ------------------------------------------------------------------ *)
+
+let num_of_value = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Bool b -> if b then 1.0 else 0.0
+  | Value.Null -> 0.0
+  | Value.Text s -> unsupported "string attribute %S" s
+
+let rec expr_to_sexpr (e : expr) : sexpr =
+  match e with
+  | Lit v -> Const (num_of_value v)
+  | Binop (Ast.Add, a, b) -> Add (expr_to_sexpr a, expr_to_sexpr b)
+  | Binop (Ast.Sub, a, b) -> Sub (expr_to_sexpr a, expr_to_sexpr b)
+  | Binop (Ast.Mul, a, b) -> Mul (expr_to_sexpr a, expr_to_sexpr b)
+  | Fun_call (("RAND" | "NOW" | "CURTIME" | "CURRENT_TIMESTAMP"), _) ->
+      unsupported "native SQL API"
+  | Col _ -> unsupported "column reference in value position"
+  | _ -> unsupported "expression beyond Mahif's fragment"
+
+(* WHERE: conjunction of column = numeric-literal equalities *)
+let rec where_to_pred columns (w : expr) : sexpr array -> bexpr =
+  match w with
+  | Binop (Ast.And, a, b) ->
+      let pa = where_to_pred columns a and pb = where_to_pred columns b in
+      fun cells -> Band (pa cells, pb cells)
+  | Binop (Ast.Or, a, b) ->
+      let pa = where_to_pred columns a and pb = where_to_pred columns b in
+      fun cells -> Bor (pa cells, pb cells)
+  | Binop (Ast.Eq, Col (_, c), (Lit _ as l)) | Binop (Ast.Eq, (Lit _ as l), Col (_, c))
+    -> (
+      match List.find_index (String.equal c) columns with
+      | Some idx ->
+          let v = expr_to_sexpr l in
+          fun cells -> Beq (cells.(idx), v)
+      | None -> unsupported "unknown column %s" c)
+  | _ -> unsupported "predicate beyond Mahif's fragment"
+
+(* ------------------------------------------------------------------ *)
+(* History ingestion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table_of t name columns =
+  match Hashtbl.find_opt t.tables name with
+  | Some ts -> ts
+  | None ->
+      let ts = { columns; tuples = [] } in
+      Hashtbl.replace t.tables name ts;
+      ts
+
+let rec copy_sexpr = function
+  | Const f -> Const f
+  | Gite (g, a, b) -> Gite (copy_bexpr g, copy_sexpr a, copy_sexpr b)
+  | Add (a, b) -> Add (copy_sexpr a, copy_sexpr b)
+  | Sub (a, b) -> Sub (copy_sexpr a, copy_sexpr b)
+  | Mul (a, b) -> Mul (copy_sexpr a, copy_sexpr b)
+
+and copy_bexpr = function
+  | Btrue -> Btrue
+  | Bpresent i -> Bpresent i
+  | Band (a, b) -> Band (copy_bexpr a, copy_bexpr b)
+  | Bor (a, b) -> Bor (copy_bexpr a, copy_bexpr b)
+  | Bnot a -> Bnot (copy_bexpr a)
+  | Beq (a, b) -> Beq (copy_sexpr a, copy_sexpr b)
+
+let ingest_stmt t idx (s : stmt) =
+  match s with
+  | Create_table { name; columns; _ } ->
+      List.iter
+        (fun (c : Schema.column) ->
+          match c.Schema.col_ty with
+          | Value.Ttext -> unsupported "string column %s.%s" name c.Schema.col_name
+          | _ -> ())
+        columns;
+      ignore
+        (table_of t name (List.map (fun (c : Schema.column) -> c.Schema.col_name) columns))
+  | Insert_select _ -> unsupported "INSERT ... SELECT"
+  | Insert { table; columns; values } ->
+      let ts =
+        match Hashtbl.find_opt t.tables table with
+        | Some ts -> ts
+        | None -> unsupported "insert into unknown table %s" table
+      in
+      List.iter
+        (fun row ->
+          let cells = Array.make (List.length ts.columns) (Const 0.0) in
+          let cols = Option.value columns ~default:ts.columns in
+          List.iteri
+            (fun i c ->
+              match List.find_index (String.equal c) ts.columns with
+              | Some cidx -> (
+                  match List.nth_opt row i with
+                  | Some e -> cells.(cidx) <- expr_to_sexpr e
+                  | None -> ())
+              | None -> unsupported "unknown column %s" c)
+            cols;
+          ts.tuples <- { cells; alive = Bpresent idx } :: ts.tuples)
+        values
+  | Update { table; assigns; where } ->
+      let ts =
+        match Hashtbl.find_opt t.tables table with
+        | Some ts -> ts
+        | None -> unsupported "update on unknown table %s" table
+      in
+      let pred =
+        match where with
+        | Some w -> where_to_pred ts.columns w
+        | None -> fun _ -> Btrue
+      in
+      ts.tuples <-
+        List.map
+          (fun tu ->
+            let applies = Band (Bpresent idx, Band (tu.alive, pred tu.cells)) in
+            let cells =
+              Array.mapi
+                (fun cidx cell ->
+                  let cname = List.nth ts.columns cidx in
+                  match List.assoc_opt cname assigns with
+                  | Some e ->
+                      (* if this statement applies to this tuple, the new
+                         value, else the old — the per-statement wrapping
+                         that blows up the state *)
+                      Gite (copy_bexpr applies, expr_to_sexpr e, copy_sexpr cell)
+                  | None -> cell)
+                tu.cells
+            in
+            { tu with cells })
+          ts.tuples
+  | Delete { table; where } ->
+      let ts =
+        match Hashtbl.find_opt t.tables table with
+        | Some ts -> ts
+        | None -> unsupported "delete on unknown table %s" table
+      in
+      let pred =
+        match where with
+        | Some w -> where_to_pred ts.columns w
+        | None -> fun _ -> Btrue
+      in
+      ts.tuples <-
+        List.map
+          (fun tu ->
+            {
+              tu with
+              alive = Band (tu.alive, Bnot (Band (Bpresent idx, pred tu.cells)));
+            })
+          ts.tuples
+  | Select _ -> () (* read-only: no state effect *)
+  | Call _ | Transaction _ | Create_procedure _ ->
+      unsupported "TRANSACTION/PROCEDURE semantics"
+  | Create_trigger _ | Drop_trigger _ -> unsupported "triggers"
+  | Drop_table _ | Truncate_table _ | Alter_table _ | Create_view _ | Drop_view _
+  | Create_index _ | Drop_index _ | Drop_procedure _ ->
+      unsupported "DDL beyond CREATE TABLE"
+
+let load_history t log =
+  Uv_db.Log.iter log (fun e ->
+      t.nstmts <- t.nstmts + 1;
+      ingest_stmt t e.Uv_db.Log.index e.Uv_db.Log.stmt)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_sexpr removed = function
+  | Const f -> f
+  | Gite (g, a, b) ->
+      if eval_bexpr removed g then eval_sexpr removed a else eval_sexpr removed b
+  | Add (a, b) -> eval_sexpr removed a +. eval_sexpr removed b
+  | Sub (a, b) -> eval_sexpr removed a -. eval_sexpr removed b
+  | Mul (a, b) -> eval_sexpr removed a *. eval_sexpr removed b
+
+and eval_bexpr removed = function
+  | Btrue -> true
+  | Bpresent i -> i <> removed
+  | Band (a, b) -> eval_bexpr removed a && eval_bexpr removed b
+  | Bor (a, b) -> eval_bexpr removed a || eval_bexpr removed b
+  | Bnot a -> not (eval_bexpr removed a)
+  | Beq (a, b) -> eval_sexpr removed a = eval_sexpr removed b
+
+let whatif_remove t tau =
+  Hashtbl.fold
+    (fun name ts acc ->
+      let h = Uv_util.Table_hash.create () in
+      List.iter
+        (fun tu ->
+          if eval_bexpr tau tu.alive then begin
+            let row =
+              String.concat "|"
+                (Array.to_list
+                   (Array.map
+                      (fun c -> Printf.sprintf "%.6g" (eval_sexpr tau c))
+                      tu.cells))
+            in
+            Uv_util.Table_hash.add_row h (name ^ "|" ^ row)
+          end)
+        ts.tuples;
+      (name, Uv_util.Table_hash.value h) :: acc)
+    t.tables []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec sexpr_nodes = function
+  | Const _ -> 1
+  | Gite (g, a, b) -> 1 + bexpr_nodes g + sexpr_nodes a + sexpr_nodes b
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> 1 + sexpr_nodes a + sexpr_nodes b
+
+and bexpr_nodes = function
+  | Btrue | Bpresent _ -> 1
+  | Band (a, b) | Bor (a, b) -> 1 + bexpr_nodes a + bexpr_nodes b
+  | Bnot a -> 1 + bexpr_nodes a
+  | Beq (a, b) -> 1 + sexpr_nodes a + sexpr_nodes b
+
+let expression_nodes t =
+  Hashtbl.fold
+    (fun _ ts acc ->
+      List.fold_left
+        (fun acc tu ->
+          acc + bexpr_nodes tu.alive
+          + Array.fold_left (fun a c -> a + sexpr_nodes c) 0 tu.cells)
+        acc ts.tuples)
+    t.tables 0
+
+let memory_bytes t = expression_nodes t * 4 * (Sys.word_size / 8)

@@ -1,0 +1,42 @@
+(** Re-implementation of Mahif, the historical what-if DBMS baseline
+    (Campbell, Arab & Glavic, SIGMOD'22; the paper's §5.1 comparison).
+
+    Mahif answers a historical what-if query (remove/change a past
+    update) by *symbolic* means: every tuple's cells — and its presence —
+    become expressions conditioned on which history statements are in
+    effect. Removing statement τ is then "evaluate everything with
+    present(τ) = false". The defining behaviours the comparison depends
+    on are reproduced faithfully:
+
+    - per-statement symbolic wrapping makes expression size, memory and
+      evaluation time grow super-linearly with history length (the paper
+      measured hours and >100 GB at 2000 queries);
+    - string/date attributes are unsupported ([Unsupported], the paper's
+      "×" for SEATS);
+    - TRANSACTION / CALL / DDL are unsupported — Mahif sees only the four
+      basic statement types on plain tables, which is exactly why it
+      cannot preserve application-level semantics (§5.1 Correctness). *)
+
+exception Unsupported of string
+
+type t
+
+val create : unit -> t
+
+val load_history : t -> Uv_db.Log.t -> unit
+(** Ingest a committed history. Raises {!Unsupported} on statements or
+    values outside Mahif's fragment. *)
+
+val statement_count : t -> int
+
+val whatif_remove : t -> int -> (string * int64) list
+(** [whatif_remove t tau] evaluates the alternate universe in which the
+    statement at commit index [tau] never ran. Returns per-table hashes
+    of the resulting final state. *)
+
+val expression_nodes : t -> int
+(** Total symbolic-expression DAG nodes currently held (the memory
+    driver behind Table 4(b)). *)
+
+val memory_bytes : t -> int
+(** Estimated resident bytes of the symbolic state. *)

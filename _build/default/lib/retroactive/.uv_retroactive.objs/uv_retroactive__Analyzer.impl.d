@@ -1,0 +1,1 @@
+lib/retroactive/analyzer.ml: Array Ast Buffer Hashtbl List Option Printf Queue Rowset Rwset Schema_view String Uv_db Uv_sql

@@ -1,0 +1,1 @@
+lib/retroactive/analyzer.mli: Ast Rowset Rwset Schema_view Uv_db Uv_sql

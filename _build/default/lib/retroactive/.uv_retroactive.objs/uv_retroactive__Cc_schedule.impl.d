@@ -1,0 +1,1 @@
+lib/retroactive/cc_schedule.ml: Array Format Fun List Rowset Rwset Schema_view String Uv_db

@@ -1,0 +1,1 @@
+lib/retroactive/cc_schedule.mli: Format Rowset Uv_db Uv_sql

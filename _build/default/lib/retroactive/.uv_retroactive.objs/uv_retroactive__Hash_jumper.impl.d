@@ -1,0 +1,1 @@
+lib/retroactive/hash_jumper.ml: Array Hashtbl Int64 List Option Uv_db Uv_util

@@ -1,0 +1,1 @@
+lib/retroactive/hash_jumper.mli: Uv_db

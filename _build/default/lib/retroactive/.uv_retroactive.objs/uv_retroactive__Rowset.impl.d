@@ -1,0 +1,1 @@
+lib/retroactive/rowset.ml: Array Ast Format Hashtbl List Option Schema Schema_view Set String Uv_db Uv_sql Value

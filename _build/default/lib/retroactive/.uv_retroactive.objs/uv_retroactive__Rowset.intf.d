@@ -1,0 +1,1 @@
+lib/retroactive/rowset.mli: Ast Format Schema_view Set Uv_db Uv_sql Value

@@ -1,0 +1,1 @@
+lib/retroactive/rwset.ml: Ast Format List Option Schema Schema_view Set String Uv_db Uv_sql

@@ -1,0 +1,1 @@
+lib/retroactive/rwset.mli: Ast Format Schema_view Set Uv_sql

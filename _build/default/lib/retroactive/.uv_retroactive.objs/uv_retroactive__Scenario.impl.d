@@ -1,0 +1,1 @@
+lib/retroactive/scenario.ml: Analyzer Format List Printf Rowset String Uv_db Whatif

@@ -1,0 +1,1 @@
+lib/retroactive/scenario.mli: Analyzer Ast Format Rowset Uv_db Uv_sql Whatif

@@ -1,0 +1,1 @@
+lib/retroactive/scheduler.ml: Array Hashtbl List Uv_util

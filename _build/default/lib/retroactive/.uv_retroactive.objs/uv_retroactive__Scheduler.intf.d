@@ -1,0 +1,1 @@
+lib/retroactive/scheduler.mli:

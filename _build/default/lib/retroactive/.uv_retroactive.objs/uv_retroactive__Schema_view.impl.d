@@ -1,0 +1,1 @@
+lib/retroactive/schema_view.ml: Ast Hashtbl List Option Schema String Uv_db Uv_sql

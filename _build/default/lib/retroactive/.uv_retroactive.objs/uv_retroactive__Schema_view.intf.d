@@ -1,0 +1,1 @@
+lib/retroactive/schema_view.mli: Ast Schema Uv_db Uv_sql

@@ -1,0 +1,1 @@
+lib/retroactive/whatif.ml: Analyzer Array Hash_jumper Hashtbl Int64 List Option Queue Scheduler String Uv_db Uv_util

@@ -1,0 +1,1 @@
+lib/retroactive/whatif.mli: Analyzer Ast Uv_db Uv_sql

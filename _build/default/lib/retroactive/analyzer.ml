@@ -1,0 +1,802 @@
+open Uv_sql
+
+type op = Add of Ast.stmt | Remove | Change of Ast.stmt
+
+type target = { tau : int; op : op }
+
+type mode = Col_only | Row_only | Cell
+
+type info = {
+  index : int;
+  stmt : Ast.stmt;
+  rw : Rwset.rw;
+  rows : Rowset.entry_rows;
+  app_txn : string option;
+}
+
+(* Per-table row-value index over the first RI dimension. *)
+type tindex = {
+  mutable any_r : int list;
+  mutable any_w : int list;
+  by_val_r : (string, int list ref) Hashtbl.t;
+  by_val_w : (string, int list ref) Hashtbl.t;
+}
+
+type t = {
+  infos : info array;
+  config : Rowset.config;
+  row_state : Rowset.t;
+  log : Uv_db.Log.t;
+  base : Uv_db.Catalog.t option;
+  base_hashes : (string * int64) list;
+  readers_by_col : (string, int list ref) Hashtbl.t; (* ascending indexes *)
+  writers_by_col : (string, int list ref) Hashtbl.t;
+  row_index : (string, tindex) Hashtbl.t;
+  groups : (string, int list) Hashtbl.t; (* app_txn tag -> entry indexes *)
+}
+
+let length t = Array.length t.infos
+
+let info t i = t.infos.(i - 1)
+
+let is_schema_key k = String.length k > 3 && String.sub k 0 3 = "_S."
+
+let tables_of_rw (rw : Rwset.rw) =
+  let of_set s =
+    Rwset.Colset.fold
+      (fun key acc ->
+        if is_schema_key key then acc
+        else
+          match String.index_opt key '.' with
+          | Some i -> String.sub key 0 i :: acc
+          | None -> acc)
+      s []
+  in
+  List.sort_uniq compare (of_set rw.Rwset.r @ of_set rw.Rwset.w)
+
+let schema_view_fold ?base log upto =
+  let sv =
+    match base with
+    | Some cat -> Schema_view.of_catalog cat
+    | None -> Schema_view.create ()
+  in
+  let i = ref 1 in
+  Uv_db.Log.iter log (fun e ->
+      if !i < upto then Schema_view.apply sv e.Uv_db.Log.stmt;
+      incr i);
+  sv
+
+let analyze ?(config = Rowset.default_config) ?base log =
+  let n = Uv_db.Log.length log in
+  let sv =
+    match base with
+    | Some cat -> Schema_view.of_catalog cat
+    | None -> Schema_view.create ()
+  in
+  let base_hashes =
+    match base with
+    | Some cat ->
+        List.map
+          (fun (name, tbl) -> (name, Uv_db.Storage.hash tbl))
+          (Uv_db.Catalog.tables cat)
+    | None -> []
+  in
+  let row_state = Rowset.create config in
+  Option.iter (Rowset.seed_aliases row_state) base;
+  let infos =
+    Array.init n (fun i ->
+        let e = Uv_db.Log.entry log (i + 1) in
+        let rw = Rwset.of_stmt sv e.Uv_db.Log.stmt in
+        let rows =
+          Rowset.of_entry row_state sv e.Uv_db.Log.stmt e.Uv_db.Log.nondet
+        in
+        Schema_view.apply sv e.Uv_db.Log.stmt;
+        {
+          index = i + 1;
+          stmt = e.Uv_db.Log.stmt;
+          rw;
+          rows;
+          app_txn = e.Uv_db.Log.app_txn;
+        })
+  in
+  let readers_by_col = Hashtbl.create 256 in
+  let writers_by_col = Hashtbl.create 256 in
+  let row_index = Hashtbl.create 64 in
+  let groups = Hashtbl.create 256 in
+  let bucket tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.replace tbl key b;
+        b
+  in
+  let tindex_for table =
+    match Hashtbl.find_opt row_index table with
+    | Some ti -> ti
+    | None ->
+        let ti =
+          {
+            any_r = [];
+            any_w = [];
+            by_val_r = Hashtbl.create 64;
+            by_val_w = Hashtbl.create 64;
+          }
+        in
+        Hashtbl.replace row_index table ti;
+        ti
+  in
+  (* Build indexes; values canonicalised with the final merge state so two
+     merged RI values land in the same bucket. *)
+  Array.iter
+    (fun inf ->
+      let i = inf.index in
+      Rwset.Colset.iter
+        (fun c -> (bucket readers_by_col c) := i :: !(bucket readers_by_col c))
+        inf.rw.Rwset.r;
+      Rwset.Colset.iter
+        (fun c -> (bucket writers_by_col c) := i :: !(bucket writers_by_col c))
+        inf.rw.Rwset.w;
+      List.iter
+        (fun (table, access) ->
+          let ti = tindex_for table in
+          if Array.length access > 0 then begin
+            let dim0 =
+              match List.assoc_opt table config.Rowset.ri_columns with
+              | Some (d :: _) -> d
+              | _ -> "#0"
+            in
+            (match access.(0).Rowset.dr with
+            | Rowset.Any -> ti.any_r <- i :: ti.any_r
+            | Rowset.Vals s ->
+                Rowset.Vset.iter
+                  (fun v ->
+                    let cv = Rowset.canonical row_state table dim0 v in
+                    let b = bucket ti.by_val_r cv in
+                    b := i :: !b)
+                  s);
+            match access.(0).Rowset.dw with
+            | Rowset.Any -> ti.any_w <- i :: ti.any_w
+            | Rowset.Vals s ->
+                Rowset.Vset.iter
+                  (fun v ->
+                    let cv = Rowset.canonical row_state table dim0 v in
+                    let b = bucket ti.by_val_w cv in
+                    b := i :: !b)
+                  s
+          end)
+        inf.rows;
+      match inf.app_txn with
+      | Some tag ->
+          Hashtbl.replace groups tag
+            (i :: Option.value (Hashtbl.find_opt groups tag) ~default:[])
+      | None -> ())
+    infos;
+  (* buckets were built in descending order; reverse to ascending *)
+  Hashtbl.iter (fun _ b -> b := List.rev !b) readers_by_col;
+  Hashtbl.iter (fun _ b -> b := List.rev !b) writers_by_col;
+  Hashtbl.iter
+    (fun _ ti ->
+      ti.any_r <- List.rev ti.any_r;
+      ti.any_w <- List.rev ti.any_w;
+      Hashtbl.iter (fun _ b -> b := List.rev !b) ti.by_val_r;
+      Hashtbl.iter (fun _ b -> b := List.rev !b) ti.by_val_w)
+    row_index;
+  {
+    infos;
+    config;
+    row_state;
+    log;
+    base;
+    base_hashes;
+    readers_by_col;
+    writers_by_col;
+    row_index;
+    groups;
+  }
+
+let base_hashes t = t.base_hashes
+
+let schema_view_at t upto = schema_view_fold ?base:t.base t.log upto
+
+let target_rw t (target : target) =
+  let sv = schema_view_at t target.tau in
+  let row_probe = Rowset.create t.config in
+  (* Use a throwaway row state seeded with the analysed alias/merge maps:
+     extraction must see aliases learned before τ. We reuse the final
+     state — a superset, which can only widen the target's sets. *)
+  ignore row_probe;
+  let sets_of stmt =
+    ( Rwset.of_stmt sv stmt,
+      Rowset.of_entry t.row_state sv stmt [] )
+  in
+  let old_sets () =
+    if target.tau >= 1 && target.tau <= Array.length t.infos then
+      let inf = t.infos.(target.tau - 1) in
+      (inf.rw, inf.rows)
+    else (Rwset.empty, [])
+  in
+  match target.op with
+  | Add stmt -> sets_of stmt
+  | Remove -> old_sets ()
+  | Change stmt ->
+      let rw_new, rows_new = sets_of stmt in
+      let rw_old, rows_old = old_sets () in
+      (Rwset.union rw_new rw_old, Rowset.merge_rows rows_new rows_old)
+
+type replay_set = {
+  members : bool array;
+  member_count : int;
+  mutated : string list;
+  consulted : string list;
+  col_only_count : int;
+  row_only_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Closure computation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Generic worklist closure. [make_joins ~live] builds a candidate
+   generator; candidates for which [live] is false (already joined,
+   excluded, before τ, or never joinable) may be skipped and pruned from
+   the generator's internal state, so buckets shrink as the closure
+   grows. Candidates with an empty column-wise write set never join
+   (read-only queries, Prop E.7) unless they belong to a transaction
+   group: a grouped read is an application-level data flow into the rest
+   of its transaction (Table A's BEGIN TRANSACTION union rule). *)
+let compute_closure ?via t ~tau ~exclude ~seed_rw ~seed_rows ~make_joins
+    ~expand =
+  let n = Array.length t.infos in
+  let members = Array.make n false in
+  let excluded = Array.make (n + 2) false in
+  List.iter (fun i -> if i >= 1 && i <= n then excluded.(i) <- true) exclude;
+  let joinable =
+    Array.init n (fun j ->
+        let inf = t.infos.(j) in
+        (not (Rwset.Colset.is_empty inf.rw.Rwset.w)) || expand (j + 1) <> [])
+  in
+  let live i =
+    i >= tau && i <= n && (not excluded.(i)) && joinable.(i - 1)
+    && not members.(i - 1)
+  in
+  (* provenance: [via] records, for each joined entry, which member's sets
+     pulled it in (0 = the retroactive target itself) — negative when it
+     joined as a transaction-group mate of that member *)
+  let record i src =
+    match via with Some a -> a.(i - 1) <- src | None -> ()
+  in
+  let queue = Queue.create () in
+  let join src i =
+    if live i then begin
+      members.(i - 1) <- true;
+      record i src;
+      Queue.push i queue;
+      List.iter
+        (fun g ->
+          if live g then begin
+            members.(g - 1) <- true;
+            record g (-i);
+            Queue.push g queue
+          end)
+        (expand i)
+    end
+  in
+  let joins_of = make_joins ~live in
+  (* seed from the target's sets (pseudo-member just before τ) *)
+  List.iter (join 0) (joins_of ~min_idx:(tau - 1) seed_rw seed_rows);
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let inf = t.infos.(i - 1) in
+    List.iter (join i) (joins_of ~min_idx:i inf.rw inf.rows)
+  done;
+  members
+
+(* Shared pruning cache for one closure run: each bucket is copied on
+   first use and re-filtered on every scan, dropping entries that can
+   never join again ([live] is monotone towards false). Offered
+   candidates are the live entries past [min_idx]; live entries at or
+   before [min_idx] are kept for members seeded with a lower bound. *)
+let scan_pruned cache ~live ~min_idx ~offer key fetch =
+  let entries =
+    match Hashtbl.find_opt cache key with Some l -> l | None -> fetch ()
+  in
+  let kept =
+    List.filter
+      (fun i ->
+        if live i then begin
+          if i > min_idx then offer i;
+          true
+        end
+        else false)
+      entries
+  in
+  Hashtbl.replace cache key kept
+
+(* Column-wise candidates conflicting with (rw): later readers of written
+   columns, later writers of read columns, later writers of written
+   columns. *)
+let col_joins t ~live =
+  let cache : (string, int list) Hashtbl.t = Hashtbl.create 256 in
+  fun ~min_idx (rw : Rwset.rw) (_rows : Rowset.entry_rows) ->
+    let acc = ref [] in
+    let offer i = acc := i :: !acc in
+    let scan kind tbl c =
+      scan_pruned cache ~live ~min_idx ~offer
+        (kind ^ c)
+        (fun () ->
+          match Hashtbl.find_opt tbl c with None -> [] | Some b -> !b)
+    in
+    Rwset.Colset.iter
+      (fun c ->
+        scan "r|" t.readers_by_col c;
+        scan "w|" t.writers_by_col c)
+      rw.Rwset.w;
+    Rwset.Colset.iter (fun c -> scan "w|" t.writers_by_col c) rw.Rwset.r;
+    !acc
+
+(* Row-wise candidates: value-indexed over each table's first dimension,
+   verified with the full multi-dimensional overlap; plus schema-key
+   ([_S.*]) conflicts, which are wildcard rows per Table B. *)
+let row_joins t ~live =
+  let cache : (string, int list) Hashtbl.t = Hashtbl.create 256 in
+  fun ~min_idx (rw : Rwset.rw) (rows : Rowset.entry_rows) ->
+    let acc = ref [] in
+    let offer i = acc := i :: !acc in
+    let scan key fetch = scan_pruned cache ~live ~min_idx ~offer key fetch in
+    (* _S pseudo-rows: wildcard, so any column-level _S conflict is a row
+       conflict too *)
+    let scan_schema kind tbl c =
+      if is_schema_key c then
+        scan (kind ^ c) (fun () ->
+            match Hashtbl.find_opt tbl c with None -> [] | Some b -> !b)
+    in
+    Rwset.Colset.iter
+      (fun c ->
+        scan_schema "Sr|" t.readers_by_col c;
+        scan_schema "Sw|" t.writers_by_col c)
+      rw.Rwset.w;
+    Rwset.Colset.iter (fun c -> scan_schema "Sw|" t.writers_by_col c) rw.Rwset.r;
+    (* table rows *)
+    List.iter
+      (fun (table, access) ->
+        match Hashtbl.find_opt t.row_index table with
+        | None -> ()
+        | Some ti ->
+            if Array.length access > 0 then begin
+              let dim0 =
+                match List.assoc_opt table t.config.Rowset.ri_columns with
+                | Some (d :: _) -> d
+                | _ -> "#0"
+              in
+              let candidates_of rs kind (any_bucket : int list)
+                  (val_buckets : (string, int list ref) Hashtbl.t) =
+                let any_key = "A" ^ kind ^ table in
+                match rs with
+                | Rowset.Any ->
+                    scan any_key (fun () -> any_bucket);
+                    (* all value buckets of this table, flattened once *)
+                    scan
+                      ("*" ^ kind ^ table)
+                      (fun () ->
+                        Hashtbl.fold
+                          (fun _ b acc -> List.rev_append !b acc)
+                          val_buckets [])
+                | Rowset.Vals s ->
+                    scan any_key (fun () -> any_bucket);
+                    Rowset.Vset.iter
+                      (fun v ->
+                        let cv = Rowset.canonical t.row_state table dim0 v in
+                        scan
+                          ("V" ^ kind ^ table ^ "|" ^ cv)
+                          (fun () ->
+                            match Hashtbl.find_opt val_buckets cv with
+                            | Some b -> !b
+                            | None -> []))
+                      s
+              in
+              (* my writes vs their reads and writes *)
+              candidates_of access.(0).Rowset.dw "r|" ti.any_r ti.by_val_r;
+              candidates_of access.(0).Rowset.dw "w|" ti.any_w ti.by_val_w;
+              (* my reads vs their writes *)
+              candidates_of access.(0).Rowset.dr "w|" ti.any_w ti.by_val_w
+            end)
+      rows;
+    (* verify candidates with the full multi-dimensional predicate *)
+    List.filter
+      (fun i ->
+        let inf = t.infos.(i - 1) in
+        (* either a schema-key conflict... *)
+        let schema_conflict =
+          let inter a b = not (Rwset.Colset.is_empty (Rwset.Colset.inter a b)) in
+          let sk s = Rwset.Colset.filter is_schema_key s in
+          inter (sk rw.Rwset.w) (sk inf.rw.Rwset.r)
+          || inter (sk rw.Rwset.r) (sk inf.rw.Rwset.w)
+          || inter (sk rw.Rwset.w) (sk inf.rw.Rwset.w)
+        in
+        schema_conflict
+        || List.exists
+             (fun (table, access) ->
+               match List.assoc_opt table inf.rows with
+               | None -> false
+               | Some their ->
+                   Rowset.overlaps t.row_state table access `Any_conflict their)
+             rows)
+      (List.sort_uniq compare !acc)
+
+
+let group_expand t i =
+  match t.infos.(i - 1).app_txn with
+  | None -> []
+  | Some tag -> Option.value (Hashtbl.find_opt t.groups tag) ~default:[]
+
+let count_members m = Array.fold_left (fun a b -> if b then a + 1 else a) 0 m
+
+let classify t ~members (target : target) seed_rw =
+  let add_tables_of rwsets =
+    let real_of s =
+      Rwset.Colset.fold
+        (fun key acc ->
+          if is_schema_key key then
+            (* mutated schema object: the object itself must be restored *)
+            String.sub key 3 (String.length key - 3) :: acc
+          else
+            match String.index_opt key '.' with
+            | Some i -> String.sub key 0 i :: acc
+            | None -> acc)
+        s []
+    in
+    real_of rwsets
+  in
+  let written = ref [] and read = ref [] in
+  let take (rw : Rwset.rw) =
+    written := add_tables_of rw.Rwset.w @ !written;
+    read := add_tables_of rw.Rwset.r @ !read
+  in
+  take seed_rw;
+  Array.iteri (fun i inf -> if members.(i) then take inf.rw) t.infos;
+  ignore target;
+  let mutated = List.sort_uniq compare !written in
+  let consulted =
+    List.filter (fun x -> not (List.mem x mutated)) (List.sort_uniq compare !read)
+  in
+  (mutated, consulted)
+
+let target_group_indexes t tau =
+  if tau >= 1 && tau <= Array.length t.infos then
+    match t.infos.(tau - 1).app_txn with
+    | Some tag -> Option.value (Hashtbl.find_opt t.groups tag) ~default:[ tau ]
+    | None -> [ tau ]
+  else [ tau ]
+
+let replay_set_gen ?via_col ?via_row ~grouped ~expand ?(mode = Cell) t
+    (target : target) =
+  let seed_rw, seed_rows = target_rw t target in
+  (* at transaction granularity the retroactive target is the whole
+     application-level transaction: seed with the union of its entries'
+     sets, and keep all of them out of the replay set *)
+  let group_indexes = if grouped then target_group_indexes t target.tau else [ target.tau ] in
+  let seed_rw, seed_rows =
+    if grouped then
+      List.fold_left
+        (fun (rw, rows) i ->
+          let inf = t.infos.(i - 1) in
+          (Rwset.union rw inf.rw, Rowset.merge_rows rows inf.rows))
+        (seed_rw, seed_rows) group_indexes
+    else (seed_rw, seed_rows)
+  in
+  let exclude =
+    match target.op with
+    | Remove | Change _ -> group_indexes
+    | Add _ -> []
+  in
+  (* a removed query is never re-executed, so its reads need no consulted
+     reconstruction: only its writes seed the closure *)
+  let seed_rw, seed_rows =
+    match target.op with
+    | Remove ->
+        ( { seed_rw with Rwset.r = Rwset.Colset.empty },
+          List.map
+            (fun (table, access) ->
+              ( table,
+                Array.map
+                  (fun (d : Rowset.dim_access) ->
+                    { d with Rowset.dr = Rowset.Vals Rowset.Vset.empty })
+                  access ))
+            seed_rows )
+    | Add _ | Change _ -> (seed_rw, seed_rows)
+  in
+  let run ?via make_joins =
+    compute_closure ?via t ~tau:target.tau ~exclude ~seed_rw ~seed_rows
+      ~make_joins ~expand:(expand t)
+  in
+  let col_members () = run ?via:via_col (col_joins t) in
+  let row_members () = run ?via:via_row (row_joins t) in
+  let members, col_count, row_count =
+    match mode with
+    | Col_only ->
+        let m = col_members () in
+        (m, count_members m, -1)
+    | Row_only ->
+        let m = row_members () in
+        (m, -1, count_members m)
+    | Cell ->
+        let mc = col_members () in
+        let mr = row_members () in
+        let m = Array.map2 ( && ) mc mr in
+        (m, count_members mc, count_members mr)
+  in
+  let mutated, consulted = classify t ~members target seed_rw in
+  {
+    members;
+    member_count = count_members members;
+    mutated;
+    consulted;
+    col_only_count = col_count;
+    row_only_count = row_count;
+  }
+
+let replay_set ?mode t target =
+  replay_set_gen ~grouped:false ~expand:(fun _ _ -> []) ?mode t target
+
+let replay_set_grouped ?mode t target =
+  replay_set_gen ~grouped:true ~expand:group_expand ?mode t target
+
+(* ------------------------------------------------------------------ *)
+(* Provenance: why did each member join?                                *)
+(* ------------------------------------------------------------------ *)
+
+type provenance = {
+  p_col_via : int option;
+      (* parent in the column-wise closure: Some 0 = the target's own
+         sets; Some v = entry v's sets; Some (-v) = joined as a
+         transaction-group mate of entry v *)
+  p_row_via : int option; (* ditto, row-wise closure *)
+}
+
+let replay_set_explained ?mode ?(grouped = false) t (target : target) =
+  let n = Array.length t.infos in
+  let via_col = Array.make n min_int and via_row = Array.make n min_int in
+  let rs =
+    if grouped then
+      replay_set_gen ~via_col ~via_row ~grouped:true ~expand:group_expand ?mode
+        t target
+    else
+      replay_set_gen ~via_col ~via_row ~grouped:false
+        ~expand:(fun _ _ -> [])
+        ?mode t target
+  in
+  let decode a j = if a.(j) = min_int then None else Some a.(j) in
+  let prov =
+    Array.init n (fun j ->
+        if rs.members.(j) then
+          Some { p_col_via = decode via_col j; p_row_via = decode via_row j }
+        else None)
+  in
+  (rs, prov)
+
+let shared_columns (a : Rwset.rw) (b : Rwset.rw) =
+  let inter x y = Rwset.Colset.elements (Rwset.Colset.inter x y) in
+  List.sort_uniq compare
+    (inter a.Rwset.w b.Rwset.r @ inter a.Rwset.r b.Rwset.w
+    @ inter a.Rwset.w b.Rwset.w)
+
+let shared_tables t (a : Rowset.entry_rows) (b : Rowset.entry_rows) =
+  List.filter_map
+    (fun (table, access) ->
+      match List.assoc_opt table b with
+      | None -> None
+      | Some their ->
+          if Rowset.overlaps t.row_state table access `Any_conflict their then
+            let values =
+              if Array.length access = 0 || Array.length their = 0 then []
+              else
+                let vals_of (d : Rowset.dim_access) =
+                  match (d.Rowset.dr, d.Rowset.dw) with
+                  | Rowset.Any, _ | _, Rowset.Any -> None
+                  | Rowset.Vals r, Rowset.Vals w ->
+                      Some (Rowset.Vset.union r w)
+                in
+                match (vals_of access.(0), vals_of their.(0)) with
+                | Some mine, Some theirs ->
+                    Rowset.Vset.elements (Rowset.Vset.inter mine theirs)
+                | _ -> [ "*" ]
+            in
+            Some (table, values)
+          else None)
+    a
+
+let conflict_columns t i j = shared_columns t.infos.(i - 1).rw t.infos.(j - 1).rw
+
+let conflict_tables t i j =
+  shared_tables t t.infos.(i - 1).rows t.infos.(j - 1).rows
+
+let explain_report ?mode ?grouped t (target : target) =
+  let rs, prov = replay_set_explained ?mode ?grouped t target in
+  let seed_rw, seed_rows = target_rw t target in
+  let rw_of v = if v = 0 then seed_rw else t.infos.(v - 1).rw in
+  let rows_of v = if v = 0 then seed_rows else t.infos.(v - 1).rows in
+  let name v = if v = 0 then "the target" else Printf.sprintf "#%d" v in
+  let lines = ref [] in
+  Array.iteri
+    (fun j p ->
+      match p with
+      | None -> ()
+      | Some p ->
+          let i = j + 1 in
+          let inf = t.infos.(j) in
+          let describe = function
+            | None -> []
+            | Some v when v < 0 ->
+                [ Printf.sprintf "group-mate of #%d" (-v) ]
+            | Some v ->
+                let cols = shared_columns (rw_of v) inf.rw in
+                let tabs = shared_tables t (rows_of v) inf.rows in
+                let col_part =
+                  if cols = [] then []
+                  else
+                    [ Printf.sprintf "columns {%s} with %s"
+                        (String.concat ", " cols) (name v) ]
+                in
+                let row_part =
+                  if tabs = [] then []
+                  else
+                    [ Printf.sprintf "rows {%s} with %s"
+                        (String.concat ", "
+                           (List.map
+                              (fun (tbl, vs) ->
+                                if vs = [] then tbl
+                                else tbl ^ "=" ^ String.concat "|" vs)
+                              tabs))
+                        (name v) ]
+                in
+                col_part @ row_part
+          in
+          let reasons =
+            List.sort_uniq compare (describe p.p_col_via @ describe p.p_row_via)
+          in
+          let reasons = if reasons = [] then [ "seeded" ] else reasons in
+          lines :=
+            Printf.sprintf "#%d %s <- %s" i
+              (Uv_sql.Ast.stmt_kind inf.stmt)
+              (String.concat "; " reasons)
+            :: !lines)
+    prov;
+  (rs, List.rev !lines)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler edges                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dependency_edges t ~members =
+  (* Conflict edges at cell granularity: accesses are bucketed by
+     (column, first-RI-dimension value), so row-disjoint chains stay
+     parallel (the source of TPC-C's and SEATS' replay parallelism,
+     §4.4). A wildcard access uses the per-column "*" bucket, which
+     conflicts with every value bucket of that column. *)
+  let edges = ref [] in
+  (* (column, value-token) -> recent accessors, most recent first *)
+  let buckets : (string * string, (int * bool) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  (* column -> all value tokens seen (for wildcard scans) *)
+  let tokens_of_col : (string, string list ref) Hashtbl.t = Hashtbl.create 256 in
+  let bucket key =
+    match Hashtbl.find_opt buckets key with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.replace buckets key b;
+        let c, v = key in
+        let toks =
+          match Hashtbl.find_opt tokens_of_col c with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace tokens_of_col c l;
+              l
+        in
+        if not (List.mem v !toks) then toks := v :: !toks;
+        b
+  in
+  let scan_limit = 64 in
+  let table_of_col c =
+    match String.index_opt c '.' with
+    | Some i -> String.sub c 0 i
+    | None -> c
+  in
+  (* value tokens of an entry for the table a column belongs to *)
+  let tokens_for inf table ~write =
+    match List.assoc_opt table inf.rows with
+    | Some access when Array.length access > 0 -> (
+        let rs = if write then access.(0).Rowset.dw else access.(0).Rowset.dr in
+        match rs with
+        | Rowset.Any -> [ "*" ]
+        | Rowset.Vals s ->
+            if Rowset.Vset.is_empty s then []
+            else
+              let dim0 =
+                match List.assoc_opt table t.config.Rowset.ri_columns with
+                | Some (d :: _) -> d
+                | _ -> "#0"
+              in
+              Rowset.Vset.fold
+                (fun v acc -> Rowset.canonical t.row_state table dim0 v :: acc)
+                s [])
+    | _ -> [ "*" ]
+  in
+  Array.iter
+    (fun inf ->
+      if members.(inf.index - 1) then begin
+        let i = inf.index in
+        let consider key ~i_writes =
+          match Hashtbl.find_opt buckets key with
+          | None -> ()
+          | Some accs ->
+              (* a write orders after every reader back to (and including)
+                 the previous writer; a read orders after the previous
+                 writer only — intermediate readers are no conflict *)
+              let rec scan k = function
+                | [] -> ()
+                | (j, _) :: rest when j = i -> scan k rest
+                | (j, j_wrote) :: rest ->
+                    if k >= scan_limit then edges := (i, j) :: !edges
+                    else if i_writes then begin
+                      edges := (i, j) :: !edges;
+                      if not j_wrote then scan (k + 1) rest
+                    end
+                    else if j_wrote then edges := (i, j) :: !edges
+                    else scan (k + 1) rest
+              in
+              scan 0 !accs
+        in
+        let touch c ~write =
+          let table = table_of_col c in
+          let toks = tokens_for inf table ~write in
+          List.iter
+            (fun v ->
+              (* conflict with same-value and wildcard buckets; a wildcard
+                 access conflicts with every bucket of the column *)
+              (if v = "*" then
+                 match Hashtbl.find_opt tokens_of_col c with
+                 | Some all -> List.iter (fun v' -> consider (c, v') ~i_writes:write) !all
+                 | None -> ()
+               else begin
+                 consider (c, v) ~i_writes:write;
+                 consider (c, "*") ~i_writes:write
+               end);
+              let b = bucket (c, v) in
+              b := (i, write) :: (if List.length !b > 2 * scan_limit then
+                                    List.filteri (fun k _ -> k < scan_limit) !b
+                                  else !b))
+            toks
+        in
+        Rwset.Colset.iter (fun c -> touch c ~write:false) inf.rw.Rwset.r;
+        Rwset.Colset.iter (fun c -> touch c ~write:true) inf.rw.Rwset.w
+      end)
+    t.infos;
+  List.sort_uniq compare !edges
+
+let to_dot t ~members =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph replay {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  Array.iteri
+    (fun i inf ->
+      if members.(i) then begin
+        let label =
+          let sql = Uv_sql.Printer.stmt_compact inf.stmt in
+          let sql =
+            if String.length sql > 48 then String.sub sql 0 45 ^ "..." else sql
+          in
+          String.concat "\\\"" (String.split_on_char '"' sql)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  q%d [label=\"Q%d: %s\"];\n" (i + 1) (i + 1) label)
+      end)
+    t.infos;
+  List.iter
+    (fun (later, earlier) ->
+      Buffer.add_string buf (Printf.sprintf "  q%d -> q%d;\n" later earlier))
+    (dependency_edges t ~members);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,123 @@
+(** The query analyzer: per-entry read/write sets, the query dependency
+    graph, and replay-set computation (§4.2–§4.4, §E).
+
+    Given a committed-statement log, [analyze] derives each entry's
+    column-wise and row-wise sets (maintaining the evolving schema view and
+    RI alias/merge state in commit order). A what-if request is a
+    {!target}; {!replay_set} computes the set 𝕀 of entries that must be
+    rolled back and replayed, as the closure of conflict with the target:
+
+    - an entry joins 𝕀 if it reads something a member (or the target)
+      wrote — Rule 1 dependence;
+    - an entry joins 𝕀 if it writes something a member read — the
+      consulted-table propositions (E.9, E.10);
+    - an entry joins 𝕀 if it writes something a member wrote — required
+      so that blind overwrites by non-members survive the replay (the
+      paper's replay arrows already treat write-write as a conflict,
+      §4.4).
+
+    Read-only entries (empty write set) never join 𝕀 (Prop E.7).
+    [`Cell] mode intersects the column-wise and row-wise closures
+    (Theorem E.20): 𝕀 = 𝕀c ∩ 𝕀r. *)
+
+open Uv_sql
+
+type op =
+  | Add of Ast.stmt  (** execute the new statement right before index τ *)
+  | Remove  (** delete the statement committed at τ *)
+  | Change of Ast.stmt  (** replace the statement at τ *)
+
+type target = { tau : int; op : op }
+
+type mode = Col_only | Row_only | Cell
+
+type info = {
+  index : int;
+  stmt : Ast.stmt;
+  rw : Rwset.rw;
+  rows : Rowset.entry_rows;
+  app_txn : string option;
+}
+
+type t
+
+val analyze :
+  ?config:Rowset.config -> ?base:Uv_db.Catalog.t -> Uv_db.Log.t -> t
+(** Scan the whole log once, building per-entry sets and the value
+    indexes used by replay-set computation. [base] is the catalog state
+    at the start of the history (the checkpoint the log grows from); it
+    seeds the schema view and the Hash-jumper's initial table hashes. *)
+
+val base_hashes : t -> (string * int64) list
+(** Per-table hashes at the start of the history (from [base]). *)
+
+val length : t -> int
+
+val info : t -> int -> info
+(** 1-based commit index. *)
+
+val schema_view_at : t -> int -> Schema_view.t
+(** Schema state just before the given commit index executes. *)
+
+val target_rw : t -> target -> Rwset.rw * Rowset.entry_rows
+(** Combined sets of the retroactive target (for [Change], the union of
+    the old and new statements' sets). *)
+
+type replay_set = {
+  members : bool array;  (** [members.(i-1)] — is entry [i] in 𝕀 *)
+  member_count : int;
+  mutated : string list;  (** tables written by 𝕀 ∪ {target} *)
+  consulted : string list;  (** tables read but not written *)
+  col_only_count : int;  (** |𝕀c| — for the ablation bench *)
+  row_only_count : int;  (** |𝕀r| *)
+}
+
+val replay_set : ?mode:mode -> t -> target -> replay_set
+
+val replay_set_grouped : ?mode:mode -> t -> target -> replay_set
+(** Transaction-granularity variant used by the non-transpiled (D)
+    system: entries sharing an [app_txn] tag join or stay out of 𝕀 as a
+    unit, and set propagation runs over the per-transaction unions. *)
+
+type provenance = {
+  p_col_via : int option;
+      (** parent in the column-wise closure: [Some 0] — pulled in directly
+          by the target's own sets; [Some v], [v > 0] — by entry [v]'s
+          sets; [Some (-v)] — joined as a transaction-group mate of entry
+          [v] (grouped mode only) *)
+  p_row_via : int option;  (** ditto for the row-wise closure *)
+}
+
+val replay_set_explained :
+  ?mode:mode -> ?grouped:bool -> t -> target -> replay_set * provenance option array
+(** The replay set plus, for each log entry (0-based array of length
+    [length t]), why it joined — [None] for non-members. Because the
+    cell-wise set is the intersection of two independently computed
+    closures (Theorem E.20), a member carries up to two parents; either
+    may itself be outside the final intersection. *)
+
+val conflict_columns : t -> int -> int -> string list
+(** Columns through which entries [i] and [j] conflict (W∩R ∪ R∩W ∪ W∩W
+    of their column-wise sets). Empty if they don't. *)
+
+val conflict_tables : t -> int -> int -> (string * string list) list
+(** Tables through which the row-wise sets of [i] and [j] overlap, each
+    with the shared first-dimension RI values (["*"] when either side is
+    a wildcard). *)
+
+val explain_report :
+  ?mode:mode -> ?grouped:bool -> t -> target -> replay_set * string list
+(** Human-readable provenance, one line per member:
+    ["#12 UPDATE <- columns {stock.qty} with #7; rows {stock=42} with #7"]. *)
+
+val dependency_edges : t -> members:bool array -> (int * int) list
+(** Conflict edges (n, m) with m < n among 𝕀 members, for the replay
+    scheduler: n must run after m. *)
+
+val tables_of_rw : Rwset.rw -> string list
+(** Real tables (not [_S] objects) appearing in a column set. *)
+
+val to_dot : t -> members:bool array -> string
+(** Graphviz rendering of the replay conflict graph over 𝕀 (Figure 6
+    style): nodes are member statements, edges point from each statement
+    to the earlier ones it must replay after. *)

@@ -1,0 +1,80 @@
+(** Row-wise read/write sets (§4.3, Appendix Table B).
+
+    Each table has one or more configured RI (row-identifier) columns —
+    dimensions. A statement's row-wise access per table is, per dimension,
+    either a concrete set of values or the wildcard [Any]. Two accesses to
+    the same table overlap iff *every* dimension overlaps (multi-dimensional
+    AND semantics); [Any] overlaps everything.
+
+    The extractor:
+    - pulls equality / IN constraints on RI columns out of WHERE clauses
+      (AND intersects, OR unions, anything else degrades to [Any]);
+    - resolves alias-column constraints through the alias map learned from
+      INSERTs (§4.3 "Alias RI Column");
+    - canonicalises values through the merge map maintained when an UPDATE
+      rewrites an RI value (§4.3 "Merging RI values");
+    - partially evaluates CALL/TRANSACTION bodies, binding procedure
+      parameters to the call's literal arguments and treating database
+      reads (SELECT INTO) as unknown — unknown RI expressions degrade to
+      [Any], matching the paper's "concretized at retroactive time or
+      wildcard" rule. *)
+
+open Uv_sql
+
+module Vset : Set.S with type elt = string
+(** Sets of serialized values. *)
+
+type riset = Any | Vals of Vset.t
+
+type dim_access = { dr : riset; dw : riset }
+
+type taccess = dim_access array
+(** One slot per configured RI dimension of the table. *)
+
+type entry_rows = (string * taccess) list
+(** Table name -> access. At most one element per table. *)
+
+type config = {
+  ri_columns : (string * string list) list;
+      (** table -> RI columns (dimensions). Tables not listed default to
+          their primary-key column, or a single always-[Any] dimension. *)
+  ri_aliases : (string * string * string) list;
+      (** (table, alias_column, ri_column) alias declarations (§D). *)
+}
+
+val default_config : config
+
+type t
+(** Mutable extraction state: alias maps and RI merge (union-find). *)
+
+val create : config -> t
+
+val seed_aliases : t -> Uv_db.Catalog.t -> unit
+(** Learn alias-column mappings from rows already in the database when
+    logging began (the checkpoint): for each declared (table, alias_col,
+    ri_col), map every existing row's alias value to its RI value. *)
+
+val ri_dims : t -> Schema_view.t -> string -> string list
+(** The RI dimensions used for a table. *)
+
+val merge_rows : entry_rows -> entry_rows -> entry_rows
+(** Per-table, per-dimension union of two accesses. *)
+
+val of_entry : t -> Schema_view.t -> Ast.stmt -> Value.t list -> entry_rows
+(** Row-wise access of one statement. The [Value.t list] is the entry's
+    recorded non-determinism (AUTO_INCREMENT keys are recovered from it).
+    This *also* updates alias and merge state, so entries must be fed in
+    commit order. *)
+
+val canonical : t -> string -> string -> string -> string
+(** [canonical t table dim v] resolves a serialized value through the
+    merge map. *)
+
+val overlaps : t -> string -> taccess -> [ `W_then_R | `Any_conflict ] ->
+  taccess -> bool
+(** [overlaps t table earlier kind later]: does the earlier access's write
+    set meet the later access's read set ([`W_then_R], the dependency
+    rule) — or do they conflict in any read-write/write-read/write-write
+    way ([`Any_conflict], the replay-scheduler rule)? *)
+
+val pp_access : Format.formatter -> taccess -> unit

@@ -1,0 +1,73 @@
+(** Scenario management: a tree of what-if universes (§6 "Managing Many
+    what-if Scenarios").
+
+    The root scenario is the real database. Branching applies a
+    retroactive target and yields a child scenario holding its own full
+    catalog and merged history, so children can be branched further, and
+    every universe stays independently queryable. Scenario names act as
+    the paper's "what-if tags" marking where a branch forked. *)
+
+open Uv_sql
+
+type t
+
+val root :
+  ?name:string ->
+  ?base:Uv_db.Catalog.t ->
+  ?ri_config:Rowset.config ->
+  Uv_db.Engine.t ->
+  t
+(** Wrap the live engine as the root universe. The engine is shared, not
+    copied: new regular commits extend the root. [base] is the checkpoint
+    the history grows from (inherited by every branch); [ri_config] the
+    row-identifier configuration used by branch analyses. *)
+
+val branch :
+  ?name:string ->
+  ?config:Whatif.config ->
+  t ->
+  Analyzer.target ->
+  t * Whatif.outcome
+(** Fork a child universe by applying the retroactive target to the
+    scenario's history. The child owns a deep-copied catalog merged with
+    the outcome's mutated tables and the outcome's merged log. *)
+
+val branch_seq :
+  ?name:string ->
+  ?config:Whatif.config ->
+  t ->
+  Analyzer.target list ->
+  t * Whatif.outcome list
+(** Apply several retroactive targets as one scenario by branching
+    repeatedly. Targets are applied in *descending* commit order so that
+    each application leaves the earlier targets' indexes valid in the
+    intermediate merged histories (a removal shifts every later index
+    down by one). Intermediate scenarios are not registered as children;
+    only the final universe is. *)
+
+val name : t -> string
+
+val parent : t -> t option
+
+val children : t -> t list
+
+val depth : t -> int
+(** 0 for the root. *)
+
+val query : t -> Ast.select -> Uv_db.Engine.result
+
+val query_sql : t -> string -> Uv_db.Engine.result
+
+val engine : t -> Uv_db.Engine.t
+(** An engine over the scenario's universe (catalog + history). For the
+    root this is the live engine itself. *)
+
+val history_length : t -> int
+
+val db_hash : t -> int64
+
+val lineage : t -> string list
+(** Names from the root to this scenario. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Render the scenario tree (names, depths, history sizes). *)

@@ -1,0 +1,19 @@
+let makespan ~entries ~edges ~weight ~workers =
+  match entries with
+  | [] -> 0.0
+  | _ ->
+      let ids = Hashtbl.create (List.length entries) in
+      List.iteri (fun pos i -> Hashtbl.replace ids i pos) entries;
+      let dag = Uv_util.Dag.create (List.length entries) in
+      List.iter
+        (fun (later, earlier) ->
+          match (Hashtbl.find_opt ids later, Hashtbl.find_opt ids earlier) with
+          | Some l, Some e -> Uv_util.Dag.add_edge dag l e
+          | _ -> ())
+        edges;
+      let weights =
+        Array.of_list (List.map weight entries)
+      in
+      Uv_util.Dag.critical_path_makespan dag ~weights ~workers
+
+let speedup ~serial ~parallel = if parallel <= 0.0 then 1.0 else serial /. parallel

@@ -1,0 +1,21 @@
+(** Parallel replay scheduling (§4.4).
+
+    Ultraverse replays mutually independent queries simultaneously while
+    preserving the commit order of conflicting ones. We model this as list
+    scheduling over the replay conflict DAG: each replayed entry is a node
+    weighted by its measured execution cost, with an edge to every earlier
+    member it conflicts with (read-write, write-read or write-write on the
+    same column and RI value). [makespan ~workers:1] is the serial replay
+    time; with the paper's 8 vCPUs the ratio gives the parallel speedup. *)
+
+val makespan :
+  entries:int list ->
+  edges:(int * int) list ->
+  weight:(int -> float) ->
+  workers:int ->
+  float
+(** [entries] are commit indexes (ascending); [edges] are [(later,
+    earlier)] conflicts from [Analyzer.dependency_edges]; [weight i] is
+    entry [i]'s replay cost in milliseconds. *)
+
+val speedup : serial:float -> parallel:float -> float

@@ -1,0 +1,144 @@
+open Uv_sql
+open Ast
+
+type t = {
+  tables : (string, Schema.table) Hashtbl.t;
+  views : (string, Ast.select) Hashtbl.t;
+  procs : (string, Uv_db.Catalog.procedure) Hashtbl.t;
+  trigs : (string, Uv_db.Catalog.trigger) Hashtbl.t;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    views = Hashtbl.create 8;
+    procs = Hashtbl.create 8;
+    trigs = Hashtbl.create 8;
+  }
+
+let of_catalog cat =
+  let t = create () in
+  List.iter
+    (fun (name, tbl) -> Hashtbl.replace t.tables name (Uv_db.Storage.schema tbl))
+    (Uv_db.Catalog.tables cat);
+  List.iter
+    (fun name ->
+      match Uv_db.Catalog.view cat name with
+      | Some sel -> Hashtbl.replace t.views name sel
+      | None -> ())
+    (Uv_db.Catalog.view_names cat);
+  List.iter
+    (fun name ->
+      match Uv_db.Catalog.procedure cat name with
+      | Some p -> Hashtbl.replace t.procs name p
+      | None -> ())
+    (Uv_db.Catalog.procedure_names cat);
+  (* triggers: catalog indexes by table+event; enumerate over tables *)
+  List.iter
+    (fun (tname, _) ->
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun (tr : Uv_db.Catalog.trigger) ->
+              Hashtbl.replace t.trigs tr.Uv_db.Catalog.trig_name tr)
+            (Uv_db.Catalog.triggers_for cat tname ev))
+        [ Ev_insert; Ev_update; Ev_delete ])
+    (Uv_db.Catalog.tables cat);
+  t
+
+let rec apply t (s : stmt) =
+  match s with
+  | Create_table { name; columns; _ } ->
+      Hashtbl.replace t.tables name (Schema.table name columns)
+  | Drop_table { name; _ } -> Hashtbl.remove t.tables name
+  | Truncate_table _ -> ()
+  | Alter_table (name, action) -> (
+      match Hashtbl.find_opt t.tables name with
+      | None -> ()
+      | Some sch -> (
+          match action with
+          | Add_column c ->
+              Hashtbl.replace t.tables name
+                { sch with Schema.tbl_columns = sch.Schema.tbl_columns @ [ c ] }
+          | Drop_column cname ->
+              Hashtbl.replace t.tables name
+                {
+                  sch with
+                  Schema.tbl_columns =
+                    List.filter
+                      (fun (c : Schema.column) ->
+                        not (String.equal c.Schema.col_name cname))
+                      sch.Schema.tbl_columns;
+                }
+          | Rename_table n2 ->
+              Hashtbl.remove t.tables name;
+              Hashtbl.replace t.tables n2 { sch with Schema.tbl_name = n2 }))
+  | Create_view { name; query; _ } -> Hashtbl.replace t.views name query
+  | Drop_view name -> Hashtbl.remove t.views name
+  | Create_procedure { name; params; label; body } ->
+      Hashtbl.replace t.procs name
+        {
+          Uv_db.Catalog.proc_name = name;
+          proc_params = params;
+          proc_label = label;
+          proc_body = body;
+        }
+  | Drop_procedure name -> Hashtbl.remove t.procs name
+  | Create_trigger { name; timing; event; table; body } ->
+      Hashtbl.replace t.trigs name
+        {
+          Uv_db.Catalog.trig_name = name;
+          trig_timing = timing;
+          trig_event = event;
+          trig_table = table;
+          trig_body = body;
+        }
+  | Drop_trigger name -> Hashtbl.remove t.trigs name
+  | Transaction stmts -> List.iter (apply t) stmts
+  | Create_index _ | Drop_index _ | Select _ | Insert _ | Insert_select _ | Update _ | Delete _
+  | Call _ ->
+      ()
+
+let table_schema t name = Hashtbl.find_opt t.tables name
+
+let table_columns t name =
+  Option.map Schema.column_names (table_schema t name)
+
+let view t name = Hashtbl.find_opt t.views name
+let procedure t name = Hashtbl.find_opt t.procs name
+
+let triggers_for t table event =
+  Hashtbl.fold
+    (fun _ (trig : Uv_db.Catalog.trigger) acc ->
+      if String.equal trig.Uv_db.Catalog.trig_table table && trig.trig_event = event
+      then trig :: acc
+      else acc)
+    t.trigs []
+  |> List.sort (fun (a : Uv_db.Catalog.trigger) b -> compare a.trig_name b.trig_name)
+
+let is_view t name = Hashtbl.mem t.views name
+let is_table t name = Hashtbl.mem t.tables name
+
+let auto_increment_column t name =
+  Option.bind (table_schema t name) Schema.auto_increment_column
+
+let foreign_keys t name =
+  match table_schema t name with None -> [] | Some sch -> Schema.foreign_keys sch
+
+let referencing_tables t name =
+  Hashtbl.fold
+    (fun tname sch acc ->
+      List.fold_left
+        (fun acc (local, ftbl, fcol) ->
+          if String.equal ftbl name then (tname, local, fcol) :: acc else acc)
+        acc (Schema.foreign_keys sch))
+    t.tables []
+  |> List.sort compare
+
+let copy t =
+  {
+    tables = Hashtbl.copy t.tables;
+    views = Hashtbl.copy t.views;
+    procs = Hashtbl.copy t.procs;
+    trigs = Hashtbl.copy t.trigs;
+  }

@@ -1,0 +1,41 @@
+(** Schema-only replica maintained by scanning DDL statements in commit
+    order.
+
+    The query analyzer works offline over the statement log (§2), so it
+    cannot ask the live database for schema information — instead it
+    rebuilds just the schema surface (tables, views, procedures, triggers)
+    by applying each DDL statement it encounters. *)
+
+open Uv_sql
+
+type t
+
+val create : unit -> t
+
+val of_catalog : Uv_db.Catalog.t -> t
+(** Seed the view from a live catalog — the schema state at the start of
+    the analysed history (checkpoint databases populated before logging
+    began). *)
+
+val apply : t -> Ast.stmt -> unit
+(** Apply the schema effects of a statement (non-DDL statements are
+    no-ops, except INSERT bumping nothing — data is never tracked). *)
+
+val table_columns : t -> string -> string list option
+val table_schema : t -> string -> Schema.table option
+val view : t -> string -> Ast.select option
+val procedure : t -> string -> Uv_db.Catalog.procedure option
+val triggers_for : t -> string -> Ast.trigger_event -> Uv_db.Catalog.trigger list
+val is_view : t -> string -> bool
+val is_table : t -> string -> bool
+
+val auto_increment_column : t -> string -> string option
+
+val foreign_keys : t -> string -> (string * string * string) list
+(** [(local_col, foreign_table, foreign_col)] for a table. *)
+
+val referencing_tables : t -> string -> (string * string * string) list
+(** Tables whose FOREIGN KEYs point *at* the given table:
+    [(referencing_table, referencing_col, referenced_col)]. *)
+
+val copy : t -> t

@@ -1,0 +1,244 @@
+
+type config = {
+  mode : Analyzer.mode;
+  workers : int;
+  hash_jumper : bool;
+  grouped : bool;
+}
+
+let default_config =
+  { mode = Analyzer.Cell; workers = 8; hash_jumper = false; grouped = false }
+
+type outcome = {
+  replay : Analyzer.replay_set;
+  replayed : int;
+  undone : int;
+  failed_replays : int;
+  hash_jump_at : int option;
+  real_ms : float;
+  serial_cost_ms : float;
+  parallel_cost_ms : float;
+  analysis_ms : float;
+  final_db_hash : int64;
+  changed : bool;
+  temp_catalog : Uv_db.Catalog.t;
+  new_log : Uv_db.Log.t;
+}
+
+let member_indexes (rs : Analyzer.replay_set) =
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := (i + 1) :: !out) rs.Analyzer.members;
+  List.rev !out
+
+let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
+  let log = Uv_db.Engine.log eng in
+  let rtt = Uv_util.Clock.rtt_ms (Uv_db.Engine.clock eng) in
+  let t0 = Uv_util.Clock.now_ms () in
+  (* 1. replay-set computation *)
+  let rs =
+    if config.grouped then
+      Analyzer.replay_set_grouped ~mode:config.mode analyzer target
+    else Analyzer.replay_set ~mode:config.mode analyzer target
+  in
+  let analysis_ms = Uv_util.Clock.now_ms () -. t0 in
+  let members = member_indexes rs in
+  (* 2. temporary database: mutated + consulted tables *)
+  let affected = List.sort_uniq compare (rs.Analyzer.mutated @ rs.Analyzer.consulted) in
+  let temp_cat = Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng) affected in
+  let jumper =
+    if config.hash_jumper then begin
+      let j = Hash_jumper.of_log ~initial:(Analyzer.base_hashes analyzer) log in
+      let final =
+        List.filter_map
+          (fun table ->
+            Option.map
+              (fun tbl -> (table, Uv_db.Storage.hash tbl))
+              (Uv_db.Catalog.table (Uv_db.Engine.catalog eng) table))
+          rs.Analyzer.mutated
+      in
+      Some
+        (Hash_jumper.expectations j ~final ~mutated:rs.Analyzer.mutated
+           ~members)
+    end
+    else None
+  in
+  (* 3. rollback: undo members (and the removed/changed target) newest first *)
+  let undo_list =
+    let tgt =
+      match target.Analyzer.op with
+      | Analyzer.Remove | Analyzer.Change _
+        when target.Analyzer.tau >= 1 && target.Analyzer.tau <= Uv_db.Log.length log
+        ->
+          [ target.Analyzer.tau ]
+      | _ -> []
+    in
+    List.sort_uniq compare (tgt @ members) |> List.rev
+  in
+  List.iter
+    (fun i ->
+      let entry = Uv_db.Log.entry log i in
+      Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
+    undo_list;
+  let undone = List.length undo_list in
+  (* 4. replay forward *)
+  let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt temp_cat in
+  let failed = ref 0 in
+  let weights : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let succeeded : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let exec_timed ?app_txn ?nondet idx stmt =
+    let s = Uv_util.Clock.now_ms () in
+    (try
+       ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
+       Hashtbl.replace succeeded idx ()
+     with Uv_db.Engine.Signal_raised _ | Uv_db.Engine.Sql_error _ -> incr failed);
+    let d = Uv_util.Clock.now_ms () -. s in
+    Hashtbl.replace weights idx d
+  in
+  (* the retroactive operation itself, just before τ *)
+  (match target.Analyzer.op with
+  | Analyzer.Add stmt | Analyzer.Change stmt ->
+      Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + target.Analyzer.tau);
+      exec_timed 0 stmt
+  | Analyzer.Remove -> ());
+  let hash_jump_at = ref None in
+  let replayed = ref 0 in
+  (try
+     List.iteri
+       (fun pos i ->
+         let entry = Uv_db.Log.entry log i in
+         Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + i);
+         exec_timed ~nondet:entry.Uv_db.Log.nondet
+           ?app_txn:entry.Uv_db.Log.app_txn i entry.Uv_db.Log.stmt;
+         incr replayed;
+         match jumper with
+         | Some exp when Hash_jumper.converged exp temp_cat ~member_pos:pos ->
+             hash_jump_at := Some i;
+             raise Exit
+         | _ -> ())
+       members
+   with Exit -> ());
+  (* on a hash-hit the original tables are retained (§4.5): reflect the
+     original's affected tables in the temporary catalog so the outcome's
+     universe is consistent *)
+  (match !hash_jump_at with
+  | Some _ ->
+      Uv_db.Catalog.copy_tables_into (Uv_db.Engine.catalog eng) ~into:temp_cat
+        affected;
+      (* on a hit the original timeline is retained wholesale, schema
+         objects included *)
+      Uv_db.Catalog.copy_objects_into (Uv_db.Engine.catalog eng) ~into:temp_cat
+  | None -> ());
+  (* 5. cost model *)
+  let replayed_members =
+    match !hash_jump_at with
+    | None -> members
+    | Some stop -> List.filter (fun i -> i <= stop) members
+  in
+  let weight i = (try Hashtbl.find weights i with Not_found -> 0.0) +. rtt in
+  let op_weight = if Hashtbl.mem weights 0 then weight 0 else 0.0 in
+  let serial_cost_ms =
+    op_weight +. List.fold_left (fun acc i -> acc +. weight i) 0.0 replayed_members
+  in
+  let edges = Analyzer.dependency_edges analyzer ~members:rs.Analyzer.members in
+  let parallel_cost_ms =
+    op_weight
+    +. Scheduler.makespan ~entries:replayed_members ~edges ~weight
+         ~workers:config.workers
+  in
+  let changed =
+    match !hash_jump_at with
+    | Some _ -> false
+    | None ->
+        (not
+           (Int64.equal
+              (Uv_db.Catalog.db_hash temp_cat)
+              (Uv_db.Catalog.db_hash
+                 (Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng)
+                    affected))))
+        || not
+             (String.equal
+                (Uv_db.Catalog.objects_signature temp_cat)
+                (Uv_db.Catalog.objects_signature (Uv_db.Engine.catalog eng)))
+  in
+  let real_ms = Uv_util.Clock.now_ms () -. t0 in
+  (* merged new-universe log: original entries for non-members, replayed
+     entries for members, the retroactive operation at tau; reindexed *)
+  let new_log =
+    let merged = Uv_db.Log.create () in
+    let temp_entries = Queue.create () in
+    Uv_db.Log.iter (Uv_db.Engine.log temp_eng) (fun e -> Queue.push e temp_entries);
+    (* the op's own entry (Add/Change) is the first temp entry *)
+    let op_entry =
+      match target.Analyzer.op with
+      | (Analyzer.Add _ | Analyzer.Change _) when Hashtbl.mem succeeded 0 ->
+          if Queue.is_empty temp_entries then None
+          else Some (Queue.pop temp_entries)
+      | _ -> None
+    in
+    let push e =
+      Uv_db.Log.append merged
+        { e with Uv_db.Log.index = Uv_db.Log.length merged + 1 }
+    in
+    (* only successful replays produced a log entry in the temp engine;
+       an aborted transaction is correctly absent from the new history *)
+    let replayed_set = Hashtbl.create 64 in
+    List.iter
+      (fun i -> if Hashtbl.mem succeeded i then Hashtbl.replace replayed_set i ())
+      replayed_members;
+    for i = 1 to Uv_db.Log.length log do
+      if i = target.Analyzer.tau then begin
+        (match (target.Analyzer.op, op_entry) with
+        | (Analyzer.Add _ | Analyzer.Change _), Some e -> push e
+        | _ -> ());
+        match target.Analyzer.op with
+        | Analyzer.Add _ -> push (Uv_db.Log.entry log i)
+        | Analyzer.Remove | Analyzer.Change _ -> ()
+      end
+      else if Hashtbl.mem replayed_set i then begin
+        if not (Queue.is_empty temp_entries) then push (Queue.pop temp_entries)
+      end
+      else if rs.Analyzer.members.(i - 1) then begin
+        (* a member that was not successfully replayed: either past the
+           hash-hit (the original entry re-derives itself) or an aborted
+           transaction (absent from the new history) *)
+        if !hash_jump_at <> None then push (Uv_db.Log.entry log i)
+      end
+      else push (Uv_db.Log.entry log i)
+    done;
+    (* an addition past the end of the history *)
+    if target.Analyzer.tau > Uv_db.Log.length log then (
+      match (target.Analyzer.op, op_entry) with
+      | Analyzer.Add _, Some e -> push e
+      | _ -> ());
+    merged
+  in
+  {
+    replay = rs;
+    replayed = !replayed;
+    undone;
+    failed_replays = !failed;
+    hash_jump_at = !hash_jump_at;
+    real_ms;
+    serial_cost_ms;
+    parallel_cost_ms;
+    analysis_ms;
+    final_db_hash = Uv_db.Catalog.db_hash temp_cat;
+    changed;
+    temp_catalog = temp_cat;
+    new_log;
+  }
+
+let commit eng outcome =
+  if outcome.changed then begin
+    Uv_db.Catalog.copy_tables_into outcome.temp_catalog
+      ~into:(Uv_db.Engine.catalog eng)
+      outcome.replay.Analyzer.mutated;
+    (* retroactive DDL on schema objects (views, procedures, triggers,
+       indexes) lands in the live catalog too *)
+    Uv_db.Catalog.copy_objects_into outcome.temp_catalog
+      ~into:(Uv_db.Engine.catalog eng)
+  end
+
+let query_new_universe outcome sel =
+  let eng = Uv_db.Engine.of_catalog outcome.temp_catalog in
+  Uv_db.Engine.query eng sel

@@ -1,0 +1,80 @@
+(** The retroactive operation driver (§4.4): rollback, replay, update.
+
+    Given an engine holding a committed history and a retroactive target,
+    [run]:
+
+    + computes the replay set 𝕀 with the {!Analyzer} (mode-selectable:
+      column-only, row-only, or cell-wise);
+    + builds a temporary database holding deep copies of the mutated and
+      consulted tables (regular service on the original engine is never
+      blocked);
+    + rolls back 𝕀's entries in reverse commit order by applying their
+      logged inverse operations (rollback option (i) of §5's
+      implementation list, made selective by the dependency analysis);
+    + applies the retroactive operation at τ and replays 𝕀 forward in
+      commit order, forcing each entry's recorded non-determinism;
+    + optionally runs the Hash-jumper after every replayed entry and
+      early-terminates on a hash-hit;
+    + reports two cost views: measured serial time, and the simulated
+      parallel makespan over the replay conflict DAG (§4.4's parallel
+      replay with [workers] threads).
+
+    The original engine is left untouched. [commit] performs the
+    database-update step, copying the mutated tables back. *)
+
+open Uv_sql
+
+type config = {
+  mode : Analyzer.mode;  (** default [Cell] *)
+  workers : int;  (** parallel replay width; the paper's testbed had 8 *)
+  hash_jumper : bool;
+  grouped : bool;
+      (** closure at application-level-transaction granularity (the
+          non-transpiled "D" system) *)
+}
+
+val default_config : config
+
+type outcome = {
+  replay : Analyzer.replay_set;
+  replayed : int;  (** entries actually re-executed *)
+  undone : int;  (** entries rolled back *)
+  failed_replays : int;
+      (** replays that signalled or errored (aborted app transactions) *)
+  hash_jump_at : int option;
+      (** original commit index at which the Hash-jumper fired *)
+  real_ms : float;  (** measured wall time of the whole operation *)
+  serial_cost_ms : float;
+      (** sum of per-entry replay costs + one round trip each *)
+  parallel_cost_ms : float;  (** conflict-DAG makespan with [workers] *)
+  analysis_ms : float;  (** replay-set computation time *)
+  final_db_hash : int64;  (** hash of the temporary universe *)
+  changed : bool;  (** false when the Hash-jumper proved no effect *)
+  temp_catalog : Uv_db.Catalog.t;  (** the new universe *)
+  new_log : Uv_db.Log.t;
+      (** the new universe's committed history: non-members keep their
+          original entries, replayed members contribute their re-executed
+          entries, and the retroactive operation sits at τ. This is what
+          makes scenarios branchable (§6 "Managing Many what-if
+          Scenarios"): a further what-if can analyse this log. *)
+}
+
+val run :
+  ?config:config ->
+  analyzer:Analyzer.t ->
+  Uv_db.Engine.t ->
+  Analyzer.target ->
+  outcome
+(** The analyzer must have been built over the engine's current log
+    (Ultraverse derives R/W sets asynchronously during regular service;
+    analysis construction is therefore not part of what-if latency). *)
+
+val commit : Uv_db.Engine.t -> outcome -> unit
+(** Database-update phase: copy the outcome's mutated tables into the
+    engine's live catalog (no-op when [changed] is false). The engine's
+    log is *not* rewritten — callers exploring scenarios should keep the
+    outcome's temporary catalog instead. *)
+
+val query_new_universe : outcome -> Ast.select -> Uv_db.Engine.result
+(** Run a read-only query against the outcome's temporary database —
+    the "what would X have been" question the analysis exists to answer. *)

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer List Printf String

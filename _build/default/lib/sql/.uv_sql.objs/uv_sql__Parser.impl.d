@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Lexer List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Buffer List Option Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/sql/printer.mli: Ast

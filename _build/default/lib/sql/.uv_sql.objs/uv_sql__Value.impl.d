@@ -1,0 +1,1 @@
+lib/sql/value.ml: Buffer Float Format Printf String

@@ -1,0 +1,137 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Fun_call of string * expr list
+  | Subselect of select
+  | Exists of select
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr * bool
+
+and order_dir = Asc | Desc
+
+and select_item = Star | Item of expr * string option
+
+and join = { join_table : string; join_alias : string option; join_on : expr }
+
+and select = {
+  sel_distinct : bool;
+  sel_items : select_item list;
+  sel_from : (string * string option) option;
+  sel_joins : join list;
+  sel_where : expr option;
+  sel_group_by : expr list;
+  sel_having : expr option;
+  sel_order_by : (expr * order_dir) list;
+  sel_limit : int option;
+  sel_offset : int option;  (** rows to skip before LIMIT applies *)
+}
+
+type alter_action =
+  | Add_column of Schema.column
+  | Drop_column of string
+  | Rename_table of string
+
+type trigger_event = Ev_insert | Ev_update | Ev_delete
+type trigger_timing = Before | After
+
+type stmt =
+  | Create_table of { name : string; columns : Schema.column list; if_not_exists : bool }
+  | Drop_table of { name : string; if_exists : bool }
+  | Truncate_table of string
+  | Alter_table of string * alter_action
+  | Create_view of { name : string; query : select; or_replace : bool }
+  | Drop_view of string
+  | Create_index of { name : string; table : string; columns : string list }
+  | Drop_index of { name : string; table : string }
+  | Create_procedure of {
+      name : string;
+      params : (string * Value.ty) list;
+      label : string option;
+      body : pstmt list;
+    }
+  | Drop_procedure of string
+  | Create_trigger of {
+      name : string;
+      timing : trigger_timing;
+      event : trigger_event;
+      table : string;
+      body : pstmt list;
+    }
+  | Drop_trigger of string
+  | Select of select
+  | Insert of { table : string; columns : string list option; values : expr list list }
+  | Insert_select of { table : string; columns : string list option; query : select }
+  | Update of { table : string; assigns : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Call of string * expr list
+  | Transaction of stmt list
+
+and pstmt =
+  | P_stmt of stmt
+  | P_declare of string * Value.ty * expr option
+  | P_set of string * expr
+  | P_select_into of select * string list
+  | P_if of (expr * pstmt list) list * pstmt list
+  | P_while of expr * pstmt list
+  | P_leave of string
+  | P_signal of string
+
+let select ?(distinct = false) ?from ?(joins = []) ?where ?(group_by = [])
+    ?having ?(order_by = []) ?limit ?offset items =
+  {
+    sel_distinct = distinct;
+    sel_items = items;
+    sel_from = from;
+    sel_joins = joins;
+    sel_where = where;
+    sel_group_by = group_by;
+    sel_having = having;
+    sel_order_by = order_by;
+    sel_limit = limit;
+    sel_offset = offset;
+  }
+
+let col name = Col (None, name)
+let qcol tbl name = Col (Some tbl, name)
+let lit_int i = Lit (Value.Int i)
+let lit_str s = Lit (Value.Text s)
+let lit_float f = Lit (Value.Float f)
+let lit_bool b = Lit (Value.Bool b)
+
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( &&. ) a b = Binop (And, a, b)
+let ( ||. ) a b = Binop (Or, a, b)
+
+let stmt_kind = function
+  | Create_table _ -> "CREATE TABLE"
+  | Drop_table _ -> "DROP TABLE"
+  | Truncate_table _ -> "TRUNCATE TABLE"
+  | Alter_table _ -> "ALTER TABLE"
+  | Create_view _ -> "CREATE VIEW"
+  | Drop_view _ -> "DROP VIEW"
+  | Create_index _ -> "CREATE INDEX"
+  | Drop_index _ -> "DROP INDEX"
+  | Create_procedure _ -> "CREATE PROCEDURE"
+  | Drop_procedure _ -> "DROP PROCEDURE"
+  | Create_trigger _ -> "CREATE TRIGGER"
+  | Drop_trigger _ -> "DROP TRIGGER"
+  | Select _ -> "SELECT"
+  | Insert _ -> "INSERT"
+  | Insert_select _ -> "INSERT"
+  | Update _ -> "UPDATE"
+  | Delete _ -> "DELETE"
+  | Call _ -> "CALL"
+  | Transaction _ -> "TRANSACTION"
+
+let is_read_only = function Select _ -> true | _ -> false

@@ -1,0 +1,149 @@
+(** Abstract syntax of the SQL dialect Ultraverse analyses and replays.
+
+    Covers the statement classes of Table A: DDL (tables, views, indexes,
+    procedures, triggers), DML (SELECT/INSERT/UPDATE/DELETE), transactions,
+    procedure calls, and the procedure-body control-flow constructs
+    (DECLARE/SET/IF/WHILE/LEAVE/SIGNAL) that the SQL transpiler emits. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string  (** optionally qualified column *)
+  | Var of string                  (** procedure parameter or local *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Fun_call of string * expr list (** built-in: CONCAT, COUNT, RAND, ... *)
+  | Subselect of select            (** scalar subquery *)
+  | Exists of select
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Is_null of expr * bool         (** IS NULL / IS NOT NULL *)
+
+and order_dir = Asc | Desc
+
+and select_item =
+  | Star
+  | Item of expr * string option   (** expression with optional alias *)
+
+and join = {
+  join_table : string;
+  join_alias : string option;
+  join_on : expr;
+}
+
+and select = {
+  sel_distinct : bool;
+  sel_items : select_item list;
+  sel_from : (string * string option) option;
+  sel_joins : join list;
+  sel_where : expr option;
+  sel_group_by : expr list;
+  sel_having : expr option;  (** post-aggregation group filter *)
+  sel_order_by : (expr * order_dir) list;
+  sel_limit : int option;
+  sel_offset : int option;  (** rows to skip before LIMIT applies *)
+}
+
+type alter_action =
+  | Add_column of Schema.column
+  | Drop_column of string
+  | Rename_table of string
+
+type trigger_event = Ev_insert | Ev_update | Ev_delete
+type trigger_timing = Before | After
+
+type stmt =
+  | Create_table of { name : string; columns : Schema.column list; if_not_exists : bool }
+  | Drop_table of { name : string; if_exists : bool }
+  | Truncate_table of string
+  | Alter_table of string * alter_action
+  | Create_view of { name : string; query : select; or_replace : bool }
+  | Drop_view of string
+  | Create_index of { name : string; table : string; columns : string list }
+  | Drop_index of { name : string; table : string }
+  | Create_procedure of {
+      name : string;
+      params : (string * Value.ty) list;
+      label : string option;
+      body : pstmt list;
+    }
+  | Drop_procedure of string
+  | Create_trigger of {
+      name : string;
+      timing : trigger_timing;
+      event : trigger_event;
+      table : string;
+      body : pstmt list;
+    }
+  | Drop_trigger of string
+  | Select of select
+  | Insert of {
+      table : string;
+      columns : string list option;
+      values : expr list list;
+    }
+  | Insert_select of {
+      table : string;
+      columns : string list option;
+      query : select;
+    }  (** INSERT INTO t SELECT ... — rows come from a query *)
+  | Update of { table : string; assigns : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Call of string * expr list
+  | Transaction of stmt list
+      (** [BEGIN; ...; COMMIT] treated as one atomic, single-round-trip unit. *)
+
+and pstmt =
+  | P_stmt of stmt
+  | P_declare of string * Value.ty * expr option
+  | P_set of string * expr
+  | P_select_into of select * string list
+  | P_if of (expr * pstmt list) list * pstmt list
+      (** IF/ELSEIF chain with an (possibly empty) ELSE block. *)
+  | P_while of expr * pstmt list
+  | P_leave of string
+  | P_signal of string  (** SIGNAL SQLSTATE 'value' *)
+
+val select :
+  ?distinct:bool ->
+  ?from:string * string option ->
+  ?joins:join list ->
+  ?where:expr ->
+  ?group_by:expr list ->
+  ?having:expr ->
+  ?order_by:(expr * order_dir) list ->
+  ?limit:int ->
+  ?offset:int ->
+  select_item list ->
+  select
+(** Convenience constructor with empty defaults. *)
+
+val col : string -> expr
+(** Unqualified column reference. *)
+
+val qcol : string -> string -> expr
+(** Qualified column reference. *)
+
+val lit_int : int -> expr
+val lit_str : string -> expr
+val lit_float : float -> expr
+val lit_bool : bool -> expr
+
+val ( ==. ) : expr -> expr -> expr
+(** Equality, for concise query construction in workloads and tests. *)
+
+val ( &&. ) : expr -> expr -> expr
+val ( ||. ) : expr -> expr -> expr
+
+val stmt_kind : stmt -> string
+(** Short tag ("INSERT", "CREATE TABLE", ...) for logs and stats. *)
+
+val is_read_only : stmt -> bool
+(** [true] for statements that can never write the database (standalone
+    SELECT). Dependency analysis omits these from the graph (§4.2). *)

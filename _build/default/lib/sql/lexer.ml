@@ -1,0 +1,171 @@
+type token =
+  | Ident of string
+  | Keyword of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | At_var of string
+  | Punct of string
+  | Op of string
+  | Eof
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
+    "DELETE"; "CREATE"; "DROP"; "ALTER"; "TABLE"; "VIEW"; "INDEX"; "PROCEDURE";
+    "TRIGGER"; "CALL"; "BEGIN"; "END"; "TRANSACTION"; "COMMIT"; "ROLLBACK";
+    "IF"; "THEN"; "ELSE"; "ELSEIF"; "WHILE"; "DO"; "DECLARE"; "DEFAULT";
+    "LEAVE"; "SIGNAL"; "SQLSTATE"; "AND"; "OR"; "NOT"; "NULL"; "TRUE"; "FALSE";
+    "AS"; "ON"; "JOIN"; "GROUP"; "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "OFFSET"; "HAVING";
+    "IN"; "EXISTS"; "BETWEEN"; "IS"; "LIKE"; "PRIMARY"; "KEY"; "AUTO_INCREMENT";
+    "REFERENCES"; "FOREIGN"; "CONSTRAINT"; "UNIQUE"; "ADD"; "COLUMN"; "RENAME";
+    "TO"; "TRUNCATE"; "REPLACE"; "BEFORE"; "AFTER"; "FOR"; "EACH"; "ROW";
+    "WHEN"; "CASE"; "ELSE"; "DISTINCT"; "INT"; "INTEGER"; "BIGINT"; "SMALLINT";
+    "TINYINT"; "DOUBLE"; "FLOAT"; "DECIMAL"; "REAL"; "NUMERIC"; "VARCHAR";
+    "TEXT"; "CHAR"; "DATETIME"; "TIMESTAMP"; "DATE"; "BOOLEAN"; "BOOL";
+    "IF"; "EXISTS"; "WHILE"; "END"; "OUT"; "INOUT";
+  ]
+  |> List.sort_uniq compare
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec skip_ws () =
+    if !pos < n then
+      match src.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          incr pos;
+          skip_ws ()
+      | '-' when peek 1 = Some '-' ->
+          while !pos < n && src.[!pos] <> '\n' do incr pos done;
+          skip_ws ()
+      | '/' when peek 1 = Some '*' ->
+          pos := !pos + 2;
+          let rec close () =
+            if !pos + 1 >= n then raise (Lex_error ("unterminated comment", !pos))
+            else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
+            else begin incr pos; close () end
+          in
+          close ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let read_string () =
+    (* opening quote consumed by caller *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Lex_error ("unterminated string", !pos));
+      match src.[!pos] with
+      | '\'' when peek 1 = Some '\'' ->
+          Buffer.add_char buf '\'';
+          pos := !pos + 2;
+          go ()
+      | '\'' -> incr pos
+      | '\\' when peek 1 <> None ->
+          (match peek 1 with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some c -> Buffer.add_char buf c
+          | None -> ());
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_number () =
+    let start = !pos in
+    while !pos < n && is_digit src.[!pos] do incr pos done;
+    let is_float =
+      !pos < n && src.[!pos] = '.' && (match peek 1 with Some c -> is_digit c | None -> false)
+    in
+    if is_float then begin
+      incr pos;
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      Float_lit (float_of_string (String.sub src start (!pos - start)))
+    end
+    else Int_lit (int_of_string (String.sub src start (!pos - start)))
+  in
+  let read_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char src.[!pos] do incr pos done;
+    let s = String.sub src start (!pos - start) in
+    if is_keyword s then Keyword (String.uppercase_ascii s) else Ident s
+  in
+  let rec loop () =
+    skip_ws ();
+    if !pos >= n then emit Eof
+    else begin
+      (match src.[!pos] with
+      | '\'' ->
+          incr pos;
+          emit (Str_lit (read_string ()))
+      | '`' ->
+          (* backquoted identifier, never a keyword *)
+          incr pos;
+          let start = !pos in
+          while !pos < n && src.[!pos] <> '`' do incr pos done;
+          if !pos >= n then raise (Lex_error ("unterminated `identifier`", !pos));
+          emit (Ident (String.sub src start (!pos - start)));
+          incr pos
+      | '@' ->
+          incr pos;
+          let start = !pos in
+          while !pos < n && is_ident_char src.[!pos] do incr pos done;
+          if !pos = start then raise (Lex_error ("bare '@'", !pos));
+          emit (At_var (String.sub src start (!pos - start)))
+      | c when is_digit c -> emit (read_number ())
+      | c when is_ident_start c -> emit (read_ident ())
+      | '(' | ')' | ',' | ';' | '.' | ':' ->
+          emit (Punct (String.make 1 src.[!pos]));
+          incr pos
+      | '<' when peek 1 = Some '>' ->
+          emit (Op "<>");
+          pos := !pos + 2
+      | '<' when peek 1 = Some '=' ->
+          emit (Op "<=");
+          pos := !pos + 2
+      | '>' when peek 1 = Some '=' ->
+          emit (Op ">=");
+          pos := !pos + 2
+      | '!' when peek 1 = Some '=' ->
+          emit (Op "<>");
+          pos := !pos + 2
+      | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' ->
+          emit (Op (String.make 1 src.[!pos]));
+          incr pos
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !pos)));
+      if !tokens <> [] && List.hd !tokens <> Eof then loop ()
+    end
+  in
+  loop ();
+  List.rev !tokens
+
+let show_token = function
+  | Ident s -> "identifier " ^ s
+  | Keyword s -> "keyword " ^ s
+  | Int_lit i -> "integer " ^ string_of_int i
+  | Float_lit f -> "float " ^ string_of_float f
+  | Str_lit s -> "string '" ^ s ^ "'"
+  | At_var s -> "@" ^ s
+  | Punct s -> "'" ^ s ^ "'"
+  | Op s -> "operator " ^ s
+  | Eof -> "end of input"

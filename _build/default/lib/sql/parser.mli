@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Inside procedure and trigger bodies, bare identifiers that match a
+    declared local variable or parameter parse as [Ast.Var]; everything
+    else parses as a column reference, matching how the engine and the
+    dependency analysis resolve names. *)
+
+exception Parse_error of string
+
+val parse_stmt : string -> Ast.stmt
+(** Parse exactly one statement (a trailing [';'] is allowed). *)
+
+val parse_script : string -> Ast.stmt list
+(** Parse a [';']-separated sequence of statements. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the transpiler). *)

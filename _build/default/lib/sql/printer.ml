@@ -1,0 +1,205 @@
+open Ast
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let rec expr = function
+  | Lit v -> Value.to_literal v
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Var v -> "@" ^ v
+  | Binop (op, a, b) -> "(" ^ expr a ^ " " ^ binop_name op ^ " " ^ expr b ^ ")"
+  | Unop (Not, e) -> "(NOT " ^ expr e ^ ")"
+  | Unop (Neg, e) -> "(-" ^ expr e ^ ")"
+  | Fun_call (name, args)
+    when String.length name > 2 && String.sub name (String.length name - 2) 2 = ".D"
+    ->
+      (* DISTINCT aggregate: COUNT.D x  prints as  COUNT(DISTINCT x) *)
+      String.sub name 0 (String.length name - 2)
+      ^ "(DISTINCT "
+      ^ String.concat ", " (List.map expr args)
+      ^ ")"
+  | Fun_call (name, args) -> name ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | Subselect s -> "(" ^ select s ^ ")"
+  | Exists s -> "EXISTS (" ^ select s ^ ")"
+  | In_list (e, items) ->
+      expr e ^ " IN (" ^ String.concat ", " (List.map expr items) ^ ")"
+  | Between (e, lo, hi) ->
+      "(" ^ expr e ^ " BETWEEN " ^ expr lo ^ " AND " ^ expr hi ^ ")"
+  | Is_null (e, true) -> "(" ^ expr e ^ " IS NULL)"
+  | Is_null (e, false) -> "(" ^ expr e ^ " IS NOT NULL)"
+
+and select_item = function
+  | Star -> "*"
+  | Item (e, None) -> expr e
+  | Item (e, Some alias) -> expr e ^ " AS " ^ alias
+
+and select ?into s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.sel_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map select_item s.sel_items));
+  (match into with
+  | Some vars -> Buffer.add_string buf (" INTO " ^ String.concat ", " vars)
+  | None -> ());
+  (match s.sel_from with
+  | Some (t, alias) ->
+      Buffer.add_string buf (" FROM " ^ t);
+      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) alias
+  | None -> ());
+  List.iter
+    (fun j ->
+      Buffer.add_string buf (" JOIN " ^ j.join_table);
+      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) j.join_alias;
+      Buffer.add_string buf (" ON " ^ expr j.join_on))
+    s.sel_joins;
+  Option.iter (fun w -> Buffer.add_string buf (" WHERE " ^ expr w)) s.sel_where;
+  (match s.sel_group_by with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string buf (" GROUP BY " ^ String.concat ", " (List.map expr gs)));
+  Option.iter (fun h -> Buffer.add_string buf (" HAVING " ^ expr h)) s.sel_having;
+  (match s.sel_order_by with
+  | [] -> ()
+  | os ->
+      let one (e, d) = expr e ^ (match d with Asc -> " ASC" | Desc -> " DESC") in
+      Buffer.add_string buf (" ORDER BY " ^ String.concat ", " (List.map one os)));
+  Option.iter (fun n -> Buffer.add_string buf (" LIMIT " ^ string_of_int n)) s.sel_limit;
+  Option.iter
+    (fun n -> Buffer.add_string buf (" OFFSET " ^ string_of_int n))
+    s.sel_offset;
+  Buffer.contents buf
+
+let column_def (c : Schema.column) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (c.Schema.col_name ^ " " ^ Value.ty_name c.Schema.col_ty);
+  if c.Schema.not_null then Buffer.add_string buf " NOT NULL";
+  if c.Schema.unique then Buffer.add_string buf " UNIQUE";
+  if c.Schema.primary_key then Buffer.add_string buf " PRIMARY KEY";
+  if c.Schema.auto_increment then Buffer.add_string buf " AUTO_INCREMENT";
+  (match c.Schema.references with
+  | Some (t, col) -> Buffer.add_string buf (" REFERENCES " ^ t ^ "(" ^ col ^ ")")
+  | None -> ());
+  Buffer.contents buf
+
+let indent_str n = String.make (n * 2) ' '
+
+let rec stmt = function
+  | Create_table { name; columns; if_not_exists } ->
+      Printf.sprintf "CREATE TABLE %s%s (%s)"
+        (if if_not_exists then "IF NOT EXISTS " else "")
+        name
+        (String.concat ", " (List.map column_def columns))
+  | Drop_table { name; if_exists } ->
+      Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Truncate_table name -> "TRUNCATE TABLE " ^ name
+  | Alter_table (name, Add_column c) ->
+      Printf.sprintf "ALTER TABLE %s ADD COLUMN %s" name (column_def c)
+  | Alter_table (name, Drop_column c) ->
+      Printf.sprintf "ALTER TABLE %s DROP COLUMN %s" name c
+  | Alter_table (name, Rename_table n2) ->
+      Printf.sprintf "ALTER TABLE %s RENAME TO %s" name n2
+  | Create_view { name; query; or_replace } ->
+      Printf.sprintf "CREATE %sVIEW %s AS %s"
+        (if or_replace then "OR REPLACE " else "")
+        name (select query)
+  | Drop_view name -> "DROP VIEW " ^ name
+  | Create_index { name; table; columns } ->
+      Printf.sprintf "CREATE INDEX %s ON %s (%s)" name table
+        (String.concat ", " columns)
+  | Drop_index { name; table } -> Printf.sprintf "DROP INDEX %s ON %s" name table
+  | Create_procedure { name; params; label; body } ->
+      let param (p, ty) = Printf.sprintf "IN %s %s" p (Value.ty_name ty) in
+      let lbl = match label with Some l -> l ^ ": " | None -> "" in
+      Printf.sprintf "CREATE PROCEDURE %s(%s) %sBEGIN\n%s\nEND" name
+        (String.concat ", " (List.map param params))
+        lbl
+        (String.concat "\n" (List.map (pstmt ~indent:1) body))
+  | Drop_procedure name -> "DROP PROCEDURE " ^ name
+  | Create_trigger { name; timing; event; table; body } ->
+      Printf.sprintf "CREATE TRIGGER %s %s %s ON %s FOR EACH ROW BEGIN\n%s\nEND"
+        name
+        (match timing with Before -> "BEFORE" | After -> "AFTER")
+        (match event with
+        | Ev_insert -> "INSERT"
+        | Ev_update -> "UPDATE"
+        | Ev_delete -> "DELETE")
+        table
+        (String.concat "\n" (List.map (pstmt ~indent:1) body))
+  | Drop_trigger name -> "DROP TRIGGER " ^ name
+  | Select s -> select s
+  | Insert { table; columns; values } ->
+      let cols =
+        match columns with
+        | None -> ""
+        | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      in
+      let row vs = "(" ^ String.concat ", " (List.map expr vs) ^ ")" in
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" table cols
+        (String.concat ", " (List.map row values))
+  | Insert_select { table; columns; query } ->
+      let cols =
+        match columns with
+        | None -> ""
+        | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      in
+      "INSERT INTO " ^ table ^ cols ^ " " ^ select query
+  | Update { table; assigns; where } ->
+      let one (c, e) = c ^ " = " ^ expr e in
+      Printf.sprintf "UPDATE %s SET %s%s" table
+        (String.concat ", " (List.map one assigns))
+        (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Delete { table; where } ->
+      Printf.sprintf "DELETE FROM %s%s" table
+        (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Call (name, args) ->
+      Printf.sprintf "CALL %s(%s)" name (String.concat ", " (List.map expr args))
+  | Transaction stmts ->
+      "BEGIN TRANSACTION;\n"
+      ^ String.concat ";\n" (List.map stmt stmts)
+      ^ ";\nCOMMIT"
+
+and pstmt ?(indent = 0) p =
+  let ind = indent_str indent in
+  match p with
+  | P_stmt s -> ind ^ stmt s ^ ";"
+  | P_declare (v, ty, init) ->
+      ind ^ "DECLARE " ^ v ^ " " ^ Value.ty_name ty
+      ^ (match init with None -> "" | Some e -> " DEFAULT " ^ expr e)
+      ^ ";"
+  | P_set (v, e) -> ind ^ "SET " ^ v ^ " = " ^ expr e ^ ";"
+  | P_select_into (s, vars) -> ind ^ select ~into:vars s ^ ";"
+  | P_if (branches, else_body) ->
+      let buf = Buffer.create 128 in
+      List.iteri
+        (fun i (cond, body) ->
+          Buffer.add_string buf
+            (ind ^ (if i = 0 then "IF " else "ELSEIF ") ^ expr cond ^ " THEN\n");
+          List.iter
+            (fun p -> Buffer.add_string buf (pstmt ~indent:(indent + 1) p ^ "\n"))
+            body)
+        branches;
+      if else_body <> [] then begin
+        Buffer.add_string buf (ind ^ "ELSE\n");
+        List.iter
+          (fun p -> Buffer.add_string buf (pstmt ~indent:(indent + 1) p ^ "\n"))
+          else_body
+      end;
+      Buffer.add_string buf (ind ^ "END IF;");
+      Buffer.contents buf
+  | P_while (cond, body) ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf (ind ^ "WHILE " ^ expr cond ^ " DO\n");
+      List.iter
+        (fun p -> Buffer.add_string buf (pstmt ~indent:(indent + 1) p ^ "\n"))
+        body;
+      Buffer.add_string buf (ind ^ "END WHILE;");
+      Buffer.contents buf
+  | P_leave label -> ind ^ "LEAVE " ^ label ^ ";"
+  | P_signal state -> ind ^ "SIGNAL SQLSTATE " ^ Value.to_literal (Value.Text state) ^ ";"
+
+let stmt_compact s =
+  String.concat " "
+    (List.filter (fun x -> x <> "") (String.split_on_char '\n' (stmt s) |> List.map String.trim))

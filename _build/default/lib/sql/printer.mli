@@ -1,0 +1,18 @@
+(** Rendering SQL ASTs back to SQL text.
+
+    The statement log stores rendered SQL (like MySQL's binlog in statement
+    mode); the parser and this printer round-trip:
+    [parse (print s)] re-parses to an equal AST for every supported
+    statement, a property the test suite checks with qcheck. *)
+
+val expr : Ast.expr -> string
+val select : ?into:string list -> Ast.select -> string
+(** [select ?into s] renders a SELECT; [~into] adds an [INTO var, ...]
+    clause after the projection list. *)
+
+
+val stmt : Ast.stmt -> string
+val pstmt : ?indent:int -> Ast.pstmt -> string
+
+val stmt_compact : Ast.stmt -> string
+(** Single-line form used in log records and error messages. *)

@@ -1,0 +1,200 @@
+type ty = Tint | Tfloat | Ttext | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+let ty_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Text _ -> Some Ttext
+  | Bool _ -> Some Tbool
+
+let ty_name = function
+  | Tint -> "INT"
+  | Tfloat -> "DOUBLE"
+  | Ttext -> "VARCHAR"
+  | Tbool -> "BOOLEAN"
+
+let ty_of_name name =
+  let base =
+    match String.index_opt name '(' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  match String.uppercase_ascii (String.trim base) with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" -> Some Tint
+  | "DOUBLE" | "FLOAT" | "DECIMAL" | "REAL" | "NUMERIC" -> Some Tfloat
+  | "VARCHAR" | "TEXT" | "CHAR" | "DATETIME" | "TIMESTAMP" | "DATE" -> Some Ttext
+  | "BOOLEAN" | "BOOL" -> Some Tbool
+  | _ -> None
+
+let is_null = function Null -> true | _ -> false
+
+let to_bool = function
+  | Null -> false
+  | Int i -> i <> 0
+  | Float f -> f <> 0.0
+  | Bool b -> b
+  | Text s -> s <> "" && s <> "0"
+
+let to_int = function
+  | Null -> 0
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Bool b -> if b then 1 else 0
+  | Text s -> ( try int_of_string (String.trim s) with _ -> 0)
+
+let to_float = function
+  | Null -> 0.0
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | Text s -> ( try float_of_string (String.trim s) with _ -> 0.0)
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    (* shortest representation that round-trips *)
+    let s12 = Printf.sprintf "%.12g" f in
+    if float_of_string s12 = f then s12 else Printf.sprintf "%.17g" f
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Bool b -> if b then "1" else "0"
+  | Text s -> s
+
+let coerce ty v =
+  match (v, ty) with
+  | Null, _ -> Null
+  | Int _, Tint -> v
+  | Float _, Tfloat -> v
+  | Text _, Ttext -> v
+  | Bool _, Tbool -> v
+  | _, Tint -> (
+      match v with
+      | Text s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some i -> Int i
+          | None -> (
+              match float_of_string_opt (String.trim s) with
+              | Some f -> Int (int_of_float f)
+              | None -> failwith ("cannot coerce '" ^ s ^ "' to INT")))
+      | _ -> Int (to_int v))
+  | _, Tfloat -> (
+      match v with
+      | Text s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f -> Float f
+          | None -> failwith ("cannot coerce '" ^ s ^ "' to DOUBLE"))
+      | _ -> Float (to_float v))
+  | _, Ttext -> Text (to_string v)
+  | _, Tbool -> Bool (to_bool v)
+
+let numericp = function Int _ | Float _ | Bool _ -> true | _ -> false
+
+let rec compare_sql a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> compare x y
+  | Text x, Text y -> compare x y
+  | Bool x, Bool y -> compare x y
+  | x, y when numericp x && numericp y -> compare (to_float x) (to_float y)
+  | Text s, y when numericp y -> (
+      (* MySQL compares string-vs-number numerically when the string parses. *)
+      match float_of_string_opt (String.trim s) with
+      | Some f -> compare f (to_float y)
+      | None -> compare s (to_string y))
+  | x, Text s when numericp x -> -compare_text_num s x
+  | x, y -> compare (to_string x) (to_string y)
+
+and compare_text_num s x =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> compare f (to_float x)
+  | None -> compare s (to_string x)
+
+let equal_sql a b =
+  match (a, b) with Null, _ | _, Null -> false | _ -> compare_sql a b = 0
+
+let arith op_i op_f a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (op_i x y)
+  | _ -> Float (op_f (to_float a) (to_float b))
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | _ ->
+      let d = to_float b in
+      if d = 0.0 then Null else Float (to_float a /. d)
+
+let modulo a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> if y = 0 then Null else Int (x mod y)
+  | _ ->
+      let d = to_float b in
+      if d = 0.0 then Null else Float (Float.rem (to_float a) d)
+
+let serialize = function
+  | Null -> "N"
+  | Int i -> "I" ^ string_of_int i
+  | Float f -> "F" ^ Printf.sprintf "%h" f
+  | Bool b -> if b then "B1" else "B0"
+  | Text s -> "T" ^ string_of_int (String.length s) ^ ":" ^ s
+
+let deserialize s =
+  let n = String.length s in
+  if n = 0 then failwith "Value.deserialize: empty"
+  else
+    match s.[0] with
+    | 'N' when n = 1 -> Null
+    | 'I' -> (
+        match int_of_string_opt (String.sub s 1 (n - 1)) with
+        | Some i -> Int i
+        | None -> failwith "Value.deserialize: bad int")
+    | 'F' -> (
+        match float_of_string_opt (String.sub s 1 (n - 1)) with
+        | Some f -> Float f
+        | None -> failwith "Value.deserialize: bad float")
+    | 'B' when s = "B1" -> Bool true
+    | 'B' when s = "B0" -> Bool false
+    | 'T' -> (
+        match String.index_opt s ':' with
+        | Some colon -> (
+            match int_of_string_opt (String.sub s 1 (colon - 1)) with
+            | Some len when colon + 1 + len = n ->
+                Text (String.sub s (colon + 1) len)
+            | _ -> failwith "Value.deserialize: bad text length")
+        | None -> failwith "Value.deserialize: missing text length")
+    | _ -> failwith "Value.deserialize: unknown tag"
+
+let to_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> float_repr f
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Text s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+
+let pp fmt v = Format.pp_print_string fmt (to_literal v)

@@ -1,0 +1,68 @@
+(** SQL runtime values and column types.
+
+    The engine supports the four scalar families the paper's workloads
+    need: integers, floats, text, and booleans, plus [Null]. Comparison and
+    arithmetic follow MySQL-flavoured coercion: any operation on [Null]
+    yields [Null]; numeric contexts coerce numerically; string contexts
+    stringify. *)
+
+type ty = Tint | Tfloat | Ttext | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+val ty_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_name : ty -> string
+(** SQL type keyword: INT, DOUBLE, VARCHAR, BOOLEAN. *)
+
+val ty_of_name : string -> ty option
+(** Parse a SQL type keyword (case-insensitive; accepts VARCHAR(n), TEXT,
+    INT, INTEGER, BIGINT, DOUBLE, FLOAT, DECIMAL, BOOLEAN, BOOL,
+    DATETIME/TIMESTAMP as text). *)
+
+val is_null : t -> bool
+
+val to_bool : t -> bool
+(** SQL truthiness: [Null] is false, numbers are [<> 0], text is non-empty
+    and not ["0"]. *)
+
+val to_int : t -> int
+val to_float : t -> float
+val to_string : t -> string
+(** Raw string content (no SQL quoting). [Null] is ["NULL"]. *)
+
+val coerce : ty -> t -> t
+(** Coerce a value to a column type; [Null] stays [Null]. Raises
+    [Failure] on a lossy text→number coercion of a non-numeric string. *)
+
+val compare_sql : t -> t -> int
+(** Three-way comparison with numeric coercion across [Int]/[Float]/[Bool]
+    and lexicographic text comparison. [Null] sorts first. *)
+
+val equal_sql : t -> t -> bool
+(** SQL [=] semantics over non-null values ([Null = x] is false). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val modulo : t -> t -> t
+
+val serialize : t -> string
+(** Compact, unambiguous, injective wire form used for row hashing and the
+    statement log. *)
+
+val deserialize : string -> t
+(** Inverse of {!serialize}.
+    @raise Failure on a malformed wire form. *)
+
+val to_literal : t -> string
+(** SQL literal syntax ('quoted' text, NULL, TRUE/FALSE). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/symexec/assignment.ml: Float Format List Map Option Printf String Sym

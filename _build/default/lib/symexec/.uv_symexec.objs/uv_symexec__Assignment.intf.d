@@ -1,0 +1,1 @@
+lib/symexec/assignment.mli: Format Sym

@@ -1,0 +1,1 @@
+lib/symexec/solver.ml: Array Assignment Hashtbl List Option Sym Uv_util

@@ -1,0 +1,1 @@
+lib/symexec/solver.mli: Assignment Sym

@@ -1,0 +1,1 @@
+lib/symexec/sym.ml: Float Format List Printf Stdlib String

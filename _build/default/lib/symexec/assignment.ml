@@ -1,0 +1,101 @@
+type scalar = Num of float | Str of string | Bool of bool | Null
+
+module M = Map.Make (struct
+  type t = Sym.t
+
+  let compare = Sym.compare
+end)
+
+type t = scalar M.t
+
+let empty = M.empty
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let set t k v = M.add k v t
+let get t k = M.find_opt k t
+let get_or t k ~default = Option.value (M.find_opt k t) ~default
+let bindings t = M.bindings t
+
+let scalar_truthy = function
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Str s -> s <> ""
+  | Bool b -> b
+  | Null -> false
+
+let scalar_num = function
+  | Num f -> f
+  | Str s -> ( try float_of_string (String.trim s) with _ -> Float.nan)
+  | Bool b -> if b then 1.0 else 0.0
+  | Null -> 0.0
+
+let scalar_str = function
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.12g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | Null -> "null"
+
+let scalar_equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Null, _ | _, Null -> false
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | _ ->
+      let x = scalar_num a and y = scalar_num b in
+      (not (Float.is_nan x)) && (not (Float.is_nan y)) && x = y
+
+let scalar_compare a b =
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | _ -> Float.compare (scalar_num a) (scalar_num b)
+
+let rec eval t (e : Sym.t) : scalar =
+  match M.find_opt e t with
+  | Some v -> v
+  | None -> (
+      match e with
+      | Sym.Input _ | Sym.Db_result _ | Sym.Blackbox _ | Sym.Field _ | Sym.Item _
+        ->
+          Num 0.0
+      | Sym.Const_num f -> Num f
+      | Sym.Const_str s -> Str s
+      | Sym.Const_bool b -> Bool b
+      | Sym.Const_null -> Null
+      | Sym.Unop ("!", a) -> Bool (not (scalar_truthy (eval t a)))
+      | Sym.Unop ("-", a) -> Num (-.scalar_num (eval t a))
+      | Sym.Unop (_, a) -> eval t a
+      | Sym.Binop (op, a, b) -> (
+          let va = eval t a and vb = eval t b in
+          match op with
+          | "str.++" -> Str (scalar_str va ^ scalar_str vb)
+          | "+" -> (
+              match (va, vb) with
+              | Str _, _ | _, Str _ -> Str (scalar_str va ^ scalar_str vb)
+              | _ -> Num (scalar_num va +. scalar_num vb))
+          | "-" -> Num (scalar_num va -. scalar_num vb)
+          | "*" -> Num (scalar_num va *. scalar_num vb)
+          | "/" -> Num (scalar_num va /. scalar_num vb)
+          | "%" -> Num (Float.rem (scalar_num va) (scalar_num vb))
+          | "==" -> Bool (scalar_equal va vb)
+          | "!=" -> Bool (not (scalar_equal va vb))
+          | "<" -> Bool (scalar_compare va vb < 0)
+          | "<=" -> Bool (scalar_compare va vb <= 0)
+          | ">" -> Bool (scalar_compare va vb > 0)
+          | ">=" -> Bool (scalar_compare va vb >= 0)
+          | "&&" -> if scalar_truthy va then vb else va
+          | "||" -> if scalar_truthy va then va else vb
+          | _ -> Null))
+
+let pp_scalar fmt = function
+  | Num f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.pp_print_bool fmt b
+  | Null -> Format.pp_print_string fmt "null"
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iter
+    (fun (k, v) -> Format.fprintf fmt "%a=%a; " Sym.pp k pp_scalar v)
+    (bindings t);
+  Format.fprintf fmt "}"

@@ -1,0 +1,30 @@
+(** Assignments of concrete values to symbolic leaves — a testcase.
+
+    Concrete values are a tiny dynamic scalar type mirroring what the
+    application language can receive from its inputs and database calls. *)
+
+type scalar = Num of float | Str of string | Bool of bool | Null
+
+type t
+
+val empty : t
+val of_list : (Sym.t * scalar) list -> t
+val set : t -> Sym.t -> scalar -> t
+val get : t -> Sym.t -> scalar option
+val get_or : t -> Sym.t -> default:scalar -> scalar
+val bindings : t -> (Sym.t * scalar) list
+
+val scalar_truthy : scalar -> bool
+val scalar_num : scalar -> float
+val scalar_str : scalar -> string
+val scalar_equal : scalar -> scalar -> bool
+(** JS-style loose equality (numeric strings compare numerically). *)
+
+val scalar_compare : scalar -> scalar -> int
+
+val eval : t -> Sym.t -> scalar
+(** Evaluate a symbolic expression under the assignment; unassigned
+    leaves default to [Num 0]. *)
+
+val pp_scalar : Format.formatter -> scalar -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type constraint_ = { cond : Sym.t; want : bool }
+
+let satisfies asg cs =
+  List.for_all
+    (fun { cond; want } ->
+      Assignment.scalar_truthy (Assignment.eval asg cond) = want)
+    cs
+
+(* Harvest candidate scalars for each leaf symbol from the constraints:
+   any constant that appears in a comparison against (an expression
+   containing) the leaf, plus neighbours and generic seeds. *)
+let harvest_candidates cs =
+  let tbl : (Sym.t, Assignment.scalar list ref) Hashtbl.t = Hashtbl.create 16 in
+  let bucket leaf =
+    match Hashtbl.find_opt tbl leaf with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.replace tbl leaf b;
+        b
+  in
+  let add leaf (v : Assignment.scalar) =
+    let b = bucket leaf in
+    if not (List.mem v !b) then b := v :: !b
+  in
+  let scalar_of_const = function
+    | Sym.Const_num f -> Some (Assignment.Num f)
+    | Sym.Const_str s -> Some (Assignment.Str s)
+    | Sym.Const_bool b -> Some (Assignment.Bool b)
+    | Sym.Const_null -> Some Assignment.Null
+    | _ -> None
+  in
+  let note_pair a b =
+    (* if one side reduces to a constant and the other contains leaves,
+       offer the constant (and numeric neighbours) to those leaves *)
+    match scalar_of_const b with
+    | Some v ->
+        List.iter
+          (fun leaf ->
+            add leaf v;
+            match v with
+            | Assignment.Num f ->
+                add leaf (Assignment.Num (f +. 1.0));
+                add leaf (Assignment.Num (f -. 1.0))
+            | Assignment.Str s -> add leaf (Assignment.Str (s ^ "_x"))
+            | _ -> ())
+          (Sym.base_symbols a)
+    | None -> ()
+  in
+  let rec walk (e : Sym.t) =
+    match e with
+    | Sym.Binop (("==" | "!=" | "<" | "<=" | ">" | ">="), a, b) ->
+        note_pair a b;
+        note_pair b a;
+        walk a;
+        walk b
+    | Sym.Binop (_, a, b) ->
+        walk a;
+        walk b
+    | Sym.Unop (_, a) -> walk a
+    | _ -> ()
+  in
+  List.iter (fun c -> walk c.cond) cs;
+  (* generic seeds for every leaf mentioned anywhere *)
+  let all_leaves =
+    List.concat_map (fun c -> Sym.base_symbols c.cond) cs
+    |> List.sort_uniq Sym.compare
+  in
+  List.iter
+    (fun leaf ->
+      add leaf (Assignment.Num 0.0);
+      add leaf (Assignment.Num 1.0);
+      add leaf (Assignment.Str "");
+      add leaf (Assignment.Str "uv");
+      add leaf (Assignment.Bool true);
+      add leaf (Assignment.Bool false))
+    all_leaves;
+  (all_leaves, fun leaf -> Option.fold ~none:[] ~some:( ! ) (Hashtbl.find_opt tbl leaf))
+
+let solve ?(seed = 7) ?(max_tries = 2000) cs =
+  if cs = [] then Some Assignment.empty
+  else begin
+    let leaves, candidates = harvest_candidates cs in
+    (* bounded product search over candidates, depth-first with early
+       pruning on constraints whose leaves are all assigned *)
+    let exception Found of Assignment.t in
+    let leaf_arr = Array.of_list leaves in
+    let n = Array.length leaf_arr in
+    let budget = ref (max_tries * 4) in
+    let rec assign i asg =
+      if !budget <= 0 then ()
+      else if i >= n then begin
+        decr budget;
+        if satisfies asg cs then raise (Found asg)
+      end
+      else
+        List.iter
+          (fun v ->
+            if !budget > 0 then begin
+              decr budget;
+              assign (i + 1) (Assignment.set asg leaf_arr.(i) v)
+            end)
+          (candidates leaf_arr.(i))
+    in
+    try
+      assign 0 Assignment.empty;
+      (* randomised fallback for arithmetic shapes *)
+      let prng = Uv_util.Prng.create seed in
+      let random_scalar () =
+        match Uv_util.Prng.int prng 4 with
+        | 0 -> Assignment.Num (float_of_int (Uv_util.Prng.int_range prng (-100) 100))
+        | 1 -> Assignment.Num (Uv_util.Prng.float prng 1.0)
+        | 2 -> Assignment.Str (Uv_util.Prng.alpha_string prng 4)
+        | _ -> Assignment.Bool (Uv_util.Prng.bool prng)
+      in
+      let rec try_random k =
+        if k >= max_tries then None
+        else begin
+          let asg =
+            Array.fold_left
+              (fun acc leaf -> Assignment.set acc leaf (random_scalar ()))
+              Assignment.empty leaf_arr
+          in
+          if satisfies asg cs then Some asg else try_random (k + 1)
+        end
+      in
+      try_random 0
+    with Found asg -> Some asg
+  end

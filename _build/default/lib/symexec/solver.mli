@@ -1,0 +1,29 @@
+(** Constraint solver for branch flipping (§3.2 step 2).
+
+    Stands in for the paper's Z3: given a path condition — a conjunction
+    of boolean symbolic expressions that must each evaluate to a required
+    truth value — find an assignment of concrete scalars to the leaf
+    symbols, or report failure (the paper's "unreached path" case, which
+    the transpiler turns into a SIGNAL stub).
+
+    Strategy: constraint-directed candidate synthesis. For every leaf we
+    harvest candidate values from the constraints themselves (constants
+    compared against the leaf, their neighbours ±1, and generic seeds like
+    0, 1, "" and a random string), then search the small candidate product
+    space; a bounded randomised search covers arithmetic constraints the
+    harvest misses. This decides every branch shape the paper's
+    benchmarks produce (equality, ordering, membership, boolean
+    combinations over inputs and database results). *)
+
+type constraint_ = { cond : Sym.t; want : bool }
+
+val solve :
+  ?seed:int ->
+  ?max_tries:int ->
+  constraint_ list ->
+  Assignment.t option
+(** [solve cs] finds an assignment satisfying every constraint, starting
+    from candidate harvesting and falling back to randomised search
+    ([max_tries], default 2000). *)
+
+val satisfies : Assignment.t -> constraint_ list -> bool

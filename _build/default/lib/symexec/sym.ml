@@ -1,0 +1,59 @@
+type t =
+  | Input of string
+  | Db_result of int
+  | Blackbox of string * int
+  | Const_num of float
+  | Const_str of string
+  | Const_bool of bool
+  | Const_null
+  | Binop of string * t * t
+  | Unop of string * t
+  | Field of t * string
+  | Item of t * int
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec to_string = function
+  | Input name -> "$" ^ name
+  | Db_result k -> Printf.sprintf "SQL_out%d" k
+  | Blackbox (api, k) -> Printf.sprintf "bb:%s#%d" api k
+  | Const_num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.12g" f
+  | Const_str s -> "\"" ^ String.escaped s ^ "\""
+  | Const_bool b -> string_of_bool b
+  | Const_null -> "null"
+  | Binop (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) op (to_string b)
+  | Unop (op, a) -> Printf.sprintf "(%s%s)" op (to_string a)
+  | Field (a, f) -> Printf.sprintf "%s.{%s}" (to_string a) f
+  | Item (a, i) -> Printf.sprintf "%s[%d]" (to_string a) i
+
+let rec is_pure_leaf = function
+  | Input _ | Db_result _ | Blackbox _ -> true
+  | Field (a, _) | Item (a, _) -> is_pure_leaf a
+  | _ -> false
+
+let is_leaf = is_pure_leaf
+
+let base_symbols e =
+  let acc = ref [] in
+  let add s = if not (List.exists (equal s) !acc) then acc := s :: !acc in
+  let rec go e =
+    if is_pure_leaf e then add e
+    else
+      match e with
+      | Binop (_, a, b) ->
+          go a;
+          go b
+      | Unop (_, a) -> go a
+      | Field (a, _) | Item (a, _) -> go a
+      | _ -> ()
+  in
+  go e;
+  List.rev !acc
+
+let negate = function Unop ("!", e) -> e | e -> Unop ("!", e)
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

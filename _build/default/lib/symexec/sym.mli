@@ -1,0 +1,44 @@
+(** Symbolic expressions for dynamic symbolic execution (§3.1).
+
+    Symbols are exactly the three classes the paper enumerates:
+    - {!Input}: an application-level transaction's input parameter;
+    - {!Db_result}: the return value of a database API call (SQL_out_k);
+    - {!Blackbox}: the return value of a non-deterministic or external
+      native API ([Math.random()], [http.send()], ...).
+
+    All other values concretise during execution. Expressions are built by
+    the instrumented interpreter's hooks and rendered to SQL by the
+    transpiler. *)
+
+type t =
+  | Input of string  (** transaction parameter name *)
+  | Db_result of int  (** k-th database call in the transaction *)
+  | Blackbox of string * int  (** API name, occurrence index *)
+  | Const_num of float
+  | Const_str of string
+  | Const_bool of bool
+  | Const_null
+  | Binop of string * t * t
+      (** operator names: "+", "-", "*", "/", "%", "==", "!=", "<", "<=",
+          ">", ">=", "&&", "||", "str.++" *)
+  | Unop of string * t  (** "!", "-" *)
+  | Field of t * string  (** member access on a symbolic record *)
+  | Item of t * int  (** index access on a symbolic array *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Stable serialisation (assignment keys, debugging). *)
+
+val base_symbols : t -> t list
+(** The leaf symbols ({!Input}/{!Db_result}/{!Blackbox} roots, including
+    [Field]/[Item] chains, which are treated as independent leaves). *)
+
+val is_leaf : t -> bool
+(** True for the assignable leaves returned by [base_symbols]. *)
+
+val negate : t -> t
+(** Logical negation, simplifying double negation. *)
+
+val pp : Format.formatter -> t -> unit

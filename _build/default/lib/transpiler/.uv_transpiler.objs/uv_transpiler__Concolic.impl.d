@@ -1,0 +1,1 @@
+lib/transpiler/concolic.ml: Assignment Buffer Float Hashtbl List Option Printf Queue Solver String Sym Trace Uv_applang Uv_sql Uv_symexec

@@ -1,0 +1,1 @@
+lib/transpiler/concolic.mli: Assignment Sym Trace Uv_applang Uv_sql Uv_symexec

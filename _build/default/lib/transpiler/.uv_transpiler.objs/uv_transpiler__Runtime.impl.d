@@ -1,0 +1,1 @@
+lib/transpiler/runtime.ml: Array Hashtbl List Printf String Transpile Uv_applang Uv_db Uv_sql Uv_symexec Uv_util Value

@@ -1,0 +1,1 @@
+lib/transpiler/runtime.mli: Transpile Uv_applang Uv_db Uv_sql Value

@@ -1,0 +1,1 @@
+lib/transpiler/trace.ml: Format List Option Sym Uv_sql Uv_symexec

@@ -1,0 +1,1 @@
+lib/transpiler/trace.mli: Format Sym Uv_sql Uv_symexec

@@ -1,0 +1,1 @@
+lib/transpiler/transpile.ml: Concolic Float List Option Printf String Sym Trace Uv_applang Uv_sql Uv_symexec

@@ -1,0 +1,1 @@
+lib/transpiler/transpile.mli: Concolic Sym Uv_applang Uv_sql Uv_symexec

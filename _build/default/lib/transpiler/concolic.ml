@@ -1,0 +1,345 @@
+open Uv_symexec
+module V = Uv_applang.Value
+module I = Uv_applang.Interp
+
+type exploration = {
+  tree : Trace.tree;
+  params : string list;
+  runs : int;
+  solver_failures : int;
+  runtime_failures : int;
+  observed_types : (Sym.t * Uv_sql.Value.ty) list;
+}
+
+let sentinel_str i = Printf.sprintf "\x01H%d\x01" i
+let sentinel_num i = 950_000_000 + (i * 1_000)
+
+(* ------------------------------------------------------------------ *)
+(* Re-symbolisation: replace sentinel literals in a parsed statement by
+   hole variables.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* split a text literal on embedded string sentinels ("\x01H<k>\x01") *)
+let split_sentinels s =
+  let n = String.length s in
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      parts := `Text (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '\x01' then begin
+      match String.index_from_opt s (!i + 1) '\x01' with
+      | Some j ->
+          flush_text ();
+          parts := `Sentinel (String.sub s !i (j - !i + 1)) :: !parts;
+          i := j + 1
+      | None ->
+          Buffer.add_char buf s.[!i];
+          incr i
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  flush_text ();
+  List.rev !parts
+
+let rec resym_expr holes (e : Uv_sql.Ast.expr) : Uv_sql.Ast.expr =
+  let open Uv_sql.Ast in
+  match e with
+  | Lit (Uv_sql.Value.Text s) -> (
+      match List.assoc_opt (`S s) holes with
+      | Some name -> Var name
+      | None -> (
+          (* a numeric sentinel rendered inside a quoted context *)
+          match int_of_string_opt s with
+          | Some n -> (
+              match List.assoc_opt (`N n) holes with
+              | Some name -> Var name
+              | None -> e)
+          | None -> (
+              (* embedded sentinels: rebuild as CONCAT *)
+              match split_sentinels s with
+              | [ `Text _ ] | [] -> e
+              | parts ->
+                  let resolved =
+                    List.map
+                      (function
+                        | `Text t -> Lit (Uv_sql.Value.Text t)
+                        | `Sentinel sent -> (
+                            match List.assoc_opt (`S sent) holes with
+                            | Some name -> Var name
+                            | None -> Lit (Uv_sql.Value.Text sent)))
+                      parts
+                  in
+                  (match resolved with
+                  | [ single ] -> single
+                  | _ -> Fun_call ("CONCAT", resolved)))))
+  | Lit (Uv_sql.Value.Int n) -> (
+      match List.assoc_opt (`N n) holes with
+      | Some name -> Var name
+      | None -> e)
+  | Lit _ | Col _ | Var _ -> e
+  | Binop (op, a, b) -> Binop (op, resym_expr holes a, resym_expr holes b)
+  | Unop (op, a) -> Unop (op, resym_expr holes a)
+  | Fun_call (f, args) -> Fun_call (f, List.map (resym_expr holes) args)
+  | Subselect s -> Subselect (resym_select holes s)
+  | Exists s -> Exists (resym_select holes s)
+  | In_list (a, items) ->
+      In_list (resym_expr holes a, List.map (resym_expr holes) items)
+  | Between (a, b, c) ->
+      Between (resym_expr holes a, resym_expr holes b, resym_expr holes c)
+  | Is_null (a, p) -> Is_null (resym_expr holes a, p)
+
+and resym_select holes (s : Uv_sql.Ast.select) : Uv_sql.Ast.select =
+  let open Uv_sql.Ast in
+  {
+    s with
+    sel_items =
+      List.map
+        (function
+          | Star -> Star
+          | Item (e, a) -> Item (resym_expr holes e, a))
+        s.sel_items;
+    sel_joins =
+      List.map (fun j -> { j with join_on = resym_expr holes j.join_on }) s.sel_joins;
+    sel_where = Option.map (resym_expr holes) s.sel_where;
+    sel_group_by = List.map (resym_expr holes) s.sel_group_by;
+    sel_having = Option.map (resym_expr holes) s.sel_having;
+    sel_order_by = List.map (fun (e, d) -> (resym_expr holes e, d)) s.sel_order_by;
+  }
+
+let rec resym_stmt holes (s : Uv_sql.Ast.stmt) : Uv_sql.Ast.stmt =
+  let open Uv_sql.Ast in
+  match s with
+  | Select sel -> Select (resym_select holes sel)
+  | Insert { table; columns; values } ->
+      Insert
+        { table; columns; values = List.map (List.map (resym_expr holes)) values }
+  | Insert_select { table; columns; query } ->
+      Insert_select { table; columns; query = resym_select holes query }
+  | Update { table; assigns; where } ->
+      Update
+        {
+          table;
+          assigns = List.map (fun (c, e) -> (c, resym_expr holes e)) assigns;
+          where = Option.map (resym_expr holes) where;
+        }
+  | Delete { table; where } ->
+      Delete { table; where = Option.map (resym_expr holes) where }
+  | Call (name, args) -> Call (name, List.map (resym_expr holes) args)
+  | Transaction stmts -> Transaction (List.map (resym_stmt holes) stmts)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Type observation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let widen old fresh =
+  let rank = function
+    | Uv_sql.Value.Ttext -> 3
+    | Uv_sql.Value.Tfloat -> 2
+    | Uv_sql.Value.Tint -> 1
+    | Uv_sql.Value.Tbool -> 0
+  in
+  if rank fresh > rank old then fresh else old
+
+let ty_of_scalar = function
+  | Assignment.Num f ->
+      if Float.is_integer f then Uv_sql.Value.Tint else Uv_sql.Value.Tfloat
+  | Assignment.Str _ -> Uv_sql.Value.Ttext
+  | Assignment.Bool _ -> Uv_sql.Value.Tbool
+  | Assignment.Null -> Uv_sql.Value.Tint
+
+(* ------------------------------------------------------------------ *)
+(* One concolic run                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Run_failed of string
+
+let run_once ~program ~name ~params ~asg ~types =
+  let events = ref [] in
+  let db_counter = ref 0 in
+  let bb_counters : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let note_type leaf scalar =
+    let ty = ty_of_scalar scalar in
+    match Hashtbl.find_opt types leaf with
+    | Some old -> Hashtbl.replace types leaf (widen old ty)
+    | None -> Hashtbl.replace types leaf ty
+  in
+  let sym_access leaf =
+    let scalar = Assignment.get_or asg leaf ~default:(Assignment.Num 0.0) in
+    note_type leaf scalar;
+    { V.v = V.of_scalar scalar; sym = Some leaf; segs = None }
+  in
+  let sql_exec (cv : V.cv) =
+    let k = !db_counter in
+    incr db_counter;
+    let segs = V.segs_of cv in
+    (* render with sentinels, remembering the reverse mapping; string
+       context is tracked by quote parity so consecutive holes inside one
+       quoted literal are all rendered as string sentinels *)
+    let holes = ref [] in
+    let buf = Buffer.create 64 in
+    let in_string = ref false in
+    List.iter
+      (fun seg ->
+        match seg with
+        | V.S_text s ->
+            String.iter (fun c -> if c = '\'' then in_string := not !in_string) s;
+            Buffer.add_string buf s
+        | V.S_hole sym ->
+            let i = List.length !holes in
+            let scalar = Assignment.eval asg sym in
+            let hole_name = Printf.sprintf "__h%d" i in
+            if !in_string then begin
+              (* an application that quotes the hole treats it as a string:
+                 widen the contributing input/blackbox leaves to TEXT *)
+              List.iter
+                (fun leaf -> Hashtbl.replace types leaf Uv_sql.Value.Ttext)
+                (Sym.base_symbols sym);
+              holes := (`S (sentinel_str i), (hole_name, sym)) :: !holes;
+              Buffer.add_string buf (sentinel_str i)
+            end
+            else
+              match scalar with
+              | Assignment.Str _ ->
+                  holes := (`S (sentinel_str i), (hole_name, sym)) :: !holes;
+                  Buffer.add_string buf (sentinel_str i)
+              | _ ->
+                  holes := (`N (sentinel_num i), (hole_name, sym)) :: !holes;
+                  Buffer.add_string buf (string_of_int (sentinel_num i)))
+      segs;
+    let text = Buffer.contents buf in
+    let parsed =
+      try Uv_sql.Parser.parse_stmt text
+      with Uv_sql.Parser.Parse_error msg ->
+        raise (Run_failed ("generated SQL failed to parse: " ^ msg ^ " in " ^ text))
+    in
+    let sentinel_map = List.map (fun (s, (n, _)) -> (s, n)) !holes in
+    let stmt = resym_stmt sentinel_map parsed in
+    let hole_syms = List.map snd !holes in
+    events :=
+      Trace.E_sql { Trace.call_index = k; stmt; holes = List.rev hole_syms }
+      :: !events;
+    let leaf = Sym.Db_result k in
+    { V.v = V.Sym_container leaf; sym = Some leaf; segs = None }
+  in
+  let blackbox api _argv =
+    let occ = Option.value (Hashtbl.find_opt bb_counters api) ~default:0 in
+    Hashtbl.replace bb_counters api (occ + 1);
+    let leaf = Sym.Blackbox (api, occ) in
+    events := Trace.E_blackbox (api, occ) :: !events;
+    if api = "http.send" then
+      Some { V.v = V.Sym_container leaf; sym = Some leaf; segs = None }
+    else begin
+      let default =
+        match api with
+        | "Math.random" -> Assignment.Num 0.5
+        | "Date.getTime" | "Date.now" -> Assignment.Num 1.7e12
+        | _ -> Assignment.Num 0.0
+      in
+      let scalar = Assignment.get_or asg leaf ~default in
+      note_type leaf scalar;
+      Some { V.v = V.of_scalar scalar; sym = Some leaf; segs = None }
+    end
+  in
+  let on_branch cond taken = events := Trace.E_branch (cond, taken) :: !events in
+  let hooks = { I.sql_exec; blackbox; sym_access; on_branch } in
+  let interp = I.create ~hooks () in
+  (try I.load interp program
+   with I.Runtime_error msg -> raise (Run_failed ("program load failed: " ^ msg)));
+  let args =
+    List.mapi
+      (fun i p ->
+        let leaf = Sym.Input p in
+        let default = Assignment.Num (float_of_int (987_000 + i)) in
+        let scalar = Assignment.get_or asg leaf ~default in
+        note_type leaf scalar;
+        { V.v = V.of_scalar scalar; sym = Some leaf; segs = None })
+      params
+  in
+  (try ignore (I.call_function interp name args)
+   with I.Runtime_error msg -> raise (Run_failed msg));
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Exploration loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let decisions_signature decisions =
+  String.concat "|"
+    (List.map
+       (fun (c, taken) -> (if taken then "+" else "-") ^ Sym.to_string c)
+       decisions)
+
+let explore ?(max_runs = 64) ?(max_flip_depth = 48) ?(seed = 23) ?(seeds = [])
+    ~program ~name () =
+  let params =
+    match
+      List.find_opt (fun (n, _, _) -> String.equal n name)
+        (Uv_applang.Ast.functions program)
+    with
+    | Some (_, params, _) -> params
+    | None -> invalid_arg ("Concolic.explore: unknown function " ^ name)
+  in
+  let types : (Sym.t, Uv_sql.Value.ty) Hashtbl.t = Hashtbl.create 16 in
+  let attempted : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let explored_paths : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.push s queue) seeds;
+  Queue.push Assignment.empty queue;
+  let traces = ref [] in
+  let runs = ref 0 in
+  let solver_failures = ref 0 in
+  let runtime_failures = ref 0 in
+  while (not (Queue.is_empty queue)) && !runs < max_runs do
+    let asg = Queue.pop queue in
+    incr runs;
+    match run_once ~program ~name ~params ~asg ~types with
+    | exception Run_failed _ -> incr runtime_failures
+    | trace ->
+        let decisions = Trace.branch_decisions trace in
+        let sig_full = decisions_signature decisions in
+        if not (Hashtbl.mem explored_paths sig_full) then begin
+          Hashtbl.replace explored_paths sig_full ();
+          traces := trace :: !traces
+        end;
+        (* flip each decision prefix *)
+        let rec flips prefix depth = function
+          | [] -> ()
+          | (cond, taken) :: rest ->
+              if depth < max_flip_depth then begin
+                let flipped = prefix @ [ (cond, not taken) ] in
+                let key = decisions_signature flipped in
+                if not (Hashtbl.mem attempted key) then begin
+                  Hashtbl.replace attempted key ();
+                  let constraints =
+                    List.map
+                      (fun (c, want) -> { Solver.cond = c; want })
+                      flipped
+                  in
+                  match Solver.solve ~seed:(seed + depth) constraints with
+                  | Some asg' -> Queue.push asg' queue
+                  | None -> incr solver_failures
+                end;
+                flips (prefix @ [ (cond, taken) ]) (depth + 1) rest
+              end
+        in
+        flips [] 0 decisions
+  done;
+  let tree = Trace.of_traces (List.rev !traces) in
+  {
+    tree;
+    params;
+    runs = !runs;
+    solver_failures = !solver_failures;
+    runtime_failures = !runtime_failures;
+    observed_types = Hashtbl.fold (fun k v acc -> (k, v) :: acc) types [];
+  }

@@ -1,0 +1,45 @@
+(** The concolic (dynamic symbolic execution) driver (§3.1–§3.2).
+
+    Executes an application-level transaction repeatedly through the
+    instrumented MiniJS interpreter. Each run is fully concrete (driven by
+    a testcase assignment) while hooks shadow inputs, database results and
+    blackbox APIs symbolically and collect the path condition. After each
+    run, every branch decision is negated in turn and handed to the
+    solver; solved assignments become new testcases. Exploration ends
+    when no unattempted flips remain or the run budget is exhausted
+    (path-explosion guard, §3.3). *)
+
+open Uv_symexec
+
+type exploration = {
+  tree : Trace.tree;
+  params : string list;  (** the transaction's parameters, declared order *)
+  runs : int;  (** concrete executions performed *)
+  solver_failures : int;  (** flips the solver could not satisfy *)
+  runtime_failures : int;  (** testcases that crashed the application *)
+  observed_types : (Sym.t * Uv_sql.Value.ty) list;
+      (** concrete types observed per leaf symbol across all runs,
+          widened (Text > Float > Int > Bool) — drives the transpiled
+          procedure's parameter and variable types (§C.1) *)
+}
+
+val explore :
+  ?max_runs:int ->
+  ?max_flip_depth:int ->
+  ?seed:int ->
+  ?seeds:Assignment.t list ->
+  program:Uv_applang.Ast.program ->
+  name:string ->
+  unit ->
+  exploration
+(** Explore the top-level function [name] of [program]. [seeds] are
+    extra initial testcases tried before the default one — the delta-DSE
+    re-analysis (§3.3) passes the concrete inputs that reached an
+    unexplored-path stub during live operation. Raises
+    [Invalid_argument] if the function is not declared. *)
+
+val sentinel_str : int -> string
+(** The string sentinel used to recover hole positions from dynamically
+    built SQL (exposed for tests). *)
+
+val sentinel_num : int -> int

@@ -1,0 +1,268 @@
+open Uv_sql
+module V = Uv_applang.Value
+module I = Uv_applang.Interp
+
+type mode = Raw | Transpiled
+
+type invocation = {
+  inv_tag : string;
+  inv_txn : string;
+  inv_args : Value.t list;
+  inv_blackbox : (string * Value.t) list;
+}
+
+type t = {
+  eng : Uv_db.Engine.t;
+  prog : Uv_applang.Ast.program;
+  transpiled_tbl : (string, Transpile.t) Hashtbl.t;
+  mutable txn_counter : int;
+  prng : Uv_util.Prng.t;
+  mutable sim_time : float;
+  mutable invocation_log : invocation list; (* reversed *)
+  mutable fallbacks : int;
+  (* per-invocation state *)
+  mutable current_tag : string option;
+  mutable draws : (string * Value.t) list; (* reversed *)
+  mutable forced_draws : (string * Value.t) list;
+  mutable forced_stmt_nondet : Value.t list list;
+}
+
+let create_from_program eng prog =
+  {
+    eng;
+    prog;
+    transpiled_tbl = Hashtbl.create 16;
+    txn_counter = 0;
+    prng = Uv_util.Prng.create 101;
+    sim_time = 1.7e12;
+    invocation_log = [];
+    fallbacks = 0;
+    current_tag = None;
+    draws = [];
+    forced_draws = [];
+    forced_stmt_nondet = [];
+  }
+
+let create eng ~source =
+  {
+    eng;
+    prog = Uv_applang.Parser.parse_program source;
+    transpiled_tbl = Hashtbl.create 16;
+    txn_counter = 0;
+    prng = Uv_util.Prng.create 101;
+    sim_time = 1.7e12;
+    invocation_log = [];
+    fallbacks = 0;
+    current_tag = None;
+    draws = [];
+    forced_draws = [];
+    forced_stmt_nondet = [];
+  }
+
+let program t = t.prog
+let engine t = t.eng
+let transpiled t name = Hashtbl.find_opt t.transpiled_tbl name
+let invocations t = List.rev t.invocation_log
+let signal_fallbacks t = t.fallbacks
+
+(* ------------------------------------------------------------------ *)
+(* Blackbox draws                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let draw_blackbox t api =
+  let v =
+    match t.forced_draws with
+    | (api', v) :: rest when String.equal api api' ->
+        t.forced_draws <- rest;
+        v
+    | _ -> (
+        match api with
+        | "Math.random" -> Value.Float (Uv_util.Prng.float t.prng 1.0)
+        | "Date.getTime" | "Date.now" ->
+            t.sim_time <- t.sim_time +. 1.0;
+            Value.Float t.sim_time
+        | "http.send" -> Value.Int 1 (* response code *)
+        | _ -> Value.Int 0)
+  in
+  t.draws <- (api, v) :: t.draws;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Raw-mode hooks: every SQL_exec is a client statement                 *)
+(* ------------------------------------------------------------------ *)
+
+let result_to_rows (r : Uv_db.Engine.result) : V.cv =
+  let row_obj row =
+    let tbl = Hashtbl.create (List.length r.Uv_db.Engine.columns) in
+    List.iteri
+      (fun i col ->
+        if i < Array.length row then
+          Hashtbl.replace tbl col (V.conc (V.of_sql_value row.(i))))
+      r.Uv_db.Engine.columns;
+    V.conc (V.Obj tbl)
+  in
+  V.conc (V.Arr (ref (List.map row_obj r.Uv_db.Engine.rows)))
+
+let raw_hooks t =
+  {
+    I.sql_exec =
+      (fun cv ->
+        let text = V.to_display cv.V.v in
+        let nondet =
+          match t.forced_stmt_nondet with
+          | nd :: rest ->
+              t.forced_stmt_nondet <- rest;
+              Some nd
+          | [] -> None
+        in
+        let result =
+          try Uv_db.Engine.exec_sql ?app_txn:t.current_tag ?nondet t.eng text with
+          | Uv_db.Engine.Sql_error msg ->
+              raise (I.Runtime_error ("SQL error: " ^ msg))
+          | Uv_sql.Parser.Parse_error msg ->
+              raise (I.Runtime_error ("SQL parse error: " ^ msg ^ " in " ^ text))
+        in
+        result_to_rows result);
+    blackbox =
+      (fun api _argv ->
+        match draw_blackbox t api with
+        | Value.Int 1 when String.equal api "http.send" ->
+            Some
+              (V.conc
+                 (V.Obj
+                    (let tbl = Hashtbl.create 2 in
+                     Hashtbl.replace tbl "code" (V.num 1.0);
+                     Hashtbl.replace tbl "error" (V.str "");
+                     tbl)))
+        | v -> Some (V.conc (V.of_sql_value v)));
+    sym_access = (fun _ -> V.num 0.0);
+    on_branch = (fun _ _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Invocation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_tag t name =
+  t.txn_counter <- t.txn_counter + 1;
+  Printf.sprintf "%s#%d" name t.txn_counter
+
+let run_raw t name (args : Value.t list) =
+  let interp = I.create ~hooks:(raw_hooks t) () in
+  I.load interp t.prog;
+  let argv = List.map (fun v -> V.conc (V.of_sql_value v)) args in
+  match I.call_function interp name argv with
+  | _ -> Ok Uv_db.Engine.empty_result
+  | exception I.Runtime_error msg -> Error msg
+
+(* Unexplored dynamism discovered at runtime (§3.3/§C): re-run the DSE
+   seeded with the inputs that exposed it and delta-update the installed
+   procedure when the analysis actually improved. *)
+let delta_update t (tr : Transpile.t) (args : Value.t list) =
+  try
+    let scalar_of = function
+      | Value.Int i -> Uv_symexec.Assignment.Num (float_of_int i)
+      | Value.Float f -> Uv_symexec.Assignment.Num f
+      | Value.Text s -> Uv_symexec.Assignment.Str s
+      | Value.Bool b -> Uv_symexec.Assignment.Bool b
+      | Value.Null -> Uv_symexec.Assignment.Null
+    in
+    let seed_asg =
+      List.fold_left2
+        (fun acc p v ->
+          Uv_symexec.Assignment.set acc (Uv_symexec.Sym.Input p) (scalar_of v))
+        Uv_symexec.Assignment.empty tr.Transpile.app_params args
+    in
+    let fresh =
+      Transpile.transpile ~seeds:[ seed_asg ] ~program:t.prog
+        ~name:tr.Transpile.txn_name ()
+    in
+    let improved =
+      fresh.Transpile.unexplored < tr.Transpile.unexplored
+      || fresh.Transpile.paths > tr.Transpile.paths
+      || fresh.Transpile.procedure <> tr.Transpile.procedure
+    in
+    if improved then begin
+      Hashtbl.replace t.transpiled_tbl fresh.Transpile.txn_name fresh;
+      ignore
+        (Uv_db.Engine.exec t.eng
+           (Uv_sql.Ast.Drop_procedure fresh.Transpile.proc_name));
+      ignore (Uv_db.Engine.exec t.eng fresh.Transpile.procedure)
+    end
+  with Invalid_argument _ | Failure _ -> ()
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let run_transpiled t (tr : Transpile.t) (args : Value.t list) =
+  (* evaluate blackbox parameters natively, in declaration order *)
+  let bb_args =
+    List.map (fun (_, api, _) -> draw_blackbox t api) tr.Transpile.blackbox_params
+  in
+  let all = args @ bb_args in
+  let call =
+    Uv_sql.Ast.Call
+      (tr.Transpile.proc_name, List.map (fun v -> Uv_sql.Ast.Lit v) all)
+  in
+  let fallback () =
+    t.fallbacks <- t.fallbacks + 1;
+    let result = run_raw t tr.Transpile.txn_name args in
+    delta_update t tr args;
+    result
+  in
+  match Uv_db.Engine.exec ?app_txn:t.current_tag t.eng call with
+  | r -> Ok r
+  | exception Uv_db.Engine.Sql_error msg ->
+      (* a parameter-coercion failure is §C.1's dynamic typing discovered
+         in live operation: fall back and delta-analyse *)
+      if starts_with "cannot coerce" msg then fallback () else Error msg
+  | exception Uv_db.Engine.Signal_raised state ->
+      if String.equal state "45000" then
+        (* unexplored-path stub hit (§3.3) *)
+        fallback ()
+      else Error ("SIGNAL " ^ state)
+
+let invoke_inner ?(stmt_nondet = []) t ~mode name args ~forced =
+  let tag = fresh_tag t name in
+  t.current_tag <- Some tag;
+  t.draws <- [];
+  t.forced_draws <- forced;
+  t.forced_stmt_nondet <- stmt_nondet;
+  let result =
+    match mode with
+    | Raw -> run_raw t name args
+    | Transpiled -> (
+        match Hashtbl.find_opt t.transpiled_tbl name with
+        | Some tr -> run_transpiled t tr args
+        | None -> run_raw t name args)
+  in
+  t.invocation_log <-
+    {
+      inv_tag = tag;
+      inv_txn = name;
+      inv_args = args;
+      inv_blackbox = List.rev t.draws;
+    }
+    :: t.invocation_log;
+  t.current_tag <- None;
+  t.forced_draws <- [];
+  t.forced_stmt_nondet <- [];
+  result
+
+let invoke t ~mode name args = invoke_inner t ~mode name args ~forced:[]
+
+let replay_invocation ?(stmt_nondet = []) t ~mode inv =
+  invoke_inner ~stmt_nondet t ~mode inv.inv_txn inv.inv_args
+    ~forced:inv.inv_blackbox
+
+let transpile_install ?max_runs t =
+  let results = Transpile.transpile_all ?max_runs ~program:t.prog () in
+  List.iter
+    (fun (tr : Transpile.t) ->
+      if not (Hashtbl.mem t.transpiled_tbl tr.Transpile.txn_name) then begin
+        Hashtbl.replace t.transpiled_tbl tr.Transpile.txn_name tr;
+        ignore (Uv_db.Engine.exec t.eng tr.Transpile.procedure)
+      end)
+    results;
+  results

@@ -1,0 +1,76 @@
+(** The augmented application runtime (§2, Figure 3).
+
+    Hosts a MiniJS application over the SQL engine and executes its
+    application-level transactions in either of the paper's two shapes:
+
+    - {!Raw} — the unmodified application: the interpreter runs the
+      function body and every [SQL_exec] travels to the engine as its own
+      client statement (one round trip each). This is the baseline "B"
+      system's execution path.
+    - {!Transpiled} — the transaction is a single [CALL] of its
+      transpiled SQL procedure (one round trip total). This is the "T"
+      path. Blackbox API values are computed natively on the fly and
+      passed as the extra procedure arguments (§3.3).
+
+    Every invocation is tagged ["name#n"] so the engine log can group the
+    statements of one application-level transaction (the augmented code's
+    [Ultraverse_log] record), and the runtime keeps its own invocation log
+    with the recorded blackbox draws so baseline replays are
+    deterministic. *)
+
+open Uv_sql
+
+type mode = Raw | Transpiled
+
+type invocation = {
+  inv_tag : string;
+  inv_txn : string;
+  inv_args : Value.t list;
+  inv_blackbox : (string * Value.t) list;
+      (** draws in order: (API name, value) *)
+}
+
+type t
+
+val create : Uv_db.Engine.t -> source:string -> t
+(** Load the application source over the given engine. *)
+
+val create_from_program : Uv_db.Engine.t -> Uv_applang.Ast.program -> t
+(** Same, from an already-parsed program (replay runtimes share the
+    original's program). *)
+
+val program : t -> Uv_applang.Ast.program
+
+val engine : t -> Uv_db.Engine.t
+
+val transpile_install : ?max_runs:int -> t -> Transpile.t list
+(** Transpile every database-updating transaction and [CREATE] the
+    procedures on the engine. Idempotent. *)
+
+val transpiled : t -> string -> Transpile.t option
+
+val invoke :
+  t -> mode:mode -> string -> Value.t list -> (Uv_db.Engine.result, string) result
+(** Execute one application-level transaction. In [Transpiled] mode a
+    SIGNAL from an unexplored-path stub falls back to [Raw] execution of
+    the same invocation, then triggers the delta DSE analysis (§3.3): the
+    transaction is re-explored with the failing inputs as an extra seed
+    testcase and its procedure is re-installed with the newly discovered
+    path incorporated. Counted in [signal_fallbacks]. *)
+
+val replay_invocation :
+  ?stmt_nondet:Value.t list list ->
+  t ->
+  mode:mode ->
+  invocation ->
+  (Uv_db.Engine.result, string) result
+(** Re-execute a past invocation with its recorded blackbox draws.
+    [stmt_nondet] forces the engine-level non-determinism (RAND, NOW,
+    AUTO_INCREMENT keys) of the invocation's statements, one list per
+    statement in issue order — §4.4's "the replay uses the same primary
+    key value as in the past". Statements beyond the list draw fresh. *)
+
+val invocations : t -> invocation list
+(** In commit order. *)
+
+val signal_fallbacks : t -> int

@@ -1,0 +1,83 @@
+open Uv_symexec
+
+type sql_record = {
+  call_index : int;
+  stmt : Uv_sql.Ast.stmt;
+  holes : (string * Sym.t) list;
+}
+
+type event =
+  | E_sql of sql_record
+  | E_blackbox of string * int
+  | E_branch of Sym.t * bool
+
+type trace = event list
+
+type tree =
+  | Leaf
+  | Sql of sql_record * tree
+  | Blackbox of string * int * tree
+  | Branch of Sym.t * tree option * tree option
+
+exception Divergence of string
+
+let rec insert tree trace =
+  match (tree, trace) with
+  | t, [] -> t
+  | Leaf, E_sql r :: rest -> Sql (r, insert Leaf rest)
+  | Leaf, E_blackbox (api, k) :: rest -> Blackbox (api, k, insert Leaf rest)
+  | Leaf, E_branch (cond, taken) :: rest ->
+      if taken then Branch (cond, Some (insert Leaf rest), None)
+      else Branch (cond, None, Some (insert Leaf rest))
+  | Sql (r, t), E_sql r2 :: rest ->
+      if r.call_index <> r2.call_index then
+        raise (Divergence "database call index mismatch")
+      else Sql (r, insert t rest)
+  | Blackbox (api, k, t), E_blackbox (api2, k2) :: rest ->
+      if api <> api2 || k <> k2 then raise (Divergence "blackbox call mismatch")
+      else Blackbox (api, k, insert t rest)
+  | Branch (cond, tt, ft), E_branch (cond2, taken) :: rest ->
+      if not (Sym.equal cond cond2) then
+        raise (Divergence "branch condition mismatch")
+      else if taken then
+        Branch (cond, Some (insert (Option.value tt ~default:Leaf) rest), ft)
+      else Branch (cond, tt, Some (insert (Option.value ft ~default:Leaf) rest))
+  | Sql _, (E_blackbox _ | E_branch _) :: _
+  | Blackbox _, (E_sql _ | E_branch _) :: _
+  | Branch _, (E_sql _ | E_blackbox _) :: _ ->
+      raise (Divergence "event kind mismatch at same trace position")
+
+let of_traces traces = List.fold_left insert Leaf traces
+
+let rec count_paths = function
+  | Leaf -> 1
+  | Sql (_, t) | Blackbox (_, _, t) -> count_paths t
+  | Branch (_, tt, ft) ->
+      let side = function None -> 0 | Some t -> count_paths t in
+      max 1 (side tt + side ft)
+
+let rec count_unexplored = function
+  | Leaf -> 0
+  | Sql (_, t) | Blackbox (_, _, t) -> count_unexplored t
+  | Branch (_, tt, ft) ->
+      let side = function None -> 1 | Some t -> count_unexplored t in
+      side tt + side ft
+
+let branch_decisions trace =
+  List.filter_map
+    (function E_branch (c, taken) -> Some (c, taken) | _ -> None)
+    trace
+
+let rec pp fmt = function
+  | Leaf -> Format.fprintf fmt "•"
+  | Sql (r, t) ->
+      Format.fprintf fmt "SQL#%d[%s];@ %a" r.call_index
+        (Uv_sql.Ast.stmt_kind r.stmt) pp t
+  | Blackbox (api, k, t) -> Format.fprintf fmt "BB(%s#%d);@ %a" api k pp t
+  | Branch (cond, tt, ft) ->
+      let side fmt = function
+        | None -> Format.fprintf fmt "?"
+        | Some t -> pp fmt t
+      in
+      Format.fprintf fmt "@[<hv 2>if %a {@ %a@ } else {@ %a@ }@]" Sym.pp cond side
+        tt side ft

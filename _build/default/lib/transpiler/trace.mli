@@ -1,0 +1,50 @@
+(** Execution traces and the concretised execution path tree (§3.2).
+
+    One concolic run of an application-level transaction yields a {!trace}
+    — the ordered database calls, blackbox calls, and symbolic branch
+    decisions it made. Traces from all explored testcases merge into a
+    {!tree}, the paper's "program execution path tree", which the
+    transpiler walks to emit the SQL PROCEDURE. *)
+
+open Uv_symexec
+
+type sql_record = {
+  call_index : int;  (** k in SQL_out_k *)
+  stmt : Uv_sql.Ast.stmt;
+      (** parsed statement whose symbolic holes are [Var "__h<n>"] *)
+  holes : (string * Sym.t) list;  (** hole variable -> symbolic expr *)
+}
+
+type event =
+  | E_sql of sql_record
+  | E_blackbox of string * int  (** API name, occurrence *)
+  | E_branch of Sym.t * bool
+
+type trace = event list
+
+type tree =
+  | Leaf
+  | Sql of sql_record * tree
+  | Blackbox of string * int * tree
+  | Branch of Sym.t * tree option * tree option
+      (** [None] side = never explored (SIGNAL stub in the transpiled
+          procedure) *)
+
+exception Divergence of string
+(** Two traces disagreed on a non-branch event at the same position —
+    the program is not deterministic modulo declared symbols. *)
+
+val insert : tree -> trace -> tree
+(** Merge one trace into the tree. *)
+
+val of_traces : trace list -> tree
+
+val count_paths : tree -> int
+(** Number of explored root-to-leaf paths. *)
+
+val count_unexplored : tree -> int
+(** Number of [None] branch sides (SIGNAL stubs). *)
+
+val branch_decisions : trace -> (Sym.t * bool) list
+
+val pp : Format.formatter -> tree -> unit

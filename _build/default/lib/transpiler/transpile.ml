@@ -1,0 +1,463 @@
+open Uv_symexec
+module Sql = Uv_sql.Ast
+
+type t = {
+  txn_name : string;
+  proc_name : string;
+  procedure : Uv_sql.Ast.stmt;
+  app_params : string list;
+  blackbox_params : (string * string * int) list;
+  paths : int;
+  unexplored : int;
+  runs : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Leaf inventory                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+let rec leaf_root = function
+  | Sym.Field (a, _) | Sym.Item (a, _) -> leaf_root a
+  | other -> other
+
+let rec leaf_var_name = function
+  | Sym.Input p -> p
+  | Sym.Db_result k -> Printf.sprintf "sql_out%d" k
+  | Sym.Blackbox (api, occ) -> Printf.sprintf "blackbox_%s_%d" (sanitize api) occ
+  | Sym.Field (a, f) -> leaf_var_name a ^ "_" ^ sanitize f
+  | Sym.Item (a, i) -> Printf.sprintf "%s_%d" (leaf_var_name a) i
+  | _ -> invalid_arg "leaf_var_name: not a leaf"
+
+(* collect every leaf symbol referenced anywhere in the tree *)
+let tree_leaves tree =
+  let acc = ref [] in
+  let add leaf = if not (List.exists (Sym.equal leaf) !acc) then acc := leaf :: !acc in
+  let of_sym s = List.iter add (Sym.base_symbols s) in
+  let rec go = function
+    | Trace.Leaf -> ()
+    | Trace.Sql (r, t) ->
+        List.iter (fun (_, sym) -> of_sym sym) r.Trace.holes;
+        go t
+    | Trace.Blackbox (_, _, t) -> go t
+    | Trace.Branch (cond, tt, ft) ->
+        of_sym cond;
+        Option.iter go tt;
+        Option.iter go ft
+  in
+  go tree;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic expression -> SQL expression                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec sym_to_sql resolve (s : Sym.t) : Sql.expr =
+  match s with
+  | Sym.Const_num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Sql.Lit (Uv_sql.Value.Int (int_of_float f))
+      else Sql.Lit (Uv_sql.Value.Float f)
+  | Sym.Const_str str -> Sql.Lit (Uv_sql.Value.Text str)
+  | Sym.Const_bool b -> Sql.Lit (Uv_sql.Value.Bool b)
+  | Sym.Const_null -> Sql.Lit Uv_sql.Value.Null
+  | Sym.Binop ("str.++", a, b) ->
+      Sql.Fun_call ("CONCAT", [ sym_to_sql resolve a; sym_to_sql resolve b ])
+  | Sym.Binop (op, a, b) ->
+      let sa = sym_to_sql resolve a and sb = sym_to_sql resolve b in
+      let bop =
+        match op with
+        | "+" -> Sql.Add
+        | "-" -> Sql.Sub
+        | "*" -> Sql.Mul
+        | "/" -> Sql.Div
+        | "%" -> Sql.Mod
+        | "==" -> Sql.Eq
+        | "!=" -> Sql.Neq
+        | "<" -> Sql.Lt
+        | "<=" -> Sql.Le
+        | ">" -> Sql.Gt
+        | ">=" -> Sql.Ge
+        | "&&" -> Sql.And
+        | "||" -> Sql.Or
+        | _ -> failwith ("sym_to_sql: unknown operator " ^ op)
+      in
+      Sql.Binop (bop, sa, sb)
+  | Sym.Unop ("!", a) -> Sql.Unop (Sql.Not, sym_to_sql resolve a)
+  | Sym.Unop ("-", a) -> Sql.Unop (Sql.Neg, sym_to_sql resolve a)
+  | Sym.Unop (op, _) -> failwith ("sym_to_sql: unknown unary " ^ op)
+  | leaf -> (
+      match resolve leaf with
+      | Some e -> e
+      | None -> failwith ("sym_to_sql: unresolved symbol " ^ Sym.to_string leaf))
+
+(* ------------------------------------------------------------------ *)
+(* Hole substitution inside a parsed statement                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_expr lookup (e : Sql.expr) : Sql.expr =
+  match e with
+  | Sql.Var name -> ( match lookup name with Some e' -> e' | None -> e)
+  | Sql.Lit _ | Sql.Col _ -> e
+  | Sql.Binop (op, a, b) -> Sql.Binop (op, subst_expr lookup a, subst_expr lookup b)
+  | Sql.Unop (op, a) -> Sql.Unop (op, subst_expr lookup a)
+  | Sql.Fun_call (f, args) -> Sql.Fun_call (f, List.map (subst_expr lookup) args)
+  | Sql.Subselect s -> Sql.Subselect (subst_select lookup s)
+  | Sql.Exists s -> Sql.Exists (subst_select lookup s)
+  | Sql.In_list (a, items) ->
+      Sql.In_list (subst_expr lookup a, List.map (subst_expr lookup) items)
+  | Sql.Between (a, b, c) ->
+      Sql.Between (subst_expr lookup a, subst_expr lookup b, subst_expr lookup c)
+  | Sql.Is_null (a, p) -> Sql.Is_null (subst_expr lookup a, p)
+
+and subst_select lookup (s : Sql.select) : Sql.select =
+  {
+    s with
+    Sql.sel_items =
+      List.map
+        (function
+          | Sql.Star -> Sql.Star
+          | Sql.Item (e, a) -> Sql.Item (subst_expr lookup e, a))
+        s.Sql.sel_items;
+    sel_joins =
+      List.map
+        (fun j -> { j with Sql.join_on = subst_expr lookup j.Sql.join_on })
+        s.Sql.sel_joins;
+    sel_where = Option.map (subst_expr lookup) s.Sql.sel_where;
+    sel_group_by = List.map (subst_expr lookup) s.Sql.sel_group_by;
+    sel_having = Option.map (subst_expr lookup) s.Sql.sel_having;
+    sel_order_by =
+      List.map (fun (e, d) -> (subst_expr lookup e, d)) s.Sql.sel_order_by;
+  }
+
+let rec subst_stmt lookup (s : Sql.stmt) : Sql.stmt =
+  match s with
+  | Sql.Select sel -> Sql.Select (subst_select lookup sel)
+  | Sql.Insert { table; columns; values } ->
+      Sql.Insert
+        { table; columns; values = List.map (List.map (subst_expr lookup)) values }
+  | Sql.Insert_select { table; columns; query } ->
+      Sql.Insert_select { table; columns; query = subst_select lookup query }
+  | Sql.Update { table; assigns; where } ->
+      Sql.Update
+        {
+          table;
+          assigns = List.map (fun (c, e) -> (c, subst_expr lookup e)) assigns;
+          where = Option.map (subst_expr lookup) where;
+        }
+  | Sql.Delete { table; where } ->
+      Sql.Delete { table; where = Option.map (subst_expr lookup) where }
+  | Sql.Call (name, args) -> Sql.Call (name, List.map (subst_expr lookup) args)
+  | Sql.Transaction stmts -> Sql.Transaction (List.map (subst_stmt lookup) stmts)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Tree -> procedure body                                               *)
+(* ------------------------------------------------------------------ *)
+
+let transpile_tree ~name ~(exploration : Concolic.exploration) =
+  let tree = exploration.Concolic.tree in
+  let leaves = tree_leaves tree in
+  let observed_ty leaf =
+    (* numeric leaves widen to DOUBLE: the DSE only ever observes sample
+       values, and INT would truncate a float argument at CALL time
+       (doubles are exact for the integer ranges the engine uses) *)
+    match
+      List.find_opt (fun (l, _) -> Sym.equal l leaf) exploration.Concolic.observed_types
+    with
+    | Some (_, (Uv_sql.Value.Tint | Uv_sql.Value.Tfloat)) | None -> Uv_sql.Value.Tfloat
+    | Some (_, ty) -> ty
+  in
+  (* app params in declared order (§C.1: every parameter becomes an IN
+     argument even if some explored path ignores it) *)
+  let app_params = exploration.Concolic.params in
+  let blackbox_leaves =
+    List.filter (fun l -> match leaf_root l with Sym.Blackbox _ -> true | _ -> false) leaves
+  in
+  let db_leaves =
+    List.filter (fun l -> match leaf_root l with Sym.Db_result _ -> true | _ -> false) leaves
+  in
+  (* resolver: leaf -> SQL expr *)
+  let resolve leaf =
+    match leaf_root leaf with
+    | Sym.Input p -> Some (Sql.Var p)
+    | Sym.Blackbox _ | Sym.Db_result _ -> Some (Sql.Var (leaf_var_name leaf))
+    | _ -> None
+  in
+  let to_sql sym = sym_to_sql resolve sym in
+  (* db leaves grouped by call index *)
+  let db_leaves_of k =
+    List.filter
+      (fun l -> match leaf_root l with Sym.Db_result k' -> k = k' | _ -> false)
+      db_leaves
+  in
+  (* bind a SELECT's projection to the accessed leaf variables *)
+  let emit_sql (r : Trace.sql_record) : Sql.pstmt list =
+    let lookup hole =
+      match List.assoc_opt hole r.Trace.holes with
+      | Some sym -> Some (to_sql sym)
+      | None -> None
+    in
+    let stmt = subst_stmt lookup r.Trace.stmt in
+    match stmt with
+    | Sql.Select sel ->
+        let accessed = db_leaves_of r.Trace.call_index in
+        if accessed = [] then [ Sql.P_stmt stmt ]
+        else begin
+          (* leaves of shape Field over Item or directly over the call:
+             match f against the projection item names; leaf
+             a length access becomes a COUNT query. *)
+          let item_name = function
+            | Sql.Star -> "*"
+            | Sql.Item (_, Some a) -> a
+            | Sql.Item (e, None) -> Uv_sql.Printer.expr e
+          in
+          let names = List.map item_name sel.Sql.sel_items in
+          let field_of leaf =
+            match leaf with
+            | Sym.Field (_, f) -> Some f
+            | Sym.Item (_, _) -> None
+            | _ -> None
+          in
+          let length_leaves, field_leaves =
+            List.partition (fun l -> field_of l = Some "length") accessed
+          in
+          let stmts = ref [] in
+          (* SELECT ... INTO for row-field accesses *)
+          if field_leaves <> [] then begin
+            let vars =
+              List.map
+                (fun nm ->
+                  match
+                    List.find_opt (fun l -> field_of l = Some nm) field_leaves
+                  with
+                  | Some leaf -> leaf_var_name leaf
+                  | None -> (
+                      (* single accessed field, single item: pair them up *)
+                      match (field_leaves, names) with
+                      | [ leaf ], [ _ ] -> leaf_var_name leaf
+                      | _ -> "uv_ignore"))
+                names
+            in
+            stmts := Sql.P_select_into (sel, vars) :: !stmts
+          end;
+          (* rows.length becomes a COUNT over the same FROM/WHERE; a
+             grouped query's row count is its number of groups, which
+             needs the ROWCOUNT dialect scalar over the intact query *)
+          List.iter
+            (fun leaf ->
+              let count_sel =
+                if sel.Sql.sel_group_by = [] && sel.Sql.sel_having = None then
+                  {
+                    sel with
+                    Sql.sel_items =
+                      [
+                        Sql.Item
+                          (Sql.Fun_call ("COUNT", [ Sql.Col (None, "*") ]), None);
+                      ];
+                    sel_order_by = [];
+                    sel_limit = None;
+                  }
+                else
+                  Sql.select
+                    [
+                      Sql.Item
+                        ( Sql.Fun_call
+                            ("ROWCOUNT", [ Sql.Subselect { sel with Sql.sel_order_by = [] } ]),
+                          None );
+                    ]
+              in
+              stmts := Sql.P_select_into (count_sel, [ leaf_var_name leaf ]) :: !stmts)
+            length_leaves;
+          List.rev !stmts
+        end
+    | other -> [ Sql.P_stmt other ]
+  in
+  let rec emit = function
+    | Trace.Leaf -> []
+    | Trace.Sql (r, t) -> emit_sql r @ emit t
+    | Trace.Blackbox (_, _, t) -> emit t
+    | Trace.Branch (cond, tt, ft) ->
+        let side = function
+          | None -> [ Sql.P_signal "45000" ]
+          | Some t -> emit t
+        in
+        [ Sql.P_if ([ (to_sql cond, side tt) ], side ft) ]
+  in
+  let body = emit tree in
+  (* declarations for db-result locals *)
+  let decls =
+    List.filter_map
+      (fun leaf ->
+        match leaf_root leaf with
+        | Sym.Db_result _ when Sym.is_leaf leaf ->
+            Some (Sql.P_declare (leaf_var_name leaf, observed_ty leaf, None))
+        | _ -> None)
+      db_leaves
+  in
+  let decls =
+    if
+      List.exists
+        (function Sql.P_select_into (_, vars) -> List.mem "uv_ignore" vars | _ -> false)
+        body
+      || List.exists
+           (function
+             | Sql.P_if _ -> false
+             | _ -> false)
+           body
+    then Sql.P_declare ("uv_ignore", Uv_sql.Value.Ttext, None) :: decls
+    else decls
+  in
+  (* the uv_ignore declaration must exist if any nested P_select_into in
+     branches uses it; walk the whole body *)
+  let rec uses_ignore ps =
+    List.exists
+      (function
+        | Sql.P_select_into (_, vars) -> List.mem "uv_ignore" vars
+        | Sql.P_if (branches, eb) ->
+            List.exists (fun (_, b) -> uses_ignore b) branches || uses_ignore eb
+        | Sql.P_while (_, b) -> uses_ignore b
+        | _ -> false)
+      ps
+  in
+  let decls =
+    if uses_ignore body
+       && not
+            (List.exists
+               (function Sql.P_declare ("uv_ignore", _, _) -> true | _ -> false)
+               decls)
+    then Sql.P_declare ("uv_ignore", Uv_sql.Value.Ttext, None) :: decls
+    else decls
+  in
+  let blackbox_params =
+    List.filter_map
+      (fun leaf ->
+        if Sym.is_leaf leaf then
+          match leaf_root leaf with
+          | Sym.Blackbox (api, occ) -> Some (leaf_var_name leaf, api, occ)
+          | _ -> None
+        else None)
+      blackbox_leaves
+    |> List.sort_uniq compare
+  in
+  let params =
+    List.map (fun p -> (p, observed_ty (Sym.Input p))) app_params
+    @ List.map
+        (fun (pname, _, _) ->
+          let leaf =
+            List.find
+              (fun l -> Sym.is_leaf l && leaf_var_name l = pname)
+              blackbox_leaves
+          in
+          (pname, observed_ty leaf))
+        blackbox_params
+  in
+  let proc_name = "uv_" ^ name in
+  let procedure =
+    Sql.Create_procedure
+      { name = proc_name; params; label = Some "uv_lbl"; body = decls @ body }
+  in
+  {
+    txn_name = name;
+    proc_name;
+    procedure;
+    app_params;
+    blackbox_params;
+    paths = Trace.count_paths tree;
+    unexplored = Trace.count_unexplored tree;
+    runs = exploration.Concolic.runs;
+  }
+
+let transpile ?max_runs ?seeds ~program ~name () =
+  let exploration = Concolic.explore ?max_runs ?seeds ~program ~name () in
+  transpile_tree ~name ~exploration
+
+(* A function is a database-updating transaction candidate if its body
+   mentions SQL_exec, or references — in any position, including dynamic
+   dispatch tables like [{buy: buy}] — a function that (transitively)
+   does. Computed as a fixpoint over the top-level call graph. *)
+let rec stmt_mentions (names : string list) (s : Uv_applang.Ast.stmt) =
+  let open Uv_applang.Ast in
+  match s with
+  | Expr_stmt e | Assign (_, e) -> expr_mentions names e
+  | Let (_, Some e) -> expr_mentions names e
+  | Let (_, None) -> false
+  | If (c, a, b) ->
+      expr_mentions names c
+      || List.exists (stmt_mentions names) a
+      || List.exists (stmt_mentions names) b
+  | While (c, b) -> expr_mentions names c || List.exists (stmt_mentions names) b
+  | For (i, c, u, b) ->
+      Option.fold ~none:false ~some:(stmt_mentions names) i
+      || Option.fold ~none:false ~some:(expr_mentions names) c
+      || Option.fold ~none:false ~some:(stmt_mentions names) u
+      || List.exists (stmt_mentions names) b
+  | Return (Some e) -> expr_mentions names e
+  | Return None -> false
+  | Break | Continue -> false
+  | Fun_decl (_, _, b) -> List.exists (stmt_mentions names) b
+
+and expr_mentions names (e : Uv_applang.Ast.expr) =
+  let open Uv_applang.Ast in
+  match e with
+  | Ident name -> List.mem name names
+  | Num _ | Str _ | Bool _ | Null | Undefined -> false
+  | Template parts ->
+      List.exists
+        (function Ptext _ -> false | Phole e -> expr_mentions names e)
+        parts
+  | Binop (_, a, b) -> expr_mentions names a || expr_mentions names b
+  | Unop (_, a) -> expr_mentions names a
+  | Cond (a, b, c) ->
+      expr_mentions names a || expr_mentions names b || expr_mentions names c
+  | Call (f, args) -> expr_mentions names f || List.exists (expr_mentions names) args
+  | Member (o, _) -> expr_mentions names o
+  | Index (o, i) -> expr_mentions names o || expr_mentions names i
+  | Object_lit fields -> List.exists (fun (_, e) -> expr_mentions names e) fields
+  | Array_lit items -> List.exists (expr_mentions names) items
+  | Fun_expr (_, body) -> List.exists (stmt_mentions names) body
+
+let sql_functions program =
+  let functions = Uv_applang.Ast.functions program in
+  let rec fixpoint sql_set =
+    let fresh =
+      List.filter_map
+        (fun (name, _, body) ->
+          if List.mem name sql_set then None
+          else if List.exists (stmt_mentions ("SQL_exec" :: sql_set)) body then
+            Some name
+          else None)
+        functions
+    in
+    if fresh = [] then sql_set else fixpoint (fresh @ sql_set)
+  in
+  fixpoint []
+
+let transpile_all ?max_runs ~program () =
+  let sql = sql_functions program in
+  Uv_applang.Ast.functions program
+  |> List.filter (fun (name, _, _) -> List.mem name sql)
+  |> List.map (fun (name, _, _) -> transpile ?max_runs ~program ~name ())
+
+let augmented_source program name =
+  match
+    List.find_opt (fun (n, _, _) -> String.equal n name)
+      (Uv_applang.Ast.functions program)
+  with
+  | None -> invalid_arg ("augmented_source: unknown function " ^ name)
+  | Some (_, params, _) ->
+      let plist = String.concat ", " params in
+      let holes = String.concat ", " (List.map (fun p -> "${" ^ p ^ "}") params) in
+      Printf.sprintf
+        "function %s_augmented(%s) {\n\
+        \  Ultraverse_log(`function %s(%s)`);\n\
+        \  return %s(%s);\n\
+         }\n"
+        name plist name holes name plist

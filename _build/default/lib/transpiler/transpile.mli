@@ -1,0 +1,57 @@
+(** Z3-to-SQL transpilation (§3.2 step 3): the execution path tree becomes
+    a semantically equivalent SQL PROCEDURE.
+
+    Mapping, following the paper's Figures 4 and 9–11:
+    - transaction inputs → [IN] parameters, typed by the widest concrete
+      type the DSE observed (dynamic type coercion, §C.1);
+    - blackbox API results → extra [IN] parameters ([blackbox_symbol_k],
+      §C.3); the runtime evaluates the native API on the fly and passes
+      the value in;
+    - database-call results → [DECLARE]d locals filled by
+      [SELECT ... INTO] (one local per accessed field);
+    - branches → [IF ... THEN ... ELSE ... END IF], with unexplored sides
+      compiled to [SIGNAL SQLSTATE '45000'] stubs (§3.3);
+    - symbolic string concatenation → [CONCAT]. *)
+
+open Uv_symexec
+
+type t = {
+  txn_name : string;
+  proc_name : string;
+  procedure : Uv_sql.Ast.stmt;  (** the [CREATE PROCEDURE] statement *)
+  app_params : string list;  (** original transaction parameters, in order *)
+  blackbox_params : (string * string * int) list;
+      (** (procedure parameter, API name, occurrence) — the runtime
+          supplies these by calling the native API *)
+  paths : int;
+  unexplored : int;  (** SIGNAL stubs emitted *)
+  runs : int;  (** DSE testcases executed *)
+}
+
+val transpile_tree :
+  name:string -> exploration:Concolic.exploration -> t
+(** Turn a finished exploration into a procedure named
+    ["uv_" ^ name]. *)
+
+val transpile :
+  ?max_runs:int ->
+  ?seeds:Uv_symexec.Assignment.t list ->
+  program:Uv_applang.Ast.program ->
+  name:string ->
+  unit ->
+  t
+(** [explore] then [transpile_tree]. *)
+
+val transpile_all :
+  ?max_runs:int -> program:Uv_applang.Ast.program -> unit -> t list
+(** Transpile every top-level function that (transitively) executes
+    [SQL_exec]. *)
+
+val augmented_source : Uv_applang.Ast.program -> string -> string
+(** The Figure-3 style augmented application code for one transaction: a
+    wrapper that logs the invocation before delegating. Purely
+    presentational — the runtime performs the logging natively. *)
+
+val sym_to_sql : (Sym.t -> Uv_sql.Ast.expr option) -> Sym.t -> Uv_sql.Ast.expr
+(** Render a symbolic expression as SQL, resolving leaf symbols through
+    the callback (raises [Failure] on an unresolvable leaf). *)

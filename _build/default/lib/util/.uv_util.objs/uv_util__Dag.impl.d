@@ -1,0 +1,1 @@
+lib/util/dag.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/util/table_hash.ml: Char Int64 List String

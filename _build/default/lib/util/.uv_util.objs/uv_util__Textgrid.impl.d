@@ -1,0 +1,1 @@
+lib/util/textgrid.ml: Array Buffer List Printf String

@@ -1,0 +1,25 @@
+type t = {
+  rtt_ms : float;
+  mutable simulated : float;
+  mutable started : float;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let create ?(rtt_ms = 1.0) () = { rtt_ms; simulated = 0.0; started = now_ms () }
+
+let rtt_ms t = t.rtt_ms
+
+let charge_rtt t ?(count = 1) () = t.simulated <- t.simulated +. (float_of_int count *. t.rtt_ms)
+
+let charge_ms t ms = t.simulated <- t.simulated +. ms
+
+let simulated_ms t = t.simulated
+
+let real_elapsed_ms t = now_ms () -. t.started
+
+let total_ms t = real_elapsed_ms t +. t.simulated
+
+let reset t =
+  t.simulated <- 0.0;
+  t.started <- now_ms ()

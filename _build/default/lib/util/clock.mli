@@ -1,0 +1,37 @@
+(** Two-clock measurement: real monotonic time plus a simulated cost clock.
+
+    The paper measures wall-clock time on a client/server MySQL deployment
+    with ~1 ms round trips and an 8-vCPU parallel replay. Our engine is
+    in-process, so round-trip latency and multi-core replay are modelled on
+    a simulated clock: callers charge simulated costs (RTT per client/server
+    round trip, per-query replay cost on a worker) and read back both the
+    real elapsed time and the simulated makespan. *)
+
+type t
+
+val create : ?rtt_ms:float -> unit -> t
+(** [create ~rtt_ms ()] starts both clocks. [rtt_ms] (default [1.0]) is the
+    simulated client-server round-trip cost in milliseconds. *)
+
+val rtt_ms : t -> float
+
+val charge_rtt : t -> ?count:int -> unit -> unit
+(** Charge [count] (default 1) round trips to the simulated clock. *)
+
+val charge_ms : t -> float -> unit
+(** Charge an arbitrary simulated cost in milliseconds. *)
+
+val simulated_ms : t -> float
+(** Total simulated cost charged so far. *)
+
+val real_elapsed_ms : t -> float
+(** Real monotonic time since [create]. *)
+
+val total_ms : t -> float
+(** Real elapsed time plus simulated charges — the number the benches
+    report as "what the paper's deployment would observe". *)
+
+val reset : t -> unit
+
+val now_ms : unit -> float
+(** Monotonic timestamp helper for ad-hoc timing. *)

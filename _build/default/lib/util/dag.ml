@@ -1,0 +1,125 @@
+type t = {
+  n : int;
+  succ : int list array; (* raw, may contain duplicates *)
+  pred : int list array;
+  mutable dirty : bool;
+  mutable succ_dedup : int list array; (* cache *)
+  mutable pred_dedup : int list array;
+}
+
+let create n =
+  {
+    n;
+    succ = Array.make (max n 1) [];
+    pred = Array.make (max n 1) [];
+    dirty = true;
+    succ_dedup = [||];
+    pred_dedup = [||];
+  }
+
+let node_count t = t.n
+
+let add_edge t src dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Dag.add_edge: node out of range";
+  t.succ.(src) <- dst :: t.succ.(src);
+  t.pred.(dst) <- src :: t.pred.(dst);
+  t.dirty <- true
+
+let dedup lst = List.sort_uniq compare lst
+
+let refresh t =
+  if t.dirty then begin
+    t.succ_dedup <- Array.map dedup t.succ;
+    t.pred_dedup <- Array.map dedup t.pred;
+    t.dirty <- false
+  end
+
+let successors t i =
+  refresh t;
+  t.succ_dedup.(i)
+
+let predecessors t i =
+  refresh t;
+  t.pred_dedup.(i)
+
+let edge_count t =
+  refresh t;
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.succ_dedup
+
+let reachable_from t seeds =
+  refresh t;
+  let seen = Array.make t.n false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit t.succ_dedup.(i)
+    end
+  in
+  List.iter (fun s -> if s >= 0 && s < t.n then visit s) seeds;
+  seen
+
+let topological_order t =
+  refresh t;
+  (* Edges point src -> dst with dst required first: order by DFS on
+     successors, emitting a node after everything it depends on. *)
+  let state = Array.make t.n 0 in
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let out = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | 2 -> ()
+    | 1 -> invalid_arg "Dag.topological_order: cycle"
+    | _ ->
+        state.(i) <- 1;
+        List.iter visit t.succ_dedup.(i);
+        state.(i) <- 2;
+        out := i :: !out
+  in
+  for i = 0 to t.n - 1 do
+    visit i
+  done;
+  (* [out] has dependents before dependencies reversed by the cons order:
+     a node is consed after its successors, so !out lists dependents first;
+     reverse to put dependencies first. *)
+  List.rev !out
+
+let critical_path_makespan t ~weights ~workers =
+  refresh t;
+  if t.n = 0 then 0.0
+  else begin
+    let order = topological_order t in
+    (* earliest finish ignoring worker limits (critical path) *)
+    let finish = Array.make t.n 0.0 in
+    List.iter
+      (fun i ->
+        let ready =
+          List.fold_left (fun acc d -> Float.max acc finish.(d)) 0.0 t.succ_dedup.(i)
+        in
+        finish.(i) <- ready +. weights.(i))
+      order;
+    let critical = Array.fold_left Float.max 0.0 finish in
+    if workers >= t.n then critical
+    else begin
+      (* Greedy list scheduling in topological order with [workers] lanes:
+         each node starts at max(dependency finish, earliest free lane). *)
+      let lanes = Array.make (max workers 1) 0.0 in
+      let sched_finish = Array.make t.n 0.0 in
+      List.iter
+        (fun i ->
+          let dep_ready =
+            List.fold_left (fun acc d -> Float.max acc sched_finish.(d)) 0.0 t.succ_dedup.(i)
+          in
+          (* earliest free lane *)
+          let best = ref 0 in
+          for l = 1 to Array.length lanes - 1 do
+            if lanes.(l) < lanes.(!best) then best := l
+          done;
+          let start = Float.max dep_ready lanes.(!best) in
+          let fin = start +. weights.(i) in
+          lanes.(!best) <- fin;
+          sched_finish.(i) <- fin)
+        order;
+      Array.fold_left Float.max 0.0 lanes
+    end
+  end

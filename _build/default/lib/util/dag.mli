@@ -1,0 +1,41 @@
+(** Directed acyclic graphs over dense integer node ids.
+
+    Used for the query dependency graph (§4.2–§4.3) and the replay
+    conflict graph (§4.4). Nodes are [0 .. n-1]; edges point from a later
+    query to the earlier query it depends on, so dependency edges can never
+    form a cycle. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph with nodes [0..n-1]. *)
+
+val node_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g src dst] adds [src -> dst]. Duplicate edges are kept cheap
+    to add and deduplicated lazily. *)
+
+val successors : t -> int -> int list
+(** Deduplicated, sorted successor list. *)
+
+val predecessors : t -> int -> int list
+(** Deduplicated, sorted predecessor list (reverse edges). *)
+
+val edge_count : t -> int
+
+val reachable_from : t -> int list -> bool array
+(** [reachable_from g seeds] marks every node reachable from any seed by
+    following edges forward (including the seeds themselves). *)
+
+val topological_order : t -> int list
+(** A topological order (dependencies before dependents, i.e. [dst] before
+    [src] for every edge). Raises [Invalid_argument] on a cycle. *)
+
+val critical_path_makespan :
+  t -> weights:float array -> workers:int -> float
+(** List-scheduling makespan of executing every node on [workers] identical
+    workers, where a node may start only after all nodes it points to have
+    finished. With [workers = max_int] this is the critical-path length;
+    with [workers = 1] it is the serial sum. Used to model §4.4's parallel
+    replay of non-conflicting queries. *)

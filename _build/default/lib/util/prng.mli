@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All workload generators draw from this PRNG so histories are
+    reproducible from a seed; nothing in the library uses the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. [bound] must be positive. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [[lo, hi]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val alpha_string : t -> int -> string
+(** [alpha_string t n] is a random lowercase ASCII string of length [n]. *)
+
+val bits64 : t -> int64
+(** Raw 64 bits of the splitmix64 stream. *)

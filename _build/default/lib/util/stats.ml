@@ -1,0 +1,37 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+      in
+      List.nth s (max 0 (min (n - 1) rank))
+
+let median xs = percentile 50.0 xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+      sqrt var
+
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> exp (mean (List.map log xs))
+
+let live_words () =
+  Gc.minor ();
+  let st = Gc.stat () in
+  st.Gc.live_words
+
+let live_bytes () = live_words () * (Sys.word_size / 8)

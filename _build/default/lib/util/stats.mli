@@ -1,0 +1,21 @@
+(** Small numeric helpers shared by the bench harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val median : float list -> float
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive samples. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [[0,100]], nearest-rank on sorted data. *)
+
+val live_words : unit -> int
+(** Live heap words right now (after a minor collection), used to account
+    memory overhead the way Table 4(b) does. *)
+
+val live_bytes : unit -> int

@@ -1,0 +1,72 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header) rows
+  in
+  let pad r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let all = pad t.header :: List.map pad rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun r -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r)
+    all;
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row r =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c + 1) ' ');
+        Buffer.add_char buf '|')
+      r;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  row (pad t.header);
+  line '=';
+  List.iter row (List.map pad rows);
+  line '-';
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_ms ms =
+  if ms < 1.0 then Printf.sprintf "%.3fms" ms
+  else if ms < 1000.0 then Printf.sprintf "%.2fms" ms
+  else if ms < 60_000.0 then Printf.sprintf "%.2fs" (ms /. 1000.0)
+  else if ms < 3_600_000.0 then Printf.sprintf "%.1fmin" (ms /. 60_000.0)
+  else Printf.sprintf "%.2fH" (ms /. 3_600_000.0)
+
+let fmt_bytes b =
+  let f = float_of_int b in
+  if b < 1024 then Printf.sprintf "%db" b
+  else if b < 1024 * 1024 then Printf.sprintf "%.1fKB" (f /. 1024.0)
+  else if b < 1024 * 1024 * 1024 then Printf.sprintf "%.1fMB" (f /. 1048576.0)
+  else Printf.sprintf "%.2fGB" (f /. 1073741824.0)
+
+let fmt_speedup x = Printf.sprintf "%.1fx" x

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, boxed tables similar to the paper's Tables 4–8 so
+    EXPERIMENTS.md can paste bench output verbatim. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val fmt_ms : float -> string
+(** Human scale: "0.82ms", "1.24s", "2.1H" like the paper's tables. *)
+
+val fmt_bytes : int -> string
+(** "482b", "43MB", "3.5GB". *)
+
+val fmt_speedup : float -> string
+(** "23.6x". *)

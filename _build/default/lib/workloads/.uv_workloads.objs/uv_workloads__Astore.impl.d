@@ -1,0 +1,1 @@
+lib/workloads/astore.ml: List Printf Uv_retroactive Uv_util Wtypes

@@ -1,0 +1,1 @@
+lib/workloads/dsystem.ml: Analyzer Array Catalog Engine Hashtbl List Log Scheduler Uv_db Uv_retroactive Uv_transpiler Uv_util

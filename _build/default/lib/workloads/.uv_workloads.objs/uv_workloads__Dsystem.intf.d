@@ -1,0 +1,1 @@
+lib/workloads/dsystem.mli: Ast Uv_db Uv_retroactive Uv_sql Uv_transpiler

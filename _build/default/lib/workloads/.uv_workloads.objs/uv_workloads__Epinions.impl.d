@@ -1,0 +1,1 @@
+lib/workloads/epinions.ml: List Printf Uv_retroactive Uv_util Wtypes

@@ -1,0 +1,1 @@
+lib/workloads/epinions.mli: Wtypes

@@ -1,0 +1,1 @@
+lib/workloads/tatp.ml: List Printf Uv_retroactive Uv_util Wtypes

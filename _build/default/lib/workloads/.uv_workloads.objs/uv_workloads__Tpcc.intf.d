@@ -1,0 +1,1 @@
+lib/workloads/tpcc.mli: Wtypes

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Astore Epinions List Seats String Tatp Tpcc Uv_db Uv_retroactive Uv_sql Uv_transpiler Uv_util Value Wtypes

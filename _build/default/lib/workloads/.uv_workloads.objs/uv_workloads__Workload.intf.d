@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Uv_db Uv_retroactive Uv_sql Uv_transpiler Uv_util Value

@@ -1,0 +1,1 @@
+lib/workloads/wtypes.ml: List Uv_db Uv_retroactive Uv_sql Uv_util Value

@@ -1,0 +1,306 @@
+(* AStore: the open-source ExpressJS e-commerce macro-benchmark. The
+   paper's AStore has 61 application-level transactions of which 20
+   update the database; we port the 20 updating transactions (several
+   with multi-query check-then-act flows and one with a cart loop) plus
+   representative read-only handlers. PlaceOrder is the motivating Figure
+   1 flow: it refuses to order without a registered shipping address. RI
+   columns per §D.5. *)
+
+open Wtypes
+
+let schema_sql =
+  {|
+CREATE TABLE Users (UserID INT PRIMARY KEY, Username VARCHAR(32), Email VARCHAR(64), Password VARCHAR(64), IsAdmin INT);
+CREATE TABLE Addresses (AddressID INT PRIMARY KEY AUTO_INCREMENT, UserID INT REFERENCES Users(UserID), Street VARCHAR(64), City VARCHAR(32), Zip VARCHAR(10));
+CREATE TABLE Categories (CategoryID INT PRIMARY KEY, Name VARCHAR(32));
+CREATE TABLE Products (ProductID INT PRIMARY KEY, CategoryID INT REFERENCES Categories(CategoryID), Name VARCHAR(64), Price DOUBLE, Stock INT);
+CREATE TABLE Orders (OrderID INT PRIMARY KEY AUTO_INCREMENT, UserID INT REFERENCES Users(UserID), AddressID INT, Status VARCHAR(16), Total DOUBLE);
+CREATE TABLE OrderDetails (OrderID INT REFERENCES Orders(OrderID), ProductID INT REFERENCES Products(ProductID), Quantity INT, UnitPrice DOUBLE);
+CREATE TABLE Messages (MessageID INT PRIMARY KEY AUTO_INCREMENT, Email VARCHAR(64), Body VARCHAR(256), Answered INT);
+CREATE TABLE Subscribers (Email VARCHAR(64) PRIMARY KEY, Active INT);
+|}
+
+let app_source =
+  {|
+function RegisterUser(user_id, username, email, password) {
+  var dup = SQL_exec(`SELECT COUNT(*) FROM Users WHERE UserID = ${user_id}`);
+  if (dup[0]['COUNT(*)'] != 0) {
+    return 'user exists';
+  }
+  SQL_exec(`INSERT INTO Users VALUES (${user_id}, '${username}', '${email}', '${password}', 0)`);
+}
+
+function UpdateUserEmail(user_id, email) {
+  SQL_exec(`UPDATE Users SET Email = '${email}' WHERE UserID = ${user_id}`);
+}
+
+function UpdateUserPassword(user_id, password) {
+  SQL_exec(`UPDATE Users SET Password = '${password}' WHERE UserID = ${user_id}`);
+}
+
+function DeleteUser(user_id) {
+  SQL_exec(`DELETE FROM Addresses WHERE UserID = ${user_id}`);
+  SQL_exec(`DELETE FROM Users WHERE UserID = ${user_id}`);
+}
+
+function AddAddress(user_id, street, city, zip) {
+  SQL_exec(`INSERT INTO Addresses (UserID, Street, City, Zip) VALUES (${user_id}, '${street}', '${city}', '${zip}')`);
+}
+
+function UpdateAddress(address_id, street, city) {
+  SQL_exec(`UPDATE Addresses SET Street = '${street}', City = '${city}' WHERE AddressID = ${address_id}`);
+}
+
+function DeleteAddress(address_id) {
+  SQL_exec(`DELETE FROM Addresses WHERE AddressID = ${address_id}`);
+}
+
+function AddCategory(category_id, name) {
+  SQL_exec(`INSERT INTO Categories VALUES (${category_id}, '${name}')`);
+}
+
+function AddProduct(product_id, category_id, name, price, stock) {
+  SQL_exec(`INSERT INTO Products VALUES (${product_id}, ${category_id}, '${name}', ${price}, ${stock})`);
+}
+
+function UpdateProductPrice(product_id, price) {
+  SQL_exec(`UPDATE Products SET Price = ${price} WHERE ProductID = ${product_id}`);
+}
+
+function RestockProduct(product_id, amount) {
+  SQL_exec(`UPDATE Products SET Stock = Stock + ${amount} WHERE ProductID = ${product_id}`);
+}
+
+function DeleteProduct(product_id) {
+  SQL_exec(`DELETE FROM Products WHERE ProductID = ${product_id}`);
+}
+
+function PlaceOrder(user_id, p1, p2, qty) {
+  var addr = SQL_exec(`SELECT AddressID FROM Addresses WHERE UserID = ${user_id}`);
+  if (addr.length == 0) {
+    return 'Error: user has no shipping address';
+  }
+  var address_id = addr[0]['AddressID'];
+  SQL_exec(`INSERT INTO Orders (UserID, AddressID, Status, Total) VALUES (${user_id}, ${address_id}, 'pending', 0)`);
+  var order_rows = SQL_exec(`SELECT MAX(OrderID) FROM Orders WHERE UserID = ${user_id}`);
+  var order_id = order_rows[0]['MAX(OrderID)'];
+  var cart = [p1, p2];
+  var total = 0;
+  for (var k = 0; k < 2; k = k + 1) {
+    var pid = cart[k];
+    var prod = SQL_exec(`SELECT Price FROM Products WHERE ProductID = ${pid}`);
+    var price = prod[0]['Price'];
+    SQL_exec(`INSERT INTO OrderDetails VALUES (${order_id}, ${pid}, ${qty}, ${price})`);
+    SQL_exec(`UPDATE Products SET Stock = Stock - ${qty} WHERE ProductID = ${pid}`);
+    total = total + price * qty;
+  }
+  SQL_exec(`UPDATE Orders SET Total = ${total} WHERE OrderID = ${order_id}`);
+}
+
+function CancelOrder(order_id) {
+  SQL_exec(`UPDATE Orders SET Status = 'cancelled' WHERE OrderID = ${order_id}`);
+}
+
+function ShipOrder(order_id) {
+  SQL_exec(`UPDATE Orders SET Status = 'shipped' WHERE OrderID = ${order_id}`);
+}
+
+function SendMessage(email, body) {
+  SQL_exec(`INSERT INTO Messages (Email, Body, Answered) VALUES ('${email}', '${body}', 0)`);
+}
+
+function AnswerMessage(message_id) {
+  SQL_exec(`UPDATE Messages SET Answered = 1 WHERE MessageID = ${message_id}`);
+}
+
+function DeleteMessage(message_id) {
+  SQL_exec(`DELETE FROM Messages WHERE MessageID = ${message_id}`);
+}
+
+function Subscribe(email) {
+  var dup = SQL_exec(`SELECT COUNT(*) FROM Subscribers WHERE Email = '${email}'`);
+  if (dup[0]['COUNT(*)'] == 0) {
+    SQL_exec(`INSERT INTO Subscribers VALUES ('${email}', 1)`);
+  } else {
+    SQL_exec(`UPDATE Subscribers SET Active = 1 WHERE Email = '${email}'`);
+  }
+}
+
+function Unsubscribe(email) {
+  SQL_exec(`UPDATE Subscribers SET Active = 0 WHERE Email = '${email}'`);
+}
+
+function GetProduct(product_id) {
+  return SQL_exec(`SELECT Name, Price, Stock FROM Products WHERE ProductID = ${product_id}`);
+}
+
+function ListOrders(user_id) {
+  return SQL_exec(`SELECT OrderID, Status, Total FROM Orders WHERE UserID = ${user_id}`);
+}
+
+function GetUser(user_id) {
+  return SQL_exec(`SELECT Username, Email FROM Users WHERE UserID = ${user_id}`);
+}
+|}
+
+let ri_config =
+  {
+    Uv_retroactive.Rowset.ri_columns =
+      [
+        ("Users", [ "UserID" ]);
+        ("Addresses", [ "AddressID" ]);
+        ("Categories", [ "CategoryID" ]);
+        ("Products", [ "ProductID" ]);
+        ("Orders", [ "OrderID" ]);
+        ("OrderDetails", [ "OrderID" ]);
+        ("Messages", [ "MessageID" ]);
+        ("Subscribers", [ "Email" ]);
+      ];
+    ri_aliases = [];
+  }
+
+let base_users = 50
+let base_products = 40
+let categories = 8
+
+let populate eng ~scale prng =
+  let users = base_users * scale and products = base_products * scale in
+  bulk_insert eng "Users"
+    (List.init users (fun i ->
+         let u = i + 1 in
+         [
+           vint u;
+           vstr (Printf.sprintf "user%d" u);
+           vstr (Printf.sprintf "user%d@shop.com" u);
+           vstr (Uv_util.Prng.alpha_string prng 12);
+           vint 0;
+         ]));
+  bulk_insert eng "Addresses"
+    (List.init users (fun i ->
+         let u = i + 1 in
+         [
+           vint u;
+           vint u;
+           vstr (Printf.sprintf "%d Main St" u);
+           vstr "Osaka";
+           vstr (Printf.sprintf "%05d" (10_000 + u));
+         ]));
+  bulk_insert eng "Categories"
+    (List.init categories (fun i ->
+         [ vint (i + 1); vstr (Printf.sprintf "cat%d" (i + 1)) ]));
+  bulk_insert eng "Products"
+    (List.init products (fun i ->
+         let p = i + 1 in
+         [
+           vint p;
+           vint (1 + (p mod categories));
+           vstr (Printf.sprintf "product%d" p);
+           vfloat (5.0 +. Uv_util.Prng.float prng 95.0);
+           vint (50 + Uv_util.Prng.int prng 100);
+         ]))
+
+let generate_update prng ~scale ~n ~dep_rate =
+  let users = base_users * scale and products = base_products * scale in
+  List.init n (fun _ ->
+      let u = entity prng ~dep_rate ~hot:1 ~pool:users in
+      let p = entity prng ~dep_rate ~hot:1 ~pool:products in
+      match Uv_util.Prng.int prng 10 with
+      | 0 ->
+          let p2 = entity prng ~dep_rate ~hot:1 ~pool:products in
+          call "PlaceOrder"
+            [ vint u; vint p; vint p2; vint (1 + Uv_util.Prng.int prng 3) ]
+      | 1 -> call "UpdateUserEmail" [ vint u; vstr (Uv_util.Prng.alpha_string prng 10) ]
+      | 2 ->
+          call "UpdateProductPrice"
+            [ vint p; vfloat (5.0 +. Uv_util.Prng.float prng 95.0) ]
+      | 3 -> call "RestockProduct" [ vint p; vint (1 + Uv_util.Prng.int prng 20) ]
+      | 4 ->
+          call "AddAddress"
+            [
+              vint u;
+              vstr (Uv_util.Prng.alpha_string prng 12);
+              vstr "Kyoto";
+              vstr "60001";
+            ]
+      | 5 ->
+          call "SendMessage"
+            [
+              vstr (Printf.sprintf "user%d@shop.com" u);
+              vstr (Uv_util.Prng.alpha_string prng 24);
+            ]
+      | 6 -> call "Subscribe" [ vstr (Printf.sprintf "user%d@shop.com" u) ]
+      | 7 -> call "CancelOrder" [ vint (1 + Uv_util.Prng.int prng (max 1 (n / 10))) ]
+      | 8 -> call "ShipOrder" [ vint (1 + Uv_util.Prng.int prng (max 1 (n / 10))) ]
+      | _ ->
+          call "UpdateUserPassword" [ vint u; vstr (Uv_util.Prng.alpha_string prng 12) ])
+
+let numeric_history prng ~n ~dep_rate =
+  let products = min base_products (max 4 (n / 3)) in
+  let ddl =
+    [
+      "CREATE TABLE Products (ProductID INT PRIMARY KEY, Price DOUBLE, Stock INT)";
+      "CREATE TABLE OrderDetails (OrderID INT, ProductID INT, Quantity INT)";
+    ]
+  in
+  let seed =
+    List.init products (fun i ->
+        Printf.sprintf "INSERT INTO Products VALUES (%d, %d, %d)" (i + 1)
+          (5 + Uv_util.Prng.int prng 95)
+          (50 + Uv_util.Prng.int prng 100))
+  in
+  let ops =
+    List.init (max 0 (n - List.length ddl - List.length seed)) (fun i ->
+        let p = entity prng ~dep_rate ~hot:1 ~pool:products in
+        match Uv_util.Prng.int prng 3 with
+        | 0 ->
+            Printf.sprintf "UPDATE Products SET Price = %d WHERE ProductID = %d"
+              (5 + Uv_util.Prng.int prng 95)
+              p
+        | 1 ->
+            Printf.sprintf "UPDATE Products SET Stock = %d WHERE ProductID = %d"
+              (Uv_util.Prng.int prng 150)
+              p
+        | _ ->
+            Printf.sprintf "INSERT INTO OrderDetails VALUES (%d, %d, %d)" (i + 1) p
+              (1 + Uv_util.Prng.int prng 3))
+  in
+  let pre = List.length ddl + List.length seed in
+  let mid = max 1 (List.length ops / 2) in
+  let before = List.filteri (fun i _ -> i < mid) ops in
+  let after = List.filteri (fun i _ -> i >= mid) ops in
+  (* a guaranteed hot-entity statement at the middle: the deterministic
+     retroactive target *)
+  let hot = "UPDATE Products SET Price = 55 WHERE ProductID = 1" in
+  (ddl @ seed @ before @ (hot :: after), pre + mid + 1)
+
+(* The paper's histories mix read-only transactions with the updating
+   ones; reads cost the full-replay baselines real work while the
+   dependency analysis skips them. *)
+let generate prng ~scale ~n ~dep_rate =
+  let updates = generate_update prng ~scale ~n ~dep_rate in
+  List.concat_map
+    (fun call_item ->
+      if Uv_util.Prng.chance prng 0.3 then
+        let read =
+          match Uv_util.Prng.int prng 3 with
+          | 0 -> call "GetProduct" [ vint (1 + Uv_util.Prng.int prng base_products) ]
+          | 1 -> call "ListOrders" [ vint (1 + Uv_util.Prng.int prng base_users) ]
+          | _ -> call "GetUser" [ vint (1 + Uv_util.Prng.int prng base_users) ]
+        in
+        [ read; call_item ]
+      else [ call_item ])
+    updates
+  |> fun all -> List.filteri (fun i _ -> i < n) all
+
+let workload =
+  {
+    name = "AStore";
+    schema_sql;
+    app_source;
+    ri_config;
+    populate;
+    generate;
+    target_call = call "AddAddress" [ vint 1; vstr "1 First Ave"; vstr "Nara"; vstr "63001" ];
+    mahif_capable = true;
+    numeric_history = Some numeric_history;
+  }

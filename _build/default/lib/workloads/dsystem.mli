@@ -1,0 +1,41 @@
+(** The "D" system of §5: dependency-analysed replay of *non-transpiled*
+    application-level transactions.
+
+    D works over the raw per-query history (every [SQL_exec] its own log
+    entry, tagged with its invocation). The analyzer computes the replay
+    set at transaction granularity; rollback undoes the member entries;
+    the replay phase then re-invokes the member *application functions*
+    through the interpreter with their recorded inputs and blackbox draws
+    — preserving application-level control flow, unlike replaying the raw
+    statements (which would repeat the original branch decisions even
+    when the hypothetical past invalidates them). *)
+
+open Uv_sql
+
+type outcome = {
+  member_invocations : int;  (** transactions re-invoked *)
+  total_invocations : int;
+  undone_entries : int;
+  replayed_entries : int;  (** statements issued by the re-invocations *)
+  analysis_ms : float;
+  real_ms : float;
+  serial_cost_ms : float;  (** real + one round trip per replayed statement *)
+  parallel_cost_ms : float;
+      (** conflict-DAG makespan over the member entries (8 workers) *)
+  temp_catalog : Uv_db.Catalog.t;
+}
+
+val run :
+  ?workers:int ->
+  ?rtt_ms:float ->
+  analyzer:Uv_retroactive.Analyzer.t ->
+  runtime:Uv_transpiler.Runtime.t ->
+  Uv_db.Engine.t ->
+  target_tag:string ->
+  outcome
+(** Retroactively remove the application-level transaction tagged
+    [target_tag] from the engine's raw-mode history. *)
+
+val tag_of_invocation : Uv_transpiler.Runtime.invocation -> string
+
+val query : outcome -> Ast.select -> Uv_db.Engine.result

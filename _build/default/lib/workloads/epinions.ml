@@ -1,0 +1,193 @@
+(* Epinions (BenchBase): online-review social network. Four
+   database-updating transactions, each a single UPDATE — the paper notes
+   Epinions sees no round-trip benefit from transpilation (§5.2) but the
+   largest dependency-analysis benefit. RI columns per §D.1. *)
+
+open Wtypes
+
+let schema_sql =
+  {|
+CREATE TABLE useracct (u_id INT PRIMARY KEY, name VARCHAR(32), email VARCHAR(64), creation_date INT);
+CREATE TABLE item (i_id INT PRIMARY KEY, title VARCHAR(64), description VARCHAR(128), creation_date INT);
+CREATE TABLE review (a_id INT PRIMARY KEY, u_id INT REFERENCES useracct(u_id), i_id INT REFERENCES item(i_id), rating INT, comment VARCHAR(128));
+CREATE TABLE trust (source_u_id INT, target_u_id INT, trust INT, creation_date INT);
+|}
+
+let app_source =
+  {|
+function UpdateUserName(u_id, name) {
+  SQL_exec(`UPDATE useracct SET name = '${name}' WHERE u_id = ${u_id}`);
+}
+
+function UpdateItemTitle(i_id, title) {
+  SQL_exec(`UPDATE item SET title = '${title}' WHERE i_id = ${i_id}`);
+}
+
+function UpdateReviewRating(a_id, rating) {
+  SQL_exec(`UPDATE review SET rating = ${rating} WHERE a_id = ${a_id}`);
+}
+
+function UpdateTrustRating(source_u_id, target_u_id, trust) {
+  SQL_exec(`UPDATE trust SET trust = ${trust} WHERE source_u_id = ${source_u_id} AND target_u_id = ${target_u_id}`);
+}
+
+function GetItemAverageRating(i_id) {
+  var rows = SQL_exec(`SELECT AVG(rating) FROM review WHERE i_id = ${i_id}`);
+  return rows[0]['AVG(rating)'];
+}
+
+function GetReviewsByUser(u_id) {
+  return SQL_exec(`SELECT a_id, i_id, rating FROM review WHERE u_id = ${u_id}`);
+}
+|}
+
+let ri_config =
+  {
+    Uv_retroactive.Rowset.ri_columns =
+      [
+        ("useracct", [ "u_id" ]);
+        ("item", [ "i_id" ]);
+        ("review", [ "a_id" ]);
+        ("trust", [ "source_u_id"; "target_u_id" ]);
+      ];
+    ri_aliases = [];
+  }
+
+let base_users = 60
+let base_items = 50
+
+let populate eng ~scale prng =
+  let users = base_users * scale and items = base_items * scale in
+  bulk_insert eng "useracct"
+    (List.init users (fun i ->
+         [
+           vint (i + 1);
+           vstr (Printf.sprintf "user%d" (i + 1));
+           vstr (Printf.sprintf "u%d@mail.com" (i + 1));
+           vint 1_700_000_000;
+         ]));
+  bulk_insert eng "item"
+    (List.init items (fun i ->
+         [
+           vint (i + 1);
+           vstr (Printf.sprintf "item%d" (i + 1));
+           vstr (Uv_util.Prng.alpha_string prng 24);
+           vint 1_700_000_000;
+         ]));
+  (* one review per (user, two items), ids dense *)
+  let reviews = ref [] in
+  let rid = ref 0 in
+  for u = 1 to users do
+    for k = 0 to 1 do
+      incr rid;
+      let item = 1 + ((u + (k * 7)) mod items) in
+      reviews :=
+        [
+          vint !rid;
+          vint u;
+          vint item;
+          vint (1 + Uv_util.Prng.int prng 5);
+          vstr (Uv_util.Prng.alpha_string prng 16);
+        ]
+        :: !reviews
+    done
+  done;
+  bulk_insert eng "review" (List.rev !reviews);
+  bulk_insert eng "trust"
+    (List.init users (fun i ->
+         [
+           vint (i + 1);
+           vint (1 + ((i + 1) mod users));
+           vint (Uv_util.Prng.int prng 2);
+           vint 1_700_000_000;
+         ]))
+
+let generate_update prng ~scale ~n ~dep_rate =
+  let users = base_users * scale and items = base_items * scale in
+  let reviews = 2 * users in
+  List.init n (fun _ ->
+      match Uv_util.Prng.int prng 4 with
+      | 0 ->
+          let u = entity prng ~dep_rate ~hot:1 ~pool:users in
+          call "UpdateUserName" [ vint u; vstr (Uv_util.Prng.alpha_string prng 8) ]
+      | 1 ->
+          let i = entity prng ~dep_rate ~hot:1 ~pool:items in
+          call "UpdateItemTitle" [ vint i; vstr (Uv_util.Prng.alpha_string prng 12) ]
+      | 2 ->
+          let a = entity prng ~dep_rate ~hot:1 ~pool:reviews in
+          call "UpdateReviewRating" [ vint a; vint (1 + Uv_util.Prng.int prng 5) ]
+      | _ ->
+          let s = entity prng ~dep_rate ~hot:1 ~pool:users in
+          call "UpdateTrustRating"
+            [ vint s; vint (1 + (s mod users)); vint (Uv_util.Prng.int prng 2) ])
+
+(* Numeric projection for the Mahif head-to-head: ratings and trust
+   edges only. *)
+let numeric_history prng ~n ~dep_rate =
+  let users = min base_users (max 4 (n / 6)) in
+  let reviews = 2 * users in
+  let ddl =
+    [
+      "CREATE TABLE review (a_id INT PRIMARY KEY, u_id INT, i_id INT, rating INT)";
+      "CREATE TABLE trust (source_u_id INT, target_u_id INT, trust INT)";
+    ]
+  in
+  let seed =
+    List.init reviews (fun i ->
+        Printf.sprintf "INSERT INTO review VALUES (%d, %d, %d, %d)" (i + 1)
+          (1 + (i mod users))
+          (1 + (i mod base_items))
+          (1 + Uv_util.Prng.int prng 5))
+  in
+  let ops =
+    List.init (max 0 (n - List.length ddl - List.length seed)) (fun _ ->
+        if Uv_util.Prng.chance prng 0.7 then
+          let a = entity prng ~dep_rate ~hot:1 ~pool:reviews in
+          Printf.sprintf "UPDATE review SET rating = %d WHERE a_id = %d"
+            (1 + Uv_util.Prng.int prng 5)
+            a
+        else
+          let s = entity prng ~dep_rate ~hot:1 ~pool:users in
+          Printf.sprintf "INSERT INTO trust VALUES (%d, %d, %d)" s
+            (1 + (s mod users))
+            (Uv_util.Prng.int prng 2))
+  in
+  let pre = List.length ddl + List.length seed in
+  let mid = max 1 (List.length ops / 2) in
+  let before = List.filteri (fun i _ -> i < mid) ops in
+  let after = List.filteri (fun i _ -> i >= mid) ops in
+  (* a guaranteed hot-entity statement at the middle: the deterministic
+     retroactive target *)
+  let hot = "UPDATE review SET rating = 3 WHERE a_id = 1" in
+  (ddl @ seed @ before @ (hot :: after), pre + mid + 1)
+
+(* The paper's histories mix read-only transactions with the updating
+   ones; reads cost the full-replay baselines real work while the
+   dependency analysis skips them. *)
+let generate prng ~scale ~n ~dep_rate =
+  let updates = generate_update prng ~scale ~n ~dep_rate in
+  List.concat_map
+    (fun call_item ->
+      if Uv_util.Prng.chance prng 0.3 then
+        let read =
+          if Uv_util.Prng.bool prng then
+            call "GetItemAverageRating" [ vint (1 + Uv_util.Prng.int prng base_items) ]
+          else call "GetReviewsByUser" [ vint (1 + Uv_util.Prng.int prng base_users) ]
+        in
+        [ read; call_item ]
+      else [ call_item ])
+    updates
+  |> fun all -> List.filteri (fun i _ -> i < n) all
+
+let workload =
+  {
+    name = "Epinions";
+    schema_sql;
+    app_source;
+    ri_config;
+    populate;
+    generate;
+    target_call = call "UpdateReviewRating" [ vint 1; vint 5 ];
+    mahif_capable = true;
+    numeric_history = Some numeric_history;
+  }

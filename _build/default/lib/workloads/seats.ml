@@ -1,0 +1,198 @@
+(* SEATS: airline ticket reservations. Every updating transaction keys on
+   string reservation/customer identifiers, which is why Mahif cannot run
+   it ("×" in Tables 4–5). NewReservation runs a multi-query
+   check-then-book flow, so transpilation collapses several round trips
+   (§5.2). RI/alias configuration per §D.3. *)
+
+open Wtypes
+
+let schema_sql =
+  {|
+CREATE TABLE airport (ap_id INT PRIMARY KEY, ap_code VARCHAR(3), ap_co_id INT);
+CREATE TABLE customer (c_id INT PRIMARY KEY, c_id_str VARCHAR(64), c_base_ap_id INT REFERENCES airport(ap_id), c_balance DOUBLE);
+CREATE TABLE flight (f_id INT PRIMARY KEY, f_al_id INT, f_depart_ap_id INT REFERENCES airport(ap_id), f_arrive_ap_id INT REFERENCES airport(ap_id), f_seats_left INT, f_base_price DOUBLE);
+CREATE TABLE frequent_flyer (ff_c_id INT REFERENCES customer(c_id), ff_al_id INT, ff_c_id_str VARCHAR(64));
+CREATE TABLE reservation (r_id INT PRIMARY KEY AUTO_INCREMENT, r_c_id INT REFERENCES customer(c_id), r_f_id INT REFERENCES flight(f_id), r_seat INT, r_price DOUBLE);
+|}
+
+let app_source =
+  {|
+function NewReservation(c_id_str, f_id, seat) {
+  var cust = SQL_exec(`SELECT c_id, c_balance FROM customer WHERE c_id_str = '${c_id_str}'`);
+  if (cust.length == 0) {
+    return 'unknown customer';
+  }
+  var c_id = cust[0]['c_id'];
+  var flight = SQL_exec(`SELECT f_seats_left, f_base_price FROM flight WHERE f_id = ${f_id}`);
+  if (flight[0]['f_seats_left'] <= 0) {
+    return 'no seats available';
+  }
+  var taken = SQL_exec(`SELECT COUNT(*) FROM reservation WHERE r_f_id = ${f_id} AND r_seat = ${seat}`);
+  if (taken[0]['COUNT(*)'] != 0) {
+    return 'seat taken';
+  }
+  var price = flight[0]['f_base_price'];
+  SQL_exec(`INSERT INTO reservation (r_c_id, r_f_id, r_seat, r_price) VALUES (${c_id}, ${f_id}, ${seat}, ${price})`);
+  SQL_exec(`UPDATE flight SET f_seats_left = f_seats_left - 1 WHERE f_id = ${f_id}`);
+  SQL_exec(`UPDATE customer SET c_balance = c_balance - ${price} WHERE c_id = ${c_id}`);
+}
+
+function DeleteReservation(c_id_str, f_id) {
+  var cust = SQL_exec(`SELECT c_id FROM customer WHERE c_id_str = '${c_id_str}'`);
+  if (cust.length == 0) {
+    return 'unknown customer';
+  }
+  var c_id = cust[0]['c_id'];
+  var res = SQL_exec(`SELECT r_id, r_price FROM reservation WHERE r_c_id = ${c_id} AND r_f_id = ${f_id}`);
+  if (res.length == 0) {
+    return 'no reservation';
+  }
+  var r_id = res[0]['r_id'];
+  var price = res[0]['r_price'];
+  SQL_exec(`DELETE FROM reservation WHERE r_id = ${r_id}`);
+  SQL_exec(`UPDATE flight SET f_seats_left = f_seats_left + 1 WHERE f_id = ${f_id}`);
+  SQL_exec(`UPDATE customer SET c_balance = c_balance + ${price} WHERE c_id = ${c_id}`);
+}
+
+function UpdateReservation(c_id_str, f_id, new_seat) {
+  var cust = SQL_exec(`SELECT c_id FROM customer WHERE c_id_str = '${c_id_str}'`);
+  if (cust.length == 0) {
+    return 'unknown customer';
+  }
+  var c_id = cust[0]['c_id'];
+  var taken = SQL_exec(`SELECT COUNT(*) FROM reservation WHERE r_f_id = ${f_id} AND r_seat = ${new_seat}`);
+  if (taken[0]['COUNT(*)'] == 0) {
+    SQL_exec(`UPDATE reservation SET r_seat = ${new_seat} WHERE r_c_id = ${c_id} AND r_f_id = ${f_id}`);
+  } else {
+    return 'seat taken';
+  }
+}
+
+function UpdateCustomer(c_id_str, delta) {
+  SQL_exec(`UPDATE customer SET c_balance = c_balance + ${delta} WHERE c_id_str = '${c_id_str}'`);
+}
+
+function FindOpenSeats(f_id) {
+  return SQL_exec(`SELECT r_seat FROM reservation WHERE r_f_id = ${f_id}`);
+}
+
+function FindFlights(depart, arrive) {
+  return SQL_exec(`SELECT f_id, f_seats_left FROM flight WHERE f_depart_ap_id = ${depart} AND f_arrive_ap_id = ${arrive}`);
+}
+
+function GetCustomerReservations(c_id_str) {
+  var cust = SQL_exec(`SELECT c_id FROM customer WHERE c_id_str = '${c_id_str}'`);
+  if (cust.length == 0) {
+    return 'unknown customer';
+  }
+  var c_id = cust[0]['c_id'];
+  return SQL_exec(`SELECT r_id, r_f_id, r_seat FROM reservation WHERE r_c_id = ${c_id}`);
+}
+|}
+
+let ri_config =
+  {
+    Uv_retroactive.Rowset.ri_columns =
+      [
+        ("customer", [ "c_id" ]);
+        ("flight", [ "f_id" ]);
+        ("frequent_flyer", [ "ff_c_id" ]);
+        ("reservation", [ "r_c_id"; "r_f_id" ]);
+        ("airport", [ "ap_id" ]);
+      ];
+    ri_aliases =
+      [
+        ("customer", "c_id_str", "c_id");
+        ("frequent_flyer", "ff_c_id_str", "ff_c_id");
+      ];
+  }
+
+let base_customers = 80
+let base_flights = 40
+let airports = 10
+
+let c_str c = Printf.sprintf "CUST-%06d" c
+
+let populate eng ~scale prng =
+  let customers = base_customers * scale and flights = base_flights * scale in
+  bulk_insert eng "airport"
+    (List.init airports (fun i ->
+         [ vint (i + 1); vstr (Printf.sprintf "A%02d" i); vint (1 + (i mod 3)) ]));
+  bulk_insert eng "customer"
+    (List.init customers (fun i ->
+         let c = i + 1 in
+         [
+           vint c;
+           vstr (c_str c);
+           vint (1 + (c mod airports));
+           vfloat (100.0 +. Uv_util.Prng.float prng 900.0);
+         ]));
+  bulk_insert eng "flight"
+    (List.init flights (fun i ->
+         let f = i + 1 in
+         [
+           vint f;
+           vint (1 + (f mod 4));
+           vint (1 + (f mod airports));
+           vint (1 + ((f + 3) mod airports));
+           vint (20 + Uv_util.Prng.int prng 30);
+           vfloat (50.0 +. Uv_util.Prng.float prng 400.0);
+         ]));
+  bulk_insert eng "frequent_flyer"
+    (List.init (customers / 2) (fun i ->
+         let c = (2 * i) + 1 in
+         [ vint c; vint (1 + (c mod 4)); vstr (c_str c) ]))
+
+let generate_update prng ~scale ~n ~dep_rate =
+  let customers = base_customers * scale and flights = base_flights * scale in
+  List.init n (fun _ ->
+      let c = entity prng ~dep_rate ~hot:1 ~pool:customers in
+      let f = entity prng ~dep_rate ~hot:1 ~pool:flights in
+      match Uv_util.Prng.int prng 4 with
+      | 0 ->
+          call "NewReservation"
+            [ vstr (c_str c); vint f; vint (1 + Uv_util.Prng.int prng 60) ]
+      | 1 -> call "DeleteReservation" [ vstr (c_str c); vint f ]
+      | 2 ->
+          call "UpdateReservation"
+            [ vstr (c_str c); vint f; vint (1 + Uv_util.Prng.int prng 60) ]
+      | _ ->
+          call "UpdateCustomer"
+            [ vstr (c_str c); vfloat (Uv_util.Prng.float prng 50.0 -. 25.0) ])
+
+(* The paper's histories mix read-only transactions with the updating
+   ones; reads cost the full-replay baselines real work while the
+   dependency analysis skips them. *)
+let generate prng ~scale ~n ~dep_rate =
+  let updates = generate_update prng ~scale ~n ~dep_rate in
+  List.concat_map
+    (fun call_item ->
+      if Uv_util.Prng.chance prng 0.3 then
+        let read =
+          match Uv_util.Prng.int prng 3 with
+          | 0 -> call "FindOpenSeats" [ vint (1 + Uv_util.Prng.int prng base_flights) ]
+          | 1 ->
+              call "FindFlights"
+                [ vint (1 + Uv_util.Prng.int prng airports);
+                  vint (1 + Uv_util.Prng.int prng airports) ]
+          | _ ->
+              call "GetCustomerReservations"
+                [ vstr (c_str (1 + Uv_util.Prng.int prng base_customers)) ]
+        in
+        [ read; call_item ]
+      else [ call_item ])
+    updates
+  |> fun all -> List.filteri (fun i _ -> i < n) all
+
+let workload =
+  {
+    name = "SEATS";
+    schema_sql;
+    app_source;
+    ri_config;
+    populate;
+    generate;
+    target_call = call "NewReservation" [ vstr (c_str 1); vint 1; vint 1 ];
+    mahif_capable = false;
+    numeric_history = None;
+  }

@@ -1,0 +1,5 @@
+(** The SEATS benchmark (§5, §D): schema, MiniJS transaction code,
+    row-identifier configuration and history generator. See
+    {!Workload.t} for the record's field documentation. *)
+
+val workload : Wtypes.t

@@ -1,0 +1,212 @@
+(* TATP: telecom subscriber management. Four database-updating
+   transactions; UpdateLocation and the call-forwarding pair address the
+   subscriber through the sub_nbr alias column (§D.2's alias
+   configuration). *)
+
+open Wtypes
+
+let schema_sql =
+  {|
+CREATE TABLE subscriber (s_id INT PRIMARY KEY, sub_nbr VARCHAR(15), bit_1 INT, hex_1 INT, byte2_1 INT, msc_location INT, vlr_location INT);
+CREATE TABLE special_facility (s_id INT REFERENCES subscriber(s_id), sf_type INT, is_active INT, error_cntrl INT, data_a INT);
+CREATE TABLE call_forwarding (s_id INT REFERENCES subscriber(s_id), sf_type INT, start_time INT, end_time INT, numberx VARCHAR(15));
+|}
+
+let app_source =
+  {|
+function UpdateSubscriberData(s_id, bit_1, sf_type, data_a) {
+  SQL_exec(`UPDATE subscriber SET bit_1 = ${bit_1} WHERE s_id = ${s_id}`);
+  SQL_exec(`UPDATE special_facility SET data_a = ${data_a} WHERE s_id = ${s_id} AND sf_type = ${sf_type}`);
+}
+
+function UpdateLocation(sub_nbr, vlr_location) {
+  SQL_exec(`UPDATE subscriber SET vlr_location = ${vlr_location} WHERE sub_nbr = '${sub_nbr}'`);
+}
+
+function InsertCallForwarding(sub_nbr, sf_type, start_time, end_time, numberx) {
+  var rows = SQL_exec(`SELECT s_id FROM subscriber WHERE sub_nbr = '${sub_nbr}'`);
+  var s_id = rows[0]['s_id'];
+  var active = SQL_exec(`SELECT COUNT(*) FROM special_facility WHERE s_id = ${s_id} AND sf_type = ${sf_type} AND is_active = 1`);
+  if (active[0]['COUNT(*)'] != 0) {
+    SQL_exec(`INSERT INTO call_forwarding VALUES (${s_id}, ${sf_type}, ${start_time}, ${end_time}, '${numberx}')`);
+  } else {
+    return 'no active special facility';
+  }
+}
+
+function DeleteCallForwarding(sub_nbr, sf_type, start_time) {
+  var rows = SQL_exec(`SELECT s_id FROM subscriber WHERE sub_nbr = '${sub_nbr}'`);
+  var s_id = rows[0]['s_id'];
+  SQL_exec(`DELETE FROM call_forwarding WHERE s_id = ${s_id} AND sf_type = ${sf_type} AND start_time = ${start_time}`);
+}
+
+function GetSubscriberData(s_id) {
+  return SQL_exec(`SELECT * FROM subscriber WHERE s_id = ${s_id}`);
+}
+
+function GetNewDestination(s_id, sf_type, start_time, end_time) {
+  return SQL_exec(`SELECT numberx FROM call_forwarding WHERE s_id = ${s_id} AND sf_type = ${sf_type} AND start_time <= ${start_time} AND end_time > ${end_time}`);
+}
+
+function GetAccessData(s_id, sf_type) {
+  return SQL_exec(`SELECT data_a, error_cntrl FROM special_facility WHERE s_id = ${s_id} AND sf_type = ${sf_type}`);
+}
+|}
+
+let ri_config =
+  {
+    Uv_retroactive.Rowset.ri_columns =
+      [
+        ("subscriber", [ "s_id" ]);
+        ("call_forwarding", [ "s_id" ]);
+        ("special_facility", [ "s_id" ]);
+      ];
+    ri_aliases = [ ("subscriber", "sub_nbr", "s_id") ];
+  }
+
+let base_subs = 100
+
+let sub_nbr_of s = Printf.sprintf "%015d" s
+
+let populate eng ~scale prng =
+  let subs = base_subs * scale in
+  bulk_insert eng "subscriber"
+    (List.init subs (fun i ->
+         let s = i + 1 in
+         [
+           vint s;
+           vstr (sub_nbr_of s);
+           vint (Uv_util.Prng.int prng 2);
+           vint (Uv_util.Prng.int prng 256);
+           vint (Uv_util.Prng.int prng 256);
+           vint (Uv_util.Prng.int prng 1_000_000);
+           vint (Uv_util.Prng.int prng 1_000_000);
+         ]));
+  let sf = ref [] in
+  for s = 1 to subs do
+    for sf_type = 1 to 2 do
+      sf :=
+        [
+          vint s;
+          vint sf_type;
+          vint 1;
+          vint (Uv_util.Prng.int prng 256);
+          vint (Uv_util.Prng.int prng 256);
+        ]
+        :: !sf
+    done
+  done;
+  bulk_insert eng "special_facility" (List.rev !sf)
+
+let generate_update prng ~scale ~n ~dep_rate =
+  let subs = base_subs * scale in
+  List.init n (fun _ ->
+      let s = entity prng ~dep_rate ~hot:1 ~pool:subs in
+      match Uv_util.Prng.int prng 4 with
+      | 0 ->
+          call "UpdateSubscriberData"
+            [
+              vint s;
+              vint (Uv_util.Prng.int prng 2);
+              vint (1 + Uv_util.Prng.int prng 2);
+              vint (Uv_util.Prng.int prng 256);
+            ]
+      | 1 ->
+          call "UpdateLocation"
+            [ vstr (sub_nbr_of s); vint (Uv_util.Prng.int prng 1_000_000) ]
+      | 2 ->
+          call "InsertCallForwarding"
+            [
+              vstr (sub_nbr_of s);
+              vint (1 + Uv_util.Prng.int prng 2);
+              vint (Uv_util.Prng.int prng 24);
+              vint (1 + Uv_util.Prng.int prng 24);
+              vstr (sub_nbr_of (1 + Uv_util.Prng.int prng subs));
+            ]
+      | _ ->
+          call "DeleteCallForwarding"
+            [
+              vstr (sub_nbr_of s);
+              vint (1 + Uv_util.Prng.int prng 2);
+              vint (Uv_util.Prng.int prng 24);
+            ])
+
+let numeric_history prng ~n ~dep_rate =
+  let subs = min base_subs (max 4 (n / 3)) in
+  let ddl =
+    [
+      "CREATE TABLE subscriber (s_id INT PRIMARY KEY, bit_1 INT, vlr_location INT)";
+      "CREATE TABLE call_forwarding (s_id INT, sf_type INT, start_time INT)";
+    ]
+  in
+  let seed =
+    List.init subs (fun i ->
+        Printf.sprintf "INSERT INTO subscriber VALUES (%d, %d, %d)" (i + 1)
+          (Uv_util.Prng.int prng 2)
+          (Uv_util.Prng.int prng 1_000_000))
+  in
+  let ops =
+    List.init (max 0 (n - List.length ddl - List.length seed)) (fun _ ->
+        let s = entity prng ~dep_rate ~hot:1 ~pool:subs in
+        match Uv_util.Prng.int prng 3 with
+        | 0 ->
+            Printf.sprintf "UPDATE subscriber SET vlr_location = %d WHERE s_id = %d"
+              (Uv_util.Prng.int prng 1_000_000)
+              s
+        | 1 ->
+            Printf.sprintf "INSERT INTO call_forwarding VALUES (%d, %d, %d)" s
+              (1 + Uv_util.Prng.int prng 2)
+              (Uv_util.Prng.int prng 24)
+        | _ ->
+            Printf.sprintf
+              "DELETE FROM call_forwarding WHERE s_id = %d AND sf_type = %d" s
+              (1 + Uv_util.Prng.int prng 2))
+  in
+  let pre = List.length ddl + List.length seed in
+  let mid = max 1 (List.length ops / 2) in
+  let before = List.filteri (fun i _ -> i < mid) ops in
+  let after = List.filteri (fun i _ -> i >= mid) ops in
+  (* a guaranteed hot-entity statement at the middle: the deterministic
+     retroactive target *)
+  let hot = "UPDATE subscriber SET vlr_location = 424242 WHERE s_id = 1" in
+  (ddl @ seed @ before @ (hot :: after), pre + mid + 1)
+
+(* The paper's histories mix read-only transactions with the updating
+   ones; reads cost the full-replay baselines real work while the
+   dependency analysis skips them. *)
+let generate prng ~scale ~n ~dep_rate =
+  let updates = generate_update prng ~scale ~n ~dep_rate in
+  List.concat_map
+    (fun call_item ->
+      if Uv_util.Prng.chance prng 0.3 then
+        let read =
+          match Uv_util.Prng.int prng 3 with
+          | 0 -> call "GetSubscriberData" [ vint (1 + Uv_util.Prng.int prng base_subs) ]
+          | 1 ->
+              call "GetAccessData"
+                [ vint (1 + Uv_util.Prng.int prng base_subs);
+                  vint (1 + Uv_util.Prng.int prng 2) ]
+          | _ ->
+              call "GetNewDestination"
+                [ vint (1 + Uv_util.Prng.int prng base_subs);
+                  vint (1 + Uv_util.Prng.int prng 2);
+                  vint 20; vint 4 ]
+        in
+        [ read; call_item ]
+      else [ call_item ])
+    updates
+  |> fun all -> List.filteri (fun i _ -> i < n) all
+
+let workload =
+  {
+    name = "TATP";
+    schema_sql;
+    app_source;
+    ri_config;
+    populate;
+    generate;
+    target_call =
+      call "UpdateLocation" [ vstr (sub_nbr_of 1); vint 424242 ];
+    mahif_capable = true;
+    numeric_history = Some numeric_history;
+  }

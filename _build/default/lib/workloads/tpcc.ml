@@ -1,0 +1,217 @@
+(* TPC-C: order-entry OLTP. NewOrder loops over the order lines (the
+   paper's example of batch-ordering for-loops, §5.3), so transpilation
+   collapses 2+2·ol_cnt round trips into one CALL. Because every
+   transaction funnels through the shared warehouse/district rows, nearly
+   the whole history is mutually dependent (§5.2's observation that
+   TPC-C/SEATS profit from parallelism, not pruning). RI columns per
+   §D.4. *)
+
+open Wtypes
+
+let schema_sql =
+  {|
+CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name VARCHAR(10), w_ytd DOUBLE);
+CREATE TABLE district (d_id INT, d_w_id INT REFERENCES warehouse(w_id), d_ytd DOUBLE, d_next_o_id INT);
+CREATE TABLE customer (c_id INT PRIMARY KEY, c_w_id INT REFERENCES warehouse(w_id), c_d_id INT, c_balance DOUBLE, c_ytd_payment DOUBLE, c_delivery_cnt INT);
+CREATE TABLE item (i_id INT PRIMARY KEY, i_name VARCHAR(24), i_price DOUBLE);
+CREATE TABLE stock (s_i_id INT REFERENCES item(i_id), s_w_id INT REFERENCES warehouse(w_id), s_quantity INT, s_ytd INT);
+CREATE TABLE orders (o_id INT PRIMARY KEY AUTO_INCREMENT, o_w_id INT, o_d_id INT, o_c_id INT, o_carrier_id INT, o_ol_cnt INT);
+CREATE TABLE order_line (ol_o_id INT, ol_w_id INT, ol_i_id INT, ol_qty INT, ol_amount DOUBLE);
+CREATE TABLE history (h_c_id INT, h_c_w_id INT, h_amount DOUBLE);
+|}
+
+let app_source =
+  {|
+function NewOrder(w_id, d_id, c_id, i1, i2, i3, qty) {
+  var d = SQL_exec(`SELECT d_next_o_id FROM district WHERE d_w_id = ${w_id} AND d_id = ${d_id}`);
+  if (d.length == 0) {
+    return 'bad district';
+  }
+  SQL_exec(`UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ${w_id} AND d_id = ${d_id}`);
+  SQL_exec(`INSERT INTO orders (o_w_id, o_d_id, o_c_id, o_carrier_id, o_ol_cnt) VALUES (${w_id}, ${d_id}, ${c_id}, 0, 3)`);
+  var items = [i1, i2, i3];
+  for (var k = 0; k < 3; k = k + 1) {
+    var i_id = items[k];
+    var price_rows = SQL_exec(`SELECT i_price FROM item WHERE i_id = ${i_id}`);
+    var price = price_rows[0]['i_price'];
+    SQL_exec(`UPDATE stock SET s_quantity = s_quantity - ${qty}, s_ytd = s_ytd + ${qty} WHERE s_i_id = ${i_id} AND s_w_id = ${w_id}`);
+    SQL_exec(`INSERT INTO order_line (ol_o_id, ol_w_id, ol_i_id, ol_qty, ol_amount) VALUES (0, ${w_id}, ${i_id}, ${qty}, ${price} * ${qty})`);
+  }
+}
+
+function Payment(w_id, d_id, c_id, amount) {
+  SQL_exec(`UPDATE warehouse SET w_ytd = w_ytd + ${amount} WHERE w_id = ${w_id}`);
+  SQL_exec(`UPDATE district SET d_ytd = d_ytd + ${amount} WHERE d_w_id = ${w_id} AND d_id = ${d_id}`);
+  SQL_exec(`UPDATE customer SET c_balance = c_balance - ${amount}, c_ytd_payment = c_ytd_payment + ${amount} WHERE c_id = ${c_id}`);
+  SQL_exec(`INSERT INTO history VALUES (${c_id}, ${w_id}, ${amount})`);
+}
+
+function Delivery(w_id, carrier_id) {
+  var pending = SQL_exec(`SELECT o_id, o_c_id FROM orders WHERE o_w_id = ${w_id} AND o_carrier_id = 0 ORDER BY o_id ASC LIMIT 1`);
+  if (pending.length == 0) {
+    return 'nothing to deliver';
+  }
+  var o_id = pending[0]['o_id'];
+  var c_id = pending[0]['o_c_id'];
+  SQL_exec(`UPDATE orders SET o_carrier_id = ${carrier_id} WHERE o_id = ${o_id}`);
+  SQL_exec(`UPDATE customer SET c_delivery_cnt = c_delivery_cnt + 1 WHERE c_id = ${c_id}`);
+}
+
+function StockLevel(w_id, threshold) {
+  return SQL_exec(`SELECT COUNT(*) FROM stock WHERE s_w_id = ${w_id} AND s_quantity < ${threshold}`);
+}
+
+function OrderStatus(c_id) {
+  return SQL_exec(`SELECT o_id, o_carrier_id FROM orders WHERE o_c_id = ${c_id} ORDER BY o_id DESC LIMIT 1`);
+}
+|}
+
+let ri_config =
+  {
+    Uv_retroactive.Rowset.ri_columns =
+      [
+        ("warehouse", [ "w_id" ]);
+        ("district", [ "d_w_id" ]);
+        ("customer", [ "c_id" ]);
+        ("item", [ "i_id" ]);
+        ("stock", [ "s_w_id" ]);
+        ("orders", [ "o_w_id" ]);
+        ("order_line", [ "ol_w_id" ]);
+        ("history", [ "h_c_w_id" ]);
+      ];
+    ri_aliases = [];
+  }
+
+let warehouses = 2
+let districts = 4
+let base_customers = 60
+let base_items = 50
+
+let populate eng ~scale prng =
+  let customers = base_customers * scale and items = base_items * scale in
+  bulk_insert eng "warehouse"
+    (List.init warehouses (fun i ->
+         [ vint (i + 1); vstr (Printf.sprintf "wh%d" (i + 1)); vfloat 0.0 ]));
+  let ds = ref [] in
+  for w = 1 to warehouses do
+    for d = 1 to districts do
+      ds := [ vint d; vint w; vfloat 0.0; vint 1 ] :: !ds
+    done
+  done;
+  bulk_insert eng "district" (List.rev !ds);
+  bulk_insert eng "customer"
+    (List.init customers (fun i ->
+         [
+           vint (i + 1);
+           vint (1 + (i mod warehouses));
+           vint (1 + (i mod districts));
+           vfloat 0.0;
+           vfloat 0.0;
+           vint 0;
+         ]));
+  bulk_insert eng "item"
+    (List.init items (fun i ->
+         [
+           vint (i + 1);
+           vstr (Printf.sprintf "item%d" (i + 1));
+           vfloat (1.0 +. Uv_util.Prng.float prng 99.0);
+         ]));
+  let st = ref [] in
+  for w = 1 to warehouses do
+    for i = 1 to items do
+      st := [ vint i; vint w; vint (50 + Uv_util.Prng.int prng 50); vint 0 ] :: !st
+    done
+  done;
+  bulk_insert eng "stock" (List.rev !st)
+
+let generate_update prng ~scale ~n ~dep_rate =
+  let customers = base_customers * scale and items = base_items * scale in
+  List.init n (fun _ ->
+      let w = entity prng ~dep_rate ~hot:1 ~pool:warehouses in
+      let c = entity prng ~dep_rate ~hot:1 ~pool:customers in
+      match Uv_util.Prng.int prng 3 with
+      | 0 ->
+          let item () = 1 + Uv_util.Prng.int prng items in
+          call "NewOrder"
+            [
+              vint w;
+              vint (1 + Uv_util.Prng.int prng districts);
+              vint c;
+              vint (item ());
+              vint (item ());
+              vint (item ());
+              vint (1 + Uv_util.Prng.int prng 5);
+            ]
+      | 1 ->
+          call "Payment"
+            [
+              vint w;
+              vint (1 + Uv_util.Prng.int prng districts);
+              vint c;
+              vfloat (1.0 +. Uv_util.Prng.float prng 500.0);
+            ]
+      | _ -> call "Delivery" [ vint w; vint (1 + Uv_util.Prng.int prng 10) ])
+
+let numeric_history prng ~n ~dep_rate =
+  let customers = min base_customers (max 4 (n / 3)) in
+  let ddl =
+    [
+      "CREATE TABLE customer (c_id INT PRIMARY KEY, c_balance DOUBLE, c_ytd DOUBLE)";
+      "CREATE TABLE history (h_c_id INT, h_amount DOUBLE)";
+    ]
+  in
+  let seed =
+    List.init customers (fun i ->
+        Printf.sprintf "INSERT INTO customer VALUES (%d, 0, 0)" (i + 1))
+  in
+  let ops =
+    List.init (max 0 (n - List.length ddl - List.length seed)) (fun _ ->
+        let c = entity prng ~dep_rate ~hot:1 ~pool:customers in
+        let amount = 1 + Uv_util.Prng.int prng 500 in
+        if Uv_util.Prng.chance prng 0.5 then
+          Printf.sprintf
+            "UPDATE customer SET c_balance = %d, c_ytd = %d WHERE c_id = %d" amount
+            amount c
+        else Printf.sprintf "INSERT INTO history VALUES (%d, %d)" c amount)
+  in
+  let pre = List.length ddl + List.length seed in
+  let mid = max 1 (List.length ops / 2) in
+  let before = List.filteri (fun i _ -> i < mid) ops in
+  let after = List.filteri (fun i _ -> i >= mid) ops in
+  (* a guaranteed hot-entity statement at the middle: the deterministic
+     retroactive target *)
+  let hot = "UPDATE customer SET c_balance = 77, c_ytd = 77 WHERE c_id = 1" in
+  (ddl @ seed @ before @ (hot :: after), pre + mid + 1)
+
+(* The paper's histories mix read-only transactions with the updating
+   ones; reads cost the full-replay baselines real work while the
+   dependency analysis skips them. *)
+let generate prng ~scale ~n ~dep_rate =
+  let updates = generate_update prng ~scale ~n ~dep_rate in
+  List.concat_map
+    (fun call_item ->
+      if Uv_util.Prng.chance prng 0.3 then
+        let read =
+          if Uv_util.Prng.bool prng then
+            call "StockLevel"
+              [ vint (1 + Uv_util.Prng.int prng warehouses);
+                vint (10 + Uv_util.Prng.int prng 80) ]
+          else call "OrderStatus" [ vint (1 + Uv_util.Prng.int prng base_customers) ]
+        in
+        [ read; call_item ]
+      else [ call_item ])
+    updates
+  |> fun all -> List.filteri (fun i _ -> i < n) all
+
+let workload =
+  {
+    name = "TPC-C";
+    schema_sql;
+    app_source;
+    ri_config;
+    populate;
+    generate;
+    target_call = call "Payment" [ vint 1; vint 1; vint 1; vfloat 42.0 ];
+    mahif_capable = true;
+    numeric_history = Some numeric_history;
+  }

@@ -1,0 +1,67 @@
+(* Shared workload record shape; re-exported with documentation by
+   [Workload]. Kept in its own module so each benchmark module can build
+   the record without a dependency cycle through [Workload.all]. *)
+
+open Uv_sql
+
+type txn_call = { txn : string; args : Value.t list }
+
+type t = {
+  name : string;
+  schema_sql : string;
+  app_source : string;
+  ri_config : Uv_retroactive.Rowset.config;
+  populate : Uv_db.Engine.t -> scale:int -> Uv_util.Prng.t -> unit;
+  generate :
+    Uv_util.Prng.t -> scale:int -> n:int -> dep_rate:float -> txn_call list;
+  target_call : txn_call;
+  mahif_capable : bool;
+  numeric_history :
+    (Uv_util.Prng.t -> n:int -> dep_rate:float -> string list * int) option;
+      (* numeric-only projection of the workload (CREATE TABLEs + DML) for
+         the Mahif comparison, plus the 1-based index of a canonical
+         hot-entity statement near the middle of the history — the
+         deterministic retroactive target; None when every update needs
+         strings *)
+}
+
+(* helpers shared by the generators *)
+
+let vint i = Value.Int i
+let vstr s = Value.Text s
+let vfloat f = Value.Float f
+
+let call txn args = { txn; args }
+
+(* Pick the hot entity with probability [dep_rate], else a cold one. *)
+let entity prng ~dep_rate ~hot ~pool =
+  if Uv_util.Prng.chance prng dep_rate then hot
+  else 2 + Uv_util.Prng.int prng (max 1 (pool - 1))
+
+let bulk_insert eng table rows =
+  (* multi-row INSERT statements keep population fast *)
+  let chunk = 256 in
+  let rec go rows =
+    match rows with
+    | [] -> ()
+    | _ ->
+        let now, rest =
+          let rec split i acc = function
+            | [] -> (List.rev acc, [])
+            | x :: r when i < chunk -> split (i + 1) (x :: acc) r
+            | r -> (List.rev acc, r)
+          in
+          split 0 [] rows
+        in
+        let stmt =
+          Uv_sql.Ast.Insert
+            {
+              table;
+              columns = None;
+              values = List.map (List.map (fun v -> Uv_sql.Ast.Lit v)) now;
+            }
+        in
+        ignore (Uv_db.Engine.exec eng stmt);
+        go rest
+  in
+  go rows

@@ -1,0 +1,34 @@
+(** Shared workload record shape and generator helpers. The documented
+    public face is {!Workload}; benchmark modules build this record. *)
+
+open Uv_sql
+
+type txn_call = { txn : string; args : Value.t list }
+
+type t = {
+  name : string;
+  schema_sql : string;
+  app_source : string;
+  ri_config : Uv_retroactive.Rowset.config;
+  populate : Uv_db.Engine.t -> scale:int -> Uv_util.Prng.t -> unit;
+  generate :
+    Uv_util.Prng.t -> scale:int -> n:int -> dep_rate:float -> txn_call list;
+  target_call : txn_call;
+  mahif_capable : bool;
+  numeric_history :
+    (Uv_util.Prng.t -> n:int -> dep_rate:float -> string list * int) option;
+}
+
+val vint : int -> Value.t
+val vstr : string -> Value.t
+val vfloat : float -> Value.t
+
+val call : string -> Value.t list -> txn_call
+
+val entity :
+  Uv_util.Prng.t -> dep_rate:float -> hot:int -> pool:int -> int
+(** The dependency-rate knob: the hot entity with probability
+    [dep_rate], otherwise a uniformly random cold one. *)
+
+val bulk_insert : Uv_db.Engine.t -> string -> Value.t list list -> unit
+(** Chunked multi-row INSERTs for fast population. *)

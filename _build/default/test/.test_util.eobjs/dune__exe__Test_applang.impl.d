@@ -1,0 +1,1 @@
+test/test_applang.ml: Alcotest Uv_applang Uv_symexec

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Catalog Char Dump Engine Filename Fun Gen Int64 List Log Log_io Printf QCheck QCheck_alcotest Schema Storage String Sys Uv_db Uv_sql Uv_util Value

@@ -1,0 +1,1 @@
+test/test_mahif.ml: Alcotest Array Engine List Log Printf QCheck QCheck_alcotest Uv_db Uv_mahif Uv_sql Uv_util

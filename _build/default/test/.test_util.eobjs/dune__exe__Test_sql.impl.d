@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Bytes Char Gen Lexer List Parser Printer QCheck QCheck_alcotest Schema String Uv_sql Value

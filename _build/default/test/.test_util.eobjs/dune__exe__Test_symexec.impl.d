@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Assignment List QCheck QCheck_alcotest Solver Sym Uv_symexec

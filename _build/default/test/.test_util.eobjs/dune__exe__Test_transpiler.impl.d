@@ -1,0 +1,1 @@
+test/test_transpiler.ml: Alcotest Array Ast Engine Int64 List Log Parser Printer Printf Prng QCheck QCheck_alcotest String Uv_applang Uv_db Uv_sql Uv_transpiler Uv_util Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Clock Dag Fun Int64 List Prng QCheck QCheck_alcotest Stats String Table_hash Textgrid Uv_util

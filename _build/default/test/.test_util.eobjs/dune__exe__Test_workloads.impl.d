@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analyzer Catalog Engine List Log Printf Storage Uv_db Uv_retroactive Uv_transpiler Uv_util Uv_workloads Whatif

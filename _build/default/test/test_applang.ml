@@ -1,0 +1,332 @@
+(* Tests for the MiniJS substrate: parsing, interpreter semantics
+   (dynamic typing, closures, objects, template strings, dynamic call
+   targets), and hook behaviour. *)
+
+module A = Uv_applang.Ast
+module P = Uv_applang.Parser
+module I = Uv_applang.Interp
+module V = Uv_applang.Value
+
+let check = Alcotest.check
+
+let eval_src src =
+  let i = I.create () in
+  (I.eval_expr i (P.parse_expr src)).V.v
+
+let run_and_call ?hooks src name args =
+  let i = I.create ?hooks () in
+  I.load_source i src;
+  (I.call_function i name args).V.v
+
+let num_val = function
+  | V.Num f -> f
+  | v -> Alcotest.failf "expected number, got %s" (V.to_display v)
+
+let str_val = function
+  | V.Str s -> s
+  | v -> Alcotest.failf "expected string, got %s" (V.to_display v)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_function_decl () =
+  match P.parse_program "function f(a, b) { return a + b; }" with
+  | [ A.Fun_decl ("f", [ "a"; "b" ], [ A.Return (Some _) ]) ] -> ()
+  | _ -> Alcotest.fail "function decl shape"
+
+let test_parse_template () =
+  match P.parse_expr "`x=${a + 1}!`" with
+  | A.Template [ A.Ptext "x="; A.Phole (A.Binop ("+", _, _)); A.Ptext "!" ] -> ()
+  | _ -> Alcotest.fail "template parts"
+
+let test_parse_precedence () =
+  match P.parse_expr "1 + 2 * 3 == 7 && true" with
+  | A.Binop ("&&", A.Binop ("==", A.Binop ("+", _, A.Binop ("*", _, _)), _), _) -> ()
+  | _ -> Alcotest.fail "precedence"
+
+let test_parse_member_chain () =
+  match P.parse_expr "a.b[0].c(1)" with
+  | A.Call (A.Member (A.Index (A.Member (A.Ident "a", "b"), A.Num 0.0), "c"), [ _ ]) ->
+      ()
+  | _ -> Alcotest.fail "postfix chain"
+
+let test_parse_for_loop () =
+  match P.parse_program "for (var i = 0; i < 3; i = i + 1) { x = x + i; }" with
+  | [ A.For (Some (A.Let ("i", _)), Some _, Some (A.Assign _), _) ] -> ()
+  | _ -> Alcotest.fail "for loop"
+
+let test_parse_error () =
+  match P.parse_program "function ) {" with
+  | exception P.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith_and_coercion () =
+  check (Alcotest.float 1e-9) "add" 5.0 (num_val (eval_src "2 + 3"));
+  check Alcotest.string "string concat" "a1" (str_val (eval_src "'a' + 1"));
+  check (Alcotest.float 1e-9) "numeric string" 6.0 (num_val (eval_src "'2' * 3"));
+  check (Alcotest.float 1e-9) "modulo" 1.0 (num_val (eval_src "7 % 3"))
+
+let test_equality_modes () =
+  (match eval_src "1 == '1'" with
+  | V.Bool true -> ()
+  | _ -> Alcotest.fail "loose equality coerces");
+  match eval_src "1 === '1'" with
+  | V.Bool false -> ()
+  | _ -> Alcotest.fail "strict equality does not"
+
+let test_truthiness_branches () =
+  let v =
+    run_and_call "function f(x) { if (x) { return 'yes'; } return 'no'; }" "f"
+      [ V.str "" ]
+  in
+  check Alcotest.string "empty string falsy" "no" (str_val v)
+
+let test_closures () =
+  let v =
+    run_and_call
+      "function mk(n) { return function(x) { return x + n; }; }\n\
+       function f() { var add2 = mk(2); return add2(40); }"
+      "f" []
+  in
+  check (Alcotest.float 1e-9) "closure captures" 42.0 (num_val v)
+
+let test_objects_arrays () =
+  let v =
+    run_and_call
+      "function f() { var o = { a: 1, b: [10, 20] }; o.a = o.a + 1; \
+       o.b.push(30); return o.a + o.b[2] + o.b.length; }"
+      "f" []
+  in
+  check (Alcotest.float 1e-9) "object/array ops" 35.0 (num_val v)
+
+let test_dynamic_call_target () =
+  (* §C.2: function resolved through a table at runtime *)
+  let v =
+    run_and_call
+      "function inc(x) { return x + 1; }\n\
+       function dec(x) { return x - 1; }\n\
+       function f(name) { var tbl = { increment: inc, decrement: dec }; \
+       return tbl[name](10); }"
+      "f"
+      [ V.str "decrement" ]
+  in
+  check (Alcotest.float 1e-9) "dynamic dispatch" 9.0 (num_val v)
+
+let test_while_and_for () =
+  let v =
+    run_and_call
+      "function f(n) { var s = 0; for (var i = 1; i <= n; i = i + 1) { s += \
+       i; } var j = 0; while (j < 3) { s = s + 100; j = j + 1; } return s; }"
+      "f" [ V.num 4.0 ]
+  in
+  check (Alcotest.float 1e-9) "loops" 310.0 (num_val v)
+
+let test_string_methods () =
+  check Alcotest.string "concat method" "ab" (str_val (eval_src "'a'.concat('b')"));
+  check Alcotest.string "upper" "AB" (str_val (eval_src "'ab'.toUpperCase()"));
+  check (Alcotest.float 1e-9) "indexOf" 1.0 (num_val (eval_src "'abc'.indexOf('b')"));
+  check Alcotest.string "substring" "bc" (str_val (eval_src "'abcd'.substring(1, 3)"));
+  check (Alcotest.float 1e-9) "length" 3.0 (num_val (eval_src "'abc'.length"))
+
+let test_template_evaluation () =
+  let v =
+    run_and_call "function f(uid) { return `SELECT * WHERE id = ${uid + 1}`; }" "f"
+      [ V.num 41.0 ]
+  in
+  check Alcotest.string "template" "SELECT * WHERE id = 42" (str_val v)
+
+let test_ternary_and_typeof () =
+  check Alcotest.string "ternary" "big" (str_val (eval_src "5 > 1 ? 'big' : 'small'"));
+  check Alcotest.string "typeof" "number" (str_val (eval_src "typeof 3"))
+
+let test_runtime_error () =
+  match run_and_call "function f() { return nosuch; }" "f" [] with
+  | exception I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "unbound identifier should raise"
+
+let test_builtin_math () =
+  check (Alcotest.float 1e-9) "floor" 3.0 (num_val (eval_src "Math.floor(3.7)"));
+  check (Alcotest.float 1e-9) "max" 9.0 (num_val (eval_src "Math.max(1, 9, 4)"));
+  check (Alcotest.float 1e-9) "abs" 2.5 (num_val (eval_src "Math.abs(0 - 2.5)"));
+  check (Alcotest.float 1e-9) "parseInt" 42.0 (num_val (eval_src "parseInt('42abc')"))
+
+(* ------------------------------------------------------------------ *)
+(* Hooks                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sql_hook_receives_query () =
+  let seen = ref "" in
+  let hooks =
+    {
+      I.default_hooks with
+      I.sql_exec =
+        (fun cv ->
+          seen := V.to_display cv.V.v;
+          V.conc (V.Arr (ref [])));
+    }
+  in
+  ignore
+    (run_and_call ~hooks "function f(uid) { SQL_exec(`SELECT ${uid}`); return 0; }"
+       "f" [ V.num 7.0 ]);
+  check Alcotest.string "query text" "SELECT 7" !seen
+
+let test_blackbox_hook_overrides () =
+  let hooks =
+    {
+      I.default_hooks with
+      I.blackbox = (fun _api _ -> Some (V.num 0.25));
+    }
+  in
+  let v = run_and_call ~hooks "function f() { return Math.random(); }" "f" [] in
+  check (Alcotest.float 1e-9) "hooked value" 0.25 (num_val v)
+
+let test_branch_hook_fires_on_symbolic () =
+  let fired = ref [] in
+  let hooks =
+    {
+      I.default_hooks with
+      I.on_branch = (fun _sym taken -> fired := taken :: !fired);
+    }
+  in
+  let i = I.create ~hooks () in
+  I.load_source i "function f(x) { if (x > 1) { return 1; } return 0; }";
+  (* symbolic argument -> branch recorded *)
+  let sym_arg = V.with_sym (V.Num 5.0) (Uv_symexec.Sym.Input "x") in
+  ignore (I.call_function i "f" [ sym_arg ]);
+  check Alcotest.(list bool) "one decision, taken" [ true ] !fired;
+  (* concrete argument -> nothing recorded *)
+  fired := [];
+  ignore (I.call_function i "f" [ V.num 5.0 ]);
+  check Alcotest.(list bool) "no decision for concrete" [] !fired
+
+let test_array_and_string_methods () =
+  let v =
+    run_and_call
+      {|
+function f() {
+  var xs = [3, 1, 4, 1, 5];
+  var doubled = xs.map(function (x) { return x * 2; });
+  var big = doubled.filter(function (x) { return x > 4; });
+  var total = 0;
+  big.forEach(function (x) { total = total + x; });
+  // doubled = [6,2,8,2,10]; big = [6,8,10]; total = 24
+  var parts = 'a,b,,c'.split(',');
+  var tail = xs.slice(2);
+  var neg = xs.slice(-2);
+  return total + parts.length * 100 + xs.indexOf(4) * 1000
+       + tail.length * 10 + neg.length;
+}
+|}
+      "f" []
+  in
+  (* 24 + 400 + 2000 + 30 + 2 *)
+  check (Alcotest.float 1e-9) "combined" 2456.0 (num_val v);
+  let v = run_and_call "function g() { return '  pad  '.trim(); }" "g" [] in
+  check Alcotest.string "trim" "pad" (str_val v)
+
+let test_break_continue () =
+  (* break stops only the innermost loop *)
+  let v =
+    run_and_call
+      {|
+function f() {
+  var total = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i == 3) { continue; }
+    if (i == 6) { break; }
+    total = total + i;
+  }
+  // 0+1+2+4+5 = 12
+  var j = 0;
+  while (true) {
+    j = j + 1;
+    if (j >= 4) { break; }
+  }
+  return total + j;
+}
+|}
+      "f" []
+  in
+  check (Alcotest.float 1e-9) "break/continue semantics" 16.0 (num_val v);
+  (* break in an inner loop does not escape the outer loop *)
+  let v =
+    run_and_call
+      {|
+function g() {
+  var n = 0;
+  for (var i = 0; i < 3; i = i + 1) {
+    for (var j = 0; j < 100; j = j + 1) {
+      if (j == 2) { break; }
+      n = n + 1;
+    }
+  }
+  return n;
+}
+|}
+      "g" []
+  in
+  check (Alcotest.float 1e-9) "inner break only" 6.0 (num_val v)
+
+let test_segments_track_holes () =
+  let segs = ref [] in
+  let hooks =
+    {
+      I.default_hooks with
+      I.sql_exec =
+        (fun cv ->
+          segs := V.segs_of cv;
+          V.conc (V.Arr (ref [])));
+    }
+  in
+  let i = I.create ~hooks () in
+  I.load_source i "function f(uid) { SQL_exec(`A ${uid} B`); return 0; }";
+  let sym_arg = V.with_sym (V.Str "zz") (Uv_symexec.Sym.Input "uid") in
+  ignore (I.call_function i "f" [ sym_arg ]);
+  match !segs with
+  | [ V.S_text "A "; V.S_hole (Uv_symexec.Sym.Input "uid"); V.S_text " B" ] -> ()
+  | _ -> Alcotest.failf "unexpected segments: %s" (V.segs_to_string !segs)
+
+let () =
+  Alcotest.run "uv_applang"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "function decl" `Quick test_parse_function_decl;
+          Alcotest.test_case "template" `Quick test_parse_template;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "member chain" `Quick test_parse_member_chain;
+          Alcotest.test_case "for loop" `Quick test_parse_for_loop;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "arith/coercion" `Quick test_arith_and_coercion;
+          Alcotest.test_case "equality" `Quick test_equality_modes;
+          Alcotest.test_case "truthiness" `Quick test_truthiness_branches;
+          Alcotest.test_case "closures" `Quick test_closures;
+          Alcotest.test_case "objects/arrays" `Quick test_objects_arrays;
+          Alcotest.test_case "dynamic call target" `Quick test_dynamic_call_target;
+          Alcotest.test_case "loops" `Quick test_while_and_for;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "array/string methods" `Quick
+            test_array_and_string_methods;
+          Alcotest.test_case "string methods" `Quick test_string_methods;
+          Alcotest.test_case "templates" `Quick test_template_evaluation;
+          Alcotest.test_case "ternary/typeof" `Quick test_ternary_and_typeof;
+          Alcotest.test_case "runtime error" `Quick test_runtime_error;
+          Alcotest.test_case "math builtins" `Quick test_builtin_math;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "sql_exec" `Quick test_sql_hook_receives_query;
+          Alcotest.test_case "blackbox override" `Quick test_blackbox_hook_overrides;
+          Alcotest.test_case "branch recording" `Quick
+            test_branch_hook_fires_on_symbolic;
+          Alcotest.test_case "string segments" `Quick test_segments_track_holes;
+        ] );
+    ]

@@ -1,0 +1,1011 @@
+(* Tests for ultraverse.db: storage, catalog, the execution engine across
+   the Table A statement surface, logging, non-determinism recording and
+   replay, and selective undo. *)
+
+open Uv_sql
+open Uv_db
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let fresh () = Engine.create ()
+
+let run e sql = ignore (Engine.exec_sql e sql)
+
+let q1 e sql =
+  (* first cell of first row *)
+  let r = Engine.query_sql e sql in
+  match r.Engine.rows with
+  | row :: _ -> row.(0)
+  | [] -> Alcotest.failf "no rows from %s" sql
+
+let qint e sql = Value.to_int (q1 e sql)
+let qstr e sql = Value.to_string (q1 e sql)
+
+let with_users () =
+  let e = fresh () in
+  run e "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(16), age INT)";
+  run e "INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)";
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_storage_roundtrip () =
+  let t = Storage.create (Schema.table "t" [ Schema.column "a" Value.Tint ]) in
+  let id = Storage.insert t [| Value.Int 1 |] in
+  check Alcotest.int "count" 1 (Storage.row_count t);
+  let before = Storage.update t id [| Value.Int 2 |] in
+  check Alcotest.int "before image" 1 (Value.to_int before.(0));
+  let removed = Storage.delete t id in
+  check Alcotest.int "removed image" 2 (Value.to_int removed.(0));
+  check Alcotest.int "empty" 0 (Storage.row_count t);
+  check Alcotest.int64 "hash back to zero" 0L (Storage.hash t)
+
+let test_storage_hash_tracks_mutations () =
+  let t = Storage.create (Schema.table "t" [ Schema.column "a" Value.Tint ]) in
+  let h0 = Storage.hash t in
+  let id = Storage.insert t [| Value.Int 5 |] in
+  let h1 = Storage.hash t in
+  ignore (Storage.update t id [| Value.Int 6 |]);
+  let h2 = Storage.hash t in
+  ignore (Storage.update t id [| Value.Int 5 |]);
+  check Alcotest.int64 "update back restores hash" h1 (Storage.hash t);
+  Alcotest.(check bool) "hashes distinct" true (h0 <> h1 && h1 <> h2)
+
+let test_storage_auto_values () =
+  let t = Storage.create (Schema.table "t" [ Schema.column "a" Value.Tint ]) in
+  check Alcotest.int "take 1" 1 (Storage.take_auto_value t);
+  check Alcotest.int "take 2" 2 (Storage.take_auto_value t);
+  Storage.bump_auto_value t 10;
+  check Alcotest.int "bumped" 11 (Storage.take_auto_value t)
+
+let test_storage_copy_isolated () =
+  let t = Storage.create (Schema.table "t" [ Schema.column "a" Value.Tint ]) in
+  ignore (Storage.insert t [| Value.Int 1 |]);
+  let c = Storage.copy t in
+  ignore (Storage.insert t [| Value.Int 2 |]);
+  check Alcotest.int "copy unchanged" 1 (Storage.row_count c);
+  check Alcotest.int "original grew" 2 (Storage.row_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Basic DML + SELECT                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_insert_select () =
+  let e = with_users () in
+  check Alcotest.int "count" 3 (qint e "SELECT COUNT(*) FROM users");
+  check Alcotest.string "where" "bob" (qstr e "SELECT name FROM users WHERE id = 2")
+
+let test_update_delete () =
+  let e = with_users () in
+  run e "UPDATE users SET age = age + 1 WHERE name = 'alice'";
+  check Alcotest.int "updated" 31 (qint e "SELECT age FROM users WHERE id = 1");
+  run e "DELETE FROM users WHERE age < 30";
+  check Alcotest.int "deleted" 2 (qint e "SELECT COUNT(*) FROM users")
+
+let test_select_order_limit () =
+  let e = with_users () in
+  let r = Engine.query_sql e "SELECT name FROM users ORDER BY age DESC LIMIT 2" in
+  let names = List.map (fun row -> Value.to_string row.(0)) r.Engine.rows in
+  check Alcotest.(list string) "ordered" [ "carol"; "alice" ] names;
+  (* OFFSET skips before LIMIT counts, in both syntaxes *)
+  let names sql =
+    List.map
+      (fun row -> Value.to_string row.(0))
+      (Engine.query_sql e sql).Engine.rows
+  in
+  check Alcotest.(list string) "offset" [ "alice"; "bob" ]
+    (names "SELECT name FROM users ORDER BY age DESC LIMIT 2 OFFSET 1");
+  check Alcotest.(list string) "mysql comma form" [ "alice"; "bob" ]
+    (names "SELECT name FROM users ORDER BY age DESC LIMIT 1, 2");
+  check Alcotest.(list string) "offset past end" []
+    (names "SELECT name FROM users ORDER BY age DESC LIMIT 2 OFFSET 9")
+
+let test_select_star_and_projection () =
+  let e = with_users () in
+  let r = Engine.query_sql e "SELECT * FROM users WHERE id = 1" in
+  check Alcotest.(list string) "columns" [ "id"; "name"; "age" ] r.Engine.columns
+
+let test_aggregates () =
+  let e = with_users () in
+  check Alcotest.int "sum" 90 (qint e "SELECT SUM(age) FROM users");
+  check Alcotest.int "min" 25 (qint e "SELECT MIN(age) FROM users");
+  check Alcotest.int "max" 35 (qint e "SELECT MAX(age) FROM users");
+  check Alcotest.int "avg" 30 (qint e "SELECT AVG(age) FROM users");
+  check Alcotest.int "count empty" 0 (qint e "SELECT COUNT(*) FROM users WHERE id > 99")
+
+let test_group_by () =
+  let e = fresh () in
+  run e "CREATE TABLE sales (region VARCHAR(8), amount INT)";
+  run e
+    "INSERT INTO sales VALUES ('east', 10), ('west', 20), ('east', 30), ('west', 5)";
+  let r =
+    Engine.query_sql e
+      "SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY region ASC"
+  in
+  let rows =
+    List.map
+      (fun row -> (Value.to_string row.(0), Value.to_int row.(1)))
+      r.Engine.rows
+  in
+  check
+    Alcotest.(list (pair string int))
+    "grouped sums"
+    [ ("east", 40); ("west", 25) ]
+    rows
+
+let test_join () =
+  let e = with_users () in
+  run e "CREATE TABLE pets (owner INT, pet VARCHAR(8))";
+  run e "INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')";
+  let r =
+    Engine.query_sql e
+      "SELECT u.name, p.pet FROM users u JOIN pets p ON p.owner = u.id ORDER BY p.pet ASC"
+  in
+  check Alcotest.int "join rows" 3 (List.length r.Engine.rows);
+  check Alcotest.string "first pair"
+    "alice/cat"
+    (match r.Engine.rows with
+    | row :: _ -> Value.to_string row.(0) ^ "/" ^ Value.to_string row.(1)
+    | [] -> "")
+
+let test_subquery () =
+  let e = with_users () in
+  check Alcotest.string "scalar subquery" "carol"
+    (qstr e "SELECT name FROM users WHERE age = (SELECT MAX(age) FROM users)");
+  check Alcotest.int "exists" 3
+    (qint e
+       "SELECT COUNT(*) FROM users WHERE EXISTS (SELECT 1 FROM users WHERE id = 1)")
+
+let test_null_semantics () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT, b INT)";
+  run e "INSERT INTO t VALUES (1, NULL), (2, 5)";
+  check Alcotest.int "null excluded from where" 1
+    (qint e "SELECT COUNT(*) FROM t WHERE b > 0");
+  check Alcotest.int "is null" 1 (qint e "SELECT COUNT(*) FROM t WHERE b IS NULL");
+  check Alcotest.int "sum skips null" 5 (qint e "SELECT SUM(b) FROM t")
+
+let test_builtin_functions () =
+  let e = fresh () in
+  run e "CREATE TABLE t (s VARCHAR(16))";
+  run e "INSERT INTO t VALUES ('hello')";
+  check Alcotest.string "concat" "hello!"
+    (qstr e "SELECT CONCAT(s, '!') FROM t");
+  check Alcotest.string "upper" "HELLO" (qstr e "SELECT UPPER(s) FROM t");
+  check Alcotest.int "length" 5 (qint e "SELECT LENGTH(s) FROM t");
+  check Alcotest.string "substr" "ell" (qstr e "SELECT SUBSTR(s, 2, 3) FROM t");
+  check Alcotest.int "if" 1 (qint e "SELECT IF(LENGTH(s) > 3, 1, 0) FROM t");
+  check Alcotest.int "coalesce" 7 (qint e "SELECT COALESCE(NULL, 7) FROM t");
+  check Alcotest.int "like" 1
+    (qint e "SELECT COUNT(*) FROM t WHERE s LIKE 'h%o'")
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_alter_table () =
+  let e = with_users () in
+  run e "ALTER TABLE users ADD COLUMN city VARCHAR(16)";
+  check Alcotest.int "new column null" 1
+    (qint e "SELECT COUNT(*) FROM users WHERE city IS NULL AND id = 1");
+  run e "ALTER TABLE users DROP COLUMN age";
+  (match Engine.query_sql e "SELECT * FROM users WHERE id = 1" with
+  | { Engine.columns = [ "id"; "name"; "city" ]; _ } -> ()
+  | _ -> Alcotest.fail "column dropped");
+  run e "ALTER TABLE users RENAME TO people";
+  check Alcotest.int "renamed" 3 (qint e "SELECT COUNT(*) FROM people")
+
+let test_drop_truncate () =
+  let e = with_users () in
+  run e "TRUNCATE TABLE users";
+  check Alcotest.int "truncated" 0 (qint e "SELECT COUNT(*) FROM users");
+  run e "DROP TABLE users";
+  (match Engine.exec_sql e "SELECT COUNT(*) FROM users" with
+  | exception Engine.Sql_error _ -> ()
+  | _ -> Alcotest.fail "dropped table should be gone");
+  run e "DROP TABLE IF EXISTS users"
+
+let test_views () =
+  let e = with_users () in
+  run e "CREATE VIEW adults AS SELECT id, name FROM users WHERE age >= 30";
+  check Alcotest.int "view rows" 2 (qint e "SELECT COUNT(*) FROM adults");
+  (* updatable view: UPDATE through it hits the parent with the view
+     predicate conjoined *)
+  run e "UPDATE adults SET name = 'ALICE' WHERE id = 1";
+  check Alcotest.string "updated through view" "ALICE"
+    (qstr e "SELECT name FROM users WHERE id = 1");
+  run e "DELETE FROM adults WHERE id = 3";
+  check Alcotest.int "deleted through view" 2 (qint e "SELECT COUNT(*) FROM users")
+
+let test_auto_increment () =
+  let e = fresh () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(4))";
+  run e "INSERT INTO t (v) VALUES ('a')";
+  run e "INSERT INTO t (v) VALUES ('b')";
+  check Alcotest.int "second id" 2 (qint e "SELECT id FROM t WHERE v = 'b'");
+  run e "INSERT INTO t VALUES (10, 'c')";
+  run e "INSERT INTO t (v) VALUES ('d')";
+  check Alcotest.int "bumped past explicit" 11 (qint e "SELECT id FROM t WHERE v = 'd'");
+  check Alcotest.int "last_insert_id" 11 (qint e "SELECT LAST_INSERT_ID() FROM t LIMIT 1")
+
+(* ------------------------------------------------------------------ *)
+(* Procedures, triggers, transactions                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_procedure_control_flow () =
+  let e = fresh () in
+  run e "CREATE TABLE log (k INT, v INT)";
+  run e
+    "CREATE PROCEDURE fill(IN n INT) BEGIN DECLARE i INT DEFAULT 0; WHILE i < \
+     n DO INSERT INTO log VALUES (i, i * i); SET i = i + 1; END WHILE; END";
+  run e "CALL fill(5)";
+  check Alcotest.int "loop inserted" 5 (qint e "SELECT COUNT(*) FROM log");
+  check Alcotest.int "squares" 16 (qint e "SELECT v FROM log WHERE k = 4")
+
+let test_procedure_leave_signal () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT)";
+  run e
+    "CREATE PROCEDURE p(IN x INT) lbl: BEGIN IF x = 0 THEN LEAVE lbl; END IF; \
+     INSERT INTO t VALUES (x); END";
+  run e "CALL p(0)";
+  check Alcotest.int "leave skipped insert" 0 (qint e "SELECT COUNT(*) FROM t");
+  run e "CALL p(7)";
+  check Alcotest.int "insert happened" 1 (qint e "SELECT COUNT(*) FROM t");
+  run e
+    "CREATE PROCEDURE boom() BEGIN INSERT INTO t VALUES (99); SIGNAL SQLSTATE \
+     '45000'; END";
+  (match Engine.exec_sql e "CALL boom()" with
+  | exception Engine.Signal_raised "45000" -> ()
+  | _ -> Alcotest.fail "signal should raise");
+  check Alcotest.int "signalled statement rolled back" 0
+    (qint e "SELECT COUNT(*) FROM t WHERE a = 99")
+
+let test_select_into_vars () =
+  let e = with_users () in
+  run e "CREATE TABLE out (v INT)";
+  run e
+    "CREATE PROCEDURE snap() BEGIN DECLARE m INT; SELECT MAX(age) INTO m FROM \
+     users; INSERT INTO out VALUES (m); END";
+  run e "CALL snap()";
+  check Alcotest.int "select into" 35 (qint e "SELECT v FROM out")
+
+let test_triggers () =
+  let e = fresh () in
+  run e "CREATE TABLE orders (id INT, qty INT)";
+  run e "CREATE TABLE audit (total INT)";
+  run e "INSERT INTO audit VALUES (0)";
+  run e
+    "CREATE TRIGGER tally AFTER INSERT ON orders FOR EACH ROW BEGIN UPDATE \
+     audit SET total = total + NEW.qty; END";
+  run e "INSERT INTO orders VALUES (1, 5)";
+  run e "INSERT INTO orders VALUES (2, 7)";
+  check Alcotest.int "trigger accumulated" 12 (qint e "SELECT total FROM audit");
+  run e "DROP TRIGGER tally";
+  run e "INSERT INTO orders VALUES (3, 100)";
+  check Alcotest.int "dropped trigger inert" 12 (qint e "SELECT total FROM audit")
+
+let test_transaction_atomic () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT)";
+  run e "CREATE PROCEDURE bad() BEGIN INSERT INTO t VALUES (1); SIGNAL SQLSTATE '99001'; END";
+  (match
+     Engine.exec_sql e "BEGIN TRANSACTION; INSERT INTO t VALUES (7); CALL bad(); COMMIT"
+   with
+  | exception Engine.Signal_raised _ -> ()
+  | _ -> Alcotest.fail "transaction should abort");
+  check Alcotest.int "atomic abort" 0 (qint e "SELECT COUNT(*) FROM t");
+  run e "BEGIN TRANSACTION; INSERT INTO t VALUES (1); INSERT INTO t VALUES (2); COMMIT";
+  check Alcotest.int "committed" 2 (qint e "SELECT COUNT(*) FROM t")
+
+(* ------------------------------------------------------------------ *)
+(* Log + non-determinism                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_records () =
+  let e = with_users () in
+  check Alcotest.int "log length" 2 (Log.length (Engine.log e));
+  let entry = Log.entry (Engine.log e) 2 in
+  check Alcotest.int "rows written" 3 entry.Log.rows_written;
+  Alcotest.(check bool) "written hash recorded" true
+    (List.mem_assoc "users" entry.Log.written_hashes)
+
+let test_nondet_replay_rand () =
+  let e = fresh () in
+  run e "CREATE TABLE t (v DOUBLE)";
+  run e "INSERT INTO t VALUES (RAND())";
+  let entry = Log.entry (Engine.log e) 2 in
+  check Alcotest.int "one draw" 1 (List.length entry.Log.nondet);
+  let original = qstr e "SELECT v FROM t" in
+  (* replay into a fresh engine with forced nondet: same value *)
+  let e2 = fresh () in
+  run e2 "CREATE TABLE t (v DOUBLE)";
+  ignore
+    (Engine.exec ~nondet:entry.Log.nondet e2 (Uv_sql.Parser.parse_stmt "INSERT INTO t VALUES (RAND())"));
+  check Alcotest.string "replayed identical" original (qstr e2 "SELECT v FROM t");
+  (* without forcing, a fresh draw differs with overwhelming probability *)
+  let e3 = Engine.create ~seed:777 () in
+  run e3 "CREATE TABLE t (v DOUBLE)";
+  run e3 "INSERT INTO t VALUES (RAND())";
+  Alcotest.(check bool) "fresh draw differs" true (original <> qstr e3 "SELECT v FROM t")
+
+let test_nondet_replay_auto_increment () =
+  let e = fresh () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)";
+  run e "INSERT INTO t (v) VALUES (1)";
+  run e "INSERT INTO t (v) VALUES (2)";
+  let entry2 = Log.entry (Engine.log e) 3 in
+  (* replay only the second insert elsewhere: keeps its past key 2 *)
+  let e2 = fresh () in
+  run e2 "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)";
+  ignore
+    (Engine.exec ~nondet:entry2.Log.nondet e2
+       (Uv_sql.Parser.parse_stmt "INSERT INTO t (v) VALUES (2)"));
+  check Alcotest.int "past key reused" 2 (qint e2 "SELECT id FROM t WHERE v = 2")
+
+let test_undo_records () =
+  let e = with_users () in
+  run e "UPDATE users SET age = 99 WHERE id = 1";
+  let entry = Log.entry (Engine.log e) 3 in
+  (* applying the undo restores the original age *)
+  Log.apply_undo (Engine.catalog e) entry.Log.undo;
+  check Alcotest.int "undone" 30 (qint e "SELECT age FROM users WHERE id = 1")
+
+let test_undo_cell_precision () =
+  (* a later blind write to a different column of the same row survives
+     undoing an earlier update *)
+  let e = with_users () in
+  run e "UPDATE users SET age = 50 WHERE id = 1";
+  run e "UPDATE users SET name = 'zed' WHERE id = 1";
+  let age_update = Log.entry (Engine.log e) 3 in
+  Log.apply_undo (Engine.catalog e) age_update.Log.undo;
+  check Alcotest.int "age restored" 30 (qint e "SELECT age FROM users WHERE id = 1");
+  check Alcotest.string "independent later write preserved" "zed"
+    (qstr e "SELECT name FROM users WHERE id = 1")
+
+let test_undo_ddl () =
+  let e = with_users () in
+  run e "DROP TABLE users";
+  let entry = Log.entry (Engine.log e) 3 in
+  Log.apply_undo (Engine.catalog e) entry.Log.undo;
+  check Alcotest.int "table resurrected with rows" 3
+    (qint e "SELECT COUNT(*) FROM users")
+
+let test_snapshot_restore () =
+  let e = with_users () in
+  let snap = Engine.snapshot e in
+  run e "DELETE FROM users";
+  run e "DROP TABLE users";
+  Engine.restore e snap;
+  check Alcotest.int "restored" 3 (qint e "SELECT COUNT(*) FROM users")
+
+let test_log_sizes () =
+  let e = with_users () in
+  let entry = Log.entry (Engine.log e) 2 in
+  Alcotest.(check bool) "binlog bigger than uv log" true
+    (Log.binlog_bytes entry > Log.uv_log_bytes entry);
+  Alcotest.(check bool) "uv log small" true (Log.uv_log_bytes entry < 200)
+
+let test_rtt_accounting () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT)";
+  run e "INSERT INTO t VALUES (1)";
+  run e "INSERT INTO t VALUES (2)";
+  check (Alcotest.float 1e-9) "one rtt per statement" 3.0
+    (Uv_util.Clock.simulated_ms (Engine.clock e))
+
+let test_failed_statement_not_logged () =
+  let e = with_users () in
+  let before = Log.length (Engine.log e) in
+  (match Engine.exec_sql e "INSERT INTO nosuch VALUES (1)" with
+  | exception Engine.Sql_error _ -> ()
+  | _ -> Alcotest.fail "expected error");
+  check Alcotest.int "log unchanged" before (Log.length (Engine.log e))
+
+let test_in_subquery_membership () =
+  let e = with_users () in
+  run e "CREATE TABLE vips (uid INT)";
+  run e "INSERT INTO vips VALUES (1), (3)";
+  check Alcotest.int "IN literal list" 2
+    (qint e "SELECT COUNT(*) FROM users WHERE id IN (1, 3)");
+  check Alcotest.int "NOT IN" 1
+    (qint e "SELECT COUNT(*) FROM users WHERE id NOT IN (1, 3)");
+  (* IN over a subselect matches EVERY row of the result, not a scalar *)
+  check Alcotest.int "IN subselect" 2
+    (qint e "SELECT COUNT(*) FROM users WHERE id IN (SELECT uid FROM vips)");
+  check Alcotest.int "NOT IN subselect" 1
+    (qint e "SELECT COUNT(*) FROM users WHERE id NOT IN (SELECT uid FROM vips)");
+  check Alcotest.int "IN empty subselect" 0
+    (qint e "SELECT COUNT(*) FROM users WHERE id IN (SELECT uid FROM vips WHERE uid > 99)")
+
+let test_correlated_subqueries () =
+  let e = with_users () in
+  run e "CREATE TABLE logins (uid INT, day INT)";
+  run e "INSERT INTO logins VALUES (1, 5), (1, 6), (3, 7)";
+  (* correlated EXISTS: the inner WHERE references the outer row *)
+  check Alcotest.int "correlated EXISTS" 2
+    (qint e
+       "SELECT COUNT(*) FROM users WHERE EXISTS (SELECT 1 FROM logins WHERE \
+        logins.uid = users.id)");
+  check Alcotest.int "correlated NOT EXISTS" 1
+    (qint e
+       "SELECT COUNT(*) FROM users WHERE NOT EXISTS (SELECT 1 FROM logins \
+        WHERE logins.uid = users.id)");
+  (* correlated scalar subquery in the select list *)
+  let r =
+    Engine.query_sql e
+      "SELECT (SELECT COUNT(*) FROM logins WHERE logins.uid = users.id) FROM \
+       users WHERE id = 1"
+  in
+  check Alcotest.int "correlated scalar" 2 (Value.to_int (List.hd r.Engine.rows).(0))
+
+let test_pk_and_not_null_constraints () =
+  let e = fresh () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT NOT NULL)";
+  run e "INSERT INTO t VALUES (1, 10)";
+  let rejected sql =
+    match Engine.exec_sql e sql with
+    | exception Engine.Sql_error _ -> ()
+    | _ -> Alcotest.failf "accepted %s" sql
+  in
+  rejected "INSERT INTO t VALUES (1, 20)";
+  (* SQL-equality duplicates too: 1 vs 1.0 vs '1' *)
+  rejected "INSERT INTO t VALUES (1.0, 20)";
+  rejected "INSERT INTO t VALUES ('1', 20)";
+  rejected "INSERT INTO t VALUES (2, NULL)";
+  run e "INSERT INTO t VALUES (2, 20)";
+  rejected "UPDATE t SET id = 1 WHERE id = 2";
+  rejected "UPDATE t SET v = NULL WHERE id = 2";
+  (* updating a row to its own key is not a duplicate *)
+  run e "UPDATE t SET id = 2, v = 21 WHERE id = 2";
+  check Alcotest.int "final rows" 2 (qint e "SELECT COUNT(*) FROM t");
+  (* a failed insert inside a transaction aborts atomically *)
+  (match
+     Engine.exec_sql e
+       "BEGIN; INSERT INTO t VALUES (3, 30); INSERT INTO t VALUES (1, 99); COMMIT"
+   with
+  | exception Engine.Sql_error _ -> ()
+  | _ -> Alcotest.fail "transaction should abort");
+  check Alcotest.int "atomic rollback" 2 (qint e "SELECT COUNT(*) FROM t");
+  (* AUTO_INCREMENT keys never self-collide *)
+  run e "CREATE TABLE a (id INT PRIMARY KEY AUTO_INCREMENT, x INT)";
+  run e "INSERT INTO a (x) VALUES (1)";
+  run e "INSERT INTO a (x) VALUES (2)";
+  check Alcotest.int "auto rows" 2 (qint e "SELECT COUNT(*) FROM a");
+  (* single-column UNIQUE: duplicates rejected, NULLs exempt *)
+  run e "CREATE TABLE u (id INT PRIMARY KEY, email VARCHAR(32) UNIQUE)";
+  run e "INSERT INTO u VALUES (1, 'a@x.com')";
+  rejected "INSERT INTO u VALUES (2, 'a@x.com')";
+  run e "INSERT INTO u VALUES (2, NULL)";
+  run e "INSERT INTO u VALUES (3, NULL)";
+  rejected "UPDATE u SET email = 'a@x.com' WHERE id = 2";
+  run e "UPDATE u SET email = 'b@x.com' WHERE id = 1";
+  check Alcotest.int "unique rows" 3 (qint e "SELECT COUNT(*) FROM u")
+
+let test_insert_from_select () =
+  let e = with_users () in
+  run e "CREATE TABLE archive (id INT, name VARCHAR(16), age INT)";
+  run e "INSERT INTO archive SELECT id, name, age FROM users WHERE age >= 30";
+  check Alcotest.int "filtered rows copied" 2 (qint e "SELECT COUNT(*) FROM archive");
+  (* expressions in the projection *)
+  run e "CREATE TABLE ages (id INT, next_age INT)";
+  run e "INSERT INTO ages SELECT id, age + 1 FROM users";
+  check Alcotest.int "projection computed" 31
+    (qint e "SELECT next_age FROM ages WHERE id = 1");
+  (* the source snapshot is taken before writes: a self-insert must not
+     observe its own new rows *)
+  run e "INSERT INTO archive SELECT id, name, age FROM archive";
+  check Alcotest.int "self-insert doubles once" 4
+    (qint e "SELECT COUNT(*) FROM archive");
+  (* aggregate source *)
+  run e "CREATE TABLE stats (n INT, avg_age INT)";
+  run e "INSERT INTO stats SELECT COUNT(*), AVG(age) FROM users";
+  check Alcotest.int "aggregate row" 3 (qint e "SELECT n FROM stats");
+  (* undo restores the pre-insert state *)
+  let h = Engine.db_hash e in
+  run e "INSERT INTO archive SELECT id, name, age FROM users";
+  let log = Engine.log e in
+  Log.apply_undo (Engine.catalog e) (Log.entry log (Log.length log)).Log.undo;
+  check Alcotest.bool "undo removes the copied rows" true
+    (Int64.equal h (Engine.db_hash e))
+
+let test_having_and_distinct_aggregates () =
+  let e = fresh () in
+  run e "CREATE TABLE sales (region INT, amount INT)";
+  run e "INSERT INTO sales VALUES (1, 10), (1, 20), (2, 5), (2, 5), (3, 1), (3, NULL)";
+  (* HAVING filters groups after aggregation *)
+  check Alcotest.int "having filters groups" 1
+    (List.length
+       (Engine.query_sql e
+          "SELECT region, SUM(amount) FROM sales GROUP BY region HAVING SUM(amount) > 10")
+         .Engine.rows);
+  (* HAVING over a different aggregate than the projection *)
+  check Alcotest.int "having on other aggregate" 3
+    (List.length
+       (Engine.query_sql e
+          "SELECT region FROM sales GROUP BY region HAVING COUNT(*) >= 2")
+         .Engine.rows);
+  (* DISTINCT aggregates: duplicates collapse, NULLs are ignored *)
+  check Alcotest.int "count distinct" 4
+    (qint e "SELECT COUNT(DISTINCT amount) FROM sales");
+  check Alcotest.int "sum distinct dedupes" 5
+    (qint e "SELECT SUM(DISTINCT amount) FROM sales WHERE region = 2");
+  check Alcotest.int "count distinct per group" 1
+    (qint e
+       "SELECT COUNT(DISTINCT amount) FROM sales WHERE region = 2 GROUP BY region");
+  (* SQL-equality classes: 5 and 5.0 are one distinct value *)
+  run e "INSERT INTO sales VALUES (2, 5.0)";
+  check Alcotest.int "distinct across numeric types"
+    (qint e "SELECT COUNT(DISTINCT amount) FROM sales WHERE region = 2")
+    1
+
+let test_rowcount_scalar () =
+  let e = fresh () in
+  run e "CREATE TABLE t (g INT, v INT)";
+  run e "INSERT INTO t VALUES (1, 10), (1, 20), (2, 5), (3, 1)";
+  check Alcotest.int "counts result rows" 3
+    (qint e "SELECT ROWCOUNT((SELECT g FROM t GROUP BY g))");
+  check Alcotest.int "respects having" 1
+    (qint e "SELECT ROWCOUNT((SELECT g FROM t GROUP BY g HAVING COUNT(*) >= 2))");
+  check Alcotest.int "empty result" 0
+    (qint e "SELECT ROWCOUNT((SELECT g FROM t WHERE v > 999))")
+
+let test_between_and_case () =
+  let e = with_users () in
+  check Alcotest.int "between" 2
+    (qint e "SELECT COUNT(*) FROM users WHERE age BETWEEN 25 AND 30");
+  check Alcotest.string "case lowering" "old"
+    (let r =
+       Engine.query_sql e
+         "SELECT CASE WHEN age > 32 THEN 'old' ELSE 'young' END FROM users \
+          WHERE id = 3"
+     in
+     Value.to_string (List.hd r.Engine.rows).(0))
+
+let test_multi_row_update_order_independent () =
+  (* hash equality regardless of which rows matched first *)
+  let e = with_users () in
+  run e "UPDATE users SET age = age * 2";
+  check Alcotest.int "all updated" 3 (qint e "SELECT COUNT(*) FROM users WHERE age >= 50")
+
+let test_view_reflects_base_changes () =
+  let e = with_users () in
+  run e "CREATE VIEW names AS SELECT name FROM users";
+  check Alcotest.int "view row count" 3 (qint e "SELECT COUNT(*) FROM names");
+  run e "INSERT INTO users VALUES (4, 'dave', 20)";
+  check Alcotest.int "view sees new row" 4 (qint e "SELECT COUNT(*) FROM names")
+
+let test_nested_procedure_calls () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT)";
+  run e "CREATE PROCEDURE inner_p(IN x INT) BEGIN INSERT INTO t VALUES (x); END";
+  run e
+    "CREATE PROCEDURE outer_p(IN n INT) BEGIN DECLARE i INT DEFAULT 0; WHILE \
+     i < n DO CALL inner_p(i); SET i = i + 1; END WHILE; END";
+  run e "CALL outer_p(4)";
+  check Alcotest.int "nested calls" 4 (qint e "SELECT COUNT(*) FROM t")
+
+let test_trigger_on_delete_and_update () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT)";
+  run e "CREATE TABLE audit (kind VARCHAR(8), old_a INT)";
+  run e
+    "CREATE TRIGGER td BEFORE DELETE ON t FOR EACH ROW BEGIN INSERT INTO \
+     audit VALUES ('del', OLD.a); END";
+  run e
+    "CREATE TRIGGER tu AFTER UPDATE ON t FOR EACH ROW BEGIN INSERT INTO \
+     audit VALUES ('upd', OLD.a); END";
+  run e "INSERT INTO t VALUES (1)";
+  run e "UPDATE t SET a = 2 WHERE a = 1";
+  run e "DELETE FROM t WHERE a = 2";
+  check Alcotest.int "update trigger saw old value" 1
+    (qint e "SELECT old_a FROM audit WHERE kind = 'upd'");
+  check Alcotest.int "delete trigger saw old value" 2
+    (qint e "SELECT old_a FROM audit WHERE kind = 'del'")
+
+let test_enforce_fk () =
+  let e = Engine.create ~enforce_fk:true () in
+  run e "CREATE TABLE parent (id INT PRIMARY KEY)";
+  run e "CREATE TABLE child (pid INT REFERENCES parent(id))";
+  run e "INSERT INTO parent VALUES (1)";
+  run e "INSERT INTO child VALUES (1)";
+  (match Engine.exec_sql e "INSERT INTO child VALUES (9)" with
+  | exception Engine.Sql_error _ -> ()
+  | _ -> Alcotest.fail "fk violation should raise");
+  check Alcotest.int "valid child kept" 1 (qint e "SELECT COUNT(*) FROM child")
+
+let test_order_by_multiple_keys () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT, b INT)";
+  run e "INSERT INTO t VALUES (1, 2), (1, 1), (0, 9)";
+  let r = Engine.query_sql e "SELECT a, b FROM t ORDER BY a ASC, b DESC" in
+  let pairs =
+    List.map (fun row -> (Value.to_int row.(0), Value.to_int row.(1))) r.Engine.rows
+  in
+  check
+    Alcotest.(list (pair int int))
+    "multi-key order"
+    [ (0, 9); (1, 2); (1, 1) ]
+    pairs
+
+let test_distinct () =
+  let e = fresh () in
+  run e "CREATE TABLE t (a INT, b INT)";
+  run e "INSERT INTO t VALUES (1, 1), (1, 2), (2, 1), (1, 1)";
+  check Alcotest.int "distinct single column" 2
+    (List.length (Engine.query_sql e "SELECT DISTINCT a FROM t").Engine.rows);
+  check Alcotest.int "distinct pair" 3
+    (List.length (Engine.query_sql e "SELECT DISTINCT a, b FROM t").Engine.rows);
+  check Alcotest.int "plain keeps duplicates" 4
+    (List.length (Engine.query_sql e "SELECT a FROM t").Engine.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Durable log (Log_io)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_io_roundtrip () =
+  (* a history exercising nondet draws, app-txn tags and quoting *)
+  let e = fresh () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v DOUBLE, s VARCHAR(32))";
+  ignore (Engine.exec_sql ~app_txn:"txn:1" e "INSERT INTO t (v, s) VALUES (RAND(), 'it''s')");
+  ignore (Engine.exec_sql ~app_txn:"txn:1" e "UPDATE t SET v = v * 2 WHERE id = 1");
+  ignore (Engine.exec_sql e "INSERT INTO t (v, s) VALUES (NOW(), 'plain')");
+  let text = Log_io.print (Log_io.records_of_log (Engine.log e)) in
+  let back = Log_io.parse text in
+  check Alcotest.int "record count" (Log.length (Engine.log e)) (List.length back);
+  (* replay into a fresh engine: identical database and log length *)
+  let e2 = fresh () in
+  Log_io.replay e2 back;
+  check Alcotest.int "replayed log length" (Log.length (Engine.log e))
+    (Log.length (Engine.log e2));
+  check Alcotest.bool "identical db hash" true
+    (Int64.equal (Engine.db_hash e) (Engine.db_hash e2));
+  (* tags survive (record 1 is the untagged CREATE TABLE) *)
+  let r = List.nth back 1 in
+  check Alcotest.(option string) "tag" (Some "txn:1") r.Log_io.r_app_txn
+
+let test_log_io_file_roundtrip () =
+  let e = with_users () in
+  run e "UPDATE users SET age = age + 1 WHERE id = 2";
+  let path = Filename.temp_file "ulog" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Log_io.save (Engine.log e) ~path;
+      let back = Log_io.load ~path in
+      let e2 = fresh () in
+      Log_io.replay e2 back;
+      check Alcotest.bool "identical db hash" true
+        (Int64.equal (Engine.db_hash e) (Engine.db_hash e2)))
+
+let test_log_io_corrupt () =
+  let bad input =
+    match Log_io.parse input with
+    | exception Log_io.Corrupt _ -> ()
+    | _ -> Alcotest.failf "accepted corrupt input %S" input
+  in
+  bad "";
+  bad "NOTALOG\nQ SELECT 1\nE\n";
+  bad "ULOGv1\nQ SELECT 1\n";
+  (* truncated record *)
+  bad "ULOGv1\nN I5\nE\n";
+  (* value outside a record *)
+  bad "ULOGv1\nQ SELECT 1\nN Zbogus\nE\n";
+  (* unknown tag *)
+  check Alcotest.int "empty log parses" 0 (List.length (Log_io.parse "ULOGv1\n"))
+
+let prop_log_io_escape_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"log escaping round-trips any string" ~count:300
+       QCheck.string (fun s ->
+         let escaped = Log_io.escape s in
+         (* escaped form must be newline-free (one record field per line) *)
+         (not (String.contains escaped '\n'))
+         && String.equal s (Log_io.unescape escaped)))
+
+let prop_log_io_print_parse =
+  qtest
+    (QCheck.Test.make ~name:"log print/parse round-trips random records"
+       ~count:100
+       QCheck.(
+         small_list
+           (triple (printable_string_of_size Gen.(0 -- 40))
+              (small_list (int_range (-1000) 1000))
+              (option (printable_string_of_size Gen.(0 -- 10)))))
+       (fun rows ->
+         let records =
+           List.map
+             (fun (sql, draws, tag) ->
+               {
+                 Log_io.r_sql = sql;
+                 r_nondet = List.map (fun i -> Value.Int i) draws;
+                 r_app_txn = tag;
+               })
+             rows
+         in
+         Log_io.parse (Log_io.print records) = records))
+
+(* ------------------------------------------------------------------ *)
+(* Logical dump (Dump)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build_rich_db () =
+  let e = fresh () in
+  run e "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(16), age INT)";
+  run e "INSERT INTO users (name, age) VALUES ('alice', 30), ('bob', 25)";
+  run e "CREATE TABLE audit (n INT)";
+  run e "INSERT INTO audit VALUES (0)";
+  run e "CREATE INDEX by_age ON users (age)";
+  run e "CREATE VIEW adults AS SELECT name FROM users WHERE age >= 18";
+  run e
+    "CREATE PROCEDURE bump(IN uid INT) BEGIN UPDATE users SET age = age + 1      WHERE id = uid; END";
+  run e
+    "CREATE TRIGGER tg AFTER INSERT ON users FOR EACH ROW BEGIN UPDATE audit      SET n = n + 1; END";
+  e
+
+let all_table_hashes e =
+  List.sort compare
+    (List.map
+       (fun (n, tbl) -> (n, Storage.hash tbl))
+       (Catalog.tables (Engine.catalog e)))
+
+let test_dump_roundtrip () =
+  let e = build_rich_db () in
+  let script = Dump.to_sql (Engine.catalog e) in
+  (* determinism *)
+  check Alcotest.string "dump is deterministic" script
+    (Dump.to_sql (Engine.catalog e));
+  let e2 = fresh () in
+  Dump.restore e2 script;
+  check
+    Alcotest.(list (pair string int64))
+    "identical tables" (all_table_hashes e) (all_table_hashes e2);
+  (* catalog objects survive: view answers, procedure runs, trigger fires,
+     auto counter continues past the dumped keys *)
+  check Alcotest.int "view rows" 2 (qint e2 "SELECT COUNT(*) FROM adults");
+  run e2 "CALL bump(1)";
+  check Alcotest.int "procedure ran" 31 (qint e2 "SELECT age FROM users WHERE id = 1");
+  check Alcotest.int "restore did not re-fire triggers" 0
+    (qint e2 "SELECT n FROM audit");
+  run e2 "INSERT INTO users (name, age) VALUES ('carol', 40)";
+  check Alcotest.int "trigger fires on fresh insert" 1 (qint e2 "SELECT n FROM audit");
+  check Alcotest.int "auto key continues" 3
+    (qint e2 "SELECT id FROM users WHERE name = 'carol'")
+
+let test_dump_checkpoint_plus_tail () =
+  (* the recovery story: a dump is the checkpoint, the persisted statement
+     log is the tail *)
+  let e = build_rich_db () in
+  let checkpoint = Dump.to_sql (Engine.catalog e) in
+  Engine.reset_log e;
+  run e "INSERT INTO users (name, age) VALUES ('dave', 20)";
+  run e "CALL bump(2)";
+  run e "DELETE FROM users WHERE id = 1";
+  let tail = Log_io.records_of_log (Engine.log e) in
+  let e2 = fresh () in
+  Dump.restore e2 checkpoint;
+  Log_io.replay e2 tail;
+  check
+    Alcotest.(list (pair string int64))
+    "checkpoint + tail equals original" (all_table_hashes e)
+    (all_table_hashes e2)
+
+let prop_dump_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"dump/restore preserves random databases" ~count:40
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let prng = Uv_util.Prng.create seed in
+         let e = fresh () in
+         run e "CREATE TABLE t (id INT PRIMARY KEY, s VARCHAR(32), f DOUBLE)";
+         for i = 1 to 5 + Uv_util.Prng.int prng 20 do
+           run e
+             (Printf.sprintf "INSERT INTO t VALUES (%d, '%s', %d.%d)" i
+                (String.init
+                   (Uv_util.Prng.int prng 8)
+                   (fun _ -> Char.chr (97 + Uv_util.Prng.int prng 26)))
+                (Uv_util.Prng.int prng 100) (Uv_util.Prng.int prng 100))
+         done;
+         let e2 = fresh () in
+         Dump.restore e2 (Dump.to_sql (Engine.catalog e));
+         all_table_hashes e = all_table_hashes e2))
+
+(* Property: random single-table history — undoing the whole log in
+   reverse recovers the initial state hash. *)
+let prop_full_undo_recovers_state =
+  qtest
+    (QCheck.Test.make ~name:"reverse undo of full history restores initial state"
+       ~count:60
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let e = fresh () in
+         run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+         let prng = Uv_util.Prng.create seed in
+         for i = 1 to 10 do
+           ignore
+             (Engine.exec_sql e
+                (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i
+                   (Uv_util.Prng.int prng 100)))
+         done;
+         let h0 = Engine.db_hash e in
+         let start = Log.length (Engine.log e) in
+         for _ = 1 to 15 do
+           let k = 1 + Uv_util.Prng.int prng 10 in
+           let sql =
+             match Uv_util.Prng.int prng 3 with
+             | 0 ->
+                 Printf.sprintf "UPDATE t SET v = %d WHERE id = %d"
+                   (Uv_util.Prng.int prng 100) k
+             | 1 -> Printf.sprintf "DELETE FROM t WHERE id = %d" k
+             | _ ->
+                 Printf.sprintf "INSERT INTO t VALUES (%d, %d)" (100 + Uv_util.Prng.int prng 1000)
+                   (Uv_util.Prng.int prng 100)
+           in
+           try run e sql with Engine.Sql_error _ -> ()
+         done;
+         (* undo everything after [start], newest first *)
+         let log = Engine.log e in
+         for i = Log.length log downto start + 1 do
+           Log.apply_undo (Engine.catalog e) (Log.entry log i).Log.undo
+         done;
+         Int64.equal h0 (Engine.db_hash e)))
+
+(* Property: the hash index is a sound superset — every row that
+   SQL-equals the probe value is returned by the index lookup, across
+   mixed value types (Int 5, Float 5.0, "5" all share a key). *)
+let prop_index_superset =
+  qtest
+    (QCheck.Test.make ~name:"index lookup covers every SQL-equal row" ~count:150
+       QCheck.(pair (small_list (int_range (-20) 20)) (int_range (-20) 20))
+       (fun (stored, probe_i) ->
+         let tbl =
+           Storage.create
+             (Schema.table "t"
+                [ Schema.column ~primary_key:true "k" Value.Tint;
+                  Schema.column "pos" Value.Tint ])
+         in
+         let variants i =
+           match abs i mod 3 with
+           | 0 -> Value.Int i
+           | 1 -> Value.Float (float_of_int i)
+           | _ -> Value.Text (string_of_int i)
+         in
+         List.iteri
+           (fun pos i -> ignore (Storage.insert tbl [| variants i; Value.Int pos |]))
+           stored;
+         let probe = variants probe_i in
+         match Storage.indexed_lookup tbl "k" probe with
+         | None -> false (* pk is always indexed *)
+         | Some ids ->
+             Storage.fold tbl ~init:true ~f:(fun acc id row ->
+                 acc
+                 && (not (Value.equal_sql row.(0) probe) || List.mem id ids))))
+
+(* Property: GROUP BY aggregation equals a hand-rolled fold. *)
+let prop_group_by_sums =
+  qtest
+    (QCheck.Test.make ~name:"GROUP BY sums match manual aggregation" ~count:60
+       QCheck.(small_list (pair (int_range 0 4) (int_range (-50) 50)))
+       (fun rows ->
+         let e = fresh () in
+         run e "CREATE TABLE t (g INT, v INT)";
+         List.iter
+           (fun (g, v) ->
+             run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" g v))
+           rows;
+         let r =
+           Engine.query_sql e "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g ASC"
+         in
+         let got =
+           List.map
+             (fun row -> (Value.to_int row.(0), Value.to_int row.(1)))
+             r.Engine.rows
+         in
+         let expected =
+           List.sort_uniq compare (List.map fst rows)
+           |> List.map (fun g ->
+                  ( g,
+                    List.fold_left
+                      (fun acc (g', v) -> if g = g' then acc + v else acc)
+                      0 rows ))
+         in
+         got = expected))
+
+let () =
+  Alcotest.run "uv_db"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_storage_roundtrip;
+          Alcotest.test_case "hash tracks mutations" `Quick
+            test_storage_hash_tracks_mutations;
+          Alcotest.test_case "auto values" `Quick test_storage_auto_values;
+          Alcotest.test_case "copy isolated" `Quick test_storage_copy_isolated;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "insert/select" `Quick test_insert_select;
+          Alcotest.test_case "update/delete" `Quick test_update_delete;
+          Alcotest.test_case "order/limit" `Quick test_select_order_limit;
+          Alcotest.test_case "star projection" `Quick test_select_star_and_projection;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "subqueries" `Quick test_subquery;
+          Alcotest.test_case "null semantics" `Quick test_null_semantics;
+          Alcotest.test_case "builtins" `Quick test_builtin_functions;
+        ] );
+      ( "ddl",
+        [
+          Alcotest.test_case "alter table" `Quick test_alter_table;
+          Alcotest.test_case "drop/truncate" `Quick test_drop_truncate;
+          Alcotest.test_case "views" `Quick test_views;
+          Alcotest.test_case "auto increment" `Quick test_auto_increment;
+        ] );
+      ( "procedural",
+        [
+          Alcotest.test_case "control flow" `Quick test_procedure_control_flow;
+          Alcotest.test_case "leave/signal" `Quick test_procedure_leave_signal;
+          Alcotest.test_case "select into" `Quick test_select_into_vars;
+          Alcotest.test_case "triggers" `Quick test_triggers;
+          Alcotest.test_case "transaction atomicity" `Quick test_transaction_atomic;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "records" `Quick test_log_records;
+          Alcotest.test_case "rand replay" `Quick test_nondet_replay_rand;
+          Alcotest.test_case "auto-key replay" `Quick test_nondet_replay_auto_increment;
+          Alcotest.test_case "undo" `Quick test_undo_records;
+          Alcotest.test_case "cell-precise undo" `Quick test_undo_cell_precision;
+          Alcotest.test_case "ddl undo" `Quick test_undo_ddl;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "log sizes" `Quick test_log_sizes;
+          Alcotest.test_case "rtt accounting" `Quick test_rtt_accounting;
+          Alcotest.test_case "failures not logged" `Quick
+            test_failed_statement_not_logged;
+          prop_full_undo_recovers_state;
+        ] );
+      ( "dump",
+        [
+          Alcotest.test_case "roundtrip + catalog objects" `Quick
+            test_dump_roundtrip;
+          Alcotest.test_case "checkpoint + tail recovery" `Quick
+            test_dump_checkpoint_plus_tail;
+          prop_dump_roundtrip;
+        ] );
+      ( "durable log",
+        [
+          Alcotest.test_case "print/parse/replay" `Quick test_log_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_log_io_file_roundtrip;
+          Alcotest.test_case "corrupt inputs" `Quick test_log_io_corrupt;
+          prop_log_io_escape_roundtrip;
+          prop_log_io_print_parse;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "in/not-in" `Quick test_in_subquery_membership;
+          Alcotest.test_case "correlated subqueries" `Quick
+            test_correlated_subqueries;
+          Alcotest.test_case "pk/not-null constraints" `Quick
+            test_pk_and_not_null_constraints;
+          Alcotest.test_case "insert-select" `Quick test_insert_from_select;
+          Alcotest.test_case "having/distinct aggregates" `Quick
+            test_having_and_distinct_aggregates;
+          Alcotest.test_case "rowcount scalar" `Quick test_rowcount_scalar;
+          Alcotest.test_case "between/case" `Quick test_between_and_case;
+          Alcotest.test_case "multi-row update" `Quick
+            test_multi_row_update_order_independent;
+          Alcotest.test_case "views track base" `Quick test_view_reflects_base_changes;
+          Alcotest.test_case "nested procedures" `Quick test_nested_procedure_calls;
+          Alcotest.test_case "delete/update triggers" `Quick
+            test_trigger_on_delete_and_update;
+          Alcotest.test_case "fk enforcement" `Quick test_enforce_fk;
+          Alcotest.test_case "multi-key order" `Quick test_order_by_multiple_keys;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          prop_group_by_sums;
+          prop_index_superset;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the Mahif baseline: correctness of its symbolic what-if
+   answers against the engine oracle on its numeric fragment, its feature
+   gates, and the super-linear growth behaviour the comparison relies
+   on. *)
+
+open Uv_db
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run e sql = ignore (Engine.exec_sql e sql)
+
+let numeric_history seed n =
+  let prng = Uv_util.Prng.create seed in
+  let stmts =
+    ref
+      [
+        "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+      ]
+  in
+  for i = 1 to 5 do
+    stmts := Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 10) :: !stmts
+  done;
+  for _ = 1 to n do
+    let id = 1 + Uv_util.Prng.int prng 5 in
+    let sql =
+      match Uv_util.Prng.int prng 3 with
+      | 0 ->
+          Printf.sprintf "UPDATE t SET v = %d WHERE id = %d"
+            (Uv_util.Prng.int prng 100) id
+      | 1 -> Printf.sprintf "DELETE FROM t WHERE id = %d" id
+      | _ ->
+          Printf.sprintf "INSERT INTO t VALUES (%d, %d)"
+            (100 + Uv_util.Prng.int prng 100_000)
+            (Uv_util.Prng.int prng 100)
+    in
+    stmts := sql :: !stmts
+  done;
+  List.rev !stmts
+
+let build_engine stmts =
+  let e = Engine.create () in
+  List.iter (fun sql -> try run e sql with Engine.Sql_error _ -> ()) stmts;
+  e
+
+(* engine-side oracle: table contents without statement tau, compared by
+   multiset of (id, v) pairs *)
+let oracle_rows stmts tau =
+  let e = Engine.create () in
+  List.iteri
+    (fun i sql ->
+      if i + 1 <> tau then try run e sql with Engine.Sql_error _ -> ())
+    stmts;
+  let r = Engine.query_sql e "SELECT id, v FROM t ORDER BY id ASC" in
+  List.map
+    (fun row -> (Uv_sql.Value.to_int row.(0), Uv_sql.Value.to_int row.(1)))
+    r.Engine.rows
+
+let mahif_rows stmts tau =
+  let e = build_engine stmts in
+  let m = Uv_mahif.Mahif.create () in
+  Uv_mahif.Mahif.load_history m (Engine.log e);
+  Uv_mahif.Mahif.whatif_remove m tau
+
+(* Mahif returns per-table hashes; compare to the hash of the oracle
+   state computed the same way. *)
+let oracle_hashes stmts tau =
+  let rows = oracle_rows stmts tau in
+  let h = Uv_util.Table_hash.create () in
+  List.iter
+    (fun (id, v) ->
+      Uv_util.Table_hash.add_row h (Printf.sprintf "t|%d|%d" id v))
+    rows;
+  [ ("t", Uv_util.Table_hash.value h) ]
+
+let test_whatif_matches_engine () =
+  let stmts = numeric_history 5 20 in
+  (* remove the 8th statement (an op on the populated table) *)
+  let tau = 8 in
+  check
+    Alcotest.(list (pair string int64))
+    "mahif == engine oracle" (oracle_hashes stmts tau) (mahif_rows stmts tau)
+
+let prop_mahif_oracle =
+  QCheck.Test.make ~name:"mahif what-if == engine oracle (random numeric histories)"
+    ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 7 20))
+    (fun (seed, tau) ->
+      let stmts = numeric_history seed 18 in
+      mahif_rows stmts tau = oracle_hashes stmts tau)
+
+let test_rejects_strings () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT, s VARCHAR(8))";
+  let m = Uv_mahif.Mahif.create () in
+  match Uv_mahif.Mahif.load_history m (Engine.log e) with
+  | exception Uv_mahif.Mahif.Unsupported _ -> ()
+  | () -> Alcotest.fail "string column must be unsupported"
+
+let test_rejects_procedures () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "CREATE PROCEDURE p() BEGIN INSERT INTO t VALUES (1); END";
+  let m = Uv_mahif.Mahif.create () in
+  match Uv_mahif.Mahif.load_history m (Engine.log e) with
+  | exception Uv_mahif.Mahif.Unsupported _ -> ()
+  | () -> Alcotest.fail "procedures must be unsupported"
+
+let test_rejects_native_api () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a DOUBLE)";
+  run e "INSERT INTO t VALUES (RAND())";
+  let m = Uv_mahif.Mahif.create () in
+  match Uv_mahif.Mahif.load_history m (Engine.log e) with
+  | exception Uv_mahif.Mahif.Unsupported _ -> ()
+  | () -> Alcotest.fail "RAND must be unsupported"
+
+let state_nodes n =
+  let stmts = numeric_history 1 n in
+  let e = build_engine stmts in
+  let m = Uv_mahif.Mahif.create () in
+  Uv_mahif.Mahif.load_history m (Engine.log e);
+  Uv_mahif.Mahif.expression_nodes m
+
+let test_superlinear_growth () =
+  (* doubling the history should much more than double the symbolic
+     state: updates wrap every live tuple's expression *)
+  let n1 = state_nodes 40 and n2 = state_nodes 80 in
+  Alcotest.(check bool)
+    (Printf.sprintf "superlinear growth (%d -> %d)" n1 n2)
+    true
+    (n2 > 3 * n1)
+
+let test_memory_accounting_positive () =
+  let stmts = numeric_history 2 30 in
+  let e = build_engine stmts in
+  let m = Uv_mahif.Mahif.create () in
+  Uv_mahif.Mahif.load_history m (Engine.log e);
+  Alcotest.(check bool) "memory estimate positive" true
+    (Uv_mahif.Mahif.memory_bytes m > 0);
+  check Alcotest.int "statement count"
+    (Log.length (Engine.log e))
+    (Uv_mahif.Mahif.statement_count m)
+
+let () =
+  Alcotest.run "uv_mahif"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "matches engine" `Quick test_whatif_matches_engine;
+          qtest prop_mahif_oracle;
+        ] );
+      ( "feature gates",
+        [
+          Alcotest.test_case "strings" `Quick test_rejects_strings;
+          Alcotest.test_case "procedures" `Quick test_rejects_procedures;
+          Alcotest.test_case "native APIs" `Quick test_rejects_native_api;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "superlinear state growth" `Quick test_superlinear_growth;
+          Alcotest.test_case "memory accounting" `Quick
+            test_memory_accounting_positive;
+        ] );
+    ]

@@ -1,0 +1,1180 @@
+(* Tests for ultraverse.retroactive: Table A column-wise policies, Table B
+   row-wise policies, dependency-graph closure, the what-if driver against
+   a full-replay oracle (Definition E.1), the Hash-jumper, and the
+   scheduler. Includes the paper's running examples: Figure 6 (e-commerce
+   dependency graph), Table 2 (row-wise independence), and Figure 7
+   (Hash-jump on overwritten membership). *)
+
+open Uv_sql
+open Uv_db
+open Uv_retroactive
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run e sql = ignore (Engine.exec_sql e sql)
+
+let qint e sql =
+  let r = Engine.query_sql e sql in
+  match r.Engine.rows with
+  | row :: _ -> Value.to_int row.(0)
+  | [] -> Alcotest.failf "no rows from %s" sql
+
+let rw_of ?(schema = []) sql =
+  let sv = Schema_view.create () in
+  List.iter (fun ddl -> Schema_view.apply sv (Parser.parse_stmt ddl)) schema;
+  Rwset.of_stmt sv (Parser.parse_stmt sql)
+
+let has_r key rw = Rwset.Colset.mem key rw.Rwset.r
+let has_w key rw = Rwset.Colset.mem key rw.Rwset.w
+
+(* ------------------------------------------------------------------ *)
+(* Column-wise policy (Table A)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let users_ddl = "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(8), age INT)"
+
+let test_rw_create_table () =
+  let rw = rw_of "CREATE TABLE t (a INT, b INT REFERENCES u(x))" in
+  Alcotest.(check bool) "writes _S.t" true (has_w "_S.t" rw);
+  Alcotest.(check bool) "reads _S.t" true (has_r "_S.t" rw);
+  Alcotest.(check bool) "reads fk source schema" true (has_r "_S.u" rw)
+
+let test_rw_select () =
+  let rw = rw_of ~schema:[ users_ddl ] "SELECT name FROM users WHERE age > 30" in
+  Alcotest.(check bool) "reads name" true (has_r "users.name" rw);
+  Alcotest.(check bool) "reads age" true (has_r "users.age" rw);
+  Alcotest.(check bool) "reads schema" true (has_r "_S.users" rw);
+  Alcotest.(check bool) "write set empty" true (Rwset.Colset.is_empty rw.Rwset.w)
+
+let test_rw_insert_select () =
+  let rw =
+    rw_of
+      ~schema:[ users_ddl; "CREATE TABLE archive (id INT, name VARCHAR(8))" ]
+      "INSERT INTO archive SELECT id, name FROM users WHERE age > 30"
+  in
+  Alcotest.(check bool) "writes archive columns" true (has_w "archive.id" rw);
+  Alcotest.(check bool) "reads source columns" true (has_r "users.id" rw);
+  Alcotest.(check bool) "reads filter column" true (has_r "users.age" rw);
+  Alcotest.(check bool) "reads source schema" true (has_r "_S.users" rw);
+  Alcotest.(check bool) "does not write source" false (has_w "users.id" rw)
+
+let test_rw_select_having () =
+  (* HAVING columns are reads even when absent from projection and WHERE *)
+  let rw =
+    rw_of ~schema:[ users_ddl ]
+      "SELECT name FROM users GROUP BY name HAVING SUM(age) > 100"
+  in
+  Alcotest.(check bool) "reads having column" true (has_r "users.age" rw);
+  (* a subselect inside HAVING reads its source table *)
+  let rw =
+    rw_of
+      ~schema:[ users_ddl; "CREATE TABLE quota (n INT)" ]
+      "SELECT name FROM users GROUP BY name HAVING COUNT(*) > (SELECT n FROM quota)"
+  in
+  Alcotest.(check bool) "reads having subselect" true (has_r "quota.n" rw)
+
+let test_rw_insert_writes_all_columns () =
+  let rw = rw_of ~schema:[ users_ddl ] "INSERT INTO users VALUES (1, 'x', 2)" in
+  List.iter
+    (fun c -> Alcotest.(check bool) ("writes " ^ c) true (has_w ("users." ^ c) rw))
+    [ "id"; "name"; "age" ]
+
+let test_rw_insert_auto_increment_reads_pk () =
+  let rw =
+    rw_of
+      ~schema:
+        [ "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)" ]
+      "INSERT INTO t (v) VALUES (1)"
+  in
+  Alcotest.(check bool) "reads pk column" true (has_r "t.id" rw)
+
+let test_rw_update_reads_and_writes () =
+  let rw =
+    rw_of ~schema:[ users_ddl ] "UPDATE users SET age = age + 1 WHERE name = 'x'"
+  in
+  Alcotest.(check bool) "writes age only" true
+    (has_w "users.age" rw && not (has_w "users.name" rw));
+  Alcotest.(check bool) "reads assigned source" true (has_r "users.age" rw);
+  Alcotest.(check bool) "reads where" true (has_r "users.name" rw)
+
+let test_rw_fk_write_propagation () =
+  (* updating a referenced column also writes the referencing FK columns *)
+  let schema =
+    [ users_ddl; "CREATE TABLE orders (oid INT, uid INT REFERENCES users(id))" ]
+  in
+  let rw = rw_of ~schema "UPDATE users SET id = 9 WHERE id = 1" in
+  Alcotest.(check bool) "fk column written" true (has_w "orders.uid" rw)
+
+let test_rw_call_unions_body () =
+  let schema =
+    [
+      users_ddl;
+      "CREATE PROCEDURE p(IN x INT) BEGIN IF x > 0 THEN UPDATE users SET age \
+       = 1 WHERE id = x; ELSE DELETE FROM users WHERE id = x; END IF; END";
+    ]
+  in
+  let rw = rw_of ~schema "CALL p(3)" in
+  (* both branches merged (§4.2 Branch Conditions) *)
+  Alcotest.(check bool) "then-branch write" true (has_w "users.age" rw);
+  Alcotest.(check bool) "else-branch write" true (has_w "users.name" rw);
+  Alcotest.(check bool) "reads procedure schema" true (has_r "_S.p" rw)
+
+let test_rw_view_expansion () =
+  let schema =
+    [ users_ddl; "CREATE VIEW adults AS SELECT id, name FROM users WHERE age > 17" ]
+  in
+  let rw = rw_of ~schema "SELECT name FROM adults" in
+  Alcotest.(check bool) "expands to parent column" true (has_r "users.name" rw);
+  Alcotest.(check bool) "reads view schema" true (has_r "_S.adults" rw)
+
+let test_rw_trigger_inherited () =
+  let schema =
+    [
+      users_ddl;
+      "CREATE TABLE audit (n INT)";
+      "CREATE TRIGGER tg AFTER INSERT ON users FOR EACH ROW BEGIN UPDATE \
+       audit SET n = n + 1; END";
+    ]
+  in
+  let rw = rw_of ~schema "INSERT INTO users VALUES (1, 'x', 2)" in
+  Alcotest.(check bool) "trigger body write inherited" true (has_w "audit.n" rw);
+  Alcotest.(check bool) "trigger schema read" true (has_r "_S.tg" rw)
+
+let test_rw_transaction_union () =
+  let rw =
+    rw_of ~schema:[ users_ddl ]
+      "BEGIN TRANSACTION; UPDATE users SET age = 1 WHERE id = 1; DELETE FROM \
+       users WHERE id = 2; COMMIT"
+  in
+  Alcotest.(check bool) "union of writes" true
+    (has_w "users.age" rw && has_w "users.name" rw)
+
+(* ------------------------------------------------------------------ *)
+(* Row-wise policy (Table B) — via the analyzer on small histories      *)
+(* ------------------------------------------------------------------ *)
+
+(* Table 2 scenario: Bob's and Alice's rows are independent. *)
+let test_rowwise_table2_independence () =
+  let e = Engine.create () in
+  run e "CREATE TABLE Users (uid VARCHAR(8) PRIMARY KEY, nickname VARCHAR(8), email VARCHAR(32))";
+  run e "INSERT INTO Users VALUES ('alice01', 'Alice', 'a@g.com')"; (* Q2 *)
+  run e "INSERT INTO Users VALUES ('bob99', 'Bob', 'b@y.com')"; (* Q3 *)
+  run e "UPDATE Users SET email = 'alice@aol.com' WHERE uid = 'alice01'"; (* Q4 *)
+  run e "UPDATE Users SET email = 'bob@hotmail.com' WHERE uid = 'bob99'"; (* Q5 *)
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  (* remove Q2 (Alice's signup): Q4 depends, Q3/Q5 (Bob) do not *)
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "alice's update replays" true rs.Analyzer.members.(3);
+  Alcotest.(check bool) "bob's insert skipped" false rs.Analyzer.members.(2);
+  Alcotest.(check bool) "bob's update skipped" false rs.Analyzer.members.(4);
+  (* column-only would replay both updates (same email column) *)
+  Alcotest.(check bool) "column-only over-approximates" true
+    (rs.Analyzer.col_only_count > rs.Analyzer.member_count)
+
+let test_rowwise_alias () =
+  (* §4.3 alias example: DELETE by nickname maps to Bob's uid through the
+     alias learned at insert time *)
+  let e = Engine.create () in
+  run e "CREATE TABLE Users (uid VARCHAR(8) PRIMARY KEY, nickname VARCHAR(8))";
+  run e "INSERT INTO Users VALUES ('alice01', 'Alice')";
+  run e "INSERT INTO Users VALUES ('bob99', 'Bob')";
+  run e "DELETE FROM Users WHERE nickname = 'Bob'";
+  let config =
+    {
+      Uv_retroactive.Rowset.ri_columns = [ ("Users", [ "uid" ]) ];
+      ri_aliases = [ ("Users", "nickname", "uid") ];
+    }
+  in
+  let analyzer = Analyzer.analyze ~config (Engine.log e) in
+  (* removing Alice's insert must NOT pull in the Bob-targeted delete *)
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "alias delete skipped" false rs.Analyzer.members.(3);
+  (* removing Bob's insert must pull it in *)
+  let rs2 = Analyzer.replay_set analyzer { Analyzer.tau = 3; op = Analyzer.Remove } in
+  Alcotest.(check bool) "alias delete replays" true rs2.Analyzer.members.(3)
+
+let test_rowwise_merged_ri_values () =
+  (* §4.3 merging: UPDATE rewrites the RI value; both ids refer to the
+     same physical row afterwards *)
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+  run e "INSERT INTO t VALUES (1, 10)"; (* Q2 *)
+  run e "UPDATE t SET id = 2 WHERE id = 1"; (* Q3 merges 1 ~ 2 *)
+  run e "UPDATE t SET v = 99 WHERE id = 2"; (* Q4 touches the same row *)
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "post-merge access replays" true rs.Analyzer.members.(3)
+
+let test_rowwise_wildcard_where () =
+  (* no RI constraint in WHERE -> wildcard -> conflicts with everything *)
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+  run e "INSERT INTO t VALUES (1, 10)";
+  run e "INSERT INTO t VALUES (2, 20)";
+  run e "UPDATE t SET v = 0 WHERE v > 5"; (* wildcard row access *)
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "wildcard update replays" true rs.Analyzer.members.(3)
+
+let test_ddl_dependency () =
+  (* retroactively removing a CREATE PROCEDURE pulls in its CALLs via _S *)
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "CREATE PROCEDURE p() BEGIN INSERT INTO t VALUES (1); END";
+  run e "CALL p()";
+  run e "INSERT INTO t VALUES (5)";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "call depends on create procedure" true
+    rs.Analyzer.members.(2)
+
+let test_read_only_never_joins () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "INSERT INTO t VALUES (1)";
+  run e "SELECT COUNT(*) FROM t";
+  run e "UPDATE t SET a = 2 WHERE a = 1";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "standalone SELECT not in replay set" false
+    rs.Analyzer.members.(2);
+  Alcotest.(check bool) "later writer joins" true rs.Analyzer.members.(3)
+
+(* direct Table B extraction checks *)
+let extract_rows ?(config = Rowset.default_config) ~schema sql =
+  let sv = Schema_view.create () in
+  List.iter (fun ddl -> Schema_view.apply sv (Parser.parse_stmt ddl)) schema;
+  let state = Rowset.create config in
+  Rowset.of_entry state sv (Parser.parse_stmt sql) []
+
+let riset_of rows table side =
+  match List.assoc_opt table rows with
+  | Some access when Array.length access > 0 ->
+      if side = `R then access.(0).Rowset.dr else access.(0).Rowset.dw
+  | _ -> Alcotest.failf "no access recorded for %s" table
+
+let vals = function
+  | Rowset.Vals s -> List.sort compare (Rowset.Vset.elements s)
+  | Rowset.Any -> Alcotest.fail "expected concrete values, got Any"
+
+let t_schema = [ "CREATE TABLE t (id INT PRIMARY KEY, v INT)" ]
+
+let test_tableb_equality_constraint () =
+  let rows = extract_rows ~schema:t_schema "UPDATE t SET v = 9 WHERE id = 5" in
+  check Alcotest.(list string) "write pins the row" [ "I5" ]
+    (vals (riset_of rows "t" `W))
+
+let test_tableb_in_list () =
+  let rows = extract_rows ~schema:t_schema "DELETE FROM t WHERE id IN (1, 2, 3)" in
+  check Alcotest.(list string) "IN enumerates" [ "I1"; "I2"; "I3" ]
+    (vals (riset_of rows "t" `W))
+
+let test_tableb_and_intersects () =
+  let rows =
+    extract_rows ~schema:t_schema "UPDATE t SET v = 0 WHERE id = 5 AND v > 3"
+  in
+  check Alcotest.(list string) "AND keeps the pinned id" [ "I5" ]
+    (vals (riset_of rows "t" `W))
+
+let test_tableb_or_unions () =
+  let rows =
+    extract_rows ~schema:t_schema "UPDATE t SET v = 0 WHERE id = 5 OR id = 7"
+  in
+  check Alcotest.(list string) "OR unions" [ "I5"; "I7" ]
+    (vals (riset_of rows "t" `W))
+
+let test_tableb_range_is_wildcard () =
+  let rows = extract_rows ~schema:t_schema "UPDATE t SET v = 0 WHERE id > 5" in
+  (match riset_of rows "t" `W with
+  | Rowset.Any -> ()
+  | _ -> Alcotest.fail "range constraints degrade to wildcard")
+
+let test_tableb_insert_writes_key () =
+  let rows = extract_rows ~schema:t_schema "INSERT INTO t VALUES (42, 0)" in
+  check Alcotest.(list string) "inserted key" [ "I42" ]
+    (vals (riset_of rows "t" `W))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 end-to-end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let figure6_history =
+  [
+    "CREATE TABLE Users (uid VARCHAR(16) PRIMARY KEY, nickname VARCHAR(32), email VARCHAR(64))";
+    "CREATE TABLE Address (owner_uid VARCHAR(16) PRIMARY KEY, city VARCHAR(32))";
+    "CREATE TABLE Orders (oid VARCHAR(8) PRIMARY KEY, ord_uid VARCHAR(16))";
+    "CREATE TABLE Stats (day INT PRIMARY KEY, total INT)";
+    "CREATE PROCEDURE NewOrder(IN orderer_uid VARCHAR(16), IN order_id VARCHAR(8)) lbl: BEGIN \
+     DECLARE cnt INT; \
+     SELECT COUNT(*) INTO cnt FROM Address WHERE owner_uid = orderer_uid; \
+     IF cnt <> 0 THEN INSERT INTO Orders VALUES (order_id, orderer_uid); \
+     ELSE LEAVE lbl; END IF; END";
+    "INSERT INTO Users VALUES ('alice01', 'Alice', 'al@gmail.com')";
+    "INSERT INTO Address VALUES ('alice01', 'Osaka')";
+    "CALL NewOrder('alice01', 'ord-1')";
+    "INSERT INTO Users VALUES ('bob99', 'Bob', 'bob@yahoo.com')";
+    "CALL NewOrder('bob99', 'ord-2')";
+    "INSERT INTO Stats VALUES (1, (SELECT COUNT(*) FROM Orders))";
+    "UPDATE Users SET email = 'alice@aol.com' WHERE uid = 'alice01'";
+    "UPDATE Users SET email = 'bob@hotmail.com' WHERE uid = 'bob99'";
+  ]
+
+let build_figure6 () =
+  let e = Engine.create () in
+  List.iter (run e) figure6_history;
+  e
+
+let oracle_replay e ~skip =
+  (* Definition E.1: replay the whole log minus [skip] on a fresh engine *)
+  let e2 = Engine.create () in
+  Log.iter (Engine.log e) (fun entry ->
+      if entry.Log.index <> skip then
+        try
+          ignore
+            (Engine.exec ~nondet:entry.Log.nondet ?app_txn:entry.Log.app_txn e2
+               entry.Log.stmt)
+        with Engine.Sql_error _ | Engine.Signal_raised _ -> ());
+  e2
+
+let table_testable = Alcotest.(list (pair string int64))
+
+let all_hashes e =
+  List.map (fun (n, t) -> (n, Storage.hash t)) (Catalog.tables (Engine.catalog e))
+
+let merged_universe e out =
+  let merged = Engine.of_catalog (Catalog.snapshot (Engine.catalog e)) in
+  Whatif.commit merged out;
+  merged
+
+let test_figure6_remove_address () =
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
+  let m = out.Whatif.replay.Analyzer.members in
+  Alcotest.(check bool) "Q8 (Alice order) replays" true m.(7);
+  Alcotest.(check bool) "Q11 (stats) replays" true m.(10);
+  Alcotest.(check bool) "Q9 (Bob signup) skipped" false m.(8);
+  Alcotest.(check bool) "Q10 (Bob order attempt) skipped" false m.(9);
+  Alcotest.(check bool) "Q12/Q13 (emails) skipped" true (not m.(11) && not m.(12));
+  let truth = oracle_replay e ~skip:7 in
+  check table_testable "final state equals oracle" (all_hashes truth)
+    (all_hashes (merged_universe e out));
+  (* semantic checks: no address -> no order -> stats total 0 *)
+  let merged = merged_universe e out in
+  check Alcotest.int "no orders in new universe" 0
+    (qint merged "SELECT COUNT(*) FROM Orders");
+  check Alcotest.int "stats reflect no orders" 0
+    (qint merged "SELECT total FROM Stats WHERE day = 1")
+
+let test_figure6_add_address_for_bob () =
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let stmt = Parser.parse_stmt "INSERT INTO Address VALUES ('bob99', 'Tokyo')" in
+  (* add just before Q10 so Bob's order attempt now succeeds *)
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 10; op = Analyzer.Add stmt } in
+  let merged = merged_universe e out in
+  check Alcotest.int "both orders exist now" 2
+    (qint merged "SELECT COUNT(*) FROM Orders");
+  check Alcotest.int "stats reflect two orders" 2
+    (qint merged "SELECT total FROM Stats WHERE day = 1")
+
+let test_figure6_change_query () =
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let stmt = Parser.parse_stmt "CALL NewOrder('bob99', 'ord-9')" in
+  (* change Q8 from Alice's order to Bob's (who has no address) *)
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 8; op = Analyzer.Change stmt } in
+  let merged = merged_universe e out in
+  check Alcotest.int "alice's order gone, bob's fails" 0
+    (qint merged "SELECT COUNT(*) FROM Orders")
+
+let test_mutated_consulted_classification () =
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let rs = Analyzer.replay_set analyzer { Analyzer.tau = 7; op = Analyzer.Remove } in
+  Alcotest.(check bool) "Orders mutated" true (List.mem "Orders" rs.Analyzer.mutated);
+  Alcotest.(check bool) "Stats mutated" true (List.mem "Stats" rs.Analyzer.mutated);
+  Alcotest.(check bool) "Users untouched" true
+    (not (List.mem "Users" rs.Analyzer.mutated)
+    && not (List.mem "Users" rs.Analyzer.consulted))
+
+let test_remove_readonly_target () =
+  (* removing a standalone SELECT cannot change anything *)
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "INSERT INTO t VALUES (1)";
+  run e "SELECT COUNT(*) FROM t";
+  run e "INSERT INTO t VALUES (2)";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 3; op = Analyzer.Remove } in
+  check Alcotest.int "nothing replays" 0 out.Whatif.replayed;
+  let truth = oracle_replay e ~skip:3 in
+  check table_testable "oracle agrees" (all_hashes truth)
+    (all_hashes (merged_universe e out))
+
+let test_add_at_end_of_history () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "INSERT INTO t VALUES (1)";
+  let n = Log.length (Engine.log e) in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let stmt = Parser.parse_stmt "INSERT INTO t VALUES (99)" in
+  let out =
+    Whatif.run ~analyzer e { Analyzer.tau = n + 1; op = Analyzer.Add stmt }
+  in
+  let merged = merged_universe e out in
+  check Alcotest.int "appended row visible" 2 (qint merged "SELECT COUNT(*) FROM t");
+  check Alcotest.int "new log one longer" (n + 1) (Log.length out.Whatif.new_log)
+
+let test_remove_create_table () =
+  (* retroactively removing a table's creation erases everything that
+     touched it; the rest of the database is untouched *)
+  let e = Engine.create () in
+  run e "CREATE TABLE keepme (a INT)";
+  run e "CREATE TABLE doomed (a INT)";
+  run e "INSERT INTO doomed VALUES (1)";
+  run e "INSERT INTO keepme VALUES (7)";
+  run e "UPDATE doomed SET a = 2 WHERE a = 1";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 2; op = Analyzer.Remove } in
+  Alcotest.(check bool) "doomed statements failed in the new universe" true
+    (out.Whatif.failed_replays >= 1);
+  let merged = merged_universe e out in
+  (match Engine.query_sql merged "SELECT COUNT(*) FROM doomed" with
+  | exception Engine.Sql_error _ -> ()
+  | _ -> Alcotest.fail "doomed table must not exist in the new universe");
+  check Alcotest.int "unrelated table intact" 7 (qint merged "SELECT a FROM keepme")
+
+(* ------------------------------------------------------------------ *)
+(* Hash-jumper (Figure 7)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_jumper_figure7 () =
+  (* membership levels: removing the initialisation is effectless once the
+     later overwrite replays *)
+  let e = Engine.create () in
+  run e "CREATE TABLE Membership (uid INT PRIMARY KEY, level VARCHAR(8))";
+  run e "INSERT INTO Membership VALUES (1, 'gold')"; (* Q2: Alice init *)
+  run e "INSERT INTO Membership VALUES (2, 'gold')";
+  run e "UPDATE Membership SET level = 'diamond' WHERE uid = 1"; (* overwrite *)
+  for i = 3 to 30 do
+    run e (Printf.sprintf "INSERT INTO Membership VALUES (%d, 'silver')" i)
+  done;
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  (* change Q2 to initialise Alice as 'bronze' — overwritten later, so the
+     final state is unchanged and the jumper can stop at Q4 *)
+  let stmt = Parser.parse_stmt "INSERT INTO Membership VALUES (1, 'bronze')" in
+  let config = { Whatif.default_config with Whatif.hash_jumper = true } in
+  let out =
+    Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
+  in
+  Alcotest.(check (option int)) "hash hit at the overwrite" (Some 4)
+    out.Whatif.hash_jump_at;
+  Alcotest.(check bool) "declared effectless" false out.Whatif.changed;
+  Alcotest.(check bool) "replay stopped early" true (out.Whatif.replayed < 5)
+
+let test_hash_jumper_no_false_hit () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+  run e "INSERT INTO t VALUES (1, 10)";
+  run e "UPDATE t SET v = v + 1 WHERE id = 1";
+  run e "UPDATE t SET v = v + 1 WHERE id = 1";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  (* change the seed value: every later increment produces a different
+     state, so the jumper must never fire *)
+  let stmt = Parser.parse_stmt "INSERT INTO t VALUES (1, 100)" in
+  let config = { Whatif.default_config with Whatif.hash_jumper = true } in
+  let out =
+    Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
+  in
+  Alcotest.(check (option int)) "no hit" None out.Whatif.hash_jump_at;
+  Alcotest.(check bool) "changed" true out.Whatif.changed;
+  let merged = merged_universe e out in
+  check Alcotest.int "new value propagated" 102 (qint merged "SELECT v FROM t")
+
+let test_hash_at_timeline () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (a INT)";
+  run e "INSERT INTO t VALUES (1)";
+  let h_after_2 = Engine.table_hash e "t" in
+  run e "INSERT INTO t VALUES (2)";
+  let h_after_3 = Engine.table_hash e "t" in
+  let j = Hash_jumper.of_log (Engine.log e) in
+  check Alcotest.int64 "hash at 2" h_after_2 (Hash_jumper.hash_at j ~table:"t" ~index:2);
+  check Alcotest.int64 "hash at 3" h_after_3 (Hash_jumper.hash_at j ~table:"t" ~index:3);
+  check Alcotest.int64 "before any write" 0L (Hash_jumper.hash_at j ~table:"t" ~index:1)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_independent_parallel () =
+  let entries = [ 1; 2; 3; 4 ] in
+  let ms =
+    Scheduler.makespan ~entries ~edges:[] ~weight:(fun _ -> 1.0) ~workers:4
+  in
+  check (Alcotest.float 1e-9) "fully parallel" 1.0 ms;
+  let serial =
+    Scheduler.makespan ~entries ~edges:[] ~weight:(fun _ -> 1.0) ~workers:1
+  in
+  check (Alcotest.float 1e-9) "serial" 4.0 serial
+
+let test_scheduler_conflict_chain () =
+  let entries = [ 1; 2; 3 ] in
+  let edges = [ (2, 1); (3, 2) ] in
+  let ms = Scheduler.makespan ~entries ~edges ~weight:(fun _ -> 1.0) ~workers:8 in
+  check (Alcotest.float 1e-9) "chain serialises" 3.0 ms
+
+let test_dependency_edges_row_refined () =
+  (* two updates to different rows produce no edge; same row does *)
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+  run e "INSERT INTO t VALUES (1, 0)";
+  run e "INSERT INTO t VALUES (2, 0)";
+  run e "UPDATE t SET v = 1 WHERE id = 1";
+  run e "UPDATE t SET v = 2 WHERE id = 2";
+  run e "UPDATE t SET v = 3 WHERE id = 1";
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let members = Array.make 6 true in
+  members.(0) <- false;
+  let edges = Analyzer.dependency_edges analyzer ~members in
+  Alcotest.(check bool) "same-row updates ordered" true (List.mem (6, 4) edges);
+  Alcotest.(check bool) "different-row updates unordered" true
+    (not (List.mem (5, 4) edges))
+
+(* ------------------------------------------------------------------ *)
+(* Property: what-if == full-replay oracle on random histories          *)
+(* ------------------------------------------------------------------ *)
+
+let random_history prng n =
+  let stmts = ref [] in
+  for _ = 1 to n do
+    let id () = 1 + Uv_util.Prng.int prng 6 in
+    let sql =
+      match Uv_util.Prng.int prng 6 with
+      | 0 ->
+          Printf.sprintf "INSERT INTO t VALUES (%d, %d, %d)"
+            (100 + Uv_util.Prng.int prng 10_000)
+            (Uv_util.Prng.int prng 50) (Uv_util.Prng.int prng 50)
+      | 1 ->
+          Printf.sprintf "UPDATE t SET v = %d WHERE id = %d"
+            (Uv_util.Prng.int prng 100) (id ())
+      | 2 ->
+          Printf.sprintf "UPDATE t SET w = w + %d WHERE v > %d"
+            (Uv_util.Prng.int prng 5) (Uv_util.Prng.int prng 60)
+      | 3 -> Printf.sprintf "DELETE FROM t WHERE id = %d" (id ())
+      | 4 ->
+          (* derived-table copy: INSERT ... SELECT (skipped as a SQL error
+             by histories whose fixture lacks table d) *)
+          Printf.sprintf "INSERT INTO d SELECT id, v + w FROM t WHERE v > %d"
+            (Uv_util.Prng.int prng 80)
+      | _ ->
+          Printf.sprintf
+            "INSERT INTO d SELECT v, COUNT(*) FROM t GROUP BY v HAVING COUNT(*) >= %d"
+            (1 + Uv_util.Prng.int prng 2)
+    in
+    stmts := sql :: !stmts
+  done;
+  List.rev !stmts
+
+let whatif_matches_oracle seed =
+  let prng = Uv_util.Prng.create seed in
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)";
+  run e "CREATE TABLE d (k INT, x INT)";
+  for i = 1 to 6 do
+    run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d, %d)" i (i * 10) 0)
+  done;
+  List.iter
+    (fun sql -> try run e sql with Engine.Sql_error _ -> ())
+    (random_history prng 25);
+  let n = Log.length (Engine.log e) in
+  let tau = 9 + Uv_util.Prng.int prng (n - 9) in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out = Whatif.run ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+  let truth = oracle_replay e ~skip:tau in
+  let merged = merged_universe e out in
+  all_hashes truth = all_hashes merged
+
+let prop_whatif_oracle =
+  QCheck.Test.make ~name:"whatif remove == full-replay oracle (random histories)"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    whatif_matches_oracle
+
+(* column-only mode must also be correct (row analysis only prunes) *)
+let prop_colonly_oracle =
+  QCheck.Test.make ~name:"column-only whatif == oracle" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create (seed + 7) in
+      let e = Engine.create () in
+      run e "CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)";
+      for i = 1 to 6 do
+        run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 0)" i (i * 10))
+      done;
+      List.iter
+        (fun sql -> try run e sql with Engine.Sql_error _ -> ())
+        (random_history prng 20);
+      let n = Log.length (Engine.log e) in
+      let tau = 8 + Uv_util.Prng.int prng (n - 8) in
+      let analyzer = Analyzer.analyze (Engine.log e) in
+      let config = { Whatif.default_config with Whatif.mode = Analyzer.Col_only } in
+      let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+      let truth = oracle_replay e ~skip:tau in
+      all_hashes truth = all_hashes (merged_universe e out))
+
+(* oracle for Add/Change: full replay with the operation applied at tau *)
+let oracle_with_op e tau op =
+  let e2 = Engine.create () in
+  let exec_stmt ?nondet ?app_txn stmt =
+    try ignore (Engine.exec ?nondet ?app_txn e2 stmt)
+    with Engine.Sql_error _ | Engine.Signal_raised _ -> ()
+  in
+  Log.iter (Engine.log e) (fun entry ->
+      if entry.Log.index = tau then begin
+        match op with
+        | Analyzer.Add stmt ->
+            exec_stmt stmt;
+            exec_stmt ~nondet:entry.Log.nondet ?app_txn:entry.Log.app_txn
+              entry.Log.stmt
+        | Analyzer.Change stmt -> exec_stmt stmt
+        | Analyzer.Remove -> ()
+      end
+      else
+        exec_stmt ~nondet:entry.Log.nondet ?app_txn:entry.Log.app_txn
+          entry.Log.stmt);
+  e2
+
+let random_op prng =
+  let fresh_insert () =
+    Parser.parse_stmt
+      (Printf.sprintf "INSERT INTO t VALUES (%d, %d, %d)"
+         (10_000 + Uv_util.Prng.int prng 10_000)
+         (Uv_util.Prng.int prng 50) (Uv_util.Prng.int prng 50))
+  in
+  let touch_update () =
+    Parser.parse_stmt
+      (Printf.sprintf "UPDATE t SET v = %d WHERE id = %d"
+         (Uv_util.Prng.int prng 100)
+         (1 + Uv_util.Prng.int prng 6))
+  in
+  match Uv_util.Prng.int prng 3 with
+  | 0 -> Analyzer.Add (fresh_insert ())
+  | 1 -> Analyzer.Add (touch_update ())
+  | _ -> Analyzer.Change (touch_update ())
+
+let prop_add_change_oracle =
+  QCheck.Test.make ~name:"whatif add/change == oracle (random histories)"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create (seed + 23) in
+      let e = Engine.create () in
+      run e "CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)";
+      run e "CREATE TABLE d (k INT, x INT)";
+      for i = 1 to 6 do
+        run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 0)" i (i * 10))
+      done;
+      List.iter
+        (fun sql -> try run e sql with Engine.Sql_error _ -> ())
+        (random_history prng 20);
+      let n = Log.length (Engine.log e) in
+      let tau = 9 + Uv_util.Prng.int prng (n - 9) in
+      let op = random_op prng in
+      let analyzer = Analyzer.analyze (Engine.log e) in
+      let out = Whatif.run ~analyzer e { Analyzer.tau; op } in
+      let truth = oracle_with_op e tau op in
+      all_hashes truth = all_hashes (merged_universe e out))
+
+(* row-only mode is likewise sound on its own (Theorem E.20's two
+   independent over-approximations) *)
+let prop_rowonly_oracle =
+  QCheck.Test.make ~name:"row-only whatif == oracle" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create (seed + 13) in
+      let e = Engine.create () in
+      run e "CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)";
+      run e "CREATE TABLE d (k INT, x INT)";
+      for i = 1 to 6 do
+        run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 0)" i (i * 10))
+      done;
+      List.iter
+        (fun sql -> try run e sql with Engine.Sql_error _ -> ())
+        (random_history prng 20);
+      let n = Log.length (Engine.log e) in
+      let tau = 9 + Uv_util.Prng.int prng (n - 9) in
+      let analyzer = Analyzer.analyze (Engine.log e) in
+      let config = { Whatif.default_config with Whatif.mode = Analyzer.Row_only } in
+      let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+      let truth = oracle_replay e ~skip:tau in
+      all_hashes truth = all_hashes (merged_universe e out))
+
+(* cell-wise replay set is never larger than either single analysis *)
+let prop_cell_subset =
+  QCheck.Test.make ~name:"|cell| <= min(|col|, |row|)" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create (seed + 13) in
+      let e = Engine.create () in
+      run e "CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)";
+      for i = 1 to 6 do
+        run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d, 0)" i (i * 10))
+      done;
+      List.iter
+        (fun sql -> try run e sql with Engine.Sql_error _ -> ())
+        (random_history prng 20);
+      let analyzer = Analyzer.analyze (Engine.log e) in
+      let rs = Analyzer.replay_set analyzer { Analyzer.tau = 8; op = Analyzer.Remove } in
+      rs.Analyzer.member_count <= rs.Analyzer.col_only_count
+      && rs.Analyzer.member_count <= rs.Analyzer.row_only_count)
+
+
+(* ------------------------------------------------------------------ *)
+(* Scenario tree (§6)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_branching () =
+  let e = build_figure6 () in
+  let root = Scenario.root ~name:"reality" e in
+  (* branch 1: Alice never registered her address *)
+  let no_addr, out1 =
+    Scenario.branch ~name:"no-address" root { Analyzer.tau = 7; op = Analyzer.Remove }
+  in
+  Alcotest.(check bool) "branch changed" true out1.Whatif.changed;
+  check Alcotest.int "no orders without address" 0
+    (Value.to_int
+       (List.hd (Scenario.query_sql no_addr "SELECT COUNT(*) FROM Orders").Engine.rows).(0));
+  (* the root is untouched *)
+  check Alcotest.int "reality still has the order" 1
+    (Value.to_int
+       (List.hd (Scenario.query_sql root "SELECT COUNT(*) FROM Orders").Engine.rows).(0));
+  (* branch the BRANCH: in the no-address world, Bob registers one *)
+  let bob_addr, _ =
+    Scenario.branch ~name:"bob-registers" no_addr
+      {
+        Analyzer.tau = 9;
+        op = Analyzer.Add (Parser.parse_stmt "INSERT INTO Address VALUES ('bob99', 'Tokyo')");
+      }
+  in
+  check Alcotest.int "bob's order succeeds in the grandchild" 1
+    (Value.to_int
+       (List.hd (Scenario.query_sql bob_addr "SELECT COUNT(*) FROM Orders").Engine.rows).(0));
+  check Alcotest.(list string) "lineage" [ "reality"; "no-address"; "bob-registers" ]
+    (Scenario.lineage bob_addr);
+  check Alcotest.int "depth" 2 (Scenario.depth bob_addr);
+  check Alcotest.int "root has one child" 1 (List.length (Scenario.children root))
+
+let test_whatif_insert_select_dependency () =
+  (* the payroll pattern: INSERT ... SELECT propagates a tainted write into
+     a derived table; removing the taint repairs the copy but preserves
+     later independent changes *)
+  let e = Engine.create () in
+  List.iter (run e)
+    [
+      "CREATE TABLE staff (id INT PRIMARY KEY, salary INT)";
+      "CREATE TABLE payouts (month INT, staff_id INT, amount INT)";
+      "INSERT INTO staff VALUES (1, 3000), (2, 4200)";
+      "UPDATE staff SET salary = 9000 WHERE id = 1"; (* tau = 4: the attack *)
+      "UPDATE staff SET salary = 4500 WHERE id = 2"; (* independent raise *)
+      "INSERT INTO payouts SELECT 2, id, salary FROM staff";
+    ];
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let target = { Analyzer.tau = 4; op = Analyzer.Remove } in
+  let rs = Analyzer.replay_set analyzer target in
+  Alcotest.(check bool) "insert-select is tainted" true rs.Analyzer.members.(5);
+  Alcotest.(check bool) "independent raise is not" false rs.Analyzer.members.(4);
+  let out = Whatif.run ~analyzer e target in
+  let truth = oracle_replay e ~skip:4 in
+  check table_testable "equals full-replay oracle" (all_hashes truth)
+    (all_hashes (merged_universe e out))
+
+let test_retroactive_ddl_operations () =
+  (* retroactively ADD a CREATE INDEX: pure access-path change, so the
+     universe must be judged unchanged; retroactively ADD an ALTER TABLE
+     and the later inserts gain the column *)
+  (* column-listed INSERTs so they still apply after a retroactive ALTER
+     widens the table (a column-less INSERT would fail, exactly as it
+     would on MySQL) *)
+  let e = Engine.create () in
+  List.iter (run e)
+    [
+      "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+      "INSERT INTO t (id, v) VALUES (1, 10)";
+      "UPDATE t SET v = v + 1 WHERE id = 1";
+      "INSERT INTO t (id, v) VALUES (2, 20)";
+    ];
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out =
+    Whatif.run ~analyzer e
+      {
+        Analyzer.tau = 2;
+        op = Analyzer.Add (Parser.parse_stmt "CREATE INDEX iv ON t (v)");
+      }
+  in
+  (* a new index changes the catalog (changed = true) but not the data *)
+  Alcotest.(check bool) "index addition is a catalog change" true
+    out.Whatif.changed;
+  Alcotest.(check bool) "index addition leaves the data identical" true
+    (Int64.equal
+       (Catalog.db_hash out.Whatif.temp_catalog)
+       (Engine.db_hash e));
+  (* retroactive ALTER: every later writer of t joins via the _S key *)
+  let out2 =
+    Whatif.run ~analyzer e
+      {
+        Analyzer.tau = 2;
+        op = Analyzer.Add (Parser.parse_stmt "ALTER TABLE t ADD COLUMN w INT");
+      }
+  in
+  Alcotest.(check bool) "schema change replays later writers" true
+    (out2.Whatif.replayed >= 3);
+  let r =
+    Whatif.query_new_universe out2
+      (match Parser.parse_stmt "SELECT w FROM t WHERE id = 2" with
+      | Ast.Select s -> s
+      | _ -> assert false)
+  in
+  Alcotest.(check bool) "new column exists and is NULL" true
+    (match r.Engine.rows with [ row ] -> Value.is_null row.(0) | _ -> false);
+  (* removing a CREATE VIEW drops the view but leaves the base data *)
+  let e2 = Engine.create () in
+  List.iter (run e2)
+    [
+      "CREATE TABLE b (x INT)";
+      "CREATE VIEW vb AS SELECT x FROM b";
+      "INSERT INTO b VALUES (1)";
+    ];
+  let analyzer2 = Analyzer.analyze (Engine.log e2) in
+  let out3 =
+    Whatif.run ~analyzer:analyzer2 e2 { Analyzer.tau = 2; op = Analyzer.Remove }
+  in
+  let merged = merged_universe e2 out3 in
+  Alcotest.(check bool) "view gone" true
+    (Catalog.view (Engine.catalog merged) "vb" = None);
+  check Alcotest.int "base rows intact" 1 (qint merged "SELECT COUNT(*) FROM b")
+
+let test_explain_provenance () =
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let target = { Analyzer.tau = 7; op = Analyzer.Remove } in
+  let rs, prov = Analyzer.replay_set_explained analyzer target in
+  (* same membership as the plain API *)
+  let rs' = Analyzer.replay_set analyzer target in
+  Alcotest.(check (array bool)) "same members" rs'.Analyzer.members rs.Analyzer.members;
+  (* non-members carry no provenance, members carry some *)
+  Array.iteri
+    (fun j p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "provenance presence for %d" (j + 1))
+        rs.Analyzer.members.(j) (p <> None))
+    prov;
+  (* Q8 (Alice's order) was pulled in directly by the removed Address row *)
+  (match prov.(7) with
+  | Some p ->
+      Alcotest.(check bool) "order joined via the target" true
+        (p.Analyzer.p_col_via = Some 0 || p.Analyzer.p_row_via = Some 0)
+  | None -> Alcotest.fail "order must be a member");
+  (* Q11 (stats) was pulled in by Q8's Orders write *)
+  (match prov.(10) with
+  | Some p ->
+      Alcotest.(check bool) "stats joined via the order" true
+        (p.Analyzer.p_col_via = Some 8 || p.Analyzer.p_row_via = Some 8)
+  | None -> Alcotest.fail "stats must be a member");
+  (* pairwise detail: the order and the stats conflict on Orders *)
+  let cols = Analyzer.conflict_columns analyzer 8 11 in
+  Alcotest.(check bool) "Orders column conflict" true
+    (List.exists (fun c -> String.length c > 7 && String.sub c 0 7 = "Orders.") cols);
+  (* the two email updates share a column (both write Users.email) but are
+     row-disjoint (alice vs bob) — exactly the cell-wise distinction *)
+  Alcotest.(check bool) "emails share a column" true
+    (List.mem "Users.email" (Analyzer.conflict_columns analyzer 12 13));
+  Alcotest.(check (list (pair string (list string))))
+    "emails are row-disjoint" []
+    (Analyzer.conflict_tables analyzer 12 13);
+  (* report: one line per member, mentioning the direct seed *)
+  let rs2, lines = Analyzer.explain_report analyzer target in
+  Alcotest.(check int) "one line per member" rs2.Analyzer.member_count
+    (List.length lines);
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "a line cites the target" true
+    (List.exists
+       (fun l ->
+         String.length l >= 3 && String.sub l 0 3 = "#8 " && contains l "the target")
+       lines)
+
+let test_branch_seq_multi_target () =
+  (* branch_seq applies several retroactive targets as one scenario, in
+     descending commit order so each earlier index stays valid.  The result
+     must equal chaining individual branches by hand in that order. *)
+  let e = build_figure6 () in
+  let root = Scenario.root ~name:"reality" e in
+  let targets =
+    [
+      { Analyzer.tau = 7; op = Analyzer.Remove };
+      (* remove a later entry too: the second INSERT into Address at index 8
+         does not exist in Figure 6, so aim at the order placement itself *)
+      { Analyzer.tau = 8; op = Analyzer.Remove };
+    ]
+  in
+  let combined, outcomes = Scenario.branch_seq ~name:"combined" root targets in
+  Alcotest.(check int) "two outcomes" 2 (List.length outcomes);
+  (* manual: apply tau=8 first (descending), then tau=7 *)
+  let s1, _ = Scenario.branch root { Analyzer.tau = 8; op = Analyzer.Remove } in
+  let s2, _ = Scenario.branch s1 { Analyzer.tau = 7; op = Analyzer.Remove } in
+  check table_testable "branch_seq equals manual descending chain"
+    (all_hashes (Scenario.engine s2))
+    (all_hashes (Scenario.engine combined));
+  (* tree stays tidy: root gains exactly the named child, no intermediates *)
+  Alcotest.(check bool) "combined is a direct child of root" true
+    (List.exists (fun c -> Scenario.name c = "combined") (Scenario.children root));
+  Alcotest.(check (list string)) "lineage skips intermediates"
+    [ "reality"; "combined" ] (Scenario.lineage combined);
+  (* parent untouched *)
+  check Alcotest.int "reality still has the order" 1
+    (Value.to_int
+       (List.hd (Scenario.query_sql root "SELECT COUNT(*) FROM Orders").Engine.rows).(0))
+
+let test_new_log_replayable () =
+  (* the merged new-universe log, replayed from scratch, rebuilds the
+     new universe exactly *)
+  let e = build_figure6 () in
+  let analyzer = Analyzer.analyze (Engine.log e) in
+  let out = Whatif.run ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
+  let rebuilt = Engine.create () in
+  Log.iter out.Whatif.new_log (fun entry ->
+      try ignore (Engine.exec ~nondet:entry.Log.nondet rebuilt entry.Log.stmt)
+      with Engine.Sql_error _ | Engine.Signal_raised _ -> ());
+  let merged = merged_universe e out in
+  check table_testable "rebuilt universe equals merged"
+    (all_hashes merged) (all_hashes rebuilt);
+  check Alcotest.int "one entry fewer" (Log.length (Engine.log e) - 1)
+    (Log.length out.Whatif.new_log)
+
+let prop_branching_isolates_parent =
+  QCheck.Test.make ~name:"branching never mutates the parent universe" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create seed in
+      let e = Engine.create () in
+      run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+      for i = 1 to 5 do
+        run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 10))
+      done;
+      for _ = 1 to 12 do
+        let id = 1 + Uv_util.Prng.int prng 5 in
+        run e
+          (Printf.sprintf "UPDATE t SET v = %d WHERE id = %d"
+             (Uv_util.Prng.int prng 100) id)
+      done;
+      let root = Scenario.root e in
+      let before = Scenario.db_hash root in
+      let n = Scenario.history_length root in
+      let tau = 6 + Uv_util.Prng.int prng (n - 6) in
+      let child, _ = Scenario.branch root { Analyzer.tau; op = Analyzer.Remove } in
+      ignore (Scenario.db_hash child);
+      Int64.equal before (Scenario.db_hash root))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency-control scheduling (§6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cc_base () =
+  let e = Engine.create () in
+  run e "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)";
+  run e "INSERT INTO acct VALUES (1, 100), (2, 100), (3, 100), (4, 100)";
+  e
+
+let test_cc_disjoint_rows_one_wave () =
+  let e = cc_base () in
+  let stmts =
+    List.map Parser.parse_stmt
+      [
+        "UPDATE acct SET bal = bal + 1 WHERE id = 1";
+        "UPDATE acct SET bal = bal + 1 WHERE id = 2";
+        "UPDATE acct SET bal = bal + 1 WHERE id = 3";
+      ]
+  in
+  let plan = Cc_schedule.plan ~base:(Engine.catalog e) stmts in
+  check Alcotest.int "single wave" 1 (Cc_schedule.wave_count plan);
+  check Alcotest.int "no conflicts" 0 plan.Cc_schedule.conflict_edges
+
+let test_cc_same_row_serialises () =
+  let e = cc_base () in
+  let stmts =
+    List.map Parser.parse_stmt
+      [
+        "UPDATE acct SET bal = bal + 1 WHERE id = 1";
+        "UPDATE acct SET bal = bal * 2 WHERE id = 1";
+        "UPDATE acct SET bal = bal + 5 WHERE id = 2";
+      ]
+  in
+  let plan = Cc_schedule.plan ~base:(Engine.catalog e) stmts in
+  check Alcotest.int "two waves" 2 (Cc_schedule.wave_count plan);
+  (match plan.Cc_schedule.waves with
+  | [ w1; w2 ] ->
+      Alcotest.(check (list int)) "first wave" [ 0; 2 ] w1;
+      Alcotest.(check (list int)) "second wave" [ 1 ] w2
+  | _ -> Alcotest.fail "wave shape");
+  (* executing the plan preserves serial semantics *)
+  let plan_exec_hash =
+    let e2 = cc_base () in
+    ignore (Cc_schedule.execute e2 stmts plan);
+    Engine.table_hash e2 "acct"
+  in
+  let serial_hash =
+    let e3 = cc_base () in
+    List.iter (fun s -> ignore (Engine.exec e3 s)) stmts;
+    Engine.table_hash e3 "acct"
+  in
+  check Alcotest.int64 "plan == serial" serial_hash plan_exec_hash
+
+let test_cc_ddl_serialises_everything () =
+  let e = cc_base () in
+  let stmts =
+    List.map Parser.parse_stmt
+      [
+        "UPDATE acct SET bal = 0 WHERE id = 1";
+        "ALTER TABLE acct ADD COLUMN note VARCHAR(8)";
+        "UPDATE acct SET bal = 0 WHERE id = 2";
+      ]
+  in
+  let plan = Cc_schedule.plan ~base:(Engine.catalog e) stmts in
+  Alcotest.(check bool) "ddl forces ordering" true (Cc_schedule.wave_count plan >= 2)
+
+let prop_cc_plan_equals_serial =
+  QCheck.Test.make ~name:"wave execution == serial execution" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let prng = Uv_util.Prng.create seed in
+      let e = cc_base () in
+      let stmts =
+        List.init 12 (fun _ ->
+            let id = 1 + Uv_util.Prng.int prng 4 in
+            Parser.parse_stmt
+              (match Uv_util.Prng.int prng 3 with
+              | 0 ->
+                  Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = %d"
+                    (Uv_util.Prng.int prng 10) id
+              | 1 ->
+                  Printf.sprintf "UPDATE acct SET bal = bal * 2 WHERE id = %d" id
+              | _ ->
+                  Printf.sprintf "INSERT INTO acct VALUES (%d, %d)"
+                    (10 + Uv_util.Prng.int prng 1000)
+                    (Uv_util.Prng.int prng 100)))
+      in
+      let plan = Cc_schedule.plan ~base:(Engine.catalog e) stmts in
+      let h_plan =
+        let e2 = cc_base () in
+        ignore (Cc_schedule.execute e2 stmts plan);
+        Engine.table_hash e2 "acct"
+      in
+      let h_serial =
+        let e3 = cc_base () in
+        List.iter
+          (fun s -> try ignore (Engine.exec e3 s) with Engine.Sql_error _ -> ())
+          stmts;
+        Engine.table_hash e3 "acct"
+      in
+      Int64.equal h_plan h_serial)
+
+let () =
+  Alcotest.run "uv_retroactive"
+    [
+      ( "column-wise (Table A)",
+        [
+          Alcotest.test_case "create table" `Quick test_rw_create_table;
+          Alcotest.test_case "select" `Quick test_rw_select;
+          Alcotest.test_case "select having" `Quick test_rw_select_having;
+          Alcotest.test_case "insert-select" `Quick test_rw_insert_select;
+          Alcotest.test_case "insert writes all" `Quick
+            test_rw_insert_writes_all_columns;
+          Alcotest.test_case "auto_increment reads pk" `Quick
+            test_rw_insert_auto_increment_reads_pk;
+          Alcotest.test_case "update" `Quick test_rw_update_reads_and_writes;
+          Alcotest.test_case "fk write propagation" `Quick test_rw_fk_write_propagation;
+          Alcotest.test_case "call unions body" `Quick test_rw_call_unions_body;
+          Alcotest.test_case "view expansion" `Quick test_rw_view_expansion;
+          Alcotest.test_case "trigger inherited" `Quick test_rw_trigger_inherited;
+          Alcotest.test_case "transaction union" `Quick test_rw_transaction_union;
+        ] );
+      ( "row-wise (Table B)",
+        [
+          Alcotest.test_case "Table 2 independence" `Quick
+            test_rowwise_table2_independence;
+          Alcotest.test_case "alias columns" `Quick test_rowwise_alias;
+          Alcotest.test_case "merged RI values" `Quick test_rowwise_merged_ri_values;
+          Alcotest.test_case "wildcard where" `Quick test_rowwise_wildcard_where;
+          Alcotest.test_case "DDL dependency" `Quick test_ddl_dependency;
+          Alcotest.test_case "read-only excluded" `Quick test_read_only_never_joins;
+          Alcotest.test_case "equality constraint" `Quick
+            test_tableb_equality_constraint;
+          Alcotest.test_case "IN list" `Quick test_tableb_in_list;
+          Alcotest.test_case "AND intersects" `Quick test_tableb_and_intersects;
+          Alcotest.test_case "OR unions" `Quick test_tableb_or_unions;
+          Alcotest.test_case "range wildcard" `Quick test_tableb_range_is_wildcard;
+          Alcotest.test_case "insert key" `Quick test_tableb_insert_writes_key;
+        ] );
+      ( "figure 6 what-if",
+        [
+          Alcotest.test_case "remove address" `Quick test_figure6_remove_address;
+          Alcotest.test_case "add address for bob" `Quick
+            test_figure6_add_address_for_bob;
+          Alcotest.test_case "change query" `Quick test_figure6_change_query;
+          Alcotest.test_case "mutated/consulted" `Quick
+            test_mutated_consulted_classification;
+          Alcotest.test_case "read-only target" `Quick test_remove_readonly_target;
+          Alcotest.test_case "add at end" `Quick test_add_at_end_of_history;
+          Alcotest.test_case "remove create table" `Quick test_remove_create_table;
+          Alcotest.test_case "retroactive DDL ops" `Quick
+            test_retroactive_ddl_operations;
+          Alcotest.test_case "explain provenance" `Quick test_explain_provenance;
+          Alcotest.test_case "insert-select dependency" `Quick
+            test_whatif_insert_select_dependency;
+        ] );
+      ( "hash-jumper",
+        [
+          Alcotest.test_case "figure 7 early stop" `Quick test_hash_jumper_figure7;
+          Alcotest.test_case "no false hit" `Quick test_hash_jumper_no_false_hit;
+          Alcotest.test_case "hash timeline" `Quick test_hash_at_timeline;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "independent parallel" `Quick
+            test_scheduler_independent_parallel;
+          Alcotest.test_case "conflict chain" `Quick test_scheduler_conflict_chain;
+          Alcotest.test_case "row-refined edges" `Quick
+            test_dependency_edges_row_refined;
+        ] );
+      ( "oracle properties",
+        [
+          qtest prop_whatif_oracle;
+          qtest prop_colonly_oracle;
+          qtest prop_rowonly_oracle;
+          qtest prop_add_change_oracle;
+          qtest prop_cell_subset;
+        ]
+      );
+      ( "scenarios (§6)",
+        [
+          Alcotest.test_case "branch and re-branch" `Quick test_scenario_branching;
+          Alcotest.test_case "branch_seq multi-target" `Quick
+            test_branch_seq_multi_target;
+          Alcotest.test_case "merged log replayable" `Quick test_new_log_replayable;
+          qtest prop_branching_isolates_parent;
+        ] );
+      ( "cc scheduling (§6)",
+        [
+          Alcotest.test_case "disjoint rows parallel" `Quick
+            test_cc_disjoint_rows_one_wave;
+          Alcotest.test_case "same row serialises" `Quick test_cc_same_row_serialises;
+          Alcotest.test_case "ddl serialises" `Quick test_cc_ddl_serialises_everything;
+          qtest prop_cc_plan_equals_serial;
+        ] );
+    ]

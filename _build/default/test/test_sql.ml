@@ -1,0 +1,473 @@
+(* Tests for ultraverse.sql: value semantics, lexing, parsing, printing,
+   and the parse∘print round-trip property over generated statements. *)
+
+open Uv_sql
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_truthiness () =
+  Alcotest.(check bool) "null false" false (Value.to_bool Value.Null);
+  Alcotest.(check bool) "zero false" false (Value.to_bool (Value.Int 0));
+  Alcotest.(check bool) "nonzero true" true (Value.to_bool (Value.Int 7));
+  Alcotest.(check bool) "'0' false" false (Value.to_bool (Value.Text "0"));
+  Alcotest.(check bool) "'x' true" true (Value.to_bool (Value.Text "x"))
+
+let test_value_coercions () =
+  check Alcotest.int "text to int" 42 (Value.to_int (Value.Text "42"));
+  check (Alcotest.float 1e-9) "int to float" 3.0 (Value.to_float (Value.Int 3));
+  (match Value.coerce Value.Tint (Value.Text "17") with
+  | Value.Int 17 -> ()
+  | v -> Alcotest.failf "expected Int 17, got %s" (Value.to_string v));
+  Alcotest.check_raises "bad text to int"
+    (Failure "cannot coerce 'abc' to INT") (fun () ->
+      ignore (Value.coerce Value.Tint (Value.Text "abc")))
+
+let test_value_null_propagation () =
+  Alcotest.(check bool) "null + x = null" true
+    (Value.is_null (Value.add Value.Null (Value.Int 1)));
+  Alcotest.(check bool) "null = x is false" false
+    (Value.equal_sql Value.Null (Value.Int 1));
+  Alcotest.(check bool) "div by zero null" true
+    (Value.is_null (Value.div (Value.Int 1) (Value.Int 0)))
+
+let test_value_numeric_string_compare () =
+  check Alcotest.int "'10' vs 9 numeric" 1
+    (Value.compare_sql (Value.Text "10") (Value.Int 9));
+  check Alcotest.int "'abc' vs 'abd'" (-1)
+    (Value.compare_sql (Value.Text "abc") (Value.Text "abd"))
+
+let test_value_arith () =
+  (match Value.add (Value.Int 2) (Value.Int 3) with
+  | Value.Int 5 -> ()
+  | _ -> Alcotest.fail "2+3");
+  (match Value.mul (Value.Int 2) (Value.Float 1.5) with
+  | Value.Float 3.0 -> ()
+  | _ -> Alcotest.fail "2*1.5");
+  match Value.modulo (Value.Int 7) (Value.Int 3) with
+  | Value.Int 1 -> ()
+  | _ -> Alcotest.fail "7 mod 3"
+
+let test_value_literals () =
+  check Alcotest.string "quote escaping" "'it''s'"
+    (Value.to_literal (Value.Text "it's"));
+  check Alcotest.string "null literal" "NULL" (Value.to_literal Value.Null);
+  check Alcotest.string "bool literal" "TRUE" (Value.to_literal (Value.Bool true))
+
+let prop_serialize_injective =
+  QCheck.Test.make ~name:"serialize is injective on scalars" ~count:300
+    QCheck.(pair (oneof [map (fun i -> Value.Int i) int; map (fun s -> Value.Text s) string; map (fun b -> Value.Bool b) bool])
+             (oneof [map (fun i -> Value.Int i) int; map (fun s -> Value.Text s) string; map (fun b -> Value.Bool b) bool]))
+    (fun (a, b) ->
+      if Value.serialize a = Value.serialize b then a = b else true)
+
+let prop_deserialize_roundtrip =
+  QCheck.Test.make ~name:"deserialize inverts serialize" ~count:500
+    QCheck.(
+      oneof
+        [
+          always Value.Null;
+          map (fun i -> Value.Int i) int;
+          map (fun f -> Value.Float f) float;
+          map (fun b -> Value.Bool b) bool;
+          map (fun s -> Value.Text s) string;
+          always (Value.Float infinity);
+          always (Value.Float neg_infinity);
+          always (Value.Float 0.1);
+          always (Value.Float (-0.0));
+        ])
+    (fun v ->
+      let back = Value.deserialize (Value.serialize v) in
+      (* compare via re-serialisation so NaN-free structural equality works
+         for every payload including -0.0 *)
+      String.equal (Value.serialize back) (Value.serialize v))
+
+let test_deserialize_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Value.deserialize s with
+      | exception Failure _ -> ()
+      | v -> Alcotest.failf "accepted %S as %s" s (Value.to_string v))
+    [ ""; "Ix"; "F-"; "B2"; "T9:short"; "T-1:"; "Z"; "N5" ]
+
+let test_ty_of_name () =
+  let expect name ty = Alcotest.(check bool) name true (Value.ty_of_name name = ty) in
+  expect "VARCHAR(32)" (Some Value.Ttext);
+  expect "int" (Some Value.Tint);
+  expect "DECIMAL(10,2)" (Some Value.Tfloat);
+  expect "BOOLEAN" (Some Value.Tbool);
+  Alcotest.(check bool) "junk" true (Value.ty_of_name "BLOB9" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT a, 'x''y' FROM t1 WHERE n >= 2.5 -- c" in
+  check Alcotest.int "token count" 11 (List.length toks)
+
+let test_lexer_string_escape () =
+  match Lexer.tokenize "'it''s'" with
+  | [ Lexer.Str_lit s; Lexer.Eof ] -> check Alcotest.string "unescaped" "it's" s
+  | _ -> Alcotest.fail "expected one string literal"
+
+let test_lexer_comments () =
+  match Lexer.tokenize "/* block */ SELECT -- line\n 1" with
+  | [ Lexer.Keyword "SELECT"; Lexer.Int_lit 1; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "comments should be skipped"
+
+let test_lexer_operators () =
+  match Lexer.tokenize "a != b <> c <= d" with
+  | [ Lexer.Ident "a"; Lexer.Op "<>"; Lexer.Ident "b"; Lexer.Op "<>";
+      Lexer.Ident "c"; Lexer.Op "<="; Lexer.Ident "d"; Lexer.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "operator normalisation"
+
+let test_lexer_at_var () =
+  match Lexer.tokenize "@foo" with
+  | [ Lexer.At_var "foo"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "@var"
+
+let test_lexer_backquote () =
+  match Lexer.tokenize "`select`" with
+  | [ Lexer.Ident "select"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "backquoted identifier is never a keyword"
+
+let test_lexer_error_position () =
+  try
+    ignore (Lexer.tokenize "SELECT #");
+    Alcotest.fail "expected lex error"
+  with Lexer.Lex_error (_, pos) -> check Alcotest.int "position" 7 pos
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse = Parser.parse_stmt
+
+let test_parse_select_shape () =
+  match parse "SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5" with
+  | Ast.Select s ->
+      check Alcotest.int "items" 2 (List.length s.Ast.sel_items);
+      Alcotest.(check bool) "where" true (s.Ast.sel_where <> None);
+      check Alcotest.int "order" 1 (List.length s.Ast.sel_order_by);
+      Alcotest.(check (option int)) "limit" (Some 5) s.Ast.sel_limit
+  | _ -> Alcotest.fail "not a select"
+
+let test_parse_join () =
+  match parse "SELECT * FROM a JOIN b ON b.x = a.x JOIN c ON c.y = b.y" with
+  | Ast.Select s -> check Alcotest.int "joins" 2 (List.length s.Ast.sel_joins)
+  | _ -> Alcotest.fail "join parse"
+
+let test_parse_insert_multi_row () =
+  match parse "INSERT INTO t (a, b) VALUES (1, 2), (3, 4)" with
+  | Ast.Insert { columns = Some [ "a"; "b" ]; values; _ } ->
+      check Alcotest.int "rows" 2 (List.length values)
+  | _ -> Alcotest.fail "insert parse"
+
+let test_parse_create_table_constraints () =
+  match
+    parse
+      "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, uid VARCHAR(8) NOT \
+       NULL, r INT REFERENCES other(oid))"
+  with
+  | Ast.Create_table { columns = [ a; b; c ]; _ } ->
+      Alcotest.(check bool) "pk" true a.Schema.primary_key;
+      Alcotest.(check bool) "auto" true a.Schema.auto_increment;
+      Alcotest.(check bool) "not null" true b.Schema.not_null;
+      Alcotest.(check (option (pair string string)))
+        "fk" (Some ("other", "oid")) c.Schema.references
+  | _ -> Alcotest.fail "create table parse"
+
+let test_parse_table_level_constraints () =
+  match
+    parse
+      "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a), FOREIGN KEY (b) \
+       REFERENCES u(x))"
+  with
+  | Ast.Create_table { columns = [ a; b ]; _ } ->
+      Alcotest.(check bool) "pk applied" true a.Schema.primary_key;
+      Alcotest.(check (option (pair string string)))
+        "fk applied" (Some ("u", "x")) b.Schema.references
+  | _ -> Alcotest.fail "table-level constraints"
+
+let test_parse_procedure_scope () =
+  (* inside the body, declared names parse as Var, columns as Col *)
+  match
+    parse
+      "CREATE PROCEDURE p(IN uid INT) BEGIN DECLARE n INT; SELECT COUNT(*) \
+       INTO n FROM t WHERE owner = uid; IF n > 0 THEN DELETE FROM t WHERE \
+       owner = uid; END IF; END"
+  with
+  | Ast.Create_procedure { body; params = [ ("uid", Value.Tint) ]; _ } -> (
+      match body with
+      | [ Ast.P_declare ("n", Value.Tint, None); Ast.P_select_into (s, [ "n" ]); Ast.P_if ([ (cond, _) ], []) ] ->
+          (match s.Ast.sel_where with
+          | Some (Ast.Binop (Ast.Eq, Ast.Col (None, "owner"), Ast.Var "uid")) -> ()
+          | _ -> Alcotest.fail "param should resolve to Var");
+          (match cond with
+          | Ast.Binop (Ast.Gt, Ast.Var "n", Ast.Lit (Value.Int 0)) -> ()
+          | _ -> Alcotest.fail "declared local should resolve to Var")
+      | _ -> Alcotest.fail "unexpected body shape")
+  | _ -> Alcotest.fail "procedure parse"
+
+let test_parse_transaction () =
+  match parse "BEGIN TRANSACTION; INSERT INTO t VALUES (1); DELETE FROM t; COMMIT" with
+  | Ast.Transaction [ Ast.Insert _; Ast.Delete _ ] -> ()
+  | _ -> Alcotest.fail "transaction parse"
+
+let test_parse_trigger () =
+  match
+    parse
+      "CREATE TRIGGER tg AFTER INSERT ON t FOR EACH ROW BEGIN UPDATE s SET n \
+       = n + 1 WHERE k = NEW.k; END"
+  with
+  | Ast.Create_trigger { timing = Ast.After; event = Ast.Ev_insert; table = "t"; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "trigger parse"
+
+let test_parse_case_expression () =
+  match Parser.parse_expr "CASE WHEN a > 1 THEN 'big' ELSE 'small' END" with
+  | Ast.Fun_call ("IF", [ _; Ast.Lit (Value.Text "big"); Ast.Lit (Value.Text "small") ]) ->
+      ()
+  | _ -> Alcotest.fail "case lowering"
+
+let test_parse_in_between () =
+  (match Parser.parse_expr "a IN (1, 2, 3)" with
+  | Ast.In_list (_, l) -> check Alcotest.int "in items" 3 (List.length l)
+  | _ -> Alcotest.fail "in");
+  match Parser.parse_expr "a BETWEEN 1 AND 5" with
+  | Ast.Between _ -> ()
+  | _ -> Alcotest.fail "between"
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" bad)
+    [
+      "SELECT FROM";
+      "INSERT t VALUES (1)";
+      "UPDATE SET a = 1";
+      "CREATE TABLE t (a)";
+      "SELECT 1 extra garbage (";
+    ]
+
+let test_parse_script () =
+  let stmts = Parser.parse_script "SELECT 1; SELECT 2; INSERT INTO t VALUES (3)" in
+  check Alcotest.int "three statements" 3 (List.length stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Printer round-trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_cases =
+  [
+    "SELECT COUNT(*) FROM t WHERE a = 1";
+    "SELECT DISTINCT a, b FROM t";
+    "SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a ASC LIMIT 3";
+    "SELECT u.x FROM users AS u JOIN orders o ON o.uid = u.id WHERE u.x IN (1, 2)";
+    "INSERT INTO t VALUES (1, 'x', NULL, TRUE)";
+    "UPDATE t SET a = a + 1, b = 'z' WHERE c BETWEEN 1 AND 9";
+    "DELETE FROM t WHERE a IS NOT NULL";
+    "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(8) REFERENCES u(x))";
+    "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(8) UNIQUE, c INT NOT NULL)";
+    "DROP TABLE IF EXISTS t";
+    "ALTER TABLE t ADD COLUMN z DOUBLE";
+    "ALTER TABLE t RENAME TO t2";
+    "CREATE VIEW v AS SELECT a FROM t WHERE a > 0";
+    "CREATE INDEX ix ON t (a, b)";
+    "CALL proc(1, 'x')";
+    "TRUNCATE TABLE t";
+    "SELECT (SELECT MAX(x) FROM u) FROM t";
+    "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)";
+    "SELECT a, SUM(b) FROM t GROUP BY a HAVING (SUM(b) > 10)";
+    "SELECT COUNT(DISTINCT a) FROM t";
+    "SELECT a, SUM(DISTINCT b) FROM t GROUP BY a HAVING (COUNT(*) >= 2)";
+    "SELECT * FROM t WHERE a IN (SELECT x FROM u WHERE (u.y = 1))";
+    "INSERT INTO t SELECT a, (b + 1) FROM u WHERE (a > 0)";
+    "INSERT INTO t (x, y) SELECT a, COUNT(*) FROM u GROUP BY a";
+    "SELECT a FROM t ORDER BY a ASC LIMIT 10 OFFSET 20";
+    "SELECT ROWCOUNT((SELECT g FROM t GROUP BY g HAVING (COUNT(*) >= 2)))";
+  ]
+
+(* robustness: arbitrary input must either parse or raise Parse_error /
+   Lex_error — never any other exception *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total (Parse_error or success)" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun input ->
+      match Parser.parse_stmt input with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+(* near-miss SQL: mutate one character of a valid statement *)
+let prop_parser_total_mutated =
+  QCheck.Test.make ~name:"parser survives single-char mutations" ~count:300
+    QCheck.(pair (int_range 0 1000) (int_range 0 255))
+    (fun (pos, repl) ->
+      let base = "SELECT a, SUM(b) FROM t WHERE a IN (1, 2) GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 3" in
+      let b = Bytes.of_string base in
+      Bytes.set b (pos mod String.length base) (Char.chr repl);
+      match Parser.parse_stmt (Bytes.to_string b) with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+let test_roundtrip_fixed () =
+  List.iter
+    (fun src ->
+      let a = parse src in
+      let printed = Printer.stmt a in
+      let b =
+        try parse printed
+        with Parser.Parse_error m ->
+          Alcotest.failf "reparse of %S failed: %s" printed m
+      in
+      if a <> b then Alcotest.failf "round-trip mismatch for %s" src)
+    roundtrip_cases
+
+(* Generator of random expressions/statements for a qcheck round-trip. *)
+let gen_stmt =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "c"; "t1"; "zap" ] in
+  let lit =
+    oneof
+      [
+        map (fun i -> Ast.Lit (Value.Int i)) (int_range (-50) 50);
+        map (fun s -> Ast.Lit (Value.Text s)) (oneofl [ "x"; "it's"; "" ]);
+        return (Ast.Lit Value.Null);
+        return (Ast.Lit (Value.Bool true));
+      ]
+  in
+  let rec expr n =
+    if n <= 0 then oneof [ lit; map (fun c -> Ast.Col (None, c)) ident ]
+    else
+      oneof
+        [
+          lit;
+          map (fun c -> Ast.Col (None, c)) ident;
+          map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (expr (n - 1)) (expr (n - 1));
+          map2 (fun a b -> Ast.Binop (Ast.Eq, a, b)) (expr (n - 1)) (expr (n - 1));
+          map2 (fun a b -> Ast.Binop (Ast.And, a, b)) (expr (n - 1)) (expr (n - 1));
+          map (fun a -> Ast.Unop (Ast.Not, a)) (expr (n - 1));
+          map (fun args -> Ast.Fun_call ("CONCAT", args)) (list_size (int_range 1 3) (expr (n - 1)));
+        ]
+  in
+  let where = opt (expr 2) in
+  oneof
+    [
+      map2
+        (fun tbl w ->
+          Ast.Select
+            (Ast.select ~from:(tbl, None) ?where:w [ Ast.Star ]))
+        ident where;
+      map2
+        (fun tbl vals -> Ast.Insert { table = tbl; columns = None; values = [ vals ] })
+        ident
+        (list_size (int_range 1 4) lit);
+      QCheck.Gen.map3
+        (fun tbl col w -> Ast.Update { table = tbl; assigns = [ (col, Ast.Lit (Value.Int 1)) ]; where = w })
+        ident ident where;
+      map2 (fun tbl w -> Ast.Delete { table = tbl; where = w }) ident where;
+    ]
+
+let prop_roundtrip_generated =
+  QCheck.Test.make ~name:"parse (print s) = s for generated statements" ~count:300
+    (QCheck.make gen_stmt ~print:Printer.stmt)
+    (fun s ->
+      let printed = Printer.stmt s in
+      match Parser.parse_stmt printed with
+      | reparsed -> reparsed = s
+      | exception Parser.Parse_error _ -> false)
+
+let test_printer_compact () =
+  let s = parse "CREATE PROCEDURE p() BEGIN SELECT 1; END" in
+  let compact = Printer.stmt_compact s in
+  Alcotest.(check bool) "single line" false (String.contains compact '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Schema helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_helpers () =
+  let t =
+    Schema.table "t"
+      [
+        Schema.column ~primary_key:true "id" Value.Tint;
+        Schema.column ~auto_increment:true "seq" Value.Tint;
+        Schema.column ~references:("u", "x") "fk" Value.Tint;
+      ]
+  in
+  check Alcotest.(list string) "pk" [ "id" ] (Schema.primary_key_columns t);
+  Alcotest.(check (option string)) "auto" (Some "seq") (Schema.auto_increment_column t);
+  check
+    Alcotest.(list (triple string string string))
+    "fks"
+    [ ("fk", "u", "x") ]
+    (Schema.foreign_keys t);
+  check Alcotest.string "qualified" "t.id" (Schema.qualified "t" "id");
+  check Alcotest.string "schema col" "_S.t" (Schema.schema_column "t")
+
+let () =
+  Alcotest.run "uv_sql"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "truthiness" `Quick test_value_truthiness;
+          Alcotest.test_case "coercions" `Quick test_value_coercions;
+          Alcotest.test_case "null propagation" `Quick test_value_null_propagation;
+          Alcotest.test_case "numeric string compare" `Quick
+            test_value_numeric_string_compare;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+          Alcotest.test_case "literals" `Quick test_value_literals;
+          Alcotest.test_case "type names" `Quick test_ty_of_name;
+          qtest prop_serialize_injective;
+          qtest prop_deserialize_roundtrip;
+          qtest prop_parser_total;
+          qtest prop_parser_total_mutated;
+          Alcotest.test_case "deserialize rejects garbage" `Quick
+            test_deserialize_rejects_garbage;
+        ] );
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "string escapes" `Quick test_lexer_string_escape;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "at-var" `Quick test_lexer_at_var;
+          Alcotest.test_case "backquote" `Quick test_lexer_backquote;
+          Alcotest.test_case "error position" `Quick test_lexer_error_position;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "select shape" `Quick test_parse_select_shape;
+          Alcotest.test_case "joins" `Quick test_parse_join;
+          Alcotest.test_case "multi-row insert" `Quick test_parse_insert_multi_row;
+          Alcotest.test_case "column constraints" `Quick
+            test_parse_create_table_constraints;
+          Alcotest.test_case "table constraints" `Quick
+            test_parse_table_level_constraints;
+          Alcotest.test_case "procedure scoping" `Quick test_parse_procedure_scope;
+          Alcotest.test_case "transaction" `Quick test_parse_transaction;
+          Alcotest.test_case "trigger" `Quick test_parse_trigger;
+          Alcotest.test_case "case expression" `Quick test_parse_case_expression;
+          Alcotest.test_case "in/between" `Quick test_parse_in_between;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "script" `Quick test_parse_script;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "fixed round-trips" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "compact is single line" `Quick test_printer_compact;
+          qtest prop_roundtrip_generated;
+        ] );
+      ("schema", [ Alcotest.test_case "helpers" `Quick test_schema_helpers ]);
+    ]

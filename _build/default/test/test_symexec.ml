@@ -1,0 +1,205 @@
+(* Tests for the symbolic-execution substrate: expression algebra,
+   assignment evaluation, and the branch-flipping solver. *)
+
+open Uv_symexec
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let x = Sym.Input "x"
+let y = Sym.Input "y"
+let num f = Sym.Const_num f
+let str s = Sym.Const_str s
+
+let solve cs = Solver.solve (List.map (fun (cond, want) -> { Solver.cond; want }) cs)
+
+let must_solve cs =
+  match solve cs with
+  | Some asg -> asg
+  | None -> Alcotest.fail "expected a solution"
+
+(* ------------------------------------------------------------------ *)
+(* Sym                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_base_symbols () =
+  let e = Sym.Binop ("+", x, Sym.Binop ("*", y, num 2.0)) in
+  check Alcotest.int "two leaves" 2 (List.length (Sym.base_symbols e));
+  let nested = Sym.Field (Sym.Item (Sym.Db_result 0, 0), "COUNT(*)") in
+  check Alcotest.int "field chain is one leaf" 1
+    (List.length (Sym.base_symbols (Sym.Binop ("==", nested, num 0.0))));
+  Alcotest.(check bool) "chain is leaf" true (Sym.is_leaf nested)
+
+let test_negate_simplifies () =
+  let e = Sym.Binop ("==", x, num 1.0) in
+  (match Sym.negate e with Sym.Unop ("!", _) -> () | _ -> Alcotest.fail "wraps");
+  match Sym.negate (Sym.negate e) with
+  | Sym.Binop ("==", _, _) -> ()
+  | _ -> Alcotest.fail "double negation cancels"
+
+let test_to_string_stable () =
+  let e = Sym.Binop ("&&", Sym.Binop (">", x, num 0.0), Sym.Blackbox ("api", 1)) in
+  check Alcotest.string "same serialisation" (Sym.to_string e) (Sym.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_assignment_eval () =
+  let asg = Assignment.of_list [ (x, Assignment.Num 3.0); (y, Assignment.Num 4.0) ] in
+  (match Assignment.eval asg (Sym.Binop ("+", x, y)) with
+  | Assignment.Num 7.0 -> ()
+  | _ -> Alcotest.fail "3+4");
+  (match Assignment.eval asg (Sym.Binop ("<", x, y)) with
+  | Assignment.Bool true -> ()
+  | _ -> Alcotest.fail "3<4");
+  match Assignment.eval asg (Sym.Binop ("str.++", str "a", x)) with
+  | Assignment.Str "a3" -> ()
+  | _ -> Alcotest.fail "string concat"
+
+let test_assignment_default_leaf () =
+  match Assignment.eval Assignment.empty x with
+  | Assignment.Num 0.0 -> ()
+  | _ -> Alcotest.fail "unassigned leaf defaults to 0"
+
+let test_scalar_loose_equality () =
+  Alcotest.(check bool) "'5' == 5" true
+    (Assignment.scalar_equal (Assignment.Str "5") (Assignment.Num 5.0));
+  Alcotest.(check bool) "null != 0" false
+    (Assignment.scalar_equal Assignment.Null (Assignment.Num 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Solver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_equality () =
+  let asg = must_solve [ (Sym.Binop ("==", x, num 42.0), true) ] in
+  match Assignment.eval asg x with
+  | Assignment.Num 42.0 -> ()
+  | v -> Alcotest.failf "expected 42, got %s" (Assignment.scalar_str v)
+
+let test_solver_string_equality () =
+  let asg = must_solve [ (Sym.Binop ("==", x, str "gold"), true) ] in
+  match Assignment.eval asg x with
+  | Assignment.Str "gold" -> ()
+  | _ -> Alcotest.fail "string equality"
+
+let test_solver_negation () =
+  let asg = must_solve [ (Sym.Binop ("==", x, num 5.0), false) ] in
+  match Assignment.eval asg x with
+  | Assignment.Num 5.0 -> Alcotest.fail "must avoid 5"
+  | _ -> ()
+
+let test_solver_ordering () =
+  let asg =
+    must_solve
+      [ (Sym.Binop (">", x, num 10.0), true); (Sym.Binop ("<", x, num 20.0), true) ]
+  in
+  let v = Assignment.scalar_num (Assignment.eval asg x) in
+  Alcotest.(check bool) "10 < x < 20" true (v > 10.0 && v < 20.0)
+
+let test_solver_conjunction_over_two_vars () =
+  let asg =
+    must_solve
+      [
+        (Sym.Binop ("==", x, num 1.0), true);
+        (Sym.Binop ("==", y, str "hot"), true);
+      ]
+  in
+  Alcotest.(check bool) "x equals 1 (loosely)" true
+    (Assignment.scalar_equal (Assignment.eval asg x) (Assignment.Num 1.0));
+  Alcotest.(check bool) "y equals 'hot'" true
+    (Assignment.scalar_equal (Assignment.eval asg y) (Assignment.Str "hot"))
+
+let test_solver_db_leaf () =
+  (* the NewOrder branch shape: row count not zero *)
+  let leaf = Sym.Field (Sym.Item (Sym.Db_result 0, 0), "COUNT(*)") in
+  let asg = must_solve [ (Sym.Binop ("!=", leaf, num 0.0), true) ] in
+  Alcotest.(check bool) "nonzero count" true
+    (Assignment.scalar_truthy (Assignment.eval asg (Sym.Binop ("!=", leaf, num 0.0))))
+
+let test_solver_unsat () =
+  (match
+     solve
+       [
+         (Sym.Binop ("==", x, num 1.0), true);
+         (Sym.Binop ("==", x, num 2.0), true);
+       ]
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "contradiction must fail");
+  match solve [ (Sym.Binop ("<", x, x), true) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "x < x must fail"
+
+let test_solver_boolean_combination () =
+  let cond =
+    Sym.Binop
+      ("&&", Sym.Binop (">", x, num 0.0), Sym.Unop ("!", Sym.Binop ("==", y, num 0.0)))
+  in
+  let asg = must_solve [ (cond, true) ] in
+  Alcotest.(check bool) "satisfied" true
+    (Assignment.scalar_truthy (Assignment.eval asg cond))
+
+let test_solver_arithmetic_fallback () =
+  (* needs the randomized search: x + y == x * y has solutions like 2,2 *)
+  let cond = Sym.Binop ("==", Sym.Binop ("+", x, y), num 10.0) in
+  let asg = must_solve [ (cond, true) ] in
+  Alcotest.(check bool) "x+y=10" true
+    (Assignment.scalar_truthy (Assignment.eval asg cond))
+
+let test_satisfies () =
+  let cs = [ { Solver.cond = Sym.Binop ("==", x, num 3.0); want = true } ] in
+  Alcotest.(check bool) "yes" true
+    (Solver.satisfies (Assignment.of_list [ (x, Assignment.Num 3.0) ]) cs);
+  Alcotest.(check bool) "no" false
+    (Solver.satisfies (Assignment.of_list [ (x, Assignment.Num 4.0) ]) cs)
+
+(* Property: whenever the solver answers, the answer satisfies. *)
+let prop_solutions_satisfy =
+  QCheck.Test.make ~name:"solver answers always satisfy" ~count:200
+    QCheck.(pair (int_range (-20) 20) bool)
+    (fun (k, want) ->
+      let cs =
+        [
+          { Solver.cond = Sym.Binop ("==", x, num (float_of_int k)); want };
+          { Solver.cond = Sym.Binop (">", y, num 0.0); want = not want };
+        ]
+      in
+      match Solver.solve cs with
+      | Some asg -> Solver.satisfies asg cs
+      | None -> false (* these are always satisfiable *))
+
+let () =
+  Alcotest.run "uv_symexec"
+    [
+      ( "sym",
+        [
+          Alcotest.test_case "base symbols" `Quick test_base_symbols;
+          Alcotest.test_case "negate" `Quick test_negate_simplifies;
+          Alcotest.test_case "stable serialisation" `Quick test_to_string_stable;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "eval" `Quick test_assignment_eval;
+          Alcotest.test_case "default leaf" `Quick test_assignment_default_leaf;
+          Alcotest.test_case "loose equality" `Quick test_scalar_loose_equality;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "equality" `Quick test_solver_equality;
+          Alcotest.test_case "string equality" `Quick test_solver_string_equality;
+          Alcotest.test_case "negation" `Quick test_solver_negation;
+          Alcotest.test_case "ordering" `Quick test_solver_ordering;
+          Alcotest.test_case "two variables" `Quick
+            test_solver_conjunction_over_two_vars;
+          Alcotest.test_case "db-result leaf" `Quick test_solver_db_leaf;
+          Alcotest.test_case "unsatisfiable" `Quick test_solver_unsat;
+          Alcotest.test_case "boolean combination" `Quick
+            test_solver_boolean_combination;
+          Alcotest.test_case "arithmetic fallback" `Quick
+            test_solver_arithmetic_fallback;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          qtest prop_solutions_satisfy;
+        ] );
+    ]

@@ -1,0 +1,532 @@
+(* Tests for the DSE + transpiler pipeline: path exploration, hole
+   recovery, the §C dynamism gallery (dynamic types, dynamic control-flow
+   targets, blackbox APIs), unexplored-path SIGNAL stubs, and — most
+   importantly — behavioural equivalence: the transpiled procedure must
+   have the same database effect as the interpreted application. *)
+
+open Uv_sql
+open Uv_db
+module T = Uv_transpiler.Transpile
+module C = Uv_transpiler.Concolic
+module R = Uv_transpiler.Runtime
+
+let check = Alcotest.check
+
+let run e sql = ignore (Engine.exec_sql e sql)
+
+let qint e sql =
+  let r = Engine.query_sql e sql in
+  match r.Engine.rows with
+  | row :: _ -> Value.to_int row.(0)
+  | [] -> Alcotest.failf "no rows from %s" sql
+
+let qstr e sql =
+  let r = Engine.query_sql e sql in
+  match r.Engine.rows with
+  | row :: _ -> Value.to_string row.(0)
+  | [] -> Alcotest.failf "no rows from %s" sql
+
+let neworder_src =
+  {|
+function NewOrder(orderer_uid, order_id) {
+  var result_rows = SQL_exec(`SELECT COUNT(*) FROM Address WHERE owner_uid = '${orderer_uid}'`);
+  if (result_rows[0]['COUNT(*)'] != 0) {
+    SQL_exec(`INSERT INTO Orders VALUES ('${order_id}', '${orderer_uid}')`);
+  } else {
+    return 'Error: no address';
+  }
+}
+|}
+
+let neworder_schema e =
+  run e "CREATE TABLE Address (owner_uid VARCHAR(16) PRIMARY KEY, city VARCHAR(32))";
+  run e "CREATE TABLE Orders (oid VARCHAR(8), ord_uid VARCHAR(16))"
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_explores_both_branches () =
+  let program = Uv_applang.Parser.parse_program neworder_src in
+  let ex = C.explore ~program ~name:"NewOrder" () in
+  check Alcotest.int "two paths" 2 (Uv_transpiler.Trace.count_paths ex.C.tree);
+  check Alcotest.int "no stubs" 0 (Uv_transpiler.Trace.count_unexplored ex.C.tree);
+  check Alcotest.(list string) "params in declared order"
+    [ "orderer_uid"; "order_id" ] ex.C.params
+
+let test_loop_unrolls_bounded () =
+  let src =
+    {|
+function Batch(a, b) {
+  var items = [a, b];
+  for (var k = 0; k < 2; k = k + 1) {
+    SQL_exec(`INSERT INTO T VALUES (${items[k]})`);
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let ex = C.explore ~program ~name:"Batch" () in
+  (* concrete loop bound: single path with two SQL events *)
+  check Alcotest.int "one path" 1 (Uv_transpiler.Trace.count_paths ex.C.tree)
+
+let test_unexplored_becomes_stub () =
+  (* a branch the solver cannot flip (condition over an opaque API with no
+     harvestable candidates is still flippable; use a contradiction) *)
+  let src =
+    {|
+function F(x) {
+  if (x != x) {
+    SQL_exec(`INSERT INTO T VALUES (1)`);
+  } else {
+    SQL_exec(`INSERT INTO T VALUES (2)`);
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let tr = T.transpile ~program ~name:"F" () in
+  check Alcotest.int "one stub" 1 tr.T.unexplored;
+  (* the stub compiles to SIGNAL SQLSTATE '45000' *)
+  let printed = Printer.stmt tr.T.procedure in
+  Alcotest.(check bool) "signal stub present" true
+    (let re = "SIGNAL SQLSTATE '45000'" in
+     let rec search i =
+       i + String.length re <= String.length printed
+       && (String.sub printed i (String.length re) = re || search (i + 1))
+     in
+     search 0)
+
+let test_path_explosion_guard () =
+  (* a symbolic loop bound explodes; the run budget caps exploration *)
+  let src =
+    {|
+function Loop(n) {
+  var i = 0;
+  while (i < n) {
+    SQL_exec(`INSERT INTO T VALUES (${i})`);
+    i = i + 1;
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let ex = C.explore ~max_runs:10 ~program ~name:"Loop" () in
+  Alcotest.(check bool) "bounded runs" true (ex.C.runs <= 10)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: transpiled procedure == interpreted application         *)
+(* ------------------------------------------------------------------ *)
+
+let test_neworder_equivalence () =
+  let program = Uv_applang.Parser.parse_program neworder_src in
+  let tr = T.transpile ~program ~name:"NewOrder" () in
+  (* engine A: transpiled calls; engine B: raw interpretation *)
+  let ea = Engine.create () in
+  neworder_schema ea;
+  ignore (Engine.exec ea tr.T.procedure);
+  run ea "INSERT INTO Address VALUES ('alice', 'Osaka')";
+  run ea "CALL uv_NewOrder('alice', 'o1')";
+  run ea "CALL uv_NewOrder('bob', 'o2')";
+  let eb = Engine.create () in
+  neworder_schema eb;
+  run eb "INSERT INTO Address VALUES ('alice', 'Osaka')";
+  let rt = R.create eb ~source:neworder_src in
+  ignore (R.invoke rt ~mode:R.Raw "NewOrder" [ Value.Text "alice"; Value.Text "o1" ]);
+  ignore (R.invoke rt ~mode:R.Raw "NewOrder" [ Value.Text "bob"; Value.Text "o2" ]);
+  check Alcotest.int64 "identical Orders table"
+    (Engine.table_hash eb "Orders") (Engine.table_hash ea "Orders")
+
+let test_runtime_transpiled_mode () =
+  let e = Engine.create () in
+  neworder_schema e;
+  let rt = R.create e ~source:neworder_src in
+  let trs = R.transpile_install rt in
+  check Alcotest.int "one transaction transpiled" 1 (List.length trs);
+  run e "INSERT INTO Address VALUES ('alice', 'Osaka')";
+  ignore
+    (R.invoke rt ~mode:R.Transpiled "NewOrder" [ Value.Text "alice"; Value.Text "o1" ]);
+  check Alcotest.int "order placed via procedure" 1
+    (qint e "SELECT COUNT(*) FROM Orders");
+  (* the transaction is ONE log entry (one round trip), tagged *)
+  let last = Log.entry (Engine.log e) (Log.length (Engine.log e)) in
+  (match last.Log.stmt with
+  | Ast.Call ("uv_NewOrder", _) -> ()
+  | _ -> Alcotest.fail "transpiled mode should log a CALL");
+  Alcotest.(check bool) "tagged with app txn" true (last.Log.app_txn <> None)
+
+let test_raw_mode_tags_all_queries () =
+  let e = Engine.create () in
+  neworder_schema e;
+  run e "INSERT INTO Address VALUES ('alice', 'Osaka')";
+  let before = Log.length (Engine.log e) in
+  let rt = R.create e ~source:neworder_src in
+  ignore (R.invoke rt ~mode:R.Raw "NewOrder" [ Value.Text "alice"; Value.Text "o1" ]);
+  (* raw mode: SELECT + INSERT, two entries, same tag *)
+  check Alcotest.int "two statements logged" (before + 2) (Log.length (Engine.log e));
+  let e1 = Log.entry (Engine.log e) (before + 1) in
+  let e2 = Log.entry (Engine.log e) (before + 2) in
+  Alcotest.(check bool) "same invocation tag" true (e1.Log.app_txn = e2.Log.app_txn)
+
+(* ------------------------------------------------------------------ *)
+(* §C dynamism gallery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_c1_dynamic_type_coercion () =
+  (* Figure 9: inputs are strings on one path, numbers on the other *)
+  let src =
+    {|
+function dynamic_type(userid, input1, input2, is_string) {
+  if (is_string == 1) {
+    SQL_exec(`INSERT INTO UserDesc VALUES (${userid}, '${input1 + '' + input2}')`);
+  } else {
+    SQL_exec(`INSERT INTO UserVal VALUES (${userid}, ${input1 - input2})`);
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let tr = T.transpile ~program ~name:"dynamic_type" () in
+  check Alcotest.int "both type paths" 2 tr.T.paths;
+  (* execute both paths through the transpiled procedure *)
+  let e = Engine.create () in
+  run e "CREATE TABLE UserDesc (userid INT, descr VARCHAR(64))";
+  run e "CREATE TABLE UserVal (userid INT, value DOUBLE)";
+  ignore (Engine.exec e tr.T.procedure);
+  run e "CALL uv_dynamic_type(7, 'ab', 'cd', 1)";
+  run e "CALL uv_dynamic_type(8, 10, 4, 0)";
+  check Alcotest.string "string path" "abcd"
+    (qstr e "SELECT descr FROM UserDesc WHERE userid = 7");
+  check Alcotest.int "numeric path" 6
+    (qint e "SELECT value FROM UserVal WHERE userid = 8")
+
+let test_c2_dynamic_control_flow_targets () =
+  (* Figure 10: the callee is picked from a table by name *)
+  let src =
+    {|
+function increment(v) { SQL_exec(`UPDATE C SET n = n + ${v} WHERE k = 0`); }
+function decrement(v) { SQL_exec(`UPDATE C SET n = n - ${v} WHERE k = 0`); }
+function dynamic_call(fname, v) {
+  var tbl = { increment: increment, decrement: decrement };
+  if (fname == 'increment') {
+    tbl[fname](v);
+  } else {
+    if (fname == 'decrement') {
+      tbl[fname](v);
+    } else {
+      return 'unknown';
+    }
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let tr = T.transpile ~program ~name:"dynamic_call" () in
+  Alcotest.(check bool) "discovered both targets" true (tr.T.paths >= 2);
+  let e = Engine.create () in
+  run e "CREATE TABLE C (k INT PRIMARY KEY, n INT)";
+  run e "INSERT INTO C VALUES (0, 10)";
+  ignore (Engine.exec e tr.T.procedure);
+  run e "CALL uv_dynamic_call('increment', 5)";
+  run e "CALL uv_dynamic_call('decrement', 3)";
+  check Alcotest.int "both jump targets work" 12 (qint e "SELECT n FROM C")
+
+let test_c3_blackbox_api () =
+  (* Figure 11: an external response decides the branch; the blackbox
+     value becomes an extra procedure parameter *)
+  let src =
+    {|
+function external_io(message) {
+  var response = http.send(message);
+  if (response.code == 1) {
+    SQL_exec(`INSERT INTO Results VALUES ('success', '${message}')`);
+  } else {
+    SQL_exec(`INSERT INTO Results VALUES ('fail', '${message}')`);
+  }
+}
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let tr = T.transpile ~program ~name:"external_io" () in
+  check Alcotest.int "blackbox params" 1 (List.length tr.T.blackbox_params);
+  let e = Engine.create () in
+  run e "CREATE TABLE Results (result VARCHAR(8), log VARCHAR(64))";
+  ignore (Engine.exec e tr.T.procedure);
+  (* the analyst can force either response (§3.3's option 1) *)
+  run e "CALL uv_external_io('hello', 1)";
+  run e "CALL uv_external_io('world', 0)";
+  check Alcotest.int "success path" 1
+    (qint e "SELECT COUNT(*) FROM Results WHERE result = 'success'");
+  check Alcotest.int "fail path" 1
+    (qint e "SELECT COUNT(*) FROM Results WHERE result = 'fail'")
+
+let test_signal_fallback_to_raw () =
+  (* an invocation that hits a SIGNAL stub falls back to raw execution *)
+  let src =
+    {|
+function F(x) {
+  if (x != x) {
+    SQL_exec(`INSERT INTO T VALUES (1)`);
+  } else {
+    SQL_exec(`INSERT INTO T VALUES (2)`);
+  }
+}
+|}
+  in
+  let e = Engine.create () in
+  run e "CREATE TABLE T (a INT)";
+  let rt = R.create e ~source:src in
+  ignore (R.transpile_install rt);
+  (* NaN != NaN is true in JS; engine SQL semantics differ, so the CALL
+     takes the stubbed arm for NaN input — but for a normal number the
+     else-arm runs fine *)
+  (match R.invoke rt ~mode:R.Transpiled "F" [ Value.Int 3 ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "unexpected error: %s" m);
+  check Alcotest.int "else arm executed" 1 (qint e "SELECT COUNT(*) FROM T WHERE a = 2")
+
+let test_insert_select_through_dse () =
+  (* an application transaction whose SQL is INSERT ... SELECT (plus a
+     HAVING aggregate) survives the whole pipeline: concolic exploration,
+     hole recovery, procedure emission, and transpiled == raw execution *)
+  let src =
+    {|
+function Archive(cutoff) {
+  SQL_exec(`INSERT INTO OldOrders SELECT id, total FROM Orders WHERE total < ${cutoff}`);
+  SQL_exec(`DELETE FROM Orders WHERE total < ${cutoff}`);
+  var rows = SQL_exec(`SELECT region FROM Orders GROUP BY region HAVING COUNT(*) >= ${2}`);
+  if (rows.length > 0) {
+    SQL_exec(`INSERT INTO Busy VALUES (${rows.length})`);
+  }
+}
+|}
+  in
+  let schema =
+    "CREATE TABLE Orders (id INT PRIMARY KEY, total INT, region INT); \
+     CREATE TABLE OldOrders (id INT, total INT); \
+     CREATE TABLE Busy (n INT)"
+  in
+  let populate e =
+    ignore (Engine.exec_script e schema);
+    run e
+      "INSERT INTO Orders VALUES (1, 5, 1), (2, 50, 1), (3, 7, 2), (4, 90, 1)"
+  in
+  (* raw execution *)
+  let e_raw = Engine.create () in
+  populate e_raw;
+  let rt_raw = R.create e_raw ~source:src in
+  (match R.invoke rt_raw ~mode:R.Raw "Archive" [ Value.Int 10 ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "raw failed: %s" m);
+  (* transpiled execution *)
+  let e_tr = Engine.create () in
+  populate e_tr;
+  let rt_tr = R.create e_tr ~source:src in
+  let trs = R.transpile_install rt_tr in
+  Alcotest.(check bool) "Archive transpiled" true
+    (List.exists (fun (t : T.t) -> t.T.txn_name = "Archive") trs);
+  (match R.invoke rt_tr ~mode:R.Transpiled "Archive" [ Value.Int 10 ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "transpiled failed: %s" m);
+  List.iter
+    (fun (name, _) ->
+      check Alcotest.int64 ("table " ^ name)
+        (Engine.table_hash e_raw name) (Engine.table_hash e_tr name))
+    (Uv_db.Catalog.tables (Engine.catalog e_raw));
+  (* semantic spot-checks *)
+  check Alcotest.int "archived rows" 2 (qint e_tr "SELECT COUNT(*) FROM OldOrders");
+  check Alcotest.int "orders left" 2 (qint e_tr "SELECT COUNT(*) FROM Orders");
+  check Alcotest.int "busy regions (HAVING)" 1 (qint e_tr "SELECT n FROM Busy")
+
+let test_delta_dse_retranspilation () =
+  (* after a stub fallback, the procedure is delta-updated with the newly
+     discovered path (§3.3): the next invocation takes the procedure, not
+     the fallback *)
+  let src =
+    {|
+function Route(kind, v) {
+  if (kind == 'credit') {
+    SQL_exec(`INSERT INTO Ledger VALUES ('credit', ${v})`);
+  } else {
+    if (kind == 'debit') {
+      SQL_exec(`INSERT INTO Ledger VALUES ('debit', ${v})`);
+    } else {
+      SQL_exec(`INSERT INTO Ledger VALUES ('other', ${v})`);
+    }
+  }
+}
+|}
+  in
+  let e = Engine.create () in
+  run e "CREATE TABLE Ledger (kind VARCHAR(8), v DOUBLE)";
+  let rt = R.create e ~source:src in
+  (* starve the initial DSE so some branch stays unexplored *)
+  ignore (R.transpile_install ~max_runs:1 rt);
+  let before = R.transpiled rt "Route" in
+  let stubs_before =
+    match before with Some t -> t.T.unexplored | None -> Alcotest.fail "no txn"
+  in
+  Alcotest.(check bool) "initial analysis left stubs" true (stubs_before > 0);
+  (* hit the stub: falls back to raw AND delta-updates *)
+  (match R.invoke rt ~mode:R.Transpiled "Route" [ Value.Text "debit"; Value.Int 5 ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "fallback failed: %s" m);
+  check Alcotest.int "fallback counted" 1 (R.signal_fallbacks rt);
+  check Alcotest.int "row written by fallback" 1
+    (qint e "SELECT COUNT(*) FROM Ledger WHERE kind = 'debit'");
+  let stubs_after =
+    match R.transpiled rt "Route" with
+    | Some t -> t.T.unexplored
+    | None -> Alcotest.fail "txn vanished"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "delta update reduced stubs (%d -> %d)" stubs_before stubs_after)
+    true (stubs_after < stubs_before);
+  (* same input again: handled by the updated procedure, no new fallback *)
+  ignore (R.invoke rt ~mode:R.Transpiled "Route" [ Value.Text "debit"; Value.Int 7 ]);
+  check Alcotest.int "no second fallback" 1 (R.signal_fallbacks rt);
+  check Alcotest.int "procedure handled it" 2
+    (qint e "SELECT COUNT(*) FROM Ledger WHERE kind = 'debit'")
+
+let test_transpile_all_transitive () =
+  (* a dispatcher that reaches SQL only through a function table must be
+     recognised as a database-updating transaction *)
+  let src =
+    {|
+function helper(v) { SQL_exec(`INSERT INTO T VALUES (${v})`); }
+function Dispatcher(v) {
+  var table = { go: helper };
+  table['go'](v);
+}
+function pure(v) { return v + 1; }
+|}
+  in
+  let program = Uv_applang.Parser.parse_program src in
+  let names =
+    List.map (fun (t : T.t) -> t.T.txn_name) (T.transpile_all ~program ())
+    |> List.sort compare
+  in
+  check Alcotest.(list string) "dispatcher included, pure excluded"
+    [ "Dispatcher"; "helper" ] names
+
+let test_augmented_source () =
+  let program = Uv_applang.Parser.parse_program neworder_src in
+  let s = T.augmented_source program "NewOrder" in
+  Alcotest.(check bool) "contains log call" true
+    (let re = "Ultraverse_log" in
+     let rec search i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || search (i + 1))
+     in
+     search 0)
+
+let test_transpiled_procedure_parses () =
+  (* printing then reparsing the generated procedure succeeds *)
+  let program = Uv_applang.Parser.parse_program neworder_src in
+  let tr = T.transpile ~program ~name:"NewOrder" () in
+  let printed = Printer.stmt tr.T.procedure in
+  match Parser.parse_stmt printed with
+  | Ast.Create_procedure _ -> ()
+  | _ -> Alcotest.fail "generated procedure must reparse"
+
+(* ------------------------------------------------------------------ *)
+(* Property: random generated transactions transpile equivalently       *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny generator of application transactions over a fixed schema:
+   1-3 statements drawn from templates, optionally guarded by a branch on
+   a database read. Raw interpretation and the transpiled procedure must
+   leave identical databases for random arguments. *)
+let random_txn_source prng =
+  let open Uv_util in
+  let stmt k =
+    match Prng.int prng 4 with
+    | 0 -> Printf.sprintf "SQL_exec(`INSERT INTO T VALUES (${p1}, ${p2 + %d})`);" k
+    | 1 -> Printf.sprintf "SQL_exec(`UPDATE T SET b = ${p2} WHERE a = ${p1 - %d}`);" k
+    | 2 -> Printf.sprintf "SQL_exec(`DELETE FROM T WHERE a = ${p1 + %d}`);" k
+    | _ ->
+        Printf.sprintf
+          "SQL_exec(`UPDATE T SET b = b + %d WHERE a > ${p2}`);" (k + 1)
+  in
+  let body = String.concat "\n  " (List.init (1 + Prng.int prng 3) stmt) in
+  if Prng.bool prng then
+    Printf.sprintf
+      {|
+function Txn(p1, p2) {
+  var rows = SQL_exec(`SELECT COUNT(*) FROM T WHERE a = ${p1}`);
+  if (rows[0]['COUNT(*)'] != 0) {
+    %s
+  } else {
+    SQL_exec(`INSERT INTO T VALUES (${p1}, 0)`);
+  }
+}
+|}
+      body
+  else Printf.sprintf {|
+function Txn(p1, p2) {
+  %s
+}
+|} body
+
+let prop_random_txn_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random transactions: raw == transpiled" ~count:40
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let prng = Uv_util.Prng.create seed in
+         let src = random_txn_source prng in
+         let args =
+           [
+             Value.Int (Uv_util.Prng.int_range prng (-3) 8);
+             Value.Int (Uv_util.Prng.int_range prng (-3) 8);
+           ]
+         in
+         let run mode =
+           let e = Engine.create () in
+           run e "CREATE TABLE T (a INT, b INT)";
+           run e "INSERT INTO T VALUES (1, 10), (2, 20), (3, 30)";
+           let rt = R.create e ~source:src in
+           (match mode with
+           | R.Transpiled -> ignore (R.transpile_install rt)
+           | R.Raw -> ());
+           (match R.invoke rt ~mode "Txn" args with Ok _ | Error _ -> ());
+           Engine.table_hash e "T"
+         in
+         Int64.equal (run R.Raw) (run R.Transpiled)))
+
+let () =
+  Alcotest.run "uv_transpiler"
+    [
+      ( "exploration",
+        [
+          Alcotest.test_case "both branches" `Quick test_explores_both_branches;
+          Alcotest.test_case "bounded loops" `Quick test_loop_unrolls_bounded;
+          Alcotest.test_case "stub for unexplored" `Quick test_unexplored_becomes_stub;
+          Alcotest.test_case "path-explosion guard" `Quick test_path_explosion_guard;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "NewOrder" `Quick test_neworder_equivalence;
+          Alcotest.test_case "runtime transpiled mode" `Quick
+            test_runtime_transpiled_mode;
+          Alcotest.test_case "raw mode tagging" `Quick test_raw_mode_tags_all_queries;
+        ] );
+      ( "dynamism (§C)",
+        [
+          Alcotest.test_case "dynamic types" `Quick test_c1_dynamic_type_coercion;
+          Alcotest.test_case "dynamic call targets" `Quick
+            test_c2_dynamic_control_flow_targets;
+          Alcotest.test_case "blackbox API" `Quick test_c3_blackbox_api;
+          Alcotest.test_case "signal fallback" `Quick test_signal_fallback_to_raw;
+          Alcotest.test_case "insert-select through DSE" `Quick
+            test_insert_select_through_dse;
+          Alcotest.test_case "delta DSE re-transpilation" `Quick
+            test_delta_dse_retranspilation;
+          Alcotest.test_case "transitive SQL detection" `Quick
+            test_transpile_all_transitive;
+          Alcotest.test_case "augmented source" `Quick test_augmented_source;
+          Alcotest.test_case "procedure reparses" `Quick
+            test_transpiled_procedure_parses;
+        ] );
+      ("equivalence property", [ prop_random_txn_equivalence ]);
+    ]

@@ -1,0 +1,328 @@
+(* Unit and property tests for ultraverse.util: PRNG determinism, the
+   incremental table hash (§4.5 algebra), DAG scheduling, stats, and the
+   table renderer. *)
+
+open Uv_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seed_changes_stream () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let sa = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" false (sa = sb)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  check Alcotest.int "copies continue identically" (Prng.int a 1000) (Prng.int b 1000)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let p = Prng.create seed in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prop_int_range_inclusive =
+  QCheck.Test.make ~name:"Prng.int_range inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-100) 100) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let p = Prng.create seed in
+      let v = Prng.int_range p lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_chance_extremes () =
+  let p = Prng.create 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Prng.chance p 1.0)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 always false" false (Prng.chance p 0.0)
+  done
+
+let test_alpha_string () =
+  let p = Prng.create 9 in
+  let s = Prng.alpha_string p 16 in
+  check Alcotest.int "length" 16 (String.length s);
+  String.iter (fun c -> Alcotest.(check bool) "lowercase" true (c >= 'a' && c <= 'z')) s
+
+(* ------------------------------------------------------------------ *)
+(* Table_hash                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_empty_zero () =
+  check Alcotest.int64 "empty hash is 0" 0L (Table_hash.value (Table_hash.create ()))
+
+let test_hash_add_remove_inverse () =
+  let h = Table_hash.create () in
+  Table_hash.add_row h "row-a";
+  Table_hash.add_row h "row-b";
+  Table_hash.remove_row h "row-a";
+  Table_hash.remove_row h "row-b";
+  check Alcotest.int64 "back to empty" 0L (Table_hash.value h)
+
+let test_hash_order_independent () =
+  let h1 = Table_hash.create () and h2 = Table_hash.create () in
+  Table_hash.add_row h1 "x";
+  Table_hash.add_row h1 "y";
+  Table_hash.add_row h1 "z";
+  Table_hash.add_row h2 "z";
+  Table_hash.add_row h2 "x";
+  Table_hash.add_row h2 "y";
+  check Alcotest.int64 "same multiset, same hash" (Table_hash.value h1)
+    (Table_hash.value h2)
+
+let test_hash_distinguishes_content () =
+  let h1 = Table_hash.create () and h2 = Table_hash.create () in
+  Table_hash.add_row h1 "alice";
+  Table_hash.add_row h2 "bob";
+  Alcotest.(check bool) "different rows differ" false
+    (Int64.equal (Table_hash.value h1) (Table_hash.value h2))
+
+let prop_hash_update_equals_delete_insert =
+  QCheck.Test.make ~name:"update = remove old + add new" ~count:200
+    QCheck.(triple string string string)
+    (fun (a, b, c) ->
+      let h1 = Table_hash.create () in
+      Table_hash.add_row h1 a;
+      Table_hash.add_row h1 b;
+      Table_hash.remove_row h1 b;
+      Table_hash.add_row h1 c;
+      let h2 = Table_hash.create () in
+      Table_hash.add_row h2 a;
+      Table_hash.add_row h2 c;
+      Int64.equal (Table_hash.value h1) (Table_hash.value h2))
+
+let prop_hash_in_range =
+  QCheck.Test.make ~name:"hash stays in [0, p)" ~count:500
+    QCheck.(small_list string)
+    (fun rows ->
+      let h = Table_hash.create () in
+      List.iter (Table_hash.add_row h) rows;
+      let v = Table_hash.value h in
+      Int64.compare v 0L >= 0 && Int64.unsigned_compare v Table_hash.modulus < 0)
+
+let test_hash_digest_in_range () =
+  List.iter
+    (fun s ->
+      let d = Table_hash.row_digest s in
+      Alcotest.(check bool) "digest < p" true
+        (Int64.unsigned_compare d Table_hash.modulus < 0))
+    [ ""; "a"; "hello world"; String.make 1000 'x' ]
+
+let test_hash_combine_order_sensitive () =
+  let a = Table_hash.combine [ 1L; 2L ] and b = Table_hash.combine [ 2L; 1L ] in
+  Alcotest.(check bool) "order matters across tables" false (Int64.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Dag                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dag_topological () =
+  let g = Dag.create 4 in
+  (* 3 -> 2 -> 1 -> 0 : node points to its dependency *)
+  Dag.add_edge g 3 2;
+  Dag.add_edge g 2 1;
+  Dag.add_edge g 1 0;
+  check Alcotest.(list int) "chain order" [ 0; 1; 2; 3 ] (Dag.topological_order g)
+
+let test_dag_reachability () =
+  let g = Dag.create 5 in
+  Dag.add_edge g 0 1;
+  Dag.add_edge g 1 2;
+  Dag.add_edge g 3 4;
+  let seen = Dag.reachable_from g [ 0 ] in
+  check
+    Alcotest.(list bool)
+    "reach 0->1->2" [ true; true; true; false; false ]
+    (Array.to_list seen)
+
+let test_dag_dedup_edges () =
+  let g = Dag.create 2 in
+  Dag.add_edge g 1 0;
+  Dag.add_edge g 1 0;
+  Dag.add_edge g 1 0;
+  check Alcotest.int "deduplicated" 1 (Dag.edge_count g);
+  check Alcotest.(list int) "single successor" [ 0 ] (Dag.successors g 1)
+
+let test_dag_makespan_serial_chain () =
+  let g = Dag.create 3 in
+  Dag.add_edge g 1 0;
+  Dag.add_edge g 2 1;
+  let w = [| 1.0; 2.0; 3.0 |] in
+  check (Alcotest.float 1e-9) "chain = sum" 6.0
+    (Dag.critical_path_makespan g ~weights:w ~workers:8)
+
+let test_dag_makespan_parallel () =
+  let g = Dag.create 4 in
+  (* four independent unit tasks *)
+  let w = [| 1.0; 1.0; 1.0; 1.0 |] in
+  check (Alcotest.float 1e-9) "infinite workers" 1.0
+    (Dag.critical_path_makespan g ~weights:w ~workers:8);
+  check (Alcotest.float 1e-9) "two workers" 2.0
+    (Dag.critical_path_makespan g ~weights:w ~workers:2);
+  check (Alcotest.float 1e-9) "serial" 4.0
+    (Dag.critical_path_makespan g ~weights:w ~workers:1)
+
+let prop_makespan_bounds =
+  (* makespan is between critical path (many workers) and serial sum *)
+  QCheck.Test.make ~name:"makespan between critical path and serial sum" ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 1 4))
+    (fun (n, workers) ->
+      let prng = Prng.create (n * 31) in
+      let g = Dag.create n in
+      for i = 1 to n - 1 do
+        if Prng.bool prng then Dag.add_edge g i (Prng.int prng i)
+      done;
+      let weights = Array.init n (fun i -> 1.0 +. float_of_int (i mod 3)) in
+      let serial = Array.fold_left ( +. ) 0.0 weights in
+      let cp = Dag.critical_path_makespan g ~weights ~workers:max_int in
+      let m = Dag.critical_path_makespan g ~weights ~workers in
+      m >= cp -. 1e-9 && m <= serial +. 1e-9)
+
+let test_dag_cycle_detected () =
+  let g = Dag.create 2 in
+  Dag.add_edge g 0 1;
+  Dag.add_edge g 1 0;
+  Alcotest.check_raises "cycle raises"
+    (Invalid_argument "Dag.topological_order: cycle") (fun () ->
+      ignore (Dag.topological_order g))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean_median () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "median" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "constant stddev" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check (Alcotest.float 1e-6) "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile 50.0 xs);
+  check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile 99.0 xs)
+
+let test_stats_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Textgrid                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_textgrid_renders () =
+  let t = Textgrid.create ~title:"demo" ~header:[ "a"; "b" ] in
+  Textgrid.add_row t [ "1"; "2" ];
+  Textgrid.add_row t [ "333" ];
+  let s = Textgrid.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "pads short rows" true
+    (String.index_opt s '3' <> None)
+
+let test_textgrid_formats () =
+  check Alcotest.string "ms" "0.500ms" (Textgrid.fmt_ms 0.5);
+  check Alcotest.string "s" "1.50s" (Textgrid.fmt_ms 1500.0);
+  check Alcotest.string "hours" "2.00H" (Textgrid.fmt_ms 7_200_000.0);
+  check Alcotest.string "bytes" "100b" (Textgrid.fmt_bytes 100);
+  check Alcotest.string "mb" "2.0MB" (Textgrid.fmt_bytes (2 * 1024 * 1024));
+  check Alcotest.string "speedup" "23.6x" (Textgrid.fmt_speedup 23.6)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_simulated () =
+  let c = Clock.create ~rtt_ms:2.0 () in
+  Clock.charge_rtt c ();
+  Clock.charge_rtt c ~count:3 ();
+  Clock.charge_ms c 10.0;
+  check (Alcotest.float 1e-9) "simulated" 18.0 (Clock.simulated_ms c);
+  Clock.reset c;
+  check (Alcotest.float 1e-9) "reset" 0.0 (Clock.simulated_ms c)
+
+let test_clock_real_monotonic () =
+  let c = Clock.create () in
+  let a = Clock.real_elapsed_ms c in
+  let b = Clock.real_elapsed_ms c in
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+let () =
+  Alcotest.run "uv_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick test_prng_seed_changes_stream;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "alpha string" `Quick test_alpha_string;
+          qtest prop_int_in_bounds;
+          qtest prop_int_range_inclusive;
+        ] );
+      ( "table_hash",
+        [
+          Alcotest.test_case "empty is zero" `Quick test_hash_empty_zero;
+          Alcotest.test_case "add/remove inverse" `Quick test_hash_add_remove_inverse;
+          Alcotest.test_case "order independent" `Quick test_hash_order_independent;
+          Alcotest.test_case "content sensitive" `Quick test_hash_distinguishes_content;
+          Alcotest.test_case "digest in range" `Quick test_hash_digest_in_range;
+          Alcotest.test_case "combine order sensitive" `Quick
+            test_hash_combine_order_sensitive;
+          qtest prop_hash_update_equals_delete_insert;
+          qtest prop_hash_in_range;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "topological order" `Quick test_dag_topological;
+          Alcotest.test_case "reachability" `Quick test_dag_reachability;
+          Alcotest.test_case "edge dedup" `Quick test_dag_dedup_edges;
+          Alcotest.test_case "makespan chain" `Quick test_dag_makespan_serial_chain;
+          Alcotest.test_case "makespan parallel" `Quick test_dag_makespan_parallel;
+          Alcotest.test_case "cycle detection" `Quick test_dag_cycle_detected;
+          qtest prop_makespan_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        ] );
+      ( "textgrid",
+        [
+          Alcotest.test_case "renders" `Quick test_textgrid_renders;
+          Alcotest.test_case "formats" `Quick test_textgrid_formats;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "simulated charges" `Quick test_clock_simulated;
+          Alcotest.test_case "real monotonic" `Quick test_clock_real_monotonic;
+        ] );
+    ]
