@@ -203,6 +203,85 @@ let whatif_cmd =
     Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ query)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run path json pass_names tau op stmt_text =
+    let passes =
+      match pass_names with
+      | [] -> Ok Uv_analysis.Lint.all_passes
+      | names ->
+          List.fold_left
+            (fun acc n ->
+              match (acc, Uv_analysis.Lint.pass_of_string n) with
+              | Error e, _ -> Error e
+              | Ok ps, Some p -> Ok (ps @ [ p ])
+              | Ok _, None -> Error n)
+            (Ok []) names
+    in
+    match passes with
+    | Error bad ->
+        Printf.eprintf
+          "unknown pass %S (available: nondet soundness cluster dead-write \
+           coverage)\n"
+          bad;
+        2
+    | Ok passes -> (
+        match
+          match tau with
+          | None -> Ok None
+          | Some tau -> (
+              try Ok (Some { Analyzer.tau; op = parse_op op stmt_text })
+              with Failure msg -> Error msg)
+        with
+        | Error msg ->
+            prerr_endline msg;
+            2
+        | Ok target ->
+        let eng = load_history path in
+        let log = Engine.log eng in
+        let history_diags = Uv_analysis.Lint.lint_log ~passes log in
+        let target_diags =
+          match target with
+          | None -> []
+          | Some t -> Uv_analysis.Lint.lint_target log t
+        in
+        let diags = history_diags @ target_diags in
+        if json then print_endline (Uv_analysis.Diagnostic.json_report diags)
+        else Format.printf "%a" Uv_analysis.Diagnostic.pp_report diags;
+        if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+  in
+  let pass_names =
+    Arg.(value & opt_all string []
+         & info [ "pass" ]
+             ~doc:"run only the named pass (repeatable): nondet, soundness, \
+                   cluster, dead-write, coverage")
+  in
+  let tau =
+    Arg.(value & opt (some int) None
+         & info [ "tau" ] ~doc:"also validate a retroactive target at this \
+                                commit index")
+  in
+  let op =
+    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
+  in
+  let stmt_text =
+    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"static soundness & eligibility checks over a history (exit 1 \
+             if any error-level diagnostic fires)")
+    Term.(const run $ path $ json $ pass_names $ tau $ op $ stmt_text)
+
+(* ------------------------------------------------------------------ *)
 (* workloads                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -302,4 +381,4 @@ let () =
     Cmd.info "ultraverse" ~version:"1.0.0"
       ~doc:"what-if analysis for database-backed applications"
   in
-  exit (Cmd.eval' (Cmd.group info [ transpile_cmd; analyze_cmd; whatif_cmd; log_cmd; dump_cmd; workloads_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; log_cmd; dump_cmd; workloads_cmd ]))

@@ -1,0 +1,16 @@
+-- A small history exercising most of the lint passes: trigger fan-out
+-- (UVA004), DDL after DML began (UVA003), a never-read column (UVA005)
+-- and a procedure carrying an unexplored DSE branch stub (UVA006).
+-- Feed it to `ultraverse lint examples/histories/lint_demo.sql`.
+CREATE TABLE accounts (id INT PRIMARY KEY AUTO_INCREMENT, owner VARCHAR(32), balance INT, opened VARCHAR(32));
+CREATE TABLE audit (acct INT, note VARCHAR(64));
+CREATE TRIGGER audit_update AFTER UPDATE ON accounts FOR EACH ROW BEGIN INSERT INTO audit VALUES (NEW.id, 'balance changed'); END;
+INSERT INTO accounts (owner, balance, opened) VALUES ('alice', 100, NOW());
+INSERT INTO accounts (owner, balance, opened) VALUES ('bob', 80, NOW());
+UPDATE accounts SET balance = balance + 20 WHERE owner = 'alice';
+CREATE TABLE promo (code VARCHAR(16), pct INT);
+INSERT INTO promo VALUES ('WELCOME', 10);
+CREATE PROCEDURE pay(acct INT, amt INT) BEGIN IF amt > 0 THEN UPDATE accounts SET balance = balance - amt WHERE id = acct; ELSE SIGNAL SQLSTATE '45000'; END IF; END;
+CALL pay(1, 30);
+SELECT owner, balance FROM accounts;
+SELECT acct, note FROM audit;

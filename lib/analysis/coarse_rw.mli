@@ -1,0 +1,46 @@
+(** A deliberately coarse, independent read/write computation.
+
+    Where {!Uv_retroactive.Rwset} derives column-wise sets (Appendix
+    Table A), this module derives *object-level* sets: the names of
+    tables, views, procedures and triggers a statement structurally
+    reads or writes. It shares no code with [Rwset]'s set derivation —
+    only the schema view, which both need to resolve views, procedure
+    bodies and triggers — so diffing the two surfaces
+    under-approximation bugs in the precise analysis: every object the
+    coarse walk finds must be *mentioned* (as a [t.col] key or the
+    [_S.t] schema key) on the same side of the precise sets, or a
+    dependency can silently be missed and a replay produce a wrong
+    universe.
+
+    Granularity notes mirroring Table A (so the cross-check is exact,
+    not merely heuristic):
+    - write targets appear only in the write set — [Rwset] tracks the
+      target's schema key on the write side for views ([_S.view]) and
+      its columns for tables;
+    - [CREATE VIEW]/[CREATE PROCEDURE] register dependence on their
+      immediate sources / name only (their bodies contribute when
+      used, not when defined);
+    - writes fire the triggers of the resolved real target, and CALL
+      expands the procedure body, exactly as the precise analysis
+      does. *)
+
+open Uv_sql
+
+module Names : Set.S with type elt = string
+
+type t = { cr : Names.t; cw : Names.t }
+
+val of_stmt : Uv_retroactive.Schema_view.t -> Ast.stmt -> t
+
+val select_sources : Ast.select -> string list
+(** All source tables/views referenced by a query block, descending
+    into nested subselects in any clause (deduplicated). *)
+
+val real_target : Uv_retroactive.Schema_view.t -> string -> string
+(** Resolve a DML target through updatable-view chains to the real
+    table it writes. *)
+
+val uncovered :
+  Uv_retroactive.Rwset.rw -> t -> (string * [ `Read | `Write ]) list
+(** Objects of the coarse sets that the precise sets fail to mention on
+    the corresponding side — each one is a soundness violation. *)

@@ -1,0 +1,97 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  index : int option;
+  obj : string option;
+  message : string;
+}
+
+let make ?index ?obj ~code ~severity ~pass message =
+  { code; severity; pass; index; obj; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let compare a b =
+  let loc = function Some i -> (0, i) | None -> (1, 0) in
+  match Stdlib.compare (loc a.index) (loc b.index) with
+  | 0 -> (
+      match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity)
+      with
+      | 0 -> Stdlib.compare a.code b.code
+      | c -> c)
+  | c -> c
+
+let pp fmt d =
+  let idx = match d.index with Some i -> Printf.sprintf "#%d" i | None -> "-" in
+  Format.fprintf fmt "%-5s %-7s %s [%s]%s %s" idx
+    (severity_label d.severity)
+    d.code d.pass
+    (match d.obj with Some o -> " " ^ o ^ ":" | None -> "")
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled; the toolchain carries no JSON library)            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of d =
+  let fields =
+    [
+      Some (Printf.sprintf "\"code\": \"%s\"" (json_escape d.code));
+      Some
+        (Printf.sprintf "\"severity\": \"%s\"" (severity_label d.severity));
+      Some (Printf.sprintf "\"pass\": \"%s\"" (json_escape d.pass));
+      Option.map (Printf.sprintf "\"index\": %d") d.index;
+      Option.map
+        (fun o -> Printf.sprintf "\"object\": \"%s\"" (json_escape o))
+        d.obj;
+      Some (Printf.sprintf "\"message\": \"%s\"" (json_escape d.message));
+    ]
+  in
+  "{" ^ String.concat ", " (List.filter_map Fun.id fields) ^ "}"
+
+let json_report ds =
+  let ds = List.sort compare ds in
+  Printf.sprintf
+    "{\"summary\": {\"errors\": %d, \"warnings\": %d, \"infos\": %d, \
+     \"total\": %d},\n\
+     \"diagnostics\": [\n%s\n]}"
+    (count Error ds) (count Warning ds) (count Info ds) (List.length ds)
+    (String.concat ",\n" (List.map (fun d -> "  " ^ json_of d) ds))
+
+let pp_report fmt ds =
+  let ds = List.sort compare ds in
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) ds;
+  Format.fprintf fmt "%d error(s), %d warning(s), %d info(s)@."
+    (count Error ds) (count Warning ds) (count Info ds)

@@ -1,0 +1,84 @@
+(** Structured findings of the static lint & soundness passes.
+
+    Every finding carries a stable code ([UVA001]…) so tooling and tests
+    can match on it, a severity, the pass that produced it, and an
+    optional location: the 1-based commit index of the offending log
+    entry and/or the database object (table, column, procedure) the
+    finding is about.
+
+    Code registry (each code belongs to exactly one pass):
+    - [UVA001] (error/warning, nondet) — a statement with
+      non-deterministic draw sites whose log entry records fewer values
+      than the statement must have drawn: replay diverges.
+    - [UVA002] (error, soundness) — the independent coarse table-level
+      read/write computation found an object the precise [Rwset] sets
+      miss: the dependency analyzer under-approximates.
+    - [UVA003] (warning, cluster) — DDL committed mid-history, after DML
+      began: schema changes serialize replay and defeat Hash-jumper
+      clustering.
+    - [UVA004] (info, cluster) — a single statement writes several real
+      tables (trigger fan-out, FK write inheritance, view expansion),
+      merging otherwise independent replay clusters.
+    - [UVA005] (info, dead-write) — a column is written and never read
+      by any later statement: a replay-set pruning candidate.
+    - [UVA006] (warning, coverage) — a procedure carries unexplored
+      branch stubs ([SIGNAL SQLSTATE '45000']); a retroactive replay
+      entering one aborts.
+    - [UVA007] (error, target) — the retroactive target references an
+      unknown table, view, or procedure as of τ.
+    - [UVA008] (error, target) — the retroactive target references an
+      unknown column (or has the wrong INSERT arity) as of τ.
+    - [UVA009] (error, target) — the retroactive target's commit index τ
+      is out of range for the history.
+    - [UVA010] (error, target) — a FOREIGN KEY the target would exercise
+      is unresolvable as of τ. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable diagnostic code, ["UVA001"]… *)
+  severity : severity;
+  pass : string;  (** producing pass: ["nondet"], ["soundness"], … *)
+  index : int option;  (** 1-based commit index of the log entry *)
+  obj : string option;  (** database object the finding is about *)
+  message : string;
+}
+
+val make :
+  ?index:int ->
+  ?obj:string ->
+  code:string ->
+  severity:severity ->
+  pass:string ->
+  string ->
+  t
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+
+val count : severity -> t list -> int
+
+val compare : t -> t -> int
+(** Order by commit index (located findings first), then severity
+    (errors first), then code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [#12 error   UVA001 [nondet] message] — or [-] in place of
+    the index for history-wide findings. *)
+
+val to_string : t -> string
+
+val json_of : t -> string
+(** One finding as a JSON object. *)
+
+val json_report : t list -> string
+(** The full report as JSON:
+    [{"summary":{"errors":…,"warnings":…,"infos":…,"total":…},
+      "diagnostics":[…]}] — diagnostics in {!compare} order. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Sorted one-line findings followed by a summary line. *)

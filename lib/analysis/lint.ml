@@ -1,0 +1,87 @@
+module Schema_view = Uv_retroactive.Schema_view
+module Rwset = Uv_retroactive.Rwset
+module Analyzer = Uv_retroactive.Analyzer
+module Log = Uv_db.Log
+module Catalog = Uv_db.Catalog
+module D = Diagnostic
+
+type pass = Nondet | Soundness | Cluster | Dead_write | Coverage
+
+let all_passes = [ Nondet; Soundness; Cluster; Dead_write; Coverage ]
+
+let pass_name = function
+  | Nondet -> "nondet"
+  | Soundness -> "soundness"
+  | Cluster -> "cluster"
+  | Dead_write -> "dead-write"
+  | Coverage -> "coverage"
+
+let pass_of_string s =
+  match String.lowercase_ascii s with
+  | "nondet" -> Some Nondet
+  | "soundness" -> Some Soundness
+  | "cluster" -> Some Cluster
+  | "dead-write" | "dead_write" | "dead" -> Some Dead_write
+  | "coverage" -> Some Coverage
+  | _ -> None
+
+let lint_log ?base ?(passes = all_passes) log =
+  let on p = List.mem p passes in
+  let sv =
+    match base with
+    | Some cat -> Schema_view.of_catalog cat
+    | None -> Schema_view.create ()
+  in
+  let dead = Passes.dead_create () in
+  let seen_dml = ref false in
+  let diags = ref [] in
+  let emit ds = diags := List.rev_append ds !diags in
+  (* procedures that predate the log still run during replay *)
+  (if on Coverage then
+     match base with
+     | None -> ()
+     | Some cat ->
+         List.iter
+           (fun name ->
+             match Catalog.procedure cat name with
+             | Some p ->
+                 emit
+                   (Passes.coverage_procedure ~name
+                      p.Uv_db.Catalog.proc_body)
+             | None -> ())
+           (Catalog.procedure_names cat));
+  let i = ref 0 in
+  Log.iter log (fun entry ->
+      incr i;
+      let rw = Rwset.of_stmt sv entry.Log.stmt in
+      let ctx = { Passes.index = !i; entry; sv; rw } in
+      if on Nondet then emit (Passes.nondet ctx);
+      if on Soundness then emit (Passes.soundness ctx);
+      if on Cluster then emit (Passes.cluster ~seen_dml:!seen_dml ctx);
+      if on Coverage then emit (Passes.coverage ctx);
+      if on Dead_write then Passes.dead_record dead ctx;
+      if Passes.contains_dml entry.Log.stmt then seen_dml := true;
+      Schema_view.apply sv entry.Log.stmt);
+  if on Dead_write then emit (Passes.dead_finish dead);
+  List.sort D.compare !diags
+
+let lint_target ?base log (t : Analyzer.target) =
+  let n = Log.length log in
+  let hi = match t.Analyzer.op with Analyzer.Add _ -> n + 1 | _ -> n in
+  if t.Analyzer.tau < 1 || t.Analyzer.tau > hi then
+    [
+      D.make ~code:"UVA009" ~severity:D.Error ~pass:"target"
+        (Printf.sprintf
+           "target index tau=%d out of range [1, %d] for a history of %d \
+            statement(s)"
+           t.Analyzer.tau hi n);
+    ]
+  else
+    let sv = Schema_view.of_log ?base log ~upto:t.Analyzer.tau in
+    match t.Analyzer.op with
+    | Analyzer.Remove -> []
+    | Analyzer.Add s | Analyzer.Change s ->
+        List.sort D.compare (Passes.target_stmt sv s)
+
+let lint_procedure ?index ~name body =
+  Passes.coverage_procedure ?index ~name body

@@ -1,0 +1,40 @@
+(** The lint driver: one commit-order walk over a history dispatching to
+    the enabled passes, plus standalone entry points for retroactive
+    targets and transpiled procedure bodies.
+
+    Everything here is static — no statement is ever executed, no data
+    page is read; the only inputs are the committed-statement log (text
+    plus recorded metadata), the evolving schema view, and the statically
+    derived read/write sets. *)
+
+type pass = Nondet | Soundness | Cluster | Dead_write | Coverage
+
+val all_passes : pass list
+
+val pass_name : pass -> string
+
+val pass_of_string : string -> pass option
+
+val lint_log :
+  ?base:Uv_db.Catalog.t ->
+  ?passes:pass list ->
+  Uv_db.Log.t ->
+  Diagnostic.t list
+(** Walk the history once in commit order, threading the schema view
+    (seeded from [base] when the log grows from a checkpoint), and run
+    the enabled passes ([all_passes] by default) over every entry.
+    Checkpoint-catalog procedures are coverage-checked too. The result
+    is sorted with {!Diagnostic.compare}. *)
+
+val lint_target :
+  ?base:Uv_db.Catalog.t ->
+  Uv_db.Log.t ->
+  Uv_retroactive.Analyzer.target ->
+  Diagnostic.t list
+(** Validate a retroactive target before any analysis runs: τ range
+    (UVA009), then — for [Add]/[Change] — type-check the statement
+    against the schema view as of τ (UVA007/UVA008/UVA010). *)
+
+val lint_procedure :
+  ?index:int -> name:string -> Uv_sql.Ast.pstmt list -> Diagnostic.t list
+(** Coverage-check one transpiled procedure body (UVA006). *)

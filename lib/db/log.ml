@@ -100,6 +100,16 @@ let to_array t = Array.sub t.items 0 t.len
 
 let copy t = { items = Array.copy t.items; len = t.len }
 
+let of_entries es =
+  let t = create () in
+  List.iter (append t) es;
+  t
+
+let map f t =
+  { items = Array.map f (Array.sub t.items 0 t.len); len = t.len }
+
+let nondet_count e = List.length e.nondet
+
 let truncate t n = if n < t.len then t.len <- max 0 n
 
 (* A MySQL statement-format binlog event: 19-byte common header, 13-byte

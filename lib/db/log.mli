@@ -69,6 +69,19 @@ val to_array : t -> entry array
 
 val copy : t -> t
 
+val of_entries : entry list -> t
+(** Build a log from explicit entries (fixture construction, log
+    surgery). Entries are taken as-is; indexes are not renumbered. *)
+
+val map : (entry -> entry) -> t -> t
+(** A fresh log with [f] applied to every entry — e.g. static-analysis
+    fixtures that strip recorded non-determinism from a real history. *)
+
+val nondet_count : entry -> int
+(** Number of recorded non-deterministic draws (RAND/NOW/AUTO_INCREMENT)
+    in the entry — the replay-divergence metadata the static lint passes
+    check against each statement's syntactic draw sites. *)
+
 val truncate : t -> int -> unit
 (** [truncate log n] keeps the first [n] entries. *)
 

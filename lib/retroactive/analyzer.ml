@@ -54,17 +54,7 @@ let tables_of_rw (rw : Rwset.rw) =
   in
   List.sort_uniq compare (of_set rw.Rwset.r @ of_set rw.Rwset.w)
 
-let schema_view_fold ?base log upto =
-  let sv =
-    match base with
-    | Some cat -> Schema_view.of_catalog cat
-    | None -> Schema_view.create ()
-  in
-  let i = ref 1 in
-  Uv_db.Log.iter log (fun e ->
-      if !i < upto then Schema_view.apply sv e.Uv_db.Log.stmt;
-      incr i);
-  sv
+let schema_view_fold ?base log upto = Schema_view.of_log ?base log ~upto
 
 let analyze ?(config = Rowset.default_config) ?base log =
   let n = Uv_db.Log.length log in

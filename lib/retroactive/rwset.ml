@@ -65,7 +65,6 @@ and resolve_column sv sources qual col =
 
 and expr_reads sv sources e =
   match e with
-  | Lit _ | Var _ -> Colset.empty
   | Col (Some ("NEW" | "OLD"), _) -> Colset.empty (* trigger row, not a table *)
   | Col (_, "*") ->
       (* a COUNT star argument reads every column of every source *)
@@ -73,22 +72,12 @@ and expr_reads sv sources e =
         (fun acc (_, table) -> Colset.union acc (source_read_columns sv table))
         Colset.empty sources
   | Col (qual, col) -> resolve_column sv sources qual col
-  | Binop (_, a, b) -> Colset.union (expr_reads sv sources a) (expr_reads sv sources b)
-  | Unop (_, a) -> expr_reads sv sources a
-  | Fun_call (_, args) ->
-      List.fold_left
-        (fun acc a -> Colset.union acc (expr_reads sv sources a))
-        Colset.empty args
   | Subselect s | Exists s -> select_reads sv s
-  | In_list (a, items) ->
+  | e ->
+      (* default: union over the immediate subexpressions *)
       List.fold_left
-        (fun acc x -> Colset.union acc (expr_reads sv sources x))
-        Colset.empty (a :: items)
-  | Between (a, b, c) ->
-      List.fold_left
-        (fun acc x -> Colset.union acc (expr_reads sv sources x))
-        Colset.empty [ a; b; c ]
-  | Is_null (a, _) -> expr_reads sv sources a
+        (fun acc c -> Colset.union acc (expr_reads sv sources c))
+        Colset.empty (Visit.expr_children e)
 
 and select_sources (s : select) =
   let base =
@@ -115,38 +104,11 @@ and select_reads sv (s : select) =
         Colset.empty sources
     else Colset.empty
   in
-  let items =
-    List.fold_left
-      (fun acc item ->
-        match item with
-        | Star -> acc
-        | Item (e, _) -> Colset.union acc (expr_reads sv sources e))
-      Colset.empty s.sel_items
-  in
-  let joins =
-    List.fold_left
-      (fun acc j -> Colset.union acc (expr_reads sv sources j.join_on))
-      Colset.empty s.sel_joins
-  in
-  let where =
-    match s.sel_where with
-    | Some w -> expr_reads sv sources w
-    | None -> Colset.empty
-  in
-  let having =
-    match s.sel_having with
-    | Some h -> expr_reads sv sources h
-    | None -> Colset.empty
-  in
-  let group =
+  (* projected items, join conditions, WHERE, GROUP BY, HAVING, ORDER BY *)
+  let clause_reads =
     List.fold_left
       (fun acc e -> Colset.union acc (expr_reads sv sources e))
-      Colset.empty s.sel_group_by
-  in
-  let order =
-    List.fold_left
-      (fun acc (e, _) -> Colset.union acc (expr_reads sv sources e))
-      Colset.empty s.sel_order_by
+      Colset.empty (Visit.select_exprs s)
   in
   (* FOREIGN KEY remark of Table A: reading a table via FK columns also
      reads the referenced external columns. *)
@@ -159,8 +121,7 @@ and select_reads sv (s : select) =
           (Schema_view.foreign_keys sv t))
       Colset.empty sources
   in
-  List.fold_left Colset.union schema_keys
-    [ star; items; joins; where; having; group; order; fk ]
+  List.fold_left Colset.union schema_keys [ star; clause_reads; fk ]
 
 (* Columns a write statement targets on a table, expanding views to their
    parent table (updatable views, §4.2). Returns (real_table, rw). *)

@@ -21,6 +21,12 @@ val apply : t -> Ast.stmt -> unit
 (** Apply the schema effects of a statement (non-DDL statements are
     no-ops, except INSERT bumping nothing — data is never tracked). *)
 
+val of_log : ?base:Uv_db.Catalog.t -> Uv_db.Log.t -> upto:int -> t
+(** Schema state just before the entry with 1-based commit index [upto]
+    executes: [base] (or empty) advanced over entries [1 .. upto-1].
+    Shared by the analyzer's τ-time reconstruction and the static lint
+    passes' target validation. *)
+
 val table_columns : t -> string -> string list option
 val table_schema : t -> string -> Schema.table option
 val view : t -> string -> Ast.select option

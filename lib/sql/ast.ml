@@ -135,3 +135,13 @@ let stmt_kind = function
   | Transaction _ -> "TRANSACTION"
 
 let is_read_only = function Select _ -> true | _ -> false
+
+let is_ddl = function
+  | Create_table _ | Drop_table _ | Truncate_table _ | Alter_table _
+  | Create_view _ | Drop_view _ | Create_index _ | Drop_index _
+  | Create_procedure _ | Drop_procedure _ | Create_trigger _ | Drop_trigger _
+    ->
+      true
+  | Select _ | Insert _ | Insert_select _ | Update _ | Delete _ | Call _
+  | Transaction _ ->
+      false

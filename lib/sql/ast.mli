@@ -147,3 +147,8 @@ val stmt_kind : stmt -> string
 val is_read_only : stmt -> bool
 (** [true] for statements that can never write the database (standalone
     SELECT). Dependency analysis omits these from the graph (§4.2). *)
+
+val is_ddl : stmt -> bool
+(** [true] for schema-changing statements (CREATE/DROP/ALTER/TRUNCATE of
+    tables, views, indexes, procedures, triggers). [Transaction] is not
+    itself DDL — classify its members individually. *)

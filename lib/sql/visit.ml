@@ -1,0 +1,91 @@
+open Ast
+
+let expr_children = function
+  | Lit _ | Var _ | Col _ -> []
+  | Binop (_, a, b) -> [ a; b ]
+  | Unop (_, a) -> [ a ]
+  | Fun_call (_, args) -> args
+  | Subselect _ | Exists _ -> []
+  | In_list (a, items) -> a :: items
+  | Between (a, b, c) -> [ a; b; c ]
+  | Is_null (a, _) -> [ a ]
+
+let expr_selects = function Subselect s | Exists s -> [ s ] | _ -> []
+
+let select_exprs (s : select) =
+  let items =
+    List.filter_map (function Star -> None | Item (e, _) -> Some e) s.sel_items
+  in
+  let joins = List.map (fun j -> j.join_on) s.sel_joins in
+  items @ joins
+  @ Option.to_list s.sel_where
+  @ s.sel_group_by
+  @ Option.to_list s.sel_having
+  @ List.map fst s.sel_order_by
+
+let stmt_exprs = function
+  | Insert { values; _ } -> List.concat values
+  | Update { assigns; where; _ } ->
+      List.map snd assigns @ Option.to_list where
+  | Delete { where; _ } -> Option.to_list where
+  | Call (_, args) -> args
+  | Create_table _ | Drop_table _ | Truncate_table _ | Alter_table _
+  | Create_view _ | Drop_view _ | Create_index _ | Drop_index _
+  | Create_procedure _ | Drop_procedure _ | Create_trigger _ | Drop_trigger _
+  | Select _ | Insert_select _ | Transaction _ ->
+      []
+
+let stmt_selects = function
+  | Select s | Insert_select { query = s; _ } | Create_view { query = s; _ } ->
+      [ s ]
+  | _ -> []
+
+let stmt_children = function Transaction stmts -> stmts | _ -> []
+
+let stmt_pstmts = function
+  | Create_procedure { body; _ } | Create_trigger { body; _ } -> body
+  | _ -> []
+
+let pstmt_exprs = function
+  | P_stmt _ -> []
+  | P_declare (_, _, init) -> Option.to_list init
+  | P_set (_, e) -> [ e ]
+  | P_select_into _ -> []
+  | P_if (branches, _) -> List.map fst branches
+  | P_while (cond, _) -> [ cond ]
+  | P_leave _ | P_signal _ -> []
+
+let pstmt_selects = function P_select_into (s, _) -> [ s ] | _ -> []
+
+let pstmt_children = function
+  | P_if (branches, else_body) -> List.concat_map snd branches @ else_body
+  | P_while (_, body) -> body
+  | _ -> []
+
+let pstmt_stmts = function P_stmt s -> [ s ] | _ -> []
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  let acc = List.fold_left (fold_expr f) acc (expr_children e) in
+  List.fold_left (fold_select f) acc (expr_selects e)
+
+and fold_select f acc s = List.fold_left (fold_expr f) acc (select_exprs s)
+
+let rec fold_stmt_exprs f acc s =
+  let acc = List.fold_left (fold_expr f) acc (stmt_exprs s) in
+  let acc = List.fold_left (fold_select f) acc (stmt_selects s) in
+  let acc = List.fold_left (fold_stmt_exprs f) acc (stmt_children s) in
+  List.fold_left (fold_pstmt_exprs f) acc (stmt_pstmts s)
+
+and fold_pstmt_exprs f acc p =
+  let acc = List.fold_left (fold_expr f) acc (pstmt_exprs p) in
+  let acc = List.fold_left (fold_select f) acc (pstmt_selects p) in
+  let acc = List.fold_left (fold_stmt_exprs f) acc (pstmt_stmts p) in
+  List.fold_left (fold_pstmt_exprs f) acc (pstmt_children p)
+
+let rec fold_pstmts f acc body =
+  List.fold_left
+    (fun acc p ->
+      let acc = f acc p in
+      fold_pstmts f acc (pstmt_children p))
+    acc body

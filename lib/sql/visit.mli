@@ -1,0 +1,69 @@
+(** Generic traversal helpers over the SQL AST.
+
+    Every static pass over statements — the dependency analyzer's
+    read/write sets, the lint passes of [uv_analysis], the transpiler's
+    coverage accounting — needs the same "children of this node" plumbing.
+    This module centralises it: [*_children]/[*_exprs] return the
+    immediate sub-nodes of one AST node, and the [fold_*] functions build
+    the usual deep pre-order folds on top, so a pass only writes the cases
+    it actually cares about. *)
+
+val expr_children : Ast.expr -> Ast.expr list
+(** Immediate subexpressions of an expression. [Subselect]/[Exists]
+    contribute nothing here — nested query blocks are surfaced separately
+    by {!expr_selects} so scope-sensitive passes can handle them. *)
+
+val expr_selects : Ast.expr -> Ast.select list
+(** Nested query blocks directly under an expression
+    ([Subselect]/[Exists]). *)
+
+val select_exprs : Ast.select -> Ast.expr list
+(** Immediate expressions of one query block: projected items, join
+    conditions, WHERE, GROUP BY, HAVING, ORDER BY. Does not descend into
+    nested [Subselect]s. *)
+
+val stmt_exprs : Ast.stmt -> Ast.expr list
+(** Immediate expressions of a statement (INSERT values, UPDATE
+    assignments and WHERE, DELETE WHERE, CALL arguments). Query blocks
+    and procedure/trigger bodies are surfaced by {!stmt_selects} and
+    {!stmt_pstmts}. *)
+
+val stmt_selects : Ast.stmt -> Ast.select list
+(** Immediate query blocks of a statement ([Select], [Insert_select]'s
+    query, [Create_view]'s definition). *)
+
+val stmt_children : Ast.stmt -> Ast.stmt list
+(** Nested statements ([Transaction] bodies). *)
+
+val stmt_pstmts : Ast.stmt -> Ast.pstmt list
+(** Procedure/trigger bodies defined by the statement. *)
+
+val pstmt_exprs : Ast.pstmt -> Ast.expr list
+(** Immediate expressions of a procedure statement (DECLARE initialiser,
+    SET value, IF/WHILE conditions). *)
+
+val pstmt_selects : Ast.pstmt -> Ast.select list
+(** Immediate query blocks ([P_select_into]). *)
+
+val pstmt_children : Ast.pstmt -> Ast.pstmt list
+(** Nested procedure statements (IF arms, WHILE bodies). *)
+
+val pstmt_stmts : Ast.pstmt -> Ast.stmt list
+(** Embedded top-level statements ([P_stmt]). *)
+
+val fold_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.expr -> 'a
+(** Deep pre-order fold over an expression and every descendant,
+    descending into nested query blocks. *)
+
+val fold_select : ('a -> Ast.expr -> 'a) -> 'a -> Ast.select -> 'a
+(** Deep fold over every expression reachable from a query block. *)
+
+val fold_stmt_exprs : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt -> 'a
+(** Deep fold over every expression reachable from a statement, including
+    nested query blocks, transaction members, and procedure/trigger
+    bodies it defines. *)
+
+val fold_pstmts : ('a -> Ast.pstmt -> 'a) -> 'a -> Ast.pstmt list -> 'a
+(** Deep pre-order fold over procedure statements: each [pstmt] is
+    visited, then its nested bodies (IF arms, WHILE bodies). Embedded SQL
+    statements are not entered — pair with {!pstmt_stmts} when needed. *)

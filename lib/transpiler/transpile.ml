@@ -375,6 +375,15 @@ let transpile_tree ~name ~(exploration : Concolic.exploration) =
     runs = exploration.Concolic.runs;
   }
 
+let coverage t =
+  let total = t.paths + t.unexplored in
+  if total = 0 then 1.0 else float_of_int t.paths /. float_of_int total
+
+let signal_stubs body =
+  Uv_sql.Visit.fold_pstmts
+    (fun n p -> match p with Sql.P_signal "45000" -> n + 1 | _ -> n)
+    0 body
+
 let transpile ?max_runs ?seeds ~program ~name () =
   let exploration = Concolic.explore ?max_runs ?seeds ~program ~name () in
   transpile_tree ~name ~exploration

@@ -33,6 +33,16 @@ val transpile_tree :
 (** Turn a finished exploration into a procedure named
     ["uv_" ^ name]. *)
 
+val coverage : t -> float
+(** Explored fraction of the transaction's branch space:
+    [paths / (paths + unexplored)]. 1.0 when every path was explored —
+    i.e. no retroactive replay can hit a SIGNAL stub. *)
+
+val signal_stubs : Uv_sql.Ast.pstmt list -> int
+(** Count the [SIGNAL SQLSTATE '45000'] unexplored-branch stubs in a
+    procedure body (the static mirror of [unexplored], usable on any
+    CREATE PROCEDURE — transpiled or handwritten). *)
+
 val transpile :
   ?max_runs:int ->
   ?seeds:Uv_symexec.Assignment.t list ->

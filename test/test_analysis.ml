@@ -1,0 +1,404 @@
+(* Tests for ultraverse.analysis: every UVA code demonstrated by a
+   seeded-bad fixture and quiet on a clean twin, the rwset soundness
+   cross-check over all five bundled workload histories, and the report
+   renderers. *)
+
+open Uv_db
+open Uv_retroactive
+open Uv_analysis
+module W = Uv_workloads.Workload
+module R = Uv_transpiler.Runtime
+
+let check = Alcotest.check
+
+let exec_history stmts =
+  let eng = Engine.create () in
+  List.iter
+    (fun s -> ignore (Engine.exec eng (Uv_sql.Parser.parse_stmt s)))
+    stmts;
+  eng
+
+let lint ?base ?passes stmts =
+  Lint.lint_log ?base ?passes (Engine.log (exec_history stmts))
+
+let codes ds = List.map (fun d -> d.Diagnostic.code) ds
+
+let count_code c ds =
+  List.length (List.filter (fun d -> d.Diagnostic.code = c) ds)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i =
+    i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1))
+  in
+  go 0
+
+let no_errors name ds =
+  check Alcotest.(list string) name [] (codes (Diagnostic.errors ds))
+
+(* ------------------------------------------------------------------ *)
+(* UVA001 — unrecorded non-determinism                                  *)
+(* ------------------------------------------------------------------ *)
+
+let nondet_history =
+  [
+    "CREATE TABLE accounts (id INT PRIMARY KEY AUTO_INCREMENT, owner \
+     VARCHAR(32), opened VARCHAR(32))";
+    "INSERT INTO accounts (owner, opened) VALUES ('alice', NOW())";
+    "INSERT INTO accounts (owner, opened) VALUES ('bob', NOW())";
+    "SELECT id, owner, opened FROM accounts";
+  ]
+
+let test_nondet_clean () =
+  no_errors "recorded draws cover the sites"
+    (lint ~passes:[ Lint.Nondet ] nondet_history)
+
+let test_nondet_stripped () =
+  let eng = exec_history nondet_history in
+  let bad = Log.map (fun e -> { e with Log.nondet = [] }) (Engine.log eng) in
+  let ds = Lint.lint_log ~passes:[ Lint.Nondet ] bad in
+  check Alcotest.int "both inserts flagged" 2 (count_code "UVA001" ds);
+  check Alcotest.bool "flagged as errors" true
+    (List.for_all Diagnostic.is_error ds);
+  check
+    Alcotest.(list (option int))
+    "at the insert indexes"
+    [ Some 2; Some 3 ]
+    (List.map (fun d -> d.Diagnostic.index) ds)
+
+let test_nondet_partial_strip () =
+  (* dropping one of two recorded draws must still be divergence *)
+  let eng = exec_history nondet_history in
+  let bad =
+    Log.map
+      (fun e ->
+        if e.Log.index = 2 then
+          { e with Log.nondet = [ List.hd e.Log.nondet ] }
+        else e)
+      (Engine.log eng)
+  in
+  let ds = Lint.lint_log ~passes:[ Lint.Nondet ] bad in
+  check Alcotest.int "one entry flagged" 1 (count_code "UVA001" ds)
+
+(* ------------------------------------------------------------------ *)
+(* UVA002 — soundness cross-check                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_soundness_clean () =
+  no_errors "precise sets cover coarse sets"
+    (lint ~passes:[ Lint.Soundness ] nondet_history)
+
+let test_soundness_ghost_write () =
+  let eng = exec_history nondet_history in
+  let bad =
+    Log.map
+      (fun e ->
+        if e.Log.index <> 3 then e
+        else
+          {
+            e with
+            Log.stmt =
+              Uv_sql.Parser.parse_stmt "INSERT INTO ghost VALUES (1)";
+            sql = "INSERT INTO ghost VALUES (1)";
+            nondet = [];
+          })
+      (Engine.log eng)
+  in
+  let ds = Lint.lint_log ~passes:[ Lint.Soundness ] bad in
+  check Alcotest.int "one soundness error" 1 (count_code "UVA002" ds);
+  let d = List.hd ds in
+  check Alcotest.(option string) "names the object" (Some "ghost")
+    d.Diagnostic.obj;
+  check Alcotest.bool "is an error" true (Diagnostic.is_error d)
+
+(* ------------------------------------------------------------------ *)
+(* UVA003/UVA004 — cluster eligibility                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_ddl_mid_history () =
+  let ds =
+    lint ~passes:[ Lint.Cluster ]
+      [
+        "CREATE TABLE t (a INT)";
+        "INSERT INTO t VALUES (1)";
+        "CREATE TABLE late (x INT)";
+        "SELECT a FROM t";
+        "SELECT x FROM late";
+      ]
+  in
+  check Alcotest.int "one mid-history DDL warning" 1 (count_code "UVA003" ds);
+  no_errors "warning, not error" ds
+
+let test_cluster_ddl_up_front () =
+  check Alcotest.int "no UVA003 when all DDL precedes DML" 0
+    (count_code "UVA003"
+       (lint ~passes:[ Lint.Cluster ]
+          [
+            "CREATE TABLE t (a INT)";
+            "CREATE TABLE u (x INT)";
+            "INSERT INTO t VALUES (1)";
+            "INSERT INTO u VALUES (2)";
+            "SELECT a FROM t";
+            "SELECT x FROM u";
+          ]))
+
+let test_cluster_trigger_fanout () =
+  let ds =
+    lint ~passes:[ Lint.Cluster ]
+      [
+        "CREATE TABLE t (a INT, b INT)";
+        "CREATE TABLE audit (a INT)";
+        "CREATE TRIGGER tg AFTER UPDATE ON t FOR EACH ROW BEGIN INSERT \
+         INTO audit VALUES (NEW.a); END";
+        "INSERT INTO t VALUES (1, 2)";
+        "UPDATE t SET b = 3 WHERE a = 1";
+        "SELECT a FROM audit";
+        "SELECT a, b FROM t";
+      ]
+  in
+  check Alcotest.int "trigger fan-out flagged once" 1 (count_code "UVA004" ds)
+
+let test_cluster_single_table_quiet () =
+  check Alcotest.int "no UVA004 on single-table history" 0
+    (count_code "UVA004"
+       (lint ~passes:[ Lint.Cluster ]
+          [
+            "CREATE TABLE t (a INT)";
+            "INSERT INTO t VALUES (1)";
+            "UPDATE t SET a = 2 WHERE a = 1";
+            "SELECT a FROM t";
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* UVA005 — dead writes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dead_write () =
+  let ds =
+    lint ~passes:[ Lint.Dead_write ]
+      [ "CREATE TABLE t (a INT, b INT)"; "INSERT INTO t VALUES (1, 2)";
+        "SELECT a FROM t" ]
+  in
+  check Alcotest.int "one dead column" 1 (count_code "UVA005" ds);
+  check
+    Alcotest.(option string)
+    "names t.b" (Some "t.b")
+    (List.hd ds).Diagnostic.obj
+
+let test_dead_write_quiet_when_read () =
+  check Alcotest.int "no UVA005 when every column is read" 0
+    (count_code "UVA005"
+       (lint ~passes:[ Lint.Dead_write ]
+          [ "CREATE TABLE t (a INT, b INT)"; "INSERT INTO t VALUES (1, 2)";
+            "SELECT a, b FROM t" ]))
+
+(* ------------------------------------------------------------------ *)
+(* UVA006 — unexplored-branch coverage                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stub_proc =
+  "CREATE PROCEDURE bump(x INT) BEGIN IF x > 0 THEN UPDATE t SET a = a + x; \
+   ELSE SIGNAL SQLSTATE '45000'; END IF; END"
+
+let test_coverage_stub () =
+  let ds =
+    lint ~passes:[ Lint.Coverage ]
+      [ "CREATE TABLE t (a INT)"; stub_proc; "INSERT INTO t VALUES (1)";
+        "CALL bump(2)"; "SELECT a FROM t" ]
+  in
+  check Alcotest.int "stub flagged" 1 (count_code "UVA006" ds);
+  check
+    Alcotest.(option string)
+    "names the procedure" (Some "bump")
+    (List.hd ds).Diagnostic.obj
+
+let test_coverage_full () =
+  check Alcotest.int "no UVA006 without stubs" 0
+    (count_code "UVA006"
+       (lint ~passes:[ Lint.Coverage ]
+          [
+            "CREATE TABLE t (a INT)";
+            "CREATE PROCEDURE bump(x INT) BEGIN UPDATE t SET a = a + x; END";
+            "INSERT INTO t VALUES (1)";
+            "CALL bump(2)";
+            "SELECT a FROM t";
+          ]))
+
+let test_coverage_base_catalog () =
+  (* procedures installed before logging began are still checked *)
+  let eng = exec_history [ "CREATE TABLE t (a INT)"; stub_proc ] in
+  let base = Engine.snapshot eng in
+  Engine.reset_log eng;
+  ignore (Engine.exec_sql eng "INSERT INTO t VALUES (1)");
+  let ds = Lint.lint_log ~base ~passes:[ Lint.Coverage ] (Engine.log eng) in
+  check Alcotest.int "checkpoint procedure flagged" 1 (count_code "UVA006" ds)
+
+(* ------------------------------------------------------------------ *)
+(* UVA007–UVA010 — target validation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let target_history =
+  [
+    "CREATE TABLE parent (id INT PRIMARY KEY)";
+    "CREATE TABLE child (id INT, pid INT REFERENCES parent(id))";
+    "INSERT INTO parent VALUES (1)";
+    "INSERT INTO child VALUES (10, 1)";
+    "DROP TABLE parent";
+  ]
+
+let target_log () = Engine.log (exec_history target_history)
+
+let lint_target tau op =
+  Lint.lint_target (target_log ()) { Analyzer.tau; op }
+
+let add sql = Analyzer.Add (Uv_sql.Parser.parse_stmt sql)
+
+let test_target_clean () =
+  no_errors "valid Add target"
+    (lint_target 4 (add "INSERT INTO child VALUES (11, 1)"));
+  no_errors "Remove needs no statement checks" (lint_target 2 Analyzer.Remove)
+
+let test_target_unknown_table () =
+  let ds = lint_target 2 (add "INSERT INTO child SELECT id, id FROM orders") in
+  (* as of tau=2 neither child (created by entry 2) nor orders exists *)
+  check Alcotest.int "unknown objects flagged" 2 (count_code "UVA007" ds)
+
+let test_target_unknown_column_and_arity () =
+  let ds =
+    lint_target 4 (add "INSERT INTO child (id, parent_id) VALUES (11, 9)")
+  in
+  check Alcotest.int "unknown column" 1 (count_code "UVA008" ds);
+  let arity =
+    lint_target 4 (add "INSERT INTO child VALUES (11, 1, 9)")
+  in
+  check Alcotest.int "arity mismatch" 1 (count_code "UVA008" arity)
+
+let test_target_update_unknown_column () =
+  let ds = lint_target 5 (add "UPDATE child SET weight = 3 WHERE id = 10") in
+  check Alcotest.int "unknown assigned column" 1 (count_code "UVA008" ds)
+
+let test_target_tau_range () =
+  let ds = lint_target 99 Analyzer.Remove in
+  check Alcotest.int "tau out of range" 1 (count_code "UVA009" ds);
+  (* Add may append one past the end; Remove may not *)
+  let n = Log.length (target_log ()) in
+  no_errors "Add at n+1 is legal"
+    (Lint.lint_target (target_log ())
+       { Analyzer.tau = n + 1; op = add "SELECT id FROM child" });
+  check Alcotest.int "Remove at n+1 is not" 1
+    (count_code "UVA009"
+       (Lint.lint_target (target_log ())
+          { Analyzer.tau = n + 1; op = Analyzer.Remove }))
+
+let test_target_fk_unresolvable () =
+  let ds = lint_target 6 (add "INSERT INTO child VALUES (12, 1)") in
+  check Alcotest.int "FK to dropped parent" 1 (count_code "UVA010" ds);
+  no_errors "same statement before the drop"
+    (lint_target 5 (add "INSERT INTO child VALUES (12, 1)"))
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_report () =
+  let eng = exec_history nondet_history in
+  let bad = Log.map (fun e -> { e with Log.nondet = [] }) (Engine.log eng) in
+  let ds = Lint.lint_log ~passes:[ Lint.Nondet ] bad in
+  let json = Diagnostic.json_report ds in
+  let has = contains json in
+  check Alcotest.bool "summary errors" true (has "\"errors\": 2");
+  check Alcotest.bool "code field" true (has "\"code\": \"UVA001\"");
+  check Alcotest.bool "index field" true (has "\"index\": 2");
+  check Alcotest.bool "escapes quotes" true
+    (has "\"severity\": \"error\"")
+
+let test_pretty_report () =
+  let ds =
+    [
+      Diagnostic.make ~index:3 ~obj:"t" ~code:"UVA002"
+        ~severity:Diagnostic.Error ~pass:"soundness" "msg";
+      Diagnostic.make ~code:"UVA009" ~severity:Diagnostic.Error ~pass:"target"
+        "range";
+    ]
+  in
+  let s = Format.asprintf "%a" Diagnostic.pp_report ds in
+  check Alcotest.bool "mentions summary" true (contains s "2 error(s)")
+
+(* ------------------------------------------------------------------ *)
+(* The five bundled workloads lint clean                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_clean (w : W.t) () =
+  let eng, _rt = W.setup ~mode:R.Transpiled w in
+  let base = Engine.snapshot eng in
+  let prng = Uv_util.Prng.create 4242 in
+  let calls = w.W.target_call :: w.W.generate prng ~scale:1 ~n:60 ~dep_rate:0.3 in
+  ignore (W.run_history _rt ~mode:R.Transpiled calls);
+  let ds = Lint.lint_log ~base (Engine.log eng) in
+  no_errors (w.W.name ^ " has no error diagnostics") ds;
+  check Alcotest.int
+    (w.W.name ^ " rwset soundness cross-check is silent")
+    0
+    (count_code "UVA002" ds)
+
+let () =
+  let wl_cases =
+    List.map
+      (fun w ->
+        Alcotest.test_case ("clean: " ^ w.W.name) `Slow (test_workload_clean w))
+      (W.all ())
+  in
+  Alcotest.run "uv_analysis"
+    [
+      ( "nondet",
+        [
+          Alcotest.test_case "clean" `Quick test_nondet_clean;
+          Alcotest.test_case "stripped log" `Quick test_nondet_stripped;
+          Alcotest.test_case "partial strip" `Quick test_nondet_partial_strip;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "clean" `Quick test_soundness_clean;
+          Alcotest.test_case "ghost write" `Quick test_soundness_ghost_write;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "ddl mid-history" `Quick
+            test_cluster_ddl_mid_history;
+          Alcotest.test_case "ddl up front" `Quick test_cluster_ddl_up_front;
+          Alcotest.test_case "trigger fan-out" `Quick
+            test_cluster_trigger_fanout;
+          Alcotest.test_case "single table quiet" `Quick
+            test_cluster_single_table_quiet;
+        ] );
+      ( "dead-write",
+        [
+          Alcotest.test_case "dead column" `Quick test_dead_write;
+          Alcotest.test_case "quiet when read" `Quick
+            test_dead_write_quiet_when_read;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "stub" `Quick test_coverage_stub;
+          Alcotest.test_case "full" `Quick test_coverage_full;
+          Alcotest.test_case "base catalog" `Quick test_coverage_base_catalog;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "clean" `Quick test_target_clean;
+          Alcotest.test_case "unknown table" `Quick test_target_unknown_table;
+          Alcotest.test_case "unknown column / arity" `Quick
+            test_target_unknown_column_and_arity;
+          Alcotest.test_case "update unknown column" `Quick
+            test_target_update_unknown_column;
+          Alcotest.test_case "tau range" `Quick test_target_tau_range;
+          Alcotest.test_case "fk unresolvable" `Quick
+            test_target_fk_unresolvable;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json" `Quick test_json_report;
+          Alcotest.test_case "pretty" `Quick test_pretty_report;
+        ] );
+      ("workloads", wl_cases);
+    ]

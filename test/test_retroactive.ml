@@ -150,6 +150,68 @@ let test_rw_transaction_union () =
   Alcotest.(check bool) "union of writes" true
     (has_w "users.age" rw && has_w "users.name" rw)
 
+let test_rw_trigger_on_update () =
+  (* triggers keyed to UPDATE fire for UPDATE only — an INSERT on the
+     same table must not inherit the body's sets *)
+  let schema =
+    [
+      users_ddl;
+      "CREATE TABLE audit (n INT)";
+      "CREATE TRIGGER tu AFTER UPDATE ON users FOR EACH ROW BEGIN UPDATE \
+       audit SET n = n + 1; END";
+    ]
+  in
+  let upd = rw_of ~schema "UPDATE users SET age = 2 WHERE id = 1" in
+  Alcotest.(check bool) "update inherits trigger write" true
+    (has_w "audit.n" upd);
+  Alcotest.(check bool) "update reads trigger schema" true
+    (has_r "_S.tu" upd);
+  let ins = rw_of ~schema "INSERT INTO users VALUES (1, 'x', 2)" in
+  Alcotest.(check bool) "insert does not fire the UPDATE trigger" false
+    (has_w "audit.n" ins)
+
+let test_rw_write_reads_through_view () =
+  (* a write statement whose source is a view reads the parent columns
+     the view projects AND the view's own filter columns *)
+  let schema =
+    [
+      users_ddl;
+      "CREATE VIEW adults AS SELECT id, name FROM users WHERE age > 17";
+      "CREATE TABLE archive (id INT, name VARCHAR(8))";
+    ]
+  in
+  let rw = rw_of ~schema "INSERT INTO archive SELECT id, name FROM adults" in
+  Alcotest.(check bool) "reads parent projection" true (has_r "users.id" rw);
+  Alcotest.(check bool) "reads view filter column" true (has_r "users.age" rw);
+  Alcotest.(check bool) "reads view schema" true (has_r "_S.adults" rw);
+  Alcotest.(check bool) "writes the target, not the parent" true
+    (has_w "archive.id" rw && not (has_w "users.id" rw))
+
+let test_rw_insert_explicit_ai_still_reads_pk () =
+  (* an explicit AUTO_INCREMENT value still bumps the counter, so the
+     dependency on the PK column remains even without a fill *)
+  let schema = [ "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)" ] in
+  let rw = rw_of ~schema "INSERT INTO t (id, v) VALUES (7, 1)" in
+  Alcotest.(check bool) "explicit value still reads pk" true (has_r "t.id" rw);
+  let isel = rw_of ~schema "INSERT INTO t SELECT v + 1, v FROM t" in
+  Alcotest.(check bool) "insert-select reads pk too" true (has_r "t.id" isel)
+
+let test_rw_fk_write_inheritance_on_delete () =
+  (* deleting referenced rows cascades a write onto the referencing FK
+     columns — but only in the parent-to-child direction *)
+  let schema =
+    [ users_ddl; "CREATE TABLE orders (oid INT, uid INT REFERENCES users(id))" ]
+  in
+  let del = rw_of ~schema "DELETE FROM users WHERE id = 1" in
+  Alcotest.(check bool) "delete writes referencing fk column" true
+    (has_w "orders.uid" del);
+  Alcotest.(check bool) "delete writes own columns" true (has_w "users.id" del);
+  let child = rw_of ~schema "DELETE FROM orders WHERE oid = 1" in
+  Alcotest.(check bool) "child delete does not write the parent" false
+    (has_w "users.id" child);
+  Alcotest.(check bool) "child delete reads the referenced column" true
+    (has_r "users.id" child)
+
 (* ------------------------------------------------------------------ *)
 (* Row-wise policy (Table B) — via the analyzer on small histories      *)
 (* ------------------------------------------------------------------ *)
@@ -1103,6 +1165,13 @@ let () =
           Alcotest.test_case "view expansion" `Quick test_rw_view_expansion;
           Alcotest.test_case "trigger inherited" `Quick test_rw_trigger_inherited;
           Alcotest.test_case "transaction union" `Quick test_rw_transaction_union;
+          Alcotest.test_case "trigger on update" `Quick test_rw_trigger_on_update;
+          Alcotest.test_case "write reads through view" `Quick
+            test_rw_write_reads_through_view;
+          Alcotest.test_case "explicit ai reads pk" `Quick
+            test_rw_insert_explicit_ai_still_reads_pk;
+          Alcotest.test_case "fk write inheritance on delete" `Quick
+            test_rw_fk_write_inheritance_on_delete;
         ] );
       ( "row-wise (Table B)",
         [
