@@ -104,7 +104,7 @@ let run_dep ?(hash_jumper = false) ?(workers = 8) ~grouped (b : built) : cost =
   let analyzer =
     Analyzer.analyze ~config:b.workload.W.ri_config ~base:b.base (Engine.log b.eng)
   in
-  let config = { Whatif.default_config with Whatif.grouped; hash_jumper; workers } in
+  let config = Whatif.Config.make ~grouped ~hash_jumper ~workers () in
   let out =
     Whatif.run ~config ~analyzer b.eng { Analyzer.tau = 1; op = Analyzer.Remove }
   in
@@ -112,7 +112,7 @@ let run_dep ?(hash_jumper = false) ?(workers = 8) ~grouped (b : built) : cost =
     real = out.Whatif.real_ms;
     (* the parallel makespan already includes one round trip per replayed
        statement *)
-    with_rtt = out.Whatif.analysis_ms +. out.Whatif.parallel_cost_ms;
+    with_rtt = out.Whatif.analysis_ms +. out.Whatif.simulated_parallel_ms;
     replayed = out.Whatif.replayed;
     extra =
       (match out.Whatif.hash_jump_at with
@@ -188,7 +188,7 @@ let run_numeric_pair (w : W.t) ~n ~dep_rate =
       (* T+D: dependency-analysed what-if *)
       let analyzer = Analyzer.analyze (Engine.log eng) in
       let out = Whatif.run ~analyzer eng { Analyzer.tau; op = Analyzer.Remove } in
-      let td = out.Whatif.analysis_ms +. out.Whatif.parallel_cost_ms in
+      let td = out.Whatif.analysis_ms +. out.Whatif.simulated_parallel_ms in
       (* B: replay everything from tau on a snapshot *)
       let snap = Engine.snapshot eng in
       let replay_eng = Engine.of_catalog ~rtt_ms (Catalog.snapshot snap) in

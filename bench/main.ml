@@ -212,7 +212,7 @@ let bench_t6a () =
           let analyzer =
             Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng)
           in
-          let config = { Whatif.default_config with Whatif.hash_jumper = true } in
+          let config = Whatif.Config.make ~hash_jumper:true () in
           let target =
             {
               Analyzer.tau = 1;
@@ -227,7 +227,7 @@ let bench_t6a () =
             !row
             @ [
                 Printf.sprintf "%s%s"
-                  (fmt (out.Whatif.analysis_ms +. out.Whatif.parallel_cost_ms))
+                  (fmt (out.Whatif.analysis_ms +. out.Whatif.simulated_parallel_ms))
                   note;
               ])
         points;
@@ -580,6 +580,76 @@ let bench_abl_parallel () =
     (workloads ());
   G.print t
 
+let bench_exec_parallel () =
+  (* the wave executor on real domains, not the simulated makespan: the
+     same what-if runs at each worker count; wall times must shrink while
+     the final universe hash stays bitwise identical. Measured speedup is
+     bounded by min(host cores, DAG parallelism) — on a single-core host
+     extra domains only add minor-GC barrier latency, so the speedup
+     column is expected to collapse there while hashes must still agree. *)
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "host parallelism: %d core%s — speedup@4 meaningful only when >= 4\n"
+    cores
+    (if cores = 1 then "" else "s");
+  let n = sz 1500 300 in
+  let scale = sz 8 4 in
+  let dep_rate = if !quick then 0.05 else 0.02 in
+  let t =
+    G.create
+      ~title:"Measured parallel replay: wave executor wall time vs workers"
+      ~header:
+        [ "Bench"; "members"; "1 worker"; "2"; "4"; "8"; "speedup@4"; "hash" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let b = S.build ~scale ~mode:R.Transpiled ~n ~dep_rate w in
+      let analyzer =
+        Analyzer.analyze ~config:w.W.ri_config ~base:b.S.base (Engine.log b.S.eng)
+      in
+      let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
+      let run workers =
+        Whatif.run
+          ~config:(Whatif.Config.make ~workers ())
+          ~analyzer b.S.eng target
+      in
+      let best workers =
+        (* wall times are noisy at this scale: best of three *)
+        let outs = List.init 3 (fun _ -> run workers) in
+        let ms =
+          List.fold_left
+            (fun acc o ->
+              match o.Whatif.measured_parallel_ms with
+              | Some m -> min acc m
+              | None -> acc)
+            infinity outs
+        in
+        (List.hd outs, ms)
+      in
+      let o1, ms1 = best 1 in
+      let _, ms2 = best 2 in
+      let o4, ms4 = best 4 in
+      let o8, ms8 = best 8 in
+      let hash_ok =
+        o4.Whatif.final_db_hash = o1.Whatif.final_db_hash
+        && o8.Whatif.final_db_hash = o1.Whatif.final_db_hash
+      in
+      if not hash_ok then
+        failwith (w.W.name ^ ": parallel replay hash diverged across workers");
+      G.add_row t
+        [
+          w.W.name;
+          string_of_int o1.Whatif.replay.Analyzer.member_count;
+          fmt ms1;
+          fmt ms2;
+          fmt ms4;
+          fmt ms8;
+          G.fmt_speedup (ms1 /. max ms4 0.001);
+          "ok";
+        ])
+    (workloads ());
+  G.print t
+
 (* A retroactive addition whose effect no later statement can erase: an
    accumulator shift or a persisting fresh row. Every replay diverges
    permanently, so the jumper never fires and its per-member comparisons
@@ -613,7 +683,7 @@ let bench_abl_hash () =
         }
       in
       let run hj =
-        let config = { Whatif.default_config with Whatif.hash_jumper = hj } in
+        let config = Whatif.Config.make ~hash_jumper:hj () in
         Gc.compact ();
         Whatif.run ~config ~analyzer eng target
       in
@@ -855,6 +925,7 @@ let experiments =
     ("t8c", "Table 8(c): speedup vs dependency rate", bench_t8c);
     ("abl-colrow", "Ablation: analysis granularity", bench_abl_colrow);
     ("abl-parallel", "Ablation: replay parallelism", bench_abl_parallel);
+    ("exec-parallel", "Measured parallel replay (wave executor)", bench_exec_parallel);
     ("abl-hash", "Ablation: Hash-jumper overhead", bench_abl_hash);
     ("abl-index", "Ablation: hash indexes vs full scans", bench_abl_index);
     ("abl-cc", "Ablation: CC scheduling from prior R/W knowledge", bench_abl_cc);
@@ -864,21 +935,28 @@ let experiments =
 let () =
   let only = ref None in
   let list_only = ref false in
+  let smoke = ref false in
   let args =
     [
       ("--only", Arg.String (fun s -> only := Some s), "run one experiment id");
       ("--quick", Arg.Set quick, "smaller sizes for a fast pass");
+      ( "--smoke",
+        Arg.Set smoke,
+        "CI sanity pass: the measured-parallel experiment at quick sizes \
+         (fails hard on any cross-worker hash divergence)" );
       ("--list", Arg.Set list_only, "list experiment ids");
     ]
   in
   Arg.parse args (fun _ -> ()) "ultraverse benchmark harness";
+  if !smoke then quick := true;
   if !list_only then
     List.iter (fun (id, desc, _) -> Printf.printf "%-14s %s\n" id desc) experiments
   else begin
     let chosen =
-      match !only with
-      | None -> List.filter (fun (id, _, _) -> id <> "micro") experiments
-      | Some id -> List.filter (fun (i, _, _) -> i = id) experiments
+      match (!smoke, !only) with
+      | true, _ -> List.filter (fun (i, _, _) -> i = "exec-parallel") experiments
+      | false, None -> List.filter (fun (id, _, _) -> id <> "micro") experiments
+      | false, Some id -> List.filter (fun (i, _, _) -> i = id) experiments
     in
     if chosen = [] then (
       prerr_endline "unknown experiment id; use --list";

@@ -145,24 +145,73 @@ let analyze_cmd =
 (* whatif                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let whatif_cmd =
-  let run path tau op stmt_text hash_jumper query =
+  let run path tau op stmt_text hash_jumper workers serial json query =
     let eng = load_history path in
     let analyzer = Analyzer.analyze (Engine.log eng) in
     let target = { Analyzer.tau; op = parse_op op stmt_text } in
-    let config = { Whatif.default_config with Whatif.hash_jumper } in
+    let config =
+      Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial) ()
+    in
     let out = Whatif.run ~config ~analyzer eng target in
-    Printf.printf "replayed %d of %d statements (%d rolled back) in %.2f ms\n"
-      out.Whatif.replayed
-      (Log.length (Engine.log eng))
-      out.Whatif.undone out.Whatif.real_ms;
-    Printf.printf "serial cost %.2f ms, parallel (8 workers) %.2f ms\n"
-      out.Whatif.serial_cost_ms out.Whatif.parallel_cost_ms;
-    (match out.Whatif.hash_jump_at with
-    | Some i -> Printf.printf "hash-hit at commit %d: the change is effectless\n" i
-    | None -> ());
-    Printf.printf "alternate universe %s the original\n"
-      (if out.Whatif.changed then "DIFFERS from" else "equals");
+    if json then
+      print_endline
+        (Printf.sprintf
+           "{\"schema\": \"uv.whatif/1\", \"history\": \"%s\", \"tau\": %d, \
+            \"op\": \"%s\", \"replay_set\": %d, \"replayed\": %d, \"undone\": \
+            %d, \"failed_replays\": %d, \"hash_jump_at\": %s, \"analysis_ms\": \
+            %.3f, \"real_ms\": %.3f, \"serial_cost_ms\": %.3f, \
+            \"simulated_parallel_ms\": %.3f, \"measured_parallel_ms\": %s, \
+            \"workers\": %d, \"waves\": %d, \"changed\": %b, \
+            \"final_db_hash\": \"%Lx\"}"
+           (json_escape path) tau (json_escape (String.lowercase_ascii op))
+           out.Whatif.replay.Analyzer.member_count out.Whatif.replayed
+           out.Whatif.undone out.Whatif.failed_replays
+           (match out.Whatif.hash_jump_at with
+           | Some i -> string_of_int i
+           | None -> "null")
+           out.Whatif.analysis_ms out.Whatif.real_ms out.Whatif.serial_cost_ms
+           out.Whatif.simulated_parallel_ms
+           (match out.Whatif.measured_parallel_ms with
+           | Some m -> Printf.sprintf "%.3f" m
+           | None -> "null")
+           out.Whatif.workers out.Whatif.exec_waves out.Whatif.changed
+           out.Whatif.final_db_hash)
+    else begin
+      Printf.printf "replayed %d of %d statements (%d rolled back) in %.2f ms\n"
+        out.Whatif.replayed
+        (Log.length (Engine.log eng))
+        out.Whatif.undone out.Whatif.real_ms;
+      Printf.printf "serial cost %.2f ms, simulated parallel (%d workers) %.2f ms\n"
+        out.Whatif.serial_cost_ms out.Whatif.workers
+        out.Whatif.simulated_parallel_ms;
+      (match out.Whatif.measured_parallel_ms with
+      | Some m ->
+          Printf.printf "measured parallel replay %.2f ms over %d waves\n" m
+            out.Whatif.exec_waves
+      | None -> print_endline "parallel replay: serial fallback");
+      (match out.Whatif.hash_jump_at with
+      | Some i -> Printf.printf "hash-hit at commit %d: the change is effectless\n" i
+      | None -> ());
+      Printf.printf "alternate universe %s the original\n"
+        (if out.Whatif.changed then "DIFFERS from" else "equals")
+    end;
     (match query with
     | None -> ()
     | Some q -> (
@@ -194,13 +243,31 @@ let whatif_cmd =
   let hash_jumper =
     Arg.(value & flag & info [ "hash-jumper" ] ~doc:"enable early termination")
   in
+  let workers =
+    (* default to the host's available parallelism: extra domains beyond
+       the core count only add GC-barrier overhead *)
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "workers" ]
+             ~doc:
+               "parallel replay worker (domain) count (default: host \
+                parallelism)")
+  in
+  let serial =
+    Arg.(value & flag
+         & info [ "serial" ]
+             ~doc:"disable the parallel wave executor; replay serially")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the outcome as JSON")
+  in
   let query =
     Arg.(value & opt (some string) None
          & info [ "query" ] ~doc:"SELECT to run against the alternate universe")
   in
   Cmd.v
     (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
-    Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ query)
+    Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ workers
+          $ serial $ json $ query)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)

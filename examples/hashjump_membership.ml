@@ -54,7 +54,7 @@ let () =
   in
 
   let run jumper =
-    let config = { Whatif.default_config with Whatif.hash_jumper = jumper } in
+    let config = Whatif.Config.make ~hash_jumper:jumper () in
     Whatif.run ~config ~analyzer eng target
   in
   let without = run false in

@@ -29,6 +29,10 @@ type t = {
   mutable written : string list; (* table names, most recent first *)
   mutable rows_written : int;
   mutable trigger_depth : int;
+  (* parallel replay pins each statement's inserts to a private rowid
+     range: base + k for the k-th inserted row, identical at every
+     worker count *)
+  mutable rowid_alloc : (int * int ref) option;
 }
 
 let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
@@ -47,6 +51,7 @@ let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     written = [];
     rows_written = 0;
     trigger_depth = 0;
+    rowid_alloc = None;
   }
 
 let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false) () =
@@ -64,6 +69,7 @@ let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false) () =
     written = [];
     rows_written = 0;
     trigger_depth = 0;
+    rowid_alloc = None;
   }
 
 let catalog t = t.cat
@@ -99,7 +105,14 @@ let mark_written t name =
   | _ -> if not (List.mem name t.written) then t.written <- name :: t.written
 
 let j_insert t tbl row =
-  let id = Storage.insert tbl row in
+  let id =
+    match t.rowid_alloc with
+    | Some (base, k) ->
+        let id = base + !k in
+        incr k;
+        Storage.insert_at tbl id row
+    | None -> Storage.insert tbl row
+  in
   t.journal <- Log.U_row_insert (Storage.name tbl, id) :: t.journal;
   mark_written t (Storage.name tbl);
   t.rows_written <- t.rows_written + 1;
@@ -1201,15 +1214,16 @@ and exec_stmt t env (s : stmt) : result =
 (* Top-level entry points                                               *)
 (* ------------------------------------------------------------------ *)
 
-let begin_statement t nondet =
+let begin_statement ?rowid_base t nondet =
   t.journal <- [];
   t.nondet_in <- nondet;
   t.nondet_out <- [];
   t.written <- [];
-  t.rows_written <- 0
+  t.rows_written <- 0;
+  t.rowid_alloc <- Option.map (fun b -> (b, ref 0)) rowid_base
 
-let exec ?app_txn ?(nondet = []) t stmt =
-  begin_statement t nondet;
+let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
+  begin_statement ?rowid_base t nondet;
   Uv_util.Clock.charge_rtt t.clock ();
   t.sim_time <- t.sim_time + 1;
   match

@@ -3,6 +3,18 @@ open Uv_sql
 type rowid = int
 
 type t = {
+  (* Guards every access during parallel replay (Wave_exec): the wave
+     layering keeps conflicting statements in different waves, but
+     same-wave statements may still touch disjoint rows of one table,
+     and Hashtbl is not domain-safe even for disjoint keys (resizing).
+     A readers-writer lock lets the dominant cost — full-table scans
+     from unindexed predicates — run concurrently; only mutations take
+     the exclusive side. Row arrays are replaced, never mutated in
+     place, so an array obtained under the lock stays consistent after
+     release. Scan callbacks may re-enter the read side (subqueries),
+     which the reader-preferring [Rwlock] permits; they must not write
+     (the engine collects matching rows before mutating). *)
+  lock : Uv_util.Rwlock.t;
   mutable schema : Schema.table;
   rows : (rowid, Value.t array) Hashtbl.t;
   mutable next_rowid : rowid;
@@ -12,9 +24,13 @@ type t = {
   mutable indexes : (string * (string, rowid list) Hashtbl.t) list;
 }
 
+let locked t f = Uv_util.Rwlock.write t.lock f
+let reading t f = Uv_util.Rwlock.read t.lock f
+
 let create schema =
   let t =
     {
+      lock = Uv_util.Rwlock.create ();
       schema;
       rows = Hashtbl.create 64;
       next_rowid = 1;
@@ -35,18 +51,22 @@ let schema t = t.schema
 
 let name t = t.schema.Schema.tbl_name
 
-let row_count t = Hashtbl.length t.rows
+let row_count t = reading t (fun () -> Hashtbl.length t.rows)
 
-let hash t = Uv_util.Table_hash.value t.hash
+let hash t = reading t (fun () -> Uv_util.Table_hash.value t.hash)
 
-let next_auto_value t = t.next_auto
+let next_auto_value t = reading t (fun () -> t.next_auto)
 
 let take_auto_value t =
-  let v = t.next_auto in
-  t.next_auto <- v + 1;
-  v
+  locked t (fun () ->
+      let v = t.next_auto in
+      t.next_auto <- v + 1;
+      v)
 
-let bump_auto_value t v = if v >= t.next_auto then t.next_auto <- v + 1
+let bump_auto_value t v =
+  locked t (fun () -> if v >= t.next_auto then t.next_auto <- v + 1)
+
+let next_rowid t = reading t (fun () -> t.next_rowid)
 
 (* Index keys must respect SQL equality classes: Int 5, Float 5.0,
    Bool-ish 1/0 and the numeric string "5" all compare equal under
@@ -117,61 +137,84 @@ let serialize_row t row =
     row;
   Buffer.contents buf
 
-let insert t row =
-  let id = t.next_rowid in
-  t.next_rowid <- id + 1;
-  Hashtbl.replace t.rows id row;
-  Uv_util.Table_hash.add_row t.hash (serialize_row t row);
-  index_add t row id;
-  id
-
-let insert_with_rowid t id row =
+let insert_unlocked t id row =
   Hashtbl.replace t.rows id row;
   if id >= t.next_rowid then t.next_rowid <- id + 1;
   Uv_util.Table_hash.add_row t.hash (serialize_row t row);
   index_add t row id
 
+let insert t row =
+  locked t (fun () ->
+      let id = t.next_rowid in
+      insert_unlocked t id row;
+      id)
+
+let insert_with_rowid t id row = locked t (fun () -> insert_unlocked t id row)
+
+let insert_at t id row =
+  locked t (fun () ->
+      if Hashtbl.mem t.rows id then
+        invalid_arg "Storage.insert_at: rowid already in use";
+      insert_unlocked t id row;
+      id)
+
 let delete t id =
-  match Hashtbl.find_opt t.rows id with
-  | None -> raise Not_found
-  | Some row ->
-      Hashtbl.remove t.rows id;
-      Uv_util.Table_hash.remove_row t.hash (serialize_row t row);
-      index_remove t row id;
-      row
+  locked t (fun () ->
+      match Hashtbl.find_opt t.rows id with
+      | None -> raise Not_found
+      | Some row ->
+          Hashtbl.remove t.rows id;
+          Uv_util.Table_hash.remove_row t.hash (serialize_row t row);
+          index_remove t row id;
+          row)
 
 let update t id row =
-  match Hashtbl.find_opt t.rows id with
-  | None -> raise Not_found
-  | Some before ->
-      Uv_util.Table_hash.remove_row t.hash (serialize_row t before);
-      Hashtbl.replace t.rows id row;
-      Uv_util.Table_hash.add_row t.hash (serialize_row t row);
-      index_remove t before id;
-      index_add t row id;
-      before
+  locked t (fun () ->
+      match Hashtbl.find_opt t.rows id with
+      | None -> raise Not_found
+      | Some before ->
+          Uv_util.Table_hash.remove_row t.hash (serialize_row t before);
+          Hashtbl.replace t.rows id row;
+          Uv_util.Table_hash.add_row t.hash (serialize_row t row);
+          index_remove t before id;
+          index_add t row id;
+          before)
 
-let get t id = Hashtbl.find_opt t.rows id
+let get t id = reading t (fun () -> Hashtbl.find_opt t.rows id)
 
-let iter t f = Hashtbl.iter (fun id row -> f id row) t.rows
+(* iter/fold run the callbacks under the shared read side with no
+   intermediate allocation: the callbacks are pure reads (they may
+   re-enter the read lock for subqueries, which [Rwlock] allows, but
+   they never mutate mid-scan — the engine collects matching rows
+   before applying changes). to_rows keeps snapshot semantics because
+   callers mutate the table while consuming the returned list. *)
+let iter t f = reading t (fun () -> Hashtbl.iter (fun id row -> f id row) t.rows)
 
-let fold t ~init ~f = Hashtbl.fold (fun id row acc -> f acc id row) t.rows init
+let fold t ~init ~f =
+  reading t (fun () ->
+      Hashtbl.fold (fun id row acc -> f acc id row) t.rows init)
+
+let snapshot_rows t =
+  reading t (fun () ->
+      Hashtbl.fold (fun id row acc -> (id, row) :: acc) t.rows [])
 
 let to_rows t =
-  let all = Hashtbl.fold (fun id row acc -> (id, row) :: acc) t.rows [] in
-  List.sort (fun (a, _) (b, _) -> compare a b) all
+  List.sort (fun (a, _) (b, _) -> compare a b) (snapshot_rows t)
 
 let copy t =
-  {
-    schema = t.schema;
-    rows = Hashtbl.copy t.rows;
-    next_rowid = t.next_rowid;
-    next_auto = t.next_auto;
-    hash = Uv_util.Table_hash.copy t.hash;
-    indexes = List.map (fun (c, tbl) -> (c, Hashtbl.copy tbl)) t.indexes;
-  }
+  reading t (fun () ->
+      {
+        lock = Uv_util.Rwlock.create ();
+        schema = t.schema;
+        rows = Hashtbl.copy t.rows;
+        next_rowid = t.next_rowid;
+        next_auto = t.next_auto;
+        hash = Uv_util.Table_hash.copy t.hash;
+        indexes = List.map (fun (c, tbl) -> (c, Hashtbl.copy tbl)) t.indexes;
+      })
 
 let set_schema t schema remap =
+  locked t @@ fun () ->
   let fresh = Uv_util.Table_hash.create () in
   let updates = Hashtbl.fold (fun id row acc -> (id, remap row) :: acc) t.rows [] in
   t.schema <- schema;
@@ -194,6 +237,7 @@ let set_schema t schema remap =
   t.hash <- fresh
 
 let create_value_index t col =
+  locked t @@ fun () ->
   if not (List.mem_assoc col t.indexes) then begin
     let tbl = Hashtbl.create 64 in
     t.indexes <- (col, tbl) :: t.indexes;
@@ -217,11 +261,13 @@ let create_value_index t col =
   end
 
 let indexed_lookup t col v =
-  match List.assoc_opt col t.indexes with
-  | None -> None
-  | Some tbl -> Some (Option.value (Hashtbl.find_opt tbl (index_key v)) ~default:[])
+  reading t (fun () ->
+      match List.assoc_opt col t.indexes with
+      | None -> None
+      | Some tbl ->
+          Some (Option.value (Hashtbl.find_opt tbl (index_key v)) ~default:[]))
 
-let indexed_columns t = List.map fst t.indexes
+let indexed_columns t = reading t (fun () -> List.map fst t.indexes)
 
 let column_index t col =
   let rec find i = function

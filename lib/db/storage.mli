@@ -3,7 +3,18 @@
     Rows are value arrays in schema column order, keyed by an internal
     rowid. Every mutation keeps the table's incremental hash (§4.5) in
     sync: inserts add the row digest, deletes subtract it, updates do
-    both — so reading the hash is O(1) at any commit point. *)
+    both — so reading the hash is O(1) at any commit point.
+
+    Thread safety: every operation holds an internal per-table
+    readers-writer lock — reads (scans, lookups, hash) share it, while
+    mutations are exclusive — so statements touching disjoint tables, or
+    disjoint rows of one table as scheduled by the wave executor, may
+    run on concurrent domains, and concurrent full-table scans proceed
+    in parallel. [iter]/[fold] run their callbacks under the read side:
+    callbacks may re-enter reads (subqueries) but must not mutate the
+    table mid-scan. Row arrays are replaced on update, never mutated in
+    place, so rows obtained under the lock stay consistent after it is
+    released. *)
 
 open Uv_sql
 
@@ -37,6 +48,14 @@ val insert : t -> Value.t array -> rowid
 
 val insert_with_rowid : t -> rowid -> Value.t array -> unit
 (** Re-insert a row under a known rowid (undo of a delete). *)
+
+val insert_at : t -> rowid -> Value.t array -> rowid
+(** Insert under an explicit fresh rowid, raising [Invalid_argument] if
+    the rowid is taken. Parallel replay pins each statement to a private
+    rowid range so allocation is deterministic at every worker count. *)
+
+val next_rowid : t -> rowid
+(** The rowid the next plain [insert] would use. *)
 
 val delete : t -> rowid -> Value.t array
 (** Remove a row; returns the removed image. Raises [Not_found]. *)

@@ -658,6 +658,27 @@ let explain_report ?mode ?grouped t (target : target) =
 (* Scheduler edges                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* value tokens of an entry for one table, over the first RI dimension:
+   concrete canonicalized values, or ["*"] for a wildcard access *)
+let entry_row_tokens t (inf : info) table ~write =
+  match List.assoc_opt table inf.rows with
+  | Some access when Array.length access > 0 -> (
+      let rs = if write then access.(0).Rowset.dw else access.(0).Rowset.dr in
+      match rs with
+      | Rowset.Any -> [ "*" ]
+      | Rowset.Vals s ->
+          if Rowset.Vset.is_empty s then []
+          else
+            let dim0 =
+              match List.assoc_opt table t.config.Rowset.ri_columns with
+              | Some (d :: _) -> d
+              | _ -> "#0"
+            in
+            Rowset.Vset.fold
+              (fun v acc -> Rowset.canonical t.row_state table dim0 v :: acc)
+              s [])
+  | _ -> [ "*" ]
+
 let dependency_edges t ~members =
   (* Conflict edges at cell granularity: accesses are bucketed by
      (column, first-RI-dimension value), so row-disjoint chains stay
@@ -695,26 +716,7 @@ let dependency_edges t ~members =
     | Some i -> String.sub c 0 i
     | None -> c
   in
-  (* value tokens of an entry for the table a column belongs to *)
-  let tokens_for inf table ~write =
-    match List.assoc_opt table inf.rows with
-    | Some access when Array.length access > 0 -> (
-        let rs = if write then access.(0).Rowset.dw else access.(0).Rowset.dr in
-        match rs with
-        | Rowset.Any -> [ "*" ]
-        | Rowset.Vals s ->
-            if Rowset.Vset.is_empty s then []
-            else
-              let dim0 =
-                match List.assoc_opt table t.config.Rowset.ri_columns with
-                | Some (d :: _) -> d
-                | _ -> "#0"
-              in
-              Rowset.Vset.fold
-                (fun v acc -> Rowset.canonical t.row_state table dim0 v :: acc)
-                s [])
-    | _ -> [ "*" ]
-  in
+  let tokens_for inf table ~write = entry_row_tokens t inf table ~write in
   Array.iter
     (fun inf ->
       if members.(inf.index - 1) then begin
@@ -766,6 +768,91 @@ let dependency_edges t ~members =
       end)
     t.infos;
   List.sort_uniq compare !edges
+
+(* Write-write edges between members writing overlapping rows of one
+   table, regardless of which columns they assign. [dependency_edges]
+   works per column, so two updates hitting *different columns of the
+   same row* are invisible to it — harmless for the simulated makespan,
+   but fatal for real parallel execution, where [Storage.update]
+   replaces the whole row array and the later commit must see the
+   earlier one's cells. Chains collapse to last-writer edges; wave
+   layering restores transitivity. *)
+let write_write_table_edges t ~members =
+  let edges = ref [] in
+  let last_writer : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let toks_of_table : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let note_tok table v =
+    let l =
+      match Hashtbl.find_opt toks_of_table table with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace toks_of_table table l;
+          l
+    in
+    if not (List.mem v !l) then l := v :: !l
+  in
+  let write_tables (rw : Rwset.rw) =
+    Rwset.Colset.fold
+      (fun key acc ->
+        if is_schema_key key then acc
+        else
+          match String.index_opt key '.' with
+          | Some i -> String.sub key 0 i :: acc
+          | None -> acc)
+      rw.Rwset.w []
+    |> List.sort_uniq compare
+  in
+  Array.iter
+    (fun inf ->
+      if members.(inf.index - 1) then begin
+        let i = inf.index in
+        List.iter
+          (fun table ->
+            let toks = entry_row_tokens t inf table ~write:true in
+            let edge_to j = if j <> i then edges := (i, j) :: !edges in
+            List.iter
+              (fun v ->
+                if v = "*" then (
+                  match Hashtbl.find_opt toks_of_table table with
+                  | Some all ->
+                      List.iter
+                        (fun v' ->
+                          Option.iter edge_to
+                            (Hashtbl.find_opt last_writer (table, v')))
+                        !all
+                  | None -> ())
+                else begin
+                  Option.iter edge_to (Hashtbl.find_opt last_writer (table, v));
+                  Option.iter edge_to (Hashtbl.find_opt last_writer (table, "*"))
+                end)
+              toks;
+            List.iter
+              (fun v ->
+                if v = "*" then begin
+                  (* a wildcard write is now the last writer of every row *)
+                  (match Hashtbl.find_opt toks_of_table table with
+                  | Some all ->
+                      List.iter
+                        (fun v' -> Hashtbl.replace last_writer (table, v') i)
+                        !all
+                  | None -> ());
+                  note_tok table "*";
+                  Hashtbl.replace last_writer (table, "*") i
+                end
+                else begin
+                  note_tok table v;
+                  Hashtbl.replace last_writer (table, v) i
+                end)
+              toks)
+          (write_tables inf.rw)
+      end)
+    t.infos;
+  List.sort_uniq compare !edges
+
+let exec_dependency_edges t ~members =
+  List.sort_uniq compare
+    (dependency_edges t ~members @ write_write_table_edges t ~members)
 
 let to_dot t ~members =
   let buf = Buffer.create 1024 in

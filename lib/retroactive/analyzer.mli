@@ -114,6 +114,13 @@ val dependency_edges : t -> members:bool array -> (int * int) list
 (** Conflict edges (n, m) with m < n among 𝕀 members, for the replay
     scheduler: n must run after m. *)
 
+val exec_dependency_edges : t -> members:bool array -> (int * int) list
+(** [dependency_edges] strengthened for *real* parallel execution:
+    additionally orders any two members that write overlapping rows of
+    one table, even through disjoint columns — whole-row storage updates
+    make such writes physically conflicting although the cell-wise model
+    keeps them independent. Superset of [dependency_edges]. *)
+
 val tables_of_rw : Rwset.rw -> string list
 (** Real tables (not [_S] objects) appearing in a column set. *)
 

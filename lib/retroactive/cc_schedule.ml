@@ -48,26 +48,21 @@ let plan ?(config = Rowset.default_config) ~base stmts =
   in
   let arr = Array.of_list infos in
   let n = Array.length arr in
-  let wave_of = Array.make n 0 in
-  let edges = ref 0 in
+  let edges = ref [] in
   for i = 0 to n - 1 do
     let a_rw, a_rows = arr.(i) in
-    let min_wave = ref 0 in
     for j = 0 to i - 1 do
       let b_rw, b_rows = arr.(j) in
-      if conflicts row_state b_rw b_rows a_rw a_rows then begin
-        incr edges;
-        if wave_of.(j) + 1 > !min_wave then min_wave := wave_of.(j) + 1
-      end
-    done;
-    wave_of.(i) <- !min_wave
+      if conflicts row_state b_rw b_rows a_rw a_rows then
+        edges := (i, j) :: !edges
+    done
   done;
-  let max_wave = Array.fold_left max 0 wave_of in
-  let waves =
-    List.init (if n = 0 then 0 else max_wave + 1) (fun w ->
-        List.filteri (fun i _ -> wave_of.(i) = w) (List.init n Fun.id))
-  in
-  { waves; conflict_edges = !edges; statements = n }
+  let dag = Conflict_dag.build ~nodes:(List.init n Fun.id) ~edges:!edges in
+  {
+    waves = Conflict_dag.waves dag;
+    conflict_edges = Conflict_dag.edge_count dag;
+    statements = n;
+  }
 
 let wave_count p = List.length p.waves
 

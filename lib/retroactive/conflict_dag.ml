@@ -1,0 +1,56 @@
+type edge = int * int
+
+type t = {
+  nodes : int array; (* ascending node ids; position = dense index *)
+  dag : Uv_util.Dag.t; (* edges point later -> earlier (dependencies) *)
+}
+
+let build ~nodes ~edges =
+  let nodes = Array.of_list nodes in
+  let pos = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun p id -> Hashtbl.replace pos id p) nodes;
+  let dag = Uv_util.Dag.create (Array.length nodes) in
+  List.iter
+    (fun (later, earlier) ->
+      match (Hashtbl.find_opt pos later, Hashtbl.find_opt pos earlier) with
+      | Some l, Some e when l <> e -> Uv_util.Dag.add_edge dag l e
+      | _ -> ())
+    edges;
+  { nodes; dag }
+
+let node_count t = Array.length t.nodes
+
+let edge_count t = Uv_util.Dag.edge_count t.dag
+
+let waves t =
+  let n = Array.length t.nodes in
+  if n = 0 then []
+  else begin
+    (* edges point backwards, so a forward scan sees every dependency's
+       wave before its dependents *)
+    let wave_of = Array.make n 0 in
+    for p = 0 to n - 1 do
+      List.iter
+        (fun dep ->
+          if wave_of.(dep) + 1 > wave_of.(p) then wave_of.(p) <- wave_of.(dep) + 1)
+        (Uv_util.Dag.successors t.dag p)
+    done;
+    let max_wave = Array.fold_left max 0 wave_of in
+    let buckets = Array.make (max_wave + 1) [] in
+    for p = n - 1 downto 0 do
+      buckets.(wave_of.(p)) <- t.nodes.(p) :: buckets.(wave_of.(p))
+    done;
+    Array.to_list buckets
+  end
+
+let wave_count t = List.length (waves t)
+
+let parallelism t =
+  let w = wave_count t in
+  if w = 0 then 1.0 else float_of_int (node_count t) /. float_of_int w
+
+let makespan t ~weight ~workers =
+  if Array.length t.nodes = 0 then 0.0
+  else
+    let weights = Array.map weight t.nodes in
+    Uv_util.Dag.critical_path_makespan t.dag ~weights ~workers

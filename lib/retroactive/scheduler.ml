@@ -1,19 +1,11 @@
+(* Thin wrapper: the DAG construction and list scheduling live in
+   Conflict_dag, shared with Cc_schedule and Wave_exec. *)
+
 let makespan ~entries ~edges ~weight ~workers =
   match entries with
   | [] -> 0.0
   | _ ->
-      let ids = Hashtbl.create (List.length entries) in
-      List.iteri (fun pos i -> Hashtbl.replace ids i pos) entries;
-      let dag = Uv_util.Dag.create (List.length entries) in
-      List.iter
-        (fun (later, earlier) ->
-          match (Hashtbl.find_opt ids later, Hashtbl.find_opt ids earlier) with
-          | Some l, Some e -> Uv_util.Dag.add_edge dag l e
-          | _ -> ())
-        edges;
-      let weights =
-        Array.of_list (List.map weight entries)
-      in
-      Uv_util.Dag.critical_path_makespan dag ~weights ~workers
+      let dag = Conflict_dag.build ~nodes:entries ~edges in
+      Conflict_dag.makespan dag ~weight ~workers
 
 let speedup ~serial ~parallel = if parallel <= 0.0 then 1.0 else serial /. parallel

@@ -1,0 +1,212 @@
+type item = {
+  idx : int;
+  stmt : Uv_sql.Ast.stmt;
+  nondet : Uv_sql.Value.t list;
+  app_txn : string option;
+  sim_time : int;
+  rowid_base : int;
+  structural : bool;
+}
+
+type t = {
+  durations : (int, float) Hashtbl.t;
+  entries : (int, Uv_db.Log.entry) Hashtbl.t;
+  failed : int;
+  wave_count : int;
+  measured_ms : float;
+}
+
+(* One replayed statement runs on its own lightweight engine sharing the
+   temporary catalog by reference: per-statement state (journal, nondet
+   cursor, PRNG, log) stays domain-local, while table data goes through
+   the locked Storage layer. The seed depends only on the commit index,
+   so any fresh draws past the recorded list are schedule-independent. *)
+let run_item ~rtt_ms catalog it =
+  let eng =
+    Uv_db.Engine.of_catalog ~seed:((1_000_003 * it.idx) + 7) ~rtt_ms catalog
+  in
+  Uv_db.Engine.set_sim_time eng it.sim_time;
+  let t0 = Uv_util.Clock.now_ms () in
+  let ok =
+    try
+      ignore
+        (Uv_db.Engine.exec ?app_txn:it.app_txn ~nondet:it.nondet
+           ~rowid_base:it.rowid_base eng it.stmt);
+      true
+    with Uv_db.Engine.Sql_error _ | Uv_db.Engine.Signal_raised _ -> false
+  in
+  let d = Uv_util.Clock.now_ms () -. t0 in
+  let entry =
+    if ok && Uv_db.Log.length (Uv_db.Engine.log eng) >= 1 then
+      Some (Uv_db.Log.entry (Uv_db.Engine.log eng) 1)
+    else None
+  in
+  (d, entry)
+
+(* Row operations of one entry on one table, in execution order. *)
+let row_ops_for table undo =
+  List.filter
+    (function
+      | Uv_db.Log.U_row_insert (t, _)
+      | Uv_db.Log.U_row_delete (t, _, _)
+      | Uv_db.Log.U_row_update (t, _, _, _) ->
+          String.equal t table
+      | _ -> false)
+    (List.rev undo)
+
+(* Exact hash delta of one statement on one table, from its journal.
+   Inserted images are not journalled; they are recovered from the next
+   same-rowid operation's before-image, or — for rows the statement left
+   untouched afterwards — from live storage. This is sound because the
+   wave layering guarantees no *other* statement of the same wave touches
+   the row before the delta is taken at wave end. *)
+let delta_of storage ops =
+  let th = Uv_util.Table_hash.create () in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  for k = 0 to n - 1 do
+    match arr.(k) with
+    | Uv_db.Log.U_row_update (_, _, before, after) ->
+        Uv_util.Table_hash.remove_row th (Uv_db.Storage.serialize_row storage before);
+        Uv_util.Table_hash.add_row th (Uv_db.Storage.serialize_row storage after)
+    | Uv_db.Log.U_row_delete (_, _, row) ->
+        Uv_util.Table_hash.remove_row th (Uv_db.Storage.serialize_row storage row)
+    | Uv_db.Log.U_row_insert (_, id) ->
+        let image =
+          let rec next j =
+            if j >= n then None
+            else
+              match arr.(j) with
+              | Uv_db.Log.U_row_update (_, id', before, _) when id' = id ->
+                  Some before
+              | Uv_db.Log.U_row_delete (_, id', row) when id' = id -> Some row
+              | _ -> next (j + 1)
+          in
+          match next (k + 1) with
+          | Some img -> img
+          | None -> (
+              match Uv_db.Storage.get storage id with
+              | Some r -> r
+              | None -> [||])
+        in
+        Uv_util.Table_hash.add_row th (Uv_db.Storage.serialize_row storage image)
+    | _ -> ()
+  done;
+  Uv_util.Table_hash.value th
+
+let execute ~workers ~rtt_ms ~catalog ~head ~items ~edges =
+  let t0 = Uv_util.Clock.now_ms () in
+  let durations = Hashtbl.create 64 in
+  let raw : (int, Uv_db.Log.entry) Hashtbl.t = Hashtbl.create 64 in
+  let deltas : (int * string, int64) Hashtbl.t = Hashtbl.create 64 in
+  let failed = ref 0 in
+  let subwaves = ref 0 in
+  (* table hashes at replay start: the base the commit-order restamping
+     accumulates from *)
+  let base =
+    List.map (fun (name, st) -> (name, Uv_db.Storage.hash st))
+      (Uv_db.Catalog.tables catalog)
+  in
+  let finish_item it (d, entry_opt) =
+    Hashtbl.replace durations it.idx d;
+    match entry_opt with
+    | Some e -> Hashtbl.replace raw it.idx e
+    | None -> incr failed
+  in
+  (* Deltas are taken at the end of the wave that ran the items — before
+     any later wave can rewrite the rows the journals refer to. *)
+  let compute_deltas its =
+    List.iter
+      (fun it ->
+        match Hashtbl.find_opt raw it.idx with
+        | None -> ()
+        | Some e ->
+            List.iter
+              (fun (tname, _) ->
+                match Uv_db.Catalog.table catalog tname with
+                | None -> ()
+                | Some st ->
+                    Hashtbl.replace deltas (it.idx, tname)
+                      (delta_of st (row_ops_for tname e.Uv_db.Log.undo)))
+              e.Uv_db.Log.written_hashes)
+      its
+  in
+  let pool = Uv_util.Domain_pool.create ~workers in
+  Fun.protect ~finally:(fun () -> Uv_util.Domain_pool.shutdown pool)
+  @@ fun () ->
+  let run_batch batch =
+    match batch with
+    | [] -> ()
+    | [ it ] ->
+        incr subwaves;
+        finish_item it (run_item ~rtt_ms catalog it);
+        compute_deltas batch
+    | _ ->
+        incr subwaves;
+        let arr = Array.of_list batch in
+        let results = Array.make (Array.length arr) (0.0, None) in
+        Uv_util.Domain_pool.run pool ~count:(Array.length arr) (fun i ->
+            results.(i) <- run_item ~rtt_ms catalog arr.(i));
+        Array.iteri (fun i it -> finish_item it results.(i)) arr;
+        compute_deltas batch
+  in
+  (match head with Some h -> run_batch [ h ] | None -> ());
+  let dag =
+    Conflict_dag.build ~nodes:(List.map (fun it -> it.idx) items) ~edges
+  in
+  let by_idx = Hashtbl.create 64 in
+  List.iter (fun it -> Hashtbl.replace by_idx it.idx it) items;
+  List.iter
+    (fun wave ->
+      (* structural items break the wave into parallel batches and run
+         exclusively in between, preserving commit order within the wave *)
+      let batch = ref [] in
+      let flush () =
+        run_batch (List.rev !batch);
+        batch := []
+      in
+      List.iter
+        (fun idx ->
+          let it = Hashtbl.find by_idx idx in
+          if it.structural then begin
+            flush ();
+            run_batch [ it ]
+          end
+          else batch := it :: !batch)
+        wave;
+      flush ())
+    (Conflict_dag.waves dag);
+  (* Restamp written_hashes in global commit order so each entry logs the
+     hash its table had right after it committed — bit-identical to a
+     serial replay, and therefore safe for the Hash-jumper to consume on
+     branched universes. *)
+  let running = Hashtbl.create 16 in
+  List.iter (fun (n, h) -> Hashtbl.replace running n h) base;
+  let stamped = Hashtbl.create 64 in
+  let all_idxs =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) raw [])
+  in
+  List.iter
+    (fun idx ->
+      let e = Hashtbl.find raw idx in
+      let wh =
+        List.map
+          (fun (n, h) ->
+            match Hashtbl.find_opt deltas (idx, n) with
+            | None -> (n, h)
+            | Some d ->
+                let cur = Option.value (Hashtbl.find_opt running n) ~default:0L in
+                let v = Uv_util.Table_hash.add_mod cur d in
+                Hashtbl.replace running n v;
+                (n, v))
+          e.Uv_db.Log.written_hashes
+      in
+      Hashtbl.replace stamped idx { e with Uv_db.Log.written_hashes = wh })
+    all_idxs;
+  {
+    durations;
+    entries = stamped;
+    failed = !failed;
+    wave_count = !subwaves;
+    measured_ms = Uv_util.Clock.now_ms () -. t0;
+  }

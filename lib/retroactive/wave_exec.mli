@@ -1,0 +1,57 @@
+(** Real parallel replay: waves of the conflict DAG on OCaml 5 domains.
+
+    Where {!Scheduler} *simulates* the parallel replay cost, this module
+    executes it. The replay set's conflict DAG ({!Conflict_dag}, over
+    [Analyzer.exec_dependency_edges]) is layered into waves; the entries
+    of one wave are mutually conflict-free and run concurrently on a
+    fixed {!Uv_util.Domain_pool}, each on a lightweight engine sharing
+    the temporary universe's catalog by reference. Per-table locking in
+    [Uv_db.Storage] serializes physical access; statements marked
+    {e structural} (trigger-cascade writers — DDL never reaches this
+    module, the driver falls back to serial replay for it) run alone
+    between the parallel batches of their wave.
+
+    Determinism at every worker count:
+    - recorded non-determinism is forced per entry, exactly as in serial
+      replay;
+    - each statement draws rowids from a private range ([rowid_base]),
+      so physical row placement does not depend on scheduling;
+    - each entry's logged [written_hashes] are reconstructed after the
+      run from per-statement hash deltas accumulated in commit order —
+      bit-identical to what serial replay would have logged;
+    - the additive table hash (§4.5) is order-independent, so the final
+      universe hash is invariant under intra-wave scheduling. *)
+
+type item = {
+  idx : int;  (** commit index; the retroactive operation itself is 0 *)
+  stmt : Uv_sql.Ast.stmt;
+  nondet : Uv_sql.Value.t list;  (** recorded draws, forced on replay *)
+  app_txn : string option;
+  sim_time : int;  (** logical clock to install before execution *)
+  rowid_base : int;  (** private rowid range for the statement's inserts *)
+  structural : bool;  (** run exclusively (trigger-firing writes) *)
+}
+
+type t = {
+  durations : (int, float) Hashtbl.t;  (** idx -> measured ms *)
+  entries : (int, Uv_db.Log.entry) Hashtbl.t;
+      (** idx -> the re-executed entry (successful replays only),
+          [written_hashes] already restamped to serial-exact values *)
+  failed : int;  (** replays that signalled or errored *)
+  wave_count : int;  (** executed batches, structural singletons included *)
+  measured_ms : float;  (** wall time of the whole replay *)
+}
+
+val execute :
+  workers:int ->
+  rtt_ms:float ->
+  catalog:Uv_db.Catalog.t ->
+  head:item option ->
+  items:item list ->
+  edges:(int * int) list ->
+  t
+(** [execute ~workers ~rtt_ms ~catalog ~head ~items ~edges] replays
+    [head] (the retroactive operation) exclusively first, then [items]
+    (ascending [idx]) wave by wave. [edges] are [(later, earlier)]
+    conflicts among the items' indexes; items must not contain DDL.
+    The catalog is mutated in place. *)

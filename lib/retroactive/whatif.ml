@@ -1,13 +1,27 @@
+module Config = struct
+  type t = {
+    mode : Analyzer.mode;
+    workers : int;
+    hash_jumper : bool;
+    grouped : bool;
+    parallel_exec : bool;
+  }
 
-type config = {
-  mode : Analyzer.mode;
-  workers : int;
-  hash_jumper : bool;
-  grouped : bool;
-}
+  let make ?(mode = Analyzer.Cell) ?(workers = 8) ?(hash_jumper = false)
+      ?(grouped = false) ?(parallel_exec = true) () =
+    { mode; workers = max 1 workers; hash_jumper; grouped; parallel_exec }
 
-let default_config =
-  { mode = Analyzer.Cell; workers = 8; hash_jumper = false; grouped = false }
+  let default = make ()
+  let mode c = c.mode
+  let workers c = c.workers
+  let hash_jumper c = c.hash_jumper
+  let grouped c = c.grouped
+  let parallel_exec c = c.parallel_exec
+end
+
+type config = Config.t
+
+let default_config = Config.default
 
 type outcome = {
   replay : Analyzer.replay_set;
@@ -17,7 +31,10 @@ type outcome = {
   hash_jump_at : int option;
   real_ms : float;
   serial_cost_ms : float;
-  parallel_cost_ms : float;
+  simulated_parallel_ms : float;
+  measured_parallel_ms : float option;
+  workers : int;
+  exec_waves : int;
   analysis_ms : float;
   final_db_hash : int64;
   changed : bool;
@@ -30,15 +47,45 @@ let member_indexes (rs : Analyzer.replay_set) =
   Array.iteri (fun i b -> if b then out := (i + 1) :: !out) rs.Analyzer.members;
   List.rev !out
 
-let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
+let is_schema_key k = String.length k > 3 && String.sub k 0 3 = "_S."
+
+let write_tables (rw : Rwset.rw) =
+  Rwset.Colset.fold
+    (fun key acc ->
+      if is_schema_key key then acc
+      else
+        match String.index_opt key '.' with
+        | Some i -> String.sub key 0 i :: acc
+        | None -> acc)
+    rw.Rwset.w []
+  |> List.sort_uniq compare
+
+(* Serial fallback conditions (see DESIGN.md §parallel replay executor):
+   the wave executor handles DML only. DDL members (or a DDL target)
+   mutate the schema mid-replay, and the Hash-jumper needs commit-prefix
+   semantics that waves do not provide. *)
+let parallel_eligible (config : Config.t) ~analyzer target members =
+  config.Config.parallel_exec
+  && (not config.Config.hash_jumper)
+  && (match target.Analyzer.op with
+     | Analyzer.Add s | Analyzer.Change s -> not (Uv_sql.Ast.is_ddl s)
+     | Analyzer.Remove -> true)
+  && List.for_all
+       (fun i ->
+         let inf = Analyzer.info analyzer i in
+         (not (Uv_sql.Ast.is_ddl inf.Analyzer.stmt))
+         && not (Rwset.Colset.exists is_schema_key inf.Analyzer.rw.Rwset.w))
+       members
+
+let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
   let log = Uv_db.Engine.log eng in
   let rtt = Uv_util.Clock.rtt_ms (Uv_db.Engine.clock eng) in
   let t0 = Uv_util.Clock.now_ms () in
   (* 1. replay-set computation *)
   let rs =
-    if config.grouped then
-      Analyzer.replay_set_grouped ~mode:config.mode analyzer target
-    else Analyzer.replay_set ~mode:config.mode analyzer target
+    if config.Config.grouped then
+      Analyzer.replay_set_grouped ~mode:config.Config.mode analyzer target
+    else Analyzer.replay_set ~mode:config.Config.mode analyzer target
   in
   let analysis_ms = Uv_util.Clock.now_ms () -. t0 in
   let members = member_indexes rs in
@@ -46,7 +93,7 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
   let affected = List.sort_uniq compare (rs.Analyzer.mutated @ rs.Analyzer.consulted) in
   let temp_cat = Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng) affected in
   let jumper =
-    if config.hash_jumper then begin
+    if config.Config.hash_jumper then begin
       let j = Hash_jumper.of_log ~initial:(Analyzer.base_hashes analyzer) log in
       let final =
         List.filter_map
@@ -80,54 +127,133 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
       Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
     undo_list;
   let undone = List.length undo_list in
-  (* 4. replay forward *)
-  let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt temp_cat in
-  let failed = ref 0 in
+  (* 4. replay forward: real parallel waves when eligible, else serial *)
   let weights : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let succeeded : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let exec_timed ?app_txn ?nondet idx stmt =
-    let s = Uv_util.Clock.now_ms () in
-    (try
-       ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
-       Hashtbl.replace succeeded idx ()
-     with Uv_db.Engine.Signal_raised _ | Uv_db.Engine.Sql_error _ -> incr failed);
-    let d = Uv_util.Clock.now_ms () -. s in
-    Hashtbl.replace weights idx d
-  in
-  (* the retroactive operation itself, just before τ *)
-  (match target.Analyzer.op with
-  | Analyzer.Add stmt | Analyzer.Change stmt ->
-      Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + target.Analyzer.tau);
-      exec_timed 0 stmt
-  | Analyzer.Remove -> ());
-  let hash_jump_at = ref None in
+  (* successful replays by commit index; the retroactive op is 0 *)
+  let entry_of : (int, Uv_db.Log.entry) Hashtbl.t = Hashtbl.create 64 in
+  let failed = ref 0 in
   let replayed = ref 0 in
-  (try
-     List.iteri
-       (fun pos i ->
-         let entry = Uv_db.Log.entry log i in
-         Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + i);
-         exec_timed ~nondet:entry.Uv_db.Log.nondet
-           ?app_txn:entry.Uv_db.Log.app_txn i entry.Uv_db.Log.stmt;
-         incr replayed;
-         match jumper with
-         | Some exp when Hash_jumper.converged exp temp_cat ~member_pos:pos ->
-             hash_jump_at := Some i;
-             raise Exit
-         | _ -> ())
-       members
-   with Exit -> ());
-  (* on a hash-hit the original tables are retained (§4.5): reflect the
-     original's affected tables in the temporary catalog so the outcome's
-     universe is consistent *)
-  (match !hash_jump_at with
-  | Some _ ->
-      Uv_db.Catalog.copy_tables_into (Uv_db.Engine.catalog eng) ~into:temp_cat
-        affected;
-      (* on a hit the original timeline is retained wholesale, schema
-         objects included *)
-      Uv_db.Catalog.copy_objects_into (Uv_db.Engine.catalog eng) ~into:temp_cat
-  | None -> ());
+  let hash_jump_at = ref None in
+  let measured_parallel_ms = ref None in
+  let exec_waves = ref 0 in
+  if parallel_eligible config ~analyzer target members then begin
+    let stride = 1 lsl 20 in
+    let r0 =
+      (* a private rowid range per statement, above everything live —
+         including ranges a previous what-if stamped into this universe *)
+      let mx =
+        List.fold_left
+          (fun acc (_, st) -> max acc (Uv_db.Storage.next_rowid st))
+          0
+          (Uv_db.Catalog.tables temp_cat)
+      in
+      ((mx / stride) + 1) * stride
+    in
+    let structural_tables =
+      List.filter_map
+        (fun (name, _) ->
+          if
+            List.exists
+              (fun ev -> Uv_db.Catalog.triggers_for temp_cat name ev <> [])
+              [ Uv_sql.Ast.Ev_insert; Uv_sql.Ast.Ev_update; Uv_sql.Ast.Ev_delete ]
+          then Some name
+          else None)
+        (Uv_db.Catalog.tables temp_cat)
+    in
+    let items =
+      List.map
+        (fun i ->
+          let entry = Uv_db.Log.entry log i in
+          let inf = Analyzer.info analyzer i in
+          {
+            Wave_exec.idx = i;
+            stmt = entry.Uv_db.Log.stmt;
+            nondet = entry.Uv_db.Log.nondet;
+            app_txn = entry.Uv_db.Log.app_txn;
+            sim_time = 1_700_000_000 + i;
+            rowid_base = r0 + (i * stride);
+            structural =
+              List.exists
+                (fun t -> List.mem t structural_tables)
+                (write_tables inf.Analyzer.rw);
+          })
+        members
+    in
+    let head =
+      match target.Analyzer.op with
+      | Analyzer.Add s | Analyzer.Change s ->
+          Some
+            {
+              Wave_exec.idx = 0;
+              stmt = s;
+              nondet = [];
+              app_txn = None;
+              sim_time = 1_700_000_000 + target.Analyzer.tau;
+              rowid_base = r0;
+              structural = true;
+            }
+      | Analyzer.Remove -> None
+    in
+    let exec_edges = Analyzer.exec_dependency_edges analyzer ~members:rs.Analyzer.members in
+    let res =
+      Wave_exec.execute ~workers:config.Config.workers ~rtt_ms:rtt
+        ~catalog:temp_cat ~head ~items ~edges:exec_edges
+    in
+    Hashtbl.iter (fun k v -> Hashtbl.replace weights k v) res.Wave_exec.durations;
+    Hashtbl.iter (fun k v -> Hashtbl.replace entry_of k v) res.Wave_exec.entries;
+    failed := res.Wave_exec.failed;
+    replayed := List.length members;
+    measured_parallel_ms := Some res.Wave_exec.measured_ms;
+    exec_waves := res.Wave_exec.wave_count
+  end
+  else begin
+    let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt temp_cat in
+    let temp_log = Uv_db.Engine.log temp_eng in
+    let exec_timed ?app_txn ?nondet idx stmt =
+      let s = Uv_util.Clock.now_ms () in
+      let len0 = Uv_db.Log.length temp_log in
+      (try
+         ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
+         if Uv_db.Log.length temp_log > len0 then
+           Hashtbl.replace entry_of idx (Uv_db.Log.entry temp_log (len0 + 1))
+       with Uv_db.Engine.Signal_raised _ | Uv_db.Engine.Sql_error _ ->
+         incr failed);
+      let d = Uv_util.Clock.now_ms () -. s in
+      Hashtbl.replace weights idx d
+    in
+    (* the retroactive operation itself, just before τ *)
+    (match target.Analyzer.op with
+    | Analyzer.Add stmt | Analyzer.Change stmt ->
+        Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + target.Analyzer.tau);
+        exec_timed 0 stmt
+    | Analyzer.Remove -> ());
+    (try
+       List.iteri
+         (fun pos i ->
+           let entry = Uv_db.Log.entry log i in
+           Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + i);
+           exec_timed ~nondet:entry.Uv_db.Log.nondet
+             ?app_txn:entry.Uv_db.Log.app_txn i entry.Uv_db.Log.stmt;
+           incr replayed;
+           match jumper with
+           | Some exp when Hash_jumper.converged exp temp_cat ~member_pos:pos ->
+               hash_jump_at := Some i;
+               raise Exit
+           | _ -> ())
+         members
+     with Exit -> ());
+    (* on a hash-hit the original tables are retained (§4.5): reflect the
+       original's affected tables in the temporary catalog so the outcome's
+       universe is consistent *)
+    match !hash_jump_at with
+    | Some _ ->
+        Uv_db.Catalog.copy_tables_into (Uv_db.Engine.catalog eng) ~into:temp_cat
+          affected;
+        (* on a hit the original timeline is retained wholesale, schema
+           objects included *)
+        Uv_db.Catalog.copy_objects_into (Uv_db.Engine.catalog eng) ~into:temp_cat
+    | None -> ()
+  end;
   (* 5. cost model *)
   let replayed_members =
     match !hash_jump_at with
@@ -140,10 +266,10 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
     op_weight +. List.fold_left (fun acc i -> acc +. weight i) 0.0 replayed_members
   in
   let edges = Analyzer.dependency_edges analyzer ~members:rs.Analyzer.members in
-  let parallel_cost_ms =
+  let simulated_parallel_ms =
     op_weight
     +. Scheduler.makespan ~entries:replayed_members ~edges ~weight
-         ~workers:config.workers
+         ~workers:config.Config.workers
   in
   let changed =
     match !hash_jump_at with
@@ -165,26 +291,11 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
      entries for members, the retroactive operation at tau; reindexed *)
   let new_log =
     let merged = Uv_db.Log.create () in
-    let temp_entries = Queue.create () in
-    Uv_db.Log.iter (Uv_db.Engine.log temp_eng) (fun e -> Queue.push e temp_entries);
-    (* the op's own entry (Add/Change) is the first temp entry *)
-    let op_entry =
-      match target.Analyzer.op with
-      | (Analyzer.Add _ | Analyzer.Change _) when Hashtbl.mem succeeded 0 ->
-          if Queue.is_empty temp_entries then None
-          else Some (Queue.pop temp_entries)
-      | _ -> None
-    in
     let push e =
       Uv_db.Log.append merged
         { e with Uv_db.Log.index = Uv_db.Log.length merged + 1 }
     in
-    (* only successful replays produced a log entry in the temp engine;
-       an aborted transaction is correctly absent from the new history *)
-    let replayed_set = Hashtbl.create 64 in
-    List.iter
-      (fun i -> if Hashtbl.mem succeeded i then Hashtbl.replace replayed_set i ())
-      replayed_members;
+    let op_entry = Hashtbl.find_opt entry_of 0 in
     for i = 1 to Uv_db.Log.length log do
       if i = target.Analyzer.tau then begin
         (match (target.Analyzer.op, op_entry) with
@@ -194,14 +305,13 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
         | Analyzer.Add _ -> push (Uv_db.Log.entry log i)
         | Analyzer.Remove | Analyzer.Change _ -> ()
       end
-      else if Hashtbl.mem replayed_set i then begin
-        if not (Queue.is_empty temp_entries) then push (Queue.pop temp_entries)
-      end
       else if rs.Analyzer.members.(i - 1) then begin
-        (* a member that was not successfully replayed: either past the
-           hash-hit (the original entry re-derives itself) or an aborted
-           transaction (absent from the new history) *)
-        if !hash_jump_at <> None then push (Uv_db.Log.entry log i)
+        (* only successful replays produced an entry; an aborted
+           transaction is correctly absent from the new history, and past
+           a hash-hit the original entry re-derives itself *)
+        match Hashtbl.find_opt entry_of i with
+        | Some e -> push e
+        | None -> if !hash_jump_at <> None then push (Uv_db.Log.entry log i)
       end
       else push (Uv_db.Log.entry log i)
     done;
@@ -220,7 +330,10 @@ let run ?(config = default_config) ~analyzer eng (target : Analyzer.target) =
     hash_jump_at = !hash_jump_at;
     real_ms;
     serial_cost_ms;
-    parallel_cost_ms;
+    simulated_parallel_ms;
+    measured_parallel_ms = !measured_parallel_ms;
+    workers = config.Config.workers;
+    exec_waves = !exec_waves;
     analysis_ms;
     final_db_hash = Uv_db.Catalog.db_hash temp_cat;
     changed;

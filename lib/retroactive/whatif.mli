@@ -11,29 +11,54 @@
     + rolls back 𝕀's entries in reverse commit order by applying their
       logged inverse operations (rollback option (i) of §5's
       implementation list, made selective by the dependency analysis);
-    + applies the retroactive operation at τ and replays 𝕀 forward in
-      commit order, forcing each entry's recorded non-determinism;
+    + applies the retroactive operation at τ and replays 𝕀 forward —
+      by default on real OCaml 5 domains, wave by wave over the conflict
+      DAG ({!Wave_exec}), falling back to serial replay for ineligible
+      histories (DDL members or targets, or when the Hash-jumper is on);
     + optionally runs the Hash-jumper after every replayed entry and
-      early-terminates on a hash-hit;
-    + reports two cost views: measured serial time, and the simulated
-      parallel makespan over the replay conflict DAG (§4.4's parallel
-      replay with [workers] threads).
+      early-terminates on a hash-hit (serial replay only);
+    + reports three cost views: measured serial-sum time, the simulated
+      makespan over the replay conflict DAG, and — when the parallel
+      executor ran — the measured parallel wall time.
 
     The original engine is left untouched. [commit] performs the
     database-update step, copying the mutated tables back. *)
 
 open Uv_sql
 
-type config = {
-  mode : Analyzer.mode;  (** default [Cell] *)
-  workers : int;  (** parallel replay width; the paper's testbed had 8 *)
-  hash_jumper : bool;
-  grouped : bool;
-      (** closure at application-level-transaction granularity (the
-          non-transpiled "D" system) *)
-}
+(** What-if driver knobs, built with {!Config.make} so future options
+    don't break existing call sites. *)
+module Config : sig
+  type t
+
+  val make :
+    ?mode:Analyzer.mode ->
+    ?workers:int ->
+    ?hash_jumper:bool ->
+    ?grouped:bool ->
+    ?parallel_exec:bool ->
+    unit ->
+    t
+  (** Defaults: [mode = Cell]; [workers = 8] (the paper's testbed width;
+      clamped to at least 1); [hash_jumper = false]; [grouped = false]
+      (transaction-granularity closure, the non-transpiled "D" system);
+      [parallel_exec = true] — replay on real domains whenever the
+      history is eligible. *)
+
+  val default : t
+  (** [make ()]. *)
+
+  val mode : t -> Analyzer.mode
+  val workers : t -> int
+  val hash_jumper : t -> bool
+  val grouped : t -> bool
+  val parallel_exec : t -> bool
+end
+
+type config = Config.t
 
 val default_config : config
+(** [Config.default]. *)
 
 type outcome = {
   replay : Analyzer.replay_set;
@@ -46,7 +71,16 @@ type outcome = {
   real_ms : float;  (** measured wall time of the whole operation *)
   serial_cost_ms : float;
       (** sum of per-entry replay costs + one round trip each *)
-  parallel_cost_ms : float;  (** conflict-DAG makespan with [workers] *)
+  simulated_parallel_ms : float;
+      (** conflict-DAG list-scheduling makespan with [workers] lanes *)
+  measured_parallel_ms : float option;
+      (** measured wall time of the parallel wave replay; [None] when the
+          serial path ran (ineligible history, Hash-jumper, or
+          [parallel_exec = false]) *)
+  workers : int;  (** the worker count the outcome was computed with *)
+  exec_waves : int;
+      (** executed wave batches (structural singletons included); [0]
+          on the serial path *)
   analysis_ms : float;  (** replay-set computation time *)
   final_db_hash : int64;  (** hash of the temporary universe *)
   changed : bool;  (** false when the Hash-jumper proved no effect *)
@@ -56,7 +90,10 @@ type outcome = {
           original entries, replayed members contribute their re-executed
           entries, and the retroactive operation sits at τ. This is what
           makes scenarios branchable (§6 "Managing Many what-if
-          Scenarios"): a further what-if can analyse this log. *)
+          Scenarios"): a further what-if can analyse this log. The
+          parallel executor restamps member [written_hashes] in commit
+          order, so the log is bit-identical at every worker count —
+          and identical to what serial replay produces. *)
 }
 
 val run :
@@ -67,7 +104,8 @@ val run :
   outcome
 (** The analyzer must have been built over the engine's current log
     (Ultraverse derives R/W sets asynchronously during regular service;
-    analysis construction is therefore not part of what-if latency). *)
+    analysis construction is therefore not part of what-if latency).
+    [final_db_hash] and [new_log] are invariant under [workers]. *)
 
 val commit : Uv_db.Engine.t -> outcome -> unit
 (** Database-update phase: copy the outcome's mutated tables into the

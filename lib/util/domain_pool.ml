@@ -1,0 +1,116 @@
+(* Each job carries its own atomic cursors so that a lagging worker
+   still holding last job's record cannot steal indexes from the next
+   one: its stale [next] is already past [count], so it exits its work
+   loop immediately and goes back to waiting for a fresh generation. *)
+type job = {
+  count : int;
+  fn : int -> unit;
+  next : int Atomic.t;
+  pending : int Atomic.t;
+  mutable failure : exn option; (* protected by the pool mutex *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : job option;
+  mutable gen : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  lanes : int;
+}
+
+let run_items t job =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.count then continue_ := false
+    else begin
+      (try job.fn i
+       with e ->
+         Mutex.lock t.mutex;
+         if job.failure = None then job.failure <- Some e;
+         Mutex.unlock t.mutex);
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        (* last item of the job: wake the caller waiting at the barrier *)
+        Mutex.lock t.mutex;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let worker t =
+  let my_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && (t.job = None || t.gen = !my_gen) do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then begin
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let job = Option.get t.job in
+      my_gen := t.gen;
+      Mutex.unlock t.mutex;
+      run_items t job
+    end
+  done
+
+let create ~workers =
+  let lanes = max 1 workers in
+  (* the OCaml runtime caps live domains (128 on 64-bit); stay well under *)
+  let spawned = min (lanes - 1) 63 in
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      gen = 0;
+      stop = false;
+      domains = [];
+      lanes;
+    }
+  in
+  t.domains <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let lanes t = t.lanes
+
+let run t ~count fn =
+  if count > 0 then begin
+    let job =
+      {
+        count;
+        fn;
+        next = Atomic.make 0;
+        pending = Atomic.make count;
+        failure = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    run_items t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.pending > 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.job <- None;
+    let f = job.failure in
+    Mutex.unlock t.mutex;
+    Option.iter raise f
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []

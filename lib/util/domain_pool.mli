@@ -1,0 +1,31 @@
+(** A fixed pool of OCaml 5 domains for wave-parallel replay.
+
+    The pool is created once per parallel operation and reused across
+    waves, so the per-wave cost is a broadcast + barrier rather than
+    [Domain.spawn]. [run] distributes item indexes over the pool with an
+    atomic counter (work stealing at item granularity); the calling
+    domain participates as a lane, so [create ~workers:1] spawns no
+    domains at all and degenerates to a plain loop.
+
+    Exceptions raised by the work function are captured; the first one
+    is re-raised in the caller after the barrier. *)
+
+type t
+
+val create : workers:int -> t
+(** [create ~workers] builds a pool with [workers] execution lanes
+    (the caller plus [workers - 1] spawned domains, capped at the
+    runtime's domain limit). [workers] is clamped to at least 1. *)
+
+val lanes : t -> int
+(** Actual number of execution lanes (after clamping). *)
+
+val run : t -> count:int -> (int -> unit) -> unit
+(** [run t ~count f] evaluates [f i] for every [i] in [0 .. count - 1],
+    distributing the indexes over the pool's lanes, and returns when all
+    have completed. Not reentrant: only the domain that created the pool
+    may call [run], one job at a time. *)
+
+val shutdown : t -> unit
+(** Join all spawned domains. The pool must not be used afterwards.
+    Idempotent. *)

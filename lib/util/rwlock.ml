@@ -1,0 +1,67 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int;
+  mutable writer : bool;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    readers = 0;
+    writer = false;
+  }
+
+(* Reader preference: a reader is admitted whenever no writer is active,
+   even if writers are queued. This makes nested read acquisition by one
+   domain safe (the outer hold guarantees no active writer), which the
+   storage layer relies on for subqueries evaluated during scans. Writer
+   starvation is not a concern for wave-sized bursts. *)
+let read_lock t =
+  Mutex.lock t.mutex;
+  while t.writer do
+    Condition.wait t.cond t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let read_unlock t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let write_lock t =
+  Mutex.lock t.mutex;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  t.writer <- true;
+  Mutex.unlock t.mutex
+
+let write_unlock t =
+  Mutex.lock t.mutex;
+  t.writer <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let read t f =
+  read_lock t;
+  match f () with
+  | v ->
+      read_unlock t;
+      v
+  | exception e ->
+      read_unlock t;
+      raise e
+
+let write t f =
+  write_lock t;
+  match f () with
+  | v ->
+      write_unlock t;
+      v
+  | exception e ->
+      write_unlock t;
+      raise e

@@ -1,0 +1,17 @@
+(** A reader-preferring readers-writer lock.
+
+    Any number of readers share the lock; writers are exclusive. Readers
+    are admitted whenever no writer is {e active} (queued writers do not
+    block them), so one domain may acquire the read side recursively —
+    the storage layer's scans evaluate subqueries that re-enter the same
+    table. The trade-off is writer starvation under a sustained reader
+    stream, acceptable for wave-sized replay bursts. *)
+
+type t
+
+val create : unit -> t
+val read : t -> (unit -> 'a) -> 'a
+(** Run the callback holding the shared read side. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run the callback holding the exclusive write side. *)

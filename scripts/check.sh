@@ -1,0 +1,24 @@
+#!/bin/sh
+# One-stop pre-merge check: build, full test suite, a lint pass over the
+# demo history, and the measured-parallel-replay smoke bench (which
+# hard-fails if the final universe hash ever diverges across worker
+# counts). Run from the repo root: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== ultraverse lint (demo history) =="
+# the gallery history seeds warnings/infos on purpose; only error-level
+# diagnostics (exit code 1) fail the check
+dune exec bin/ultraverse.exe -- lint examples/histories/lint_demo.sql
+
+echo "== bench smoke: parallel replay determinism =="
+dune exec bench/main.exe -- --smoke
+
+echo "== all checks passed =="

@@ -527,7 +527,7 @@ let test_hash_jumper_figure7 () =
   (* change Q2 to initialise Alice as 'bronze' — overwritten later, so the
      final state is unchanged and the jumper can stop at Q4 *)
   let stmt = Parser.parse_stmt "INSERT INTO Membership VALUES (1, 'bronze')" in
-  let config = { Whatif.default_config with Whatif.hash_jumper = true } in
+  let config = Whatif.Config.make ~hash_jumper:true () in
   let out =
     Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
   in
@@ -546,7 +546,7 @@ let test_hash_jumper_no_false_hit () =
   (* change the seed value: every later increment produces a different
      state, so the jumper must never fire *)
   let stmt = Parser.parse_stmt "INSERT INTO t VALUES (1, 100)" in
-  let config = { Whatif.default_config with Whatif.hash_jumper = true } in
+  let config = Whatif.Config.make ~hash_jumper:true () in
   let out =
     Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
   in
@@ -682,7 +682,7 @@ let prop_colonly_oracle =
       let n = Log.length (Engine.log e) in
       let tau = 8 + Uv_util.Prng.int prng (n - 8) in
       let analyzer = Analyzer.analyze (Engine.log e) in
-      let config = { Whatif.default_config with Whatif.mode = Analyzer.Col_only } in
+      let config = Whatif.Config.make ~mode:Analyzer.Col_only () in
       let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
       let truth = oracle_replay e ~skip:tau in
       all_hashes truth = all_hashes (merged_universe e out))
@@ -769,7 +769,7 @@ let prop_rowonly_oracle =
       let n = Log.length (Engine.log e) in
       let tau = 9 + Uv_util.Prng.int prng (n - 9) in
       let analyzer = Analyzer.analyze (Engine.log e) in
-      let config = { Whatif.default_config with Whatif.mode = Analyzer.Row_only } in
+      let config = Whatif.Config.make ~mode:Analyzer.Row_only () in
       let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
       let truth = oracle_replay e ~skip:tau in
       all_hashes truth = all_hashes (merged_universe e out))

@@ -35,7 +35,7 @@ let build (w : W.t) ~mode ~n ~dep_rate =
 let whatif_vs_oracle (w : W.t) ~mode ~analysis_mode =
   let eng, _rt, base, _ = build w ~mode ~n:80 ~dep_rate:0.3 in
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
-  let config = { Whatif.default_config with Whatif.mode = analysis_mode } in
+  let config = Whatif.Config.make ~mode:analysis_mode () in
   let out = Whatif.run ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
   let truth = oracle_replay eng base ~skip:1 in
   let merged = Engine.of_catalog (Catalog.snapshot (Engine.catalog eng)) in
@@ -143,7 +143,7 @@ let test_hash_jumper_overhead_only (w : W.t) () =
   let eng, _rt, base, _ = build w ~mode:R.Transpiled ~n:60 ~dep_rate:0.3 in
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
   let run hj =
-    let config = { Whatif.default_config with Whatif.hash_jumper = hj } in
+    let config = Whatif.Config.make ~hash_jumper:hj () in
     Whatif.run ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove }
   in
   let a = run false and b = run true in
