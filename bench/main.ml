@@ -936,6 +936,7 @@ let () =
   let only = ref None in
   let list_only = ref false in
   let smoke = ref false in
+  let json = ref false in
   let args =
     [
       ("--only", Arg.String (fun s -> only := Some s), "run one experiment id");
@@ -945,6 +946,10 @@ let () =
         "CI sanity pass: the measured-parallel experiment at quick sizes \
          (fails hard on any cross-worker hash divergence)" );
       ("--list", Arg.Set list_only, "list experiment ids");
+      ( "--json",
+        Arg.Set json,
+        "after the tables, emit a uv.bench/1 report of per-experiment wall \
+         times as the last line" );
     ]
   in
   Arg.parse args (fun _ -> ()) "ultraverse benchmark harness";
@@ -961,10 +966,27 @@ let () =
     if chosen = [] then (
       prerr_endline "unknown experiment id; use --list";
       exit 1);
-    List.iter
-      (fun (id, desc, f) ->
-        Printf.printf "\n############ %s — %s ############\n%!" id desc;
-        let (), ms = S.time f in
-        Printf.printf "(%s in %s)\n%!" id (G.fmt_ms ms))
-      chosen
+    let timings =
+      List.map
+        (fun (id, desc, f) ->
+          Printf.printf "\n############ %s — %s ############\n%!" id desc;
+          let (), ms = S.time f in
+          Printf.printf "(%s in %s)\n%!" id (G.fmt_ms ms);
+          (id, ms))
+        chosen
+    in
+    if !json then
+      let module J = Uv_obs.Json in
+      print_endline
+        (Uv_obs.Report.to_string ~schema:"uv.bench/1"
+           (J.Obj
+              [
+                ("quick", J.Bool !quick);
+                ( "experiments",
+                  J.List
+                    (List.map
+                       (fun (id, ms) ->
+                         J.Obj [ ("id", J.Str id); ("wall_ms", J.Float ms) ])
+                       timings) );
+              ]))
   end

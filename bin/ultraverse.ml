@@ -145,54 +145,62 @@ let analyze_cmd =
 (* whatif                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let whatif_payload ~path ~tau ~op (out : Whatif.outcome) =
+  let module J = Uv_obs.Json in
+  J.Obj
+    [
+      ("history", J.Str path);
+      ("tau", J.Int tau);
+      ("op", J.Str (String.lowercase_ascii op));
+      ("replay_set", J.Int out.Whatif.replay.Analyzer.member_count);
+      ("replayed", J.Int out.Whatif.replayed);
+      ("undone", J.Int out.Whatif.undone);
+      ("failed_replays", J.Int out.Whatif.failed_replays);
+      ( "hash_jump_at",
+        match out.Whatif.hash_jump_at with Some i -> J.Int i | None -> J.Null );
+      ("analysis_ms", J.Float out.Whatif.analysis_ms);
+      ("real_ms", J.Float out.Whatif.real_ms);
+      ("serial_cost_ms", J.Float out.Whatif.serial_cost_ms);
+      ("simulated_parallel_ms", J.Float out.Whatif.simulated_parallel_ms);
+      ( "measured_parallel_ms",
+        match out.Whatif.measured_parallel_ms with
+        | Some m -> J.Float m
+        | None -> J.Null );
+      ("workers", J.Int out.Whatif.workers);
+      ("waves", J.Int out.Whatif.exec_waves);
+      ("changed", J.Bool out.Whatif.changed);
+      ("final_db_hash", J.Str (Printf.sprintf "%Lx" out.Whatif.final_db_hash));
+      ( "phases",
+        J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) out.Whatif.phases) );
+    ]
 
 let whatif_cmd =
-  let run path tau op stmt_text hash_jumper workers serial json query =
+  let run path tau op stmt_text hash_jumper workers serial json query trace
+      metrics =
+    let obs =
+      if trace <> None || metrics then Uv_obs.Trace.create ()
+      else Uv_obs.Trace.disabled
+    in
     let eng = load_history path in
-    let analyzer = Analyzer.analyze (Engine.log eng) in
+    let analyzer = Analyzer.analyze ~obs (Engine.log eng) in
     let target = { Analyzer.tau; op = parse_op op stmt_text } in
     let config =
-      Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial) ()
+      Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial) ~obs
+        ()
     in
     let out = Whatif.run ~config ~analyzer eng target in
+    (match trace with
+    | Some trace_path ->
+        let oc = open_out trace_path in
+        output_string oc (Uv_obs.Trace.chrome_string obs);
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "trace written to %s\n" trace_path
+    | None -> ());
     if json then
       print_endline
-        (Printf.sprintf
-           "{\"schema\": \"uv.whatif/1\", \"history\": \"%s\", \"tau\": %d, \
-            \"op\": \"%s\", \"replay_set\": %d, \"replayed\": %d, \"undone\": \
-            %d, \"failed_replays\": %d, \"hash_jump_at\": %s, \"analysis_ms\": \
-            %.3f, \"real_ms\": %.3f, \"serial_cost_ms\": %.3f, \
-            \"simulated_parallel_ms\": %.3f, \"measured_parallel_ms\": %s, \
-            \"workers\": %d, \"waves\": %d, \"changed\": %b, \
-            \"final_db_hash\": \"%Lx\"}"
-           (json_escape path) tau (json_escape (String.lowercase_ascii op))
-           out.Whatif.replay.Analyzer.member_count out.Whatif.replayed
-           out.Whatif.undone out.Whatif.failed_replays
-           (match out.Whatif.hash_jump_at with
-           | Some i -> string_of_int i
-           | None -> "null")
-           out.Whatif.analysis_ms out.Whatif.real_ms out.Whatif.serial_cost_ms
-           out.Whatif.simulated_parallel_ms
-           (match out.Whatif.measured_parallel_ms with
-           | Some m -> Printf.sprintf "%.3f" m
-           | None -> "null")
-           out.Whatif.workers out.Whatif.exec_waves out.Whatif.changed
-           out.Whatif.final_db_hash)
+        (Uv_obs.Report.to_string ~schema:"uv.whatif/1"
+           (whatif_payload ~path ~tau ~op out))
     else begin
       Printf.printf "replayed %d of %d statements (%d rolled back) in %.2f ms\n"
         out.Whatif.replayed
@@ -212,6 +220,10 @@ let whatif_cmd =
       Printf.printf "alternate universe %s the original\n"
         (if out.Whatif.changed then "DIFFERS from" else "equals")
     end;
+    if metrics then
+      print_endline
+        (Uv_obs.Report.to_string ~schema:"uv.metrics/1"
+           (Uv_obs.Trace.metrics_payload obs));
     (match query with
     | None -> ()
     | Some q -> (
@@ -264,10 +276,23 @@ let whatif_cmd =
     Arg.(value & opt (some string) None
          & info [ "query" ] ~doc:"SELECT to run against the alternate universe")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"OUT.JSON"
+             ~doc:"write a Chrome trace-event file of the run (open in \
+                   chrome://tracing or Perfetto, or pretty-print with \
+                   $(b,ultraverse trace))")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"print the run's counters and histograms as a uv.metrics/1 \
+                   report")
+  in
   Cmd.v
     (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
     Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ workers
-          $ serial $ json $ query)
+          $ serial $ json $ query $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -315,7 +340,16 @@ let lint_cmd =
           | Some t -> Uv_analysis.Lint.lint_target log t
         in
         let diags = history_diags @ target_diags in
-        if json then print_endline (Uv_analysis.Diagnostic.json_report diags)
+        if json then begin
+          (* uv_analysis stays dependency-free: re-parse its hand-rolled
+             report and wrap it in the versioned envelope *)
+          let payload =
+            match Uv_obs.Json.parse (Uv_analysis.Diagnostic.json_report diags) with
+            | Ok j -> j
+            | Error e -> failwith ("internal: lint report is not JSON: " ^ e)
+          in
+          print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
+        end
         else Format.printf "%a" Uv_analysis.Diagnostic.pp_report diags;
         if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1)
   in
@@ -432,6 +466,91 @@ let log_cmd =
     (Cmd.info "log" ~doc:"durable statement-log tooling (ULOGv1)")
     [ log_save_cmd; log_replay_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* trace: pretty-print a Chrome trace-event file                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let module J = Uv_obs.Json in
+  let run path =
+    match J.parse (read_file path) with
+    | Error e ->
+        Printf.eprintf "error: %s is not a trace file: %s\n" path e;
+        2
+    | Ok doc ->
+        let events =
+          match J.member "traceEvents" doc with
+          | Some (J.List l) -> l
+          | _ -> []
+        in
+        let str k e =
+          match J.member k e with Some (J.Str s) -> Some s | _ -> None
+        in
+        let num k e = Option.bind (J.member k e) J.to_float in
+        (* (tid, ts µs, dur µs, marker?, name, cat) per drawable event *)
+        let rows =
+          List.filter_map
+            (fun e ->
+              match (str "ph" e, str "name" e, num "tid" e, num "ts" e) with
+              | Some "X", Some name, Some tid, Some ts ->
+                  Some
+                    ( int_of_float tid, ts,
+                      Option.value (num "dur" e) ~default:0.0, false, name,
+                      Option.value (str "cat" e) ~default:"" )
+              | Some "i", Some name, Some tid, Some ts ->
+                  Some (int_of_float tid, ts, 0.0, true, name, "")
+              | _ -> None)
+            events
+        in
+        if rows = [] then begin
+          print_endline "no span events";
+          0
+        end
+        else begin
+          let tids =
+            List.sort_uniq compare (List.map (fun (t, _, _, _, _, _) -> t) rows)
+          in
+          List.iter
+            (fun tid ->
+              Printf.printf "domain-%d\n" tid;
+              let lane =
+                List.filter (fun (t, _, _, _, _, _) -> t = tid) rows
+                |> List.sort (fun (_, ts1, d1, _, _, _) (_, ts2, d2, _, _, _) ->
+                       (* parents (longer spans) before children at equal start *)
+                       compare (ts1, -.d1) (ts2, -.d2))
+              in
+              (* nesting is recovered from time containment: a stack of
+                 enclosing spans' end timestamps *)
+              let stack = ref [] in
+              List.iter
+                (fun (_, ts, dur, marker, name, cat) ->
+                  stack := List.filter (fun e -> ts < e -. 0.001) !stack;
+                  let indent = String.make (2 * List.length !stack) ' ' in
+                  if marker then
+                    Printf.printf "  %s* %-22s @ %10.3f ms\n" indent name
+                      (ts /. 1000.0)
+                  else begin
+                    Printf.printf "  %s%-24s %10.3f ms%s\n" indent name
+                      (dur /. 1000.0)
+                      (if cat = "" then "" else "  [" ^ cat ^ "]");
+                    stack := (ts +. dur) :: !stack
+                  end)
+                lane)
+            tids;
+          Printf.printf "%d events, %d lanes\n" (List.length rows)
+            (List.length tids);
+          0
+        end
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.JSON")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"pretty-print a Chrome trace-event file produced by $(b,whatif \
+             --trace): one lane per domain, spans nested by containment")
+    Term.(const run $ path)
+
 let workloads_cmd =
   let run () =
     List.iter
@@ -445,7 +564,11 @@ let workloads_cmd =
 
 let () =
   let info =
-    Cmd.info "ultraverse" ~version:"1.0.0"
+    Cmd.info "ultraverse" ~version:Uv_obs.Report.version
       ~doc:"what-if analysis for database-backed applications"
   in
-  exit (Cmd.eval' (Cmd.group info [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; log_cmd; dump_cmd; workloads_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; trace_cmd;
+            log_cmd; dump_cmd; workloads_cmd ]))

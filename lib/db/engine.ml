@@ -20,6 +20,7 @@ type t = {
   clock : Uv_util.Clock.t;
   prng : Uv_util.Prng.t;
   enforce_fk : bool;
+  obs : Uv_obs.Trace.t;
   mutable sim_time : int;
   mutable last_insert_id : Value.t;
   (* per-statement execution state *)
@@ -36,13 +37,14 @@ type t = {
 }
 
 let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
-    ?(log = Log.create ()) cat =
+    ?(obs = Uv_obs.Trace.disabled) ?(log = Log.create ()) cat =
   {
     cat;
     log;
     clock = Uv_util.Clock.create ~rtt_ms ();
     prng = Uv_util.Prng.create seed;
     enforce_fk;
+    obs;
     sim_time = 1_700_000_000;
     last_insert_id = Value.Null;
     journal = [];
@@ -54,13 +56,15 @@ let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     rowid_alloc = None;
   }
 
-let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false) () =
+let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
+    ?(obs = Uv_obs.Trace.disabled) () =
   {
     cat = Catalog.create ();
     log = Log.create ();
     clock = Uv_util.Clock.create ~rtt_ms ();
     prng = Uv_util.Prng.create seed;
     enforce_fk;
+    obs;
     sim_time = 1_700_000_000;
     last_insert_id = Value.Null;
     journal = [];
@@ -1226,11 +1230,17 @@ let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
   begin_statement ?rowid_base t nondet;
   Uv_util.Clock.charge_rtt t.clock ();
   t.sim_time <- t.sim_time + 1;
+  let traced = Uv_obs.Trace.enabled t.obs in
+  let t0 = if traced then Uv_util.Clock.now_ms () else 0.0 in
   match
     try exec_stmt t (empty_env ()) stmt
     with Failure msg -> sql_error "%s" msg
   with
   | r ->
+      if traced then begin
+        Uv_obs.Trace.observe t.obs "db.exec_ms" (Uv_util.Clock.now_ms () -. t0);
+        Uv_obs.Trace.incr t.obs "db.log_appends"
+      end;
       let written_hashes =
         List.rev_map (fun name -> (name, table_hash t name)) t.written
       in
@@ -1249,7 +1259,12 @@ let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
       Log.append t.log entry;
       { r with rows_written = t.rows_written }
   | exception ((Sql_error _ | Signal_raised _) as exn) ->
+      let r0 = if traced then Uv_util.Clock.now_ms () else 0.0 in
       undo_journal t;
+      if traced then begin
+        Uv_obs.Trace.observe t.obs "db.rollback_ms" (Uv_util.Clock.now_ms () -. r0);
+        Uv_obs.Trace.incr t.obs "db.rollbacks"
+      end;
       raise exn
 
 let exec_sql ?app_txn ?nondet t sql = exec ?app_txn ?nondet t (Parser.parse_stmt sql)

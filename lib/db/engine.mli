@@ -40,13 +40,23 @@ val empty_result : result
 
 type t
 
-val create : ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> unit -> t
+val create :
+  ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> ?obs:Uv_obs.Trace.t -> unit -> t
 (** Fresh engine with an empty database. [seed] fixes the RAND() stream;
     [rtt_ms] the simulated client-server round trip; [enforce_fk]
-    (default false) enables FOREIGN KEY existence checks on insert. *)
+    (default false) enables FOREIGN KEY existence checks on insert.
+    [obs] (default disabled) collects per-statement execute/rollback
+    timings ([db.exec_ms]/[db.rollback_ms]) and log-append/rollback
+    counts. *)
 
 val of_catalog :
-  ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> ?log:Log.t -> Catalog.t -> t
+  ?seed:int ->
+  ?rtt_ms:float ->
+  ?enforce_fk:bool ->
+  ?obs:Uv_obs.Trace.t ->
+  ?log:Log.t ->
+  Catalog.t ->
+  t
 (** Engine over an existing catalog *by reference* (the what-if engine's
     temporary database). Mutations are visible through the catalog.
     [log] seeds the committed history (scenario universes carry their

@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser.
+
+    The toolchain has no JSON library, and every machine-readable surface in
+    the repo hand-rolls its own escaping. This module is the one shared
+    implementation: a plain value tree, a compact printer, and a strict
+    recursive-descent parser (UTF-8 passthrough, [\uXXXX] decoded) good
+    enough to round-trip everything the exporters emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats are printed with enough
+    precision to round-trip; NaN/infinity degrade to [null] as JSON has no
+    spelling for them. *)
+
+val pretty : t -> string
+(** Two-space-indented rendering, for human-facing output. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. Trailing garbage, unterminated
+    literals and control characters in strings are errors; the message
+    includes a character offset. Numbers with [.], [e] or [E] become
+    [Float], all others [Int]. *)
+
+val member : string -> t -> t option
+(** [member k j] looks up key [k] when [j] is an object. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both yield a float. *)

@@ -56,7 +56,8 @@ let tables_of_rw (rw : Rwset.rw) =
 
 let schema_view_fold ?base log upto = Schema_view.of_log ?base log ~upto
 
-let analyze ?(config = Rowset.default_config) ?base log =
+let analyze ?(config = Rowset.default_config) ?base
+    ?(obs = Uv_obs.Trace.disabled) log =
   let n = Uv_db.Log.length log in
   let sv =
     match base with
@@ -74,20 +75,21 @@ let analyze ?(config = Rowset.default_config) ?base log =
   let row_state = Rowset.create config in
   Option.iter (Rowset.seed_aliases row_state) base;
   let infos =
-    Array.init n (fun i ->
-        let e = Uv_db.Log.entry log (i + 1) in
-        let rw = Rwset.of_stmt sv e.Uv_db.Log.stmt in
-        let rows =
-          Rowset.of_entry row_state sv e.Uv_db.Log.stmt e.Uv_db.Log.nondet
-        in
-        Schema_view.apply sv e.Uv_db.Log.stmt;
-        {
-          index = i + 1;
-          stmt = e.Uv_db.Log.stmt;
-          rw;
-          rows;
-          app_txn = e.Uv_db.Log.app_txn;
-        })
+    Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.rwsets" (fun () ->
+        Array.init n (fun i ->
+            let e = Uv_db.Log.entry log (i + 1) in
+            let rw = Rwset.of_stmt sv e.Uv_db.Log.stmt in
+            let rows =
+              Rowset.of_entry row_state sv e.Uv_db.Log.stmt e.Uv_db.Log.nondet
+            in
+            Schema_view.apply sv e.Uv_db.Log.stmt;
+            {
+              index = i + 1;
+              stmt = e.Uv_db.Log.stmt;
+              rw;
+              rows;
+              app_txn = e.Uv_db.Log.app_txn;
+            }))
   in
   let readers_by_col = Hashtbl.create 256 in
   let writers_by_col = Hashtbl.create 256 in
@@ -118,6 +120,7 @@ let analyze ?(config = Rowset.default_config) ?base log =
   in
   (* Build indexes; values canonicalised with the final merge state so two
      merged RI values land in the same bucket. *)
+  Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.index" @@ fun () ->
   Array.iter
     (fun inf ->
       let i = inf.index in
@@ -235,8 +238,8 @@ type replay_set = {
    (read-only queries, Prop E.7) unless they belong to a transaction
    group: a grouped read is an application-level data flow into the rest
    of its transaction (Table A's BEGIN TRANSACTION union rule). *)
-let compute_closure ?via t ~tau ~exclude ~seed_rw ~seed_rows ~make_joins
-    ~expand =
+let compute_closure ?via ?(obs = Uv_obs.Trace.disabled) t ~tau ~exclude
+    ~seed_rw ~seed_rows ~make_joins ~expand =
   let n = Array.length t.infos in
   let members = Array.make n false in
   let excluded = Array.make (n + 2) false in
@@ -275,11 +278,14 @@ let compute_closure ?via t ~tau ~exclude ~seed_rw ~seed_rows ~make_joins
   let joins_of = make_joins ~live in
   (* seed from the target's sets (pseudo-member just before τ) *)
   List.iter (join 0) (joins_of ~min_idx:(tau - 1) seed_rw seed_rows);
+  let iters = ref 0 in
   while not (Queue.is_empty queue) do
+    incr iters;
     let i = Queue.pop queue in
     let inf = t.infos.(i - 1) in
     List.iter (join i) (joins_of ~min_idx:i inf.rw inf.rows)
   done;
+  Uv_obs.Trace.incr obs ~by:!iters "analyze.closure_iters";
   members
 
 (* Shared pruning cache for one closure run: each bucket is copied on
@@ -459,8 +465,8 @@ let target_group_indexes t tau =
     | None -> [ tau ]
   else [ tau ]
 
-let replay_set_gen ?via_col ?via_row ~grouped ~expand ?(mode = Cell) t
-    (target : target) =
+let replay_set_gen ?via_col ?via_row ?(obs = Uv_obs.Trace.disabled) ~grouped
+    ~expand ?(mode = Cell) t (target : target) =
   let seed_rw, seed_rows = target_rw t target in
   (* at transaction granularity the retroactive target is the whole
      application-level transaction: seed with the union of its entries'
@@ -497,11 +503,17 @@ let replay_set_gen ?via_col ?via_row ~grouped ~expand ?(mode = Cell) t
     | Add _ | Change _ -> (seed_rw, seed_rows)
   in
   let run ?via make_joins =
-    compute_closure ?via t ~tau:target.tau ~exclude ~seed_rw ~seed_rows
+    compute_closure ?via ~obs t ~tau:target.tau ~exclude ~seed_rw ~seed_rows
       ~make_joins ~expand:(expand t)
   in
-  let col_members () = run ?via:via_col (col_joins t) in
-  let row_members () = run ?via:via_row (row_joins t) in
+  let col_members () =
+    Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.col" (fun () ->
+        run ?via:via_col (col_joins t))
+  in
+  let row_members () =
+    Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.row" (fun () ->
+        run ?via:via_row (row_joins t))
+  in
   let members, col_count, row_count =
     match mode with
     | Col_only ->
@@ -526,11 +538,11 @@ let replay_set_gen ?via_col ?via_row ~grouped ~expand ?(mode = Cell) t
     row_only_count = row_count;
   }
 
-let replay_set ?mode t target =
-  replay_set_gen ~grouped:false ~expand:(fun _ _ -> []) ?mode t target
+let replay_set ?obs ?mode t target =
+  replay_set_gen ?obs ~grouped:false ~expand:(fun _ _ -> []) ?mode t target
 
-let replay_set_grouped ?mode t target =
-  replay_set_gen ~grouped:true ~expand:group_expand ?mode t target
+let replay_set_grouped ?obs ?mode t target =
+  replay_set_gen ?obs ~grouped:true ~expand:group_expand ?mode t target
 
 (* ------------------------------------------------------------------ *)
 (* Provenance: why did each member join?                                *)

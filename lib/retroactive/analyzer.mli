@@ -42,11 +42,16 @@ type info = {
 type t
 
 val analyze :
-  ?config:Rowset.config -> ?base:Uv_db.Catalog.t -> Uv_db.Log.t -> t
+  ?config:Rowset.config ->
+  ?base:Uv_db.Catalog.t ->
+  ?obs:Uv_obs.Trace.t ->
+  Uv_db.Log.t ->
+  t
 (** Scan the whole log once, building per-entry sets and the value
     indexes used by replay-set computation. [base] is the catalog state
     at the start of the history (the checkpoint the log grows from); it
-    seeds the schema view and the Hash-jumper's initial table hashes. *)
+    seeds the schema view and the Hash-jumper's initial table hashes.
+    [obs] records [analyze.rwsets]/[analyze.index] spans. *)
 
 val base_hashes : t -> (string * int64) list
 (** Per-table hashes at the start of the history (from [base]). *)
@@ -72,9 +77,13 @@ type replay_set = {
   row_only_count : int;  (** |𝕀r| *)
 }
 
-val replay_set : ?mode:mode -> t -> target -> replay_set
+val replay_set : ?obs:Uv_obs.Trace.t -> ?mode:mode -> t -> target -> replay_set
+(** Compute 𝕀 for a target. [obs] records one [closure.col]/[closure.row]
+    span per closure run and counts worklist pops in
+    [analyze.closure_iters]. *)
 
-val replay_set_grouped : ?mode:mode -> t -> target -> replay_set
+val replay_set_grouped :
+  ?obs:Uv_obs.Trace.t -> ?mode:mode -> t -> target -> replay_set
 (** Transaction-granularity variant used by the non-transpiled (D)
     system: entries sharing an [app_txn] tag join or stay out of 𝕀 as a
     unit, and set propagation runs over the per-transaction unions. *)

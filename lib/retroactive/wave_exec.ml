@@ -21,11 +21,17 @@ type t = {
    cursor, PRNG, log) stays domain-local, while table data goes through
    the locked Storage layer. The seed depends only on the commit index,
    so any fresh draws past the recorded list are schedule-independent. *)
-let run_item ~rtt_ms catalog it =
+let run_item ?(obs = Uv_obs.Trace.disabled) ~rtt_ms catalog it =
   let eng =
-    Uv_db.Engine.of_catalog ~seed:((1_000_003 * it.idx) + 7) ~rtt_ms catalog
+    Uv_db.Engine.of_catalog ~seed:((1_000_003 * it.idx) + 7) ~rtt_ms ~obs
+      catalog
   in
   Uv_db.Engine.set_sim_time eng it.sim_time;
+  (* the span is opened on the executing domain, so parallel replay renders
+     as one trace lane per domain *)
+  let sp =
+    Uv_obs.Trace.start obs ~cat:"replay" (Printf.sprintf "Q%d" it.idx)
+  in
   let t0 = Uv_util.Clock.now_ms () in
   let ok =
     try
@@ -36,6 +42,7 @@ let run_item ~rtt_ms catalog it =
     with Uv_db.Engine.Sql_error _ | Uv_db.Engine.Signal_raised _ -> false
   in
   let d = Uv_util.Clock.now_ms () -. t0 in
+  Uv_obs.Trace.finish obs sp;
   let entry =
     if ok && Uv_db.Log.length (Uv_db.Engine.log eng) >= 1 then
       Some (Uv_db.Log.entry (Uv_db.Engine.log eng) 1)
@@ -94,8 +101,10 @@ let delta_of storage ops =
   done;
   Uv_util.Table_hash.value th
 
-let execute ~workers ~rtt_ms ~catalog ~head ~items ~edges =
+let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
+    ~items ~edges () =
   let t0 = Uv_util.Clock.now_ms () in
+  let traced = Uv_obs.Trace.enabled obs in
   let durations = Hashtbl.create 64 in
   let raw : (int, Uv_db.Log.entry) Hashtbl.t = Hashtbl.create 64 in
   let deltas : (int * string, int64) Hashtbl.t = Hashtbl.create 64 in
@@ -134,25 +143,48 @@ let execute ~workers ~rtt_ms ~catalog ~head ~items ~edges =
   let pool = Uv_util.Domain_pool.create ~workers in
   Fun.protect ~finally:(fun () -> Uv_util.Domain_pool.shutdown pool)
   @@ fun () ->
+  let wave_span n_items =
+    Uv_obs.Trace.start obs ~cat:"replay"
+      ~args:[ ("items", Uv_obs.Json.Int n_items) ]
+      (Printf.sprintf "wave.%d" !subwaves)
+  in
   let run_batch batch =
     match batch with
     | [] -> ()
     | [ it ] ->
         incr subwaves;
-        finish_item it (run_item ~rtt_ms catalog it);
-        compute_deltas batch
+        let sp = wave_span 1 in
+        finish_item it (run_item ~obs ~rtt_ms catalog it);
+        compute_deltas batch;
+        Uv_obs.Trace.finish obs sp
     | _ ->
         incr subwaves;
         let arr = Array.of_list batch in
         let results = Array.make (Array.length arr) (0.0, None) in
+        let sp = wave_span (Array.length arr) in
+        let dispatch = if traced then Uv_util.Clock.now_ms () else 0.0 in
         Uv_util.Domain_pool.run pool ~count:(Array.length arr) (fun i ->
-            results.(i) <- run_item ~rtt_ms catalog arr.(i));
+            if traced then
+              Uv_obs.Trace.observe obs "replay.queue_wait_ms"
+                (Uv_util.Clock.now_ms () -. dispatch);
+            results.(i) <- run_item ~obs ~rtt_ms catalog arr.(i));
+        if traced then begin
+          (* fraction of the pool's lane-time this batch kept busy *)
+          let wall = Uv_util.Clock.now_ms () -. dispatch in
+          let busy = Array.fold_left (fun a (d, _) -> a +. d) 0.0 results in
+          let lanes = float_of_int (Uv_util.Domain_pool.lanes pool) in
+          if wall > 0.0 then
+            Uv_obs.Trace.observe obs "replay.utilization"
+              (busy /. (wall *. lanes))
+        end;
         Array.iteri (fun i it -> finish_item it results.(i)) arr;
-        compute_deltas batch
+        compute_deltas batch;
+        Uv_obs.Trace.finish obs sp
   in
   (match head with Some h -> run_batch [ h ] | None -> ());
   let dag =
-    Conflict_dag.build ~nodes:(List.map (fun it -> it.idx) items) ~edges
+    Uv_obs.Trace.with_span obs ~cat:"analyze" "cluster" (fun () ->
+        Conflict_dag.build ~nodes:(List.map (fun it -> it.idx) items) ~edges)
   in
   let by_idx = Hashtbl.create 64 in
   List.iter (fun it -> Hashtbl.replace by_idx it.idx it) items;

@@ -43,15 +43,24 @@ type t = {
 }
 
 val execute :
+  ?obs:Uv_obs.Trace.t ->
   workers:int ->
   rtt_ms:float ->
   catalog:Uv_db.Catalog.t ->
   head:item option ->
   items:item list ->
   edges:(int * int) list ->
+  unit ->
   t
-(** [execute ~workers ~rtt_ms ~catalog ~head ~items ~edges] replays
+(** [execute ~workers ~rtt_ms ~catalog ~head ~items ~edges ()] replays
     [head] (the retroactive operation) exclusively first, then [items]
     (ascending [idx]) wave by wave. [edges] are [(later, earlier)]
     conflicts among the items' indexes; items must not contain DDL.
-    The catalog is mutated in place. *)
+    The catalog is mutated in place.
+
+    [obs] records a [cluster] span around DAG construction, one
+    [wave.N] span per executed batch, a [QIDX] span per replayed
+    statement on the domain that ran it (one trace lane per domain),
+    the [replay.queue_wait_ms] histogram (dispatch-to-start latency per
+    item) and [replay.utilization] (busy lane-time fraction per parallel
+    batch). *)

@@ -5,11 +5,13 @@ module Config = struct
     hash_jumper : bool;
     grouped : bool;
     parallel_exec : bool;
+    obs : Uv_obs.Trace.t;
   }
 
   let make ?(mode = Analyzer.Cell) ?(workers = 8) ?(hash_jumper = false)
-      ?(grouped = false) ?(parallel_exec = true) () =
-    { mode; workers = max 1 workers; hash_jumper; grouped; parallel_exec }
+      ?(grouped = false) ?(parallel_exec = true)
+      ?(obs = Uv_obs.Trace.disabled) () =
+    { mode; workers = max 1 workers; hash_jumper; grouped; parallel_exec; obs }
 
   let default = make ()
   let mode c = c.mode
@@ -17,6 +19,7 @@ module Config = struct
   let hash_jumper c = c.hash_jumper
   let grouped c = c.grouped
   let parallel_exec c = c.parallel_exec
+  let obs c = c.obs
 end
 
 type config = Config.t
@@ -36,6 +39,7 @@ type outcome = {
   workers : int;
   exec_waves : int;
   analysis_ms : float;
+  phases : (string * float) list;
   final_db_hash : int64;
   changed : bool;
   temp_catalog : Uv_db.Catalog.t;
@@ -78,55 +82,92 @@ let parallel_eligible (config : Config.t) ~analyzer target members =
        members
 
 let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
+  let obs = config.Config.obs in
   let log = Uv_db.Engine.log eng in
   let rtt = Uv_util.Clock.rtt_ms (Uv_db.Engine.clock eng) in
+  let op_kind =
+    match target.Analyzer.op with
+    | Analyzer.Add _ -> "add"
+    | Analyzer.Remove -> "remove"
+    | Analyzer.Change _ -> "change"
+  in
+  Uv_obs.Trace.with_span obs ~cat:"whatif"
+    ~args:
+      [ ("op", Uv_obs.Json.Str op_kind);
+        ("tau", Uv_obs.Json.Int target.Analyzer.tau) ]
+    "whatif"
+  @@ fun () ->
+  (* phase breakdown is measured on the plain clock even with observability
+     off — it is a handful of timestamps per run and feeds the outcome *)
+  let phases = ref [] in
+  let phase ?args name f =
+    let s = Uv_util.Clock.now_ms () in
+    let r = Uv_obs.Trace.with_span obs ~cat:"phase" ?args name f in
+    phases := (name, Uv_util.Clock.now_ms () -. s) :: !phases;
+    r
+  in
   let t0 = Uv_util.Clock.now_ms () in
   (* 1. replay-set computation *)
   let rs =
-    if config.Config.grouped then
-      Analyzer.replay_set_grouped ~mode:config.Config.mode analyzer target
-    else Analyzer.replay_set ~mode:config.Config.mode analyzer target
+    phase "analyze" (fun () ->
+        if config.Config.grouped then
+          Analyzer.replay_set_grouped ~obs ~mode:config.Config.mode analyzer
+            target
+        else Analyzer.replay_set ~obs ~mode:config.Config.mode analyzer target)
   in
-  let analysis_ms = Uv_util.Clock.now_ms () -. t0 in
+  let analysis_ms = List.assoc "analyze" !phases in
   let members = member_indexes rs in
   (* 2. temporary database: mutated + consulted tables *)
   let affected = List.sort_uniq compare (rs.Analyzer.mutated @ rs.Analyzer.consulted) in
-  let temp_cat = Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng) affected in
+  let temp_cat =
+    phase "snapshot" (fun () ->
+        Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng) affected)
+  in
+  (* the hash-jump phase is always recorded — with the jumper off it is an
+     empty marker, so traces show the phase was considered and skipped *)
   let jumper =
-    if config.Config.hash_jumper then begin
-      let j = Hash_jumper.of_log ~initial:(Analyzer.base_hashes analyzer) log in
-      let final =
-        List.filter_map
-          (fun table ->
-            Option.map
-              (fun tbl -> (table, Uv_db.Storage.hash tbl))
-              (Uv_db.Catalog.table (Uv_db.Engine.catalog eng) table))
-          rs.Analyzer.mutated
-      in
-      Some
-        (Hash_jumper.expectations j ~final ~mutated:rs.Analyzer.mutated
-           ~members)
-    end
-    else None
+    phase "hash-jump"
+      ~args:[ ("enabled", Uv_obs.Json.Bool config.Config.hash_jumper) ]
+      (fun () ->
+        if config.Config.hash_jumper then begin
+          let j =
+            Hash_jumper.of_log ~initial:(Analyzer.base_hashes analyzer) log
+          in
+          let final =
+            List.filter_map
+              (fun table ->
+                Option.map
+                  (fun tbl -> (table, Uv_db.Storage.hash tbl))
+                  (Uv_db.Catalog.table (Uv_db.Engine.catalog eng) table))
+              rs.Analyzer.mutated
+          in
+          Some
+            (Hash_jumper.expectations j ~final ~mutated:rs.Analyzer.mutated
+               ~members)
+        end
+        else None)
   in
   (* 3. rollback: undo members (and the removed/changed target) newest first *)
-  let undo_list =
-    let tgt =
-      match target.Analyzer.op with
-      | Analyzer.Remove | Analyzer.Change _
-        when target.Analyzer.tau >= 1 && target.Analyzer.tau <= Uv_db.Log.length log
-        ->
-          [ target.Analyzer.tau ]
-      | _ -> []
-    in
-    List.sort_uniq compare (tgt @ members) |> List.rev
+  let undone =
+    phase "rollback" (fun () ->
+        let undo_list =
+          let tgt =
+            match target.Analyzer.op with
+            | Analyzer.Remove | Analyzer.Change _
+              when target.Analyzer.tau >= 1
+                   && target.Analyzer.tau <= Uv_db.Log.length log ->
+                [ target.Analyzer.tau ]
+            | _ -> []
+          in
+          List.sort_uniq compare (tgt @ members) |> List.rev
+        in
+        List.iter
+          (fun i ->
+            let entry = Uv_db.Log.entry log i in
+            Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
+          undo_list;
+        List.length undo_list)
   in
-  List.iter
-    (fun i ->
-      let entry = Uv_db.Log.entry log i in
-      Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
-    undo_list;
-  let undone = List.length undo_list in
   (* 4. replay forward: real parallel waves when eligible, else serial *)
   let weights : (int, float) Hashtbl.t = Hashtbl.create 64 in
   (* successful replays by commit index; the retroactive op is 0 *)
@@ -136,6 +177,7 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
   let hash_jump_at = ref None in
   let measured_parallel_ms = ref None in
   let exec_waves = ref 0 in
+  phase "replay" (fun () ->
   if parallel_eligible config ~analyzer target members then begin
     let stride = 1 lsl 20 in
     let r0 =
@@ -196,8 +238,8 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
     in
     let exec_edges = Analyzer.exec_dependency_edges analyzer ~members:rs.Analyzer.members in
     let res =
-      Wave_exec.execute ~workers:config.Config.workers ~rtt_ms:rtt
-        ~catalog:temp_cat ~head ~items ~edges:exec_edges
+      Wave_exec.execute ~obs ~workers:config.Config.workers ~rtt_ms:rtt
+        ~catalog:temp_cat ~head ~items ~edges:exec_edges ()
     in
     Hashtbl.iter (fun k v -> Hashtbl.replace weights k v) res.Wave_exec.durations;
     Hashtbl.iter (fun k v -> Hashtbl.replace entry_of k v) res.Wave_exec.entries;
@@ -207,7 +249,7 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
     exec_waves := res.Wave_exec.wave_count
   end
   else begin
-    let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt temp_cat in
+    let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt ~obs temp_cat in
     let temp_log = Uv_db.Engine.log temp_eng in
     let exec_timed ?app_txn ?nondet idx stmt =
       let s = Uv_util.Clock.now_ms () in
@@ -236,10 +278,17 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
              ?app_txn:entry.Uv_db.Log.app_txn i entry.Uv_db.Log.stmt;
            incr replayed;
            match jumper with
-           | Some exp when Hash_jumper.converged exp temp_cat ~member_pos:pos ->
-               hash_jump_at := Some i;
-               raise Exit
-           | _ -> ())
+           | Some exp ->
+               Uv_obs.Trace.incr obs "hash_jumper.checks";
+               if Hash_jumper.converged exp temp_cat ~member_pos:pos then begin
+                 Uv_obs.Trace.incr obs "hash_jumper.hits";
+                 Uv_obs.Trace.instant obs "hash_jumper.hit"
+                   ~args:[ ("index", Uv_obs.Json.Int i) ];
+                 hash_jump_at := Some i;
+                 raise Exit
+               end
+               else Uv_obs.Trace.incr obs "hash_jumper.misses"
+           | None -> ())
          members
      with Exit -> ());
     (* on a hash-hit the original tables are retained (§4.5): reflect the
@@ -253,43 +302,54 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
            objects included *)
         Uv_db.Catalog.copy_objects_into (Uv_db.Engine.catalog eng) ~into:temp_cat
     | None -> ()
-  end;
+  end);
   (* 5. cost model *)
-  let replayed_members =
-    match !hash_jump_at with
-    | None -> members
-    | Some stop -> List.filter (fun i -> i <= stop) members
-  in
-  let weight i = (try Hashtbl.find weights i with Not_found -> 0.0) +. rtt in
-  let op_weight = if Hashtbl.mem weights 0 then weight 0 else 0.0 in
-  let serial_cost_ms =
-    op_weight +. List.fold_left (fun acc i -> acc +. weight i) 0.0 replayed_members
-  in
-  let edges = Analyzer.dependency_edges analyzer ~members:rs.Analyzer.members in
-  let simulated_parallel_ms =
-    op_weight
-    +. Scheduler.makespan ~entries:replayed_members ~edges ~weight
-         ~workers:config.Config.workers
-  in
-  let changed =
-    match !hash_jump_at with
-    | Some _ -> false
-    | None ->
-        (not
-           (Int64.equal
-              (Uv_db.Catalog.db_hash temp_cat)
-              (Uv_db.Catalog.db_hash
-                 (Uv_db.Catalog.snapshot_tables (Uv_db.Engine.catalog eng)
-                    affected))))
-        || not
-             (String.equal
-                (Uv_db.Catalog.objects_signature temp_cat)
-                (Uv_db.Catalog.objects_signature (Uv_db.Engine.catalog eng)))
+  let serial_cost_ms, simulated_parallel_ms, changed =
+    phase "cost-model" (fun () ->
+        let replayed_members =
+          match !hash_jump_at with
+          | None -> members
+          | Some stop -> List.filter (fun i -> i <= stop) members
+        in
+        let weight i =
+          (try Hashtbl.find weights i with Not_found -> 0.0) +. rtt
+        in
+        let op_weight = if Hashtbl.mem weights 0 then weight 0 else 0.0 in
+        let serial_cost_ms =
+          op_weight
+          +. List.fold_left (fun acc i -> acc +. weight i) 0.0 replayed_members
+        in
+        let edges =
+          Analyzer.dependency_edges analyzer ~members:rs.Analyzer.members
+        in
+        let simulated_parallel_ms =
+          op_weight
+          +. Scheduler.makespan ~entries:replayed_members ~edges ~weight
+               ~workers:config.Config.workers
+        in
+        let changed =
+          match !hash_jump_at with
+          | Some _ -> false
+          | None ->
+              (not
+                 (Int64.equal
+                    (Uv_db.Catalog.db_hash temp_cat)
+                    (Uv_db.Catalog.db_hash
+                       (Uv_db.Catalog.snapshot_tables
+                          (Uv_db.Engine.catalog eng) affected))))
+              || not
+                   (String.equal
+                      (Uv_db.Catalog.objects_signature temp_cat)
+                      (Uv_db.Catalog.objects_signature
+                         (Uv_db.Engine.catalog eng)))
+        in
+        (serial_cost_ms, simulated_parallel_ms, changed))
   in
   let real_ms = Uv_util.Clock.now_ms () -. t0 in
   (* merged new-universe log: original entries for non-members, replayed
      entries for members, the retroactive operation at tau; reindexed *)
   let new_log =
+    phase "merge-log" @@ fun () ->
     let merged = Uv_db.Log.create () in
     let push e =
       Uv_db.Log.append merged
@@ -335,6 +395,7 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
     workers = config.Config.workers;
     exec_waves = !exec_waves;
     analysis_ms;
+    phases = List.rev !phases;
     final_db_hash = Uv_db.Catalog.db_hash temp_cat;
     changed;
     temp_catalog = temp_cat;

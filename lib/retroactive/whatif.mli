@@ -37,13 +37,16 @@ module Config : sig
     ?hash_jumper:bool ->
     ?grouped:bool ->
     ?parallel_exec:bool ->
+    ?obs:Uv_obs.Trace.t ->
     unit ->
     t
   (** Defaults: [mode = Cell]; [workers = 8] (the paper's testbed width;
       clamped to at least 1); [hash_jumper = false]; [grouped = false]
       (transaction-granularity closure, the non-transpiled "D" system);
       [parallel_exec = true] — replay on real domains whenever the
-      history is eligible. *)
+      history is eligible; [obs = Uv_obs.Trace.disabled] — pass a live
+      collector to trace the run (root [whatif] span, per-phase spans,
+      and every instrumented layer underneath). *)
 
   val default : t
   (** [make ()]. *)
@@ -53,6 +56,7 @@ module Config : sig
   val hash_jumper : t -> bool
   val grouped : t -> bool
   val parallel_exec : t -> bool
+  val obs : t -> Uv_obs.Trace.t
 end
 
 type config = Config.t
@@ -82,6 +86,11 @@ type outcome = {
       (** executed wave batches (structural singletons included); [0]
           on the serial path *)
   analysis_ms : float;  (** replay-set computation time *)
+  phases : (string * float) list;
+      (** wall-time breakdown of the run in execution order —
+          [analyze], [snapshot], [hash-jump], [rollback], [replay],
+          [cost-model], [merge-log] — populated even with observability
+          disabled (a handful of clock reads per run) *)
   final_db_hash : int64;  (** hash of the temporary universe *)
   changed : bool;  (** false when the Hash-jumper proved no effect *)
   temp_catalog : Uv_db.Catalog.t;  (** the new universe *)

@@ -4,7 +4,12 @@ type t = {
   mutable started : float;
 }
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+(* clock_gettime(CLOCK_MONOTONIC) via a C stub: OCaml 5.1's Unix module has
+   no monotonic clock, and gettimeofday can jump backwards under NTP, which
+   would corrupt span durations. *)
+external now_ms : unit -> (float[@unboxed])
+  = "uv_clock_monotonic_ms_byte" "uv_clock_monotonic_ms"
+[@@noalloc]
 
 let create ?(rtt_ms = 1.0) () = { rtt_ms; simulated = 0.0; started = now_ms () }
 

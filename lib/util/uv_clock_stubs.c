@@ -1,0 +1,28 @@
+/* Monotonic clock primitive for Uv_util.Clock.
+
+   OCaml 5.1's Unix library exposes no clock_gettime, so the monotonic
+   source the .mli promises is a direct stub over
+   clock_gettime(CLOCK_MONOTONIC). Returned as milliseconds in a double:
+   the mantissa comfortably holds nanosecond-scale deltas over any
+   realistic process lifetime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double uv_clock_monotonic_ms(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return (double) ts.tv_sec * 1e3 + (double) ts.tv_nsec / 1e6;
+}
+
+CAMLprim value uv_clock_monotonic_ms_byte(value unit)
+{
+  return caml_copy_double(uv_clock_monotonic_ms(unit));
+}

@@ -1,24 +1,44 @@
 #!/bin/sh
 # One-stop pre-merge check: build, full test suite, a lint pass over the
-# demo history, and the measured-parallel-replay smoke bench (which
-# hard-fails if the final universe hash ever diverges across worker
-# counts). Run from the repo root: scripts/check.sh
-set -eu
+# demo history, a traced what-if round-trip, and the measured-parallel-
+# replay smoke bench (which hard-fails if the final universe hash ever
+# diverges across worker counts). Run from the repo root: scripts/check.sh
+#
+# Fails fast: the first failing step prints "CHECK FAILED: <step>" and
+# exits 1; success ends with a single "CHECK OK" summary line.
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== dune build =="
-dune build
+step() {
+  name="$1"; shift
+  echo "== $name =="
+  if ! "$@"; then
+    echo "CHECK FAILED: $name" >&2
+    exit 1
+  fi
+}
 
-echo "== dune runtest =="
-dune runtest
+step "dune build" dune build
 
-echo "== ultraverse lint (demo history) =="
+step "dune runtest" dune runtest
+
 # the gallery history seeds warnings/infos on purpose; only error-level
 # diagnostics (exit code 1) fail the check
-dune exec bin/ultraverse.exe -- lint examples/histories/lint_demo.sql
+step "ultraverse lint (demo history)" \
+  dune exec bin/ultraverse.exe -- lint examples/histories/lint_demo.sql
 
-echo "== bench smoke: parallel replay determinism =="
-dune exec bench/main.exe -- --smoke
+trace_roundtrip() {
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+  dune exec bin/ultraverse.exe -- whatif examples/histories/lint_demo.sql \
+    --tau 2 --op remove --trace "$out/trace.json" --metrics \
+    > "$out/whatif.out" 2>&1 &&
+  dune exec bin/ultraverse.exe -- trace "$out/trace.json" > "$out/trace.out"
+}
+step "whatif --trace round-trip" trace_roundtrip
 
-echo "== all checks passed =="
+step "bench smoke: parallel replay determinism" \
+  dune exec bench/main.exe -- --smoke
+
+echo "CHECK OK"

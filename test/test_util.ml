@@ -272,6 +272,179 @@ let test_clock_real_monotonic () =
   let b = Clock.real_elapsed_ms c in
   Alcotest.(check bool) "non-decreasing" true (b >= a)
 
+let test_clock_now_monotonic () =
+  (* now_ms is a monotonic clock (CLOCK_MONOTONIC stub), not wall time:
+     a dense sample burst must never step backwards *)
+  let prev = ref (Clock.now_ms ()) in
+  for _ = 1 to 100_000 do
+    let t = Clock.now_ms () in
+    if t < !prev then
+      Alcotest.failf "clock stepped backwards: %.9f after %.9f" t !prev;
+    prev := t
+  done
+
+let test_clock_now_advances () =
+  let a = Clock.now_ms () in
+  let x = ref 0 in
+  for i = 1 to 2_000_000 do x := !x + i done;
+  ignore (Sys.opaque_identity !x);
+  Alcotest.(check bool) "strictly advances over real work" true
+    (Clock.now_ms () > a)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_covers_all_items () =
+  let pool = Domain_pool.create ~workers:4 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let n = 10_000 in
+  let hits = Array.make n 0 in
+  Domain_pool.run pool ~count:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "item %d ran %d times" i c)
+    hits
+
+let test_pool_reuse_across_waves () =
+  (* one pool, many waves — the wave executor's usage pattern *)
+  let pool = Domain_pool.create ~workers:4 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let total = Atomic.make 0 in
+  for wave = 1 to 50 do
+    Domain_pool.run pool ~count:wave (fun _ -> Atomic.incr total)
+  done;
+  check Alcotest.int "all waves' items ran" (50 * 51 / 2) (Atomic.get total)
+
+let test_pool_contended_counter () =
+  let pool = Domain_pool.create ~workers:8 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let total = Atomic.make 0 in
+  Domain_pool.run pool ~count:100_000 (fun _ -> Atomic.incr total);
+  check Alcotest.int "no lost updates" 100_000 (Atomic.get total)
+
+let test_pool_exception_propagates () =
+  let pool = Domain_pool.create ~workers:4 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  (match
+     Domain_pool.run pool ~count:100 (fun i -> if i = 37 then failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the worker exception to re-raise"
+  | exception Failure msg -> check Alcotest.string "first exception" "boom" msg);
+  (* the pool survives a failed job *)
+  let ok = Atomic.make 0 in
+  Domain_pool.run pool ~count:10 (fun _ -> Atomic.incr ok);
+  check Alcotest.int "pool usable after failure" 10 (Atomic.get ok)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Domain_pool.create ~workers:3 in
+  Domain_pool.run pool ~count:5 (fun _ -> ());
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool
+
+let test_pool_single_lane () =
+  let pool = Domain_pool.create ~workers:1 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  check Alcotest.int "one lane" 1 (Domain_pool.lanes pool);
+  let sum = ref 0 in
+  (* workers:1 runs on the caller: unsynchronised state is safe *)
+  Domain_pool.run pool ~count:1000 (fun i -> sum := !sum + i);
+  check Alcotest.int "caller-lane sum" (999 * 1000 / 2) !sum
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rwlock_nested_read () =
+  let l = Rwlock.create () in
+  let v = Rwlock.read l (fun () -> Rwlock.read l (fun () -> 42)) in
+  check Alcotest.int "recursive read admitted" 42 v
+
+let test_rwlock_readers_overlap () =
+  (* reader-preferring: all readers must be admitted simultaneously.
+     Each reader enters the read side and spins until every other reader
+     has entered too — this can only terminate if the read side is
+     genuinely shared. *)
+  let l = Rwlock.create () in
+  let n = 4 in
+  let inside = Atomic.make 0 in
+  let readers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Rwlock.read l (fun () ->
+                Atomic.incr inside;
+                while Atomic.get inside < n do
+                  Domain.cpu_relax ()
+                done)))
+  in
+  List.iter Domain.join readers;
+  check Alcotest.int "all readers were inside at once" n (Atomic.get inside)
+
+let test_rwlock_writers_exclusive () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let per_domain = 20_000 and domains = 4 in
+  let writers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              (* plain ref: only writer exclusivity makes this exact *)
+              Rwlock.write l (fun () -> counter := !counter + 1)
+            done))
+  in
+  List.iter Domain.join writers;
+  check Alcotest.int "no lost increments" (domains * per_domain) !counter
+
+let test_rwlock_writer_progress_after_readers () =
+  (* starvation is accepted *while readers hold the lock*; once the
+     reader stream drains, a queued writer must run promptly *)
+  let l = Rwlock.create () in
+  let stop_readers = Atomic.make false in
+  let wrote = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop_readers) do
+          Rwlock.read l (fun () -> Domain.cpu_relax ())
+        done)
+  in
+  let writer =
+    Domain.spawn (fun () -> Rwlock.write l (fun () -> Atomic.set wrote true))
+  in
+  (* let the writer contend with the reader stream briefly, then drain *)
+  let t0 = Clock.now_ms () in
+  while Clock.now_ms () -. t0 < 20.0 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop_readers true;
+  Domain.join writer;
+  Domain.join reader;
+  Alcotest.(check bool) "writer completed once readers drained" true
+    (Atomic.get wrote)
+
+let test_rwlock_read_write_interleave () =
+  let l = Rwlock.create () in
+  let v = ref 0 in
+  let iters = 5_000 in
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to iters do
+          Rwlock.write l (fun () -> v := i)
+        done)
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let last = ref 0 in
+        for _ = 1 to iters do
+          Rwlock.read l (fun () ->
+              let x = !v in
+              (* writes are ordered, so observed values never regress *)
+              if x < !last then Alcotest.failf "read %d after %d" x !last;
+              last := x)
+        done)
+  in
+  Domain.join writer;
+  Domain.join reader;
+  check Alcotest.int "final value" iters !v
+
 let () =
   Alcotest.run "uv_util"
     [
@@ -324,5 +497,24 @@ let () =
         [
           Alcotest.test_case "simulated charges" `Quick test_clock_simulated;
           Alcotest.test_case "real monotonic" `Quick test_clock_real_monotonic;
+          Alcotest.test_case "now_ms monotonic" `Quick test_clock_now_monotonic;
+          Alcotest.test_case "now_ms advances" `Quick test_clock_now_advances;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "covers all items" `Quick test_pool_covers_all_items;
+          Alcotest.test_case "reuse across waves" `Quick test_pool_reuse_across_waves;
+          Alcotest.test_case "contended counter" `Quick test_pool_contended_counter;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "single lane" `Quick test_pool_single_lane;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "nested read" `Quick test_rwlock_nested_read;
+          Alcotest.test_case "readers overlap" `Quick test_rwlock_readers_overlap;
+          Alcotest.test_case "writers exclusive" `Quick test_rwlock_writers_exclusive;
+          Alcotest.test_case "writer progress" `Quick test_rwlock_writer_progress_after_readers;
+          Alcotest.test_case "read/write interleave" `Quick test_rwlock_read_write_interleave;
         ] );
     ]
