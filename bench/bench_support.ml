@@ -106,7 +106,7 @@ let run_dep ?(hash_jumper = false) ?(workers = 8) ~grouped (b : built) : cost =
   in
   let config = Whatif.Config.make ~grouped ~hash_jumper ~workers () in
   let out =
-    Whatif.run ~config ~analyzer b.eng { Analyzer.tau = 1; op = Analyzer.Remove }
+    Whatif.run_exn ~config ~analyzer b.eng { Analyzer.tau = 1; op = Analyzer.Remove }
   in
   {
     real = out.Whatif.real_ms;
@@ -147,7 +147,7 @@ let run_whatif ?config (b : built) tau op =
   let analyzer =
     Analyzer.analyze ~config:b.workload.W.ri_config ~base:b.base (Engine.log b.eng)
   in
-  Whatif.run ?config ~analyzer b.eng { Analyzer.tau = tau; op }
+  Whatif.run_exn ?config ~analyzer b.eng { Analyzer.tau = tau; op }
 
 (* ------------------------------------------------------------------ *)
 (* Mahif baseline on the numeric projection                              *)
@@ -187,7 +187,7 @@ let run_numeric_pair (w : W.t) ~n ~dep_rate =
       let tau = min tau (Log.length (Engine.log eng)) in
       (* T+D: dependency-analysed what-if *)
       let analyzer = Analyzer.analyze (Engine.log eng) in
-      let out = Whatif.run ~analyzer eng { Analyzer.tau; op = Analyzer.Remove } in
+      let out = Whatif.run_exn ~analyzer eng { Analyzer.tau; op = Analyzer.Remove } in
       let td = out.Whatif.analysis_ms +. out.Whatif.simulated_parallel_ms in
       (* B: replay everything from tau on a snapshot *)
       let snap = Engine.snapshot eng in

@@ -67,7 +67,7 @@ let bench_t4 () =
                   S.live_delta (fun () ->
                       let analyzer = Analyzer.analyze (Engine.log eng) in
                       let out =
-                        Whatif.run ~analyzer eng
+                        Whatif.run_exn ~analyzer eng
                           { Analyzer.tau = tau; op = Analyzer.Remove }
                       in
                       (* both the analyzer's indexes and the temporary
@@ -219,7 +219,7 @@ let bench_t6a () =
               op = Analyzer.Change (Uv_sql.Parser.parse_stmt (overwrite_stmt w 101));
             }
           in
-          let out = Whatif.run ~config ~analyzer eng target in
+          let out = Whatif.run_exn ~config ~analyzer eng target in
           let note =
             match out.Whatif.hash_jump_at with Some _ -> "" | None -> "*"
           in
@@ -609,7 +609,7 @@ let bench_exec_parallel () =
       in
       let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
       let run workers =
-        Whatif.run
+        Whatif.run_exn
           ~config:(Whatif.Config.make ~workers ())
           ~analyzer b.S.eng target
       in
@@ -685,7 +685,7 @@ let bench_abl_hash () =
       let run hj =
         let config = Whatif.Config.make ~hash_jumper:hj () in
         Gc.compact ();
-        Whatif.run ~config ~analyzer eng target
+        Whatif.run_exn ~config ~analyzer eng target
       in
       (* nine back-to-back (off, on) pairs after one warmup each: allocator
          noise drifts over the run, so the overhead is the median of the
@@ -767,7 +767,7 @@ let bench_abl_index () =
   let e_scan, base_scan, scan_ms = build false in
   let whatif e base =
     let analyzer = Analyzer.analyze ~base (Engine.log e) in
-    let out = Whatif.run ~analyzer e { Analyzer.tau = 1; op = Analyzer.Remove } in
+    let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 1; op = Analyzer.Remove } in
     out.Whatif.real_ms
   in
   let w_idx = whatif e_idx base_idx in

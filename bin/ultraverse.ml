@@ -169,14 +169,35 @@ let whatif_payload ~path ~tau ~op (out : Whatif.outcome) =
       ("workers", J.Int out.Whatif.workers);
       ("waves", J.Int out.Whatif.exec_waves);
       ("changed", J.Bool out.Whatif.changed);
+      ("degraded", J.Bool out.Whatif.degraded);
+      ("retries", J.Int out.Whatif.retries);
+      ("aborted", J.Null);
       ("final_db_hash", J.Str (Printf.sprintf "%Lx" out.Whatif.final_db_hash));
       ( "phases",
         J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) out.Whatif.phases) );
     ]
 
+(* the failure shape of uv.whatif/1: same envelope, [aborted] object
+   instead of outcome fields *)
+let whatif_abort_payload ~path ~tau ~op (e : Whatif.Error.t) =
+  let module J = Uv_obs.Json in
+  J.Obj
+    [
+      ("history", J.Str path);
+      ("tau", J.Int tau);
+      ("op", J.Str (String.lowercase_ascii op));
+      ( "aborted",
+        J.Obj
+          [
+            ("code", J.Str (Whatif.Error.code_name e.Whatif.Error.code));
+            ("phase", J.Str e.Whatif.Error.phase);
+            ("message", J.Str e.Whatif.Error.message);
+          ] );
+    ]
+
 let whatif_cmd =
-  let run path tau op stmt_text hash_jumper workers serial json query trace
-      metrics =
+  let run path tau op stmt_text hash_jumper workers serial deadline json query
+      trace metrics =
     let obs =
       if trace <> None || metrics then Uv_obs.Trace.create ()
       else Uv_obs.Trace.disabled
@@ -185,10 +206,10 @@ let whatif_cmd =
     let analyzer = Analyzer.analyze ~obs (Engine.log eng) in
     let target = { Analyzer.tau; op = parse_op op stmt_text } in
     let config =
-      Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial) ~obs
-        ()
+      Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial)
+        ?deadline_ms:deadline ~obs ()
     in
-    let out = Whatif.run ~config ~analyzer eng target in
+    let result = Whatif.run ~config ~analyzer eng target in
     (match trace with
     | Some trace_path ->
         let oc = open_out trace_path in
@@ -197,6 +218,15 @@ let whatif_cmd =
         close_out oc;
         Printf.eprintf "trace written to %s\n" trace_path
     | None -> ());
+    match result with
+    | Error e ->
+        if json then
+          print_endline
+            (Uv_obs.Report.to_string ~schema:"uv.whatif/1"
+               (whatif_abort_payload ~path ~tau ~op e))
+        else prerr_endline (Whatif.Error.to_string e);
+        1
+    | Ok out ->
     if json then
       print_endline
         (Uv_obs.Report.to_string ~schema:"uv.whatif/1"
@@ -214,6 +244,9 @@ let whatif_cmd =
           Printf.printf "measured parallel replay %.2f ms over %d waves\n" m
             out.Whatif.exec_waves
       | None -> print_endline "parallel replay: serial fallback");
+      if out.Whatif.retries > 0 || out.Whatif.degraded then
+        Printf.printf "fault recovery: %d retries%s\n" out.Whatif.retries
+          (if out.Whatif.degraded then ", degraded to the caller lane" else "");
       (match out.Whatif.hash_jump_at with
       | Some i -> Printf.printf "hash-hit at commit %d: the change is effectless\n" i
       | None -> ());
@@ -269,6 +302,13 @@ let whatif_cmd =
          & info [ "serial" ]
              ~doc:"disable the parallel wave executor; replay serially")
   in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"wall-clock budget for the run in milliseconds; an \
+                   exceeded budget aborts cleanly (exit 1, the original \
+                   database untouched)")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"emit the outcome as JSON")
   in
@@ -292,7 +332,7 @@ let whatif_cmd =
   Cmd.v
     (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
     Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ workers
-          $ serial $ json $ query $ trace $ metrics)
+          $ serial $ deadline $ json $ query $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -402,7 +442,7 @@ let log_save_cmd =
   in
   let out =
     Arg.(required & opt (some string) None
-         & info [ "out"; "o" ] ~doc:"destination ULOGv1 file")
+         & info [ "out"; "o" ] ~doc:"destination ULOGv2 file")
   in
   Cmd.v
     (Cmd.info "save" ~doc:"execute a history and persist its durable log")
@@ -412,9 +452,12 @@ let log_replay_cmd =
   let run path query =
     let records = Log_io.load ~path in
     let eng = Engine.create () in
-    Log_io.replay eng records;
+    let skipped = Log_io.replay eng records in
     Printf.printf "replayed %d records; db hash %Lx\n" (List.length records)
       (Engine.db_hash eng);
+    if skipped <> [] then
+      Printf.printf "skipped %d record(s): %s\n" (List.length skipped)
+        (String.concat ", " (List.map string_of_int skipped));
     (match query with
     | None -> ()
     | Some q ->
@@ -463,8 +506,143 @@ let dump_cmd =
 
 let log_cmd =
   Cmd.group
-    (Cmd.info "log" ~doc:"durable statement-log tooling (ULOGv1)")
+    (Cmd.info "log" ~doc:"durable statement-log tooling (ULOGv2)")
     [ log_save_cmd; log_replay_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* fsck / recover: crash-consistency tooling                            *)
+(* ------------------------------------------------------------------ *)
+
+let fsck_cmd =
+  let module D = Uv_analysis.Diagnostic in
+  let run path json =
+    let records, diag = Log_io.load_salvage ~path in
+    let structural =
+      match diag.Log_io.cut_at with
+      | None -> []
+      | Some off ->
+          [
+            D.make ~index:(diag.Log_io.valid_records + 1) ~obj:path
+              ~code:"UVA011" ~severity:D.Error ~pass:"fsck"
+              (Printf.sprintf
+                 "log damaged at byte %d of %d (%s); %d valid record(s) \
+                  precede the cut"
+                 off diag.Log_io.total_bytes
+                 (Option.value diag.Log_io.reason ~default:"unknown damage")
+                 diag.Log_io.valid_records);
+          ]
+    in
+    (* replay check: the salvaged prefix must rebuild from an empty
+       database — records that fail indicate a non-self-contained log
+       (e.g. the tail of a checkpointed history) *)
+    let eng = Engine.create () in
+    let skipped = Log_io.replay eng records in
+    let replay_diags =
+      List.map
+        (fun i ->
+          D.make ~index:i ~obj:path ~code:"UVA012" ~severity:D.Warning
+            ~pass:"fsck"
+            (Printf.sprintf "record %d does not replay on a fresh database" i))
+        skipped
+    in
+    let diags = structural @ replay_diags in
+    if json then begin
+      let payload =
+        match Uv_obs.Json.parse (D.json_report diags) with
+        | Ok j -> j
+        | Error e -> failwith ("internal: fsck report is not JSON: " ^ e)
+      in
+      print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
+    end
+    else begin
+      Printf.printf "%s: ULOGv%d, %d bytes, %d valid record(s)%s\n" path
+        diag.Log_io.version diag.Log_io.total_bytes diag.Log_io.valid_records
+        (match diag.Log_io.cut_at with
+        | None -> ", clean"
+        | Some off -> Printf.sprintf ", damaged at byte %d" off);
+      Format.printf "%a" D.pp_report diags
+    end;
+    if D.errors diags = [] then 0 else 1
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"check a persisted statement log: framing, per-record \
+             checksums, and a replay dry-run (exit 1 if the log is \
+             damaged)")
+    Term.(const run $ path $ json)
+
+let recover_cmd =
+  let run path checkpoint out query =
+    let records, diag = Log_io.load_salvage ~path in
+    let eng = Engine.create () in
+    (* the checkpoint (a logical dump) replays first; its statements land
+       in the engine's log too, so a log written with --out is a complete,
+       self-contained history *)
+    (match checkpoint with
+    | Some cp -> Dump.load eng ~path:cp
+    | None -> ());
+    let skipped = Log_io.replay eng records in
+    Printf.printf "recovered %d of %d record(s)%s; db hash %Lx\n"
+      (List.length records - List.length skipped)
+      (List.length records)
+      (match diag.Log_io.cut_at with
+      | None -> ""
+      | Some off ->
+          Printf.sprintf " (tail cut at byte %d: %s)" off
+            (Option.value diag.Log_io.reason ~default:"unknown damage"))
+      (Engine.db_hash eng);
+    if skipped <> [] then
+      Printf.printf "skipped %d record(s): %s\n" (List.length skipped)
+        (String.concat ", " (List.map string_of_int skipped));
+    (match out with
+    | Some out_path ->
+        Log_io.save (Engine.log eng) ~path:out_path;
+        Printf.printf "clean log (%d records) -> %s\n"
+          (Log.length (Engine.log eng))
+          out_path
+    | None -> ());
+    (match query with
+    | None -> ()
+    | Some q ->
+        let r = Engine.query_sql eng q in
+        print_endline (String.concat " | " r.Engine.columns);
+        List.iter
+          (fun row ->
+            print_endline
+              (String.concat " | "
+                 (Array.to_list (Array.map Uv_sql.Value.to_string row))))
+          r.Engine.rows);
+    0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
+  in
+  let checkpoint =
+    Arg.(value & opt (some file) None
+         & info [ "checkpoint" ] ~docv:"DUMP.SQL"
+             ~doc:"logical dump to restore before replaying the log tail")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ]
+             ~doc:"write the recovered history as a clean ULOGv2 file")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~doc:"SELECT to run against the recovered database")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"rebuild a database from a (possibly damaged) statement log, \
+             salvaging the valid record prefix, optionally on top of a \
+             checkpoint dump")
+    Term.(const run $ path $ checkpoint $ out $ query)
 
 (* ------------------------------------------------------------------ *)
 (* trace: pretty-print a Chrome trace-event file                        *)
@@ -571,4 +749,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; trace_cmd;
-            log_cmd; dump_cmd; workloads_cmd ]))
+            log_cmd; dump_cmd; fsck_cmd; recover_cmd; workloads_cmd ]))

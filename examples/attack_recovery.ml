@@ -56,7 +56,7 @@ let () =
   let analyzer =
     Analyzer.analyze ~config:astore.W.ri_config ~base (Engine.log eng)
   in
-  let out = Whatif.run ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
   Printf.printf
     "repair: %d of %d statements needed replay (%.1f%%), %d rolled back, %.1f ms\n"
     out.Whatif.replay.Analyzer.member_count

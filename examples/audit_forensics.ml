@@ -65,7 +65,7 @@ let () =
   (* ---------------------------------------------------------------- *)
   section "audit: rebuild from the log";
   let audit = Engine.create () in
-  Log_io.replay audit (Log_io.load ~path:log_path);
+  ignore (Log_io.replay audit (Log_io.load ~path:log_path) : int list);
   Sys.remove log_path;
   Printf.printf "rebuilt database %s production\n"
     (if Int64.equal (Engine.db_hash audit) (Engine.db_hash prod) then
@@ -90,7 +90,7 @@ let () =
   (* 4. Retroactively remove it                                         *)
   (* ---------------------------------------------------------------- *)
   section "what-if: the attack never happened";
-  let out = Whatif.run ~analyzer audit target in
+  let out = Whatif.run_exn ~analyzer audit target in
   Printf.printf "replayed %d statements; universe %s\n" out.Whatif.replayed
     (if out.Whatif.changed then "changed" else "unchanged");
   (match

@@ -55,7 +55,7 @@ let () =
 
   let run jumper =
     let config = Whatif.Config.make ~hash_jumper:jumper () in
-    Whatif.run ~config ~analyzer eng target
+    Whatif.run_exn ~config ~analyzer eng target
   in
   let without = run false in
   let with_hj = run true in

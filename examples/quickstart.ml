@@ -83,7 +83,7 @@ let () =
   (* 4. what-if: retroactively remove Alice's address registration *)
   section "What if Alice had never registered her address?";
   let analyzer = Analyzer.analyze ~base (Engine.log eng) in
-  let out = Whatif.run ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
   Printf.printf
     "  history: %d statements; replay set: %d (column-wise alone: %d)\n"
     (Log.length (Engine.log eng))

@@ -97,7 +97,7 @@ let () =
     Uv_sql.Parser.parse_stmt "CALL uv_Trade('buy', 'alice', 'ACME', 200, 50)"
   in
   let out =
-    Whatif.run ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Change bigger }
+    Whatif.run_exn ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Change bigger }
   in
   Printf.printf
     "what-if replayed %d of %d statements (bob's GLOBEX trade was independent)\n"

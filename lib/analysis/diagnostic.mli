@@ -31,7 +31,14 @@
     - [UVA009] (error, target) — the retroactive target's commit index τ
       is out of range for the history.
     - [UVA010] (error, target) — a FOREIGN KEY the target would exercise
-      is unresolvable as of τ. *)
+      is unresolvable as of τ.
+    - [UVA011] (error, fsck) — a persisted statement log is damaged:
+      the valid record prefix ends before the end of the file (torn
+      tail, checksum mismatch, or malformed framing). Emitted by
+      [ultraverse fsck] with the byte offset of the cut.
+    - [UVA012] (warning, fsck) — a persisted log record fails to replay
+      on a fresh database ([ultraverse fsck]'s replay check): the log
+      is not self-contained (e.g. it post-dates a checkpoint). *)
 
 type severity = Error | Warning | Info
 

@@ -38,6 +38,17 @@ let to_sql cat =
   let tables = by_name fst (Catalog.tables cat) in
   List.iter (fun (_, tbl) -> emit (create_table_stmt tbl)) tables;
   List.iter (fun (_, tbl) -> List.iter emit (insert_stmts tbl)) tables;
+  (* pin AUTO_INCREMENT counters: re-deriving them from the rows is wrong
+     when the row holding the highest key was deleted before the dump *)
+  List.iter
+    (fun (name, tbl) ->
+      match Schema.auto_increment_column (Storage.schema tbl) with
+      | Some _ ->
+          emit
+            (Ast.Alter_table
+               (name, Ast.Set_auto_increment (Storage.next_auto_value tbl)))
+      | None -> ())
+    tables;
   (* secondary indexes *)
   List.iter
     (fun (name, (table, columns)) ->
@@ -90,11 +101,19 @@ let to_sql cat =
     tables;
   Buffer.contents buf
 
-let save cat ~path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_sql cat))
+let save ?(fault = Uv_fault.Fault.disabled) ?fsync cat ~path =
+  let data = to_sql cat in
+  match
+    Uv_fault.Fault.check fault Uv_fault.Fault.Site.dump_save
+      [ Uv_fault.Fault.Torn_write ]
+  with
+  | Some inj ->
+      let keep =
+        int_of_float (float_of_int (String.length data) *. inj.Uv_fault.Fault.arg)
+      in
+      Uv_util.Safe_io.write_file (path ^ ".tmp") (String.sub data 0 keep);
+      raise (Uv_fault.Fault.Injected inj)
+  | None -> Uv_util.Safe_io.atomic_write ?fsync ~path data
 
 let restore eng script =
   List.iter

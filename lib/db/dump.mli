@@ -10,17 +10,21 @@
     rows in rowid (insertion) order, so dumping the same database twice
     yields the same script.
 
-    Caveat: the AUTO_INCREMENT counter is re-derived from the dumped
-    rows (each explicit key bumps the counter past itself), so it can
-    differ from the source only when the row holding the highest key had
-    been deleted — the next fresh key may then be lower than it would
-    have been on the source. *)
+    AUTO_INCREMENT counters are persisted explicitly: after a table's
+    rows, the script pins the counter with
+    [ALTER TABLE t AUTO_INCREMENT = n], so the restored database hands
+    out the same fresh keys as the source even when the row holding the
+    highest key had been deleted before the dump. *)
 
 val to_sql : Catalog.t -> string
 (** Render the catalog as an executable SQL script. *)
 
-val save : Catalog.t -> path:string -> unit
-(** [save cat ~path] writes {!to_sql} to a file. *)
+val save : ?fault:Uv_fault.Fault.t -> ?fsync:bool -> Catalog.t -> path:string -> unit
+(** [save cat ~path] writes {!to_sql} to a file atomically (temp file +
+    fsync + rename; [fsync] defaults to [true]), so an interrupted save
+    never destroys the previous checkpoint. [fault] probes
+    {!Uv_fault.Fault.Site.dump_save} with [Torn_write], mirroring
+    {!Log_io.save}. *)
 
 val restore : Engine.t -> string -> unit
 (** Execute a dump script against an engine (normally a fresh one).

@@ -18,9 +18,12 @@ type t = {
   cat : Catalog.t;
   log : Log.t;
   clock : Uv_util.Clock.t;
-  prng : Uv_util.Prng.t;
+  mutable prng : Uv_util.Prng.t;
+      (* mutable so rollback can restore the pre-statement stream: a
+         retried statement must draw the same fresh values *)
   enforce_fk : bool;
   obs : Uv_obs.Trace.t;
+  fault : Uv_fault.Fault.t;
   mutable sim_time : int;
   mutable last_insert_id : Value.t;
   (* per-statement execution state *)
@@ -37,7 +40,8 @@ type t = {
 }
 
 let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
-    ?(obs = Uv_obs.Trace.disabled) ?(log = Log.create ()) cat =
+    ?(obs = Uv_obs.Trace.disabled) ?(fault = Uv_fault.Fault.disabled)
+    ?(log = Log.create ()) cat =
   {
     cat;
     log;
@@ -45,6 +49,7 @@ let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     prng = Uv_util.Prng.create seed;
     enforce_fk;
     obs;
+    fault;
     sim_time = 1_700_000_000;
     last_insert_id = Value.Null;
     journal = [];
@@ -57,7 +62,7 @@ let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
   }
 
 let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
-    ?(obs = Uv_obs.Trace.disabled) () =
+    ?(obs = Uv_obs.Trace.disabled) ?(fault = Uv_fault.Fault.disabled) () =
   {
     cat = Catalog.create ();
     log = Log.create ();
@@ -65,6 +70,7 @@ let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     prng = Uv_util.Prng.create seed;
     enforce_fk;
     obs;
+    fault;
     sim_time = 1_700_000_000;
     last_insert_id = Value.Null;
     journal = [];
@@ -849,6 +855,11 @@ and insert_row t table_name (columns : string list option) (values : Value.t lis
       | Some ac -> (
           match Storage.column_index tbl ac with
           | Some i ->
+              (* counter restored on rollback so a retried statement
+                 draws the same fresh keys *)
+              t.journal <-
+                Log.U_auto_value (table_name, Storage.next_auto_value tbl)
+                :: t.journal;
               if Value.is_null row.(i) then begin
                 let v =
                   draw t (fun () -> Value.Int (Storage.take_auto_value tbl))
@@ -1133,12 +1144,19 @@ and exec_stmt t env (s : stmt) : result =
       empty_result
   | Alter_table (name, action) ->
       let tbl = find_table t name in
-      capture_table t name;
+      (match action with
+      | Set_auto_increment _ ->
+          (* a counter pin needs no table capture; journal just the
+             counter *)
+          t.journal <-
+            Log.U_auto_value (name, Storage.next_auto_value tbl) :: t.journal
+      | _ -> capture_table t name);
       (match action with
       | Rename_table n2 -> capture_table t n2
       | _ -> ());
       let sch = Storage.schema tbl in
       (match action with
+      | Set_auto_increment v -> Storage.set_auto_value tbl v
       | Add_column c ->
           let fresh =
             { sch with Schema.tbl_columns = sch.Schema.tbl_columns @ [ c ] }
@@ -1226,16 +1244,42 @@ let begin_statement ?rowid_base t nondet =
   t.rows_written <- 0;
   t.rowid_alloc <- Option.map (fun b -> (b, ref 0)) rowid_base
 
+(* Statement text attached to Sql_error so chaos-run failures are
+   diagnosable from the message alone; long statements are clipped. *)
+let error_context t stmt =
+  let sql = Printer.stmt_compact stmt in
+  let sql =
+    if String.length sql > 160 then String.sub sql 0 157 ^ "..." else sql
+  in
+  Printf.sprintf " [at log index %d: %s]" (Log.length t.log + 1) sql
+
 let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
   begin_statement ?rowid_base t nondet;
   Uv_util.Clock.charge_rtt t.clock ();
+  (* pre-statement state: an injected (infrastructure) fault restores all
+     of it so a retried statement reenacts exactly — an application-level
+     error keeps the historical behaviour (clock and PRNG advance) *)
+  let sim0 = t.sim_time in
+  let li0 = t.last_insert_id in
+  let prng0 = Uv_util.Prng.copy t.prng in
   t.sim_time <- t.sim_time + 1;
   let traced = Uv_obs.Trace.enabled t.obs in
   let t0 = if traced then Uv_util.Clock.now_ms () else 0.0 in
-  match
-    try exec_stmt t (empty_env ()) stmt
-    with Failure msg -> sql_error "%s" msg
-  with
+  let run () =
+    Uv_fault.Fault.fire ~key:t.sim_time t.fault Uv_fault.Fault.Site.engine_exec
+      [ Uv_fault.Fault.Stmt_fail ];
+    let r =
+      try exec_stmt t (empty_env ()) stmt
+      with Failure msg -> sql_error "%s" msg
+    in
+    (* the statement executed; a fault here models a crash before its log
+       entry commits, forcing the full journal rollback below *)
+    Uv_fault.Fault.fire ~key:t.sim_time t.fault
+      Uv_fault.Fault.Site.engine_commit
+      [ Uv_fault.Fault.Stmt_fail ];
+    r
+  in
+  match run () with
   | r ->
       if traced then begin
         Uv_obs.Trace.observe t.obs "db.exec_ms" (Uv_util.Clock.now_ms () -. t0);
@@ -1258,14 +1302,24 @@ let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
       in
       Log.append t.log entry;
       { r with rows_written = t.rows_written }
-  | exception ((Sql_error _ | Signal_raised _) as exn) ->
+  | exception exn ->
+      (* statement atomicity on *every* failure path: roll the journal
+         back whatever escaped, not just SQL-level errors *)
       let r0 = if traced then Uv_util.Clock.now_ms () else 0.0 in
       undo_journal t;
+      (match exn with
+      | Uv_fault.Fault.Injected _ ->
+          t.prng <- prng0;
+          t.sim_time <- sim0;
+          t.last_insert_id <- li0
+      | _ -> ());
       if traced then begin
         Uv_obs.Trace.observe t.obs "db.rollback_ms" (Uv_util.Clock.now_ms () -. r0);
         Uv_obs.Trace.incr t.obs "db.rollbacks"
       end;
-      raise exn
+      (match exn with
+      | Sql_error msg -> raise (Sql_error (msg ^ error_context t stmt))
+      | _ -> raise exn)
 
 let exec_sql ?app_txn ?nondet t sql = exec ?app_txn ?nondet t (Parser.parse_stmt sql)
 

@@ -25,7 +25,9 @@ open Uv_sql
 
 exception Sql_error of string
 (** Runtime error (unknown table, type error, ...). The offending
-    statement's effects are rolled back before this escapes [exec]. *)
+    statement's effects are rolled back before this escapes [exec],
+    and the message carries the statement text and prospective log
+    index ([... [at log index N: <sql>]]) for diagnosis. *)
 
 exception Signal_raised of string
 (** A procedure executed [SIGNAL SQLSTATE 's']. Effects rolled back. *)
@@ -41,19 +43,30 @@ val empty_result : result
 type t
 
 val create :
-  ?seed:int -> ?rtt_ms:float -> ?enforce_fk:bool -> ?obs:Uv_obs.Trace.t -> unit -> t
+  ?seed:int ->
+  ?rtt_ms:float ->
+  ?enforce_fk:bool ->
+  ?obs:Uv_obs.Trace.t ->
+  ?fault:Uv_fault.Fault.t ->
+  unit ->
+  t
 (** Fresh engine with an empty database. [seed] fixes the RAND() stream;
     [rtt_ms] the simulated client-server round trip; [enforce_fk]
     (default false) enables FOREIGN KEY existence checks on insert.
     [obs] (default disabled) collects per-statement execute/rollback
     timings ([db.exec_ms]/[db.rollback_ms]) and log-append/rollback
-    counts. *)
+    counts. [fault] (default disabled) threads the deterministic fault
+    injector through [exec]'s probe sites (see {!Uv_fault.Fault.Site}):
+    an injected statement failure escapes as [Uv_fault.Fault.Injected]
+    after a complete rollback that also restores the PRNG stream, the
+    logical clock and [LAST_INSERT_ID], so a retry reenacts exactly. *)
 
 val of_catalog :
   ?seed:int ->
   ?rtt_ms:float ->
   ?enforce_fk:bool ->
   ?obs:Uv_obs.Trace.t ->
+  ?fault:Uv_fault.Fault.t ->
   ?log:Log.t ->
   Catalog.t ->
   t

@@ -9,6 +9,7 @@ type undo =
   | U_proc_def of string * Catalog.procedure option
   | U_trigger_def of string * Catalog.trigger option
   | U_index_def of string * (string * string list) option
+  | U_auto_value of string * int
 
 type entry = {
   index : int;
@@ -66,7 +67,11 @@ let apply_undo cat undos =
           match prior with Some tr -> Catalog.add_trigger cat tr | None -> ())
       | U_index_def (name, prior) -> (
           Catalog.remove_index cat name;
-          match prior with Some i -> Catalog.add_index cat name i | None -> ()))
+          match prior with Some i -> Catalog.add_index cat name i | None -> ())
+      | U_auto_value (table, v) -> (
+          match Catalog.table cat table with
+          | Some tbl -> Storage.set_auto_value tbl v
+          | None -> ()))
     undos
 
 type t = { mutable items : entry array; mutable len : int }

@@ -28,6 +28,11 @@ type undo =
   | U_proc_def of string * Catalog.procedure option
   | U_trigger_def of string * Catalog.trigger option
   | U_index_def of string * (string * string list) option
+  | U_auto_value of string * int
+      (** restore the table's AUTO_INCREMENT counter to exactly this
+          value — journalled before any statement mutates the counter, so
+          rollback (and what-if's selective undo) reenacts the same fresh
+          key draws on replay *)
 
 type entry = {
   index : int;  (** commit order, 1-based *)

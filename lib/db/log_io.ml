@@ -8,7 +8,8 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 
-let header = "ULOGv1"
+let header_v1 = "ULOGv1"
+let header_v2 = "ULOGv2"
 
 (* ------------------------------------------------------------------ *)
 (* Escaping                                                             *)
@@ -55,103 +56,222 @@ let records_of_log log =
       { r_sql = e.Log.sql; r_nondet = e.Log.nondet; r_app_txn = e.Log.app_txn })
     (Log.entries log)
 
+(* A record's body: the Q/N/A lines, newlines included — exactly the
+   bytes the C line's CRC-32 covers. *)
+let record_body r =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf ("Q " ^ escape r.r_sql ^ "\n");
+  List.iter
+    (fun v ->
+      Buffer.add_string buf ("N " ^ escape (Uv_sql.Value.serialize v) ^ "\n"))
+    r.r_nondet;
+  (match r.r_app_txn with
+  | Some tag -> Buffer.add_string buf ("A " ^ escape tag ^ "\n")
+  | None -> ());
+  Buffer.contents buf
+
 let print records =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf header;
+  Buffer.add_string buf header_v2;
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
-      Buffer.add_string buf ("Q " ^ escape r.r_sql ^ "\n");
-      List.iter
-        (fun v ->
-          Buffer.add_string buf
-            ("N " ^ escape (Uv_sql.Value.serialize v) ^ "\n"))
-        r.r_nondet;
-      (match r.r_app_txn with
-      | Some tag -> Buffer.add_string buf ("A " ^ escape tag ^ "\n")
-      | None -> ());
+      let body = record_body r in
+      Buffer.add_string buf body;
+      Buffer.add_string buf
+        ("C " ^ Uv_util.Crc32.to_hex (Uv_util.Crc32.digest body) ^ "\n");
       Buffer.add_string buf "E\n")
     records;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
-(* Parsing                                                              *)
+(* Parsing & salvage                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let parse text =
-  let lines = String.split_on_char '\n' text in
-  let lines = List.filter (fun l -> l <> "") lines in
-  match lines with
-  | [] -> corrupt "empty file"
-  | h :: rest ->
-      if h <> header then corrupt "bad header %S (want %S)" h header;
-      let records = ref [] in
-      (* fields of the record currently being assembled *)
-      let sql = ref None and nondet = ref [] and tag = ref None in
-      let flush () =
-        match !sql with
-        | None -> corrupt "record end without a Q line"
-        | Some q ->
-            records :=
-              { r_sql = q; r_nondet = List.rev !nondet; r_app_txn = !tag }
-              :: !records;
-            sql := None;
-            nondet := [];
-            tag := None
+type diagnosis = {
+  version : int;
+  total_bytes : int;
+  valid_records : int;
+  cut_at : int option;
+  reason : string option;
+}
+
+(* Single forward pass with byte offsets. A record counts only once its
+   whole block — Q line through E, checksum verified on v2 — parses; the
+   scan stops at the first damaged record, keeping the valid prefix
+   (replaying past a damaged record would silently reorder history). *)
+let salvage text =
+  let n = String.length text in
+  let pos = ref 0 in
+  (* next non-empty line and the offset it starts at; skips blank lines *)
+  let rec next_line () =
+    if !pos >= n then None
+    else begin
+      let start = !pos in
+      let nl =
+        match String.index_from_opt text start '\n' with
+        | Some i -> i
+        | None -> n
       in
-      List.iter
-        (fun line ->
+      pos := (if nl < n then nl + 1 else n);
+      if nl = start then next_line ()
+      else Some (String.sub text start (nl - start), start)
+    end
+  in
+  let fail_at off reason version records =
+    ( List.rev records,
+      {
+        version;
+        total_bytes = n;
+        valid_records = List.length records;
+        cut_at = Some off;
+        reason = Some reason;
+      } )
+  in
+  match next_line () with
+  | None -> fail_at 0 "empty file" 0 []
+  | Some (h, off) when h <> header_v1 && h <> header_v2 ->
+      fail_at off
+        (Printf.sprintf "bad header %S (want %S or %S)" h header_v1 header_v2)
+        0 []
+  | Some (h, _) -> (
+      let version = if String.equal h header_v2 then 2 else 1 in
+      let records = ref [] in
+      let outcome = ref None in
+      (* parse one record starting at the current position; returns
+         [Ok ()] appending to [records], or [Error reason]. *)
+      let parse_record first_line =
+        let body = Buffer.create 128 in
+        let sql = ref None and nondet = ref [] and tag = ref None in
+        let crc_ok = ref (version = 1) in
+        let rec step (line, _off) =
           let payload () =
             if String.length line < 2 then corrupt "short line %S" line
             else unescape (String.sub line 2 (String.length line - 2))
           in
+          let raw_payload () =
+            if String.length line < 2 then corrupt "short line %S" line
+            else String.sub line 2 (String.length line - 2)
+          in
+          let continue_ () =
+            match next_line () with
+            | None -> corrupt "truncated final record"
+            | Some l -> step l
+          in
           match line.[0] with
           | 'Q' ->
               if !sql <> None then corrupt "Q line inside an open record";
-              sql := Some (payload ())
+              sql := Some (payload ());
+              Buffer.add_string body (line ^ "\n");
+              continue_ ()
           | 'N' ->
               if !sql = None then corrupt "N line outside a record";
               let v =
                 try Uv_sql.Value.deserialize (payload ())
                 with Failure m -> corrupt "bad value: %s" m
               in
-              nondet := v :: !nondet
+              nondet := v :: !nondet;
+              Buffer.add_string body (line ^ "\n");
+              continue_ ()
           | 'A' ->
               if !sql = None then corrupt "A line outside a record";
-              tag := Some (payload ())
-          | 'E' -> flush ()
-          | c -> corrupt "unknown line tag %C" c)
-        rest;
-      if !sql <> None then corrupt "truncated final record";
-      List.rev !records
+              tag := Some (payload ());
+              Buffer.add_string body (line ^ "\n");
+              continue_ ()
+          | 'C' ->
+              if !sql = None then corrupt "C line outside a record";
+              if version = 1 then corrupt "checksum line in a v1 log";
+              (match Uv_util.Crc32.of_hex (raw_payload ()) with
+              | None -> corrupt "malformed checksum %S" line
+              | Some c ->
+                  let actual = Uv_util.Crc32.digest (Buffer.contents body) in
+                  if c <> actual then
+                    corrupt "checksum mismatch (stored %s, computed %s)"
+                      (Uv_util.Crc32.to_hex c)
+                      (Uv_util.Crc32.to_hex actual);
+                  crc_ok := true);
+              continue_ ()
+          | 'E' ->
+              if !sql = None then corrupt "record end without a Q line";
+              if not !crc_ok then corrupt "record without a checksum";
+              records :=
+                {
+                  r_sql = Option.get !sql;
+                  r_nondet = List.rev !nondet;
+                  r_app_txn = !tag;
+                }
+                :: !records
+          | c -> corrupt "unknown line tag %C" c
+        in
+        step first_line
+      in
+      let rec loop () =
+        let rec_start = !pos in
+        match next_line () with
+        | None -> () (* clean end of file *)
+        | Some first -> (
+            match parse_record first with
+            | () -> loop ()
+            | exception Corrupt reason ->
+                outcome := Some (rec_start, reason))
+      in
+      loop ();
+      match !outcome with
+      | None ->
+          ( List.rev !records,
+            {
+              version;
+              total_bytes = n;
+              valid_records = List.length !records;
+              cut_at = None;
+              reason = None;
+            } )
+      | Some (off, reason) -> fail_at off reason version !records)
+
+let parse text =
+  let records, diag = salvage text in
+  match diag.reason with
+  | Some reason ->
+      corrupt "%s (at byte %d)" reason
+        (Option.value diag.cut_at ~default:diag.total_bytes)
+  | None -> records
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let save log ~path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (print (records_of_log log)))
+let save ?(fault = Uv_fault.Fault.disabled) ?fsync log ~path =
+  let data = print (records_of_log log) in
+  match
+    Uv_fault.Fault.check fault Uv_fault.Fault.Site.log_save
+      [ Uv_fault.Fault.Torn_write ]
+  with
+  | Some inj ->
+      (* the crash happens mid-write of the temp file: a prefix lands
+         there, the rename never runs, the previous good file survives *)
+      let keep =
+        int_of_float (float_of_int (String.length data) *. inj.Uv_fault.Fault.arg)
+      in
+      Uv_util.Safe_io.write_file (path ^ ".tmp") (String.sub data 0 keep);
+      raise (Uv_fault.Fault.Injected inj)
+  | None -> Uv_util.Safe_io.atomic_write ?fsync ~path data
 
-let load ~path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      parse (really_input_string ic n))
+let load ~path = parse (Uv_util.Safe_io.read_file path)
+
+let load_salvage ~path = salvage (Uv_util.Safe_io.read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let replay eng records =
-  List.iter
-    (fun r ->
+  let skipped = ref [] in
+  List.iteri
+    (fun i r ->
       try
         ignore
           (Engine.exec_sql ?app_txn:r.r_app_txn ~nondet:r.r_nondet eng r.r_sql)
-      with Engine.Sql_error _ | Engine.Signal_raised _ -> ())
-    records
+      with Engine.Sql_error _ | Engine.Signal_raised _ ->
+        skipped := (i + 1) :: !skipped)
+    records;
+  List.rev !skipped

@@ -5,20 +5,30 @@
     transaction tag — on disk next to the DBMS redo log; everything else
     (row images, undo records, table hashes) is re-derivable by replay.
     This module implements that redo-log persistence: a line-oriented,
-    versioned, 8-bit-clean text format.
+    versioned, 8-bit-clean text format with per-record checksums and a
+    salvage path for torn tails.
 
-    {2 Format}
+    {2 Format (ULOGv2)}
 
     {v
-    ULOGv1
+    ULOGv2
     Q <escaped sql>
     N <escaped serialized value>     (zero or more, in draw order)
     A <escaped tag>                  (optional)
+    C <crc32 of the Q/N/A lines>     (8 lowercase hex digits)
     E
     v}
 
     Escaping maps backslash, newline and carriage return to
-    [\\], [\n], [\r] so records survive any statement text. *)
+    [\\], [\n], [\r] so records survive any statement text. The C line
+    holds the CRC-32 of the record's body bytes (Q through A lines,
+    newlines included), so a torn or bit-flipped record is detected
+    before it is replayed. {!parse} still accepts the checksum-free
+    ULOGv1 header for logs written by earlier versions.
+
+    {!save} is crash-consistent: the rendered log is written to
+    [path ^ ".tmp"], fsynced and renamed over [path], so an interrupted
+    save can never destroy the previous good file. *)
 
 type record = {
   r_sql : string;  (** statement text, parseable by {!Uv_sql.Parser} *)
@@ -30,29 +40,56 @@ type record = {
 exception Corrupt of string
 (** Raised by {!parse} and {!load} on a malformed or truncated file. *)
 
+type diagnosis = {
+  version : int;  (** 1 or 2; [0] when even the header is unreadable *)
+  total_bytes : int;
+  valid_records : int;
+  cut_at : int option;
+      (** byte offset where the valid prefix ends; [None] for a clean
+          file *)
+  reason : string option;  (** what was wrong at [cut_at] *)
+}
+
 val records_of_log : Log.t -> record list
 (** Project the durable fields out of an in-memory log. *)
 
 val print : record list -> string
-(** Render records in the ULOGv1 format. *)
+(** Render records in the ULOGv2 format. *)
 
 val parse : string -> record list
-(** Inverse of {!print}.
+(** Inverse of {!print}; also accepts ULOGv1 input.
     @raise Corrupt on bad input. *)
 
-val save : Log.t -> path:string -> unit
-(** [save log ~path] writes the log's durable projection to [path]. *)
+val salvage : string -> record list * diagnosis
+(** Best-effort parse that never raises: returns the longest valid
+    record {e prefix} (a record counts only when its whole block parses
+    and, on v2, its checksum matches) plus a diagnosis of the first
+    damage found. Recovery deliberately stops at the first bad record —
+    replaying records past a hole would silently reorder history. *)
+
+val save : ?fault:Uv_fault.Fault.t -> ?fsync:bool -> Log.t -> path:string -> unit
+(** [save log ~path] writes the log's durable projection to [path]
+    atomically (temp file + fsync + rename; [fsync] defaults to [true]).
+    [fault] probes {!Uv_fault.Fault.Site.log_save} with [Torn_write]:
+    an injected tear writes a prefix to the temp file, skips the rename
+    — leaving any previous file at [path] intact — and raises
+    [Uv_fault.Fault.Injected]. *)
 
 val load : path:string -> record list
 (** Read a file written by {!save}.
     @raise Corrupt on bad input. *)
 
-val replay : Engine.t -> record list -> unit
+val load_salvage : path:string -> record list * diagnosis
+(** {!salvage} over a file's bytes; never raises on bad content. *)
+
+val replay : Engine.t -> record list -> int list
 (** Re-execute the records in order against [engine], forcing each
     statement's recorded non-determinism, rebuilding the full in-memory
     log (undo images, table hashes, row counts) as a side effect.
     Statements that fail with a SQL error are skipped, mirroring how the
-    original execution logged only successful statements. *)
+    original execution logged only successful statements; the returned
+    list holds the 1-based indices of the skipped records (empty on a
+    faithful replay). *)
 
 val escape : string -> string
 (** Exposed for property tests. *)

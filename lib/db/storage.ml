@@ -66,6 +66,8 @@ let take_auto_value t =
 let bump_auto_value t v =
   locked t (fun () -> if v >= t.next_auto then t.next_auto <- v + 1)
 
+let set_auto_value t v = locked t (fun () -> t.next_auto <- max 1 v)
+
 let next_rowid t = reading t (fun () -> t.next_rowid)
 
 (* Index keys must respect SQL equality classes: Int 5, Float 5.0,

@@ -43,6 +43,12 @@ val bump_auto_value : t -> int -> unit
 (** Raise the counter to at least [v + 1] (applied when an explicit value
     is inserted into an AUTO_INCREMENT column). *)
 
+val set_auto_value : t -> int -> unit
+(** Pin the counter to exactly [v] (clamped to at least 1). Used by
+    [ALTER TABLE ... AUTO_INCREMENT = v] and by statement rollback, which
+    must restore the pre-statement counter so a retried statement draws
+    the same fresh keys. *)
+
 val insert : t -> Value.t array -> rowid
 (** Insert a row (already coerced and padded to schema width). *)
 

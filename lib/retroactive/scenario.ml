@@ -31,7 +31,7 @@ let branch ?name ?config t (target : Analyzer.target) =
   let analyzer =
     Analyzer.analyze ~config:t.ri_config ?base:t.base (Uv_db.Engine.log t.eng)
   in
-  let out = Whatif.run ?config ~analyzer t.eng target in
+  let out = Whatif.run_exn ?config ~analyzer t.eng target in
   let child_cat = Uv_db.Catalog.snapshot (Uv_db.Engine.catalog t.eng) in
   Uv_db.Catalog.copy_tables_into out.Whatif.temp_catalog ~into:child_cat
     out.Whatif.replay.Analyzer.mutated;

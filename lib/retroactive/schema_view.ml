@@ -72,7 +72,10 @@ let rec apply t (s : stmt) =
                 }
           | Rename_table n2 ->
               Hashtbl.remove t.tables name;
-              Hashtbl.replace t.tables n2 { sch with Schema.tbl_name = n2 }))
+              Hashtbl.replace t.tables n2 { sch with Schema.tbl_name = n2 }
+          | Set_auto_increment _ ->
+              (* counter pin: no schema shape change *)
+              ()))
   | Create_view { name; query; _ } -> Hashtbl.replace t.views name query
   | Drop_view name -> Hashtbl.remove t.views name
   | Create_procedure { name; params; label; body } ->

@@ -14,41 +14,61 @@ type t = {
   failed : int;
   wave_count : int;
   measured_ms : float;
+  retries : int;
+  degraded : bool;
 }
+
+exception Aborted of string
 
 (* One replayed statement runs on its own lightweight engine sharing the
    temporary catalog by reference: per-statement state (journal, nondet
    cursor, PRNG, log) stays domain-local, while table data goes through
    the locked Storage layer. The seed depends only on the commit index,
-   so any fresh draws past the recorded list are schedule-independent. *)
-let run_item ?(obs = Uv_obs.Trace.disabled) ~rtt_ms catalog it =
-  let eng =
-    Uv_db.Engine.of_catalog ~seed:((1_000_003 * it.idx) + 7) ~rtt_ms ~obs
-      catalog
+   so any fresh draws past the recorded list are schedule-independent.
+
+   An injected statement fault ([Uv_fault.Fault.Injected] out of the
+   engine, which has already rolled the statement back and restored its
+   PRNG/clock) is transient infrastructure failure: one retry on a
+   pristine engine reenacts the statement exactly. A second injection
+   escapes to the caller, which aborts the run — unlike an application-
+   level [Sql_error], which counts as a failed replay exactly as in
+   serial replay. *)
+let run_item ?(obs = Uv_obs.Trace.disabled)
+    ?(fault = Uv_fault.Fault.disabled) ?(on_retry = fun () -> ()) ~rtt_ms
+    catalog it =
+  let attempt () =
+    let eng =
+      Uv_db.Engine.of_catalog ~seed:((1_000_003 * it.idx) + 7) ~rtt_ms ~obs
+        ~fault catalog
+    in
+    Uv_db.Engine.set_sim_time eng it.sim_time;
+    (* the span is opened on the executing domain, so parallel replay
+       renders as one trace lane per domain *)
+    let sp =
+      Uv_obs.Trace.start obs ~cat:"replay" (Printf.sprintf "Q%d" it.idx)
+    in
+    Fun.protect ~finally:(fun () -> Uv_obs.Trace.finish obs sp) @@ fun () ->
+    let t0 = Uv_util.Clock.now_ms () in
+    let ok =
+      try
+        ignore
+          (Uv_db.Engine.exec ?app_txn:it.app_txn ~nondet:it.nondet
+             ~rowid_base:it.rowid_base eng it.stmt);
+        true
+      with Uv_db.Engine.Sql_error _ | Uv_db.Engine.Signal_raised _ -> false
+    in
+    let d = Uv_util.Clock.now_ms () -. t0 in
+    let entry =
+      if ok && Uv_db.Log.length (Uv_db.Engine.log eng) >= 1 then
+        Some (Uv_db.Log.entry (Uv_db.Engine.log eng) 1)
+      else None
+    in
+    (d, entry)
   in
-  Uv_db.Engine.set_sim_time eng it.sim_time;
-  (* the span is opened on the executing domain, so parallel replay renders
-     as one trace lane per domain *)
-  let sp =
-    Uv_obs.Trace.start obs ~cat:"replay" (Printf.sprintf "Q%d" it.idx)
-  in
-  let t0 = Uv_util.Clock.now_ms () in
-  let ok =
-    try
-      ignore
-        (Uv_db.Engine.exec ?app_txn:it.app_txn ~nondet:it.nondet
-           ~rowid_base:it.rowid_base eng it.stmt);
-      true
-    with Uv_db.Engine.Sql_error _ | Uv_db.Engine.Signal_raised _ -> false
-  in
-  let d = Uv_util.Clock.now_ms () -. t0 in
-  Uv_obs.Trace.finish obs sp;
-  let entry =
-    if ok && Uv_db.Log.length (Uv_db.Engine.log eng) >= 1 then
-      Some (Uv_db.Log.entry (Uv_db.Engine.log eng) 1)
-    else None
-  in
-  (d, entry)
+  try attempt ()
+  with Uv_fault.Fault.Injected _ ->
+    on_retry ();
+    attempt ()
 
 (* Row operations of one entry on one table, in execution order. *)
 let row_ops_for table undo =
@@ -101,8 +121,9 @@ let delta_of storage ops =
   done;
   Uv_util.Table_hash.value th
 
-let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
-    ~items ~edges () =
+let execute ?(obs = Uv_obs.Trace.disabled) ?(fault = Uv_fault.Fault.disabled)
+    ?(should_abort = fun () -> false) ~workers ~rtt_ms ~catalog ~head ~items
+    ~edges () =
   let t0 = Uv_util.Clock.now_ms () in
   let traced = Uv_obs.Trace.enabled obs in
   let durations = Hashtbl.create 64 in
@@ -110,6 +131,11 @@ let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
   let deltas : (int * string, int64) Hashtbl.t = Hashtbl.create 64 in
   let failed = ref 0 in
   let subwaves = ref 0 in
+  (* stmt-level retries happen on pool domains; batch-level retries on
+     the caller — one atomic counter covers both *)
+  let retries = Atomic.make 0 in
+  let on_retry () = Atomic.incr retries in
+  let degraded = ref false in
   (* table hashes at replay start: the base the commit-order restamping
      accumulates from *)
   let base =
@@ -140,6 +166,25 @@ let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
               e.Uv_db.Log.written_hashes)
       its
   in
+  (* the per-item closure the pool runs; [allow_crash] is off on the
+     caller lane (degraded serial finish), whose "domain" cannot die *)
+  let item_fn ~allow_crash it =
+    if allow_crash then
+      (match
+         Uv_fault.Fault.check ~key:it.idx fault Uv_fault.Fault.Site.worker
+           [ Uv_fault.Fault.Worker_crash; Uv_fault.Fault.Slow ]
+       with
+      | Some inj -> (
+          match inj.Uv_fault.Fault.kind with
+          | Uv_fault.Fault.Worker_crash ->
+              raise
+                (Uv_util.Domain_pool.Worker_exit (Uv_fault.Fault.Injected inj))
+          | Uv_fault.Fault.Slow ->
+              Unix.sleepf (inj.Uv_fault.Fault.arg /. 1000.0)
+          | _ -> ())
+      | None -> ());
+    run_item ~obs ~fault ~on_retry ~rtt_ms catalog it
+  in
   let pool = Uv_util.Domain_pool.create ~workers in
   Fun.protect ~finally:(fun () -> Uv_util.Domain_pool.shutdown pool)
   @@ fun () ->
@@ -148,36 +193,89 @@ let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
       ~args:[ ("items", Uv_obs.Json.Int n_items) ]
       (Printf.sprintf "wave.%d" !subwaves)
   in
+  (* wave boundary: honour the deadline and probe for a domain found
+     dead between waves (degrades the rest of the replay to the caller
+     lane — same results, one lane) *)
+  let wave_boundary () =
+    if should_abort () then raise (Aborted "deadline");
+    match
+      Uv_fault.Fault.check ~key:!subwaves fault Uv_fault.Fault.Site.wave
+        [ Uv_fault.Fault.Worker_crash; Uv_fault.Fault.Slow ]
+    with
+    | Some inj -> (
+        match inj.Uv_fault.Fault.kind with
+        | Uv_fault.Fault.Worker_crash -> degraded := true
+        | Uv_fault.Fault.Slow -> Unix.sleepf (inj.Uv_fault.Fault.arg /. 1000.0)
+        | _ -> ())
+    | None -> ()
+  in
   let run_batch batch =
     match batch with
     | [] -> ()
     | [ it ] ->
         incr subwaves;
+        wave_boundary ();
         let sp = wave_span 1 in
-        finish_item it (run_item ~obs ~rtt_ms catalog it);
+        finish_item it (item_fn ~allow_crash:false it);
         compute_deltas batch;
         Uv_obs.Trace.finish obs sp
     | _ ->
         incr subwaves;
+        wave_boundary ();
         let arr = Array.of_list batch in
-        let results = Array.make (Array.length arr) (0.0, None) in
+        let results = Array.make (Array.length arr) None in
         let sp = wave_span (Array.length arr) in
         let dispatch = if traced then Uv_util.Clock.now_ms () else 0.0 in
-        Uv_util.Domain_pool.run pool ~count:(Array.length arr) (fun i ->
-            if traced then
-              Uv_obs.Trace.observe obs "replay.queue_wait_ms"
-                (Uv_util.Clock.now_ms () -. dispatch);
-            results.(i) <- run_item ~obs ~rtt_ms catalog arr.(i));
+        let run_pool () =
+          Uv_util.Domain_pool.run pool ~count:(Array.length arr) (fun i ->
+              if results.(i) = None then begin
+                if traced then
+                  Uv_obs.Trace.observe obs "replay.queue_wait_ms"
+                    (Uv_util.Clock.now_ms () -. dispatch);
+                results.(i) <- Some (item_fn ~allow_crash:true arr.(i))
+              end)
+        in
+        (* caller-lane finish of whatever the pool left undone: exact
+           same computation, no crash probes — the degradation path *)
+        let run_direct () =
+          Array.iteri
+            (fun i it ->
+              if results.(i) = None then
+                results.(i) <- Some (item_fn ~allow_crash:false it))
+            arr
+        in
+        if !degraded then run_direct ()
+        else begin
+          try run_pool ()
+          with Uv_util.Domain_pool.Worker_exit _ -> (
+            (* a lane died mid-batch: its unfinished items are re-run.
+               One redispatch through the (shrunken) pool; a second death
+               degrades the rest of the run to the caller lane. *)
+            on_retry ();
+            try run_pool ()
+            with Uv_util.Domain_pool.Worker_exit _ ->
+              degraded := true;
+              run_direct ())
+        end;
         if traced then begin
           (* fraction of the pool's lane-time this batch kept busy *)
           let wall = Uv_util.Clock.now_ms () -. dispatch in
-          let busy = Array.fold_left (fun a (d, _) -> a +. d) 0.0 results in
+          let busy =
+            Array.fold_left
+              (fun a r -> match r with Some (d, _) -> a +. d | None -> a)
+              0.0 results
+          in
           let lanes = float_of_int (Uv_util.Domain_pool.lanes pool) in
           if wall > 0.0 then
             Uv_obs.Trace.observe obs "replay.utilization"
               (busy /. (wall *. lanes))
         end;
-        Array.iteri (fun i it -> finish_item it results.(i)) arr;
+        Array.iteri
+          (fun i it ->
+            match results.(i) with
+            | Some r -> finish_item it r
+            | None -> incr failed)
+          arr;
         compute_deltas batch;
         Uv_obs.Trace.finish obs sp
   in
@@ -241,4 +339,6 @@ let execute ?(obs = Uv_obs.Trace.disabled) ~workers ~rtt_ms ~catalog ~head
     failed = !failed;
     wave_count = !subwaves;
     measured_ms = Uv_util.Clock.now_ms () -. t0;
+    retries = Atomic.get retries;
+    degraded = !degraded;
   }

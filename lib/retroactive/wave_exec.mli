@@ -40,10 +40,23 @@ type t = {
   failed : int;  (** replays that signalled or errored *)
   wave_count : int;  (** executed batches, structural singletons included *)
   measured_ms : float;  (** wall time of the whole replay *)
+  retries : int;
+      (** transient-fault recoveries: statement re-executions after an
+          injected fault plus batch redispatches after a lane death *)
+  degraded : bool;
+      (** the replay finished on the caller lane after repeated lane
+          deaths; results are identical, parallelism was lost *)
 }
+
+exception Aborted of string
+(** The replay stopped at a wave boundary because [should_abort]
+    returned [true]. The catalog is left mid-replay and must be
+    discarded. *)
 
 val execute :
   ?obs:Uv_obs.Trace.t ->
+  ?fault:Uv_fault.Fault.t ->
+  ?should_abort:(unit -> bool) ->
   workers:int ->
   rtt_ms:float ->
   catalog:Uv_db.Catalog.t ->
@@ -63,4 +76,18 @@ val execute :
     statement on the domain that ran it (one trace lane per domain),
     the [replay.queue_wait_ms] histogram (dispatch-to-start latency per
     item) and [replay.utilization] (busy lane-time fraction per parallel
-    batch). *)
+    batch).
+
+    Fault handling ([fault] probes, see {!Uv_fault.Fault.Site}):
+    - [engine.exec]/[engine.commit] statement faults are retried once on
+      a pristine engine (the failed attempt was rolled back); a second
+      injection escapes as [Uv_fault.Fault.Injected] — the run aborts.
+    - [domain_pool.worker] crashes kill the executing lane
+      ({!Uv_util.Domain_pool.Worker_exit}); the batch's unfinished items
+      are redispatched once over the surviving lanes, and a second death
+      degrades the remainder of the replay to the caller lane
+      (reported via [degraded]).
+    - [domain_pool.worker]/[wave] [Slow] injections only sleep.
+
+    [should_abort] is polled at every wave boundary; returning [true]
+    raises {!Aborted}. *)

@@ -6,12 +6,24 @@ module Config = struct
     grouped : bool;
     parallel_exec : bool;
     obs : Uv_obs.Trace.t;
+    deadline_ms : float option;
+    fault : Uv_fault.Fault.t;
   }
 
   let make ?(mode = Analyzer.Cell) ?(workers = 8) ?(hash_jumper = false)
       ?(grouped = false) ?(parallel_exec = true)
-      ?(obs = Uv_obs.Trace.disabled) () =
-    { mode; workers = max 1 workers; hash_jumper; grouped; parallel_exec; obs }
+      ?(obs = Uv_obs.Trace.disabled) ?deadline_ms
+      ?(fault = Uv_fault.Fault.disabled) () =
+    {
+      mode;
+      workers = max 1 workers;
+      hash_jumper;
+      grouped;
+      parallel_exec;
+      obs;
+      deadline_ms;
+      fault;
+    }
 
   let default = make ()
   let mode c = c.mode
@@ -20,7 +32,26 @@ module Config = struct
   let grouped c = c.grouped
   let parallel_exec c = c.parallel_exec
   let obs c = c.obs
+  let deadline_ms c = c.deadline_ms
+  let fault c = c.fault
 end
+
+module Error = struct
+  type code = Deadline | Fault | Internal
+
+  type t = { code : code; phase : string; message : string }
+
+  let code_name = function
+    | Deadline -> "deadline"
+    | Fault -> "fault"
+    | Internal -> "internal"
+
+  let to_string e =
+    Printf.sprintf "what-if aborted [%s] during %s: %s" (code_name e.code)
+      e.phase e.message
+end
+
+exception Abort of Error.t
 
 type config = Config.t
 
@@ -42,9 +73,16 @@ type outcome = {
   phases : (string * float) list;
   final_db_hash : int64;
   changed : bool;
+  degraded : bool;
+  retries : int;
   temp_catalog : Uv_db.Catalog.t;
   new_log : Uv_db.Log.t;
 }
+
+let fault_message (inj : Uv_fault.Fault.injection) =
+  Printf.sprintf "injected %s at %s (key %d, hit %d)"
+    (Uv_fault.Fault.kind_name inj.Uv_fault.Fault.kind)
+    inj.Uv_fault.Fault.site inj.Uv_fault.Fault.key inj.Uv_fault.Fault.hit
 
 let member_indexes (rs : Analyzer.replay_set) =
   let out = ref [] in
@@ -81,8 +119,10 @@ let parallel_eligible (config : Config.t) ~analyzer target members =
          && not (Rwset.Colset.exists is_schema_key inf.Analyzer.rw.Rwset.w))
        members
 
-let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
+let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
+    (target : Analyzer.target) =
   let obs = config.Config.obs in
+  let fault = config.Config.fault in
   let log = Uv_db.Engine.log eng in
   let rtt = Uv_util.Clock.rtt_ms (Uv_db.Engine.clock eng) in
   let op_kind =
@@ -97,16 +137,42 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
         ("tau", Uv_obs.Json.Int target.Analyzer.tau) ]
     "whatif"
   @@ fun () ->
+  let t0 = Uv_util.Clock.now_ms () in
+  (* the wall-clock budget: checked at every phase boundary, before every
+     serial statement and at every parallel wave boundary — an abort
+     leaves the original engine untouched (only the temporary universe is
+     mid-flight, and it is discarded with the exception) *)
+  let deadline_at =
+    Option.map (fun d -> t0 +. d) config.Config.deadline_ms
+  in
+  let deadline_hit () =
+    match deadline_at with
+    | Some at -> Uv_util.Clock.now_ms () > at
+    | None -> false
+  in
+  let check_deadline () =
+    if deadline_hit () then
+      raise
+        (Abort
+           {
+             Error.code = Error.Deadline;
+             phase = !cur_phase;
+             message =
+               Printf.sprintf "deadline of %g ms exceeded"
+                 (Option.value config.Config.deadline_ms ~default:0.0);
+           })
+  in
   (* phase breakdown is measured on the plain clock even with observability
      off — it is a handful of timestamps per run and feeds the outcome *)
   let phases = ref [] in
   let phase ?args name f =
+    cur_phase := name;
+    check_deadline ();
     let s = Uv_util.Clock.now_ms () in
     let r = Uv_obs.Trace.with_span obs ~cat:"phase" ?args name f in
     phases := (name, Uv_util.Clock.now_ms () -. s) :: !phases;
     r
   in
-  let t0 = Uv_util.Clock.now_ms () in
   (* 1. replay-set computation *)
   let rs =
     phase "analyze" (fun () ->
@@ -177,6 +243,8 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
   let hash_jump_at = ref None in
   let measured_parallel_ms = ref None in
   let exec_waves = ref 0 in
+  let retries = ref 0 in
+  let degraded = ref false in
   phase "replay" (fun () ->
   if parallel_eligible config ~analyzer target members then begin
     let stride = 1 lsl 20 in
@@ -238,28 +306,52 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
     in
     let exec_edges = Analyzer.exec_dependency_edges analyzer ~members:rs.Analyzer.members in
     let res =
-      Wave_exec.execute ~obs ~workers:config.Config.workers ~rtt_ms:rtt
-        ~catalog:temp_cat ~head ~items ~edges:exec_edges ()
+      Wave_exec.execute ~obs ~fault ~should_abort:deadline_hit
+        ~workers:config.Config.workers ~rtt_ms:rtt ~catalog:temp_cat ~head
+        ~items ~edges:exec_edges ()
     in
     Hashtbl.iter (fun k v -> Hashtbl.replace weights k v) res.Wave_exec.durations;
     Hashtbl.iter (fun k v -> Hashtbl.replace entry_of k v) res.Wave_exec.entries;
     failed := res.Wave_exec.failed;
     replayed := List.length members;
     measured_parallel_ms := Some res.Wave_exec.measured_ms;
-    exec_waves := res.Wave_exec.wave_count
+    exec_waves := res.Wave_exec.wave_count;
+    retries := res.Wave_exec.retries;
+    degraded := res.Wave_exec.degraded
   end
   else begin
-    let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt ~obs temp_cat in
+    let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt ~obs ~fault temp_cat in
     let temp_log = Uv_db.Engine.log temp_eng in
     let exec_timed ?app_txn ?nondet idx stmt =
+      check_deadline ();
       let s = Uv_util.Clock.now_ms () in
       let len0 = Uv_db.Log.length temp_log in
-      (try
-         ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
-         if Uv_db.Log.length temp_log > len0 then
-           Hashtbl.replace entry_of idx (Uv_db.Log.entry temp_log (len0 + 1))
-       with Uv_db.Engine.Signal_raised _ | Uv_db.Engine.Sql_error _ ->
-         incr failed);
+      (* an injected statement fault was rolled back with the engine's
+         clock and PRNG restored, so one retry reenacts the statement
+         exactly; a second injection aborts the run *)
+      let rec attempt again =
+        try
+          ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
+          if Uv_db.Log.length temp_log > len0 then
+            Hashtbl.replace entry_of idx (Uv_db.Log.entry temp_log (len0 + 1))
+        with
+        | Uv_db.Engine.Signal_raised _ | Uv_db.Engine.Sql_error _ ->
+            incr failed
+        | Uv_fault.Fault.Injected inj ->
+            if again then
+              raise
+                (Abort
+                   {
+                     Error.code = Error.Fault;
+                     phase = !cur_phase;
+                     message = fault_message inj ^ " persisted after retry";
+                   })
+            else begin
+              incr retries;
+              attempt true
+            end
+      in
+      attempt false;
       let d = Uv_util.Clock.now_ms () -. s in
       Hashtbl.replace weights idx d
     in
@@ -398,9 +490,44 @@ let run ?(config = Config.default) ~analyzer eng (target : Analyzer.target) =
     phases = List.rev !phases;
     final_db_hash = Uv_db.Catalog.db_hash temp_cat;
     changed;
+    degraded = !degraded;
+    retries = !retries;
     temp_catalog = temp_cat;
     new_log;
   }
+
+let run_exn ?(config = Config.default) ~analyzer eng target =
+  let cur_phase = ref "init" in
+  run_inner ~config ~cur_phase ~analyzer eng target
+
+let run ?(config = Config.default) ~analyzer eng target =
+  let cur_phase = ref "init" in
+  try Ok (run_inner ~config ~cur_phase ~analyzer eng target) with
+  | Abort e -> Error e
+  | Wave_exec.Aborted reason ->
+      Error { Error.code = Error.Deadline; phase = !cur_phase; message = reason }
+  | Uv_fault.Fault.Injected inj ->
+      Error
+        {
+          Error.code = Error.Fault;
+          phase = !cur_phase;
+          message = fault_message inj ^ " persisted after retry";
+        }
+  | Uv_util.Domain_pool.Worker_exit e ->
+      Error
+        {
+          Error.code = Error.Fault;
+          phase = !cur_phase;
+          message = "worker lane died: " ^ Printexc.to_string e;
+        }
+  | (Out_of_memory | Stack_overflow | Assert_failure _) as e -> raise e
+  | e ->
+      Error
+        {
+          Error.code = Error.Internal;
+          phase = !cur_phase;
+          message = Printexc.to_string e;
+        }
 
 let commit eng outcome =
   if outcome.changed then begin

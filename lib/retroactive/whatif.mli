@@ -38,6 +38,8 @@ module Config : sig
     ?grouped:bool ->
     ?parallel_exec:bool ->
     ?obs:Uv_obs.Trace.t ->
+    ?deadline_ms:float ->
+    ?fault:Uv_fault.Fault.t ->
     unit ->
     t
   (** Defaults: [mode = Cell]; [workers = 8] (the paper's testbed width;
@@ -46,7 +48,14 @@ module Config : sig
       [parallel_exec = true] — replay on real domains whenever the
       history is eligible; [obs = Uv_obs.Trace.disabled] — pass a live
       collector to trace the run (root [whatif] span, per-phase spans,
-      and every instrumented layer underneath). *)
+      and every instrumented layer underneath); [deadline_ms = None] —
+      when set, the run's wall-clock budget: checked at every phase
+      boundary, before every serial statement and at every parallel wave
+      boundary, and exceeded budgets abort the run cleanly (the original
+      engine is never touched mid-run, so there is nothing to undo);
+      [fault = Uv_fault.Fault.disabled] — a fault-injection plan
+      ({!Uv_fault.Fault}) threaded into the temporary engines, the wave
+      executor and the domain pool. *)
 
   val default : t
   (** [make ()]. *)
@@ -57,7 +66,37 @@ module Config : sig
   val grouped : t -> bool
   val parallel_exec : t -> bool
   val obs : t -> Uv_obs.Trace.t
+  val deadline_ms : t -> float option
+  val fault : t -> Uv_fault.Fault.t
 end
+
+(** Why a what-if run could not produce an outcome. *)
+module Error : sig
+  type code =
+    | Deadline  (** the [deadline_ms] budget ran out *)
+    | Fault
+        (** an injected (or reported) infrastructure fault persisted
+            after retry — transient faults are absorbed by statement
+            retry, batch redispatch and graceful degradation first *)
+    | Internal  (** an unexpected exception; see [message] *)
+
+  type t = {
+    code : code;
+    phase : string;
+        (** the phase the run was in ([analyze], [snapshot], [hash-jump],
+            [rollback], [replay], [cost-model], [merge-log], or [init]) *)
+    message : string;
+  }
+
+  val code_name : code -> string
+  (** Stable lowercase name ([deadline] / [fault] / [internal]). *)
+
+  val to_string : t -> string
+end
+
+exception Abort of Error.t
+(** Raised by {!run_exn} when the run aborts (deadline, or a fault that
+    survived retry). {!run} returns it as [Error]. *)
 
 type config = Config.t
 
@@ -93,6 +132,12 @@ type outcome = {
           disabled (a handful of clock reads per run) *)
   final_db_hash : int64;  (** hash of the temporary universe *)
   changed : bool;  (** false when the Hash-jumper proved no effect *)
+  degraded : bool;
+      (** the parallel replay lost its worker domains and finished on the
+          caller lane; results are identical, only parallelism was lost *)
+  retries : int;
+      (** transient faults absorbed without affecting the outcome:
+          statement re-executions and wave redispatches *)
   temp_catalog : Uv_db.Catalog.t;  (** the new universe *)
   new_log : Uv_db.Log.t;
       (** the new universe's committed history: non-members keep their
@@ -110,11 +155,29 @@ val run :
   analyzer:Analyzer.t ->
   Uv_db.Engine.t ->
   Analyzer.target ->
-  outcome
+  (outcome, Error.t) result
 (** The analyzer must have been built over the engine's current log
     (Ultraverse derives R/W sets asynchronously during regular service;
     analysis construction is therefore not part of what-if latency).
-    [final_db_hash] and [new_log] are invariant under [workers]. *)
+    [final_db_hash] and [new_log] are invariant under [workers].
+
+    Returns [Error] instead of raising when the run aborts: the deadline
+    expired, an injected fault persisted after retry and degradation, or
+    an unexpected exception escaped a phase ([Error.Internal]). In every
+    [Error] case the original engine is untouched — what-if runs never
+    mutate it before {!commit} — so the caller can simply retry.
+    [Out_of_memory], [Stack_overflow] and [Assert_failure] are not
+    converted; they propagate. *)
+
+val run_exn :
+  ?config:config ->
+  analyzer:Analyzer.t ->
+  Uv_db.Engine.t ->
+  Analyzer.target ->
+  outcome
+(** Exception-style variant of {!run} for callers that configure neither
+    deadlines nor fault injection: exceptions propagate raw (an abort
+    surfaces as {!Abort}). *)
 
 val commit : Uv_db.Engine.t -> outcome -> unit
 (** Database-update phase: copy the outcome's mutated tables into the

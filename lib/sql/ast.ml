@@ -41,6 +41,10 @@ type alter_action =
   | Add_column of Schema.column
   | Drop_column of string
   | Rename_table of string
+  | Set_auto_increment of int
+      (** [ALTER TABLE t AUTO_INCREMENT = n]: pin the table's next fresh
+          auto key. Emitted by dumps so a checkpoint restores the exact
+          counter even when the row holding the highest key was deleted. *)
 
 type trigger_event = Ev_insert | Ev_update | Ev_delete
 type trigger_timing = Before | After

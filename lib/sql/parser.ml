@@ -796,7 +796,13 @@ and parse_stmt_inner st =
         expect_kw st "TO";
         Alter_table (name, Rename_table (ident st))
       end
-      else fail st "expected ADD, DROP or RENAME"
+      else if accept_kw st "AUTO_INCREMENT" then begin
+        ignore (accept_op st "=" : bool);
+        match next st with
+        | Lexer.Int_lit v -> Alter_table (name, Set_auto_increment v)
+        | tok -> fail st ("expected an integer, got " ^ Lexer.show_token tok)
+      end
+      else fail st "expected ADD, DROP, RENAME or AUTO_INCREMENT"
   | Lexer.Keyword "BEGIN" ->
       advance st;
       ignore (accept_kw st "TRANSACTION");

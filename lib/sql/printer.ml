@@ -101,6 +101,8 @@ let rec stmt = function
       Printf.sprintf "ALTER TABLE %s DROP COLUMN %s" name c
   | Alter_table (name, Rename_table n2) ->
       Printf.sprintf "ALTER TABLE %s RENAME TO %s" name n2
+  | Alter_table (name, Set_auto_increment v) ->
+      Printf.sprintf "ALTER TABLE %s AUTO_INCREMENT = %d" name v
   | Create_view { name; query; or_replace } ->
       Printf.sprintf "CREATE %sVIEW %s AS %s"
         (if or_replace then "OR REPLACE " else "")

@@ -1,0 +1,28 @@
+let polynomial = 0xedb88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let tbl = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+let digest s = update 0 s
+
+let to_hex c = Printf.sprintf "%08x" (c land 0xffffffff)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let ok = String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s in
+    if not ok then None else int_of_string_opt ("0x" ^ s)

@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Used by the durable log format (ULOGv2) to detect torn or corrupted
+    records. The digest is returned as a non-negative OCaml [int] in
+    [0, 2^32); [to_hex] renders the canonical 8-digit lowercase form. *)
+
+val digest : string -> int
+(** CRC-32 of the whole string, with the conventional pre/post
+    inversion ([crc32(0, ...)] in zlib terms). *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running digest: [digest (a ^ b)] equals
+    [update (digest a) b]. *)
+
+val to_hex : int -> string
+(** 8 lowercase hex digits, zero-padded. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] unless the input is exactly 8 hex
+    digits. *)

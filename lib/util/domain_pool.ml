@@ -10,6 +10,8 @@ type job = {
   mutable failure : exn option; (* protected by the pool mutex *)
 }
 
+exception Worker_exit of exn
+
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
@@ -17,17 +19,31 @@ type t = {
   mutable gen : int;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  mutable live : int; (* spawned domains still serving; pool mutex *)
   lanes : int;
 }
 
-let run_items t job =
+(* [can_die] marks a spawned worker lane: a [Worker_exit] from the work
+   function kills that lane (the domain drains nothing further and
+   returns), modelling a domain crash, while still decrementing the
+   job's pending count so the barrier always completes. The caller lane
+   never dies — it records the exception like any other failure and
+   keeps draining, so a job finishes even with every spawned domain
+   dead. Returns whether the lane died. *)
+let run_items ?(can_die = false) t job =
   let continue_ = ref true in
+  let died = ref false in
   while !continue_ do
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.count then continue_ := false
     else begin
       (try job.fn i
        with e ->
+         (match e with
+         | Worker_exit _ when can_die ->
+             died := true;
+             continue_ := false
+         | _ -> ());
          Mutex.lock t.mutex;
          if job.failure = None then job.failure <- Some e;
          Mutex.unlock t.mutex);
@@ -38,7 +54,8 @@ let run_items t job =
         Mutex.unlock t.mutex
       end
     end
-  done
+  done;
+  !died
 
 let worker t =
   let my_gen = ref 0 in
@@ -56,7 +73,12 @@ let worker t =
       let job = Option.get t.job in
       my_gen := t.gen;
       Mutex.unlock t.mutex;
-      run_items t job
+      if run_items ~can_die:true t job then begin
+        Mutex.lock t.mutex;
+        t.live <- t.live - 1;
+        Mutex.unlock t.mutex;
+        running := false
+      end
     end
   done
 
@@ -72,6 +94,7 @@ let create ~workers =
       gen = 0;
       stop = false;
       domains = [];
+      live = spawned;
       lanes;
     }
   in
@@ -79,6 +102,12 @@ let create ~workers =
   t
 
 let lanes t = t.lanes
+
+let live_workers t =
+  Mutex.lock t.mutex;
+  let n = t.live in
+  Mutex.unlock t.mutex;
+  n
 
 let run t ~count fn =
   if count > 0 then begin
@@ -96,7 +125,7 @@ let run t ~count fn =
     t.gen <- t.gen + 1;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
-    run_items t job;
+    ignore (run_items t job : bool);
     Mutex.lock t.mutex;
     while Atomic.get job.pending > 0 do
       Condition.wait t.cond t.mutex

@@ -10,6 +10,15 @@
     Exceptions raised by the work function are captured; the first one
     is re-raised in the caller after the barrier. *)
 
+exception Worker_exit of exn
+(** Raised by a work function to simulate (or report) the death of the
+    executing lane. On a spawned worker domain the lane stops serving
+    and the domain returns; the item that raised counts as failed and
+    the job's barrier still completes — the caller lane never dies, so
+    a job finishes even with every spawned domain gone. [run] re-raises
+    the first failure, so the caller of [run] observes the
+    [Worker_exit] and can retry the unfinished items. *)
+
 type t
 
 val create : workers:int -> t
@@ -19,6 +28,10 @@ val create : workers:int -> t
 
 val lanes : t -> int
 (** Actual number of execution lanes (after clamping). *)
+
+val live_workers : t -> int
+(** Spawned worker domains still serving (excludes the caller lane).
+    Decreases when a lane dies via {!Worker_exit}. *)
 
 val run : t -> count:int -> (int -> unit) -> unit
 (** [run t ~count f] evaluates [f i] for every [i] in [0 .. count - 1],

@@ -1,0 +1,26 @@
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let atomic_write ?(fsync = true) ~path data =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length data in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring fd data !written (n - !written)
+      done;
+      if fsync then Unix.fsync fd);
+  Unix.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,19 @@
+(** Crash-consistent file writes.
+
+    [atomic_write] implements the classic temp-file + fsync + rename
+    protocol: the data is written to [path ^ ".tmp"], flushed to stable
+    storage, and renamed over [path]. A crash at any point leaves either
+    the previous file intact or the complete new one — never a torn
+    write at the destination. *)
+
+val write_file : string -> string -> unit
+(** Plain whole-file write (no durability guarantee). Exposed so fault
+    injection can model a torn write to the temp file. *)
+
+val atomic_write : ?fsync:bool -> path:string -> string -> unit
+(** [atomic_write ~path data] writes [data] to [path ^ ".tmp"], syncs
+    it ([fsync] defaults to [true]; tests pass [false] to stay fast on
+    slow filesystems), and atomically renames it over [path]. *)
+
+val read_file : string -> string
+(** Whole-file read, binary-safe. *)

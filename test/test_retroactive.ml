@@ -412,7 +412,7 @@ let merged_universe e out =
 let test_figure6_remove_address () =
   let e = build_figure6 () in
   let analyzer = Analyzer.analyze (Engine.log e) in
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
   let m = out.Whatif.replay.Analyzer.members in
   Alcotest.(check bool) "Q8 (Alice order) replays" true m.(7);
   Alcotest.(check bool) "Q11 (stats) replays" true m.(10);
@@ -434,7 +434,7 @@ let test_figure6_add_address_for_bob () =
   let analyzer = Analyzer.analyze (Engine.log e) in
   let stmt = Parser.parse_stmt "INSERT INTO Address VALUES ('bob99', 'Tokyo')" in
   (* add just before Q10 so Bob's order attempt now succeeds *)
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 10; op = Analyzer.Add stmt } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 10; op = Analyzer.Add stmt } in
   let merged = merged_universe e out in
   check Alcotest.int "both orders exist now" 2
     (qint merged "SELECT COUNT(*) FROM Orders");
@@ -446,7 +446,7 @@ let test_figure6_change_query () =
   let analyzer = Analyzer.analyze (Engine.log e) in
   let stmt = Parser.parse_stmt "CALL NewOrder('bob99', 'ord-9')" in
   (* change Q8 from Alice's order to Bob's (who has no address) *)
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 8; op = Analyzer.Change stmt } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 8; op = Analyzer.Change stmt } in
   let merged = merged_universe e out in
   check Alcotest.int "alice's order gone, bob's fails" 0
     (qint merged "SELECT COUNT(*) FROM Orders")
@@ -469,7 +469,7 @@ let test_remove_readonly_target () =
   run e "SELECT COUNT(*) FROM t";
   run e "INSERT INTO t VALUES (2)";
   let analyzer = Analyzer.analyze (Engine.log e) in
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 3; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 3; op = Analyzer.Remove } in
   check Alcotest.int "nothing replays" 0 out.Whatif.replayed;
   let truth = oracle_replay e ~skip:3 in
   check table_testable "oracle agrees" (all_hashes truth)
@@ -483,7 +483,7 @@ let test_add_at_end_of_history () =
   let analyzer = Analyzer.analyze (Engine.log e) in
   let stmt = Parser.parse_stmt "INSERT INTO t VALUES (99)" in
   let out =
-    Whatif.run ~analyzer e { Analyzer.tau = n + 1; op = Analyzer.Add stmt }
+    Whatif.run_exn ~analyzer e { Analyzer.tau = n + 1; op = Analyzer.Add stmt }
   in
   let merged = merged_universe e out in
   check Alcotest.int "appended row visible" 2 (qint merged "SELECT COUNT(*) FROM t");
@@ -499,7 +499,7 @@ let test_remove_create_table () =
   run e "INSERT INTO keepme VALUES (7)";
   run e "UPDATE doomed SET a = 2 WHERE a = 1";
   let analyzer = Analyzer.analyze (Engine.log e) in
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 2; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 2; op = Analyzer.Remove } in
   Alcotest.(check bool) "doomed statements failed in the new universe" true
     (out.Whatif.failed_replays >= 1);
   let merged = merged_universe e out in
@@ -529,7 +529,7 @@ let test_hash_jumper_figure7 () =
   let stmt = Parser.parse_stmt "INSERT INTO Membership VALUES (1, 'bronze')" in
   let config = Whatif.Config.make ~hash_jumper:true () in
   let out =
-    Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
+    Whatif.run_exn ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
   in
   Alcotest.(check (option int)) "hash hit at the overwrite" (Some 4)
     out.Whatif.hash_jump_at;
@@ -548,7 +548,7 @@ let test_hash_jumper_no_false_hit () =
   let stmt = Parser.parse_stmt "INSERT INTO t VALUES (1, 100)" in
   let config = Whatif.Config.make ~hash_jumper:true () in
   let out =
-    Whatif.run ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
+    Whatif.run_exn ~config ~analyzer e { Analyzer.tau = 2; op = Analyzer.Change stmt }
   in
   Alcotest.(check (option int)) "no hit" None out.Whatif.hash_jump_at;
   Alcotest.(check bool) "changed" true out.Whatif.changed;
@@ -654,7 +654,7 @@ let whatif_matches_oracle seed =
   let n = Log.length (Engine.log e) in
   let tau = 9 + Uv_util.Prng.int prng (n - 9) in
   let analyzer = Analyzer.analyze (Engine.log e) in
-  let out = Whatif.run ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
   let truth = oracle_replay e ~skip:tau in
   let merged = merged_universe e out in
   all_hashes truth = all_hashes merged
@@ -683,7 +683,7 @@ let prop_colonly_oracle =
       let tau = 8 + Uv_util.Prng.int prng (n - 8) in
       let analyzer = Analyzer.analyze (Engine.log e) in
       let config = Whatif.Config.make ~mode:Analyzer.Col_only () in
-      let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+      let out = Whatif.run_exn ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
       let truth = oracle_replay e ~skip:tau in
       all_hashes truth = all_hashes (merged_universe e out))
 
@@ -746,7 +746,7 @@ let prop_add_change_oracle =
       let tau = 9 + Uv_util.Prng.int prng (n - 9) in
       let op = random_op prng in
       let analyzer = Analyzer.analyze (Engine.log e) in
-      let out = Whatif.run ~analyzer e { Analyzer.tau; op } in
+      let out = Whatif.run_exn ~analyzer e { Analyzer.tau; op } in
       let truth = oracle_with_op e tau op in
       all_hashes truth = all_hashes (merged_universe e out))
 
@@ -770,7 +770,7 @@ let prop_rowonly_oracle =
       let tau = 9 + Uv_util.Prng.int prng (n - 9) in
       let analyzer = Analyzer.analyze (Engine.log e) in
       let config = Whatif.Config.make ~mode:Analyzer.Row_only () in
-      let out = Whatif.run ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
+      let out = Whatif.run_exn ~config ~analyzer e { Analyzer.tau; op = Analyzer.Remove } in
       let truth = oracle_replay e ~skip:tau in
       all_hashes truth = all_hashes (merged_universe e out))
 
@@ -848,7 +848,7 @@ let test_whatif_insert_select_dependency () =
   let rs = Analyzer.replay_set analyzer target in
   Alcotest.(check bool) "insert-select is tainted" true rs.Analyzer.members.(5);
   Alcotest.(check bool) "independent raise is not" false rs.Analyzer.members.(4);
-  let out = Whatif.run ~analyzer e target in
+  let out = Whatif.run_exn ~analyzer e target in
   let truth = oracle_replay e ~skip:4 in
   check table_testable "equals full-replay oracle" (all_hashes truth)
     (all_hashes (merged_universe e out))
@@ -870,7 +870,7 @@ let test_retroactive_ddl_operations () =
     ];
   let analyzer = Analyzer.analyze (Engine.log e) in
   let out =
-    Whatif.run ~analyzer e
+    Whatif.run_exn ~analyzer e
       {
         Analyzer.tau = 2;
         op = Analyzer.Add (Parser.parse_stmt "CREATE INDEX iv ON t (v)");
@@ -885,7 +885,7 @@ let test_retroactive_ddl_operations () =
        (Engine.db_hash e));
   (* retroactive ALTER: every later writer of t joins via the _S key *)
   let out2 =
-    Whatif.run ~analyzer e
+    Whatif.run_exn ~analyzer e
       {
         Analyzer.tau = 2;
         op = Analyzer.Add (Parser.parse_stmt "ALTER TABLE t ADD COLUMN w INT");
@@ -911,7 +911,7 @@ let test_retroactive_ddl_operations () =
     ];
   let analyzer2 = Analyzer.analyze (Engine.log e2) in
   let out3 =
-    Whatif.run ~analyzer:analyzer2 e2 { Analyzer.tau = 2; op = Analyzer.Remove }
+    Whatif.run_exn ~analyzer:analyzer2 e2 { Analyzer.tau = 2; op = Analyzer.Remove }
   in
   let merged = merged_universe e2 out3 in
   Alcotest.(check bool) "view gone" true
@@ -1008,7 +1008,7 @@ let test_new_log_replayable () =
      new universe exactly *)
   let e = build_figure6 () in
   let analyzer = Analyzer.analyze (Engine.log e) in
-  let out = Whatif.run ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~analyzer e { Analyzer.tau = 7; op = Analyzer.Remove } in
   let rebuilt = Engine.create () in
   Log.iter out.Whatif.new_log (fun entry ->
       try ignore (Engine.exec ~nondet:entry.Log.nondet rebuilt entry.Log.stmt)

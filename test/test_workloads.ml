@@ -36,7 +36,7 @@ let whatif_vs_oracle (w : W.t) ~mode ~analysis_mode =
   let eng, _rt, base, _ = build w ~mode ~n:80 ~dep_rate:0.3 in
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
   let config = Whatif.Config.make ~mode:analysis_mode () in
-  let out = Whatif.run ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
+  let out = Whatif.run_exn ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove } in
   let truth = oracle_replay eng base ~skip:1 in
   let merged = Engine.of_catalog (Catalog.snapshot (Engine.catalog eng)) in
   Whatif.commit merged out;
@@ -144,7 +144,7 @@ let test_hash_jumper_overhead_only (w : W.t) () =
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
   let run hj =
     let config = Whatif.Config.make ~hash_jumper:hj () in
-    Whatif.run ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove }
+    Whatif.run_exn ~config ~analyzer eng { Analyzer.tau = 1; op = Analyzer.Remove }
   in
   let a = run false and b = run true in
   check Alcotest.int64 "same final hash" a.Whatif.final_db_hash b.Whatif.final_db_hash
