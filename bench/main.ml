@@ -650,6 +650,133 @@ let bench_exec_parallel () =
     (workloads ());
   G.print t
 
+(* ------------------------------------------------------------------ *)
+(* Repeated what-if amortization: session caches, cold vs warm          *)
+(* ------------------------------------------------------------------ *)
+
+(* per-workload rows for the uv.bench/1 report (--json) *)
+let repeat_results : Uv_obs.Json.t list ref = ref []
+
+let bench_whatif_repeat () =
+  let n = sz 600 150 in
+  let warm_runs = 5 in
+  let t =
+    G.create
+      ~title:
+        "Repeated what-if: session caches (incremental analyzer + plan cache \
+         + checkpoint ladder) cold vs warm"
+      ~header:
+        [ "Bench"; "history"; "cold"; "warm"; "speedup"; "rollback"; "plans";
+          "hash" ]
+  in
+  let two_x = ref 0 in
+  List.iter
+    (fun (w : W.t) ->
+      (* two engines over the same seeded history: a bare one for the
+         cold baseline and one whose checkpoint ladder was recorded
+         during regular service for the warm session. Checkpointing is
+         observation-only, so the two logs — and therefore the two
+         universes every run below produces — are identical. *)
+      (* raw mode: the log holds plain SQL statements, the granularity at
+         which plans compile (a transpiled history logs procedure calls) *)
+      let build_hist cp =
+        let eng, rt = W.setup ~mode:R.Raw w in
+        let base = Engine.snapshot eng in
+        if cp > 0 then Engine.enable_checkpoints eng ~every:cp;
+        let prng = Uv_util.Prng.create 92 in
+        let calls =
+          w.W.target_call :: w.W.generate prng ~scale:1 ~n ~dep_rate:0.3
+        in
+        ignore (W.run_history rt ~mode:R.Raw calls);
+        (eng, base)
+      in
+      let eng_cold, base_cold = build_hist 0 in
+      let eng_warm, base_warm = build_hist 32 in
+      let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
+      (* cold: what a sessionless client pays for every question — a full
+         analyzer build over the whole history plus an uncached run *)
+      let cold workers =
+        S.time (fun () ->
+            let analyzer =
+              Analyzer.analyze ~config:w.W.ri_config ~base:base_cold
+                (Engine.log eng_cold)
+            in
+            Whatif.run_exn
+              ~config:(Whatif.Config.make ~workers ~plans:false ())
+              ~analyzer eng_cold target)
+      in
+      let session workers =
+        Whatif.Session.create
+          ~config:(Whatif.Config.make ~workers ~checkpoint_every:32 ())
+          ~rowset:w.W.ri_config ~base:base_warm eng_warm
+      in
+      let run_session s =
+        match Whatif.Session.run s target with
+        | Ok o -> o
+        | Error e -> failwith (Whatif.Error.to_string e)
+      in
+      let s1 = session 1 in
+      let primed = run_session s1 in
+      (* the first session run pays the analyzer build *)
+      let warm_out = ref primed and warm_ms = ref infinity in
+      for _ = 1 to warm_runs do
+        let o, ms = S.time (fun () -> run_session s1) in
+        if ms < !warm_ms then begin warm_ms := ms; warm_out := o end
+      done;
+      let cold_out = ref None and cold_ms = ref infinity in
+      for _ = 1 to 3 do
+        let o, ms = cold 1 in
+        if ms < !cold_ms then begin cold_ms := ms; cold_out := Some o end
+      done;
+      let cold1 = Option.get !cold_out in
+      (* the amortization must never change the answer: final hashes with
+         caches/checkpoints on vs off, at 1 and 4 workers *)
+      let cold4, _ = cold 4 in
+      let s4 = session 4 in
+      let warm4a = run_session s4 in
+      let warm4b = run_session s4 in
+      let h = cold1.Whatif.final_db_hash in
+      let hash_ok =
+        List.for_all
+          (fun (o : Whatif.outcome) -> o.Whatif.final_db_hash = h)
+          [ primed; !warm_out; cold4; warm4a; warm4b ]
+      in
+      if not hash_ok then
+        failwith (w.W.name ^ ": cached what-if hash diverged from cold run");
+      let speedup = !cold_ms /. Float.max !warm_ms 0.001 in
+      if speedup >= 2.0 then incr two_x;
+      G.add_row t
+        [
+          w.W.name;
+          string_of_int (Log.length (Engine.log eng_cold));
+          fmt !cold_ms;
+          fmt !warm_ms;
+          G.fmt_speedup speedup;
+          !warm_out.Whatif.rollback_strategy;
+          string_of_int !warm_out.Whatif.plans_used;
+          "ok";
+        ];
+      repeat_results :=
+        !repeat_results
+        @ [
+            Uv_obs.Json.Obj
+              [
+                ("workload", Uv_obs.Json.Str w.W.name);
+                ("history", Uv_obs.Json.Int (Log.length (Engine.log eng_cold)));
+                ("cold_ms", Uv_obs.Json.Float !cold_ms);
+                ("warm_ms", Uv_obs.Json.Float !warm_ms);
+                ("speedup", Uv_obs.Json.Float speedup);
+                ( "rollback_strategy",
+                  Uv_obs.Json.Str !warm_out.Whatif.rollback_strategy );
+                ("plans_used", Uv_obs.Json.Int !warm_out.Whatif.plans_used);
+                ("hash_identical", Uv_obs.Json.Bool hash_ok);
+              ];
+          ])
+    (workloads ());
+  G.print t;
+  Printf.printf "warm >= 2x cold on %d/%d workloads\n" !two_x
+    (List.length (workloads ()))
+
 (* A retroactive addition whose effect no later statement can erase: an
    accumulator shift or a persisting fresh row. Every replay diverges
    permanently, so the jumper never fires and its per-member comparisons
@@ -926,6 +1053,7 @@ let experiments =
     ("abl-colrow", "Ablation: analysis granularity", bench_abl_colrow);
     ("abl-parallel", "Ablation: replay parallelism", bench_abl_parallel);
     ("exec-parallel", "Measured parallel replay (wave executor)", bench_exec_parallel);
+    ("whatif-repeat", "Repeated what-if: session caches cold vs warm", bench_whatif_repeat);
     ("abl-hash", "Ablation: Hash-jumper overhead", bench_abl_hash);
     ("abl-index", "Ablation: hash indexes vs full scans", bench_abl_index);
     ("abl-cc", "Ablation: CC scheduling from prior R/W knowledge", bench_abl_cc);
@@ -943,8 +1071,9 @@ let () =
       ("--quick", Arg.Set quick, "smaller sizes for a fast pass");
       ( "--smoke",
         Arg.Set smoke,
-        "CI sanity pass: the measured-parallel experiment at quick sizes \
-         (fails hard on any cross-worker hash divergence)" );
+        "CI sanity pass: the measured-parallel and whatif-repeat \
+         experiments at quick sizes (fails hard on any cross-worker or \
+         cached-vs-cold hash divergence)" );
       ("--list", Arg.Set list_only, "list experiment ids");
       ( "--json",
         Arg.Set json,
@@ -959,7 +1088,10 @@ let () =
   else begin
     let chosen =
       match (!smoke, !only) with
-      | true, _ -> List.filter (fun (i, _, _) -> i = "exec-parallel") experiments
+      | true, _ ->
+          List.filter
+            (fun (i, _, _) -> i = "exec-parallel" || i = "whatif-repeat")
+            experiments
       | false, None -> List.filter (fun (id, _, _) -> id <> "micro") experiments
       | false, Some id -> List.filter (fun (i, _, _) -> i = id) experiments
     in
@@ -980,13 +1112,17 @@ let () =
       print_endline
         (Uv_obs.Report.to_string ~schema:"uv.bench/1"
            (J.Obj
-              [
-                ("quick", J.Bool !quick);
-                ( "experiments",
-                  J.List
-                    (List.map
-                       (fun (id, ms) ->
-                         J.Obj [ ("id", J.Str id); ("wall_ms", J.Float ms) ])
-                       timings) );
-              ]))
+              ([
+                 ("quick", J.Bool !quick);
+                 ( "experiments",
+                   J.List
+                     (List.map
+                        (fun (id, ms) ->
+                          J.Obj [ ("id", J.Str id); ("wall_ms", J.Float ms) ])
+                        timings) );
+               ]
+              @
+              match !repeat_results with
+              | [] -> []
+              | rows -> [ ("whatif_repeat", J.List rows) ])))
   end

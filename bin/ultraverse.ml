@@ -60,8 +60,9 @@ let transpile_cmd =
 (* shared: build an engine from a history script                        *)
 (* ------------------------------------------------------------------ *)
 
-let load_history path =
+let load_history ?(checkpoint_every = 0) path =
   let eng = Engine.create () in
+  if checkpoint_every > 0 then Engine.enable_checkpoints eng ~every:checkpoint_every;
   let stmts = Uv_sql.Parser.parse_script (read_file path) in
   List.iter
     (fun s ->
@@ -145,7 +146,22 @@ let analyze_cmd =
 (* whatif                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let whatif_payload ~path ~tau ~op (out : Whatif.outcome) =
+let cache_json (s : Whatif.Session.stats) =
+  let module J = Uv_obs.Json in
+  J.Obj
+    [
+      ("runs", J.Int s.Whatif.Session.runs);
+      ("analyzer_builds", J.Int s.Whatif.Session.analyzer_builds);
+      ("analyzer_extends", J.Int s.Whatif.Session.analyzer_extends);
+      ("analyzed_entries", J.Int s.Whatif.Session.analyzed_entries);
+      ("plan_cache_size", J.Int s.Whatif.Session.plan_cache_size);
+      ("plans_compiled", J.Int s.Whatif.Session.plans_compiled);
+      ("plan_cache_hits", J.Int s.Whatif.Session.plan_cache_hits);
+      ("checkpoint_rungs", J.Int s.Whatif.Session.checkpoint_rungs);
+      ("checkpoint_every", J.Int s.Whatif.Session.checkpoint_every);
+    ]
+
+let whatif_payload ~path ~tau ~op ~cache (out : Whatif.outcome) =
   let module J = Uv_obs.Json in
   J.Obj
     [
@@ -171,6 +187,9 @@ let whatif_payload ~path ~tau ~op (out : Whatif.outcome) =
       ("changed", J.Bool out.Whatif.changed);
       ("degraded", J.Bool out.Whatif.degraded);
       ("retries", J.Int out.Whatif.retries);
+      ("rollback_strategy", J.Str out.Whatif.rollback_strategy);
+      ("plans_used", J.Int out.Whatif.plans_used);
+      ("cache", cache);
       ("aborted", J.Null);
       ("final_db_hash", J.Str (Printf.sprintf "%Lx" out.Whatif.final_db_hash));
       ( "phases",
@@ -197,19 +216,33 @@ let whatif_abort_payload ~path ~tau ~op (e : Whatif.Error.t) =
 
 let whatif_cmd =
   let run path tau op stmt_text hash_jumper workers serial deadline json query
-      trace metrics =
+      trace metrics checkpoint_every repeat no_plans =
     let obs =
       if trace <> None || metrics then Uv_obs.Trace.create ()
       else Uv_obs.Trace.disabled
     in
-    let eng = load_history path in
-    let analyzer = Analyzer.analyze ~obs (Engine.log eng) in
+    let eng = load_history ~checkpoint_every path in
     let target = { Analyzer.tau; op = parse_op op stmt_text } in
     let config =
       Whatif.Config.make ~hash_jumper ~workers ~parallel_exec:(not serial)
-        ?deadline_ms:deadline ~obs ()
+        ?deadline_ms:deadline ~obs ~checkpoint_every ~plans:(not no_plans) ()
     in
-    let result = Whatif.run ~config ~analyzer eng target in
+    (* a session so the analyzer, plan cache and checkpoint ladder amortize
+       across --repeat runs of the same question *)
+    let session = Whatif.Session.create ~config eng in
+    let repeat = max 1 repeat in
+    let result = ref (Whatif.Session.run session target) in
+    for k = 2 to repeat do
+      (match !result with
+      | Ok out ->
+          if not json then
+            Printf.printf "run %d/%d: %.2f ms (rollback: %s, plans: %d)\n"
+              (k - 1) repeat out.Whatif.real_ms out.Whatif.rollback_strategy
+              out.Whatif.plans_used
+      | Error _ -> ());
+      result := Whatif.Session.run session target
+    done;
+    let result = !result in
     (match trace with
     | Some trace_path ->
         let oc = open_out trace_path in
@@ -230,12 +263,21 @@ let whatif_cmd =
     if json then
       print_endline
         (Uv_obs.Report.to_string ~schema:"uv.whatif/1"
-           (whatif_payload ~path ~tau ~op out))
+           (whatif_payload ~path ~tau ~op
+              ~cache:(cache_json (Whatif.Session.stats session))
+              out))
     else begin
       Printf.printf "replayed %d of %d statements (%d rolled back) in %.2f ms\n"
         out.Whatif.replayed
         (Log.length (Engine.log eng))
         out.Whatif.undone out.Whatif.real_ms;
+      Printf.printf "rollback strategy %s; %d member(s) ran a compiled plan\n"
+        out.Whatif.rollback_strategy out.Whatif.plans_used;
+      (let st = Whatif.Session.stats session in
+       if st.Whatif.Session.checkpoint_rungs > 0 then
+         Printf.printf "checkpoint ladder: %d rung(s), stride %d\n"
+           st.Whatif.Session.checkpoint_rungs
+           st.Whatif.Session.checkpoint_every);
       Printf.printf "serial cost %.2f ms, simulated parallel (%d workers) %.2f ms\n"
         out.Whatif.serial_cost_ms out.Whatif.workers
         out.Whatif.simulated_parallel_ms;
@@ -329,10 +371,33 @@ let whatif_cmd =
              ~doc:"print the run's counters and histograms as a uv.metrics/1 \
                    report")
   in
+  let checkpoint_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"snapshot the catalog every K committed statements while \
+                   loading the history; the rollback phase can then jump to \
+                   the nearest checkpoint below τ instead of undoing the \
+                   whole tail (0 disables)")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"ask the same what-if question N times through one cached \
+                   session; later runs reuse the analyzer and compiled \
+                   statement plans (cache statistics land in the JSON \
+                   report)")
+  in
+  let no_plans =
+    Arg.(value & flag
+         & info [ "no-plans" ]
+             ~doc:"disable the compiled-statement-plan cache (outcomes are \
+                   identical either way; this exists for benchmarking)")
+  in
   Cmd.v
     (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
     Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ workers
-          $ serial $ deadline $ json $ query $ trace $ metrics)
+          $ serial $ deadline $ json $ query $ trace $ metrics
+          $ checkpoint_every $ repeat $ no_plans)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -483,13 +548,24 @@ let log_replay_cmd =
     Term.(const run $ path $ query)
 
 let dump_cmd =
-  let run history out =
-    let eng = load_history history in
+  let run history out checkpoints checkpoint_every =
+    let checkpoint_every =
+      if checkpoints <> None && checkpoint_every <= 0 then 64
+      else checkpoint_every
+    in
+    let eng = load_history ~checkpoint_every history in
     Dump.save (Engine.catalog eng) ~path:out;
-    Printf.printf "dumped %d tables -> %s
-"
+    Printf.printf "dumped %d tables -> %s\n"
       (List.length (Catalog.tables (Engine.catalog eng)))
       out;
+    (match (checkpoints, Engine.checkpoints eng) with
+    | Some cp_path, Some ladder ->
+        Dump.save_checkpoints ladder ~path:cp_path;
+        Printf.printf "checkpoint ladder (%d rungs) -> %s\n"
+          (Checkpoint.count ladder) cp_path
+    | Some cp_path, None ->
+        Printf.printf "checkpoint ladder empty; %s not written\n" cp_path
+    | None, _ -> ());
     0
   in
   let history =
@@ -499,10 +575,21 @@ let dump_cmd =
     Arg.(required & opt (some string) None
          & info [ "out"; "o" ] ~doc:"destination SQL dump file")
   in
+  let checkpoints =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoints" ] ~docv:"OUT.UCKP"
+             ~doc:"also write the periodic checkpoint ladder recorded while \
+                   executing the history (UCKPv1)")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:"rung stride for $(b,--checkpoints) (default 64)")
+  in
   Cmd.v
     (Cmd.info "dump"
        ~doc:"execute a history and write a logical dump (checkpoint)")
-    Term.(const run $ history $ out)
+    Term.(const run $ history $ out $ checkpoints $ checkpoint_every)
 
 let log_cmd =
   Cmd.group
@@ -513,9 +600,52 @@ let log_cmd =
 (* fsck / recover: crash-consistency tooling                            *)
 (* ------------------------------------------------------------------ *)
 
+let is_uckp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try really_input_string ic 6 = "UCKPv1" with End_of_file -> false)
+
 let fsck_cmd =
   let module D = Uv_analysis.Diagnostic in
+  (* checkpoint-ladder files get their own validation: framing, per-rung
+     CRC, and a restore dry-run of every rung *)
+  let run_uckp path json =
+    let diags =
+      match Dump.load_checkpoints ~path with
+      | rungs ->
+          Printf.ksprintf
+            (fun s -> if not json then print_endline s)
+            "%s: UCKPv1, %d rung(s)%s" path (List.length rungs)
+            (match rungs with
+            | [] -> ""
+            | _ ->
+                Printf.sprintf " (commits %s)"
+                  (String.concat ", "
+                     (List.map (fun (at, _) -> string_of_int at) rungs)));
+          []
+      | exception Dump.Corrupt msg ->
+          [
+            D.make ~index:1 ~obj:path ~code:"UVA013" ~severity:D.Error
+              ~pass:"fsck"
+              (Printf.sprintf "checkpoint ladder damaged: %s" msg);
+          ]
+    in
+    if json then begin
+      let payload =
+        match Uv_obs.Json.parse (D.json_report diags) with
+        | Ok j -> j
+        | Error e -> failwith ("internal: fsck report is not JSON: " ^ e)
+      in
+      print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
+    end
+    else Format.printf "%a" D.pp_report diags;
+    if D.errors diags = [] then 0 else 1
+  in
   let run path json =
+    if is_uckp path then run_uckp path json
+    else
     let records, diag = Log_io.load_salvage ~path in
     let structural =
       match diag.Log_io.cut_at with
@@ -585,6 +715,13 @@ let recover_cmd =
        in the engine's log too, so a log written with --out is a complete,
        self-contained history *)
     (match checkpoint with
+    | Some cp when is_uckp cp -> (
+        (* a checkpoint ladder: restore the newest rung as the base state *)
+        match List.rev (Dump.load_checkpoints ~path:cp) with
+        | (at, cat) :: _ ->
+            Dump.restore eng (Dump.to_sql cat);
+            Printf.printf "restored checkpoint rung at commit %d\n" at
+        | [] -> ())
     | Some cp -> Dump.load eng ~path:cp
     | None -> ());
     let skipped = Log_io.replay eng records in
@@ -626,7 +763,9 @@ let recover_cmd =
   let checkpoint =
     Arg.(value & opt (some file) None
          & info [ "checkpoint" ] ~docv:"DUMP.SQL"
-             ~doc:"logical dump to restore before replaying the log tail")
+             ~doc:"logical dump — or UCKPv1 checkpoint ladder, of which the \
+                   newest rung is used — to restore before replaying the \
+                   log tail")
   in
   let out =
     Arg.(value & opt (some string) None

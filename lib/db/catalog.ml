@@ -21,6 +21,10 @@ type t = {
   procs : (string, procedure) Hashtbl.t;
   trigs : (string, trigger) Hashtbl.t;
   idxs : (string, string * string list) Hashtbl.t;
+  (* bumped whenever the object namespace changes (table/view/proc/
+     trigger/index added, removed or renamed) — a cheap staleness check
+     for caches keyed on schema shape, e.g. compiled statement plans *)
+  mutable epoch : int;
 }
 
 let create () =
@@ -30,7 +34,10 @@ let create () =
     procs = Hashtbl.create 8;
     trigs = Hashtbl.create 8;
     idxs = Hashtbl.create 8;
+    epoch = 0;
   }
+
+let epoch t = t.epoch
 
 let tables t =
   Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t.tbls []
@@ -53,23 +60,55 @@ let has_object t name =
   Hashtbl.mem t.tbls name || Hashtbl.mem t.views name || Hashtbl.mem t.procs name
   || Hashtbl.mem t.trigs name || Hashtbl.mem t.idxs name
 
-let add_table t tbl = Hashtbl.replace t.tbls (Storage.name tbl) tbl
-let remove_table t name = Hashtbl.remove t.tbls name
-let add_view t name sel = Hashtbl.replace t.views name sel
-let remove_view t name = Hashtbl.remove t.views name
-let add_procedure t p = Hashtbl.replace t.procs p.proc_name p
-let remove_procedure t name = Hashtbl.remove t.procs name
-let add_trigger t trig = Hashtbl.replace t.trigs trig.trig_name trig
-let remove_trigger t name = Hashtbl.remove t.trigs name
-let add_index t name target = Hashtbl.replace t.idxs name target
+let bump t = t.epoch <- t.epoch + 1
+
+let add_table t tbl =
+  bump t;
+  Hashtbl.replace t.tbls (Storage.name tbl) tbl
+
+let remove_table t name =
+  bump t;
+  Hashtbl.remove t.tbls name
+
+let add_view t name sel =
+  bump t;
+  Hashtbl.replace t.views name sel
+
+let remove_view t name =
+  bump t;
+  Hashtbl.remove t.views name
+
+let add_procedure t p =
+  bump t;
+  Hashtbl.replace t.procs p.proc_name p
+
+let remove_procedure t name =
+  bump t;
+  Hashtbl.remove t.procs name
+
+let add_trigger t trig =
+  bump t;
+  Hashtbl.replace t.trigs trig.trig_name trig
+
+let remove_trigger t name =
+  bump t;
+  Hashtbl.remove t.trigs name
+
+let add_index t name target =
+  bump t;
+  Hashtbl.replace t.idxs name target
 
 let indexes t = Hashtbl.fold (fun name target acc -> (name, target) :: acc) t.idxs []
-let remove_index t name = Hashtbl.remove t.idxs name
+
+let remove_index t name =
+  bump t;
+  Hashtbl.remove t.idxs name
 
 let rename_table t old_name new_name =
   match Hashtbl.find_opt t.tbls old_name with
   | None -> ()
   | Some tbl ->
+      bump t;
       Hashtbl.remove t.tbls old_name;
       let sch = Storage.schema tbl in
       Storage.set_schema tbl { sch with Schema.tbl_name = new_name } (fun r -> r);
@@ -113,6 +152,7 @@ let snapshot t =
   Hashtbl.iter (Hashtbl.replace copy.procs) t.procs;
   Hashtbl.iter (Hashtbl.replace copy.trigs) t.trigs;
   Hashtbl.iter (Hashtbl.replace copy.idxs) t.idxs;
+  copy.epoch <- t.epoch;
   copy
 
 let snapshot_tables t names =
@@ -127,6 +167,7 @@ let snapshot_tables t names =
   Hashtbl.iter (Hashtbl.replace copy.procs) t.procs;
   Hashtbl.iter (Hashtbl.replace copy.trigs) t.trigs;
   Hashtbl.iter (Hashtbl.replace copy.idxs) t.idxs;
+  copy.epoch <- t.epoch;
   copy
 
 let copy_objects_into t ~into =
@@ -213,7 +254,8 @@ let restore t ~from =
   Hashtbl.iter (Hashtbl.replace t.views) fresh.views;
   Hashtbl.iter (Hashtbl.replace t.procs) fresh.procs;
   Hashtbl.iter (Hashtbl.replace t.trigs) fresh.trigs;
-  Hashtbl.iter (Hashtbl.replace t.idxs) fresh.idxs
+  Hashtbl.iter (Hashtbl.replace t.idxs) fresh.idxs;
+  bump t
 
 let db_hash t =
   tables t |> List.map (fun (_, tbl) -> Storage.hash tbl) |> Uv_util.Table_hash.combine

@@ -1,0 +1,68 @@
+(* Checkpoint ladder: periodic catalog snapshots taken every [every]
+   committed statements. Rollback to a target commit index jumps to the
+   nearest rung at-or-below it and redoes the short non-member tail from
+   journal images, instead of walking the whole undo chain backwards.
+
+   Rungs are kept newest-first. The ladder is capped: when it would
+   exceed [max_rungs], every other rung (the odd positions, counting
+   from the newest) is dropped and the stride doubles, so the ladder
+   covers an arbitrarily long history with bounded memory — a classic
+   exponential-thinning schedule. Snapshots share row arrays with the
+   live tables (rows are replaced, never mutated in place), so a rung
+   costs one hashtable copy per table, not a deep copy of every row. *)
+
+type rung = { at : int; cat : Catalog.t }
+
+type t = {
+  mutable every : int;
+  mutable rungs : rung list; (* descending by [at] *)
+  mutable taken : int; (* rungs ever recorded (thinned ones included) *)
+  mutable skipped : int; (* rungs skipped by fault injection *)
+}
+
+let max_rungs = 64
+
+let create ~every =
+  if every <= 0 then invalid_arg "Checkpoint.create: every must be positive";
+  { every; rungs = []; taken = 0; skipped = 0 }
+
+let every t = t.every
+
+let count t = List.length t.rungs
+
+let taken t = t.taken
+
+let skipped t = t.skipped
+
+let note_skipped t = t.skipped <- t.skipped + 1
+
+let due t n =
+  n > 0
+  && n mod t.every = 0
+  && (match t.rungs with r :: _ -> r.at < n | [] -> true)
+
+let thin t =
+  (* keep even positions (newest = position 0), double the stride *)
+  let kept, _ =
+    List.fold_left
+      (fun (acc, pos) r -> ((if pos mod 2 = 0 then r :: acc else acc), pos + 1))
+      ([], 0) t.rungs
+  in
+  t.rungs <- List.rev kept;
+  t.every <- 2 * t.every
+
+let record t cat n =
+  t.rungs <- { at = n; cat = Catalog.snapshot cat } :: t.rungs;
+  t.taken <- t.taken + 1;
+  if List.length t.rungs > max_rungs then thin t
+
+let nearest t n =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if r.at <= n then Some (r.at, r.cat) else find rest
+  in
+  find t.rungs
+
+let invalidate_from t n = t.rungs <- List.filter (fun r -> r.at < n) t.rungs
+
+let rungs t = List.map (fun r -> (r.at, r.cat)) t.rungs

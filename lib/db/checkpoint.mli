@@ -1,0 +1,54 @@
+(** Checkpoint ladder: periodic catalog snapshots for fast rollback.
+
+    The what-if rollback phase normally walks the undo journal backwards
+    from the log head. With a ladder attached, rolling back to commit
+    index τ instead restores the nearest rung at-or-below τ and redoes
+    the short tail of retained statements forward from their journal
+    images — O(K + tail) instead of O(history). Snapshots share row
+    arrays with live tables (rows are replaced on update, never mutated
+    in place), so a rung is a per-table hashtable copy, not a deep copy
+    of every row. *)
+
+type t
+
+val max_rungs : int
+(** Ladder size cap. When exceeded, every other rung is dropped and the
+    stride doubles (exponential thinning), bounding memory over
+    arbitrarily long histories. *)
+
+val create : every:int -> t
+(** A ladder recording a rung every [every] committed statements.
+    @raise Invalid_argument if [every <= 0]. *)
+
+val every : t -> int
+(** Current stride — the configured value, doubled at each thinning. *)
+
+val due : t -> int -> bool
+(** [due t n]: should a rung be recorded after commit [n]? True when [n]
+    is a stride multiple and newer than the newest rung. *)
+
+val record : t -> Catalog.t -> int -> unit
+(** Snapshot the catalog as the rung for commit index [n], thinning the
+    ladder if it exceeds {!max_rungs}. *)
+
+val nearest : t -> int -> (int * Catalog.t) option
+(** The highest rung at-or-below the given commit index. *)
+
+val invalidate_from : t -> int -> unit
+(** Drop every rung at index ≥ [n] — called when the log is truncated so
+    stale future state can never be restored. *)
+
+val rungs : t -> (int * Catalog.t) list
+(** All rungs, newest first. *)
+
+val count : t -> int
+(** Live rung count. *)
+
+val taken : t -> int
+(** Rungs ever recorded, including ones later thinned away. *)
+
+val skipped : t -> int
+
+val note_skipped : t -> unit
+(** Count a rung abandoned because fault injection fired at the
+    [engine.checkpoint] site. *)

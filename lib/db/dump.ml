@@ -125,3 +125,103 @@ let load eng ~path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> restore eng (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint-ladder persistence (UCKPv1)                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* UCKPv1 <rung count>
+   R <commit index> <payload bytes> <crc32 hex>
+   <payload: the rung catalog rendered by to_sql, length-delimited>
+   ... ascending by commit index. Payloads are length-delimited raw
+   bytes, so no escaping is needed; the CRC line makes a torn or
+   bit-flipped rung detectable before it is restored. *)
+let print_checkpoints ladder =
+  let buf = Buffer.create 4096 in
+  let rungs =
+    List.sort (fun (a, _) (b, _) -> compare a b) (Checkpoint.rungs ladder)
+  in
+  Buffer.add_string buf (Printf.sprintf "UCKPv1 %d\n" (List.length rungs));
+  List.iter
+    (fun (at, cat) ->
+      let payload = to_sql cat in
+      let crc = Uv_util.Crc32.(to_hex (digest payload)) in
+      Buffer.add_string buf
+        (Printf.sprintf "R %d %d %s\n" at (String.length payload) crc);
+      Buffer.add_string buf payload;
+      Buffer.add_char buf '\n')
+    rungs;
+  Buffer.contents buf
+
+let save_checkpoints ?(fault = Uv_fault.Fault.disabled) ?fsync ladder ~path =
+  let data = print_checkpoints ladder in
+  match
+    Uv_fault.Fault.check fault Uv_fault.Fault.Site.checkpoint_save
+      [ Uv_fault.Fault.Torn_write ]
+  with
+  | Some inj ->
+      let keep =
+        int_of_float (float_of_int (String.length data) *. inj.Uv_fault.Fault.arg)
+      in
+      Uv_util.Safe_io.write_file (path ^ ".tmp") (String.sub data 0 keep);
+      raise (Uv_fault.Fault.Injected inj)
+  | None -> Uv_util.Safe_io.atomic_write ?fsync ~path data
+
+let parse_checkpoints data =
+  let len = String.length data in
+  let line_end pos =
+    match String.index_from_opt data pos '\n' with
+    | Some e -> e
+    | None -> corrupt "unterminated line at byte %d" pos
+  in
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= len then corrupt "unexpected end of file";
+    let e = line_end !pos in
+    let l = String.sub data !pos (e - !pos) in
+    pos := e + 1;
+    l
+  in
+  let header = next_line () in
+  let count =
+    match String.split_on_char ' ' header with
+    | [ "UCKPv1"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | _ -> corrupt "bad rung count %S" n)
+    | _ -> corrupt "bad header %S" header
+  in
+  let rungs = ref [] in
+  for _ = 1 to count do
+    let hdr = next_line () in
+    let at, bytes, crc =
+      match String.split_on_char ' ' hdr with
+      | [ "R"; at; bytes; crc ] -> (
+          match (int_of_string_opt at, int_of_string_opt bytes) with
+          | Some a, Some b when a > 0 && b >= 0 -> (a, b, crc)
+          | _ -> corrupt "bad rung header %S" hdr)
+      | _ -> corrupt "bad rung header %S" hdr
+    in
+    if !pos + bytes + 1 > len then corrupt "rung at %d truncated" at;
+    let payload = String.sub data !pos bytes in
+    pos := !pos + bytes + 1;
+    (match Uv_util.Crc32.of_hex crc with
+    | Some expect when expect = Uv_util.Crc32.digest payload -> ()
+    | _ -> corrupt "rung at %d fails its checksum" at);
+    let eng = Engine.create () in
+    (try restore eng payload
+     with Engine.Sql_error msg -> corrupt "rung at %d: %s" at msg);
+    rungs := (at, Engine.catalog eng) :: !rungs
+  done;
+  List.rev !rungs
+
+let load_checkpoints ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      parse_checkpoints (really_input_string ic (in_channel_length ic)))

@@ -32,3 +32,34 @@ val restore : Engine.t -> string -> unit
 
 val load : Engine.t -> path:string -> unit
 (** Read a file written by {!save} and {!restore} it. *)
+
+(** {2 Checkpoint-ladder persistence}
+
+    The UCKPv1 format stores each rung as a length-delimited {!to_sql}
+    script guarded by a CRC-32, so a torn write is detected before any
+    rung is restored:
+    {v
+    UCKPv1 <rung count>
+    R <commit index> <payload bytes> <crc32 hex>
+    <payload>
+    ...
+    v} *)
+
+exception Corrupt of string
+(** Raised by {!load_checkpoints} on a malformed, truncated or
+    checksum-failing file. *)
+
+val print_checkpoints : Checkpoint.t -> string
+(** Render a ladder in the UCKPv1 format, rungs ascending. *)
+
+val save_checkpoints :
+  ?fault:Uv_fault.Fault.t -> ?fsync:bool -> Checkpoint.t -> path:string -> unit
+(** Atomic write (temp + fsync + rename) of {!print_checkpoints}.
+    [fault] probes {!Uv_fault.Fault.Site.checkpoint_save} with
+    [Torn_write], mirroring {!save}: the tear leaves only a temp-file
+    prefix and any previous file at [path] intact. *)
+
+val load_checkpoints : path:string -> (int * Catalog.t) list
+(** Read a UCKPv1 file back as (commit index, catalog) rungs, ascending.
+    Each rung's payload is checksum-verified and then executed on a
+    fresh engine. @raise Corrupt on bad input. *)

@@ -37,6 +37,8 @@ type t = {
      range: base + k for the k-th inserted row, identical at every
      worker count *)
   mutable rowid_alloc : (int * int ref) option;
+  (* periodic catalog snapshots for checkpoint-jumping rollback *)
+  mutable checkpoints : Checkpoint.t option;
 }
 
 let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
@@ -59,6 +61,7 @@ let of_catalog ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     rows_written = 0;
     trigger_depth = 0;
     rowid_alloc = None;
+    checkpoints = None;
   }
 
 let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
@@ -80,6 +83,7 @@ let create ?(seed = 42) ?(rtt_ms = 1.0) ?(enforce_fk = false)
     rows_written = 0;
     trigger_depth = 0;
     rowid_alloc = None;
+    checkpoints = None;
   }
 
 let catalog t = t.cat
@@ -101,7 +105,14 @@ let snapshot t = Catalog.snapshot t.cat
 
 let restore t snap = Catalog.restore t.cat ~from:snap
 
-let reset_log t = Log.truncate t.log 0
+let reset_log t =
+  Log.truncate t.log 0;
+  Option.iter (fun l -> Checkpoint.invalidate_from l 1) t.checkpoints
+
+let enable_checkpoints t ~every =
+  t.checkpoints <- (if every > 0 then Some (Checkpoint.create ~every) else None)
+
+let checkpoints t = t.checkpoints
 
 let memory_bytes t = Catalog.memory_bytes t.cat
 
@@ -123,7 +134,7 @@ let j_insert t tbl row =
         Storage.insert_at tbl id row
     | None -> Storage.insert tbl row
   in
-  t.journal <- Log.U_row_insert (Storage.name tbl, id) :: t.journal;
+  t.journal <- Log.U_row_insert (Storage.name tbl, id, Array.copy row) :: t.journal;
   mark_written t (Storage.name tbl);
   t.rows_written <- t.rows_written + 1;
   id
@@ -1233,6 +1244,221 @@ and exec_stmt t env (s : stmt) : result =
       empty_result
 
 (* ------------------------------------------------------------------ *)
+(* Compiled statement plans                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan freezes the name-resolution and AST-walking work of a
+   trigger-free UPDATE/DELETE on a base table: column offsets are
+   resolved once, the WHERE predicate and SET list become closures over
+   the row array, and an equality on an indexed column is noted for an
+   index probe. Plans hold no [Storage.t] handle — what-if replay runs
+   against fresh temporary catalogs, so the plan re-binds its table by
+   name at execution and validates with a physical-equality check on the
+   schema record ([Storage.copy] shares it; DDL replaces it). An invalid
+   bind falls back to the interpreter, which is always sound. Plans are
+   immutable after [prepare], so they are shared read-only across replay
+   domains. *)
+
+type compiled_expr = Value.t array -> Value.t
+
+type plan_action =
+  | P_update of (int * Value.ty * compiled_expr) list
+  | P_delete
+
+type plan = {
+  plan_table : string;
+  plan_schema : Schema.table; (* the physical record captured at prepare *)
+  plan_where : compiled_expr option;
+  plan_probe : (string * Value.t) option; (* [col = literal] conjunct *)
+  plan_action : plan_action;
+}
+
+exception Not_compilable
+
+(* The compilable expression subset: column refs, literals, arithmetic,
+   comparisons and short-circuit AND/OR, plus the other pure forms
+   (NOT/negate, IS NULL, BETWEEN, IN over pure items). Anything that can
+   draw non-determinism, read other tables or touch procedure variables
+   (function calls, subselects, EXISTS, Var) refuses compilation — the
+   closures must be pure functions of the row. Each case mirrors [eval]
+   exactly; divergence here would break bitwise replay identity. *)
+let compile_expr (sch : Schema.table) tname (e : expr) : compiled_expr =
+  let offset name =
+    let rec find i = function
+      | [] -> raise Not_compilable
+      | (c : Schema.column) :: rest ->
+          if String.equal c.Schema.col_name name then i else find (i + 1) rest
+    in
+    find 0 sch.Schema.tbl_columns
+  in
+  let rec go e : compiled_expr =
+    match e with
+    | Lit v -> fun _ -> v
+    | Col (qual, name) when qual = None || qual = Some tname ->
+        let i = offset name in
+        fun row -> row.(i)
+    | Binop (And, a, b) ->
+        let ca = go a and cb = go b in
+        fun row ->
+          if not (Value.to_bool (ca row)) then Value.Bool false
+          else Value.Bool (Value.to_bool (cb row))
+    | Binop (Or, a, b) ->
+        let ca = go a and cb = go b in
+        fun row ->
+          if Value.to_bool (ca row) then Value.Bool true
+          else Value.Bool (Value.to_bool (cb row))
+    | Binop (op, a, b) ->
+        let ca = go a and cb = go b in
+        let f =
+          match op with
+          | Add -> Value.add
+          | Sub -> Value.sub
+          | Mul -> Value.mul
+          | Div -> Value.div
+          | Mod -> Value.modulo
+          | Eq -> fun x y -> cmp_value x y (fun c -> c = 0)
+          | Neq -> fun x y -> cmp_value x y (fun c -> c <> 0)
+          | Lt -> fun x y -> cmp_value x y (fun c -> c < 0)
+          | Le -> fun x y -> cmp_value x y (fun c -> c <= 0)
+          | Gt -> fun x y -> cmp_value x y (fun c -> c > 0)
+          | Ge -> fun x y -> cmp_value x y (fun c -> c >= 0)
+          | And | Or -> assert false
+        in
+        fun row -> f (ca row) (cb row)
+    | Unop (Not, a) ->
+        let ca = go a in
+        fun row -> Value.Bool (not (Value.to_bool (ca row)))
+    | Unop (Neg, a) ->
+        let ca = go a in
+        fun row -> Value.sub (Value.Int 0) (ca row)
+    | Is_null (a, positive) ->
+        let ca = go a in
+        fun row -> Value.Bool (Value.is_null (ca row) = positive)
+    | Between (a, lo, hi) ->
+        let ca = go a and cl = go lo and ch = go hi in
+        fun row ->
+          let v = ca row in
+          let l = cl row and h = ch row in
+          if Value.is_null v || Value.is_null l || Value.is_null h then
+            Value.Null
+          else
+            Value.Bool (Value.compare_sql v l >= 0 && Value.compare_sql v h <= 0)
+    | In_list (a, items) ->
+        let ca = go a in
+        let citems = List.map go items in
+        fun row ->
+          let v = ca row in
+          Value.Bool (List.exists (fun ci -> Value.equal_sql v (ci row)) citems)
+    | Col _ | Var _ | Fun_call _ | Subselect _ | Exists _ ->
+        raise Not_compilable
+  in
+  go e
+
+(* The [index_probe] restriction that stays valid without an engine: an
+   AND-reachable [col = literal] conjunct. *)
+let rec probe_of tname (w : expr) =
+  match w with
+  | Binop (And, a, b) -> (
+      match probe_of tname a with
+      | Some _ as r -> r
+      | None -> probe_of tname b)
+  | Binop (Eq, Col (qual, col), Lit v) when qual = None || qual = Some tname ->
+      Some (col, v)
+  | Binop (Eq, Lit v, Col (qual, col)) when qual = None || qual = Some tname ->
+      Some (col, v)
+  | _ -> None
+
+let prepare cat (stmt : Ast.stmt) : plan option =
+  let build table where (mk : Storage.t -> Schema.table -> plan_action) event =
+    match Catalog.table cat table with
+    | None -> None (* view or unknown target: interpreter handles it *)
+    | Some st ->
+        if Catalog.triggers_for cat table event <> [] then None
+        else
+          let sch = Storage.schema st in
+          try
+            Some
+              {
+                plan_table = table;
+                plan_schema = sch;
+                plan_where = Option.map (compile_expr sch table) where;
+                plan_probe = Option.bind where (probe_of table);
+                plan_action = mk st sch;
+              }
+          with Not_compilable -> None
+  in
+  match stmt with
+  | Update { table; assigns; where } ->
+      build table where
+        (fun st sch ->
+          P_update
+            (List.map
+               (fun (cname, e) ->
+                 match Storage.column_index st cname with
+                 | Some i ->
+                     let col = List.nth sch.Schema.tbl_columns i in
+                     (i, col.Schema.col_ty, compile_expr sch table e)
+                 | None -> raise Not_compilable)
+               assigns))
+        Ev_update
+  | Delete { table; where } ->
+      build table where (fun _ _ -> P_delete) Ev_delete
+  | _ -> None
+
+(* Run a plan, or decline ([None]) when it no longer binds: table gone,
+   schema record replaced by DDL, or a trigger appeared since [prepare].
+   Victim collection and mutation order reproduce the interpreter's
+   exactly (ascending rowid), and all journalling goes through the same
+   [j_update]/[j_delete], so the log entry and undo images are
+   indistinguishable from an interpreted run. *)
+let try_plan t (p : plan) : result option =
+  match Catalog.table t.cat p.plan_table with
+  | None -> None
+  | Some st ->
+      let event =
+        match p.plan_action with P_update _ -> Ev_update | P_delete -> Ev_delete
+      in
+      if
+        Storage.schema st != p.plan_schema
+        || Catalog.triggers_for t.cat p.plan_table event <> []
+      then None
+      else begin
+        let candidates =
+          match p.plan_probe with
+          | Some (_, Value.Null) -> [] (* col = NULL matches no row *)
+          | Some (col, v) -> (
+              match Storage.indexed_lookup st col v with
+              | Some ids ->
+                  List.filter_map
+                    (fun id ->
+                      Option.map (fun row -> (id, row)) (Storage.get st id))
+                    (List.sort compare ids)
+              | None -> Storage.to_rows st)
+          | None -> Storage.to_rows st
+        in
+        let victims =
+          match p.plan_where with
+          | None -> candidates
+          | Some cw ->
+              List.filter (fun (_, row) -> Value.to_bool (cw row)) candidates
+        in
+        (match p.plan_action with
+        | P_update assigns ->
+            List.iter
+              (fun (rid, row) ->
+                let fresh = Array.copy row in
+                List.iter
+                  (fun (i, ty, ce) -> fresh.(i) <- Value.coerce ty (ce row))
+                  assigns;
+                check_row_constraints t st (Some rid) fresh;
+                ignore (j_update t st rid fresh))
+              victims
+        | P_delete ->
+            List.iter (fun (rid, _) -> ignore (j_delete t st rid)) victims);
+        Some { empty_result with rows_written = List.length victims }
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Top-level entry points                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1253,7 +1479,7 @@ let error_context t stmt =
   in
   Printf.sprintf " [at log index %d: %s]" (Log.length t.log + 1) sql
 
-let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
+let exec ?app_txn ?(nondet = []) ?rowid_base ?plan t stmt =
   begin_statement ?rowid_base t nondet;
   Uv_util.Clock.charge_rtt t.clock ();
   (* pre-statement state: an injected (infrastructure) fault restores all
@@ -1269,7 +1495,15 @@ let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
     Uv_fault.Fault.fire ~key:t.sim_time t.fault Uv_fault.Fault.Site.engine_exec
       [ Uv_fault.Fault.Stmt_fail ];
     let r =
-      try exec_stmt t (empty_env ()) stmt
+      try
+        match Option.bind plan (try_plan t) with
+        | Some r ->
+            if traced then Uv_obs.Trace.incr t.obs "db.plan_hits";
+            r
+        | None ->
+            if Option.is_some plan && traced then
+              Uv_obs.Trace.incr t.obs "db.plan_binds_failed";
+            exec_stmt t (empty_env ()) stmt
       with Failure msg -> sql_error "%s" msg
     in
     (* the statement executed; a fault here models a crash before its log
@@ -1301,6 +1535,20 @@ let exec ?app_txn ?(nondet = []) ?rowid_base t stmt =
         }
       in
       Log.append t.log entry;
+      (match t.checkpoints with
+      | Some ladder when Checkpoint.due ladder entry.Log.index -> (
+          (* a fault here abandons this rung only: the ladder stays
+             consistent and the next stride multiple tries again *)
+          match
+            Uv_fault.Fault.check ~key:entry.Log.index t.fault
+              Uv_fault.Fault.Site.checkpoint
+              [ Uv_fault.Fault.Stmt_fail ]
+          with
+          | Some _ -> Checkpoint.note_skipped ladder
+          | None ->
+              Checkpoint.record ladder t.cat entry.Log.index;
+              if traced then Uv_obs.Trace.incr t.obs "db.checkpoints")
+      | _ -> ());
       { r with rows_written = t.rows_written }
   | exception exn ->
       (* statement atomicity on *every* failure path: roll the journal

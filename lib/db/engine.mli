@@ -79,10 +79,29 @@ val catalog : t -> Catalog.t
 val log : t -> Log.t
 val clock : t -> Uv_util.Clock.t
 
+type plan
+(** A compiled statement plan: column offsets resolved, WHERE predicate
+    and SET list compiled to closures over the row array, index-probe
+    opportunity noted. Immutable after {!prepare}, so safe to share
+    read-only across replay domains. A plan holds no table handle — it
+    re-binds by name at execution and self-validates (physical equality
+    of the schema record, absence of triggers), falling back to the
+    interpreter when stale, so executing with a plan is always
+    observationally identical to executing without one. *)
+
+val prepare : Catalog.t -> Ast.stmt -> plan option
+(** Compile a trigger-free UPDATE or DELETE on a base table whose WHERE
+    and SET expressions stay within the pure subset (columns, literals,
+    arithmetic, comparisons, AND/OR, NOT, IS NULL, BETWEEN, IN over pure
+    items). [None] for everything else — other statement forms, view
+    targets, triggered tables, or expressions that could draw
+    non-determinism or read other tables. *)
+
 val exec :
   ?app_txn:string ->
   ?nondet:Value.t list ->
   ?rowid_base:int ->
+  ?plan:plan ->
   t ->
   Ast.stmt ->
   result
@@ -94,7 +113,10 @@ val exec :
     transaction that issued it. [~rowid_base] pins the statement's row
     inserts to rowids [base], [base + 1], ... — the wave executor gives
     each replayed statement a private range so physical row placement is
-    deterministic at every worker count. *)
+    deterministic at every worker count. [~plan] must be a plan
+    {!prepare}d from this very statement (the what-if session caches
+    plans keyed by log-entry identity); a plan that no longer binds is
+    ignored in favour of the interpreter. *)
 
 val exec_sql : ?app_txn:string -> ?nondet:Value.t list -> t -> string -> result
 (** [exec] after parsing. *)
@@ -119,6 +141,16 @@ val restore : t -> Catalog.t -> unit
     is left untouched (callers manage log truncation). *)
 
 val reset_log : t -> unit
+(** Truncate the log to empty and drop any checkpoint rungs. *)
+
+val enable_checkpoints : t -> every:int -> unit
+(** Attach a {!Checkpoint} ladder recording a catalog snapshot every
+    [every] committed statements (at the [engine.checkpoint] fault site;
+    an injected [Stmt_fail] skips that rung gracefully). [every <= 0]
+    detaches the ladder. The what-if rollback phase uses the ladder to
+    jump near the rollback target instead of undoing the whole tail. *)
+
+val checkpoints : t -> Checkpoint.t option
 
 val set_sim_time : t -> int -> unit
 (** Set the logical NOW() clock (seconds). Each statement advances it by

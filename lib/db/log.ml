@@ -1,7 +1,7 @@
 open Uv_sql
 
 type undo =
-  | U_row_insert of string * int
+  | U_row_insert of string * int * Value.t array
   | U_row_delete of string * int * Value.t array
   | U_row_update of string * int * Value.t array * Value.t array
   | U_table_def of string * Storage.t option
@@ -26,7 +26,7 @@ let apply_undo cat undos =
   List.iter
     (fun u ->
       match u with
-      | U_row_insert (table, rowid) -> (
+      | U_row_insert (table, rowid, _) -> (
           match Catalog.table cat table with
           | Some tbl -> ( try ignore (Storage.delete tbl rowid) with Not_found -> ())
           | None -> ())
@@ -46,7 +46,7 @@ let apply_undo cat undos =
                     if
                       i < Array.length before
                       && i < Array.length after
-                      && Value.serialize before.(i) <> Value.serialize after.(i)
+                      && not (Value.equal before.(i) after.(i))
                     then fresh.(i) <- before.(i)
                   done;
                   ignore (Storage.update tbl rowid fresh))
@@ -73,6 +73,51 @@ let apply_undo cat undos =
           | Some tbl -> Storage.set_auto_value tbl v
           | None -> ()))
     undos
+
+(* Re-derive an entry's forward effect from its journal: the row images
+   carried for rollback determine the redo exactly, so a statement can be
+   reenacted without re-executing its SQL. The checkpoint-jumping
+   rollback replays non-member entries this way from the nearest
+   snapshot. AUTO_INCREMENT journal records carry only the pre-statement
+   counter, so they are skipped here; the caller pins counters afterwards
+   (the rollback strategies must agree bit-for-bit). Tables absent from
+   the catalog are skipped like in [apply_undo]; DDL records cannot be
+   redone from their before-images and raise. *)
+let apply_redo cat undos =
+  List.iter
+    (fun u ->
+      match u with
+      | U_row_insert (table, rowid, row) -> (
+          match Catalog.table cat table with
+          | Some tbl -> Storage.insert_with_rowid tbl rowid row
+          | None -> ())
+      | U_row_delete (table, rowid, _) -> (
+          match Catalog.table cat table with
+          | Some tbl -> (
+              try ignore (Storage.delete tbl rowid) with Not_found -> ())
+          | None -> ())
+      | U_row_update (table, rowid, before, after) -> (
+          match Catalog.table cat table with
+          | Some tbl -> (
+              match Storage.get tbl rowid with
+              | None -> ()
+              | Some current ->
+                  let n = Array.length current in
+                  let fresh = Array.copy current in
+                  for i = 0 to n - 1 do
+                    if
+                      i < Array.length before
+                      && i < Array.length after
+                      && not (Value.equal before.(i) after.(i))
+                    then fresh.(i) <- after.(i)
+                  done;
+                  ignore (Storage.update tbl rowid fresh))
+          | None -> ())
+      | U_auto_value _ -> ()
+      | U_table_def _ | U_view_def _ | U_proc_def _ | U_trigger_def _
+      | U_index_def _ ->
+          invalid_arg "Log.apply_redo: DDL entries cannot be redone")
+    (List.rev undos)
 
 type t = { mutable items : entry array; mutable len : int }
 

@@ -11,8 +11,10 @@
 open Uv_sql
 
 type undo =
-  | U_row_insert of string * int
-      (** the statement inserted (table, rowid): undo deletes it *)
+  | U_row_insert of string * int * Value.t array
+      (** the statement inserted (table, rowid, row image): undo deletes
+          it; the image lets redo re-insert without re-execution (it is
+          never persisted — ULOGv2 stores only the statement) *)
   | U_row_delete of string * int * Value.t array
       (** the statement deleted this row image: undo re-inserts it *)
   | U_row_update of string * int * Value.t array * Value.t array
@@ -53,6 +55,16 @@ val apply_undo : Catalog.t -> undo list -> unit
 (** Apply one entry's inverse operations (already ordered most recent
     first) against a catalog. Entries must be undone in reverse commit
     order. *)
+
+val apply_redo : Catalog.t -> undo list -> unit
+(** Reenact one entry's forward row effect from its journal images
+    (insert the inserted rows, delete the deleted ones, merge each
+    update's changed cells to its after-image). Entries must be redone
+    in commit order. AUTO_INCREMENT records are skipped — the caller
+    pins counters afterwards. Tables absent from the catalog are
+    skipped.
+    @raise Invalid_argument on DDL records, which carry before-images
+    only. *)
 
 type t
 

@@ -20,12 +20,34 @@ type t = {
   mutable next_rowid : rowid;
   mutable next_auto : int;
   mutable hash : Uv_util.Table_hash.t;
-  (* column name -> (serialized value -> rowids) *)
-  mutable indexes : (string * (string, rowid list) Hashtbl.t) list;
+  mutable indexes : index list;
+}
+
+(* A hash index: postings are per-value rowid sets, so adding and
+   removing a row is O(1) amortized (removal used to filter an assoc
+   list, making every indexed DELETE/UPDATE O(k) in the bucket size).
+   The column offset is resolved once — at index build and on schema
+   changes — instead of per mutated row. *)
+and index = {
+  ix_col : string;
+  mutable ix_offset : int option; (* None: column absent from the schema *)
+  ix_postings : (string, (rowid, unit) Hashtbl.t) Hashtbl.t;
 }
 
 let locked t f = Uv_util.Rwlock.write t.lock f
 let reading t f = Uv_util.Rwlock.read t.lock f
+
+let schema_offset (schema : Schema.table) col =
+  let rec find i = function
+    | [] -> None
+    | (c : Schema.column) :: rest ->
+        if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
+  in
+  find 0 schema.Schema.tbl_columns
+
+let make_index schema col =
+  { ix_col = col; ix_offset = schema_offset schema col;
+    ix_postings = Hashtbl.create 64 }
 
 let create schema =
   let t =
@@ -41,9 +63,7 @@ let create schema =
   in
   (* primary-key and UNIQUE columns get an index out of the box *)
   List.iter
-    (fun c ->
-      t.indexes <-
-        (c, Hashtbl.create 64) :: t.indexes)
+    (fun c -> t.indexes <- make_index schema c :: t.indexes)
     (Schema.primary_key_columns schema @ Schema.unique_columns schema);
   t
 
@@ -70,6 +90,9 @@ let set_auto_value t v = locked t (fun () -> t.next_auto <- max 1 v)
 
 let next_rowid t = reading t (fun () -> t.next_rowid)
 
+let set_rowid_floor t v =
+  locked t (fun () -> if v > t.next_rowid then t.next_rowid <- v)
+
 (* Index keys must respect SQL equality classes: Int 5, Float 5.0,
    Bool-ish 1/0 and the numeric string "5" all compare equal under
    [Value.compare_sql], so they must share a key. *)
@@ -89,43 +112,37 @@ let index_key v =
       | Some f -> num f
       | None -> "T" ^ s)
 
+let posting_add ix k id =
+  let set =
+    match Hashtbl.find_opt ix.ix_postings k with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace ix.ix_postings k s;
+        s
+  in
+  Hashtbl.replace set id ()
+
 let index_add t row id =
   List.iter
-    (fun (col, tbl) ->
-      match
-        let rec find i = function
-          | [] -> None
-          | (c : Schema.column) :: rest ->
-              if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
-        in
-        find 0 t.schema.Schema.tbl_columns
-      with
+    (fun ix ->
+      match ix.ix_offset with
       | Some ci when ci < Array.length row ->
-          let k = index_key row.(ci) in
-          Hashtbl.replace tbl k
-            (id :: Option.value (Hashtbl.find_opt tbl k) ~default:[])
+          posting_add ix (index_key row.(ci)) id
       | _ -> ())
     t.indexes
 
 let index_remove t row id =
   List.iter
-    (fun (col, tbl) ->
-      match
-        let rec find i = function
-          | [] -> None
-          | (c : Schema.column) :: rest ->
-              if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
-        in
-        find 0 t.schema.Schema.tbl_columns
-      with
-      | Some ci when ci < Array.length row ->
+    (fun ix ->
+      match ix.ix_offset with
+      | Some ci when ci < Array.length row -> (
           let k = index_key row.(ci) in
-          let remaining =
-            List.filter (fun x -> x <> id)
-              (Option.value (Hashtbl.find_opt tbl k) ~default:[])
-          in
-          if remaining = [] then Hashtbl.remove tbl k
-          else Hashtbl.replace tbl k remaining
+          match Hashtbl.find_opt ix.ix_postings k with
+          | None -> ()
+          | Some set ->
+              Hashtbl.remove set id;
+              if Hashtbl.length set = 0 then Hashtbl.remove ix.ix_postings k)
       | _ -> ())
     t.indexes
 
@@ -212,7 +229,16 @@ let copy t =
         next_rowid = t.next_rowid;
         next_auto = t.next_auto;
         hash = Uv_util.Table_hash.copy t.hash;
-        indexes = List.map (fun (c, tbl) -> (c, Hashtbl.copy tbl)) t.indexes;
+        indexes =
+          List.map
+            (fun ix ->
+              let postings = Hashtbl.create (Hashtbl.length ix.ix_postings) in
+              Hashtbl.iter
+                (fun k set -> Hashtbl.replace postings k (Hashtbl.copy set))
+                ix.ix_postings;
+              { ix_col = ix.ix_col; ix_offset = ix.ix_offset;
+                ix_postings = postings })
+            t.indexes;
       })
 
 let set_schema t schema remap =
@@ -220,16 +246,13 @@ let set_schema t schema remap =
   let fresh = Uv_util.Table_hash.create () in
   let updates = Hashtbl.fold (fun id row acc -> (id, remap row) :: acc) t.rows [] in
   t.schema <- schema;
-  (* drop indexes on columns that no longer exist, rebuild the rest *)
+  (* drop indexes on columns that no longer exist, rebuild the rest
+     (fresh records so the column offsets are re-resolved against the
+     new schema) *)
   let kept =
-    List.filter
-      (fun (c, _) ->
-        List.exists
-          (fun (col : Schema.column) -> String.equal col.Schema.col_name c)
-          schema.Schema.tbl_columns)
-      t.indexes
+    List.filter (fun ix -> schema_offset schema ix.ix_col <> None) t.indexes
   in
-  t.indexes <- List.map (fun (c, _) -> (c, Hashtbl.create 64)) kept;
+  t.indexes <- List.map (fun ix -> make_index schema ix.ix_col) kept;
   List.iter
     (fun (id, row) ->
       Hashtbl.replace t.rows id row;
@@ -240,36 +263,34 @@ let set_schema t schema remap =
 
 let create_value_index t col =
   locked t @@ fun () ->
-  if not (List.mem_assoc col t.indexes) then begin
-    let tbl = Hashtbl.create 64 in
-    t.indexes <- (col, tbl) :: t.indexes;
+  if not (List.exists (fun ix -> String.equal ix.ix_col col) t.indexes)
+  then begin
+    let ix = make_index t.schema col in
+    t.indexes <- ix :: t.indexes;
     (* populate only the new index: re-adding rows through [index_add]
        would duplicate their entries in every pre-existing index *)
-    let rec find i = function
-      | [] -> None
-      | (c : Schema.column) :: rest ->
-          if String.equal c.Schema.col_name col then Some i else find (i + 1) rest
-    in
-    match find 0 t.schema.Schema.tbl_columns with
+    match ix.ix_offset with
     | None -> ()
     | Some ci ->
         Hashtbl.iter
           (fun id row ->
             if ci < Array.length row then
-              let k = index_key row.(ci) in
-              Hashtbl.replace tbl k
-                (id :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+              posting_add ix (index_key row.(ci)) id)
           t.rows
   end
 
 let indexed_lookup t col v =
   reading t (fun () ->
-      match List.assoc_opt col t.indexes with
+      match List.find_opt (fun ix -> String.equal ix.ix_col col) t.indexes with
       | None -> None
-      | Some tbl ->
-          Some (Option.value (Hashtbl.find_opt tbl (index_key v)) ~default:[]))
+      | Some ix -> (
+          match Hashtbl.find_opt ix.ix_postings (index_key v) with
+          | None -> Some []
+          | Some set ->
+              Some (Hashtbl.fold (fun id () acc -> id :: acc) set [])))
 
-let indexed_columns t = reading t (fun () -> List.map fst t.indexes)
+let indexed_columns t =
+  reading t (fun () -> List.map (fun ix -> ix.ix_col) t.indexes)
 
 let column_index t col =
   let rec find i = function

@@ -63,6 +63,11 @@ val insert_at : t -> rowid -> Value.t array -> rowid
 val next_rowid : t -> rowid
 (** The rowid the next plain [insert] would use. *)
 
+val set_rowid_floor : t -> rowid -> unit
+(** Raise [next_rowid] to at least [v]. Checkpoint-jumping rollback uses
+    this to pin the allocator to the value plain undo would have left,
+    so replayed inserts draw identical rowids under either strategy. *)
+
 val delete : t -> rowid -> Value.t array
 (** Remove a row; returns the removed image. Raises [Not_found]. *)
 
@@ -99,7 +104,9 @@ val create_value_index : t -> string -> unit
 
 val indexed_lookup : t -> string -> Value.t -> rowid list option
 (** [Some rowids] holding exactly the rows whose column equals the value
-    when the column is indexed; [None] when it is not. *)
+    when the column is indexed; [None] when it is not. The list order is
+    unspecified (postings are hash sets) — callers needing determinism
+    sort it. *)
 
 val indexed_columns : t -> string list
 

@@ -124,4 +124,6 @@ module Site = struct
   let dump_save = "dump.save"
   let worker = "domain_pool.worker"
   let wave = "wave_exec.wave"
+  let checkpoint = "engine.checkpoint"
+  let checkpoint_save = "checkpoint.save"
 end

@@ -103,4 +103,15 @@ module Site : sig
   val wave : string
   (** Probed at each wave-batch boundary ([Worker_crash] models a
       domain found dead between waves and triggers degradation). *)
+
+  val checkpoint : string
+  (** Probed when the engine is about to record a checkpoint rung
+      ([Stmt_fail]: the rung is skipped gracefully — the ladder stays
+      valid, the next eligible commit tries again); key = the commit
+      index the rung would cover. *)
+
+  val checkpoint_save : string
+  (** Probed by [Dump.save_checkpoints] ([Torn_write]): the checkpoint
+      file receives only a prefix and the rename is skipped, so recovery
+      must reject it on CRC and fall back to undo-only rollback. *)
 end

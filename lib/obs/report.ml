@@ -1,5 +1,5 @@
 let tool = "ultraverse"
-let version = "1.2.0"
+let version = "1.3.0"
 let schemas = [ "uv.whatif/1"; "uv.lint/1"; "uv.metrics/1"; "uv.bench/1" ]
 
 let envelope ~schema payload =

@@ -23,16 +23,19 @@ type tindex = {
 }
 
 type t = {
-  infos : info array;
+  mutable infos : info array;
   config : Rowset.config;
   row_state : Rowset.t;
+  sv : Schema_view.t; (* evolving view at the analysed head *)
   log : Uv_db.Log.t;
   base : Uv_db.Catalog.t option;
   base_hashes : (string * int64) list;
-  readers_by_col : (string, int list ref) Hashtbl.t; (* ascending indexes *)
+  readers_by_col : (string, int list ref) Hashtbl.t; (* descending indexes *)
   writers_by_col : (string, int list ref) Hashtbl.t;
   row_index : (string, tindex) Hashtbl.t;
   groups : (string, int list) Hashtbl.t; (* app_txn tag -> entry indexes *)
+  mutable indexed_generation : int;
+      (* Rowset merge generation the value buckets were keyed under *)
 }
 
 let length t = Array.length t.infos
@@ -56,9 +59,113 @@ let tables_of_rw (rw : Rwset.rw) =
 
 let schema_view_fold ?base log upto = Schema_view.of_log ?base log ~upto
 
-let analyze ?(config = Rowset.default_config) ?base
-    ?(obs = Uv_obs.Trace.disabled) log =
-  let n = Uv_db.Log.length log in
+let dim0_of (config : Rowset.config) table =
+  match List.assoc_opt table config.Rowset.ri_columns with
+  | Some (d :: _) -> d
+  | _ -> "#0"
+
+let bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.replace tbl key b;
+      b
+
+let tindex_for row_index table =
+  match Hashtbl.find_opt row_index table with
+  | Some ti -> ti
+  | None ->
+      let ti =
+        {
+          any_r = [];
+          any_w = [];
+          by_val_r = Hashtbl.create 64;
+          by_val_w = Hashtbl.create 64;
+        }
+      in
+      Hashtbl.replace row_index table ti;
+      ti
+
+(* Index one entry. All buckets are kept in descending index order so
+   appending a later entry is a cons; consumers reverse at fetch time.
+   Row values are canonicalised with the merge state as of this entry;
+   [rekey_row_index] folds stale keys forward when later entries merge
+   two RI values. *)
+let index_info t inf =
+  let i = inf.index in
+  let push tbl c =
+    let b = bucket tbl c in
+    b := i :: !b
+  in
+  Rwset.Colset.iter (fun c -> push t.readers_by_col c) inf.rw.Rwset.r;
+  Rwset.Colset.iter (fun c -> push t.writers_by_col c) inf.rw.Rwset.w;
+  List.iter
+    (fun (table, access) ->
+      let ti = tindex_for t.row_index table in
+      if Array.length access > 0 then begin
+        let dim0 = dim0_of t.config table in
+        (match access.(0).Rowset.dr with
+        | Rowset.Any -> ti.any_r <- i :: ti.any_r
+        | Rowset.Vals s ->
+            Rowset.Vset.iter
+              (fun v ->
+                let cv = Rowset.canonical t.row_state table dim0 v in
+                push ti.by_val_r cv)
+              s);
+        match access.(0).Rowset.dw with
+        | Rowset.Any -> ti.any_w <- i :: ti.any_w
+        | Rowset.Vals s ->
+            Rowset.Vset.iter
+              (fun v ->
+                let cv = Rowset.canonical t.row_state table dim0 v in
+                push ti.by_val_w cv)
+              s
+      end)
+    inf.rows;
+  match inf.app_txn with
+  | Some tag ->
+      Hashtbl.replace t.groups tag
+        (i :: Option.value (Hashtbl.find_opt t.groups tag) ~default:[])
+  | None -> ()
+
+(* Merge two strictly-descending index lists, deduplicating. *)
+let merge_desc a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+        if x = y then go (x :: acc) xs ys
+        else if x > y then go (x :: acc) xs b
+        else go (y :: acc) a ys
+  in
+  go [] a b
+
+(* An RI merge learned by a later entry changes the canonical form of
+   previously indexed values: fold every value bucket forward to its
+   current root, merging buckets that now share one. Equivalent to the
+   full rebuild's final-state canonicalisation because canonicalising a
+   past root under the current state reaches the current root. *)
+let rekey_buckets t table dim0 (h : (string, int list ref) Hashtbl.t) =
+  let moved = Hashtbl.fold (fun v b acc -> (v, b) :: acc) h [] in
+  Hashtbl.reset h;
+  List.iter
+    (fun (v, b) ->
+      let cv = Rowset.canonical t.row_state table dim0 v in
+      match Hashtbl.find_opt h cv with
+      | Some b' -> b' := merge_desc !b' !b
+      | None -> Hashtbl.replace h cv b)
+    moved
+
+let rekey_row_index t =
+  Hashtbl.iter
+    (fun table ti ->
+      let dim0 = dim0_of t.config table in
+      rekey_buckets t table dim0 ti.by_val_r;
+      rekey_buckets t table dim0 ti.by_val_w)
+    t.row_index
+
+let create ?(config = Rowset.default_config) ?base log =
   let sv =
     match base with
     | Some cat -> Schema_view.of_catalog cat
@@ -74,119 +181,63 @@ let analyze ?(config = Rowset.default_config) ?base
   in
   let row_state = Rowset.create config in
   Option.iter (Rowset.seed_aliases row_state) base;
-  let infos =
+  {
+    infos = [||];
+    config;
+    row_state;
+    sv;
+    log;
+    base;
+    base_hashes;
+    readers_by_col = Hashtbl.create 256;
+    writers_by_col = Hashtbl.create 256;
+    row_index = Hashtbl.create 64;
+    groups = Hashtbl.create 256;
+    indexed_generation = Rowset.merge_generation row_state;
+  }
+
+let extend ?(obs = Uv_obs.Trace.disabled) t =
+  let n = Uv_db.Log.length t.log in
+  let from = Array.length t.infos + 1 in
+  if n < from then 0
+  else begin
+    let batch = ref [] in
     Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.rwsets" (fun () ->
-        Array.init n (fun i ->
-            let e = Uv_db.Log.entry log (i + 1) in
-            let rw = Rwset.of_stmt sv e.Uv_db.Log.stmt in
-            let rows =
-              Rowset.of_entry row_state sv e.Uv_db.Log.stmt e.Uv_db.Log.nondet
-            in
-            Schema_view.apply sv e.Uv_db.Log.stmt;
+        for i = from to n do
+          let e = Uv_db.Log.entry t.log i in
+          let rw = Rwset.of_stmt t.sv e.Uv_db.Log.stmt in
+          let rows =
+            Rowset.of_entry t.row_state t.sv e.Uv_db.Log.stmt
+              e.Uv_db.Log.nondet
+          in
+          Schema_view.apply t.sv e.Uv_db.Log.stmt;
+          let inf =
             {
-              index = i + 1;
+              index = i;
               stmt = e.Uv_db.Log.stmt;
               rw;
               rows;
               app_txn = e.Uv_db.Log.app_txn;
-            }))
-  in
-  let readers_by_col = Hashtbl.create 256 in
-  let writers_by_col = Hashtbl.create 256 in
-  let row_index = Hashtbl.create 64 in
-  let groups = Hashtbl.create 256 in
-  let bucket tbl key =
-    match Hashtbl.find_opt tbl key with
-    | Some b -> b
-    | None ->
-        let b = ref [] in
-        Hashtbl.replace tbl key b;
-        b
-  in
-  let tindex_for table =
-    match Hashtbl.find_opt row_index table with
-    | Some ti -> ti
-    | None ->
-        let ti =
-          {
-            any_r = [];
-            any_w = [];
-            by_val_r = Hashtbl.create 64;
-            by_val_w = Hashtbl.create 64;
-          }
-        in
-        Hashtbl.replace row_index table ti;
-        ti
-  in
-  (* Build indexes; values canonicalised with the final merge state so two
-     merged RI values land in the same bucket. *)
-  Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.index" @@ fun () ->
-  Array.iter
-    (fun inf ->
-      let i = inf.index in
-      Rwset.Colset.iter
-        (fun c -> (bucket readers_by_col c) := i :: !(bucket readers_by_col c))
-        inf.rw.Rwset.r;
-      Rwset.Colset.iter
-        (fun c -> (bucket writers_by_col c) := i :: !(bucket writers_by_col c))
-        inf.rw.Rwset.w;
-      List.iter
-        (fun (table, access) ->
-          let ti = tindex_for table in
-          if Array.length access > 0 then begin
-            let dim0 =
-              match List.assoc_opt table config.Rowset.ri_columns with
-              | Some (d :: _) -> d
-              | _ -> "#0"
-            in
-            (match access.(0).Rowset.dr with
-            | Rowset.Any -> ti.any_r <- i :: ti.any_r
-            | Rowset.Vals s ->
-                Rowset.Vset.iter
-                  (fun v ->
-                    let cv = Rowset.canonical row_state table dim0 v in
-                    let b = bucket ti.by_val_r cv in
-                    b := i :: !b)
-                  s);
-            match access.(0).Rowset.dw with
-            | Rowset.Any -> ti.any_w <- i :: ti.any_w
-            | Rowset.Vals s ->
-                Rowset.Vset.iter
-                  (fun v ->
-                    let cv = Rowset.canonical row_state table dim0 v in
-                    let b = bucket ti.by_val_w cv in
-                    b := i :: !b)
-                  s
-          end)
-        inf.rows;
-      match inf.app_txn with
-      | Some tag ->
-          Hashtbl.replace groups tag
-            (i :: Option.value (Hashtbl.find_opt groups tag) ~default:[])
-      | None -> ())
-    infos;
-  (* buckets were built in descending order; reverse to ascending *)
-  Hashtbl.iter (fun _ b -> b := List.rev !b) readers_by_col;
-  Hashtbl.iter (fun _ b -> b := List.rev !b) writers_by_col;
-  Hashtbl.iter
-    (fun _ ti ->
-      ti.any_r <- List.rev ti.any_r;
-      ti.any_w <- List.rev ti.any_w;
-      Hashtbl.iter (fun _ b -> b := List.rev !b) ti.by_val_r;
-      Hashtbl.iter (fun _ b -> b := List.rev !b) ti.by_val_w)
-    row_index;
-  {
-    infos;
-    config;
-    row_state;
-    log;
-    base;
-    base_hashes;
-    readers_by_col;
-    writers_by_col;
-    row_index;
-    groups;
-  }
+            }
+          in
+          batch := inf :: !batch;
+          index_info t inf
+        done);
+    t.infos <- Array.append t.infos (Array.of_list (List.rev !batch));
+    Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.index" (fun () ->
+        let gen = Rowset.merge_generation t.row_state in
+        if gen <> t.indexed_generation then begin
+          rekey_row_index t;
+          t.indexed_generation <- gen
+        end);
+    n - from + 1
+  end
+
+let analyze ?(config = Rowset.default_config) ?base
+    ?(obs = Uv_obs.Trace.disabled) log =
+  let t = create ~config ?base log in
+  ignore (extend ~obs t);
+  t
 
 let base_hashes t = t.base_hashes
 
@@ -321,7 +372,9 @@ let col_joins t ~live =
       scan_pruned cache ~live ~min_idx ~offer
         (kind ^ c)
         (fun () ->
-          match Hashtbl.find_opt tbl c with None -> [] | Some b -> !b)
+          match Hashtbl.find_opt tbl c with
+          | None -> []
+          | Some b -> List.rev !b)
     in
     Rwset.Colset.iter
       (fun c ->
@@ -345,7 +398,9 @@ let row_joins t ~live =
     let scan_schema kind tbl c =
       if is_schema_key c then
         scan (kind ^ c) (fun () ->
-            match Hashtbl.find_opt tbl c with None -> [] | Some b -> !b)
+            match Hashtbl.find_opt tbl c with
+            | None -> []
+            | Some b -> List.rev !b)
     in
     Rwset.Colset.iter
       (fun c ->
@@ -370,7 +425,7 @@ let row_joins t ~live =
                 let any_key = "A" ^ kind ^ table in
                 match rs with
                 | Rowset.Any ->
-                    scan any_key (fun () -> any_bucket);
+                    scan any_key (fun () -> List.rev any_bucket);
                     (* all value buckets of this table, flattened once *)
                     scan
                       ("*" ^ kind ^ table)
@@ -379,7 +434,7 @@ let row_joins t ~live =
                           (fun _ b acc -> List.rev_append !b acc)
                           val_buckets [])
                 | Rowset.Vals s ->
-                    scan any_key (fun () -> any_bucket);
+                    scan any_key (fun () -> List.rev any_bucket);
                     Rowset.Vset.iter
                       (fun v ->
                         let cv = Rowset.canonical t.row_state table dim0 v in
@@ -387,7 +442,7 @@ let row_joins t ~live =
                           ("V" ^ kind ^ table ^ "|" ^ cv)
                           (fun () ->
                             match Hashtbl.find_opt val_buckets cv with
-                            | Some b -> !b
+                            | Some b -> List.rev !b
                             | None -> []))
                       s
               in

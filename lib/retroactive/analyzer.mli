@@ -53,6 +53,19 @@ val analyze :
     seeds the schema view and the Hash-jumper's initial table hashes.
     [obs] records [analyze.rwsets]/[analyze.index] spans. *)
 
+val extend : ?obs:Uv_obs.Trace.t -> t -> int
+(** Fold log entries committed since the analyzer was built (or last
+    extended) into the per-entry sets and value indexes, without
+    re-scanning the analysed prefix; returns the number of new entries.
+    Equivalent to a fresh [analyze] of the grown log: the evolving
+    schema view and RI merge state are carried in the analyzer, and an
+    RI merge learned by a new entry re-keys the affected value buckets.
+    Only sound while the analysed prefix is intact — a truncated log or
+    a history rewritten in place requires a fresh [analyze] (the what-if
+    session enforces this, treating DDL among the new entries as a
+    rebuild trigger as well out of caution for retroactive targets that
+    predate the schema change). *)
+
 val base_hashes : t -> (string * int64) list
 (** Per-table hashes at the start of the history (from [base]). *)
 

@@ -23,10 +23,16 @@ type t = {
   alias_map : (string * string * string, string) Hashtbl.t;
   (* union-find parent map: (table, dim_col, value) -> value *)
   merge_parent : (string * string * string, string) Hashtbl.t;
+  (* bumped per new union-find link; the incremental analyzer re-keys
+     its value-bucket indexes only when this moved *)
+  mutable merge_generation : int;
 }
 
 let create config =
-  { config; alias_map = Hashtbl.create 256; merge_parent = Hashtbl.create 64 }
+  { config; alias_map = Hashtbl.create 256; merge_parent = Hashtbl.create 64;
+    merge_generation = 0 }
+
+let merge_generation t = t.merge_generation
 
 let seed_aliases t cat =
   List.iter
@@ -56,7 +62,10 @@ let canonical t table dim v = find_root t table dim v
 
 let merge_values t table dim v1 v2 =
   let r1 = find_root t table dim v1 and r2 = find_root t table dim v2 in
-  if not (String.equal r1 r2) then Hashtbl.replace t.merge_parent (table, dim, r2) r1
+  if not (String.equal r1 r2) then begin
+    Hashtbl.replace t.merge_parent (table, dim, r2) r1;
+    t.merge_generation <- t.merge_generation + 1
+  end
 
 let ri_dims t sv table =
   match List.assoc_opt table t.config.ri_columns with

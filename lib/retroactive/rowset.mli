@@ -70,6 +70,13 @@ val canonical : t -> string -> string -> string -> string
 (** [canonical t table dim v] resolves a serialized value through the
     merge map. *)
 
+val merge_generation : t -> int
+(** Monotone counter of union-find links added by [of_entry]. The
+    incremental analyzer re-canonicalises its value-bucket indexes only
+    when this moved since they were built; merge roots are write-once
+    (only current roots gain parents), so untouched buckets stay
+    correct. *)
+
 val overlaps : t -> string -> taccess -> [ `W_then_R | `Any_conflict ] ->
   taccess -> bool
 (** [overlaps t table earlier kind later]: does the earlier access's write

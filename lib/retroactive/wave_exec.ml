@@ -6,6 +6,9 @@ type item = {
   sim_time : int;
   rowid_base : int;
   structural : bool;
+  plan : Uv_db.Engine.plan option;
+      (* compiled plan from the session cache; immutable, shared
+         read-only across domains, self-validating at bind time *)
 }
 
 type t = {
@@ -53,7 +56,7 @@ let run_item ?(obs = Uv_obs.Trace.disabled)
       try
         ignore
           (Uv_db.Engine.exec ?app_txn:it.app_txn ~nondet:it.nondet
-             ~rowid_base:it.rowid_base eng it.stmt);
+             ~rowid_base:it.rowid_base ?plan:it.plan eng it.stmt);
         true
       with Uv_db.Engine.Sql_error _ | Uv_db.Engine.Signal_raised _ -> false
     in
@@ -74,19 +77,15 @@ let run_item ?(obs = Uv_obs.Trace.disabled)
 let row_ops_for table undo =
   List.filter
     (function
-      | Uv_db.Log.U_row_insert (t, _)
+      | Uv_db.Log.U_row_insert (t, _, _)
       | Uv_db.Log.U_row_delete (t, _, _)
       | Uv_db.Log.U_row_update (t, _, _, _) ->
           String.equal t table
       | _ -> false)
     (List.rev undo)
 
-(* Exact hash delta of one statement on one table, from its journal.
-   Inserted images are not journalled; they are recovered from the next
-   same-rowid operation's before-image, or — for rows the statement left
-   untouched afterwards — from live storage. This is sound because the
-   wave layering guarantees no *other* statement of the same wave touches
-   the row before the delta is taken at wave end. *)
+(* Exact hash delta of one statement on one table, from its journal:
+   every operation carries the row images it needs, inserts included. *)
 let delta_of storage ops =
   let th = Uv_util.Table_hash.create () in
   let arr = Array.of_list ops in
@@ -98,24 +97,7 @@ let delta_of storage ops =
         Uv_util.Table_hash.add_row th (Uv_db.Storage.serialize_row storage after)
     | Uv_db.Log.U_row_delete (_, _, row) ->
         Uv_util.Table_hash.remove_row th (Uv_db.Storage.serialize_row storage row)
-    | Uv_db.Log.U_row_insert (_, id) ->
-        let image =
-          let rec next j =
-            if j >= n then None
-            else
-              match arr.(j) with
-              | Uv_db.Log.U_row_update (_, id', before, _) when id' = id ->
-                  Some before
-              | Uv_db.Log.U_row_delete (_, id', row) when id' = id -> Some row
-              | _ -> next (j + 1)
-          in
-          match next (k + 1) with
-          | Some img -> img
-          | None -> (
-              match Uv_db.Storage.get storage id with
-              | Some r -> r
-              | None -> [||])
-        in
+    | Uv_db.Log.U_row_insert (_, _, image) ->
         Uv_util.Table_hash.add_row th (Uv_db.Storage.serialize_row storage image)
     | _ -> ()
   done;

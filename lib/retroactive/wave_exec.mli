@@ -30,6 +30,11 @@ type item = {
   sim_time : int;  (** logical clock to install before execution *)
   rowid_base : int;  (** private rowid range for the statement's inserts *)
   structural : bool;  (** run exclusively (trigger-firing writes) *)
+  plan : Uv_db.Engine.plan option;
+      (** compiled plan from the what-if session's cache, keyed by this
+          entry's identity; immutable and therefore shared read-only
+          across domains. A stale plan self-invalidates at bind time, so
+          carrying one never changes results. *)
 }
 
 type t = {

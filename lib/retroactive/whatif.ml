@@ -8,12 +8,15 @@ module Config = struct
     obs : Uv_obs.Trace.t;
     deadline_ms : float option;
     fault : Uv_fault.Fault.t;
+    checkpoint_every : int;
+    plans : bool;
   }
 
   let make ?(mode = Analyzer.Cell) ?(workers = 8) ?(hash_jumper = false)
       ?(grouped = false) ?(parallel_exec = true)
       ?(obs = Uv_obs.Trace.disabled) ?deadline_ms
-      ?(fault = Uv_fault.Fault.disabled) () =
+      ?(fault = Uv_fault.Fault.disabled) ?(checkpoint_every = 0)
+      ?(plans = true) () =
     {
       mode;
       workers = max 1 workers;
@@ -23,6 +26,8 @@ module Config = struct
       obs;
       deadline_ms;
       fault;
+      checkpoint_every = max 0 checkpoint_every;
+      plans;
     }
 
   let default = make ()
@@ -34,6 +39,8 @@ module Config = struct
   let obs c = c.obs
   let deadline_ms c = c.deadline_ms
   let fault c = c.fault
+  let checkpoint_every c = c.checkpoint_every
+  let plans c = c.plans
 end
 
 module Error = struct
@@ -77,6 +84,8 @@ type outcome = {
   retries : int;
   temp_catalog : Uv_db.Catalog.t;
   new_log : Uv_db.Log.t;
+  rollback_strategy : string;
+  plans_used : int;
 }
 
 let fault_message (inj : Uv_fault.Fault.injection) =
@@ -119,8 +128,104 @@ let parallel_eligible (config : Config.t) ~analyzer target members =
          && not (Rwset.Colset.exists is_schema_key inf.Analyzer.rw.Rwset.w))
        members
 
-let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
-    (target : Analyzer.target) =
+(* Checkpoint-jumping rollback (strategy B): instead of undoing every
+   member newest-first, jump each affected table back to the nearest
+   checkpoint rung below the oldest undone entry and redo the
+   non-members' row effects forward from their journal images. Chosen
+   only when it is applicable — no DDL records anywhere in the redo
+   window, every affected table present in the rung — and cheaper:
+   fewer redo records than undo records.
+
+   Equivalence with selective undo: every entry in (c, n] is either
+   undone (skipped here, its cells revert to the rung's values plus
+   non-member redo) or redone from its per-cell before/after images.
+   A non-member writing the same *cell* as a member would have joined
+   the replay set through the W∩W rule in both closures, so per-cell
+   merges commute and both strategies leave identical cell values.
+   AUTO_INCREMENT counters are pinned to what the undo path would have
+   left (the pre-statement value journalled by the oldest undone entry
+   that records one; live otherwise), and the rowid allocator is raised
+   back to its live watermark so replayed inserts land in fresh slots
+   either way. *)
+let checkpoint_rollback ladder log temp_cat undo_list =
+  match List.rev undo_list with
+  | [] -> false
+  | oldest :: _ -> (
+      match Uv_db.Checkpoint.nearest ladder (oldest - 1) with
+      | None -> false
+      | Some (c, rung_cat) ->
+          let n = Uv_db.Log.length log in
+          let undone = Array.make (n + 1) false in
+          List.iter (fun i -> if i <= n then undone.(i) <- true) undo_list;
+          let row_only =
+            List.for_all (function
+              | Uv_db.Log.U_row_insert _ | Uv_db.Log.U_row_delete _
+              | Uv_db.Log.U_row_update _ | Uv_db.Log.U_auto_value _ ->
+                  true
+              | _ -> false)
+          in
+          let ok = ref true in
+          let redo_cost = ref 0 and undo_cost = ref 0 in
+          for i = c + 1 to n do
+            let e = Uv_db.Log.entry log i in
+            if not (row_only e.Uv_db.Log.undo) then ok := false
+            else if undone.(i) then
+              undo_cost := !undo_cost + List.length e.Uv_db.Log.undo
+            else redo_cost := !redo_cost + List.length e.Uv_db.Log.undo
+          done;
+          let temp_tables = Uv_db.Catalog.tables temp_cat in
+          if !ok then
+            ok :=
+              List.for_all
+                (fun (name, _) -> Uv_db.Catalog.table rung_cat name <> None)
+                temp_tables;
+          if not (!ok && !redo_cost < !undo_cost) then false
+          else begin
+            (* the counter value selective undo would leave: it applies
+               entries newest-first, so the oldest undone entry's
+               journalled pre-statement value wins *)
+            let final_auto : (string, int) Hashtbl.t = Hashtbl.create 8 in
+            List.iter
+              (fun i ->
+                List.iter
+                  (function
+                    | Uv_db.Log.U_auto_value (tbl, v) ->
+                        Hashtbl.replace final_auto tbl v
+                    | _ -> ())
+                  (Uv_db.Log.entry log i).Uv_db.Log.undo)
+              undo_list;
+            List.iter
+              (fun (name, _) ->
+                match Uv_db.Catalog.table rung_cat name with
+                | Some rung_tbl ->
+                    Uv_db.Catalog.add_table temp_cat
+                      (Uv_db.Storage.copy rung_tbl)
+                | None -> ())
+              temp_tables;
+            for i = c + 1 to n do
+              if not undone.(i) then
+                Uv_db.Log.apply_redo temp_cat
+                  (Uv_db.Log.entry log i).Uv_db.Log.undo
+            done;
+            List.iter
+              (fun (name, live_tbl) ->
+                match Uv_db.Catalog.table temp_cat name with
+                | None -> ()
+                | Some tbl ->
+                    let auto =
+                      match Hashtbl.find_opt final_auto name with
+                      | Some v -> v
+                      | None -> Uv_db.Storage.next_auto_value live_tbl
+                    in
+                    Uv_db.Storage.set_auto_value tbl auto;
+                    Uv_db.Storage.set_rowid_floor tbl
+                      (Uv_db.Storage.next_rowid live_tbl))
+              temp_tables;
+            true
+          end)
+
+let run_inner ~(config : Config.t) ~cur_phase ~analyzer
+    ?(plan_for = fun _ -> None) eng (target : Analyzer.target) =
   let obs = config.Config.obs in
   let fault = config.Config.fault in
   let log = Uv_db.Engine.log eng in
@@ -213,8 +318,11 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
         end
         else None)
   in
-  (* 3. rollback: undo members (and the removed/changed target) newest first *)
-  let undone =
+  (* 3. rollback: undo members (and the removed/changed target) newest
+     first — or, when the engine carries a checkpoint ladder that makes
+     it cheaper, jump the affected tables to a rung below the oldest
+     member and redo the non-members forward *)
+  let undone, rollback_strategy =
     phase "rollback" (fun () ->
         let undo_list =
           let tgt =
@@ -227,12 +335,20 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
           in
           List.sort_uniq compare (tgt @ members) |> List.rev
         in
-        List.iter
-          (fun i ->
-            let entry = Uv_db.Log.entry log i in
-            Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
-          undo_list;
-        List.length undo_list)
+        let jumped =
+          match Uv_db.Engine.checkpoints eng with
+          | Some ladder when undo_list <> [] ->
+              checkpoint_rollback ladder log temp_cat undo_list
+          | _ -> false
+        in
+        if jumped then Uv_obs.Trace.incr obs "whatif.checkpoint_jumps"
+        else
+          List.iter
+            (fun i ->
+              let entry = Uv_db.Log.entry log i in
+              Uv_db.Log.apply_undo temp_cat entry.Uv_db.Log.undo)
+            undo_list;
+        (List.length undo_list, if jumped then "checkpoint" else "undo"))
   in
   (* 4. replay forward: real parallel waves when eligible, else serial *)
   let weights : (int, float) Hashtbl.t = Hashtbl.create 64 in
@@ -245,6 +361,13 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
   let exec_waves = ref 0 in
   let retries = ref 0 in
   let degraded = ref false in
+  (* compiled plans from the session cache, one lookup per member *)
+  let member_plans = List.map (fun i -> (i, plan_for i)) members in
+  let plans_used =
+    List.length (List.filter (fun (_, p) -> Option.is_some p) member_plans)
+  in
+  if plans_used > 0 then
+    Uv_obs.Trace.incr obs ~by:plans_used "whatif.plans_used";
   phase "replay" (fun () ->
   if parallel_eligible config ~analyzer target members then begin
     let stride = 1 lsl 20 in
@@ -272,7 +395,7 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
     in
     let items =
       List.map
-        (fun i ->
+        (fun (i, plan) ->
           let entry = Uv_db.Log.entry log i in
           let inf = Analyzer.info analyzer i in
           {
@@ -286,8 +409,9 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
               List.exists
                 (fun t -> List.mem t structural_tables)
                 (write_tables inf.Analyzer.rw);
+            plan;
           })
-        members
+        member_plans
     in
     let head =
       match target.Analyzer.op with
@@ -301,6 +425,7 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
               sim_time = 1_700_000_000 + target.Analyzer.tau;
               rowid_base = r0;
               structural = true;
+              plan = None;
             }
       | Analyzer.Remove -> None
     in
@@ -322,7 +447,7 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
   else begin
     let temp_eng = Uv_db.Engine.of_catalog ~rtt_ms:rtt ~obs ~fault temp_cat in
     let temp_log = Uv_db.Engine.log temp_eng in
-    let exec_timed ?app_txn ?nondet idx stmt =
+    let exec_timed ?app_txn ?nondet ?plan idx stmt =
       check_deadline ();
       let s = Uv_util.Clock.now_ms () in
       let len0 = Uv_db.Log.length temp_log in
@@ -331,7 +456,7 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
          exactly; a second injection aborts the run *)
       let rec attempt again =
         try
-          ignore (Uv_db.Engine.exec ?app_txn ?nondet temp_eng stmt);
+          ignore (Uv_db.Engine.exec ?app_txn ?nondet ?plan temp_eng stmt);
           if Uv_db.Log.length temp_log > len0 then
             Hashtbl.replace entry_of idx (Uv_db.Log.entry temp_log (len0 + 1))
         with
@@ -363,11 +488,11 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
     | Analyzer.Remove -> ());
     (try
        List.iteri
-         (fun pos i ->
+         (fun pos (i, plan) ->
            let entry = Uv_db.Log.entry log i in
            Uv_db.Engine.set_sim_time temp_eng (1_700_000_000 + i);
            exec_timed ~nondet:entry.Uv_db.Log.nondet
-             ?app_txn:entry.Uv_db.Log.app_txn i entry.Uv_db.Log.stmt;
+             ?app_txn:entry.Uv_db.Log.app_txn ?plan i entry.Uv_db.Log.stmt;
            incr replayed;
            match jumper with
            | Some exp ->
@@ -381,7 +506,7 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
                end
                else Uv_obs.Trace.incr obs "hash_jumper.misses"
            | None -> ())
-         members
+         member_plans
      with Exit -> ());
     (* on a hash-hit the original tables are retained (§4.5): reflect the
        original's affected tables in the temporary catalog so the outcome's
@@ -494,15 +619,16 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer eng
     retries = !retries;
     temp_catalog = temp_cat;
     new_log;
+    rollback_strategy;
+    plans_used;
   }
 
 let run_exn ?(config = Config.default) ~analyzer eng target =
   let cur_phase = ref "init" in
   run_inner ~config ~cur_phase ~analyzer eng target
 
-let run ?(config = Config.default) ~analyzer eng target =
-  let cur_phase = ref "init" in
-  try Ok (run_inner ~config ~cur_phase ~analyzer eng target) with
+let guarded cur_phase f =
+  try Ok (f ()) with
   | Abort e -> Error e
   | Wave_exec.Aborted reason ->
       Error { Error.code = Error.Deadline; phase = !cur_phase; message = reason }
@@ -529,6 +655,11 @@ let run ?(config = Config.default) ~analyzer eng target =
           message = Printexc.to_string e;
         }
 
+let run ?(config = Config.default) ~analyzer eng target =
+  let cur_phase = ref "init" in
+  guarded cur_phase (fun () ->
+      run_inner ~config ~cur_phase ~analyzer eng target)
+
 let commit eng outcome =
   if outcome.changed then begin
     Uv_db.Catalog.copy_tables_into outcome.temp_catalog
@@ -543,3 +674,154 @@ let commit eng outcome =
 let query_new_universe outcome sel =
   let eng = Uv_db.Engine.of_catalog outcome.temp_catalog in
   Uv_db.Engine.query eng sel
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: amortizing repeated what-if analysis                       *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type stats = {
+    runs : int;
+    analyzer_builds : int;
+    analyzer_extends : int;
+    analyzed_entries : int;
+    plan_cache_size : int;
+    plans_compiled : int;
+    plan_cache_hits : int;
+    checkpoint_rungs : int;
+    checkpoint_every : int;
+  }
+
+  type t = {
+    eng : Uv_db.Engine.t;
+    config : Config.t;
+    rowset : Rowset.config option;
+    base : Uv_db.Catalog.t option;
+    mutable analyzer : Analyzer.t option;
+    mutable analyzed_len : int;
+    mutable epoch : int;
+    plans : (int, Uv_db.Engine.plan option) Hashtbl.t;
+    mutable runs : int;
+    mutable analyzer_builds : int;
+    mutable analyzer_extends : int;
+    mutable plans_compiled : int;
+    mutable plan_cache_hits : int;
+  }
+
+  let create ?(config = Config.default) ?rowset ?base eng =
+    if
+      Config.checkpoint_every config > 0
+      && Option.is_none (Uv_db.Engine.checkpoints eng)
+    then
+      Uv_db.Engine.enable_checkpoints eng
+        ~every:(Config.checkpoint_every config);
+    {
+      eng;
+      config;
+      rowset;
+      base;
+      analyzer = None;
+      analyzed_len = 0;
+      epoch = -1;
+      plans = Hashtbl.create 256;
+      runs = 0;
+      analyzer_builds = 0;
+      analyzer_extends = 0;
+      plans_compiled = 0;
+      plan_cache_hits = 0;
+    }
+
+  let engine t = t.eng
+  let config t = t.config
+
+  let invalidate t =
+    t.analyzer <- None;
+    t.analyzed_len <- 0;
+    t.epoch <- -1;
+    Hashtbl.reset t.plans
+
+  (* Bring the analyzer up to the engine's committed head. New DML-only
+     entries extend the existing analyzer in O(Δ); a shrunk or rewritten
+     log, a catalog epoch change (DDL, restore) or DDL among the new
+     entries forces a full rebuild and clears the plan cache. *)
+  let refresh t =
+    let obs = Config.obs t.config in
+    let log = Uv_db.Engine.log t.eng in
+    let n = Uv_db.Log.length log in
+    let ep = Uv_db.Catalog.epoch (Uv_db.Engine.catalog t.eng) in
+    let new_ddl () =
+      let rec go i =
+        i <= n
+        && (Uv_sql.Ast.is_ddl (Uv_db.Log.entry log i).Uv_db.Log.stmt
+           || go (i + 1))
+      in
+      go (t.analyzed_len + 1)
+    in
+    let rebuild () =
+      Hashtbl.reset t.plans;
+      let a = Analyzer.analyze ?config:t.rowset ?base:t.base ~obs log in
+      t.analyzer <- Some a;
+      t.analyzed_len <- n;
+      t.epoch <- ep;
+      t.analyzer_builds <- t.analyzer_builds + 1;
+      Uv_obs.Trace.incr obs "whatif.session.analyzer_builds";
+      a
+    in
+    match t.analyzer with
+    | None -> rebuild ()
+    | Some a ->
+        if n < t.analyzed_len || ep <> t.epoch || new_ddl () then rebuild ()
+        else begin
+          if n > t.analyzed_len then begin
+            ignore (Analyzer.extend ~obs a);
+            t.analyzed_len <- n;
+            t.analyzer_extends <- t.analyzer_extends + 1;
+            Uv_obs.Trace.incr obs "whatif.session.analyzer_extends"
+          end;
+          a
+        end
+
+  let plan_for t i =
+    if not (Config.plans t.config) then None
+    else
+      match Hashtbl.find_opt t.plans i with
+      | Some p ->
+          t.plan_cache_hits <- t.plan_cache_hits + 1;
+          p
+      | None ->
+          let log = Uv_db.Engine.log t.eng in
+          let p =
+            Uv_db.Engine.prepare
+              (Uv_db.Engine.catalog t.eng)
+              (Uv_db.Log.entry log i).Uv_db.Log.stmt
+          in
+          if Option.is_some p then t.plans_compiled <- t.plans_compiled + 1;
+          Hashtbl.replace t.plans i p;
+          p
+
+  let run t target =
+    t.runs <- t.runs + 1;
+    let cur_phase = ref "init" in
+    guarded cur_phase (fun () ->
+        let analyzer = refresh t in
+        run_inner ~config:t.config ~cur_phase ~analyzer
+          ~plan_for:(plan_for t) t.eng target)
+
+  let stats t =
+    let rungs, every =
+      match Uv_db.Engine.checkpoints t.eng with
+      | Some l -> (Uv_db.Checkpoint.count l, Uv_db.Checkpoint.every l)
+      | None -> (0, 0)
+    in
+    {
+      runs = t.runs;
+      analyzer_builds = t.analyzer_builds;
+      analyzer_extends = t.analyzer_extends;
+      analyzed_entries = t.analyzed_len;
+      plan_cache_size = Hashtbl.length t.plans;
+      plans_compiled = t.plans_compiled;
+      plan_cache_hits = t.plan_cache_hits;
+      checkpoint_rungs = rungs;
+      checkpoint_every = every;
+    }
+end

@@ -40,6 +40,8 @@ module Config : sig
     ?obs:Uv_obs.Trace.t ->
     ?deadline_ms:float ->
     ?fault:Uv_fault.Fault.t ->
+    ?checkpoint_every:int ->
+    ?plans:bool ->
     unit ->
     t
   (** Defaults: [mode = Cell]; [workers = 8] (the paper's testbed width;
@@ -55,7 +57,13 @@ module Config : sig
       engine is never touched mid-run, so there is nothing to undo);
       [fault = Uv_fault.Fault.disabled] — a fault-injection plan
       ({!Uv_fault.Fault}) threaded into the temporary engines, the wave
-      executor and the domain pool. *)
+      executor and the domain pool; [checkpoint_every = 0] — when
+      positive, a {!Session} attaches a checkpoint ladder to the engine
+      snapshotting the catalog every that many commits, and the rollback
+      phase may jump to the nearest rung instead of undoing the whole
+      member tail; [plans = true] — let a {!Session} compile and cache
+      statement plans for replayed members (caches only ever amortize:
+      outcomes are bitwise-identical with both knobs off). *)
 
   val default : t
   (** [make ()]. *)
@@ -68,6 +76,8 @@ module Config : sig
   val obs : t -> Uv_obs.Trace.t
   val deadline_ms : t -> float option
   val fault : t -> Uv_fault.Fault.t
+  val checkpoint_every : t -> int
+  val plans : t -> bool
 end
 
 (** Why a what-if run could not produce an outcome. *)
@@ -148,6 +158,15 @@ type outcome = {
           parallel executor restamps member [written_hashes] in commit
           order, so the log is bit-identical at every worker count —
           and identical to what serial replay produces. *)
+  rollback_strategy : string;
+      (** how the rollback phase reached the pre-τ state: ["undo"] —
+          selective inverse operations newest-first; ["checkpoint"] —
+          jumped the affected tables to a checkpoint rung below the
+          oldest member and redid the non-member tail from journal
+          images (only when an attached ladder made that cheaper) *)
+  plans_used : int;
+      (** members replayed through a compiled plan from the session's
+          cache (0 outside a {!Session} or with [Config.plans] off) *)
 }
 
 val run :
@@ -188,3 +207,64 @@ val commit : Uv_db.Engine.t -> outcome -> unit
 val query_new_universe : outcome -> Ast.select -> Uv_db.Engine.result
 (** Run a read-only query against the outcome's temporary database —
     the "what would X have been" question the analysis exists to answer. *)
+
+(** A what-if session caches analysis work across runs over the same
+    engine, making the second and later questions O(Δ) instead of
+    O(history):
+
+    - the {!Analyzer} is built once and {!Analyzer.extend}ed when the
+      log grows (DML only); a shrunk log, a catalog epoch change or new
+      DDL rebuilds it from scratch;
+    - compiled statement plans ({!Uv_db.Engine.prepare}) are cached per
+      log index and handed to the replay hot path — plans self-validate
+      at bind time, so a stale plan silently falls back to the
+      interpreter;
+    - with [Config.checkpoint_every > 0] the engine records periodic
+      catalog snapshots that let the rollback phase jump near τ.
+
+    Everything cached is an accelerator, never a semantic input: a
+    session's outcomes (final hash, new log) are bitwise-identical to
+    sessionless runs at every worker count. *)
+module Session : sig
+  type t
+
+  type stats = {
+    runs : int;
+    analyzer_builds : int;  (** full history scans *)
+    analyzer_extends : int;  (** incremental O(Δ) refreshes *)
+    analyzed_entries : int;  (** log length the analyzer covers *)
+    plan_cache_size : int;  (** entries with a cached compile decision *)
+    plans_compiled : int;  (** statements that yielded a plan *)
+    plan_cache_hits : int;  (** lookups served without recompiling *)
+    checkpoint_rungs : int;  (** live rungs on the engine's ladder *)
+    checkpoint_every : int;  (** current rung stride (thinning doubles it) *)
+  }
+
+  val create :
+    ?config:config ->
+    ?rowset:Rowset.config ->
+    ?base:Uv_db.Catalog.t ->
+    Uv_db.Engine.t ->
+    t
+  (** Attach a session to an engine. When the config asks for
+      checkpoints and the engine has no ladder yet, one is enabled —
+      rungs accumulate as the application commits from here on.
+      [rowset] and [base] are handed to every {!Analyzer.analyze} the
+      session performs (the workload's RI configuration and the catalog
+      the history grew from) — pass the same values a sessionless caller
+      would give [analyze], or the replay sets will differ. *)
+
+  val engine : t -> Uv_db.Engine.t
+  val config : t -> config
+
+  val run : t -> Analyzer.target -> (outcome, Error.t) result
+  (** {!Whatif.run} with the session's caches: refreshes the analyzer
+      (extend or rebuild as needed), then drives the what-if with cached
+      plans. *)
+
+  val invalidate : t -> unit
+  (** Drop every cache; the next {!run} rebuilds from the live engine
+      ([ultraverse recover --force] style full recompute). *)
+
+  val stats : t -> stats
+end

@@ -124,6 +124,21 @@ and compare_text_num s x =
 let equal_sql a b =
   match (a, b) with Null, _ | _, Null -> false | _ -> compare_sql a b = 0
 
+(* Structural equality: NULL = NULL holds and constructors never mix, so
+   [equal a b] agrees with [serialize a = serialize b] without building
+   the strings — the rollback hot path compares before/after cells. *)
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y ->
+      (* serialize prints %h, under which nan = nan and 0. <> -0. *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+      || (Float.is_nan x && Float.is_nan y)
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | _ -> false
+
 let arith op_i op_f a b =
   match (a, b) with
   | Null, _ | _, Null -> Null

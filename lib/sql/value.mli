@@ -48,6 +48,11 @@ val compare_sql : t -> t -> int
 val equal_sql : t -> t -> bool
 (** SQL [=] semantics over non-null values ([Null = x] is false). *)
 
+val equal : t -> t -> bool
+(** Structural equality — [Null] equals [Null], constructors never mix.
+    Agrees with [serialize a = serialize b] at no allocation; the
+    rollback path uses it to find the cells a statement changed. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

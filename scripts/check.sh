@@ -41,6 +41,24 @@ step "whatif --trace round-trip" trace_roundtrip
 step "bench smoke: parallel replay determinism" \
   dune exec bench/main.exe -- --smoke
 
+# caching must never change the answer: the same what-if runs once with
+# every cache disabled and then repeatedly through a session (plan
+# cache + incremental analyzer + checkpoint ladder); the final universe
+# hashes must be bitwise-identical
+cache_smoke() {
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+  dune exec bin/ultraverse.exe -- whatif examples/histories/lint_demo.sql \
+    --tau 2 --op remove --no-plans --json > "$out/cold.json" &&
+  dune exec bin/ultraverse.exe -- whatif examples/histories/lint_demo.sql \
+    --tau 2 --op remove --checkpoint-every 4 --repeat 3 --json \
+    > "$out/warm.json" &&
+  cold="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/cold.json")" &&
+  warm="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/warm.json")" &&
+  [ -n "$cold" ] && [ "$cold" = "$warm" ]
+}
+step "whatif cache smoke: warm == cold universe hash" cache_smoke
+
 # crash-consistency smoke: persist a log, damage its tail at a fixed
 # byte offset, and prove fsck flags it (exit 1) while recover salvages
 # the valid prefix; plus a seeded chaos schedule through the test

@@ -309,6 +309,97 @@ let test_replay_reports_skips () =
     (Engine.db_hash fresh2)
 
 (* ------------------------------------------------------------------ *)
+(* UCKPv1: checkpoint-ladder persistence                                *)
+(* ------------------------------------------------------------------ *)
+
+let laddered_engine () =
+  let e = Engine.create () in
+  run e "CREATE TABLE t (id INT PRIMARY KEY, v INT)";
+  Engine.reset_log e;
+  Engine.enable_checkpoints e ~every:4;
+  for i = 1 to 20 do
+    run e (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 10))
+  done;
+  (e, Option.get (Engine.checkpoints e))
+
+let with_temp f =
+  let path = Filename.temp_file "uv_fault" ".uckp" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () -> f path)
+
+let test_uckp_roundtrip () =
+  let _, ladder = laddered_engine () in
+  with_temp @@ fun path ->
+  Dump.save_checkpoints ladder ~path;
+  let rungs = Dump.load_checkpoints ~path in
+  check Alcotest.int "every rung round-trips" (Checkpoint.count ladder)
+    (List.length rungs);
+  (* each restored catalog is bit-identical to re-restoring the live
+     rung's SQL dump *)
+  List.iter
+    (fun (at, cat) ->
+      match Checkpoint.nearest ladder at with
+      | Some (at', live) when at' = at ->
+          let a = Engine.create () and b = Engine.create () in
+          Dump.restore a (Dump.to_sql cat);
+          Dump.restore b (Dump.to_sql live);
+          check Alcotest.int64
+            (Printf.sprintf "rung at commit %d restores bit-exact" at)
+            (Engine.db_hash b) (Engine.db_hash a)
+      | _ -> Alcotest.failf "rung at commit %d missing from the ladder" at)
+    rungs
+
+let test_uckp_torn_save_keeps_old_file () =
+  let _, ladder = laddered_engine () in
+  with_temp @@ fun path ->
+  Dump.save_checkpoints ladder ~path;
+  let before = Dump.load_checkpoints ~path in
+  let fault = F.seeded ~torn_write:1.0 ~seed:5 () in
+  (match Dump.save_checkpoints ~fault ladder ~path with
+  | () -> Alcotest.fail "expected the torn write to escape"
+  | exception F.Injected inj ->
+      check Alcotest.string "site" F.Site.checkpoint_save inj.F.site);
+  check Alcotest.int "previous ladder file intact" (List.length before)
+    (List.length (Dump.load_checkpoints ~path))
+
+let test_uckp_bitflip_rejected () =
+  let _, ladder = laddered_engine () in
+  with_temp @@ fun path ->
+  Dump.save_checkpoints ladder ~path;
+  let text =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* flip one payload byte: the per-rung CRC must catch it *)
+  let flipped = Bytes.of_string text in
+  let mid = String.length text / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc flipped;
+  close_out oc;
+  (match Dump.load_checkpoints ~path with
+  | _ -> Alcotest.fail "a flipped byte must not load"
+  | exception Dump.Corrupt _ -> ());
+  (* and truncation at any point is Corrupt, never an escape or a torn
+     partial ladder *)
+  for cut = 0 to String.length text - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub text 0 cut);
+    close_out oc;
+    match Dump.load_checkpoints ~path with
+    | rungs ->
+        if cut < String.length text then
+          Alcotest.failf "cut at %d silently loaded %d rungs" cut
+            (List.length rungs)
+    | exception Dump.Corrupt _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Whatif: deadline and degradation                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -387,21 +478,35 @@ let log_digest log =
 
 let seeds_per_workload = 40
 
-let test_chaos (w : W.t) () =
+(* [checkpoint_every > 0] runs the same schedules with a checkpoint
+   ladder attached (recorded while the history commits, exactly as a
+   live deployment would): rung recording, skip-on-fault accounting and
+   the rollback phase's jump-vs-undo decision all run under fire, and
+   every outcome must still be bitwise-identical to the fault-free run.
+   The target then sits late in the history so the jump gate is live. *)
+let test_chaos ?(checkpoint_every = 0) ?(seeds = seeds_per_workload) (w : W.t)
+    () =
   let eng, rt = W.setup ~mode:R.Transpiled w in
   let base = Engine.snapshot eng in
+  if checkpoint_every > 0 then
+    Engine.enable_checkpoints eng ~every:checkpoint_every;
   let prng = Uv_util.Prng.create 4242 in
   let calls = w.W.target_call :: w.W.generate prng ~scale:1 ~n:24 ~dep_rate:0.3 in
   ignore (W.run_history rt ~mode:R.Transpiled calls);
   let analyzer = Analyzer.analyze ~config:w.W.ri_config ~base (Engine.log eng) in
-  let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
+  let target =
+    if checkpoint_every > 0 then
+      { Analyzer.tau = max 1 (Log.length (Engine.log eng) - 8);
+        op = Analyzer.Remove }
+    else { Analyzer.tau = 1; op = Analyzer.Remove }
+  in
   let pristine = Engine.db_hash eng in
   let pristine_log = log_digest (Engine.log eng) in
   let baseline = Whatif.run_exn ~analyzer eng target in
   let want_hash = baseline.Whatif.final_db_hash in
   let want_log = log_digest baseline.Whatif.new_log in
   let oks = ref 0 and aborts = ref 0 in
-  for seed = 1 to seeds_per_workload do
+  for seed = 1 to seeds do
     let fault =
       F.seeded ~stmt_fail:0.03 ~worker_crash:0.05 ~slow:0.02 ~seed ()
     in
@@ -503,6 +608,14 @@ let () =
            Alcotest.test_case "replay reports skips" `Quick
              test_replay_reports_skips;
          ] );
+       ( "uckp",
+         [
+           Alcotest.test_case "ladder round-trips" `Quick test_uckp_roundtrip;
+           Alcotest.test_case "torn save keeps old file" `Quick
+             test_uckp_torn_save_keeps_old_file;
+           Alcotest.test_case "bit flip & truncation rejected" `Quick
+             test_uckp_bitflip_rejected;
+         ] );
        ( "whatif",
          [
            Alcotest.test_case "deadline aborts cleanly" `Quick
@@ -525,5 +638,7 @@ let () =
               Alcotest.test_case
                 (Printf.sprintf "%d seeded schedules" seeds_per_workload)
                 `Slow (test_chaos w);
+              Alcotest.test_case "20 schedules, checkpoint ladder" `Slow
+                (test_chaos ~checkpoint_every:8 ~seeds:20 w);
             ] ))
         (W.all ()))

@@ -1146,6 +1146,168 @@ let prop_cc_plan_equals_serial =
       in
       Int64.equal h_plan h_serial)
 
+(* ------------------------------------------------------------------ *)
+(* Session caches: incremental analyzer, plan cache, checkpoint ladder  *)
+(* ------------------------------------------------------------------ *)
+
+let session_base () =
+  let e = Engine.create () in
+  run e "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)";
+  for i = 1 to 4 do
+    run e (Printf.sprintf "INSERT INTO acct VALUES (%d, 100)" i)
+  done;
+  let base = Engine.snapshot e in
+  Engine.reset_log e;
+  (e, base)
+
+(* [hot] concentrates every update on one row so each entry depends on
+   all earlier ones (dense replay sets, compilable statements) *)
+let session_grow ?(hot = false) e k =
+  for i = 1 to k do
+    run e
+      (Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = %d" i
+         (if hot then 1 else 1 + (i mod 4)))
+  done
+
+let remove1 = { Analyzer.tau = 1; op = Analyzer.Remove }
+
+let ok_run s target =
+  match Whatif.Session.run s target with
+  | Ok o -> o
+  | Error e ->
+      Alcotest.failf "session run aborted: %s" (Whatif.Error.to_string e)
+
+let fresh_run ?config e base target =
+  let analyzer = Analyzer.analyze ~base (Engine.log e) in
+  Whatif.run_exn ?config ~analyzer e target
+
+let test_session_extend_matches_fresh () =
+  let e, base = session_base () in
+  session_grow e 10;
+  let s = Whatif.Session.create ~base e in
+  ignore (ok_run s remove1);
+  session_grow e 10;
+  let o2 = ok_run s remove1 in
+  let o3 = fresh_run e base remove1 in
+  check Alcotest.int64 "extended analyzer, same universe"
+    o3.Whatif.final_db_hash o2.Whatif.final_db_hash;
+  check Alcotest.int "same replay set" o3.Whatif.replayed o2.Whatif.replayed;
+  let st = Whatif.Session.stats s in
+  check Alcotest.int "one full build" 1 st.Whatif.Session.analyzer_builds;
+  check Alcotest.bool "the growth was an extend" true
+    (st.Whatif.Session.analyzer_extends >= 1);
+  check Alcotest.int "covers the whole log"
+    (Log.length (Engine.log e))
+    st.Whatif.Session.analyzed_entries
+
+let test_session_ddl_rebuilds () =
+  let e, base = session_base () in
+  session_grow e 6;
+  let s = Whatif.Session.create ~base e in
+  ignore (ok_run s remove1);
+  run e "CREATE TABLE audit (k INT PRIMARY KEY)";
+  run e "INSERT INTO audit VALUES (1)";
+  session_grow e 2;
+  let o = ok_run s remove1 in
+  let o' = fresh_run e base remove1 in
+  check Alcotest.int64 "DDL-rebuilt session matches fresh"
+    o'.Whatif.final_db_hash o.Whatif.final_db_hash;
+  let st = Whatif.Session.stats s in
+  check Alcotest.int "mid-history DDL forced a rebuild" 2
+    st.Whatif.Session.analyzer_builds
+
+let test_session_truncation_rebuilds () =
+  let e, base = session_base () in
+  session_grow e 8;
+  let s = Whatif.Session.create ~base e in
+  ignore (ok_run s remove1);
+  (* the history is rewritten in place: a shorter log must force a full
+     recompute, never an extend over a stale prefix *)
+  Engine.reset_log e;
+  session_grow e 5;
+  let o = ok_run s remove1 in
+  let o' = fresh_run e base remove1 in
+  check Alcotest.int64 "rebuilt after truncation"
+    o'.Whatif.final_db_hash o.Whatif.final_db_hash;
+  let st = Whatif.Session.stats s in
+  check Alcotest.int "truncation forced a rebuild" 2
+    st.Whatif.Session.analyzer_builds;
+  check Alcotest.int "covers only the new log" 5
+    st.Whatif.Session.analyzed_entries
+
+let test_session_plans_and_invalidate () =
+  let e, base = session_base () in
+  session_grow ~hot:true e 12;
+  let s = Whatif.Session.create ~base e in
+  let o1 = ok_run s remove1 in
+  let o2 = ok_run s remove1 in
+  check Alcotest.int64 "repeat run identical" o1.Whatif.final_db_hash
+    o2.Whatif.final_db_hash;
+  check Alcotest.bool "members replayed through plans" true
+    (o2.Whatif.plans_used > 0);
+  let st = Whatif.Session.stats s in
+  check Alcotest.bool "second run hit the plan cache" true
+    (st.Whatif.Session.plan_cache_hits > 0);
+  check Alcotest.bool "plans compiled" true
+    (st.Whatif.Session.plans_compiled > 0);
+  (* the plan cache is an accelerator, not a semantic input *)
+  let off =
+    let s_off =
+      Whatif.Session.create
+        ~config:(Whatif.Config.make ~plans:false ())
+        ~base e
+    in
+    ok_run s_off remove1
+  in
+  check Alcotest.int "plans off replays none through plans" 0
+    off.Whatif.plans_used;
+  check Alcotest.int64 "identical with plans off" o1.Whatif.final_db_hash
+    off.Whatif.final_db_hash;
+  Whatif.Session.invalidate s;
+  let st0 = Whatif.Session.stats s in
+  check Alcotest.int "invalidate drops the plan cache" 0
+    st0.Whatif.Session.plan_cache_size;
+  check Alcotest.int "invalidate drops the analyzer" 0
+    st0.Whatif.Session.analyzed_entries;
+  let o3 = ok_run s remove1 in
+  check Alcotest.int64 "forced recompute reproduces" o1.Whatif.final_db_hash
+    o3.Whatif.final_db_hash;
+  check Alcotest.int "recompute was a fresh build" 2
+    (Whatif.Session.stats s).Whatif.Session.analyzer_builds
+
+let test_session_checkpoint_jump_matches_undo () =
+  let history e =
+    for i = 1 to 40 do
+      run e (Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = 1" i)
+    done
+  in
+  (* ladder engine: the session enables checkpointing, rungs accumulate
+     as the history commits *)
+  let e1, base1 = session_base () in
+  let s =
+    Whatif.Session.create
+      ~config:(Whatif.Config.make ~checkpoint_every:8 ())
+      ~base:base1 e1
+  in
+  history e1;
+  let target = { Analyzer.tau = 10; op = Analyzer.Remove } in
+  let o_jump = ok_run s target in
+  (* plain engine, same statements, no ladder *)
+  let e2, base2 = session_base () in
+  history e2;
+  let o_undo = fresh_run e2 base2 target in
+  check Alcotest.string "ladder rollback jumped" "checkpoint"
+    o_jump.Whatif.rollback_strategy;
+  check Alcotest.string "plain rollback undid" "undo"
+    o_undo.Whatif.rollback_strategy;
+  check Alcotest.int64 "identical universes" o_undo.Whatif.final_db_hash
+    o_jump.Whatif.final_db_hash;
+  check Alcotest.bool "the ladder recorded rungs" true
+    ((Whatif.Session.stats s).Whatif.Session.checkpoint_rungs > 0);
+  let again = ok_run s target in
+  check Alcotest.int64 "jump reproduces across runs"
+    o_jump.Whatif.final_db_hash again.Whatif.final_db_hash
+
 let () =
   Alcotest.run "uv_retroactive"
     [
@@ -1237,6 +1399,19 @@ let () =
             test_branch_seq_multi_target;
           Alcotest.test_case "merged log replayable" `Quick test_new_log_replayable;
           qtest prop_branching_isolates_parent;
+        ] );
+      ( "session caches",
+        [
+          Alcotest.test_case "extend matches fresh analyze" `Quick
+            test_session_extend_matches_fresh;
+          Alcotest.test_case "mid-history DDL rebuilds" `Quick
+            test_session_ddl_rebuilds;
+          Alcotest.test_case "log truncation rebuilds" `Quick
+            test_session_truncation_rebuilds;
+          Alcotest.test_case "plan cache & invalidate" `Quick
+            test_session_plans_and_invalidate;
+          Alcotest.test_case "checkpoint jump == undo" `Quick
+            test_session_checkpoint_jump_matches_undo;
         ] );
       ( "cc scheduling (§6)",
         [
