@@ -403,25 +403,75 @@ let whatif_cmd =
 (* lint                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Template artifacts of a workload: extraction, matrix, fast-path match
+   against an analyzed history. Shared by lint --workload and templates. *)
+let template_artifacts (w : Uv_workloads.Workload.t) =
+  let set =
+    Uv_analysis.Template_extract.extract ~schema:w.Uv_workloads.Workload.schema_sql
+      ~source:w.Uv_workloads.Workload.app_source ()
+  in
+  let matrix =
+    Uv_analysis.Template_matrix.build ~config:w.Uv_workloads.Workload.ri_config
+      set
+  in
+  (set, matrix)
+
+(* Run a reproducible workload history for linting: raw mode so the log
+   carries the application's SQL statements themselves. *)
+let workload_history ?(seed = 7) ?(n = 120) (w : Uv_workloads.Workload.t) =
+  let module W = Uv_workloads.Workload in
+  let mode = Uv_transpiler.Runtime.Raw in
+  let eng, rt = W.setup ~seed ~mode w in
+  let prng = Uv_util.Prng.create seed in
+  let calls = w.W.generate prng ~scale:1 ~n ~dep_rate:0.2 in
+  ignore (W.run_history rt ~mode calls);
+  eng
+
+let print_lint_report ~format diags =
+  match format with
+  | "json" ->
+      (* uv_analysis stays dependency-free: re-parse its hand-rolled
+         report and wrap it in the versioned envelope *)
+      let payload =
+        match Uv_obs.Json.parse (Uv_analysis.Diagnostic.json_report diags) with
+        | Ok j -> j
+        | Error e -> failwith ("internal: lint report is not JSON: " ^ e)
+      in
+      print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
+  | "sarif" ->
+      print_endline
+        (Uv_analysis.Sarif.report ~tool_version:Uv_obs.Report.version diags)
+  | _ -> Format.printf "%a" Uv_analysis.Diagnostic.pp_report diags
+
 let lint_cmd =
-  let run path json pass_names tau op stmt_text =
+  let run path workload n json format pass_names tau op stmt_text =
+    let format = if json && format = "text" then "json" else format in
+    if not (List.mem format [ "text"; "json"; "sarif" ]) then begin
+      Printf.eprintf "unknown --format %S (text | json | sarif)\n" format;
+      2
+    end
+    else
     let passes =
       match pass_names with
-      | [] -> Ok Uv_analysis.Lint.all_passes
+      | [] ->
+          Ok
+            (Uv_analysis.Lint.all_passes
+            @ if workload <> None then Uv_analysis.Lint.template_passes else [])
       | names ->
           List.fold_left
-            (fun acc n ->
-              match (acc, Uv_analysis.Lint.pass_of_string n) with
+            (fun acc nm ->
+              match (acc, Uv_analysis.Lint.pass_of_string nm) with
               | Error e, _ -> Error e
               | Ok ps, Some p -> Ok (ps @ [ p ])
-              | Ok _, None -> Error n)
+              | Ok _, None -> Error nm)
             (Ok []) names
     in
     match passes with
     | Error bad ->
         Printf.eprintf
           "unknown pass %S (available: nondet soundness cluster dead-write \
-           coverage)\n"
+           coverage template-coverage matrix-soundness dynamic-sql \
+           param-flow)\n"
           bad;
         2
     | Ok passes -> (
@@ -435,40 +485,98 @@ let lint_cmd =
         | Error msg ->
             prerr_endline msg;
             2
-        | Ok target ->
-        let eng = load_history path in
-        let log = Engine.log eng in
-        let history_diags = Uv_analysis.Lint.lint_log ~passes log in
-        let target_diags =
-          match target with
-          | None -> []
-          | Some t -> Uv_analysis.Lint.lint_target log t
+        | Ok target -> (
+        let wanted_template =
+          List.filter
+            (fun p -> List.mem p Uv_analysis.Lint.template_passes)
+            passes
         in
-        let diags = history_diags @ target_diags in
-        if json then begin
-          (* uv_analysis stays dependency-free: re-parse its hand-rolled
-             report and wrap it in the versioned envelope *)
-          let payload =
-            match Uv_obs.Json.parse (Uv_analysis.Diagnostic.json_report diags) with
-            | Ok j -> j
-            | Error e -> failwith ("internal: lint report is not JSON: " ^ e)
-          in
-          print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
-        end
-        else Format.printf "%a" Uv_analysis.Diagnostic.pp_report diags;
-        if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1)
+        match (path, workload) with
+        | None, None | Some _, Some _ ->
+            prerr_endline "lint needs a HISTORY.SQL or --workload (not both)";
+            2
+        | Some path, None ->
+            if wanted_template <> [] && pass_names <> [] then
+              prerr_endline
+                "warning: template passes need --workload (application \
+                 sources); skipped";
+            let eng = load_history path in
+            let log = Engine.log eng in
+            let history_diags = Uv_analysis.Lint.lint_log ~passes log in
+            let target_diags =
+              match target with
+              | None -> []
+              | Some t -> Uv_analysis.Lint.lint_target log t
+            in
+            let diags = history_diags @ target_diags in
+            print_lint_report ~format diags;
+            if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1
+        | None, Some wname ->
+            let w = Uv_workloads.Workload.by_name wname in
+            let eng = workload_history ~n w in
+            let log = Engine.log eng in
+            let base = Engine.catalog eng in
+            let history_diags = Uv_analysis.Lint.lint_log ~base ~passes log in
+            let template_diags =
+              if wanted_template = [] then []
+              else begin
+                let anl =
+                  Analyzer.analyze
+                    ~config:w.Uv_workloads.Workload.ri_config ~base log
+                in
+                let set, matrix = template_artifacts w in
+                let fast =
+                  Uv_analysis.Template_fastpath.prepare ~log ~set ~matrix anl
+                in
+                let ctx =
+                  {
+                    Uv_analysis.Lint.tset = set;
+                    tmatrix = matrix;
+                    tfast = fast;
+                    tsource = Some w.Uv_workloads.Workload.app_source;
+                  }
+                in
+                Uv_analysis.Lint.lint_templates ~passes:wanted_template ~ctx
+                  anl
+              end
+            in
+            let target_diags =
+              match target with
+              | None -> []
+              | Some t -> Uv_analysis.Lint.lint_target ~base log t
+            in
+            let diags = history_diags @ template_diags @ target_diags in
+            print_lint_report ~format diags;
+            if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1))
   in
   let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"lint a generated history of the named bundled benchmark \
+                   instead of a history file; enables the template passes \
+                   (UVA014–UVA017)")
+  in
+  let n =
+    Arg.(value & opt int 120
+         & info [ "n" ] ~doc:"transaction count for $(b,--workload) histories")
   in
   let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit the report as JSON (= --format json)")
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~docv:"FMT" ~doc:"text | json | sarif")
   in
   let pass_names =
     Arg.(value & opt_all string []
          & info [ "pass" ]
              ~doc:"run only the named pass (repeatable): nondet, soundness, \
-                   cluster, dead-write, coverage")
+                   cluster, dead-write, coverage, template-coverage, \
+                   matrix-soundness, dynamic-sql, param-flow")
   in
   let tau =
     Arg.(value & opt (some int) None
@@ -485,7 +593,169 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"static soundness & eligibility checks over a history (exit 1 \
              if any error-level diagnostic fires)")
-    Term.(const run $ path $ json $ pass_names $ tau $ op $ stmt_text)
+    Term.(const run $ path $ workload $ n $ json $ format $ pass_names $ tau
+          $ op $ stmt_text)
+
+(* ------------------------------------------------------------------ *)
+(* templates                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let templates_cmd =
+  let module T = Uv_analysis.Template_extract in
+  let module M = Uv_analysis.Template_matrix in
+  let module J = Uv_obs.Json in
+  let run workload app schema json =
+    match
+      match (workload, app, schema) with
+      | Some wname, None, None ->
+          let w = Uv_workloads.Workload.by_name wname in
+          Ok
+            ( w.Uv_workloads.Workload.name,
+              w.Uv_workloads.Workload.schema_sql,
+              w.Uv_workloads.Workload.app_source,
+              w.Uv_workloads.Workload.ri_config )
+      | None, Some app_path, Some schema_path ->
+          Ok
+            ( Filename.basename app_path,
+              read_file schema_path,
+              read_file app_path,
+              Rowset.default_config )
+      | _ -> Error "templates needs --workload NAME, or --app and --schema"
+    with
+    | Error msg ->
+        prerr_endline msg;
+        2
+    | Ok (name, schema_sql, source, config) ->
+        let set = T.extract ~schema:schema_sql ~source () in
+        let matrix = M.build ~config set in
+        let pairs = M.all_pairs matrix in
+        let kind_label = function T.Kstmt -> "stmt" | T.Kcall -> "call" in
+        if json then begin
+          let template_json (tpl : T.template) =
+            J.Obj
+              [
+                ("id", J.Int tpl.T.id);
+                ("txn", J.Str tpl.T.txn);
+                ("kind", J.Str (kind_label tpl.T.kind));
+                ("sql", J.Str (Uv_sql.Printer.stmt_compact tpl.T.stmt));
+                ( "slots",
+                  J.List
+                    (List.map
+                       (fun (slot, src) ->
+                         J.Obj
+                           [
+                             ("name", J.Str slot);
+                             ("source", J.Str (T.source_label src));
+                           ])
+                       tpl.T.slots) );
+                ( "guards",
+                  J.List
+                    (List.map
+                       (fun (table, (g : M.guard)) ->
+                         J.Obj
+                           [
+                             ("table", J.Str table);
+                             ("column", J.Str g.M.gcol);
+                             ("source", J.Str (M.gsource_label g.M.gsrc));
+                           ])
+                       (M.guards matrix tpl.T.id)) );
+              ]
+          in
+          let pair_json ((a, b), (p : M.pair)) =
+            J.Obj
+              [
+                ("a", J.Int a);
+                ("b", J.Int b);
+                ("ww", J.List (List.map (fun c -> J.Str c) p.M.ww));
+                ("wr", J.List (List.map (fun c -> J.Str c) p.M.wr));
+                ("rw", J.List (List.map (fun c -> J.Str c) p.M.rw));
+                ("prunable", J.Bool p.M.prunable);
+              ]
+          in
+          let payload =
+            J.Obj
+              [
+                ("source", J.Str name);
+                ( "txns",
+                  J.List
+                    (List.map
+                       (fun (txn, unexplored) ->
+                         J.Obj
+                           [
+                             ("name", J.Str txn);
+                             ("unexplored", J.Int unexplored);
+                           ])
+                       (T.txns set)) );
+                ("templates", J.List (List.map template_json (T.templates set)));
+                ("matrix", J.List (List.map pair_json pairs));
+                ( "stats",
+                  J.Obj
+                    [
+                      ("templates", J.Int (List.length (T.templates set)));
+                      ("pairs", J.Int (List.length pairs));
+                      ( "prunable_pairs",
+                        J.Int
+                          (List.length
+                             (List.filter
+                                (fun (_, (p : M.pair)) -> p.M.prunable)
+                                pairs)) );
+                    ] );
+              ]
+          in
+          print_endline
+            (Uv_obs.Report.to_string ~schema:"uv.templates/1" payload)
+        end
+        else begin
+          Printf.printf "%s: %d transaction(s), %d template(s)\n" name
+            (List.length (T.txns set))
+            (List.length (T.templates set));
+          List.iter
+            (fun (tpl : T.template) ->
+              Printf.printf "T%-3d %-5s [%s] %s\n" tpl.T.id
+                (kind_label tpl.T.kind) tpl.T.txn
+                (Uv_sql.Printer.stmt_compact tpl.T.stmt);
+              List.iter
+                (fun (table, (g : M.guard)) ->
+                  Printf.printf "       guard %s.%s %s\n" table g.M.gcol
+                    (M.gsource_label g.M.gsrc))
+                (M.guards matrix tpl.T.id))
+            (T.templates set);
+          Printf.printf "matrix: %d conflicting pair(s), %d prunable\n"
+            (List.length pairs)
+            (List.length
+               (List.filter (fun (_, (p : M.pair)) -> p.M.prunable) pairs));
+          List.iter
+            (fun ((a, b), (p : M.pair)) ->
+              Printf.printf "  T%d-T%d%s ww{%s} wr{%s} rw{%s}\n" a b
+                (if p.M.prunable then " [prunable]" else "")
+                (String.concat " " p.M.ww)
+                (String.concat " " p.M.wr)
+                (String.concat " " p.M.rw))
+            pairs
+        end;
+        0
+  in
+  let workload =
+    Arg.(value & opt (some string) None
+         & info [ "workload" ] ~docv:"NAME" ~doc:"a bundled benchmark")
+  in
+  let app_arg =
+    Arg.(value & opt (some file) None
+         & info [ "app" ] ~docv:"APP.JS" ~doc:"application source (MiniJS)")
+  in
+  let schema_arg =
+    Arg.(value & opt (some file) None
+         & info [ "schema" ] ~docv:"SCHEMA.SQL" ~doc:"schema DDL script")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit a uv.templates/1 report envelope")
+  in
+  Cmd.v
+    (Cmd.info "templates"
+       ~doc:"extract the closed query-template set of an application and \
+             print the column-wise template-pair dependency matrix")
+    Term.(const run $ workload $ app_arg $ schema_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                            *)
@@ -887,5 +1157,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; trace_cmd;
-            log_cmd; dump_cmd; fsck_cmd; recover_cmd; workloads_cmd ]))
+          [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; templates_cmd;
+            trace_cmd; log_cmd; dump_cmd; fsck_cmd; recover_cmd;
+            workloads_cmd ]))

@@ -103,7 +103,19 @@ and of_stmt sv (s : stmt) : t =
   | Insert { table; values; _ } ->
       write_stmt sv table Ev_insert (exprs_sources (List.concat values))
   | Insert_select { table; query; _ } ->
-      write_stmt sv table Ev_insert (select_sources query)
+      (* the copied-from sources are reads; a view source additionally
+         reads the real table behind it, which the precise analysis
+         expands to — demand the same of the coarse cross-check *)
+      let srcs = select_sources query in
+      let srcs =
+        srcs
+        @ List.filter_map
+            (fun s ->
+              let r = real_target sv s in
+              if r <> s then Some r else None)
+            srcs
+      in
+      write_stmt sv table Ev_insert srcs
   | Update { table; assigns; where } ->
       let inner =
         exprs_sources (List.map snd assigns @ Option.to_list where)

@@ -22,7 +22,11 @@
       used, not when defined);
     - writes fire the triggers of the resolved real target, and CALL
       expands the procedure body, exactly as the precise analysis
-      does. *)
+      does;
+    - [INSERT ... SELECT] reads every source of its query, and a view
+      source additionally reads the real table behind the view (the
+      precise analysis expands view reads to parent columns, so the
+      cross-check must demand the parent too). *)
 
 open Uv_sql
 

@@ -38,7 +38,24 @@
       [ultraverse fsck] with the byte offset of the cut.
     - [UVA012] (warning, fsck) — a persisted log record fails to replay
       on a fresh database ([ultraverse fsck]'s replay check): the log
-      is not self-contained (e.g. it post-dates a checkpoint). *)
+      is not self-contained (e.g. it post-dates a checkpoint).
+    - [UVA013] (warning, fsck) — a persisted log replays but its
+      recorded row hashes diverge from the fresh replay.
+    - [UVA014] (warning, template-coverage) — a log entry matches no
+      extracted query template (DDL excepted): it silently falls back
+      to the per-statement dependency path.
+    - [UVA015] (error, matrix-soundness) — the static template-pair
+      matrix fails to over-approximate the dynamic dependencies of a
+      workload log: a template's column sets miss a matched entry's
+      dynamic columns, or a real cell-level dependency is refuted by a
+      missing pair / missing conflict column / the predicate-
+      disjointness refinement.
+    - [UVA016] (warning, dynamic-sql) — an [SQL_exec] call site in the
+      MiniJS sources takes a computed argument instead of a string or
+      template literal: the statement escapes template extraction.
+    - [UVA017] (info, param-flow) — a template slot's value flows from a
+      blackbox native call: unrecorded nondeterminism behind the
+      recorded literal. *)
 
 type severity = Error | Warning | Info
 
@@ -78,6 +95,9 @@ val pp : Format.formatter -> t -> unit
     the index for history-wide findings. *)
 
 val to_string : t -> string
+
+val json_escape : string -> string
+(** JSON string-body escaping (shared with the SARIF exporter). *)
 
 val json_of : t -> string
 (** One finding as a JSON object. *)

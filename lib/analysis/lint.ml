@@ -5,9 +5,21 @@ module Log = Uv_db.Log
 module Catalog = Uv_db.Catalog
 module D = Diagnostic
 
-type pass = Nondet | Soundness | Cluster | Dead_write | Coverage
+type pass =
+  | Nondet
+  | Soundness
+  | Cluster
+  | Dead_write
+  | Coverage
+  | Template_coverage
+  | Matrix_soundness
+  | Dynamic_sql
+  | Param_flow
 
 let all_passes = [ Nondet; Soundness; Cluster; Dead_write; Coverage ]
+
+let template_passes =
+  [ Template_coverage; Matrix_soundness; Dynamic_sql; Param_flow ]
 
 let pass_name = function
   | Nondet -> "nondet"
@@ -15,6 +27,10 @@ let pass_name = function
   | Cluster -> "cluster"
   | Dead_write -> "dead-write"
   | Coverage -> "coverage"
+  | Template_coverage -> "template-coverage"
+  | Matrix_soundness -> "matrix-soundness"
+  | Dynamic_sql -> "dynamic-sql"
+  | Param_flow -> "param-flow"
 
 let pass_of_string s =
   match String.lowercase_ascii s with
@@ -23,6 +39,10 @@ let pass_of_string s =
   | "cluster" -> Some Cluster
   | "dead-write" | "dead_write" | "dead" -> Some Dead_write
   | "coverage" -> Some Coverage
+  | "template-coverage" | "template_coverage" -> Some Template_coverage
+  | "matrix-soundness" | "matrix_soundness" -> Some Matrix_soundness
+  | "dynamic-sql" | "dynamic_sql" -> Some Dynamic_sql
+  | "param-flow" | "param_flow" -> Some Param_flow
   | _ -> None
 
 let lint_log ?base ?(passes = all_passes) log =
@@ -85,3 +105,27 @@ let lint_target ?base log (t : Analyzer.target) =
 
 let lint_procedure ?index ~name body =
   Passes.coverage_procedure ?index ~name body
+
+type template_ctx = {
+  tset : Template_extract.set;
+  tmatrix : Template_matrix.t;
+  tfast : Template_fastpath.t;
+  tsource : string option;
+}
+
+let lint_templates ?(passes = template_passes) ~ctx anl =
+  let on p = List.mem p passes in
+  let diags = ref [] in
+  let emit ds = diags := List.rev_append ds !diags in
+  if on Template_coverage then
+    emit (Template_lint.template_coverage ~fast:ctx.tfast anl);
+  if on Matrix_soundness then
+    emit
+      (Template_lint.matrix_soundness ~set:ctx.tset ~matrix:ctx.tmatrix
+         ~fast:ctx.tfast anl);
+  (if on Dynamic_sql then
+     match ctx.tsource with
+     | Some source -> emit (Template_lint.dynamic_sql ~source)
+     | None -> ());
+  if on Param_flow then emit (Template_lint.param_flow ~set:ctx.tset);
+  List.sort D.compare !diags

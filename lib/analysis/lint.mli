@@ -7,9 +7,24 @@
     plus recorded metadata), the evolving schema view, and the statically
     derived read/write sets. *)
 
-type pass = Nondet | Soundness | Cluster | Dead_write | Coverage
+type pass =
+  | Nondet
+  | Soundness
+  | Cluster
+  | Dead_write
+  | Coverage
+  | Template_coverage
+  | Matrix_soundness
+  | Dynamic_sql
+  | Param_flow
 
 val all_passes : pass list
+(** The log-walk passes ([Nondet] … [Coverage]) — what {!lint_log} runs
+    by default. The template passes need extraction artifacts and run
+    through {!lint_templates}. *)
+
+val template_passes : pass list
+(** [Template_coverage; Matrix_soundness; Dynamic_sql; Param_flow]. *)
 
 val pass_name : pass -> string
 
@@ -38,3 +53,21 @@ val lint_target :
 val lint_procedure :
   ?index:int -> name:string -> Uv_sql.Ast.pstmt list -> Diagnostic.t list
 (** Coverage-check one transpiled procedure body (UVA006). *)
+
+type template_ctx = {
+  tset : Template_extract.set;
+  tmatrix : Template_matrix.t;
+  tfast : Template_fastpath.t;
+  tsource : string option;  (** MiniJS sources, for [Dynamic_sql] *)
+}
+
+val lint_templates :
+  ?passes:pass list ->
+  ctx:template_ctx ->
+  Uv_retroactive.Analyzer.t ->
+  Diagnostic.t list
+(** Run the template passes ([template_passes] by default) against an
+    analyzed history and its extraction artifacts: UVA014 coverage,
+    UVA015 matrix soundness, UVA016 dynamic SQL (skipped when [tsource]
+    is [None]), UVA017 parameter provenance. Sorted with
+    {!Diagnostic.compare}. *)

@@ -1,0 +1,87 @@
+module D = Diagnostic
+
+let esc = D.json_escape
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+(* Rule descriptions come from the registry in diagnostic.mli; keep the
+   short texts here in sync with it. *)
+let rule_text code =
+  match code with
+  | "UVA001" -> "Nondeterministic draw sites under-recorded in the log"
+  | "UVA002" -> "Precise read/write sets miss an object the coarse pass finds"
+  | "UVA003" -> "DDL committed mid-history after DML began"
+  | "UVA004" -> "One statement writes several real tables"
+  | "UVA005" -> "Column written but never read afterwards"
+  | "UVA006" -> "Procedure carries unexplored branch stubs"
+  | "UVA007" -> "Target references an unknown table, view, or procedure"
+  | "UVA008" -> "Target references an unknown column or has wrong arity"
+  | "UVA009" -> "Target commit index out of range"
+  | "UVA010" -> "Target exercises an unresolvable FOREIGN KEY"
+  | "UVA011" -> "Persisted statement log is damaged"
+  | "UVA012" -> "Persisted log record fails to replay"
+  | "UVA013" -> "Replayed row hashes diverge from the record"
+  | "UVA014" -> "Statement matches no extracted query template"
+  | "UVA015" -> "Static template matrix fails to over-approximate"
+  | "UVA016" -> "SQL_exec argument escapes template extraction"
+  | "UVA017" -> "Template slot flows from a blackbox native call"
+  | _ -> "Ultraverse diagnostic"
+
+let result_of (d : D.t) =
+  let props =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "\"index\": %d") d.D.index;
+        Some (Printf.sprintf "\"pass\": \"%s\"" (esc d.D.pass));
+      ]
+  in
+  let logical =
+    match d.D.obj with
+    | None -> ""
+    | Some o ->
+        Printf.sprintf ", \"locations\": [{\"logicalLocations\": [{\"name\": \"%s\"}]}]"
+          (esc o)
+  in
+  Printf.sprintf
+    "      {\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \
+     \"%s\"}%s, \"properties\": {%s}}"
+    (esc d.D.code) (level_of d.D.severity)
+    (esc d.D.message)
+    logical
+    (String.concat ", " props)
+
+let rule_of code =
+  Printf.sprintf
+    "        {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}" code
+    (rule_text code)
+
+let report ?(tool_version = "0.1") ds =
+  let ds = List.sort D.compare ds in
+  let codes =
+    List.sort_uniq compare (List.map (fun (d : D.t) -> d.D.code) ds)
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"$schema\": \
+       \"https://json.schemastore.org/sarif-2.1.0.json\",";
+      "  \"version\": \"2.1.0\",";
+      "  \"runs\": [{";
+      "    \"tool\": {\"driver\": {";
+      "      \"name\": \"ultraverse\",";
+      Printf.sprintf "      \"version\": \"%s\"," (esc tool_version);
+      "      \"informationUri\": \
+       \"https://github.com/ultraverse/ultraverse\",";
+      "      \"rules\": [";
+      String.concat ",\n" (List.map rule_of codes);
+      "      ]";
+      "    }},";
+      "    \"results\": [";
+      String.concat ",\n" (List.map result_of ds);
+      "    ]";
+      "  }]";
+      "}";
+    ]

@@ -1,0 +1,15 @@
+(** Minimal SARIF 2.1.0 export of lint findings ([ultraverse lint
+    --format sarif]).
+
+    Mapping: one run, tool driver ["ultraverse"], one
+    [reportingDescriptor] per distinct diagnostic code; each finding
+    becomes a [result] with [ruleId] = code, [level] = severity
+    (error→error, warning→warning, info→note), [message.text], the
+    database object (if any) as a logical location, and the 1-based
+    commit index plus producing pass under [properties]. There are no
+    physical file locations — findings are about log entries, not source
+    files. *)
+
+val report : ?tool_version:string -> Diagnostic.t list -> string
+(** Serialize findings (sorted with {!Diagnostic.compare}) as a SARIF
+    2.1.0 JSON document. *)

@@ -1,0 +1,414 @@
+open Uv_sql
+module Sym = Uv_symexec.Sym
+module Trace = Uv_transpiler.Trace
+module Concolic = Uv_transpiler.Concolic
+module Transpile = Uv_transpiler.Transpile
+module Schema_view = Uv_retroactive.Schema_view
+module Rwset = Uv_retroactive.Rwset
+
+type source = Sparam of string | Sdb | Sblackbox | Sconst | Smixed
+
+type kind = Kstmt | Kcall
+
+type template = {
+  id : int;
+  txn : string;
+  kind : kind;
+  stmt : Ast.stmt;
+  slots : (string * source) list;
+  rw : Rwset.rw;
+}
+
+type set = {
+  templates : template list;
+  txns : (string * int) list;
+  by_shape : (string, template list) Hashtbl.t;
+  base_sv : Schema_view.t;
+}
+
+let templates s = s.templates
+let txns s = s.txns
+let base_sv s = s.base_sv
+
+(* ------------------------------------------------------------------ *)
+(* AST mapping (slot renaming)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [f] may rewrite any expression node wholesale; [None] recurses. The
+   traversal order is the canonical slot-numbering order, so it must stay
+   deterministic: left-to-right, clause order as declared in [Ast]. *)
+let rec map_expr f (e : Ast.expr) : Ast.expr =
+  match f e with
+  | Some e' -> e'
+  | None -> (
+      match e with
+      | Ast.Lit _ | Ast.Col _ | Ast.Var _ -> e
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, map_expr f a, map_expr f b)
+      | Ast.Unop (op, a) -> Ast.Unop (op, map_expr f a)
+      | Ast.Fun_call (n, args) -> Ast.Fun_call (n, List.map (map_expr f) args)
+      | Ast.Subselect s -> Ast.Subselect (map_select f s)
+      | Ast.Exists s -> Ast.Exists (map_select f s)
+      | Ast.In_list (e0, es) ->
+          Ast.In_list (map_expr f e0, List.map (map_expr f) es)
+      | Ast.Between (a, b, c) ->
+          Ast.Between (map_expr f a, map_expr f b, map_expr f c)
+      | Ast.Is_null (a, neg) -> Ast.Is_null (map_expr f a, neg))
+
+and map_select f (s : Ast.select) : Ast.select =
+  {
+    s with
+    Ast.sel_items =
+      List.map
+        (function
+          | Ast.Star -> Ast.Star
+          | Ast.Item (e, a) -> Ast.Item (map_expr f e, a))
+        s.Ast.sel_items;
+    sel_joins =
+      List.map
+        (fun j -> { j with Ast.join_on = map_expr f j.Ast.join_on })
+        s.Ast.sel_joins;
+    sel_where = Option.map (map_expr f) s.Ast.sel_where;
+    sel_group_by = List.map (map_expr f) s.Ast.sel_group_by;
+    sel_having = Option.map (map_expr f) s.Ast.sel_having;
+    sel_order_by = List.map (fun (e, d) -> (map_expr f e, d)) s.Ast.sel_order_by;
+  }
+
+let map_stmt f (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Select sel -> Ast.Select (map_select f sel)
+  | Ast.Insert { table; columns; values } ->
+      Ast.Insert
+        { table; columns; values = List.map (List.map (map_expr f)) values }
+  | Ast.Insert_select { table; columns; query } ->
+      Ast.Insert_select { table; columns; query = map_select f query }
+  | Ast.Update { table; assigns; where } ->
+      Ast.Update
+        {
+          table;
+          assigns = List.map (fun (c, e) -> (c, map_expr f e)) assigns;
+          where = Option.map (map_expr f) where;
+        }
+  | Ast.Delete { table; where } ->
+      Ast.Delete { table; where = Option.map (map_expr f) where }
+  | Ast.Call (n, args) -> Ast.Call (n, List.map (map_expr f) args)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Slot source classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classify_sym sym =
+  let rec root = function
+    | Sym.Field (s, _) | Sym.Item (s, _) -> root s
+    | s -> s
+  in
+  let kinds =
+    List.map
+      (fun l ->
+        match root l with
+        | Sym.Input p -> `In p
+        | Sym.Db_result _ -> `Db
+        | Sym.Blackbox _ -> `Bb
+        | _ -> `Const)
+      (Sym.base_symbols sym)
+  in
+  if kinds = [] then Sconst
+  else if List.mem `Bb kinds then Sblackbox
+  else if List.for_all (function `In _ -> true | _ -> false) kinds then
+    match (sym, kinds) with
+    | Sym.Input p, _ -> Sparam p
+    | _, [ `In p ] -> Sparam p
+    | _ -> Smixed
+  else if List.mem `Db kinds then Sdb
+  else Sconst
+
+let source_label = function
+  | Sparam p -> "param:" ^ p
+  | Sdb -> "db"
+  | Sblackbox -> "blackbox"
+  | Sconst -> "const"
+  | Smixed -> "mixed"
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rename the DSE's [__h<n>] holes to stable [p0, p1, ...] slots in
+   traversal order, so the same statement shape reached on different
+   paths (or by different transactions) canonicalizes identically. *)
+let canonicalize (r : Trace.sql_record) =
+  let ren = Hashtbl.create 8 in
+  let order = ref [] in
+  let counter = ref 0 in
+  let f = function
+    | Ast.Var v ->
+        let nv =
+          match Hashtbl.find_opt ren v with
+          | Some nv -> nv
+          | None ->
+              let nv = Printf.sprintf "p%d" !counter in
+              incr counter;
+              Hashtbl.replace ren v nv;
+              order := (v, nv) :: !order;
+              nv
+        in
+        Some (Ast.Var nv)
+    | _ -> None
+  in
+  let stmt = map_stmt f r.Trace.stmt in
+  let slots =
+    List.rev_map
+      (fun (old, nv) ->
+        let src =
+          match List.assoc_opt old r.Trace.holes with
+          | Some sym -> classify_sym sym
+          | None -> Smixed
+        in
+        (nv, src))
+      !order
+  in
+  (stmt, slots)
+
+(* ------------------------------------------------------------------ *)
+(* Shape index                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let shape_key (s : Ast.stmt) =
+  match s with
+  | Ast.Insert { table; _ } | Ast.Insert_select { table; _ } -> "I|" ^ table
+  | Ast.Update { table; _ } -> "U|" ^ table
+  | Ast.Delete { table; _ } -> "D|" ^ table
+  | Ast.Select sel -> (
+      "S|" ^ match sel.Ast.sel_from with Some (t, _) -> t | None -> "")
+  | Ast.Call (name, _) -> "C|" ^ name
+  | other -> "X|" ^ Ast.stmt_kind other
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_records acc = function
+  | Trace.Leaf -> acc
+  | Trace.Sql (r, k) -> collect_records (r :: acc) k
+  | Trace.Blackbox (_, _, k) -> collect_records acc k
+  | Trace.Branch (_, a, b) ->
+      let acc = match a with Some t -> collect_records acc t | None -> acc in
+      (match b with Some t -> collect_records acc t | None -> acc)
+
+let extract ?max_runs ~schema ~source () =
+  let program = Uv_applang.Parser.parse_program source in
+  let sv = Schema_view.create () in
+  List.iter (Schema_view.apply sv) (Parser.parse_script schema);
+  let names = List.sort compare (Transpile.sql_functions program) in
+  let explored =
+    List.map
+      (fun name ->
+        let ex = Concolic.explore ?max_runs ~program ~name () in
+        (name, ex, Transpile.transpile_tree ~name ~exploration:ex))
+      names
+  in
+  (* install the transpiled procedures first: CALL-granularity templates
+     need their bodies in the schema view for set expansion *)
+  List.iter
+    (fun (_, _, tp) -> Schema_view.apply sv tp.Transpile.procedure)
+    explored;
+  let seen = Hashtbl.create 64 in
+  let templates = ref [] in
+  let next_id = ref 0 in
+  let add txn kind stmt slots =
+    let key = Printer.stmt_compact stmt in
+    if not (Hashtbl.mem seen key) then begin
+      let t =
+        { id = !next_id; txn; kind; stmt; slots; rw = Rwset.of_stmt sv stmt }
+      in
+      incr next_id;
+      Hashtbl.replace seen key t;
+      templates := t :: !templates
+    end
+  in
+  List.iter
+    (fun (name, (ex : Concolic.exploration), (tp : Transpile.t)) ->
+      (* statement-granularity: every SQL node of the execution path
+         tree, canonicalized (pre-order, so numbering is deterministic) *)
+      List.iter
+        (fun r ->
+          let stmt, slots = canonicalize r in
+          add name Kstmt stmt slots)
+        (List.rev (collect_records [] ex.Concolic.tree));
+      (* call-granularity: the transpiled procedure invocation *)
+      let app = List.map (fun p -> (p, Sparam p)) tp.Transpile.app_params in
+      let bb =
+        List.map
+          (fun (p, _, _) -> (p, Sblackbox))
+          tp.Transpile.blackbox_params
+      in
+      let slots = app @ bb in
+      let stmt =
+        Ast.Call
+          (tp.Transpile.proc_name, List.map (fun (p, _) -> Ast.Var p) slots)
+      in
+      add name Kcall stmt slots)
+    explored;
+  let templates = List.rev !templates in
+  let by_shape = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let key = shape_key t.stmt in
+      let prev = Option.value (Hashtbl.find_opt by_shape key) ~default:[] in
+      Hashtbl.replace by_shape key (prev @ [ t ]))
+    templates;
+  {
+    templates;
+    txns =
+      List.map (fun (name, _, tp) -> (name, tp.Transpile.unexplored)) explored;
+    by_shape;
+    base_sv = sv;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception No_match
+
+let neg_value = function
+  | Value.Int n -> Some (Value.Int (-n))
+  | Value.Float x -> Some (Value.Float (-.x))
+  | _ -> None
+
+let rec m_expr bind (pat : Ast.expr) (e : Ast.expr) =
+  match (pat, e) with
+  | Ast.Var s, Ast.Lit v -> bind s v
+  | Ast.Var s, Ast.Unop (Ast.Neg, Ast.Lit v) -> (
+      match neg_value v with Some v -> bind s v | None -> raise No_match)
+  | Ast.Var _, _ -> raise No_match
+  | Ast.Lit a, Ast.Lit b -> if not (Value.equal a b) then raise No_match
+  | Ast.Col (qa, ca), Ast.Col (qb, cb) ->
+      if qa <> qb || ca <> cb then raise No_match
+  | Ast.Binop (o1, a1, b1), Ast.Binop (o2, a2, b2) ->
+      if o1 <> o2 then raise No_match;
+      m_expr bind a1 a2;
+      m_expr bind b1 b2
+  | Ast.Unop (o1, a1), Ast.Unop (o2, a2) ->
+      if o1 <> o2 then raise No_match;
+      m_expr bind a1 a2
+  | Ast.Fun_call (n1, a1), Ast.Fun_call (n2, a2) ->
+      if n1 <> n2 || List.length a1 <> List.length a2 then raise No_match;
+      List.iter2 (m_expr bind) a1 a2
+  | Ast.Subselect s1, Ast.Subselect s2 | Ast.Exists s1, Ast.Exists s2 ->
+      m_select bind s1 s2
+  | Ast.In_list (e1, l1), Ast.In_list (e2, l2) ->
+      if List.length l1 <> List.length l2 then raise No_match;
+      m_expr bind e1 e2;
+      List.iter2 (m_expr bind) l1 l2
+  | Ast.Between (a1, b1, c1), Ast.Between (a2, b2, c2) ->
+      m_expr bind a1 a2;
+      m_expr bind b1 b2;
+      m_expr bind c1 c2
+  | Ast.Is_null (e1, n1), Ast.Is_null (e2, n2) ->
+      if n1 <> n2 then raise No_match;
+      m_expr bind e1 e2
+  | _ -> raise No_match
+
+and m_opt bind p e =
+  match (p, e) with
+  | None, None -> ()
+  | Some p, Some e -> m_expr bind p e
+  | _ -> raise No_match
+
+and m_select bind (p : Ast.select) (s : Ast.select) =
+  if
+    p.Ast.sel_distinct <> s.Ast.sel_distinct
+    || p.Ast.sel_from <> s.Ast.sel_from
+    || p.Ast.sel_limit <> s.Ast.sel_limit
+    || p.Ast.sel_offset <> s.Ast.sel_offset
+    || List.length p.Ast.sel_items <> List.length s.Ast.sel_items
+    || List.length p.Ast.sel_joins <> List.length s.Ast.sel_joins
+    || List.length p.Ast.sel_group_by <> List.length s.Ast.sel_group_by
+    || List.length p.Ast.sel_order_by <> List.length s.Ast.sel_order_by
+  then raise No_match;
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Ast.Star, Ast.Star -> ()
+      | Ast.Item (e1, al1), Ast.Item (e2, al2) ->
+          if al1 <> al2 then raise No_match;
+          m_expr bind e1 e2
+      | _ -> raise No_match)
+    p.Ast.sel_items s.Ast.sel_items;
+  List.iter2
+    (fun (j1 : Ast.join) (j2 : Ast.join) ->
+      if j1.Ast.join_table <> j2.Ast.join_table
+         || j1.Ast.join_alias <> j2.Ast.join_alias
+      then raise No_match;
+      m_expr bind j1.Ast.join_on j2.Ast.join_on)
+    p.Ast.sel_joins s.Ast.sel_joins;
+  m_opt bind p.Ast.sel_where s.Ast.sel_where;
+  List.iter2 (m_expr bind) p.Ast.sel_group_by s.Ast.sel_group_by;
+  m_opt bind p.Ast.sel_having s.Ast.sel_having;
+  List.iter2
+    (fun (e1, d1) (e2, d2) ->
+      if d1 <> d2 then raise No_match;
+      m_expr bind e1 e2)
+    p.Ast.sel_order_by s.Ast.sel_order_by
+
+let m_stmt bind (p : Ast.stmt) (s : Ast.stmt) =
+  match (p, s) with
+  | Ast.Select p1, Ast.Select s1 -> m_select bind p1 s1
+  | Ast.Insert i1, Ast.Insert i2 ->
+      if i1.table <> i2.table || i1.columns <> i2.columns then raise No_match;
+      if List.length i1.values <> List.length i2.values then raise No_match;
+      List.iter2
+        (fun r1 r2 ->
+          if List.length r1 <> List.length r2 then raise No_match;
+          List.iter2 (m_expr bind) r1 r2)
+        i1.values i2.values
+  | Ast.Insert_select i1, Ast.Insert_select i2 ->
+      if i1.table <> i2.table || i1.columns <> i2.columns then raise No_match;
+      m_select bind i1.query i2.query
+  | Ast.Update u1, Ast.Update u2 ->
+      if u1.table <> u2.table then raise No_match;
+      if List.map fst u1.assigns <> List.map fst u2.assigns then
+        raise No_match;
+      List.iter2 (fun (_, e1) (_, e2) -> m_expr bind e1 e2) u1.assigns
+        u2.assigns;
+      m_opt bind u1.where u2.where
+  | Ast.Delete d1, Ast.Delete d2 ->
+      if d1.table <> d2.table then raise No_match;
+      m_opt bind d1.where d2.where
+  | Ast.Call (n1, a1), Ast.Call (n2, a2) ->
+      if n1 <> n2 || List.length a1 <> List.length a2 then raise No_match;
+      List.iter2 (m_expr bind) a1 a2
+  | _ -> raise No_match
+
+let match_template tpl stmt =
+  let binding = Hashtbl.create 8 in
+  let bind s v =
+    match Hashtbl.find_opt binding s with
+    | Some v0 -> if not (Value.equal v0 v) then raise No_match
+    | None -> Hashtbl.replace binding s v
+  in
+  match m_stmt bind tpl.stmt stmt with
+  | () ->
+      Some
+        (List.map
+           (fun (s, _) ->
+             ( s,
+               match Hashtbl.find_opt binding s with
+               | Some v -> v
+               | None -> Value.Null ))
+           tpl.slots)
+  | exception No_match -> None
+
+let match_entry set stmt =
+  match Hashtbl.find_opt set.by_shape (shape_key stmt) with
+  | None -> None
+  | Some tpls ->
+      List.find_map
+        (fun tpl ->
+          match match_template tpl stmt with
+          | Some b -> Some (tpl, b)
+          | None -> None)
+        tpls
+
+let find set id = List.find_opt (fun t -> t.id = id) set.templates

@@ -1,0 +1,82 @@
+(** Static extraction of parameterized SQL templates from MiniJS
+    application transactions (the template half of the paper's "analyze
+    query templates, not queries" claim, §2/§4).
+
+    Each application-level transaction is explored with the existing
+    concolic DSE driver; every SQL statement on every explored path is
+    parsed with its symbolic holes and canonicalized — holes renamed to
+    stable positional slots [p0, p1, ...] in traversal order, identical
+    shapes deduplicated across paths and transactions — yielding a
+    *closed template set* for the workload. Two granularities coexist:
+
+    - [Kstmt]: one template per distinct statement shape, matching the
+      raw-SQL entries a non-transpiled application logs;
+    - [Kcall]: one template per transaction, [CALL uv_txn(p0, ...)],
+      matching the entries a transpiled application logs.
+
+    Each template carries the column-wise read/write sets computed
+    *statically* against the workload schema (slots contribute nothing,
+    exactly like literals, so a template's sets equal the dynamic sets of
+    every entry matching it while the schema is unchanged — the property
+    lint pass UVA015 verifies on real logs). *)
+
+open Uv_sql
+
+type source =
+  | Sparam of string  (** transaction input parameter (recorded) *)
+  | Sdb  (** database-result flow (deterministic under replay) *)
+  | Sblackbox  (** blackbox native API — unrecorded nondeterminism *)
+  | Sconst  (** concretized constant *)
+  | Smixed  (** mixture of input parameters *)
+
+type kind = Kstmt | Kcall
+
+type template = {
+  id : int;  (** dense, 0-based, deterministic for a given workload *)
+  txn : string;  (** transaction that first produced the shape *)
+  kind : kind;
+  stmt : Ast.stmt;  (** canonical statement; slots are [Var "p<i>"] *)
+  slots : (string * source) list;  (** slot name -> value source *)
+  rw : Uv_retroactive.Rwset.rw;  (** static column-wise sets *)
+}
+
+type set
+
+val extract :
+  ?max_runs:int -> schema:string -> source:string -> unit -> set
+(** Explore every SQL-executing function of the MiniJS [source] (sorted
+    by name, fixed DSE seed — extraction is deterministic) against the
+    [schema] DDL script. The returned set's schema view additionally has
+    every transpiled procedure installed, so [Kcall] template sets expand
+    procedure bodies. *)
+
+val templates : set -> template list
+(** In id order. *)
+
+val txns : set -> (string * int) list
+(** Explored transactions with their unexplored-branch stub counts. *)
+
+val base_sv : set -> Uv_retroactive.Schema_view.t
+(** Schema view the template sets were computed against (schema DDL plus
+    transpiled procedures). *)
+
+val match_entry :
+  set -> Ast.stmt -> (template * (string * Value.t) list) option
+(** Structurally match a concrete logged statement against the template
+    set: a slot matches any literal (binding it), every other node must
+    be equal; a slot bound twice must bind equal values. Returns the
+    template and the full slot binding, or [None] — dynamic SQL, DDL and
+    ad-hoc statements fall back to the per-statement path. *)
+
+val match_template :
+  template -> Ast.stmt -> (string * Value.t) list option
+(** Match against one specific template. *)
+
+val find : set -> int -> template option
+
+val source_label : source -> string
+(** ["param:<name>"], ["db"], ["blackbox"], ["const"], ["mixed"]. *)
+
+val shape_key : Ast.stmt -> string
+(** Coarse index key (statement class + target object) grouping the
+    templates a statement could possibly match. *)

@@ -1,0 +1,37 @@
+(** The template-analysis lint passes (UVA014–UVA017).
+
+    These passes close the loop on the static template machinery: the
+    template set and matrix are computed without ever executing a
+    statement, so each real workload log doubles as a test oracle — the
+    dynamic per-statement sets and the recorded statements either
+    confirm the static model or expose where it leaks.
+
+    Driven through {!Lint.lint_templates}; exposed individually for
+    targeted tests. *)
+
+val template_coverage :
+  fast:Template_fastpath.t -> Uv_retroactive.Analyzer.t -> Diagnostic.t list
+(** UVA014 (warning): log entries matching no extracted template (DDL
+    excepted) — they silently fall back to the per-statement path.
+    Capped per entry with a summary tail. *)
+
+val matrix_soundness :
+  set:Template_extract.set ->
+  matrix:Template_matrix.t ->
+  fast:Template_fastpath.t ->
+  Uv_retroactive.Analyzer.t ->
+  Diagnostic.t list
+(** UVA015 (error): the static matrix must over-approximate the dynamic
+    dependencies of this history — template column sets contain every
+    matched entry's dynamic sets, and no dynamic cell-level dependency
+    between matched entries is refuted by a missing pair, a missing
+    conflict column, or the predicate-disjointness refinement. *)
+
+val dynamic_sql : source:string -> Diagnostic.t list
+(** UVA016 (warning): [SQL_exec] call sites in the MiniJS sources whose
+    argument is not a string or template literal — dynamic SQL escapes
+    template extraction entirely. *)
+
+val param_flow : set:Template_extract.set -> Diagnostic.t list
+(** UVA017 (info): template slots whose values flow from blackbox native
+    calls — unrecorded nondeterminism behind a recorded literal. *)

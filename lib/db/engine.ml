@@ -1532,6 +1532,7 @@ let exec ?app_txn ?(nondet = []) ?rowid_base ?plan t stmt =
           written_hashes;
           undo = t.journal;
           app_txn;
+          template_id = None;
         }
       in
       Log.append t.log entry;

@@ -1,6 +1,7 @@
 let tool = "ultraverse"
 let version = "1.3.0"
-let schemas = [ "uv.whatif/1"; "uv.lint/1"; "uv.metrics/1"; "uv.bench/1" ]
+let schemas =
+  [ "uv.whatif/1"; "uv.lint/1"; "uv.metrics/1"; "uv.bench/1"; "uv.templates/1" ]
 
 let envelope ~schema payload =
   if not (List.mem schema schemas) then

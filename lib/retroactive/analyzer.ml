@@ -281,6 +281,14 @@ type replay_set = {
 (* Closure computation                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Candidate generator contract shared by the built-in per-statement
+   bucket scans and external fast-paths (the template matrix): given a
+   member's sets, return candidate indexes past [min_idx] that may
+   conflict with it. [min_idx] doubles as the member's identity — the
+   seed is the single call made before the worklist drains, members call
+   with their own index. *)
+type joins_fn = min_idx:int -> Rwset.rw -> Rowset.entry_rows -> int list
+
 (* Generic worklist closure. [make_joins ~live] builds a candidate
    generator; candidates for which [live] is false (already joined,
    excluded, before τ, or never joinable) may be skipped and pruned from
@@ -521,7 +529,7 @@ let target_group_indexes t tau =
   else [ tau ]
 
 let replay_set_gen ?via_col ?via_row ?(obs = Uv_obs.Trace.disabled) ~grouped
-    ~expand ?(mode = Cell) t (target : target) =
+    ~expand ?col_joins:cj_override ?(mode = Cell) t (target : target) =
   let seed_rw, seed_rows = target_rw t target in
   (* at transaction granularity the retroactive target is the whole
      application-level transaction: seed with the union of its entries'
@@ -563,7 +571,8 @@ let replay_set_gen ?via_col ?via_row ?(obs = Uv_obs.Trace.disabled) ~grouped
   in
   let col_members () =
     Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.col" (fun () ->
-        run ?via:via_col (col_joins t))
+        run ?via:via_col
+          (match cj_override with Some f -> f | None -> col_joins t))
   in
   let row_members () =
     Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.row" (fun () ->
@@ -598,6 +607,21 @@ let replay_set ?obs ?mode t target =
 
 let replay_set_grouped ?obs ?mode t target =
   replay_set_gen ?obs ~grouped:true ~expand:group_expand ?mode t target
+
+(* Ungrouped replay set with the column-wise candidate generator replaced
+   by an external one (the template fast-path). The row-wise closure and
+   everything else stay on the built-in path, so Cell mode intersects the
+   caller's column closure with the oracle row closure. *)
+let replay_set_via ?obs ?mode t ~col_joins target =
+  replay_set_gen ?obs ~grouped:false
+    ~expand:(fun _ _ -> [])
+    ~col_joins ?mode t target
+
+let canonical_row_value t ~table v =
+  Rowset.canonical t.row_state table (dim0_of t.config table)
+    (Value.serialize v)
+
+let row_merge_generation t = Rowset.merge_generation t.row_state
 
 (* ------------------------------------------------------------------ *)
 (* Provenance: why did each member join?                                *)

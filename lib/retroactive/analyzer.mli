@@ -101,6 +101,43 @@ val replay_set_grouped :
     system: entries sharing an [app_txn] tag join or stay out of 𝕀 as a
     unit, and set propagation runs over the per-transaction unions. *)
 
+type joins_fn = min_idx:int -> Rwset.rw -> Rowset.entry_rows -> int list
+(** Candidate generator used by the closure worklist: given a member's
+    sets, return candidate indexes past [min_idx] that may conflict with
+    it. The first call (and only the first) carries the target's seed
+    sets; every later call is a joined member calling with its own index
+    as [min_idx], so [min_idx] identifies the member. Over-approximation
+    is safe (candidates are re-filtered for liveness and joinability);
+    omission is not. *)
+
+val replay_set_via :
+  ?obs:Uv_obs.Trace.t ->
+  ?mode:mode ->
+  t ->
+  col_joins:(live:(int -> bool) -> joins_fn) ->
+  target ->
+  replay_set
+(** [replay_set] with the column-wise candidate generator replaced by an
+    external one — the template-matrix fast-path. [col_joins ~live] is
+    invoked once per column-closure run; candidates for which [live] is
+    false may be skipped. The row-wise closure stays on the built-in
+    per-statement path, so [`Cell] intersects the caller's column closure
+    with the oracle row closure. *)
+
+val canonical_row_value : t -> table:string -> Value.t -> string
+(** Canonical first-dimension RI token for a value of [table] under the
+    analyzer's current alias/merge state — the key the row index buckets
+    by. Stable until {!row_merge_generation} changes. *)
+
+val row_merge_generation : t -> int
+(** Generation counter of the RI alias/merge state; external value-keyed
+    caches must be rebuilt when it changes. *)
+
+val write_write_table_edges : t -> members:bool array -> (int * int) list
+(** The row-level write-write ordering edges that [exec_dependency_edges]
+    adds on top of [dependency_edges]: any two members writing
+    overlapping rows of one table, even through disjoint columns. *)
+
 type provenance = {
   p_col_via : int option;
       (** parent in the column-wise closure: [Some 0] — pulled in directly

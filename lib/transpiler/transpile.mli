@@ -52,6 +52,11 @@ val transpile :
   t
 (** [explore] then [transpile_tree]. *)
 
+val sql_functions : Uv_applang.Ast.program -> string list
+(** Top-level functions that (transitively) execute [SQL_exec] — the
+    application-level transaction candidates. Order is the fixpoint
+    discovery order; callers wanting determinism should sort. *)
+
 val transpile_all :
   ?max_runs:int -> program:Uv_applang.Ast.program -> unit -> t list
 (** Transpile every top-level function that (transitively) executes

@@ -38,6 +38,19 @@ trace_roundtrip() {
 }
 step "whatif --trace round-trip" trace_roundtrip
 
+# the static template matrix must over-approximate every dynamic
+# dependency it claims to precompute: any error-level diagnostic
+# (UVA015 matrix-soundness above all) on a bundled-workload history
+# fails the gate (lint exits 1 on errors)
+template_lint() {
+  for w in tpc-c tatp epinions seats astore; do
+    echo "-- lint --workload $w"
+    dune exec bin/ultraverse.exe -- lint --workload "$w" --json \
+      > /dev/null || return 1
+  done
+}
+step "template lint gate: five workloads" template_lint
+
 step "bench smoke: parallel replay determinism" \
   dune exec bench/main.exe -- --smoke
 

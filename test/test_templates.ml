@@ -1,0 +1,245 @@
+(* The static template machinery: extraction determinism, matrix
+   soundness (UVA015) on every bundled workload, and the fast-path
+   oracle equalities — replay sets identical to the per-statement
+   closure on randomized scenarios, conflict-DAG edges a reachability
+   superset of the oracle's. *)
+
+open Uv_db
+open Uv_retroactive
+module W = Uv_workloads.Workload
+module R = Uv_transpiler.Runtime
+module T = Uv_analysis.Template_extract
+module M = Uv_analysis.Template_matrix
+module F = Uv_analysis.Template_fastpath
+module L = Uv_analysis.Lint
+module D = Uv_analysis.Diagnostic
+
+let check = Alcotest.check
+
+(* one Raw-mode history per workload, reused by every scenario *)
+let build (w : W.t) ~n ~dep_rate =
+  let eng, rt = W.setup ~mode:R.Raw w in
+  let base = Engine.snapshot eng in
+  let prng = Uv_util.Prng.create 4242 in
+  let calls = w.W.target_call :: w.W.generate prng ~scale:1 ~n ~dep_rate in
+  ignore (W.run_history rt ~mode:R.Raw calls);
+  (eng, base)
+
+let artifacts (w : W.t) =
+  let set = T.extract ~schema:w.W.schema_sql ~source:w.W.app_source () in
+  let matrix = M.build ~config:w.W.ri_config set in
+  (set, matrix)
+
+let render (tpl : T.template) =
+  Printf.sprintf "%d|%s|%s|%s|%s" tpl.T.id tpl.T.txn
+    (match tpl.T.kind with T.Kstmt -> "stmt" | T.Kcall -> "call")
+    (Uv_sql.Printer.stmt_compact tpl.T.stmt)
+    (String.concat ","
+       (List.map (fun (s, src) -> s ^ ":" ^ T.source_label src) tpl.T.slots))
+
+(* -------------------------------------------------------------- *)
+(* extraction determinism                                          *)
+(* -------------------------------------------------------------- *)
+
+let test_extract_deterministic (w : W.t) () =
+  let a = T.extract ~schema:w.W.schema_sql ~source:w.W.app_source () in
+  let b = T.extract ~schema:w.W.schema_sql ~source:w.W.app_source () in
+  check
+    Alcotest.(list string)
+    (w.W.name ^ " same template set across runs")
+    (List.map render (T.templates a))
+    (List.map render (T.templates b))
+
+(* -------------------------------------------------------------- *)
+(* UVA015 matrix soundness on every workload                       *)
+(* -------------------------------------------------------------- *)
+
+let test_matrix_sound (w : W.t) () =
+  let eng, base = build w ~n:60 ~dep_rate:0.3 in
+  let log = Engine.log eng in
+  let anl = Analyzer.analyze ~config:w.W.ri_config ~base log in
+  let set, matrix = artifacts w in
+  let fast = F.prepare ~log ~set ~matrix anl in
+  let ctx =
+    { L.tset = set; tmatrix = matrix; tfast = fast; tsource = None }
+  in
+  let diags = L.lint_templates ~passes:[ L.Matrix_soundness ] ~ctx anl in
+  check
+    Alcotest.(list string)
+    (w.W.name ^ " UVA015 clean")
+    []
+    (List.map D.to_string (D.errors diags));
+  (* the workloads are fully templated: raw-mode histories are covered *)
+  let cov = L.lint_templates ~passes:[ L.Template_coverage ] ~ctx anl in
+  check
+    Alcotest.(list string)
+    (w.W.name ^ " UVA014 clean")
+    [] (List.map D.to_string cov)
+
+(* -------------------------------------------------------------- *)
+(* fast path = per-statement oracle on randomized scenarios        *)
+(* -------------------------------------------------------------- *)
+
+let members_list (rs : Analyzer.replay_set) =
+  let out = ref [] in
+  Array.iteri (fun i m -> if m then out := (i + 1) :: !out) rs.Analyzer.members;
+  List.rev !out
+
+let random_target prng log =
+  let n = Log.length log in
+  let tau = 1 + Uv_util.Prng.int prng n in
+  let any_stmt () =
+    (Log.entry log (1 + Uv_util.Prng.int prng n)).Log.stmt
+  in
+  match Uv_util.Prng.int prng 3 with
+  | 0 -> { Analyzer.tau; op = Analyzer.Remove }
+  | 1 -> { Analyzer.tau; op = Analyzer.Add (any_stmt ()) }
+  | _ -> { Analyzer.tau; op = Analyzer.Change (any_stmt ()) }
+
+let scenarios_per_workload = 40
+
+let test_fastpath_oracle (w : W.t) () =
+  let eng, base = build w ~n:80 ~dep_rate:0.3 in
+  let log = Engine.log eng in
+  let anl = Analyzer.analyze ~config:w.W.ri_config ~base log in
+  let set, matrix = artifacts w in
+  let fast = F.prepare ~log ~set ~matrix anl in
+  let prng = Uv_util.Prng.create 7 in
+  for k = 1 to scenarios_per_workload do
+    let target = random_target prng log in
+    let mode = if Uv_util.Prng.bool prng then Analyzer.Cell else Analyzer.Col_only in
+    let oracle = Analyzer.replay_set ~mode anl target in
+    let fp = F.replay_set ~mode fast anl target in
+    let label =
+      Printf.sprintf "%s scenario %d (tau=%d %s, %s)" w.W.name k
+        target.Analyzer.tau
+        (match target.Analyzer.op with
+        | Analyzer.Remove -> "remove"
+        | Analyzer.Add _ -> "add"
+        | Analyzer.Change _ -> "change")
+        (match mode with Analyzer.Cell -> "cell" | _ -> "col")
+    in
+    check Alcotest.(list int) label (members_list oracle) (members_list fp)
+  done
+
+(* -------------------------------------------------------------- *)
+(* fast conflict-DAG edges: oracle order reachable                 *)
+(* -------------------------------------------------------------- *)
+
+(* every oracle edge (n, m) — n replays after m — must stay enforced in
+   the fast DAG, directly or transitively (the fast edge list differs in
+   shape: per-template buckets instead of per-column buckets) *)
+let reachable edges n m =
+  let succ = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succ a (b :: Option.value (Hashtbl.find_opt succ a) ~default:[]))
+    edges;
+  let seen = Hashtbl.create 64 in
+  let rec go x =
+    x = m
+    || (not (Hashtbl.mem seen x))
+       && begin
+            Hashtbl.replace seen x ();
+            List.exists go (Option.value (Hashtbl.find_opt succ x) ~default:[])
+          end
+  in
+  go n
+
+let test_fast_edges_sound (w : W.t) () =
+  let eng, base = build w ~n:60 ~dep_rate:0.3 in
+  let log = Engine.log eng in
+  let anl = Analyzer.analyze ~config:w.W.ri_config ~base log in
+  let set, matrix = artifacts w in
+  let fast = F.prepare ~log ~set ~matrix anl in
+  let prng = Uv_util.Prng.create 11 in
+  for _ = 1 to 3 do
+    let target = random_target prng log in
+    let rs = Analyzer.replay_set anl target in
+    let members = rs.Analyzer.members in
+    let oracle_edges = Analyzer.exec_dependency_edges anl ~members in
+    let fast_edges = F.exec_dependency_edges fast anl ~members in
+    List.iter
+      (fun (n, m) ->
+        if not (reachable fast_edges n m) then
+          Alcotest.failf "%s: oracle edge (%d, %d) unreachable in fast DAG"
+            w.W.name n m)
+      oracle_edges
+  done
+
+(* -------------------------------------------------------------- *)
+(* template lint passes on synthetic sources                       *)
+(* -------------------------------------------------------------- *)
+
+let test_dynamic_sql_detection () =
+  let source =
+    {js|
+function ok(id) { SQL_exec(`SELECT a FROM t WHERE id = ${id}`); }
+function bad(id) {
+  let q = "SELECT a FROM t WHERE id = " + id;
+  SQL_exec(q);
+}
+function worse(id) { SQL_exec("SELECT a FROM t WHERE id = " + id); }
+|js}
+  in
+  let diags = Uv_analysis.Template_lint.dynamic_sql ~source in
+  check Alcotest.int "two dynamic call sites" 2 (List.length diags);
+  List.iter
+    (fun (d : D.t) ->
+      check Alcotest.string "code" "UVA016" d.D.code;
+      check Alcotest.string "severity" "warning" (D.severity_label d.D.severity))
+    diags;
+  check
+    Alcotest.(list (option string))
+    "attributed to the enclosing functions"
+    [ Some "bad"; Some "worse" ]
+    (List.map (fun (d : D.t) -> d.D.obj) diags)
+
+(* -------------------------------------------------------------- *)
+(* coarse INSERT ... SELECT regression: view source reads parent   *)
+(* -------------------------------------------------------------- *)
+
+let test_coarse_insert_select_view () =
+  let sv = Schema_view.create () in
+  List.iter (Schema_view.apply sv)
+    (Uv_sql.Parser.parse_script
+       "CREATE TABLE t (a INT, b INT);\n\
+        CREATE VIEW v AS SELECT a, b FROM t;\n\
+        CREATE TABLE u (x INT, y INT);");
+  let stmt = Uv_sql.Parser.parse_stmt "INSERT INTO u SELECT a, b FROM v" in
+  let coarse = Uv_analysis.Coarse_rw.of_stmt sv stmt in
+  let has name = Uv_analysis.Coarse_rw.Names.mem name coarse.Uv_analysis.Coarse_rw.cr in
+  check Alcotest.bool "view read" true (has "v");
+  check Alcotest.bool "parent table read" true (has "t");
+  (* and the precise sets keep covering the widened coarse sets *)
+  let rw = Rwset.of_stmt sv stmt in
+  check
+    Alcotest.(list (pair string string))
+    "no uncovered objects" []
+    (List.map
+       (fun (o, side) -> (o, match side with `Read -> "r" | `Write -> "w"))
+       (Uv_analysis.Coarse_rw.uncovered rw coarse))
+
+let workload_cases (w : W.t) =
+  ( "templates:" ^ w.W.name,
+    [
+      Alcotest.test_case "extraction deterministic" `Quick
+        (test_extract_deterministic w);
+      Alcotest.test_case "matrix sound (UVA014/UVA015)" `Quick
+        (test_matrix_sound w);
+      Alcotest.test_case "fast path = oracle" `Slow (test_fastpath_oracle w);
+      Alcotest.test_case "fast edges sound" `Quick (test_fast_edges_sound w);
+    ] )
+
+let () =
+  Alcotest.run "uv_templates"
+    (List.map workload_cases (W.all ())
+    @ [
+        ( "template-lint",
+          [
+            Alcotest.test_case "dynamic SQL detection" `Quick
+              test_dynamic_sql_detection;
+            Alcotest.test_case "coarse INSERT..SELECT view source" `Quick
+              test_coarse_insert_select_view;
+          ] );
+      ])
