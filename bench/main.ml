@@ -706,7 +706,7 @@ let bench_whatif_repeat () =
               ~analyzer eng_cold target)
       in
       let session workers =
-        Whatif.Session.create
+        Whatif.Service.open_session @@ Whatif.Service.create
           ~config:(Whatif.Config.make ~workers ~checkpoint_every:32 ())
           ~rowset:w.W.ri_config ~base:base_warm eng_warm
       in

@@ -1,0 +1,276 @@
+(* serve-bench: sustained concurrent what-if load against a live
+   [ultraverse serve] daemon whose history keeps growing under ingest.
+
+   The daemon is started in-process on a Unix socket; N client domains
+   hammer it with what-if requests over their own connections while an
+   ingest domain appends committed DML through the same protocol. Every
+   client records per-request wall latency; a sample of the served
+   outcomes is re-run afterwards through the one-shot path (an engine
+   replayed to exactly the history length the daemon reported for that
+   answer) and the bench fails hard if any final universe hash differs.
+
+   The last stdout line is a uv.bench/1 report (tracked as BENCH_7.json
+   by CI):  dune exec bench/serve_bench.exe -- --smoke            *)
+
+open Uv_retroactive
+module J = Uv_obs.Json
+module Clock = Uv_util.Clock
+
+(* ------------------------------------------------------------------ *)
+(* deterministic workload: one table, always-applicable DML            *)
+(* ------------------------------------------------------------------ *)
+
+let seed_stmts n =
+  "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR(16), balance INT);"
+  :: List.init (n - 1) (fun i ->
+         if i mod 3 = 0 then
+           Printf.sprintf
+             "INSERT INTO accounts (id, owner, balance) VALUES (%d, 'u%d', %d);"
+             i i (100 + i)
+         else
+           Printf.sprintf
+             "UPDATE accounts SET balance = balance + %d WHERE id = %d;"
+             (1 + (i mod 7))
+             (i - (i mod 3)))
+
+(* the ingest tail touches fresh ids so every statement applies *)
+let tail_stmt base i =
+  if i mod 2 = 0 then
+    Printf.sprintf
+      "INSERT INTO accounts (id, owner, balance) VALUES (%d, 'g%d', %d);"
+      (base + i) i (200 + i)
+  else
+    Printf.sprintf "UPDATE accounts SET balance = balance - 1 WHERE id = %d;"
+      (base + i - 1)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+
+(* ------------------------------------------------------------------ *)
+
+type sample = { tau : int; history_len : int; hash : string }
+
+type client_result = {
+  latencies : float list;
+  ok : int;
+  saturated : int;
+  deadline : int;
+  failures : int;
+  samples : sample list;
+}
+
+let run_client ~addr ~requests ~taus ~sample_every ~cid () =
+  let c = Serve.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      let lat = ref [] and ok = ref 0 and sat = ref 0 in
+      let ded = ref 0 and bad = ref 0 and samples = ref [] in
+      let ntau = Array.length taus in
+      for i = 0 to requests - 1 do
+        let tau = taus.((i + (cid * 3)) mod ntau) in
+        let t0 = Clock.now_ms () in
+        (match Serve.Client.whatif ~id:i ~tau ~op:"remove" c () with
+        | Ok (Serve.Client.Result r) ->
+            lat := (Clock.now_ms () -. t0) :: !lat;
+            incr ok;
+            if i mod sample_every = cid then (
+              match (J.member "final_db_hash" r, J.member "history_len" r) with
+              | Some (J.Str hash), Some (J.Int history_len) ->
+                  samples := { tau; history_len; hash } :: !samples
+              | _ -> incr bad)
+        | Ok (Serve.Client.Refused { code = "saturated"; retry_after_ms; _ })
+          ->
+            incr sat;
+            Unix.sleepf (Option.value retry_after_ms ~default:5.0 /. 1000.0)
+        | Ok (Serve.Client.Refused { code = "deadline"; _ }) -> incr ded
+        | Ok (Serve.Client.Refused _) | Error _ -> incr bad)
+      done;
+      {
+        latencies = !lat;
+        ok = !ok;
+        saturated = !sat;
+        deadline = !ded;
+        failures = !bad;
+        samples = !samples;
+      })
+
+let run_ingester ~addr ~base ~count ~pause_ms ~stop () =
+  let c = Serve.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      let sent = ref 0 in
+      (try
+         while !sent < count && not (Atomic.get stop) do
+           (match Serve.Client.ingest c (tail_stmt base !sent) with
+           | Ok (Serve.Client.Result _) -> incr sent
+           | Ok (Serve.Client.Refused _) | Error _ -> raise Exit);
+           Unix.sleepf (pause_ms /. 1000.0)
+         done
+       with Exit -> ());
+      !sent)
+
+(* replay the exact prefix the daemon answered over, one-shot style *)
+let verify_samples ~all_stmts samples =
+  let module Engine = Uv_db.Engine in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s -> Hashtbl.replace tbl (s.tau, s.history_len) s.hash)
+    samples;
+  let divergent = ref [] in
+  Hashtbl.iter
+    (fun (tau, len) served ->
+      let eng = Engine.create () in
+      List.iteri
+        (fun i sql ->
+          if i < len then ignore (Engine.exec eng (Uv_sql.Parser.parse_stmt sql)))
+        all_stmts;
+      let svc =
+        Whatif.Service.create ~config:(Whatif.Config.make ~workers:1 ()) eng
+      in
+      match Whatif.Service.run svc { Analyzer.tau; op = Analyzer.Remove } with
+      | Ok r ->
+          let oneshot = Printf.sprintf "%Lx" r.outcome.Whatif.final_db_hash in
+          if oneshot <> served then divergent := (tau, len, served, oneshot) :: !divergent
+      | Error e -> divergent := (tau, len, served, Whatif.Error.code_name e.code) :: !divergent)
+    tbl;
+  (Hashtbl.length tbl, !divergent)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let clients = ref 0 and per_client = ref 0 in
+  Arg.parse
+    [
+      ( "--smoke",
+        Arg.Set smoke,
+        "CI sizes (4 clients x 250 requests, small seed history)" );
+      ("--clients", Arg.Set_int clients, "concurrent client count");
+      ("--requests", Arg.Set_int per_client, "requests per client");
+    ]
+    (fun _ -> ())
+    "ultraverse serve bench";
+  let seed_n = if !smoke then 40 else 120 in
+  let clients = if !clients > 0 then !clients else if !smoke then 4 else 6 in
+  let per_client =
+    if !per_client > 0 then !per_client else if !smoke then 250 else 500
+  in
+  let tail_n = if !smoke then 120 else 400 in
+  let seed = seed_stmts seed_n in
+  let all_stmts = seed @ List.init tail_n (tail_stmt (seed_n + 10)) in
+  let eng = Uv_db.Engine.create () in
+  List.iter
+    (fun sql -> ignore (Uv_db.Engine.exec eng (Uv_sql.Parser.parse_stmt sql)))
+    seed;
+  (* one replay lane per request: the concurrency under test is across
+     requests (the worker pool), not inside one replay *)
+  let svc =
+    Whatif.Service.create ~config:(Whatif.Config.make ~workers:1 ()) eng
+  in
+  Whatif.Service.publish svc;
+  let sock = Filename.temp_file "uv-serve-bench" ".sock" in
+  Sys.remove sock;
+  let addr = Serve.Unix_sock sock in
+  let srv =
+    Serve.start
+      ~config:
+        {
+          Serve.default_config with
+          workers = max 2 (min 4 (Domain.recommended_domain_count () - 2));
+          queue_capacity = 64;
+          max_clients = clients + 4;
+        }
+      svc addr
+  in
+  let taus =
+    (* DML positions inside the seed region: always < history_len *)
+    Array.init 12 (fun i -> 2 + (i * (seed_n - 4) / 12))
+  in
+  let stop = Atomic.make false in
+  Printf.printf
+    "serve-bench: %d clients x %d requests, seed history %d, ingest tail %d\n%!"
+    clients per_client seed_n tail_n;
+  let t0 = Clock.now_ms () in
+  let ingester =
+    Domain.spawn
+      (run_ingester ~addr ~base:(seed_n + 10) ~count:tail_n ~pause_ms:2.0 ~stop)
+  in
+  let workers =
+    List.init clients (fun cid ->
+        Domain.spawn
+          (run_client ~addr ~requests:per_client ~taus
+             ~sample_every:(max clients (per_client / 20))
+             ~cid))
+  in
+  let results = List.map Domain.join workers in
+  Atomic.set stop true;
+  let ingested = Domain.join ingester in
+  let wall_ms = Clock.now_ms () -. t0 in
+  let history_end = Whatif.Service.history_len svc in
+  Serve.stop srv;
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let ok = sum (fun r -> r.ok)
+  and saturated = sum (fun r -> r.saturated)
+  and deadline = sum (fun r -> r.deadline)
+  and failures = sum (fun r -> r.failures) in
+  let lats =
+    List.concat_map (fun r -> r.latencies) results |> Array.of_list
+  in
+  Array.sort compare lats;
+  let p50 = percentile lats 50.0
+  and p95 = percentile lats 95.0
+  and p99 = percentile lats 99.0 in
+  let samples = List.concat_map (fun r -> r.samples) results in
+  Printf.printf
+    "  %d ok, %d saturated, %d deadline, %d failures; history %d -> %d (%d \
+     ingested) in %.0f ms (%.0f req/s)\n\
+    \  latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n\
+     verifying %d sampled outcomes against the one-shot path...\n\
+     %!"
+    ok saturated deadline failures seed_n history_end ingested wall_ms
+    (float_of_int ok /. wall_ms *. 1000.0)
+    p50 p95 p99
+    (if Array.length lats = 0 then 0.0 else lats.(Array.length lats - 1))
+    (List.length samples);
+  let verified, divergent = verify_samples ~all_stmts samples in
+  List.iter
+    (fun (tau, len, served, oneshot) ->
+      Printf.eprintf
+        "HASH DIVERGENCE: tau=%d history_len=%d served=%s one-shot=%s\n%!" tau
+        len served oneshot)
+    divergent;
+  Printf.printf "  %d distinct (tau, history_len) points verified: %s\n%!"
+    verified
+    (if divergent = [] then "all hash-identical" else "DIVERGED");
+  if failures > 0 then prerr_endline "serve-bench: request failures";
+  print_endline
+    (Uv_obs.Report.to_string ~schema:"uv.bench/1"
+       (J.Obj
+          [
+            ("bench", J.Str "serve");
+            ("smoke", J.Bool !smoke);
+            ("clients", J.Int clients);
+            ("requests_per_client", J.Int per_client);
+            ("ok", J.Int ok);
+            ("saturated", J.Int saturated);
+            ("deadline_exceeded", J.Int deadline);
+            ("failures", J.Int failures);
+            ("history_start", J.Int seed_n);
+            ("history_end", J.Int history_end);
+            ("ingested", J.Int ingested);
+            ("wall_ms", J.Float wall_ms);
+            ("throughput_rps", J.Float (float_of_int ok /. wall_ms *. 1000.0));
+            ("p50_ms", J.Float p50);
+            ("p95_ms", J.Float p95);
+            ("p99_ms", J.Float p99);
+            ("verified_samples", J.Int verified);
+            ("hash_identical", J.Bool (divergent = []));
+          ]));
+  if divergent <> [] || failures > 0 || ok < clients * per_client - saturated - deadline
+  then exit 1

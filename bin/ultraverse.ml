@@ -7,17 +7,20 @@
                                           target: replay set, mutated/consulted
      whatif <history.sql> --tau N ...   — run the retroactive operation and
                                           report the alternate universe
-     workloads                          — list the bundled benchmarks *)
+     serve <history.sql> --socket S     — long-running multi-client what-if
+                                          service (uv.serve/1 framed protocol)
+     client ACTION --socket S           — talk to a running serve daemon
+     workloads                          — list the bundled benchmarks
+
+   Shared flags (--json, --workers, --deadline, --tau/--op/--stmt, …)
+   live in Cli_args; subcommands compose those terms instead of
+   re-declaring them. *)
 
 open Cmdliner
 open Uv_db
 open Uv_retroactive
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Cli_args.read_file
 
 (* ------------------------------------------------------------------ *)
 (* transpile                                                            *)
@@ -60,25 +63,8 @@ let transpile_cmd =
 (* shared: build an engine from a history script                        *)
 (* ------------------------------------------------------------------ *)
 
-let load_history ?(checkpoint_every = 0) path =
-  let eng = Engine.create () in
-  if checkpoint_every > 0 then Engine.enable_checkpoints eng ~every:checkpoint_every;
-  let stmts = Uv_sql.Parser.parse_script (read_file path) in
-  List.iter
-    (fun s ->
-      try ignore (Engine.exec eng s)
-      with Engine.Sql_error msg ->
-        Printf.eprintf "warning: statement failed (%s): %s\n" msg
-          (Uv_sql.Printer.stmt_compact s))
-    stmts;
-  eng
-
-let parse_op op stmt_text =
-  match (op, stmt_text) with
-  | "remove", _ -> Analyzer.Remove
-  | "add", Some sql -> Analyzer.Add (Uv_sql.Parser.parse_stmt sql)
-  | "change", Some sql -> Analyzer.Change (Uv_sql.Parser.parse_stmt sql)
-  | _ -> failwith "--op add/change requires --stmt"
+let load_history = Cli_args.load_history
+let parse_op = Cli_args.parse_op
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -116,18 +102,6 @@ let analyze_cmd =
     | None -> ());
     0
   in
-  let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
-  in
-  let tau =
-    Arg.(required & opt (some int) None & info [ "tau" ] ~doc:"target commit index")
-  in
-  let op =
-    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
-  in
-  let stmt_text =
-    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
-  in
   let dot =
     Arg.(value & opt (some string) None
          & info [ "dot" ] ~doc:"write the replay conflict graph as Graphviz DOT")
@@ -140,7 +114,8 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"query dependency analysis for a retroactive target")
-    Term.(const run $ path $ tau $ op $ stmt_text $ dot $ explain)
+    Term.(const run $ Cli_args.history_pos $ Cli_args.tau $ Cli_args.op
+          $ Cli_args.stmt_text $ dot $ explain)
 
 (* ------------------------------------------------------------------ *)
 (* whatif                                                               *)
@@ -229,7 +204,7 @@ let whatif_cmd =
     in
     (* a session so the analyzer, plan cache and checkpoint ladder amortize
        across --repeat runs of the same question *)
-    let session = Whatif.Session.create ~config eng in
+    let session = Whatif.Service.open_session @@ Whatif.Service.create ~config eng in
     let repeat = max 1 repeat in
     let result = ref (Whatif.Session.run session target) in
     for k = 2 to repeat do
@@ -315,48 +290,13 @@ let whatif_cmd =
         | _ -> prerr_endline "--query must be a SELECT"));
     0
   in
-  let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
-  in
-  let tau =
-    Arg.(required & opt (some int) None & info [ "tau" ] ~doc:"target commit index")
-  in
-  let op =
-    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
-  in
-  let stmt_text =
-    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
-  in
   let hash_jumper =
     Arg.(value & flag & info [ "hash-jumper" ] ~doc:"enable early termination")
-  in
-  let workers =
-    (* default to the host's available parallelism: extra domains beyond
-       the core count only add GC-barrier overhead *)
-    Arg.(value & opt int (Domain.recommended_domain_count ())
-         & info [ "workers" ]
-             ~doc:
-               "parallel replay worker (domain) count (default: host \
-                parallelism)")
   in
   let serial =
     Arg.(value & flag
          & info [ "serial" ]
              ~doc:"disable the parallel wave executor; replay serially")
-  in
-  let deadline =
-    Arg.(value & opt (some float) None
-         & info [ "deadline" ] ~docv:"MS"
-             ~doc:"wall-clock budget for the run in milliseconds; an \
-                   exceeded budget aborts cleanly (exit 1, the original \
-                   database untouched)")
-  in
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"emit the outcome as JSON")
-  in
-  let query =
-    Arg.(value & opt (some string) None
-         & info [ "query" ] ~doc:"SELECT to run against the alternate universe")
   in
   let trace =
     Arg.(value & opt (some string) None
@@ -371,14 +311,6 @@ let whatif_cmd =
              ~doc:"print the run's counters and histograms as a uv.metrics/1 \
                    report")
   in
-  let checkpoint_every =
-    Arg.(value & opt int 0
-         & info [ "checkpoint-every" ] ~docv:"K"
-             ~doc:"snapshot the catalog every K committed statements while \
-                   loading the history; the rollback phase can then jump to \
-                   the nearest checkpoint below τ instead of undoing the \
-                   whole tail (0 disables)")
-  in
   let repeat =
     Arg.(value & opt int 1
          & info [ "repeat" ] ~docv:"N"
@@ -387,17 +319,12 @@ let whatif_cmd =
                    statement plans (cache statistics land in the JSON \
                    report)")
   in
-  let no_plans =
-    Arg.(value & flag
-         & info [ "no-plans" ]
-             ~doc:"disable the compiled-statement-plan cache (outcomes are \
-                   identical either way; this exists for benchmarking)")
-  in
   Cmd.v
     (Cmd.info "whatif" ~doc:"run a retroactive operation on a history")
-    Term.(const run $ path $ tau $ op $ stmt_text $ hash_jumper $ workers
-          $ serial $ deadline $ json $ query $ trace $ metrics
-          $ checkpoint_every $ repeat $ no_plans)
+    Term.(const run $ Cli_args.history_pos $ Cli_args.tau $ Cli_args.op
+          $ Cli_args.stmt_text $ hash_jumper $ Cli_args.workers $ serial
+          $ Cli_args.deadline $ Cli_args.json $ Cli_args.query $ trace
+          $ metrics $ Cli_args.checkpoint_every $ repeat $ Cli_args.no_plans)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -549,9 +476,6 @@ let lint_cmd =
             print_lint_report ~format diags;
             if Uv_analysis.Diagnostic.errors diags = [] then 0 else 1))
   in
-  let path =
-    Arg.(value & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
-  in
   let workload =
     Arg.(value & opt (some string) None
          & info [ "workload" ] ~docv:"NAME"
@@ -562,10 +486,6 @@ let lint_cmd =
   let n =
     Arg.(value & opt int 120
          & info [ "n" ] ~doc:"transaction count for $(b,--workload) histories")
-  in
-  let json =
-    Arg.(value & flag
-         & info [ "json" ] ~doc:"emit the report as JSON (= --format json)")
   in
   let format =
     Arg.(value & opt string "text"
@@ -578,23 +498,13 @@ let lint_cmd =
                    cluster, dead-write, coverage, template-coverage, \
                    matrix-soundness, dynamic-sql, param-flow")
   in
-  let tau =
-    Arg.(value & opt (some int) None
-         & info [ "tau" ] ~doc:"also validate a retroactive target at this \
-                                commit index")
-  in
-  let op =
-    Arg.(value & opt string "remove" & info [ "op" ] ~doc:"remove | add | change")
-  in
-  let stmt_text =
-    Arg.(value & opt (some string) None & info [ "stmt" ] ~doc:"statement for add/change")
-  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"static soundness & eligibility checks over a history (exit 1 \
              if any error-level diagnostic fires)")
-    Term.(const run $ path $ workload $ n $ json $ format $ pass_names $ tau
-          $ op $ stmt_text)
+    Term.(const run $ Cli_args.history_pos_opt $ workload $ n $ Cli_args.json
+          $ format $ pass_names $ Cli_args.tau_opt $ Cli_args.op
+          $ Cli_args.stmt_text)
 
 (* ------------------------------------------------------------------ *)
 (* templates                                                            *)
@@ -758,6 +668,208 @@ let templates_cmd =
     Term.(const run $ workload $ app_arg $ schema_arg $ json)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run path socket host port pool_workers replay_workers queue_capacity
+      max_clients deadline checkpoint_every no_plans json =
+    match Cli_args.addr_of ~socket ~host ~port with
+    | Error msg ->
+        prerr_endline msg;
+        2
+    | Ok addr ->
+        let obs = Uv_obs.Trace.create () in
+        let eng = load_history ~checkpoint_every path in
+        let config =
+          Whatif.Config.make ~workers:replay_workers ~obs ~checkpoint_every
+            ~plans:(not no_plans) ()
+        in
+        let service = Whatif.Service.create ~config eng in
+        (* analyze the loaded history up front so the first client
+           request pays O(Δ), not O(history) *)
+        Whatif.Service.publish service;
+        let scfg =
+          {
+            Serve.default_config with
+            Serve.workers = pool_workers;
+            queue_capacity;
+            max_clients;
+            default_deadline_ms = deadline;
+          }
+        in
+        let srv = Serve.start ~config:scfg ~obs service addr in
+        let endpoint =
+          match addr with
+          | Serve.Unix_sock p -> "unix:" ^ p
+          | Serve.Tcp (h, _) ->
+              Printf.sprintf "tcp:%s:%d" h
+                (Option.value (Serve.port srv) ~default:0)
+        in
+        let module J = Uv_obs.Json in
+        if json then
+          print_endline
+            (Uv_obs.Report.to_string ~schema:"uv.serve/1"
+               (J.Obj
+                  [
+                    ("type", J.Str "listening");
+                    ("endpoint", J.Str endpoint);
+                    ("history_len", J.Int (Whatif.Service.history_len service));
+                    ("workers", J.Int pool_workers);
+                    ("queue_capacity", J.Int queue_capacity);
+                    ("max_clients", J.Int max_clients);
+                  ]))
+        else
+          Printf.printf
+            "serving %d statements on %s (%d what-if workers, queue %d, up \
+             to %d clients)\n"
+            (Whatif.Service.history_len service)
+            endpoint pool_workers queue_capacity max_clients;
+        flush stdout;
+        let on_signal _ = Serve.request_stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        Serve.wait srv;
+        Serve.stop srv;
+        if not json then print_endline "stopped";
+        0
+  in
+  let pool_workers =
+    Arg.(
+      value & opt int Serve.default_config.Serve.workers
+      & info [ "workers" ]
+          ~doc:"concurrent what-if worker domains draining the request queue")
+  in
+  let replay_workers =
+    Arg.(
+      value & opt int 2
+      & info [ "replay-workers" ]
+          ~doc:
+            "parallel replay domains per what-if run (total transient \
+             domains ≈ workers × replay-workers; outcomes are identical at \
+             any value)")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int Serve.default_config.Serve.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "queued what-ifs admitted before requests are rejected with a \
+             typed saturated error carrying retry_after_ms")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int Serve.default_config.Serve.max_clients
+      & info [ "max-clients" ] ~doc:"concurrent client connections")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "serve what-if questions to concurrent clients over a framed \
+          uv.serve/1 socket protocol while ingesting new transactions \
+          (stop with SIGINT or a client shutdown request)")
+    Term.(const run $ Cli_args.history_pos $ Cli_args.socket $ Cli_args.tcp_host
+          $ Cli_args.tcp_port $ pool_workers $ replay_workers $ queue_capacity
+          $ max_clients $ Cli_args.deadline $ Cli_args.checkpoint_every
+          $ Cli_args.no_plans $ Cli_args.json)
+
+let client_cmd =
+  let module J = Uv_obs.Json in
+  let run action socket host port tau op stmt_text deadline sql json =
+    match Cli_args.addr_of ~socket ~host ~port with
+    | Error msg ->
+        prerr_endline msg;
+        2
+    | Ok addr -> (
+        let result =
+          match
+            let c = Serve.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                match action with
+                | "ping" -> Serve.Client.ping c
+                | "stats" -> Serve.Client.stats c
+                | "metrics" -> Serve.Client.metrics c
+                | "shutdown" -> Serve.Client.shutdown c
+                | "ingest" -> (
+                    match sql with
+                    | Some sql -> Serve.Client.ingest c sql
+                    | None -> Error "ingest needs --sql")
+                | "whatif" -> (
+                    match tau with
+                    | Some tau ->
+                        Serve.Client.whatif ?deadline_ms:deadline ~tau ~op
+                          ?stmt:stmt_text c ()
+                    | None -> Error "whatif needs --tau")
+                | a -> Error (Printf.sprintf "unknown action %S" a))
+          with
+          | r -> r
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+        in
+        match result with
+        | Error e ->
+            prerr_endline ("client: " ^ e);
+            2
+        | Ok (Serve.Client.Refused { code; message; retry_after_ms; phase }) ->
+            if json then
+              print_endline
+                (Uv_obs.Report.to_string ~schema:"uv.serve/1"
+                   (J.Obj
+                      ([
+                         ("ok", J.Bool false);
+                         ("type", J.Str action);
+                         ("code", J.Str code);
+                         ("message", J.Str message);
+                       ]
+                      @ (match retry_after_ms with
+                        | Some ms -> [ ("retry_after_ms", J.Float ms) ]
+                        | None -> [])
+                      @
+                      match phase with
+                      | Some p -> [ ("phase", J.Str p) ]
+                      | None -> [])))
+            else
+              Printf.eprintf "refused [%s]%s: %s%s\n" code
+                (match phase with Some p -> " in " ^ p | None -> "")
+                message
+                (match retry_after_ms with
+                | Some ms -> Printf.sprintf " (retry after %.0f ms)" ms
+                | None -> "");
+            1
+        | Ok (Serve.Client.Result payload) ->
+            (* metrics answers with a uv.metrics/1 payload; re-envelope
+               it under its own schema so scrapers see the registry *)
+            let schema =
+              if action = "metrics" then "uv.metrics/1" else "uv.serve/1"
+            in
+            if json then
+              print_endline (Uv_obs.Report.to_string ~schema payload)
+            else print_endline (J.pretty payload);
+            0)
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:"ping | stats | metrics | whatif | ingest | shutdown")
+  in
+  let sql =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sql" ] ~doc:"SQL script to ingest (for $(b,ingest))")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"one-shot client for a running $(b,ultraverse serve) daemon")
+    Term.(const run $ action $ Cli_args.socket $ Cli_args.tcp_host
+          $ Cli_args.tcp_port $ Cli_args.tau_opt $ Cli_args.op
+          $ Cli_args.stmt_text $ Cli_args.deadline $ sql $ Cli_args.json)
+
+(* ------------------------------------------------------------------ *)
 (* workloads                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -772,16 +884,13 @@ let log_save_cmd =
     Printf.printf "%d records -> %s\n" (Log.length (Engine.log eng)) out;
     0
   in
-  let history =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
-  in
   let out =
     Arg.(required & opt (some string) None
          & info [ "out"; "o" ] ~doc:"destination ULOGv2 file")
   in
   Cmd.v
     (Cmd.info "save" ~doc:"execute a history and persist its durable log")
-    Term.(const run $ history $ out)
+    Term.(const run $ Cli_args.history_pos $ out)
 
 let log_replay_cmd =
   let run path query =
@@ -809,13 +918,9 @@ let log_replay_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
   in
-  let query =
-    Arg.(value & opt (some string) None
-         & info [ "query" ] ~doc:"SELECT to run against the rebuilt database")
-  in
   Cmd.v
     (Cmd.info "replay" ~doc:"rebuild a database from a persisted log")
-    Term.(const run $ path $ query)
+    Term.(const run $ path $ Cli_args.query)
 
 let dump_cmd =
   let run history out checkpoints checkpoint_every =
@@ -838,9 +943,6 @@ let dump_cmd =
     | None, _ -> ());
     0
   in
-  let history =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY.SQL")
-  in
   let out =
     Arg.(required & opt (some string) None
          & info [ "out"; "o" ] ~doc:"destination SQL dump file")
@@ -859,7 +961,7 @@ let dump_cmd =
   Cmd.v
     (Cmd.info "dump"
        ~doc:"execute a history and write a logical dump (checkpoint)")
-    Term.(const run $ history $ out $ checkpoints $ checkpoint_every)
+    Term.(const run $ Cli_args.history_pos $ out $ checkpoints $ checkpoint_every)
 
 let log_cmd =
   Cmd.group
@@ -967,15 +1069,12 @@ let fsck_cmd =
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
   in
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
-  in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:"check a persisted statement log: framing, per-record \
              checksums, and a replay dry-run (exit 1 if the log is \
              damaged)")
-    Term.(const run $ path $ json)
+    Term.(const run $ path $ Cli_args.json)
 
 let recover_cmd =
   let run path checkpoint out query =
@@ -1042,16 +1141,12 @@ let recover_cmd =
          & info [ "out"; "o" ]
              ~doc:"write the recovered history as a clean ULOGv2 file")
   in
-  let query =
-    Arg.(value & opt (some string) None
-         & info [ "query" ] ~doc:"SELECT to run against the recovered database")
-  in
   Cmd.v
     (Cmd.info "recover"
        ~doc:"rebuild a database from a (possibly damaged) statement log, \
              salvaging the valid record prefix, optionally on top of a \
              checkpoint dump")
-    Term.(const run $ path $ checkpoint $ out $ query)
+    Term.(const run $ path $ checkpoint $ out $ Cli_args.query)
 
 (* ------------------------------------------------------------------ *)
 (* trace: pretty-print a Chrome trace-event file                        *)
@@ -1157,6 +1252,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ transpile_cmd; analyze_cmd; whatif_cmd; lint_cmd; templates_cmd;
-            trace_cmd; log_cmd; dump_cmd; fsck_cmd; recover_cmd;
-            workloads_cmd ]))
+          [ transpile_cmd; analyze_cmd; whatif_cmd; serve_cmd; client_cmd;
+            lint_cmd; templates_cmd; trace_cmd; log_cmd; dump_cmd; fsck_cmd;
+            recover_cmd; workloads_cmd ]))

@@ -101,9 +101,14 @@ let pretty j =
 
 (* ---------- parsing ---------- *)
 
+type limits = { max_bytes : int; max_depth : int; max_string : int }
+
+let default_limits =
+  { max_bytes = 64 * 1024 * 1024; max_depth = 512; max_string = 16 * 1024 * 1024 }
+
 exception Bad of int * string
 
-let parse s =
+let parse ?(limits = default_limits) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
@@ -188,6 +193,9 @@ let parse s =
       | c when Char.code c < 0x20 -> fail "control char in string"
       | c ->
           Buffer.add_char buf c;
+          if Buffer.length buf > limits.max_string then
+            fail
+              (Printf.sprintf "string longer than %d bytes" limits.max_string);
           loop ()
     in
     loop ()
@@ -221,7 +229,12 @@ let parse s =
           | Some f -> Float f
           | None -> fail "bad number")
   in
-  let rec parse_value () =
+  let deeper depth =
+    if depth >= limits.max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" limits.max_depth);
+    depth + 1
+  in
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -230,6 +243,7 @@ let parse s =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+        let depth = deeper depth in
         advance ();
         skip_ws ();
         if peek () = Some ']' then (
@@ -237,7 +251,7 @@ let parse s =
           List [])
         else
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value depth in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -250,6 +264,7 @@ let parse s =
           in
           items []
     | Some '{' ->
+        let depth = deeper depth in
         advance ();
         skip_ws ();
         if peek () = Some '}' then (
@@ -261,7 +276,7 @@ let parse s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value depth in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -277,13 +292,16 @@ let parse s =
     | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
   in
   match
-    let v = parse_value () in
+    if n > limits.max_bytes then
+      fail (Printf.sprintf "input of %d bytes exceeds %d" n limits.max_bytes);
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
   with
   | v -> Ok v
-  | exception Bad (off, msg) -> Error (Printf.sprintf "json: %s at offset %d" msg off)
+  | exception Bad (off, msg) ->
+      Error (Printf.sprintf "json: %s at byte %d" msg off)
 
 let member k = function
   | Obj kvs -> List.assoc_opt k kvs

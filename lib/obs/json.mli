@@ -23,11 +23,24 @@ val to_string : t -> string
 val pretty : t -> string
 (** Two-space-indented rendering, for human-facing output. *)
 
-val parse : string -> (t, string) result
+type limits = { max_bytes : int; max_depth : int; max_string : int }
+(** Resource bounds for {!parse}, the difference between "trusted file
+    on disk" and "bytes from a socket": [max_bytes] rejects the input
+    up front, [max_depth] bounds recursion (the parser is recursive
+    descent — unbounded [\[\[\[…] is a stack overflow), [max_string]
+    bounds any single decoded string literal. *)
+
+val default_limits : limits
+(** Generous file-grade bounds (64 MiB input, 512 levels, 16 MiB
+    strings) — every trace, lint report and bench artifact the repo
+    emits sits far inside them. Network servers should set much
+    stricter limits sized to their frame cap. *)
+
+val parse : ?limits:limits -> string -> (t, string) result
 (** Strict parse of a complete JSON document. Trailing garbage, unterminated
-    literals and control characters in strings are errors; the message
-    includes a character offset. Numbers with [.], [e] or [E] become
-    [Float], all others [Int]. *)
+    literals, control characters in strings and limit violations are
+    errors; the message includes the byte offset where parsing stopped.
+    Numbers with [.], [e] or [E] become [Float], all others [Int]. *)
 
 val member : string -> t -> t option
 (** [member k j] looks up key [k] when [j] is an object. *)

@@ -1,7 +1,8 @@
 let tool = "ultraverse"
-let version = "1.3.0"
+let version = "1.4.0"
 let schemas =
-  [ "uv.whatif/1"; "uv.lint/1"; "uv.metrics/1"; "uv.bench/1"; "uv.templates/1" ]
+  [ "uv.whatif/1"; "uv.lint/1"; "uv.metrics/1"; "uv.bench/1"; "uv.templates/1";
+    "uv.serve/1" ]
 
 let envelope ~schema payload =
   if not (List.mem schema schemas) then
@@ -12,8 +13,8 @@ let envelope ~schema payload =
 
 let to_string ~schema payload = Json.to_string (envelope ~schema payload)
 
-let parse ?expect s =
-  match Json.parse s with
+let parse ?limits ?expect s =
+  match Json.parse ?limits s with
   | Error e -> Error e
   | Ok j -> (
       let str k =

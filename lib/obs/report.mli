@@ -18,7 +18,8 @@ val version : string
 (** Tool version stamped into every envelope (matches the CLI's). *)
 
 val schemas : string list
-(** The registry: [uv.whatif/1], [uv.lint/1], [uv.metrics/1], [uv.bench/1]. *)
+(** The registry: [uv.whatif/1], [uv.lint/1], [uv.metrics/1],
+    [uv.bench/1], [uv.templates/1], [uv.serve/1]. *)
 
 val envelope : schema:string -> Json.t -> Json.t
 (** Wrap a payload. @raise Invalid_argument on an unregistered schema. *)
@@ -26,8 +27,9 @@ val envelope : schema:string -> Json.t -> Json.t
 val to_string : schema:string -> Json.t -> string
 (** [envelope] rendered compactly. *)
 
-val parse : ?expect:string -> string -> (Json.t, string) result
+val parse : ?limits:Json.limits -> ?expect:string -> string -> (Json.t, string) result
 (** Parse an envelope and return its payload. Fails when the document is
-    not valid JSON, is missing any envelope field, carries an unregistered
-    schema, names a different tool, or — when [expect] is given — carries
-    a schema other than [expect]. *)
+    not valid JSON, violates [limits] (defaults to {!Json.default_limits};
+    servers pass network-grade bounds), is missing any envelope field,
+    carries an unregistered schema, names a different tool, or — when
+    [expect] is given — carries a schema other than [expect]. *)

@@ -1,0 +1,128 @@
+(** The [ultraverse serve] daemon: a concurrent multi-client what-if
+    service over one shared, growing history.
+
+    Wire protocol: length-prefixed frames ({!Uv_util.Frame_io} — 4-byte
+    big-endian length, then the payload) over a Unix-domain or TCP
+    socket. Every payload, in both directions, is a compact
+    [uv.serve/1] {!Uv_obs.Report} envelope. Requests carry a [type]
+    ([ping], [stats], [metrics], [ingest], [whatif], [shutdown]) and a
+    client-chosen [id] that is echoed verbatim in the response, so
+    clients may pipeline. Responses are either
+
+    {v {"id":…, "ok":true,  "type":…, "result":{…}} v}
+
+    or a {e typed} error that never tears the connection down:
+
+    {v {"id":…, "ok":false, "type":…, "error":{"code":…, "message":…,
+        "retry_after_ms":…?, "phase":…?}} v}
+
+    with [code] one of [saturated] (admission control rejected the
+    request — retry after [retry_after_ms]), [deadline] (the
+    per-request budget ran out, queue wait included), [fault],
+    [internal], [bad_request], or [shutting_down]. Only protocol-level
+    damage (an oversized frame, an unparsable envelope stream) closes a
+    connection.
+
+    Concurrency: what-if requests execute on a bounded
+    {!Uv_util.Domain_pool.Queue} of worker domains over the shared
+    {!Whatif.Service}; ingest runs exclusively (the service's writer
+    side) and republishes the cache snapshot. Each accepted connection
+    gets a reader domain; responses are written under a per-connection
+    mutex, so pipelined replies never interleave mid-frame. *)
+
+type addr =
+  | Unix_sock of string  (** path to a Unix-domain socket *)
+  | Tcp of string * int  (** host, port; the server binds, clients connect *)
+
+type config = {
+  workers : int;  (** what-if worker domains (clamped to ≥ 1) *)
+  queue_capacity : int;
+      (** queued (not yet executing) what-ifs admitted before
+          [saturated] rejections start *)
+  max_clients : int;
+      (** concurrent connections; excess connects receive one
+          [saturated] error frame and are closed *)
+  max_frame : int;
+      (** request frame byte cap; also bounds JSON depth/strings via
+          network-grade {!Uv_obs.Json.limits} *)
+  default_deadline_ms : float option;
+      (** budget applied to what-if requests that don't set their own *)
+}
+
+val default_config : config
+(** 4 workers, capacity 32, 32 clients, 1 MiB frames, no default
+    deadline. *)
+
+type t
+
+val start :
+  ?config:config -> ?obs:Uv_obs.Trace.t -> Whatif.Service.t -> addr -> t
+(** Bind, listen, and spawn the accept loop. [obs] (default: a fresh
+    live collector) receives [serve.*] counters and everything the
+    what-if runs record; the [metrics] endpoint scrapes it. [SIGPIPE]
+    is ignored process-wide on POSIX. @raise Unix.Unix_error when the
+    address cannot be bound. *)
+
+val service : t -> Whatif.Service.t
+val obs : t -> Uv_obs.Trace.t
+
+val port : t -> int option
+(** The bound TCP port (useful with [Tcp (host, 0)]); [None] for Unix
+    sockets. *)
+
+val request_stop : t -> unit
+(** Flip the server into shutdown mode and wake {!wait}. Idempotent,
+    callable from any domain (the [shutdown] request uses it). *)
+
+val wait : t -> unit
+(** Block until {!request_stop} (e.g. a client's [shutdown] request). *)
+
+val stop : t -> unit
+(** Full synchronous teardown: stop accepting, wake and join every
+    connection handler, drain and join the worker pool, close and (for
+    Unix sockets) unlink the listener. Idempotent. *)
+
+(** A minimal blocking client for the protocol — one outstanding
+    request per call (pipelining clients can speak the frame protocol
+    directly). Used by [ultraverse client], the serve bench and the
+    tests. *)
+module Client : sig
+  type conn
+
+  val connect : ?max_frame:int -> addr -> conn
+  val close : conn -> unit
+
+  (** A decoded response payload. *)
+  type response =
+    | Result of Uv_obs.Json.t  (** the [result] object of an [ok] reply *)
+    | Refused of {
+        code : string;
+        message : string;
+        retry_after_ms : float option;
+        phase : string option;
+      }  (** a typed error reply — the connection is still usable *)
+
+  val call : conn -> Uv_obs.Json.t -> (response, string) result
+  (** Send one request payload (the [uv.serve/1] envelope is added) and
+      block for the reply. [Error] means transport or protocol failure
+      — the connection should be closed. *)
+
+  val ping : conn -> (response, string) result
+
+  val whatif :
+    ?deadline_ms:float ->
+    ?id:int ->
+    tau:int ->
+    op:string ->
+    ?stmt:string ->
+    conn ->
+    unit ->
+    (response, string) result
+  (** [op] is [remove], [add] or [change]; [add]/[change] require
+      [stmt]. *)
+
+  val ingest : ?id:int -> conn -> string -> (response, string) result
+  val stats : conn -> (response, string) result
+  val metrics : conn -> (response, string) result
+  val shutdown : conn -> (response, string) result
+end

@@ -623,10 +623,6 @@ let run_inner ~(config : Config.t) ~cur_phase ~analyzer
     plans_used;
   }
 
-let run_exn ?(config = Config.default) ~analyzer eng target =
-  let cur_phase = ref "init" in
-  run_inner ~config ~cur_phase ~analyzer eng target
-
 let guarded cur_phase f =
   try Ok (f ()) with
   | Abort e -> Error e
@@ -655,10 +651,290 @@ let guarded cur_phase f =
           message = Printexc.to_string e;
         }
 
+(* ------------------------------------------------------------------ *)
+(* Service: thread-safe what-if over one shared, growing history        *)
+(* ------------------------------------------------------------------ *)
+
+module Imap = Map.Make (Int)
+
+module Service_impl = struct
+  (* One immutable view of every analysis cache, published as a unit:
+     readers obtain the whole set with a single atomic load and can
+     never observe a half-swapped cache (analyzer from one history
+     length, plans from another). The atomic swap alone is not the full
+     concurrency argument, though — [Analyzer.extend] mutates the
+     analyzer value *inside* the current snapshot in place. The
+     reader/writer lock is what makes that sound: ingest/publish runs
+     on the write side, every what-if runs on the read side, so no run
+     ever overlaps an extend. The snapshot swap's job is the rebuild
+     case (new analyzer value) and tear-freedom of the switch. *)
+  type snapshot = {
+    analyzer : Analyzer.t option;
+    analyzed_len : int;
+    epoch : int;
+    plans : Uv_db.Engine.plan option Imap.t;
+  }
+
+  let empty_snapshot =
+    { analyzer = None; analyzed_len = 0; epoch = -1; plans = Imap.empty }
+
+  type reply = { outcome : outcome; history_len : int }
+
+  type stats = {
+    runs : int;
+    analyzer_builds : int;
+    analyzer_extends : int;
+    analyzed_entries : int;
+    plan_cache_size : int;
+    plans_compiled : int;
+    plan_cache_hits : int;
+    checkpoint_rungs : int;
+    checkpoint_every : int;
+    ingested : int;
+    publishes : int;
+    sessions : int;
+  }
+
+  (* [t] is defined after [stats] on purpose: the two share field names
+     and unannotated [t.runs]-style accesses must resolve here. *)
+  type t = {
+    eng : Uv_db.Engine.t;
+    config : Config.t;
+    rowset : Rowset.config option;
+    base : Uv_db.Catalog.t option;
+    lock : Uv_util.Rwlock.t;
+    state : snapshot Atomic.t;
+    pinned : bool;
+        (* one-shot wrapper mode: trust the caller's prebuilt analyzer
+           and never refresh (the sessionless [Whatif.run] contract) *)
+    runs : int Atomic.t;
+    analyzer_builds : int Atomic.t;
+    analyzer_extends : int Atomic.t;
+    plans_compiled : int Atomic.t;
+    plan_cache_hits : int Atomic.t;
+    ingested : int Atomic.t;
+    publishes : int Atomic.t;
+    sessions : int Atomic.t;
+  }
+
+  let make_t ~config ~rowset ~base ~pinned ~state eng =
+    {
+      eng;
+      config;
+      rowset;
+      base;
+      lock = Uv_util.Rwlock.create ();
+      state = Atomic.make state;
+      pinned;
+      runs = Atomic.make 0;
+      analyzer_builds = Atomic.make 0;
+      analyzer_extends = Atomic.make 0;
+      plans_compiled = Atomic.make 0;
+      plan_cache_hits = Atomic.make 0;
+      ingested = Atomic.make 0;
+      publishes = Atomic.make 0;
+      sessions = Atomic.make 0;
+    }
+
+  let create ?(config = Config.default) ?rowset ?base eng =
+    if
+      Config.checkpoint_every config > 0
+      && Option.is_none (Uv_db.Engine.checkpoints eng)
+    then
+      Uv_db.Engine.enable_checkpoints eng
+        ~every:(Config.checkpoint_every config);
+    make_t ~config ~rowset ~base ~pinned:false ~state:empty_snapshot eng
+
+  (* Internal: the sessionless [Whatif.run]/[run_exn] path. The given
+     analyzer is trusted as covering the engine's current log, exactly
+     as the historical contract stated. *)
+  let of_analyzer ~config ~analyzer eng =
+    let state =
+      {
+        analyzer = Some analyzer;
+        analyzed_len = Uv_db.Log.length (Uv_db.Engine.log eng);
+        epoch = Uv_db.Catalog.epoch (Uv_db.Engine.catalog eng);
+        plans = Imap.empty;
+      }
+    in
+    make_t ~config ~rowset:None ~base:None ~pinned:true ~state eng
+
+  let engine t = t.eng
+  let config t = t.config
+
+  let history_len t =
+    Uv_util.Rwlock.read t.lock (fun () ->
+        Uv_db.Log.length (Uv_db.Engine.log t.eng))
+
+  let stale t snap =
+    Option.is_none snap.analyzer
+    || snap.analyzed_len <> Uv_db.Log.length (Uv_db.Engine.log t.eng)
+    || snap.epoch <> Uv_db.Catalog.epoch (Uv_db.Engine.catalog t.eng)
+
+  (* Bring the published snapshot up to the engine's committed head.
+     Caller must hold the write lock. New DML-only entries extend the
+     analyzer in O(Δ) and compile plans for just the delta; a shrunk
+     log, a catalog epoch change (DDL, restore) or DDL among the new
+     entries rebuilds from scratch. *)
+  let publish_locked t =
+    let obs = Config.obs t.config in
+    let log = Uv_db.Engine.log t.eng in
+    let n = Uv_db.Log.length log in
+    let ep = Uv_db.Catalog.epoch (Uv_db.Engine.catalog t.eng) in
+    let snap = Atomic.get t.state in
+    let compile plans lo =
+      if not (Config.plans t.config) then plans
+      else begin
+        let acc = ref plans in
+        for i = lo to n do
+          let p =
+            Uv_db.Engine.prepare
+              (Uv_db.Engine.catalog t.eng)
+              (Uv_db.Log.entry log i).Uv_db.Log.stmt
+          in
+          if Option.is_some p then Atomic.incr t.plans_compiled;
+          acc := Imap.add i p !acc
+        done;
+        !acc
+      end
+    in
+    let new_ddl () =
+      let rec go i =
+        i <= n
+        && (Uv_sql.Ast.is_ddl (Uv_db.Log.entry log i).Uv_db.Log.stmt
+           || go (i + 1))
+      in
+      go (snap.analyzed_len + 1)
+    in
+    let fresh =
+      match snap.analyzer with
+      | Some a when n >= snap.analyzed_len && ep = snap.epoch && not (new_ddl ()) ->
+          if n > snap.analyzed_len then begin
+            ignore (Analyzer.extend ~obs a : int);
+            Atomic.incr t.analyzer_extends;
+            Uv_obs.Trace.incr obs "whatif.service.analyzer_extends"
+          end;
+          {
+            analyzer = Some a;
+            analyzed_len = n;
+            epoch = ep;
+            plans = compile snap.plans (snap.analyzed_len + 1);
+          }
+      | _ ->
+          let a = Analyzer.analyze ?config:t.rowset ?base:t.base ~obs log in
+          Atomic.incr t.analyzer_builds;
+          Uv_obs.Trace.incr obs "whatif.service.analyzer_builds";
+          { analyzer = Some a; analyzed_len = n; epoch = ep;
+            plans = compile Imap.empty 1 }
+    in
+    Atomic.incr t.publishes;
+    Atomic.set t.state fresh
+
+  let publish t = Uv_util.Rwlock.write t.lock (fun () -> publish_locked t)
+
+  let invalidate t =
+    Uv_util.Rwlock.write t.lock (fun () -> Atomic.set t.state empty_snapshot)
+
+  let ingest t stmts =
+    Uv_util.Rwlock.write t.lock (fun () ->
+        let failed = ref 0 in
+        List.iter
+          (fun s ->
+            match ignore (Uv_db.Engine.exec t.eng s) with
+            | () -> ()
+            | exception Uv_db.Engine.Sql_error _ -> incr failed)
+          stmts;
+        let applied = List.length stmts - !failed in
+        ignore (Atomic.fetch_and_add t.ingested applied : int);
+        publish_locked t;
+        (applied, !failed))
+
+  let ingest_sql t sql = ingest t (Uv_sql.Parser.parse_script sql)
+
+  let plan_lookup t snap config i =
+    if not (Config.plans config) then None
+    else
+      match Imap.find_opt i snap.plans with
+      | Some p ->
+          Atomic.incr t.plan_cache_hits;
+          p
+      | None -> None
+
+  (* Run [f] over a snapshot that is current w.r.t. the engine's head,
+     holding the read side of the lock for the whole evaluation so no
+     ingest can extend the analyzer mid-run. The pull-refresh retry loop
+     keeps Session's original semantics: a what-if issued after the log
+     grew sees the grown history. *)
+  let rec run_fresh t f =
+    match
+      Uv_util.Rwlock.read t.lock (fun () ->
+          let snap = Atomic.get t.state in
+          if (not t.pinned) && stale t snap then None else Some (f snap))
+    with
+    | Some v -> v
+    | None ->
+        Uv_util.Rwlock.write t.lock (fun () ->
+            if stale t (Atomic.get t.state) then publish_locked t);
+        run_fresh t f
+
+  let run_with t config cur_phase snap target =
+    Atomic.incr t.runs;
+    let analyzer =
+      match snap.analyzer with
+      | Some a -> a
+      | None -> invalid_arg "Whatif.Service.run: no published analyzer"
+    in
+    let outcome =
+      run_inner ~config ~cur_phase ~analyzer
+        ~plan_for:(plan_lookup t snap config)
+        t.eng target
+    in
+    { outcome; history_len = snap.analyzed_len }
+
+  let run_unguarded ?config t target =
+    let config = Option.value config ~default:t.config in
+    run_fresh t (fun snap ->
+        let cur_phase = ref "init" in
+        run_with t config cur_phase snap target)
+
+  let run ?config t target =
+    let config = Option.value config ~default:t.config in
+    run_fresh t (fun snap ->
+        let cur_phase = ref "init" in
+        guarded cur_phase (fun () -> run_with t config cur_phase snap target))
+
+  let stats t =
+    let rungs, every =
+      match Uv_db.Engine.checkpoints t.eng with
+      | Some l -> (Uv_db.Checkpoint.count l, Uv_db.Checkpoint.every l)
+      | None -> (0, 0)
+    in
+    let snap = Atomic.get t.state in
+    {
+      runs = Atomic.get t.runs;
+      analyzer_builds = Atomic.get t.analyzer_builds;
+      analyzer_extends = Atomic.get t.analyzer_extends;
+      analyzed_entries = snap.analyzed_len;
+      plan_cache_size = Imap.cardinal snap.plans;
+      plans_compiled = Atomic.get t.plans_compiled;
+      plan_cache_hits = Atomic.get t.plan_cache_hits;
+      checkpoint_rungs = rungs;
+      checkpoint_every = every;
+      ingested = Atomic.get t.ingested;
+      publishes = Atomic.get t.publishes;
+      sessions = Atomic.get t.sessions;
+    }
+end
+
+let run_exn ?(config = Config.default) ~analyzer eng target =
+  let svc = Service_impl.of_analyzer ~config ~analyzer eng in
+  (Service_impl.run_unguarded svc target).Service_impl.outcome
+
 let run ?(config = Config.default) ~analyzer eng target =
-  let cur_phase = ref "init" in
-  guarded cur_phase (fun () ->
-      run_inner ~config ~cur_phase ~analyzer eng target)
+  let svc = Service_impl.of_analyzer ~config ~analyzer eng in
+  match Service_impl.run svc target with
+  | Ok r -> Ok r.Service_impl.outcome
+  | Error e -> Error e
 
 let commit eng outcome =
   if outcome.changed then begin
@@ -676,7 +952,7 @@ let query_new_universe outcome sel =
   Uv_db.Engine.query eng sel
 
 (* ------------------------------------------------------------------ *)
-(* Sessions: amortizing repeated what-if analysis                       *)
+(* Sessions: the single-owner view over a Service                       *)
 (* ------------------------------------------------------------------ *)
 
 module Session = struct
@@ -692,136 +968,41 @@ module Session = struct
     checkpoint_every : int;
   }
 
-  type t = {
-    eng : Uv_db.Engine.t;
-    config : Config.t;
-    rowset : Rowset.config option;
-    base : Uv_db.Catalog.t option;
-    mutable analyzer : Analyzer.t option;
-    mutable analyzed_len : int;
-    mutable epoch : int;
-    plans : (int, Uv_db.Engine.plan option) Hashtbl.t;
-    mutable runs : int;
-    mutable analyzer_builds : int;
-    mutable analyzer_extends : int;
-    mutable plans_compiled : int;
-    mutable plan_cache_hits : int;
-  }
+  (* A session is now just a handle on a service: same caches, same
+     refresh policy, minus the service-wide counters. *)
+  type t = Service_impl.t
 
-  let create ?(config = Config.default) ?rowset ?base eng =
-    if
-      Config.checkpoint_every config > 0
-      && Option.is_none (Uv_db.Engine.checkpoints eng)
-    then
-      Uv_db.Engine.enable_checkpoints eng
-        ~every:(Config.checkpoint_every config);
-    {
-      eng;
-      config;
-      rowset;
-      base;
-      analyzer = None;
-      analyzed_len = 0;
-      epoch = -1;
-      plans = Hashtbl.create 256;
-      runs = 0;
-      analyzer_builds = 0;
-      analyzer_extends = 0;
-      plans_compiled = 0;
-      plan_cache_hits = 0;
-    }
+  let create ?config ?rowset ?base eng =
+    Service_impl.create ?config ?rowset ?base eng
 
-  let engine t = t.eng
-  let config t = t.config
-
-  let invalidate t =
-    t.analyzer <- None;
-    t.analyzed_len <- 0;
-    t.epoch <- -1;
-    Hashtbl.reset t.plans
-
-  (* Bring the analyzer up to the engine's committed head. New DML-only
-     entries extend the existing analyzer in O(Δ); a shrunk or rewritten
-     log, a catalog epoch change (DDL, restore) or DDL among the new
-     entries forces a full rebuild and clears the plan cache. *)
-  let refresh t =
-    let obs = Config.obs t.config in
-    let log = Uv_db.Engine.log t.eng in
-    let n = Uv_db.Log.length log in
-    let ep = Uv_db.Catalog.epoch (Uv_db.Engine.catalog t.eng) in
-    let new_ddl () =
-      let rec go i =
-        i <= n
-        && (Uv_sql.Ast.is_ddl (Uv_db.Log.entry log i).Uv_db.Log.stmt
-           || go (i + 1))
-      in
-      go (t.analyzed_len + 1)
-    in
-    let rebuild () =
-      Hashtbl.reset t.plans;
-      let a = Analyzer.analyze ?config:t.rowset ?base:t.base ~obs log in
-      t.analyzer <- Some a;
-      t.analyzed_len <- n;
-      t.epoch <- ep;
-      t.analyzer_builds <- t.analyzer_builds + 1;
-      Uv_obs.Trace.incr obs "whatif.session.analyzer_builds";
-      a
-    in
-    match t.analyzer with
-    | None -> rebuild ()
-    | Some a ->
-        if n < t.analyzed_len || ep <> t.epoch || new_ddl () then rebuild ()
-        else begin
-          if n > t.analyzed_len then begin
-            ignore (Analyzer.extend ~obs a);
-            t.analyzed_len <- n;
-            t.analyzer_extends <- t.analyzer_extends + 1;
-            Uv_obs.Trace.incr obs "whatif.session.analyzer_extends"
-          end;
-          a
-        end
-
-  let plan_for t i =
-    if not (Config.plans t.config) then None
-    else
-      match Hashtbl.find_opt t.plans i with
-      | Some p ->
-          t.plan_cache_hits <- t.plan_cache_hits + 1;
-          p
-      | None ->
-          let log = Uv_db.Engine.log t.eng in
-          let p =
-            Uv_db.Engine.prepare
-              (Uv_db.Engine.catalog t.eng)
-              (Uv_db.Log.entry log i).Uv_db.Log.stmt
-          in
-          if Option.is_some p then t.plans_compiled <- t.plans_compiled + 1;
-          Hashtbl.replace t.plans i p;
-          p
+  let engine = Service_impl.engine
+  let config = Service_impl.config
+  let invalidate = Service_impl.invalidate
 
   let run t target =
-    t.runs <- t.runs + 1;
-    let cur_phase = ref "init" in
-    guarded cur_phase (fun () ->
-        let analyzer = refresh t in
-        run_inner ~config:t.config ~cur_phase ~analyzer
-          ~plan_for:(plan_for t) t.eng target)
+    match Service_impl.run t target with
+    | Ok r -> Ok r.Service_impl.outcome
+    | Error e -> Error e
 
   let stats t =
-    let rungs, every =
-      match Uv_db.Engine.checkpoints t.eng with
-      | Some l -> (Uv_db.Checkpoint.count l, Uv_db.Checkpoint.every l)
-      | None -> (0, 0)
-    in
+    let s = Service_impl.stats t in
     {
-      runs = t.runs;
-      analyzer_builds = t.analyzer_builds;
-      analyzer_extends = t.analyzer_extends;
-      analyzed_entries = t.analyzed_len;
-      plan_cache_size = Hashtbl.length t.plans;
-      plans_compiled = t.plans_compiled;
-      plan_cache_hits = t.plan_cache_hits;
-      checkpoint_rungs = rungs;
-      checkpoint_every = every;
+      runs = s.Service_impl.runs;
+      analyzer_builds = s.Service_impl.analyzer_builds;
+      analyzer_extends = s.Service_impl.analyzer_extends;
+      analyzed_entries = s.Service_impl.analyzed_entries;
+      plan_cache_size = s.Service_impl.plan_cache_size;
+      plans_compiled = s.Service_impl.plans_compiled;
+      plan_cache_hits = s.Service_impl.plan_cache_hits;
+      checkpoint_rungs = s.Service_impl.checkpoint_rungs;
+      checkpoint_every = s.Service_impl.checkpoint_every;
     }
+end
+
+module Service = struct
+  include Service_impl
+
+  let open_session t =
+    Atomic.incr t.sessions;
+    t
 end

@@ -224,7 +224,11 @@ val query_new_universe : outcome -> Ast.select -> Uv_db.Engine.result
 
     Everything cached is an accelerator, never a semantic input: a
     session's outcomes (final hash, new log) are bitwise-identical to
-    sessionless runs at every worker count. *)
+    sessionless runs at every worker count.
+
+    Since the Session→Service split a session is a thin handle over a
+    {!Service} — same caches, same refresh policy — and the supported
+    constructor is {!Service.open_session}. *)
 module Session : sig
   type t
 
@@ -246,13 +250,18 @@ module Session : sig
     ?base:Uv_db.Catalog.t ->
     Uv_db.Engine.t ->
     t
+  [@@ocaml.alert deprecated "use Whatif.Service.open_session"]
   (** Attach a session to an engine. When the config asks for
       checkpoints and the engine has no ladder yet, one is enabled —
       rungs accumulate as the application commits from here on.
       [rowset] and [base] are handed to every {!Analyzer.analyze} the
       session performs (the workload's RI configuration and the catalog
       the history grew from) — pass the same values a sessionless caller
-      would give [analyze], or the replay sets will differ. *)
+      would give [analyze], or the replay sets will differ.
+
+      @deprecated Construct a {!Service} and call
+      {!Service.open_session} instead; this shorthand remains for
+      single-owner scripts only. *)
 
   val engine : t -> Uv_db.Engine.t
   val config : t -> config
@@ -268,3 +277,103 @@ module Session : sig
 
   val stats : t -> stats
 end
+
+(** A thread-safe what-if service over one shared, growing history —
+    the long-lived core behind [ultraverse serve] and every
+    single-owner {!Session}.
+
+    One service owns one engine. Committed traffic enters through
+    {!Service.ingest} (exclusive); any number of domains concurrently
+    ask what-if questions through sessions opened with
+    {!Service.open_session} (shared). Internally the analyzer,
+    compiled-plan cache and checkpoint ladder live in an immutable
+    {e snapshot} republished atomically after every ingest: a reader
+    obtains the whole cache set with one atomic load and can never
+    observe a half-swapped state (analyzer from one history length,
+    plans from another). A readers-writer lock serializes ingest
+    against in-flight runs, because [Analyzer.extend] updates the
+    analyzer inside the current snapshot in place.
+
+    Everything cached is an accelerator, never a semantic input: a
+    service's outcomes (final hash, new log) are bitwise-identical to
+    sessionless {!run}s at every worker count and under any
+    interleaving of ingest and queries. *)
+module Service : sig
+  type t
+
+  type reply = {
+    outcome : outcome;
+    history_len : int;
+        (** committed history length the outcome was computed against —
+            under concurrent ingest this tells the client exactly which
+            universe answered *)
+  }
+
+  type stats = {
+    runs : int;
+    analyzer_builds : int;  (** full history scans *)
+    analyzer_extends : int;  (** incremental O(Δ) refreshes *)
+    analyzed_entries : int;  (** log length the published snapshot covers *)
+    plan_cache_size : int;  (** entries with a cached compile decision *)
+    plans_compiled : int;  (** statements that yielded a plan *)
+    plan_cache_hits : int;  (** lookups served from the snapshot *)
+    checkpoint_rungs : int;  (** live rungs on the engine's ladder *)
+    checkpoint_every : int;  (** current rung stride (thinning doubles it) *)
+    ingested : int;  (** statements applied through {!ingest} *)
+    publishes : int;  (** snapshot swaps *)
+    sessions : int;  (** handles opened with {!open_session} *)
+  }
+
+  val create :
+    ?config:config ->
+    ?rowset:Rowset.config ->
+    ?base:Uv_db.Catalog.t ->
+    Uv_db.Engine.t ->
+    t
+  (** Attach a service to an engine. When the config asks for
+      checkpoints and the engine has no ladder yet, one is enabled.
+      [rowset] and [base] are handed to every analyzer build — pass the
+      same values a sessionless caller would give [Analyzer.analyze],
+      or the replay sets will differ. The engine must not be mutated
+      behind the service's back once serving starts: route committed
+      traffic through {!ingest}. *)
+
+  val engine : t -> Uv_db.Engine.t
+  val config : t -> config
+
+  val history_len : t -> int
+  (** Committed history length, read under the service lock. *)
+
+  val ingest : t -> Uv_sql.Ast.stmt list -> int * int
+  (** Apply committed transactions to the shared history and republish
+      the caches: [(applied, failed)]. Exclusive with every in-flight
+      run; DML-only batches refresh the snapshot in O(Δ) ([extend] plus
+      plans for just the new entries), DDL or a shrunk log rebuilds.
+      Statements that fail ([Sql_error]) are counted and skipped. *)
+
+  val ingest_sql : t -> string -> int * int
+  (** {!ingest} of [Uv_sql.Parser.parse_script]. *)
+
+  val publish : t -> unit
+  (** Force a snapshot refresh without ingesting (e.g. after attaching
+      to an engine that already holds history). Runs refresh on demand,
+      so this is an optional warm-up. *)
+
+  val invalidate : t -> unit
+  (** Drop every cache; the next run rebuilds from the live engine. *)
+
+  val run : ?config:config -> t -> Analyzer.target -> (reply, Error.t) result
+  (** Answer a what-if over the current published snapshot, holding the
+      shared (read) side of the service lock for the whole evaluation.
+      Safe to call from any domain concurrently. [config] overrides the
+      service's default per request — the serve daemon uses it to
+      enforce a per-request [deadline_ms] budget. *)
+
+  val open_session : t -> Session.t
+  (** Open a what-if handle on the shared service — the supported way
+      to obtain a {!Session}. Handles are cheap (the caches live in the
+      service) and safe to use from different domains concurrently. *)
+
+  val stats : t -> stats
+end
+

@@ -1,0 +1,98 @@
+(* Length-prefixed frames over file descriptors: 4-byte big-endian
+   payload length, then the payload bytes. The prefix keeps the stream
+   self-synchronizing — a garbled payload costs one frame, not the
+   connection — and lets the reader refuse oversized input before
+   allocating for it. *)
+
+let default_max_len = 4 * 1024 * 1024
+
+type error = [ `Closed | `Oversized of int ]
+
+let error_to_string = function
+  | `Closed -> "connection closed"
+  | `Oversized n -> Printf.sprintf "frame of %d bytes exceeds limit" n
+
+exception Closed
+
+let really_write fd buf off len =
+  let sent = ref 0 in
+  while !sent < len do
+    let k = Unix.write fd buf (off + !sent) (len - !sent) in
+    if k <= 0 then raise Closed;
+    sent := !sent + k
+  done
+
+let really_read fd buf off len =
+  let got = ref 0 in
+  while !got < len do
+    let k = Unix.read fd buf (off + !got) (len - !got) in
+    if k = 0 then raise Closed;
+    got := !got + k
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  (* header and payload in one write: a frame is never interleaved even
+     if two domains share the descriptor *)
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  really_write fd buf 0 (4 + n)
+
+let read_frame ?(max_len = default_max_len) fd =
+  match
+    let hdr = Bytes.create 4 in
+    really_read fd hdr 0 4;
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_len then Error (`Oversized n)
+    else begin
+      let buf = Bytes.create n in
+      really_read fd buf 0 n;
+      Ok (Bytes.to_string buf)
+    end
+  with
+  | r -> r
+  | exception Closed -> Error `Closed
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      Error `Closed
+
+(* Incremental decoder for non-blocking readers (the serve select loop):
+   feed whatever [Unix.read] returned, pop complete frames. *)
+module Decoder = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable len : int; (* valid bytes in [buf] *)
+    max_len : int;
+  }
+
+  let create ?(max_len = default_max_len) () =
+    { buf = Bytes.create 4096; len = 0; max_len }
+
+  let feed t src ~off ~len =
+    if len > 0 then begin
+      if t.len + len > Bytes.length t.buf then begin
+        let cap = max (t.len + len) (2 * Bytes.length t.buf) in
+        let buf = Bytes.create cap in
+        Bytes.blit t.buf 0 buf 0 t.len;
+        t.buf <- buf
+      end;
+      Bytes.blit src off t.buf t.len len;
+      t.len <- t.len + len
+    end
+
+  let next t =
+    if t.len < 4 then Ok None
+    else
+      let n = Int32.to_int (Bytes.get_int32_be t.buf 0) in
+      if n < 0 || n > t.max_len then Error (`Oversized n)
+      else if t.len < 4 + n then Ok None
+      else begin
+        let frame = Bytes.sub_string t.buf 4 n in
+        let rest = t.len - (4 + n) in
+        Bytes.blit t.buf (4 + n) t.buf 0 rest;
+        t.len <- rest;
+        Ok (Some frame)
+      end
+
+  let buffered t = t.len
+end

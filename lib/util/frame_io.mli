@@ -1,0 +1,51 @@
+(** Length-prefixed frame I/O over Unix file descriptors.
+
+    The wire format for [ultraverse serve]: each frame is a 4-byte
+    big-endian payload length followed by that many payload bytes
+    (the payload is a compact [Uv_obs.Report] envelope, but this layer
+    is content-agnostic). The explicit prefix keeps the stream
+    self-synchronizing — a payload that fails JSON parsing costs one
+    frame, not the connection — and lets readers reject oversized
+    frames before allocating for them. *)
+
+val default_max_len : int
+(** 4 MiB. *)
+
+type error = [ `Closed | `Oversized of int ]
+(** [`Closed]: EOF or peer reset mid-frame. [`Oversized n]: the prefix
+    announced [n] bytes, beyond the reader's limit (or negative); the
+    stream can no longer be trusted and should be closed. *)
+
+val error_to_string : error -> string
+
+exception Closed
+(** Raised by {!write_frame} when the peer has gone away. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking write of one complete frame (single [write] sequence, so
+    concurrent writers on a shared descriptor never interleave a
+    frame). Raises {!Closed} on a broken pipe — callers inside a server
+    must have [SIGPIPE] ignored, which {!Uv_retroactive.Serve.start}
+    arranges. *)
+
+val read_frame :
+  ?max_len:int -> Unix.file_descr -> (string, [> error ]) result
+(** Blocking read of one complete frame. [max_len] defaults to
+    {!default_max_len}. *)
+
+(** Incremental decoder for non-blocking readers: feed whatever
+    [Unix.read] produced, then pop zero or more complete frames. *)
+module Decoder : sig
+  type t
+
+  val create : ?max_len:int -> unit -> t
+  val feed : t -> Bytes.t -> off:int -> len:int -> unit
+
+  val next : t -> (string option, [> `Oversized of int ]) result
+  (** [Ok None] — need more bytes; [Ok (Some frame)] — one complete
+      payload (call again, more may be buffered); [Error (`Oversized n)]
+      — the connection should be dropped. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (diagnostics). *)
+end

@@ -72,6 +72,48 @@ cache_smoke() {
 }
 step "whatif cache smoke: warm == cold universe hash" cache_smoke
 
+# the serve daemon end to end: start it on a Unix socket, fire
+# concurrent client what-ifs at it, check every served universe hash
+# equals the one-shot CLI's for the same question, scrape metrics, and
+# shut it down cleanly via the protocol
+serve_smoke() {
+  out="$(mktemp -d)"
+  sock="$out/uv.sock"
+  bin=_build/default/bin/ultraverse.exe
+  trap 'rm -rf "$out"' EXIT
+  "$bin" serve examples/histories/lint_demo.sql --socket "$sock" \
+    --workers 2 > "$out/serve.log" 2>&1 &
+  srv=$!
+  tries=0
+  while [ ! -S "$sock" ] && [ $tries -lt 50 ]; do
+    sleep 0.1; tries=$((tries + 1))
+  done
+  [ -S "$sock" ] || { cat "$out/serve.log" >&2; return 1; }
+  pids=""
+  for i in 1 2 3 4; do
+    "$bin" client whatif --socket "$sock" --tau 2 --op remove --json \
+      > "$out/w$i.json" &
+    pids="$pids $!"
+  done
+  for p in $pids; do wait "$p" || return 1; done
+  "$bin" whatif examples/histories/lint_demo.sql --tau 2 --op remove --json \
+    > "$out/oneshot.json" || return 1
+  want="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/oneshot.json")"
+  [ -n "$want" ] || return 1
+  for i in 1 2 3 4; do
+    got="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/w$i.json")"
+    if [ "$got" != "$want" ]; then
+      echo "served hash $got != one-shot $want" >&2; return 1
+    fi
+  done
+  "$bin" client metrics --socket "$sock" --json > "$out/metrics.json" &&
+  grep -q '"schema":"uv.metrics/1"' "$out/metrics.json" &&
+  "$bin" client shutdown --socket "$sock" > /dev/null &&
+  wait "$srv"
+}
+step "serve smoke: concurrent clients, hash identity, clean shutdown" \
+  serve_smoke
+
 # crash-consistency smoke: persist a log, damage its tail at a fixed
 # byte offset, and prove fsck flags it (exit 1) while recover salvages
 # the valid prefix; plus a seeded chaos schedule through the test

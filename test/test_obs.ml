@@ -54,6 +54,91 @@ let test_json_numbers () =
   | Json.Float f -> check (Alcotest.float 1e-9) "exponent" 1000.0 f
   | j -> Alcotest.failf "expected float, got %s" (Json.to_string j)
 
+(* network-grade parser hardening: byte/depth/string budgets with byte
+   offsets in every diagnostic, and fuzz-style mutations that must never
+   escape the (t, string) result type *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tiny ?(max_bytes = 1 lsl 20) ?(max_depth = 512) ?(max_string = 1 lsl 20) ()
+    =
+  { Json.max_bytes; max_depth; max_string }
+
+let test_json_limit_bytes () =
+  let doc = Json.to_string sample in
+  (match Json.parse ~limits:(tiny ~max_bytes:8 ()) doc with
+  | Ok _ -> Alcotest.fail "oversized input accepted"
+  | Error e -> Alcotest.(check bool) ("mentions budget: " ^ e) true (contains e "exceeds"));
+  match Json.parse ~limits:(tiny ~max_bytes:String.(length doc) ()) doc with
+  | Ok j -> check json "at the byte budget parses" sample j
+  | Error e -> Alcotest.failf "rejected at exact budget: %s" e
+
+let test_json_limit_depth () =
+  let nested n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Json.parse ~limits:(tiny ~max_depth:16 ()) (nested 40) with
+  | Ok _ -> Alcotest.fail "40-deep accepted with depth budget 16"
+  | Error e ->
+      Alcotest.(check bool) ("mentions nesting: " ^ e) true (contains e "nesting"));
+  (match Json.parse ~limits:(tiny ~max_depth:16 ()) (nested 10) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "10-deep rejected: %s" e);
+  (* the default budget guards the stack too: a pathological document
+     errors instead of overflowing *)
+  match Json.parse (nested 100_000) with
+  | Ok _ -> Alcotest.fail "100k-deep accepted"
+  | Error _ -> ()
+
+let test_json_limit_string () =
+  let doc = {|{"k":"|} ^ String.make 100 'a' ^ {|"}|} in
+  (match Json.parse ~limits:(tiny ~max_string:32 ()) doc with
+  | Ok _ -> Alcotest.fail "long string accepted"
+  | Error e ->
+      Alcotest.(check bool) ("mentions string: " ^ e) true (contains e "string"));
+  match Json.parse ~limits:(tiny ~max_string:100 ()) doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "string at budget rejected: %s" e
+
+let test_json_error_offsets () =
+  (* every diagnostic carries the byte offset of the failure *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok j -> Alcotest.failf "accepted %S as %s" s (Json.to_string j)
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error has offset: %s" s e)
+            true (contains e "at byte"))
+    [ "[1,x]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "[1, {\"k\": ]}" ]
+
+let test_json_fuzz_negatives () =
+  (* mutation fuzzing: truncations and byte flips of a valid document
+     must always come back as Ok/Error — never an exception — and
+     accepted mutants must re-serialize losslessly *)
+  let base = Json.to_string sample in
+  let prng = Uv_util.Prng.create 0xBEEF in
+  let try_parse s =
+    match Json.parse ~limits:(tiny ()) s with
+    | Ok j -> check json "accepted mutant round-trips" j (parse_ok (Json.to_string j))
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "parser raised %s on %S" (Printexc.to_string e) s
+  in
+  for len = 0 to String.length base - 1 do
+    try_parse (String.sub base 0 len)
+  done;
+  for _ = 1 to 2_000 do
+    let b = Bytes.of_string base in
+    for _ = 0 to Uv_util.Prng.int prng 3 do
+      Bytes.set b
+        (Uv_util.Prng.int prng (Bytes.length b))
+        (Char.chr (Uv_util.Prng.int prng 256))
+    done;
+    try_parse (Bytes.to_string b)
+  done
+
 let test_json_errors () =
   let bad s =
     match Json.parse s with
@@ -380,6 +465,11 @@ let () =
           Alcotest.test_case "numbers" `Quick test_json_numbers;
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "byte budget" `Quick test_json_limit_bytes;
+          Alcotest.test_case "depth budget" `Quick test_json_limit_depth;
+          Alcotest.test_case "string budget" `Quick test_json_limit_string;
+          Alcotest.test_case "error offsets" `Quick test_json_error_offsets;
+          Alcotest.test_case "mutation fuzz" `Quick test_json_fuzz_negatives;
         ] );
       ( "report",
         [

@@ -1184,7 +1184,7 @@ let fresh_run ?config e base target =
 let test_session_extend_matches_fresh () =
   let e, base = session_base () in
   session_grow e 10;
-  let s = Whatif.Session.create ~base e in
+  let s = Whatif.Service.open_session @@ Whatif.Service.create ~base e in
   ignore (ok_run s remove1);
   session_grow e 10;
   let o2 = ok_run s remove1 in
@@ -1203,7 +1203,7 @@ let test_session_extend_matches_fresh () =
 let test_session_ddl_rebuilds () =
   let e, base = session_base () in
   session_grow e 6;
-  let s = Whatif.Session.create ~base e in
+  let s = Whatif.Service.open_session @@ Whatif.Service.create ~base e in
   ignore (ok_run s remove1);
   run e "CREATE TABLE audit (k INT PRIMARY KEY)";
   run e "INSERT INTO audit VALUES (1)";
@@ -1219,7 +1219,7 @@ let test_session_ddl_rebuilds () =
 let test_session_truncation_rebuilds () =
   let e, base = session_base () in
   session_grow e 8;
-  let s = Whatif.Session.create ~base e in
+  let s = Whatif.Service.open_session @@ Whatif.Service.create ~base e in
   ignore (ok_run s remove1);
   (* the history is rewritten in place: a shorter log must force a full
      recompute, never an extend over a stale prefix *)
@@ -1238,7 +1238,7 @@ let test_session_truncation_rebuilds () =
 let test_session_plans_and_invalidate () =
   let e, base = session_base () in
   session_grow ~hot:true e 12;
-  let s = Whatif.Session.create ~base e in
+  let s = Whatif.Service.open_session @@ Whatif.Service.create ~base e in
   let o1 = ok_run s remove1 in
   let o2 = ok_run s remove1 in
   check Alcotest.int64 "repeat run identical" o1.Whatif.final_db_hash
@@ -1253,7 +1253,7 @@ let test_session_plans_and_invalidate () =
   (* the plan cache is an accelerator, not a semantic input *)
   let off =
     let s_off =
-      Whatif.Session.create
+      Whatif.Service.open_session @@ Whatif.Service.create
         ~config:(Whatif.Config.make ~plans:false ())
         ~base e
     in
@@ -1285,7 +1285,7 @@ let test_session_checkpoint_jump_matches_undo () =
      as the history commits *)
   let e1, base1 = session_base () in
   let s =
-    Whatif.Session.create
+    Whatif.Service.open_session @@ Whatif.Service.create
       ~config:(Whatif.Config.make ~checkpoint_every:8 ())
       ~base:base1 e1
   in
@@ -1307,6 +1307,135 @@ let test_session_checkpoint_jump_matches_undo () =
   let again = ok_run s target in
   check Alcotest.int64 "jump reproduces across runs"
     o_jump.Whatif.final_db_hash again.Whatif.final_db_hash
+
+(* ------------------------------------------------------------------ *)
+(* Service: shared snapshots under concurrent what-ifs and ingest       *)
+(* ------------------------------------------------------------------ *)
+
+let svc_config = Whatif.Config.make ~workers:1 ()
+
+let test_service_concurrent_runs_match_serial () =
+  (* N reader domains ask what-ifs while the main domain keeps
+     ingesting; every reply must equal the one-shot answer over exactly
+     the history prefix the service reports it used *)
+  let e, base = session_base () in
+  session_grow e 12;
+  let svc = Whatif.Service.create ~config:svc_config ~base e in
+  Whatif.Service.publish svc;
+  let grow_len = Log.length (Engine.log e) in
+  let tail =
+    List.init 30 (fun i ->
+        Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = %d" (50 + i)
+          (1 + (i mod 4)))
+  in
+  let results = Array.make 4 [] in
+  let ingest_done = Atomic.make false in
+  (* the service lock is reader-preferring, so a continuous reader
+     stream would starve the ingest writer outright (single-core boxes
+     especially); readers yield whenever the writer raises its hand *)
+  let writer_waiting = Atomic.make false in
+  let readers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            (* keep asking until the ingest stream ends, so runs overlap
+               every prefix the writer publishes *)
+            let acc = ref [] and i = ref 0 in
+            while (not (Atomic.get ingest_done)) || !i < 8 do
+              while Atomic.get writer_waiting do
+                Domain.cpu_relax ()
+              done;
+              let tau = 1 + ((!i + d) mod 8) in
+              (match
+                 Whatif.Service.run svc { Analyzer.tau; op = Analyzer.Remove }
+               with
+              | Ok r ->
+                  acc :=
+                    ( tau,
+                      r.Whatif.Service.history_len,
+                      r.Whatif.Service.outcome.Whatif.final_db_hash )
+                    :: !acc
+              | Error err ->
+                  Alcotest.failf "service run aborted: %s"
+                    (Whatif.Error.to_string err));
+              incr i
+            done;
+            results.(d) <- !acc))
+  in
+  List.iter
+    (fun sql ->
+      Atomic.set writer_waiting true;
+      let applied, failed = Whatif.Service.ingest_sql svc sql in
+      Atomic.set writer_waiting false;
+      let t0 = Uv_util.Clock.now_ms () in
+      while Uv_util.Clock.now_ms () -. t0 < 0.5 do
+        Domain.cpu_relax ()
+      done;
+      check Alcotest.int "ingest applied" 1 applied;
+      check Alcotest.int "ingest failed" 0 failed)
+    tail;
+  Atomic.set ingest_done true;
+  List.iter Domain.join readers;
+  check Alcotest.int "history grew under readers"
+    (grow_len + List.length tail)
+    (Whatif.Service.history_len svc);
+  (* serial re-derivation of every distinct (tau, prefix) answer *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (List.iter (fun (tau, len, hash) ->
+         match Hashtbl.find_opt seen (tau, len) with
+         | Some h ->
+             check Alcotest.int64 "same point, same universe" h hash
+         | None -> Hashtbl.add seen (tau, len) hash))
+    results;
+  Hashtbl.iter
+    (fun (tau, len) hash ->
+      let e2, base2 = session_base () in
+      session_grow e2 12;
+      List.iteri
+        (fun i sql -> if grow_len + i < len then run e2 sql)
+        tail;
+      check Alcotest.int "prefix length" len (Log.length (Engine.log e2));
+      let o = fresh_run ~config:svc_config e2 base2 { Analyzer.tau; op = Analyzer.Remove } in
+      check Alcotest.int64
+        (Printf.sprintf "tau=%d len=%d matches one-shot" tau len)
+        o.Whatif.final_db_hash hash)
+    seen;
+  let distinct_lens = Hashtbl.create 8 in
+  Hashtbl.iter (fun (_, len) _ -> Hashtbl.replace distinct_lens len ()) seen;
+  Alcotest.(check bool) "runs interleaved with ingest" true
+    (Hashtbl.length distinct_lens >= 2)
+
+let test_service_sessions_share_caches () =
+  let e, base = session_base () in
+  session_grow ~hot:true e 12;
+  let svc = Whatif.Service.create ~config:svc_config ~base e in
+  let s1 = Whatif.Service.open_session svc in
+  let s2 = Whatif.Service.open_session svc in
+  let o1 = ok_run s1 remove1 in
+  let o2 = ok_run s2 remove1 in
+  check Alcotest.int64 "handles agree" o1.Whatif.final_db_hash
+    o2.Whatif.final_db_hash;
+  let st = Whatif.Service.stats svc in
+  check Alcotest.int "one shared analyzer build" 1 st.Whatif.Service.analyzer_builds;
+  check Alcotest.int "both handles counted" 2 st.Whatif.Service.sessions;
+  Alcotest.(check bool) "second run hit the shared plan cache" true
+    (st.Whatif.Service.plan_cache_hits > 0)
+
+let test_service_ingest_counts_failures () =
+  let e, base = session_base () in
+  session_grow e 4;
+  let svc = Whatif.Service.create ~config:svc_config ~base e in
+  let applied, failed =
+    Whatif.Service.ingest_sql svc
+      "UPDATE acct SET bal = 1 WHERE id = 2; UPDATE nosuch SET x = 1 WHERE y \
+       = 0; UPDATE acct SET bal = 2 WHERE id = 3;"
+  in
+  check Alcotest.int "good statements applied" 2 applied;
+  check Alcotest.int "bad statement counted" 1 failed;
+  (* the service still answers over the surviving history *)
+  match Whatif.Service.run svc remove1 with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "run after failed ingest: %s" (Whatif.Error.to_string err)
 
 let () =
   Alcotest.run "uv_retroactive"
@@ -1412,6 +1541,15 @@ let () =
             test_session_plans_and_invalidate;
           Alcotest.test_case "checkpoint jump == undo" `Quick
             test_session_checkpoint_jump_matches_undo;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "concurrent runs match serial" `Quick
+            test_service_concurrent_runs_match_serial;
+          Alcotest.test_case "sessions share caches" `Quick
+            test_service_sessions_share_caches;
+          Alcotest.test_case "ingest counts failures" `Quick
+            test_service_ingest_counts_failures;
         ] );
       ( "cc scheduling (§6)",
         [

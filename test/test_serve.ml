@@ -1,0 +1,294 @@
+(* Tests for the [ultraverse serve] daemon: protocol round-trips, typed
+   admission-control and deadline errors that must never tear the
+   connection down, protocol-damage handling, and clean shutdown.
+
+   Each test starts a real daemon on a fresh Unix socket and talks to it
+   through Serve.Client or raw Frame_io frames (the latter to pipeline
+   requests the blocking client cannot). *)
+
+open Uv_db
+open Uv_retroactive
+module J = Uv_obs.Json
+module Report = Uv_obs.Report
+module Frame_io = Uv_util.Frame_io
+
+let check = Alcotest.check
+
+(* one replay lane per request: these tests exercise concurrency across
+   requests, not inside a replay *)
+let svc_config = Whatif.Config.make ~workers:1 ()
+
+let build_service n =
+  let e = Engine.create () in
+  ignore
+    (Engine.exec_sql e "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+  for i = 1 to 4 do
+    ignore
+      (Engine.exec_sql e (Printf.sprintf "INSERT INTO acct VALUES (%d, 100)" i))
+  done;
+  for i = 1 to n do
+    ignore
+      (Engine.exec_sql e
+         (Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = %d" i
+            (1 + (i mod 4))))
+  done;
+  let svc = Whatif.Service.create ~config:svc_config e in
+  Whatif.Service.publish svc;
+  svc
+
+let fresh_sock () =
+  let p = Filename.temp_file "uv-test-serve" ".sock" in
+  Sys.remove p;
+  p
+
+let with_server ?(config = Serve.default_config) ?(history = 40) f =
+  let svc = build_service history in
+  let addr = Serve.Unix_sock (fresh_sock ()) in
+  let srv = Serve.start ~config svc addr in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) (fun () -> f srv addr svc)
+
+let expect_result = function
+  | Ok (Serve.Client.Result j) -> j
+  | Ok (Serve.Client.Refused { code; message; _ }) ->
+      Alcotest.failf "refused [%s]: %s" code message
+  | Error e -> Alcotest.failf "transport: %s" e
+
+let member_exn k j =
+  match J.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %S in %s" k (J.to_string j)
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_and_hash_identity () =
+  with_server (fun _srv addr svc ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let pong = expect_result (Serve.Client.ping c) in
+          check Alcotest.bool "pong" true (member_exn "pong" pong = J.Bool true);
+          let r = expect_result (Serve.Client.whatif ~tau:3 ~op:"remove" c ()) in
+          let served =
+            match member_exn "final_db_hash" r with
+            | J.Str h -> h
+            | j -> Alcotest.failf "hash not a string: %s" (J.to_string j)
+          in
+          (* the same question one-shot, straight through the service *)
+          let oneshot =
+            match
+              Whatif.Service.run svc { Analyzer.tau = 3; op = Analyzer.Remove }
+            with
+            | Ok r -> Printf.sprintf "%Lx" r.outcome.Whatif.final_db_hash
+            | Error e -> Alcotest.failf "one-shot: %s" (Whatif.Error.to_string e)
+          in
+          check Alcotest.string "served == one-shot universe" oneshot served;
+          let stats = expect_result (Serve.Client.stats c) in
+          check Alcotest.bool "stats counts the whatif" true
+            (match member_exn "whatifs" stats with
+            | J.Int n -> n >= 1
+            | _ -> false);
+          let metrics = expect_result (Serve.Client.metrics c) in
+          check Alcotest.bool "metrics payload is an object" true
+            (match metrics with J.Obj _ -> true | _ -> false)))
+
+(* raw pipelined connection: the blocking client can't over-run the
+   admission queue, so speak frames directly *)
+let raw_connect addr =
+  match addr with
+  | Serve.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Serve.Tcp _ -> Alcotest.fail "unix sockets only in tests"
+
+let raw_send fd payload =
+  Frame_io.write_frame fd (Report.to_string ~schema:"uv.serve/1" payload)
+
+let raw_recv fd =
+  match Frame_io.read_frame fd with
+  | Ok s -> (
+      match Report.parse ~expect:"uv.serve/1" s with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "bad envelope: %s" e)
+  | Error e -> Alcotest.failf "read: %s" (Frame_io.error_to_string e)
+
+let test_saturation_typed_no_teardown () =
+  let config =
+    { Serve.default_config with workers = 1; queue_capacity = 1 }
+  in
+  with_server ~config ~history:120 (fun _srv addr _svc ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* 8 what-ifs back-to-back into a 1-worker, 1-slot queue: the
+             overflow must come back [saturated], not close the socket *)
+          let n = 8 in
+          for i = 1 to n do
+            raw_send fd
+              (J.Obj
+                 [
+                   ("id", J.Int i);
+                   ("type", J.Str "whatif");
+                   ("tau", J.Int 5);
+                   ("op", J.Str "remove");
+                 ])
+          done;
+          let ok = ref 0 and saturated = ref 0 in
+          for _ = 1 to n do
+            let r = raw_recv fd in
+            match (member_exn "ok" r, J.member "error" r) with
+            | J.Bool true, _ -> incr ok
+            | J.Bool false, Some err -> (
+                match member_exn "code" err with
+                | J.Str "saturated" ->
+                    incr saturated;
+                    check Alcotest.bool "carries retry_after_ms" true
+                      (J.member "retry_after_ms" err <> None)
+                | J.Str c -> Alcotest.failf "unexpected error code %s" c
+                | _ -> Alcotest.fail "error code not a string")
+            | _ -> Alcotest.fail "response without ok"
+          done;
+          check Alcotest.int "every request answered" n (!ok + !saturated);
+          Alcotest.(check bool) "pool saturation observed" true (!saturated >= 1);
+          Alcotest.(check bool) "some requests admitted" true (!ok >= 1);
+          (* the connection survived every rejection *)
+          raw_send fd (J.Obj [ ("id", J.Int 99); ("type", J.Str "ping") ]);
+          let pong = raw_recv fd in
+          check Alcotest.bool "ping after saturation" true
+            (member_exn "ok" pong = J.Bool true)))
+
+let test_deadline_typed_no_teardown () =
+  with_server ~history:160 (fun _srv addr _svc ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (* a 1 ms budget cannot cover a 160-statement replay on any
+             machine this runs on; the failure must be a typed error *)
+          (match Serve.Client.whatif ~deadline_ms:0.01 ~tau:3 ~op:"remove" c () with
+          | Ok (Serve.Client.Refused { code = "deadline"; phase; _ }) ->
+              Alcotest.(check bool) "deadline error names its phase" true
+                (phase <> None)
+          | Ok (Serve.Client.Refused { code; _ }) ->
+              Alcotest.failf "wrong error code %s" code
+          | Ok (Serve.Client.Result _) ->
+              Alcotest.fail "a microsecond budget was enough?"
+          | Error e -> Alcotest.failf "transport: %s" e);
+          (* same connection, no deadline: the run now succeeds *)
+          let r = expect_result (Serve.Client.whatif ~tau:3 ~op:"remove" c ()) in
+          check Alcotest.bool "full run after deadline error" true
+            (J.member "final_db_hash" r <> None)))
+
+let test_bad_request_typed_then_served () =
+  with_server (fun _srv addr _svc ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* unparsable JSON costs one typed error, not the connection *)
+          Frame_io.write_frame fd "this is not an envelope";
+          let r = raw_recv fd in
+          (match J.member "error" r with
+          | Some err ->
+              check Alcotest.bool "bad_request code" true
+                (member_exn "code" err = J.Str "bad_request")
+          | None -> Alcotest.fail "damaged frame got an ok reply");
+          (* a well-formed envelope with an unknown type: same deal *)
+          raw_send fd (J.Obj [ ("type", J.Str "no_such_op") ]);
+          let r = raw_recv fd in
+          check Alcotest.bool "unknown type refused" true
+            (member_exn "ok" r = J.Bool false);
+          raw_send fd (J.Obj [ ("type", J.Str "ping") ]);
+          check Alcotest.bool "still serving" true
+            (member_exn "ok" (raw_recv fd) = J.Bool true)))
+
+let test_oversized_frame_closes () =
+  let config = { Serve.default_config with max_frame = 2048 } in
+  with_server ~config (fun _srv addr _svc ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* protocol damage proper: the stream cannot be re-synchronised,
+             so the server answers once and hangs up *)
+          Frame_io.write_frame fd (String.make 100_000 'x');
+          (match Frame_io.read_frame fd with
+          | Ok s -> (
+              match Report.parse ~expect:"uv.serve/1" s with
+              | Ok j ->
+                  check Alcotest.bool "typed farewell" true
+                    (member_exn "ok" j = J.Bool false)
+              | Error e -> Alcotest.failf "farewell not an envelope: %s" e)
+          | Error `Closed -> () (* immediate close is acceptable too *)
+          | Error (`Oversized n) -> Alcotest.failf "server sent %d bytes" n);
+          match Frame_io.read_frame fd with
+          | Error `Closed -> ()
+          | Ok _ -> Alcotest.fail "connection survived protocol damage"
+          | Error (`Oversized n) -> Alcotest.failf "server sent %d bytes" n))
+
+let test_ingest_visible_to_later_whatifs () =
+  with_server ~history:20 (fun _srv addr _svc ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let len_of r =
+            match member_exn "history_len" r with
+            | J.Int n -> n
+            | _ -> Alcotest.fail "history_len not an int"
+          in
+          let before = expect_result (Serve.Client.whatif ~tau:3 ~op:"remove" c ()) in
+          let r =
+            expect_result
+              (Serve.Client.ingest c
+                 "UPDATE acct SET bal = bal + 7 WHERE id = 2; UPDATE acct SET \
+                  bal = bal - 7 WHERE id = 3;")
+          in
+          check Alcotest.bool "both applied" true
+            (member_exn "applied" r = J.Int 2);
+          let after = expect_result (Serve.Client.whatif ~tau:3 ~op:"remove" c ()) in
+          check Alcotest.int "the later run sees the longer history"
+            (len_of before + 2) (len_of after)))
+
+let test_client_shutdown_stops_server () =
+  with_server (fun srv addr _svc ->
+      let c = Serve.Client.connect addr in
+      (match Serve.Client.shutdown c with
+      | Ok (Serve.Client.Result _) -> ()
+      | Ok (Serve.Client.Refused { code; _ }) -> Alcotest.failf "refused: %s" code
+      | Error e -> Alcotest.failf "transport: %s" e);
+      Serve.Client.close c;
+      (* wait must return because the request flipped the server *)
+      Serve.wait srv;
+      (* double stop (with_server's finally will stop again) is fine *)
+      Serve.stop srv)
+
+let () =
+  Alcotest.run "uv_serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "round-trip & hash identity" `Quick
+            test_roundtrip_and_hash_identity;
+          Alcotest.test_case "ingest visible to later runs" `Quick
+            test_ingest_visible_to_later_whatifs;
+        ] );
+      ( "typed errors",
+        [
+          Alcotest.test_case "saturation, no teardown" `Quick
+            test_saturation_typed_no_teardown;
+          Alcotest.test_case "deadline, no teardown" `Quick
+            test_deadline_typed_no_teardown;
+          Alcotest.test_case "bad request, no teardown" `Quick
+            test_bad_request_typed_then_served;
+          Alcotest.test_case "oversized frame closes" `Quick
+            test_oversized_frame_closes;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "client-requested shutdown" `Quick
+            test_client_shutdown_stops_server;
+        ] );
+    ]

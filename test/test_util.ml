@@ -445,6 +445,228 @@ let test_rwlock_read_write_interleave () =
   Domain.join reader;
   check Alcotest.int "final value" iters !v
 
+(* ------------------------------------------------------------------ *)
+(* Frame_io                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payloads =
+        [ ""; "x"; "{\"id\":1}"; String.make 100_000 '\xfe'; "end" ]
+      in
+      List.iter (Frame_io.write_frame a) payloads;
+      List.iter
+        (fun expect ->
+          match Frame_io.read_frame b with
+          | Ok got -> check Alcotest.string "payload" expect got
+          | Error e -> Alcotest.failf "read: %s" (Frame_io.error_to_string e))
+        payloads)
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      Frame_io.write_frame a (String.make 4096 'z');
+      match Frame_io.read_frame ~max_len:1024 b with
+      | Error (`Oversized n) -> check Alcotest.int "announced length" 4096 n
+      | Ok _ | Error `Closed -> Alcotest.fail "oversized frame accepted")
+
+let test_frame_closed_mid_prefix () =
+  with_socketpair (fun a b ->
+      (* two bytes of length prefix, then EOF: must be `Closed, not a hang *)
+      ignore (Unix.write_substring a "\x00\x00" 0 2);
+      Unix.close a;
+      match Frame_io.read_frame b with
+      | Error `Closed -> ()
+      | Ok _ | Error (`Oversized _) -> Alcotest.fail "torn prefix accepted")
+
+let test_frame_closed_mid_payload () =
+  with_socketpair (fun a b ->
+      (* announce 100 bytes, deliver 3, hang up *)
+      ignore (Unix.write_substring a "\x00\x00\x00\x64abc" 0 7);
+      Unix.close a;
+      match Frame_io.read_frame b with
+      | Error `Closed -> ()
+      | Ok _ | Error (`Oversized _) -> Alcotest.fail "torn payload accepted")
+
+let test_frame_decoder_dribble () =
+  (* the incremental decoder must survive arbitrary fragmentation:
+     feed a 3-frame stream one byte at a time *)
+  let buf = Buffer.create 64 in
+  let payloads = [ "alpha"; ""; "{\"k\":[1,2,3]}" ] in
+  List.iter
+    (fun p ->
+      let n = String.length p in
+      Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+      Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr (n land 0xff));
+      Buffer.add_string buf p)
+    payloads;
+  let stream = Buffer.contents buf in
+  let d = Frame_io.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Frame_io.Decoder.feed d (Bytes.make 1 c) ~off:0 ~len:1;
+      let rec drain () =
+        match Frame_io.Decoder.next d with
+        | Ok (Some p) ->
+            got := p :: !got;
+            drain ()
+        | Ok None -> ()
+        | Error (`Oversized n) -> Alcotest.failf "oversized %d" n
+      in
+      drain ())
+    stream;
+  check Alcotest.(list string) "frames" payloads (List.rev !got);
+  check Alcotest.int "nothing buffered" 0 (Frame_io.Decoder.buffered d)
+
+let test_frame_decoder_oversized () =
+  let d = Frame_io.Decoder.create ~max_len:16 () in
+  Frame_io.Decoder.feed d (Bytes.of_string "\x00\x01\x00\x00") ~off:0 ~len:4;
+  match Frame_io.Decoder.next d with
+  | Error (`Oversized n) -> check Alcotest.int "announced" 65536 n
+  | Ok _ -> Alcotest.fail "oversized prefix accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool.Queue                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Q = Domain_pool.Queue
+
+let test_queue_no_lost_tasks () =
+  (* N producer domains, interleaved submits with saturation retries:
+     every task runs exactly once, none lost, none duplicated *)
+  let q = Q.create ~workers:3 ~capacity:8 in
+  let producers = 4 and per_producer = 500 in
+  let ran = Array.init producers (fun _ -> Array.make per_producer 0) in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              let rec go () =
+                match
+                  Q.submit q (fun () -> ran.(p).(i) <- ran.(p).(i) + 1)
+                with
+                | `Accepted -> ()
+                | `Saturated ->
+                    Domain.cpu_relax ();
+                    go ()
+                | `Shutdown -> Alcotest.fail "premature shutdown"
+              in
+              go ()
+            done))
+  in
+  List.iter Domain.join doms;
+  Q.wait_idle q;
+  Q.shutdown q;
+  Array.iteri
+    (fun p row ->
+      Array.iteri
+        (fun i n -> if n <> 1 then Alcotest.failf "task %d.%d ran %d times" p i n)
+        row)
+    ran;
+  check Alcotest.int "completed counter" (producers * per_producer)
+    (Q.completed q);
+  check Alcotest.int "no failures" 0 (Q.failures q)
+
+let test_queue_saturated_then_drains () =
+  let q = Q.create ~workers:1 ~capacity:2 in
+  let gate = Atomic.make false in
+  let block () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done
+  in
+  (* occupy the only worker, then fill the queue to capacity *)
+  check Alcotest.bool "worker occupied" true (Q.submit q block = `Accepted);
+  (* the blocker may or may not have been picked up yet; keep pushing
+     until two tasks sit queued behind it *)
+  let rec fill n =
+    if n > 0 then
+      match Q.submit q ignore with
+      | `Accepted -> fill (n - 1)
+      | `Saturated -> fill n
+      | `Shutdown -> Alcotest.fail "shutdown"
+  in
+  fill 2;
+  (* now the queue holds >= capacity pending work: admission must refuse *)
+  let refused =
+    match Q.submit q ignore with `Saturated -> true | _ -> false
+  in
+  Atomic.set gate true;
+  Q.wait_idle q;
+  Alcotest.(check bool) "refused at capacity" true refused;
+  (* after draining, admission recovers *)
+  check Alcotest.bool "accepts again" true (Q.submit q ignore = `Accepted);
+  Q.wait_idle q;
+  Q.shutdown q
+
+let test_queue_shutdown_refuses () =
+  let q = Q.create ~workers:2 ~capacity:4 in
+  Q.shutdown q;
+  check Alcotest.bool "post-shutdown submit" true (Q.submit q ignore = `Shutdown)
+
+let test_queue_task_exceptions_counted () =
+  let q = Q.create ~workers:2 ~capacity:16 in
+  for _ = 1 to 5 do
+    match Q.submit q (fun () -> failwith "boom") with
+    | `Accepted -> ()
+    | _ -> Alcotest.fail "submit refused"
+  done;
+  Q.wait_idle q;
+  (* the pool survives its tasks' exceptions and keeps serving *)
+  let ok = Atomic.make 0 in
+  ignore (Q.submit q (fun () -> Atomic.incr ok));
+  Q.wait_idle q;
+  Q.shutdown q;
+  check Alcotest.int "failures counted" 5 (Q.failures q);
+  check Alcotest.int "still serves after failures" 1 (Atomic.get ok);
+  check Alcotest.int "completed includes failed" 6 (Q.completed q)
+
+let test_queue_fifo_single_worker () =
+  (* with one worker the queue must drain fairly: strict FIFO *)
+  let q = Q.create ~workers:1 ~capacity:64 in
+  let order = ref [] in
+  let m = Mutex.create () in
+  for i = 0 to 49 do
+    let rec go () =
+      match
+        Q.submit q (fun () -> Mutex.protect m (fun () -> order := i :: !order))
+      with
+      | `Accepted -> ()
+      | `Saturated ->
+          Domain.cpu_relax ();
+          go ()
+      | `Shutdown -> Alcotest.fail "shutdown"
+    in
+    go ()
+  done;
+  Q.wait_idle q;
+  Q.shutdown q;
+  check Alcotest.(list int) "FIFO order" (List.init 50 Fun.id)
+    (List.rev !order)
+
+let test_queue_wait_idle_no_lost_wakeup () =
+  (* tight submit/wait_idle cycles: a lost wakeup would hang here *)
+  let q = Q.create ~workers:2 ~capacity:4 in
+  let n = Atomic.make 0 in
+  for i = 1 to 100 do
+    (match Q.submit q (fun () -> Atomic.incr n) with
+    | `Accepted -> ()
+    | _ -> Alcotest.fail "submit refused");
+    Q.wait_idle q;
+    check Alcotest.int "counter after wait_idle" i (Atomic.get n)
+  done;
+  Q.shutdown q
+
 let () =
   Alcotest.run "uv_util"
     [
@@ -516,5 +738,23 @@ let () =
           Alcotest.test_case "writers exclusive" `Quick test_rwlock_writers_exclusive;
           Alcotest.test_case "writer progress" `Quick test_rwlock_writer_progress_after_readers;
           Alcotest.test_case "read/write interleave" `Quick test_rwlock_read_write_interleave;
+        ] );
+      ( "frame_io",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized rejected" `Quick test_frame_oversized;
+          Alcotest.test_case "closed mid-prefix" `Quick test_frame_closed_mid_prefix;
+          Alcotest.test_case "closed mid-payload" `Quick test_frame_closed_mid_payload;
+          Alcotest.test_case "decoder dribble" `Quick test_frame_decoder_dribble;
+          Alcotest.test_case "decoder oversized" `Quick test_frame_decoder_oversized;
+        ] );
+      ( "domain_pool.queue",
+        [
+          Alcotest.test_case "no lost tasks" `Quick test_queue_no_lost_tasks;
+          Alcotest.test_case "saturated then drains" `Quick test_queue_saturated_then_drains;
+          Alcotest.test_case "shutdown refuses" `Quick test_queue_shutdown_refuses;
+          Alcotest.test_case "task exceptions counted" `Quick test_queue_task_exceptions_counted;
+          Alcotest.test_case "FIFO single worker" `Quick test_queue_fifo_single_worker;
+          Alcotest.test_case "wait_idle no lost wakeup" `Quick test_queue_wait_idle_no_lost_wakeup;
         ] );
     ]
