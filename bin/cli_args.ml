@@ -101,6 +101,22 @@ let checkpoint_every =
            phase can then jump to the nearest checkpoint below τ instead of \
            undoing the whole tail (0 disables)")
 
+let segment_cap =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "segment-cap" ] ~docv:"K"
+        ~doc:
+          "persist as a segmented log store (a directory of capped ULOGv2 \
+           chunk files under a manifest) with K records per segment")
+
+let segment_scope =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "segment" ] ~docv:"SEQ"
+        ~doc:"scope the check to one chunk file of a segmented store")
+
 let no_plans =
   Arg.(
     value

@@ -878,26 +878,52 @@ let client_cmd =
 (* ------------------------------------------------------------------ *)
 
 let log_save_cmd =
-  let run history out =
+  let run history out segment_cap =
     let eng = load_history history in
-    Log_io.save (Engine.log eng) ~path:out;
-    Printf.printf "%d records -> %s\n" (Log.length (Engine.log eng)) out;
+    let as_store =
+      segment_cap <> None || (Sys.file_exists out && Sys.is_directory out)
+    in
+    if as_store then begin
+      let store = Log_store.open_ ?segment_cap out in
+      Log_store.append_log store (Engine.log eng);
+      Log_store.close store;
+      Printf.printf "%d records -> %s (segmented store, cap %d)\n"
+        (Log.length (Engine.log eng))
+        out
+        (Log_store.segment_cap store)
+    end
+    else begin
+      Log_store.save_log_file (Engine.log eng) ~path:out;
+      Printf.printf "%d records -> %s\n" (Log.length (Engine.log eng)) out
+    end;
     0
   in
   let out =
     Arg.(required & opt (some string) None
-         & info [ "out"; "o" ] ~doc:"destination ULOGv2 file")
+         & info [ "out"; "o" ]
+             ~doc:"destination ULOGv2 file, or store directory with \
+                   $(b,--segment-cap)")
   in
   Cmd.v
     (Cmd.info "save" ~doc:"execute a history and persist its durable log")
-    Term.(const run $ Cli_args.history_pos $ out)
+    Term.(const run $ Cli_args.history_pos $ out $ Cli_args.segment_cap)
 
 let log_replay_cmd =
   let run path query =
-    let records = Log_io.load ~path in
     let eng = Engine.create () in
-    let skipped = Log_io.replay eng records in
-    Printf.printf "replayed %d records; db hash %Lx\n" (List.length records)
+    let replayed, skipped =
+      if Log_store.is_store path then begin
+        let store = Log_store.open_ path in
+        let skipped = Log_store.replay store eng in
+        let n = Log_store.length store in
+        Log_store.close store;
+        (n, skipped)
+      end
+      else
+        let records = Log_store.load_log_file ~path in
+        (List.length records, Log_io.replay eng records)
+    in
+    Printf.printf "replayed %d records; db hash %Lx\n" replayed
       (Engine.db_hash eng);
     if skipped <> [] then
       Printf.printf "skipped %d record(s): %s\n" (List.length skipped)
@@ -929,13 +955,13 @@ let dump_cmd =
       else checkpoint_every
     in
     let eng = load_history ~checkpoint_every history in
-    Dump.save (Engine.catalog eng) ~path:out;
+    Log_store.save_dump_file (Engine.catalog eng) ~path:out;
     Printf.printf "dumped %d tables -> %s\n"
       (List.length (Catalog.tables (Engine.catalog eng)))
       out;
     (match (checkpoints, Engine.checkpoints eng) with
     | Some cp_path, Some ladder ->
-        Dump.save_checkpoints ladder ~path:cp_path;
+        Log_store.save_checkpoints_file ladder ~path:cp_path;
         Printf.printf "checkpoint ladder (%d rungs) -> %s\n"
           (Checkpoint.count ladder) cp_path
     | Some cp_path, None ->
@@ -973,6 +999,8 @@ let log_cmd =
 (* ------------------------------------------------------------------ *)
 
 let is_uckp path =
+  if Sys.is_directory path then false
+  else
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -985,7 +1013,7 @@ let fsck_cmd =
      CRC, and a restore dry-run of every rung *)
   let run_uckp path json =
     let diags =
-      match Dump.load_checkpoints ~path with
+      match Log_store.load_checkpoints_file ~path with
       | rungs ->
           Printf.ksprintf
             (fun s -> if not json then print_endline s)
@@ -997,7 +1025,12 @@ let fsck_cmd =
                   (String.concat ", "
                      (List.map (fun (at, _) -> string_of_int at) rungs)));
           []
-      | exception Dump.Corrupt msg ->
+      | exception Log_store.Error err ->
+          let msg =
+            match err with
+            | Log_store.Store_error.Corrupt_checkpoints { reason; _ } -> reason
+            | e -> Log_store.Store_error.to_string e
+          in
           [
             D.make ~index:1 ~obj:path ~code:"UVA013" ~severity:D.Error
               ~pass:"fsck"
@@ -1015,39 +1048,7 @@ let fsck_cmd =
     else Format.printf "%a" D.pp_report diags;
     if D.errors diags = [] then 0 else 1
   in
-  let run path json =
-    if is_uckp path then run_uckp path json
-    else
-    let records, diag = Log_io.load_salvage ~path in
-    let structural =
-      match diag.Log_io.cut_at with
-      | None -> []
-      | Some off ->
-          [
-            D.make ~index:(diag.Log_io.valid_records + 1) ~obj:path
-              ~code:"UVA011" ~severity:D.Error ~pass:"fsck"
-              (Printf.sprintf
-                 "log damaged at byte %d of %d (%s); %d valid record(s) \
-                  precede the cut"
-                 off diag.Log_io.total_bytes
-                 (Option.value diag.Log_io.reason ~default:"unknown damage")
-                 diag.Log_io.valid_records);
-          ]
-    in
-    (* replay check: the salvaged prefix must rebuild from an empty
-       database — records that fail indicate a non-self-contained log
-       (e.g. the tail of a checkpointed history) *)
-    let eng = Engine.create () in
-    let skipped = Log_io.replay eng records in
-    let replay_diags =
-      List.map
-        (fun i ->
-          D.make ~index:i ~obj:path ~code:"UVA012" ~severity:D.Warning
-            ~pass:"fsck"
-            (Printf.sprintf "record %d does not replay on a fresh database" i))
-        skipped
-    in
-    let diags = structural @ replay_diags in
+  let emit path json diags summary =
     if json then begin
       let payload =
         match Uv_obs.Json.parse (D.json_report diags) with
@@ -1057,28 +1058,143 @@ let fsck_cmd =
       print_endline (Uv_obs.Report.to_string ~schema:"uv.lint/1" payload)
     end
     else begin
-      Printf.printf "%s: ULOGv%d, %d bytes, %d valid record(s)%s\n" path
-        diag.Log_io.version diag.Log_io.total_bytes diag.Log_io.valid_records
-        (match diag.Log_io.cut_at with
-        | None -> ", clean"
-        | Some off -> Printf.sprintf ", damaged at byte %d" off);
+      (match summary with Some s -> print_endline (path ^ ": " ^ s) | None -> ());
       Format.printf "%a" D.pp_report diags
     end;
     if D.errors diags = [] then 0 else 1
+  in
+  let replay_diags path replay =
+    (* replay check: the salvaged prefix must rebuild from an empty
+       database — records that fail indicate a non-self-contained log
+       (e.g. the tail of a checkpointed history) *)
+    List.map
+      (fun i ->
+        D.make ~index:i ~obj:path ~code:"UVA012" ~severity:D.Warning
+          ~pass:"fsck"
+          (Printf.sprintf "record %d does not replay on a fresh database" i))
+      (replay (Engine.create ()))
+  in
+  (* a segmented store: every diagnostic byte offset is relative to the
+     chunk file it names, and --segment scopes the check to one chunk *)
+  let run_store path segment json =
+    match Log_store.open_ path with
+    | exception Log_store.Error err ->
+        let offset, reason =
+          match err with
+          | Log_store.Store_error.Corrupt_manifest { offset; reason; _ } ->
+              (offset, reason)
+          | e -> (0, Log_store.Store_error.to_string e)
+        in
+        emit path json
+          [
+            D.make ~index:1 ~obj:path ~code:"UVA011" ~severity:D.Error
+              ~pass:"fsck"
+              (Printf.sprintf "store manifest damaged at byte %d (%s)" offset
+                 reason);
+          ]
+          None
+    | store ->
+        let checks = Log_store.verify ?segment store in
+        let structural =
+          List.filter_map
+            (fun (c : Log_store.check) ->
+              Option.map
+                (fun (d : Log_io.diagnosis) ->
+                  D.make ~index:c.Log_store.chk_segment
+                    ~obj:(Filename.concat path c.Log_store.chk_file)
+                    ~code:"UVA011" ~severity:D.Error ~pass:"fsck"
+                    (Printf.sprintf
+                       "segment %d damaged at byte %d of %d (%s); %d valid \
+                        record(s) precede the cut"
+                       c.Log_store.chk_segment
+                       (Option.value d.Log_io.cut_at ~default:0)
+                       d.Log_io.total_bytes
+                       (Option.value d.Log_io.reason ~default:"unknown damage")
+                       c.Log_store.chk_records))
+                c.Log_store.chk_diag)
+            checks
+        in
+        let ladder_diags =
+          if segment <> None then []
+          else
+            match Log_store.read_checkpoints store with
+            | _ -> []
+            | exception Log_store.Error err ->
+                [
+                  D.make ~index:1 ~obj:path ~code:"UVA013" ~severity:D.Error
+                    ~pass:"fsck"
+                    (Printf.sprintf "checkpoint ladder damaged: %s"
+                       (Log_store.Store_error.to_string err));
+                ]
+        in
+        let replay =
+          (* the replay dry-run streams the salvaged prefix; skipped when
+             the check is scoped to one segment (a mid-history chunk is
+             not self-contained by construction) *)
+          if segment <> None then []
+          else if structural = [] then
+            replay_diags path (fun eng -> Log_store.replay store eng)
+          else
+            let salvaged, _ = Log_store.open_salvage path in
+            replay_diags path (fun eng -> Log_store.replay salvaged eng)
+        in
+        let diags = structural @ ladder_diags @ replay in
+        let summary =
+          Printf.sprintf "ULSTv1, %d segment(s), %d record(s)%s"
+            (List.length (Log_store.segments store))
+            (Log_store.length store)
+            (if structural = [] then ", clean"
+             else
+               Printf.sprintf ", %d damaged segment(s)"
+                 (List.length structural))
+        in
+        Log_store.close store;
+        emit path json diags (Some summary)
+  in
+  let run path segment json =
+    if Log_store.is_store path then run_store path segment json
+    else if is_uckp path then run_uckp path json
+    else
+      let records, diag = Log_store.salvage_log_file ~path in
+      let structural =
+        match diag.Log_io.cut_at with
+        | None -> []
+        | Some off ->
+            [
+              D.make ~index:(diag.Log_io.valid_records + 1) ~obj:path
+                ~code:"UVA011" ~severity:D.Error ~pass:"fsck"
+                (Printf.sprintf
+                   "log damaged at byte %d of %d (%s); %d valid record(s) \
+                    precede the cut"
+                   off diag.Log_io.total_bytes
+                   (Option.value diag.Log_io.reason ~default:"unknown damage")
+                   diag.Log_io.valid_records);
+            ]
+      in
+      let diags = structural @ replay_diags path (fun eng -> Log_io.replay eng records) in
+      emit path json diags
+        (Some
+           (Printf.sprintf "ULOGv%d, %d bytes, %d valid record(s)%s"
+              diag.Log_io.version diag.Log_io.total_bytes
+              diag.Log_io.valid_records
+              (match diag.Log_io.cut_at with
+              | None -> ", clean"
+              | Some off -> Printf.sprintf ", damaged at byte %d" off)))
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG.ULOG")
   in
   Cmd.v
     (Cmd.info "fsck"
-       ~doc:"check a persisted statement log: framing, per-record \
-             checksums, and a replay dry-run (exit 1 if the log is \
-             damaged)")
-    Term.(const run $ path $ Cli_args.json)
+       ~doc:"check a persisted statement log (single ULOGv2 file or \
+             segmented store directory): framing, per-record and \
+             per-segment checksums, and a replay dry-run (exit 1 if the \
+             log is damaged); $(b,--segment) scopes a store check to one \
+             chunk file")
+    Term.(const run $ path $ Cli_args.segment_scope $ Cli_args.json)
 
 let recover_cmd =
-  let run path checkpoint out query =
-    let records, diag = Log_io.load_salvage ~path in
+  let run path checkpoint out segment_cap query =
     let eng = Engine.create () in
     (* the checkpoint (a logical dump) replays first; its statements land
        in the engine's log too, so a log written with --out is a complete,
@@ -1086,29 +1202,66 @@ let recover_cmd =
     (match checkpoint with
     | Some cp when is_uckp cp -> (
         (* a checkpoint ladder: restore the newest rung as the base state *)
-        match List.rev (Dump.load_checkpoints ~path:cp) with
+        match List.rev (Log_store.load_checkpoints_file ~path:cp) with
         | (at, cat) :: _ ->
             Dump.restore eng (Dump.to_sql cat);
             Printf.printf "restored checkpoint rung at commit %d\n" at
         | [] -> ())
-    | Some cp -> Dump.load eng ~path:cp
+    | Some cp -> Log_store.load_dump_file eng ~path:cp
     | None -> ());
-    let skipped = Log_io.replay eng records in
+    let total, skipped, cut =
+      if Log_store.is_store path then begin
+        let store, report = Log_store.open_salvage path in
+        let skipped = Log_store.replay store eng in
+        let n = Log_store.length store in
+        let cut =
+          match (report.Log_store.sr_cut_segment, report.Log_store.sr_cut_at)
+          with
+          | Some seg, Some off ->
+              Some
+                (Printf.sprintf "segment %d cut at byte %d: %s" seg off
+                   (Option.value report.Log_store.sr_reason
+                      ~default:"unknown damage"))
+          | _ ->
+              if report.Log_store.sr_manifest_rebuilt then
+                Some "manifest rebuilt from segment files"
+              else None
+        in
+        (n, skipped, cut)
+      end
+      else begin
+        let records, diag = Log_store.salvage_log_file ~path in
+        let skipped = Log_io.replay eng records in
+        let cut =
+          Option.map
+            (fun off ->
+              Printf.sprintf "tail cut at byte %d: %s" off
+                (Option.value diag.Log_io.reason ~default:"unknown damage"))
+            diag.Log_io.cut_at
+        in
+        (List.length records, skipped, cut)
+      end
+    in
     Printf.printf "recovered %d of %d record(s)%s; db hash %Lx\n"
-      (List.length records - List.length skipped)
-      (List.length records)
-      (match diag.Log_io.cut_at with
-      | None -> ""
-      | Some off ->
-          Printf.sprintf " (tail cut at byte %d: %s)" off
-            (Option.value diag.Log_io.reason ~default:"unknown damage"))
+      (total - List.length skipped)
+      total
+      (match cut with None -> "" | Some c -> Printf.sprintf " (%s)" c)
       (Engine.db_hash eng);
     if skipped <> [] then
       Printf.printf "skipped %d record(s): %s\n" (List.length skipped)
         (String.concat ", " (List.map string_of_int skipped));
     (match out with
     | Some out_path ->
-        Log_io.save (Engine.log eng) ~path:out_path;
+        let as_store =
+          segment_cap <> None
+          || (Sys.file_exists out_path && Sys.is_directory out_path)
+        in
+        if as_store then begin
+          let store = Log_store.open_ ?segment_cap out_path in
+          Log_store.append_log store (Engine.log eng);
+          Log_store.close store
+        end
+        else Log_store.save_log_file (Engine.log eng) ~path:out_path;
         Printf.printf "clean log (%d records) -> %s\n"
           (Log.length (Engine.log eng))
           out_path
@@ -1139,14 +1292,16 @@ let recover_cmd =
   let out =
     Arg.(value & opt (some string) None
          & info [ "out"; "o" ]
-             ~doc:"write the recovered history as a clean ULOGv2 file")
+             ~doc:"write the recovered history as a clean ULOGv2 file, or \
+                   store directory with $(b,--segment-cap)")
   in
   Cmd.v
     (Cmd.info "recover"
-       ~doc:"rebuild a database from a (possibly damaged) statement log, \
-             salvaging the valid record prefix, optionally on top of a \
-             checkpoint dump")
-    Term.(const run $ path $ checkpoint $ out $ Cli_args.query)
+       ~doc:"rebuild a database from a (possibly damaged) statement log \
+             or segmented store, salvaging the valid record prefix, \
+             optionally on top of a checkpoint dump")
+    Term.(const run $ path $ checkpoint $ out $ Cli_args.segment_cap
+          $ Cli_args.query)
 
 (* ------------------------------------------------------------------ *)
 (* trace: pretty-print a Chrome trace-event file                        *)

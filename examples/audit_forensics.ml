@@ -55,7 +55,7 @@ let () =
   let prod = Engine.create () in
   List.iter (fun sql -> ignore (Engine.exec_sql prod sql)) production_history;
   let log_path = Filename.temp_file "payroll" ".ulog" in
-  Log_io.save (Engine.log prod) ~path:log_path;
+  Log_store.save_log_file (Engine.log prod) ~path:log_path;
   section "production";
   Printf.printf "history persisted: %d statements -> %s\n"
     (Log.length (Engine.log prod)) log_path;
@@ -65,7 +65,7 @@ let () =
   (* ---------------------------------------------------------------- *)
   section "audit: rebuild from the log";
   let audit = Engine.create () in
-  ignore (Log_io.replay audit (Log_io.load ~path:log_path) : int list);
+  ignore (Log_io.replay audit (Log_store.load_log_file ~path:log_path) : int list);
   Sys.remove log_path;
   Printf.printf "rebuilt database %s production\n"
     (if Int64.equal (Engine.db_hash audit) (Engine.db_hash prod) then

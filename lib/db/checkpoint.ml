@@ -18,13 +18,17 @@ type t = {
   mutable rungs : rung list; (* descending by [at] *)
   mutable taken : int; (* rungs ever recorded (thinned ones included) *)
   mutable skipped : int; (* rungs skipped by fault injection *)
+  bounds : (int, unit) Hashtbl.t;
+      (* segment boundaries a rung must land on, beyond the stride:
+         aligning rungs with Log_store segment seals means a rollback
+         re-reads at most one segment tail *)
 }
 
 let max_rungs = 64
 
 let create ~every =
   if every <= 0 then invalid_arg "Checkpoint.create: every must be positive";
-  { every; rungs = []; taken = 0; skipped = 0 }
+  { every; rungs = []; taken = 0; skipped = 0; bounds = Hashtbl.create 16 }
 
 let every t = t.every
 
@@ -36,9 +40,16 @@ let skipped t = t.skipped
 
 let note_skipped t = t.skipped <- t.skipped + 1
 
+let set_boundaries t idxs =
+  Hashtbl.reset t.bounds;
+  List.iter (fun i -> if i > 0 then Hashtbl.replace t.bounds i ()) idxs
+
+let boundaries t =
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) t.bounds [])
+
 let due t n =
   n > 0
-  && n mod t.every = 0
+  && (n mod t.every = 0 || Hashtbl.mem t.bounds n)
   && (match t.rungs with r :: _ -> r.at < n | [] -> true)
 
 let thin t =

@@ -23,9 +23,20 @@ val create : every:int -> t
 val every : t -> int
 (** Current stride — the configured value, doubled at each thinning. *)
 
+val set_boundaries : t -> int list -> unit
+(** Declare extra commit indexes where a rung is always due, beyond the
+    stride — used to align the ladder with {!Log_store} segment seals so
+    rollback to any sealed-segment prefix re-reads at most one segment
+    tail. Replaces any previous boundary set; non-positive indexes are
+    ignored. *)
+
+val boundaries : t -> int list
+(** The current boundary set, ascending. *)
+
 val due : t -> int -> bool
 (** [due t n]: should a rung be recorded after commit [n]? True when [n]
-    is a stride multiple and newer than the newest rung. *)
+    is a stride multiple or a declared boundary, and newer than the
+    newest rung. *)
 
 val record : t -> Catalog.t -> int -> unit
 (** Snapshot the catalog as the rung for commit index [n], thinning the

@@ -68,19 +68,26 @@ val salvage : string -> record list * diagnosis
     replaying records past a hole would silently reorder history. *)
 
 val save : ?fault:Uv_fault.Fault.t -> ?fsync:bool -> Log.t -> path:string -> unit
+[@@ocaml.alert deprecated "use Log_store.save_log_file (or a Log_store directory)"]
 (** [save log ~path] writes the log's durable projection to [path]
     atomically (temp file + fsync + rename; [fsync] defaults to [true]).
     [fault] probes {!Uv_fault.Fault.Site.log_save} with [Torn_write]:
     an injected tear writes a prefix to the temp file, skips the rename
     — leaving any previous file at [path] intact — and raises
-    [Uv_fault.Fault.Injected]. *)
+    [Uv_fault.Fault.Injected].
+    @deprecated the file-granular persistence entry points moved to the
+    unified [Log_store] surface; this shim will be removed. *)
 
 val load : path:string -> record list
+[@@ocaml.alert deprecated "use Log_store.load_log_file"]
 (** Read a file written by {!save}.
-    @raise Corrupt on bad input. *)
+    @raise Corrupt on bad input.
+    @deprecated use [Log_store.load_log_file] (typed [Store_error]). *)
 
 val load_salvage : path:string -> record list * diagnosis
-(** {!salvage} over a file's bytes; never raises on bad content. *)
+[@@ocaml.alert deprecated "use Log_store.salvage_log_file"]
+(** {!salvage} over a file's bytes; never raises on bad content.
+    @deprecated use [Log_store.salvage_log_file]. *)
 
 val replay : Engine.t -> record list -> int list
 (** Re-execute the records in order against [engine], forcing each

@@ -4,7 +4,7 @@ type op = Add of Ast.stmt | Remove | Change of Ast.stmt
 
 type target = { tau : int; op : op }
 
-type mode = Col_only | Row_only | Cell
+type mode = Col_only | Row_only | Cell | Joint
 
 type info = {
   index : int;
@@ -22,12 +22,68 @@ type tindex = {
   by_val_w : (string, int list ref) Hashtbl.t;
 }
 
+(* Cell-level conflict index: buckets keyed by (column, canonical dim0
+   row value). Everything in here is joinable — writers by definition,
+   readers only when they also write — so a closure scanning a bucket
+   either joins what it finds or prunes it for good, and the per-question
+   cost is bounded by the buckets touched rather than the history. Built
+   lazily for [replay_members], rebuilt when the RI merge generation or
+   the analysed length moves. *)
+type cell_index = {
+  ci_generation : int;
+  ci_n : int;
+  cw_val : (string, int list ref) Hashtbl.t; (* "col|val" -> writers, desc *)
+  cw_any : (string, int list ref) Hashtbl.t; (* "col" -> wildcard-row writers *)
+  cw_all : (string, int list ref) Hashtbl.t; (* "col" -> every writer *)
+  cr_val : (string, int list ref) Hashtbl.t; (* ditto, joinable readers *)
+  cr_any : (string, int list ref) Hashtbl.t;
+  cr_all : (string, int list ref) Hashtbl.t;
+}
+
+(* Where entries come from: a pull interface so analysis never needs a
+   materialized [Log.t] — an in-memory log and a segmented on-disk
+   store are both one-segment-at-a-time folds from here. *)
+type source = {
+  src_length : unit -> int;
+  src_iter : int -> int -> (Uv_db.Log.entry -> unit) -> unit;
+      (* [src_iter lo hi f]: apply [f] to entries [lo..hi] in order *)
+}
+
+let source_of_log log =
+  {
+    src_length = (fun () -> Uv_db.Log.length log);
+    src_iter =
+      (fun lo hi f ->
+        for i = lo to hi do
+          f (Uv_db.Log.entry log i)
+        done);
+  }
+
+let source_of_store store =
+  {
+    src_length = (fun () -> Uv_db.Log_store.length store);
+    src_iter =
+      (fun lo hi f ->
+        Uv_db.Log_store.iter_range store ~lo ~hi (fun index r ->
+            f (Uv_db.Log_store.entry_of_record ~index r)));
+  }
+
+let source_of_fun ~length fetch =
+  {
+    src_length = length;
+    src_iter =
+      (fun lo hi f ->
+        for i = lo to hi do
+          f (fetch i)
+        done);
+  }
+
 type t = {
   mutable infos : info array;
   config : Rowset.config;
   row_state : Rowset.t;
   sv : Schema_view.t; (* evolving view at the analysed head *)
-  log : Uv_db.Log.t;
+  source : source;
   base : Uv_db.Catalog.t option;
   base_hashes : (string * int64) list;
   readers_by_col : (string, int list ref) Hashtbl.t; (* descending indexes *)
@@ -36,6 +92,13 @@ type t = {
   groups : (string, int list) Hashtbl.t; (* app_txn tag -> entry indexes *)
   mutable indexed_generation : int;
       (* Rowset merge generation the value buckets were keyed under *)
+  mutable joinable_cache : bool array option;
+      (* per-entry "has a column-wise write" — shared by every ungrouped
+         closure run so replay-set cost stays off the history length *)
+  mutable cell_index : cell_index option;
+  mutable scratch_members : int array; (* epoch-stamped; 0 = never *)
+  mutable scratch_excluded : int array;
+  mutable closure_epoch : int;
 }
 
 let length t = Array.length t.infos
@@ -56,8 +119,6 @@ let tables_of_rw (rw : Rwset.rw) =
       s []
   in
   List.sort_uniq compare (of_set rw.Rwset.r @ of_set rw.Rwset.w)
-
-let schema_view_fold ?base log upto = Schema_view.of_log ?base log ~upto
 
 let dim0_of (config : Rowset.config) table =
   match List.assoc_opt table config.Rowset.ri_columns with
@@ -165,7 +226,7 @@ let rekey_row_index t =
       rekey_buckets t table dim0 ti.by_val_w)
     t.row_index
 
-let create ?(config = Rowset.default_config) ?base log =
+let create ?(config = Rowset.default_config) ?base source =
   let sv =
     match base with
     | Some cat -> Schema_view.of_catalog cat
@@ -186,7 +247,7 @@ let create ?(config = Rowset.default_config) ?base log =
     config;
     row_state;
     sv;
-    log;
+    source;
     base;
     base_hashes;
     readers_by_col = Hashtbl.create 256;
@@ -194,36 +255,40 @@ let create ?(config = Rowset.default_config) ?base log =
     row_index = Hashtbl.create 64;
     groups = Hashtbl.create 256;
     indexed_generation = Rowset.merge_generation row_state;
+    joinable_cache = None;
+    cell_index = None;
+    scratch_members = [||];
+    scratch_excluded = [||];
+    closure_epoch = 0;
   }
 
 let extend ?(obs = Uv_obs.Trace.disabled) t =
-  let n = Uv_db.Log.length t.log in
+  let n = t.source.src_length () in
   let from = Array.length t.infos + 1 in
   if n < from then 0
   else begin
     let batch = ref [] in
     Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.rwsets" (fun () ->
-        for i = from to n do
-          let e = Uv_db.Log.entry t.log i in
-          let rw = Rwset.of_stmt t.sv e.Uv_db.Log.stmt in
-          let rows =
-            Rowset.of_entry t.row_state t.sv e.Uv_db.Log.stmt
-              e.Uv_db.Log.nondet
-          in
-          Schema_view.apply t.sv e.Uv_db.Log.stmt;
-          let inf =
-            {
-              index = i;
-              stmt = e.Uv_db.Log.stmt;
-              rw;
-              rows;
-              app_txn = e.Uv_db.Log.app_txn;
-            }
-          in
-          batch := inf :: !batch;
-          index_info t inf
-        done);
+        t.source.src_iter from n (fun e ->
+            let rw = Rwset.of_stmt t.sv e.Uv_db.Log.stmt in
+            let rows =
+              Rowset.of_entry t.row_state t.sv e.Uv_db.Log.stmt
+                e.Uv_db.Log.nondet
+            in
+            Schema_view.apply t.sv e.Uv_db.Log.stmt;
+            let inf =
+              {
+                index = e.Uv_db.Log.index;
+                stmt = e.Uv_db.Log.stmt;
+                rw;
+                rows;
+                app_txn = e.Uv_db.Log.app_txn;
+              }
+            in
+            batch := inf :: !batch;
+            index_info t inf));
     t.infos <- Array.append t.infos (Array.of_list (List.rev !batch));
+    t.joinable_cache <- None;
     Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.index" (fun () ->
         let gen = Rowset.merge_generation t.row_state in
         if gen <> t.indexed_generation then begin
@@ -233,15 +298,29 @@ let extend ?(obs = Uv_obs.Trace.disabled) t =
     n - from + 1
   end
 
-let analyze ?(config = Rowset.default_config) ?base
-    ?(obs = Uv_obs.Trace.disabled) log =
-  let t = create ~config ?base log in
+let of_source ?(config = Rowset.default_config) ?base
+    ?(obs = Uv_obs.Trace.disabled) source =
+  let t = create ~config ?base source in
   ignore (extend ~obs t);
   t
 
+let analyze ?config ?base ?obs log = of_source ?config ?base ?obs (source_of_log log)
+
 let base_hashes t = t.base_hashes
 
-let schema_view_at t upto = schema_view_fold ?base:t.base t.log upto
+(* Rebuilt from the analysed statements, so no log access: matches
+   [Schema_view.of_log ~upto] — entries strictly before [upto]. *)
+let schema_view_at t upto =
+  let sv =
+    match t.base with
+    | Some cat -> Schema_view.of_catalog cat
+    | None -> Schema_view.create ()
+  in
+  let hi = min (upto - 1) (Array.length t.infos) in
+  for i = 1 to hi do
+    Schema_view.apply sv t.infos.(i - 1).stmt
+  done;
+  sv
 
 let target_rw t (target : target) =
   let sv = schema_view_at t target.tau in
@@ -297,17 +376,25 @@ type joins_fn = min_idx:int -> Rwset.rw -> Rowset.entry_rows -> int list
    (read-only queries, Prop E.7) unless they belong to a transaction
    group: a grouped read is an application-level data flow into the rest
    of its transaction (Table A's BEGIN TRANSACTION union rule). *)
+let ungrouped_joinable t =
+  match t.joinable_cache with
+  | Some a when Array.length a = Array.length t.infos -> a
+  | _ ->
+      let a =
+        Array.map
+          (fun inf -> not (Rwset.Colset.is_empty inf.rw.Rwset.w))
+          t.infos
+      in
+      t.joinable_cache <- Some a;
+      a
+
 let compute_closure ?via ?(obs = Uv_obs.Trace.disabled) t ~tau ~exclude
-    ~seed_rw ~seed_rows ~make_joins ~expand =
+    ~seed_rw ~seed_rows ~make_joins ~joinable ~expand =
   let n = Array.length t.infos in
   let members = Array.make n false in
+  let joined = ref [] in
   let excluded = Array.make (n + 2) false in
   List.iter (fun i -> if i >= 1 && i <= n then excluded.(i) <- true) exclude;
-  let joinable =
-    Array.init n (fun j ->
-        let inf = t.infos.(j) in
-        (not (Rwset.Colset.is_empty inf.rw.Rwset.w)) || expand (j + 1) <> [])
-  in
   let live i =
     i >= tau && i <= n && (not excluded.(i)) && joinable.(i - 1)
     && not members.(i - 1)
@@ -322,12 +409,14 @@ let compute_closure ?via ?(obs = Uv_obs.Trace.disabled) t ~tau ~exclude
   let join src i =
     if live i then begin
       members.(i - 1) <- true;
+      joined := i :: !joined;
       record i src;
       Queue.push i queue;
       List.iter
         (fun g ->
           if live g then begin
             members.(g - 1) <- true;
+            joined := g :: !joined;
             record g (-i);
             Queue.push g queue
           end)
@@ -345,7 +434,7 @@ let compute_closure ?via ?(obs = Uv_obs.Trace.disabled) t ~tau ~exclude
     List.iter (join i) (joins_of ~min_idx:i inf.rw inf.rows)
   done;
   Uv_obs.Trace.incr obs ~by:!iters "analyze.closure_iters";
-  members
+  (members, !joined)
 
 (* Shared pruning cache for one closure run: each bucket is copied on
    first use and re-filtered on every scan, dropping entries that can
@@ -392,10 +481,57 @@ let col_joins t ~live =
     Rwset.Colset.iter (fun c -> scan "w|" t.writers_by_col c) rw.Rwset.r;
     !acc
 
+let table_of_col c =
+  match String.index_opt c '.' with
+  | Some i -> String.sub c 0 i
+  | None -> c
+
+(* The joint (cell-wise) pair conflict: the two entries share a column
+   (direction-aware) whose table's rows overlap — i.e., they touch a
+   common cell, up to the first-dimension approximation that
+   [Rowset.overlaps] verifies multi-dimensionally. A side missing the
+   row entry for a shared column's table degrades to a conflict
+   (conservative). Schema-key overlap is a wildcard conflict as ever. *)
+let cell_pair_conflict t (rw : Rwset.rw) rows (inf : info) =
+  let inter a b = Rwset.Colset.inter a b in
+  let nonempty s = not (Rwset.Colset.is_empty s) in
+  let schema_conflict =
+    let sk s = Rwset.Colset.filter is_schema_key s in
+    nonempty (inter (sk rw.Rwset.w) (sk inf.rw.Rwset.r))
+    || nonempty (inter (sk rw.Rwset.r) (sk inf.rw.Rwset.w))
+    || nonempty (inter (sk rw.Rwset.w) (sk inf.rw.Rwset.w))
+  in
+  schema_conflict
+  ||
+  let shared =
+    Rwset.Colset.union
+      (inter rw.Rwset.w inf.rw.Rwset.r)
+      (Rwset.Colset.union
+         (inter rw.Rwset.w inf.rw.Rwset.w)
+         (inter rw.Rwset.r inf.rw.Rwset.w))
+  in
+  Rwset.Colset.exists
+    (fun c ->
+      (not (is_schema_key c))
+      &&
+      let table = table_of_col c in
+      match (List.assoc_opt table rows, List.assoc_opt table inf.rows) with
+      | Some mine, Some theirs ->
+          Rowset.overlaps t.row_state table mine `Any_conflict theirs
+      (* a table absent from an entry's row sets is unreachable through
+         the row-wise closure, so it cannot carry a cell conflict either
+         — the same convention keeps Joint inside Cell *)
+      | _ -> false)
+    shared
+
 (* Row-wise candidates: value-indexed over each table's first dimension,
    verified with the full multi-dimensional overlap; plus schema-key
-   ([_S.*]) conflicts, which are wildcard rows per Table B. *)
-let row_joins t ~live =
+   ([_S.*]) conflicts, which are wildcard rows per Table B. With
+   [require_col] the verification instead demands the joint cell-wise
+   pair conflict, whose closure is a subset of the [Cell] intersection
+   and whose cost is bounded by the value buckets actually touched, not
+   the history. *)
+let rowwise_joins ~require_col t ~live =
   let cache : (string, int list) Hashtbl.t = Hashtbl.create 256 in
   fun ~min_idx (rw : Rwset.rw) (rows : Rowset.entry_rows) ->
     let acc = ref [] in
@@ -465,23 +601,32 @@ let row_joins t ~live =
     List.filter
       (fun i ->
         let inf = t.infos.(i - 1) in
-        (* either a schema-key conflict... *)
-        let schema_conflict =
-          let inter a b = not (Rwset.Colset.is_empty (Rwset.Colset.inter a b)) in
-          let sk s = Rwset.Colset.filter is_schema_key s in
-          inter (sk rw.Rwset.w) (sk inf.rw.Rwset.r)
-          || inter (sk rw.Rwset.r) (sk inf.rw.Rwset.w)
-          || inter (sk rw.Rwset.w) (sk inf.rw.Rwset.w)
-        in
-        schema_conflict
-        || List.exists
-             (fun (table, access) ->
-               match List.assoc_opt table inf.rows with
-               | None -> false
-               | Some their ->
-                   Rowset.overlaps t.row_state table access `Any_conflict their)
-             rows)
+        if require_col then cell_pair_conflict t rw rows inf
+        else
+          let inter a b =
+            not (Rwset.Colset.is_empty (Rwset.Colset.inter a b))
+          in
+          (* either a schema-key conflict... *)
+          let schema_conflict =
+            let sk s = Rwset.Colset.filter is_schema_key s in
+            inter (sk rw.Rwset.w) (sk inf.rw.Rwset.r)
+            || inter (sk rw.Rwset.r) (sk inf.rw.Rwset.w)
+            || inter (sk rw.Rwset.w) (sk inf.rw.Rwset.w)
+          in
+          schema_conflict
+          || List.exists
+               (fun (table, access) ->
+                 match List.assoc_opt table inf.rows with
+                 | None -> false
+                 | Some their ->
+                     Rowset.overlaps t.row_state table access `Any_conflict
+                       their)
+               rows)
       (List.sort_uniq compare !acc)
+
+let row_joins t ~live = rowwise_joins ~require_col:false t ~live
+
+let cell_joins t ~live = rowwise_joins ~require_col:true t ~live
 
 
 let group_expand t i =
@@ -491,7 +636,7 @@ let group_expand t i =
 
 let count_members m = Array.fold_left (fun a b -> if b then a + 1 else a) 0 m
 
-let classify t ~members (target : target) seed_rw =
+let classify ?joined t ~members (target : target) seed_rw =
   let add_tables_of rwsets =
     let real_of s =
       Rwset.Colset.fold
@@ -513,13 +658,28 @@ let classify t ~members (target : target) seed_rw =
     read := add_tables_of rw.Rwset.r @ !read
   in
   take seed_rw;
-  Array.iteri (fun i inf -> if members.(i) then take inf.rw) t.infos;
+  (match joined with
+  | Some js -> List.iter (fun i -> take t.infos.(i - 1).rw) js
+  | None -> Array.iteri (fun i inf -> if members.(i) then take inf.rw) t.infos);
   ignore target;
   let mutated = List.sort_uniq compare !written in
   let consulted =
     List.filter (fun x -> not (List.mem x mutated)) (List.sort_uniq compare !read)
   in
   (mutated, consulted)
+
+(* a removed query is never re-executed, so its reads need no consulted
+   reconstruction: only its writes seed the closure *)
+let strip_removed_reads (seed_rw, seed_rows) =
+  ( { seed_rw with Rwset.r = Rwset.Colset.empty },
+    List.map
+      (fun (table, access) ->
+        ( table,
+          Array.map
+            (fun (d : Rowset.dim_access) ->
+              { d with Rowset.dr = Rowset.Vals Rowset.Vset.empty })
+            access ))
+      seed_rows )
 
 let target_group_indexes t tau =
   if tau >= 1 && tau <= Array.length t.infos then
@@ -549,25 +709,25 @@ let replay_set_gen ?via_col ?via_row ?(obs = Uv_obs.Trace.disabled) ~grouped
     | Remove | Change _ -> group_indexes
     | Add _ -> []
   in
-  (* a removed query is never re-executed, so its reads need no consulted
-     reconstruction: only its writes seed the closure *)
   let seed_rw, seed_rows =
     match target.op with
-    | Remove ->
-        ( { seed_rw with Rwset.r = Rwset.Colset.empty },
-          List.map
-            (fun (table, access) ->
-              ( table,
-                Array.map
-                  (fun (d : Rowset.dim_access) ->
-                    { d with Rowset.dr = Rowset.Vals Rowset.Vset.empty })
-                  access ))
-            seed_rows )
+    | Remove -> strip_removed_reads (seed_rw, seed_rows)
     | Add _ | Change _ -> (seed_rw, seed_rows)
+  in
+  let joinable =
+    (* an entry is joinable when it writes — or, at transaction
+       granularity, has a group mate. The write-only part is shared
+       across closure runs; the group part stays per-run (grouped
+       analysis is not on the per-question hot path). *)
+    let base = ungrouped_joinable t in
+    if grouped then
+      Array.init (Array.length t.infos) (fun j ->
+          base.(j) || expand t (j + 1) <> [])
+    else base
   in
   let run ?via make_joins =
     compute_closure ?via ~obs t ~tau:target.tau ~exclude ~seed_rw ~seed_rows
-      ~make_joins ~expand:(expand t)
+      ~make_joins ~joinable ~expand:(expand t)
   in
   let col_members () =
     Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.col" (fun () ->
@@ -578,24 +738,31 @@ let replay_set_gen ?via_col ?via_row ?(obs = Uv_obs.Trace.disabled) ~grouped
     Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.row" (fun () ->
         run ?via:via_row (row_joins t))
   in
-  let members, col_count, row_count =
+  let members, joined, col_count, row_count =
     match mode with
     | Col_only ->
-        let m = col_members () in
-        (m, count_members m, -1)
+        let m, j = col_members () in
+        (m, Some j, List.length j, -1)
     | Row_only ->
-        let m = row_members () in
-        (m, -1, count_members m)
+        let m, j = row_members () in
+        (m, Some j, -1, List.length j)
     | Cell ->
-        let mc = col_members () in
-        let mr = row_members () in
+        let mc, _ = col_members () in
+        let mr, _ = row_members () in
         let m = Array.map2 ( && ) mc mr in
-        (m, count_members mc, count_members mr)
+        (m, None, count_members mc, count_members mr)
+    | Joint ->
+        let m, j =
+          Uv_obs.Trace.with_span obs ~cat:"analyze" "closure.cell" (fun () ->
+              run ?via:via_row (cell_joins t))
+        in
+        (m, Some j, -1, -1)
   in
-  let mutated, consulted = classify t ~members target seed_rw in
+  let mutated, consulted = classify ?joined t ~members target seed_rw in
   {
     members;
-    member_count = count_members members;
+    member_count =
+      (match joined with Some j -> List.length j | None -> count_members members);
     mutated;
     consulted;
     col_only_count = col_count;
@@ -616,6 +783,216 @@ let replay_set_via ?obs ?mode t ~col_joins target =
   replay_set_gen ?obs ~grouped:false
     ~expand:(fun _ _ -> [])
     ~col_joins ?mode t target
+
+(* ------------------------------------------------------------------ *)
+(* Lean replay-set computation over the cell index                      *)
+(* ------------------------------------------------------------------ *)
+
+let build_cell_index t =
+  let ci =
+    {
+      ci_generation = Rowset.merge_generation t.row_state;
+      ci_n = Array.length t.infos;
+      cw_val = Hashtbl.create 1024;
+      cw_any = Hashtbl.create 64;
+      cw_all = Hashtbl.create 64;
+      cr_val = Hashtbl.create 1024;
+      cr_any = Hashtbl.create 64;
+      cr_all = Hashtbl.create 64;
+    }
+  in
+  let push tbl key i =
+    let b = bucket tbl key in
+    b := i :: !b
+  in
+  Array.iter
+    (fun inf ->
+      let i = inf.index in
+      (* one column's cells: the column crossed with its table's dim0
+         access. A column whose table has no row entry touches no cell
+         (unreachable through the row-wise closure, matching
+         [cell_pair_conflict]); empty row sets touch no cell either. *)
+      let file v_tbl a_tbl all_tbl c rs =
+        match rs with
+        | None -> ()
+        | Some Rowset.Any ->
+            push a_tbl c i;
+            push all_tbl c i
+        | Some (Rowset.Vals s) ->
+            if not (Rowset.Vset.is_empty s) then begin
+              let table = table_of_col c in
+              let dim0 = dim0_of t.config table in
+              Rowset.Vset.iter
+                (fun v ->
+                  let cv = Rowset.canonical t.row_state table dim0 v in
+                  push v_tbl (c ^ "|" ^ cv) i)
+                s;
+              push all_tbl c i
+            end
+      in
+      let access_of c side =
+        match List.assoc_opt (table_of_col c) inf.rows with
+        | Some access when Array.length access > 0 ->
+            Some
+              (match side with
+              | `W -> access.(0).Rowset.dw
+              | `R -> access.(0).Rowset.dr)
+        | _ -> None
+      in
+      Rwset.Colset.iter
+        (fun c ->
+          if not (is_schema_key c) then
+            file ci.cw_val ci.cw_any ci.cw_all c (access_of c `W))
+        inf.rw.Rwset.w;
+      (* read-only entries never join an ungrouped closure: keep them out
+         of the index so scans stay proportional to joinable work *)
+      if not (Rwset.Colset.is_empty inf.rw.Rwset.w) then
+        Rwset.Colset.iter
+          (fun c ->
+            if not (is_schema_key c) then
+              file ci.cr_val ci.cr_any ci.cr_all c (access_of c `R))
+          inf.rw.Rwset.r)
+    t.infos;
+  ci
+
+let cell_index_of t =
+  match t.cell_index with
+  | Some ci
+    when ci.ci_generation = Rowset.merge_generation t.row_state
+         && ci.ci_n = Array.length t.infos ->
+      ci
+  | _ ->
+      let ci = build_cell_index t in
+      t.cell_index <- Some ci;
+      ci
+
+(* Joint-mode replay-set membership without the O(history) arrays:
+   epoch-stamped scratch (allocated once per analyzer, reused across
+   questions) plus cell-index candidate generation. Returns the member
+   indexes, ascending. Single closure at a time per analyzer. *)
+let replay_members_joint t (target : target) =
+  let n = Array.length t.infos in
+  if Array.length t.scratch_members < n then begin
+    t.scratch_members <- Array.make (max n 64) 0;
+    t.scratch_excluded <- Array.make (max n 64) 0
+  end;
+  t.closure_epoch <- t.closure_epoch + 1;
+  let epoch = t.closure_epoch in
+  let members = t.scratch_members and excluded = t.scratch_excluded in
+  let seed_rw, seed_rows = target_rw t target in
+  let seed_rw, seed_rows =
+    match target.op with
+    | Remove -> strip_removed_reads (seed_rw, seed_rows)
+    | Add _ | Change _ -> (seed_rw, seed_rows)
+  in
+  (match target.op with
+  | Remove | Change _ ->
+      if target.tau >= 1 && target.tau <= n then
+        excluded.(target.tau - 1) <- epoch
+  | Add _ -> ());
+  let joinable = ungrouped_joinable t in
+  let tau = target.tau in
+  let live i =
+    i >= tau && i <= n
+    && excluded.(i - 1) <> epoch
+    && joinable.(i - 1)
+    && members.(i - 1) <> epoch
+  in
+  let ci = cell_index_of t in
+  let cache : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  let joined = ref [] in
+  let queue = Queue.create () in
+  let offers = ref [] in
+  let fetch tbl key () =
+    match Hashtbl.find_opt tbl key with
+    | None -> []
+    | Some b -> List.rev !b
+  in
+  (* candidates cell-conflicting with (rw, rows), past [min_idx] — the
+     same forward-only contract as [joins_fn] *)
+  let candidates ~min_idx (rw : Rwset.rw) rows =
+    offers := [];
+    let scan key fetch =
+      scan_pruned cache ~live ~min_idx
+        ~offer:(fun i -> offers := i :: !offers)
+        key fetch
+    in
+    let scan_family v_tbl a_tbl all_tbl tag c rs =
+      match rs with
+      | None -> ()
+      | Some Rowset.Any ->
+          (* wildcard rows conflict with every row of the column *)
+          scan ("A" ^ tag ^ c) (fetch all_tbl c)
+      | Some (Rowset.Vals s) ->
+          if not (Rowset.Vset.is_empty s) then begin
+            scan ("N" ^ tag ^ c) (fetch a_tbl c);
+            let table = table_of_col c in
+            let dim0 = dim0_of t.config table in
+            Rowset.Vset.iter
+              (fun v ->
+                let cv = Rowset.canonical t.row_state table dim0 v in
+                scan
+                  ("V" ^ tag ^ c ^ "|" ^ cv)
+                  (fetch v_tbl (c ^ "|" ^ cv)))
+              s
+          end
+    in
+    let access_of c side =
+      match List.assoc_opt (table_of_col c) rows with
+      | Some access when Array.length access > 0 ->
+          Some
+            (match side with
+            | `W -> access.(0).Rowset.dw
+            | `R -> access.(0).Rowset.dr)
+      | _ -> None
+    in
+    Rwset.Colset.iter
+      (fun c ->
+        if is_schema_key c then begin
+          scan ("Sr|" ^ c) (fetch t.readers_by_col c);
+          scan ("Sw|" ^ c) (fetch t.writers_by_col c)
+        end
+        else begin
+          let acc = access_of c `W in
+          scan_family ci.cr_val ci.cr_any ci.cr_all "r|" c acc;
+          scan_family ci.cw_val ci.cw_any ci.cw_all "w|" c acc
+        end)
+      rw.Rwset.w;
+    Rwset.Colset.iter
+      (fun c ->
+        if is_schema_key c then scan ("Sw|" ^ c) (fetch t.writers_by_col c)
+        else scan_family ci.cw_val ci.cw_any ci.cw_all "w|" c (access_of c `R))
+      rw.Rwset.r;
+    List.filter
+      (fun i -> cell_pair_conflict t rw rows t.infos.(i - 1))
+      (List.sort_uniq compare !offers)
+  in
+  let join i =
+    if live i then begin
+      members.(i - 1) <- epoch;
+      joined := i :: !joined;
+      Queue.push i queue
+    end
+  in
+  List.iter join (candidates ~min_idx:(tau - 1) seed_rw seed_rows);
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let inf = t.infos.(i - 1) in
+    List.iter join (candidates ~min_idx:i inf.rw inf.rows)
+  done;
+  List.sort compare !joined
+
+let members_list (rs : replay_set) =
+  let acc = ref [] in
+  for i = Array.length rs.members downto 1 do
+    if rs.members.(i - 1) then acc := i :: !acc
+  done;
+  !acc
+
+let replay_members ?(mode = Joint) t target =
+  match mode with
+  | Joint -> replay_members_joint t target
+  | m -> members_list (replay_set ~mode:m t target)
 
 let canonical_row_value t ~table v =
   Rowset.canonical t.row_state table (dim0_of t.config table)

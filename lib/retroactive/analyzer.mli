@@ -29,7 +29,19 @@ type op =
 
 type target = { tau : int; op : op }
 
-type mode = Col_only | Row_only | Cell
+type mode = Col_only | Row_only | Cell | Joint
+(** [Cell] intersects two independent closures (Theorem E.20); [Joint]
+    closes over the pairwise cell conflict relation instead — a member
+    pulls in an entry only when they conflict both column-wise and
+    row-wise with {e each other}. Joint ⊆ Cell (every joint conflict is a
+    conflict in both constituent closures), and joint ⊇ the true
+    dependency closure (a shared cell implies shared columns and shared
+    rows), so it is sound and at least as tight. Its cost is bounded by
+    the row-value buckets actually touched rather than the history
+    length, which is what lets replay-set computation stay flat while
+    the log grows — the history-scale bench gates on this. [Cell]
+    remains the default for bit-for-bit continuity of existing
+    replay-set counts. *)
 
 type info = {
   index : int;
@@ -41,23 +53,52 @@ type info = {
 
 type t
 
+(** Where entries come from. The analyzer pulls its input through this
+    record, so it never requires a materialized {!Uv_db.Log.t}: an
+    in-memory log, a segmented {!Uv_db.Log_store} (one segment resident
+    at a time) and any custom fold all analyse identically. *)
+type source = {
+  src_length : unit -> int;  (** entries available right now *)
+  src_iter : int -> int -> (Uv_db.Log.entry -> unit) -> unit;
+      (** [src_iter lo hi f] applies [f] to entries with 1-based commit
+          indexes [lo..hi], in order. Called once per {!extend} batch. *)
+}
+
+val source_of_log : Uv_db.Log.t -> source
+
+val source_of_store : Uv_db.Log_store.t -> source
+(** Streams via {!Uv_db.Log_store.iter_range}/[entry_of_record]: peak
+    resident log memory during analysis is one segment plus the
+    manifest. *)
+
+val source_of_fun : length:(unit -> int) -> (int -> Uv_db.Log.entry) -> source
+(** A source from a random-access fetch function. *)
+
+val of_source :
+  ?config:Rowset.config ->
+  ?base:Uv_db.Catalog.t ->
+  ?obs:Uv_obs.Trace.t ->
+  source ->
+  t
+(** Scan the source once, building per-entry sets and the value indexes
+    used by replay-set computation. [base] is the catalog state at the
+    start of the history (the checkpoint the history grows from); it
+    seeds the schema view and the Hash-jumper's initial table hashes.
+    [obs] records [analyze.rwsets]/[analyze.index] spans. *)
+
 val analyze :
   ?config:Rowset.config ->
   ?base:Uv_db.Catalog.t ->
   ?obs:Uv_obs.Trace.t ->
   Uv_db.Log.t ->
   t
-(** Scan the whole log once, building per-entry sets and the value
-    indexes used by replay-set computation. [base] is the catalog state
-    at the start of the history (the checkpoint the log grows from); it
-    seeds the schema view and the Hash-jumper's initial table hashes.
-    [obs] records [analyze.rwsets]/[analyze.index] spans. *)
+(** [of_source] over [source_of_log]. *)
 
 val extend : ?obs:Uv_obs.Trace.t -> t -> int
-(** Fold log entries committed since the analyzer was built (or last
-    extended) into the per-entry sets and value indexes, without
-    re-scanning the analysed prefix; returns the number of new entries.
-    Equivalent to a fresh [analyze] of the grown log: the evolving
+(** Fold entries committed to the source since the analyzer was built
+    (or last extended) into the per-entry sets and value indexes,
+    without re-scanning the analysed prefix; returns the number of new
+    entries. Equivalent to a fresh [of_source] of the grown history: the evolving
     schema view and RI merge state are carried in the analyzer, and an
     RI merge learned by a new entry re-keys the affected value buckets.
     Only sound while the analysed prefix is intact — a truncated log or
@@ -100,6 +141,16 @@ val replay_set_grouped :
 (** Transaction-granularity variant used by the non-transpiled (D)
     system: entries sharing an [app_txn] tag join or stay out of 𝕀 as a
     unit, and set propagation runs over the per-transaction unions. *)
+
+val replay_members : ?mode:mode -> t -> target -> int list
+(** The replay-set members as a sorted list of 1-based commit indexes.
+    For [Joint] (the default here) this runs a lean closure that never
+    materializes [length t]-sized arrays: candidates come from
+    cell-granular value buckets and membership scratch is epoch-stamped,
+    so the cost of answering a what-if question scales with the replay
+    set and the buckets it touches, not with the history length. Agrees
+    exactly with [members_of (replay_set ~mode)] for every mode; other
+    modes delegate to {!replay_set}. *)
 
 type joins_fn = min_idx:int -> Rwset.rw -> Rowset.entry_rows -> int list
 (** Candidate generator used by the closure worklist: given a member's

@@ -102,13 +102,17 @@ let rec apply t (s : stmt) =
   | Call _ ->
       ()
 
-let of_log ?base log ~upto =
+let build ?base iter =
   let t = match base with Some cat -> of_catalog cat | None -> create () in
-  let i = ref 1 in
-  Uv_db.Log.iter log (fun e ->
-      if !i < upto then apply t e.Uv_db.Log.stmt;
-      incr i);
+  iter (apply t);
   t
+
+let of_log ?base log ~upto =
+  build ?base (fun apply ->
+      let i = ref 1 in
+      Uv_db.Log.iter log (fun e ->
+          if !i < upto then apply e.Uv_db.Log.stmt;
+          incr i))
 
 let table_schema t name = Hashtbl.find_opt t.tables name
 

@@ -21,6 +21,14 @@ val apply : t -> Ast.stmt -> unit
 (** Apply the schema effects of a statement (non-DDL statements are
     no-ops, except INSERT bumping nothing — data is never tracked). *)
 
+val build : ?base:Uv_db.Catalog.t -> ((Ast.stmt -> unit) -> unit) -> t
+(** Fold-style constructor: [build iter] seeds a view from [base] (or
+    empty) and hands [iter] an apply function to feed statements in
+    commit order — the streaming path for histories too large to
+    materialize ({!of_log} is [build] over {!Uv_db.Log.iter}; a
+    segmented store streams one segment at a time through the same
+    hook). *)
+
 val of_log : ?base:Uv_db.Catalog.t -> Uv_db.Log.t -> upto:int -> t
 (** Schema state just before the entry with 1-based commit index [upto]
     executes: [base] (or empty) advanced over entries [1 .. upto-1].

@@ -821,7 +821,10 @@ module Service_impl = struct
             plans = compile snap.plans (snap.analyzed_len + 1);
           }
       | _ ->
-          let a = Analyzer.analyze ?config:t.rowset ?base:t.base ~obs log in
+          let a =
+            Analyzer.of_source ?config:t.rowset ?base:t.base ~obs
+              (Analyzer.source_of_log log)
+          in
           Atomic.incr t.analyzer_builds;
           Uv_obs.Trace.incr obs "whatif.service.analyzer_builds";
           { analyzer = Some a; analyzed_len = n; epoch = ep;

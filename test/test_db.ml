@@ -674,8 +674,8 @@ let test_log_io_file_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Log_io.save (Engine.log e) ~path;
-      let back = Log_io.load ~path in
+      Log_store.save_log_file (Engine.log e) ~path;
+      let back = Log_store.load_log_file ~path in
       let e2 = fresh () in
       ignore (Log_io.replay e2 back : int list);
       check Alcotest.bool "identical db hash" true

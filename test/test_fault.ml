@@ -274,20 +274,21 @@ let test_torn_save_keeps_old_file () =
   let e = Engine.create () in
   run e "CREATE TABLE t (id INT PRIMARY KEY)";
   run e "INSERT INTO t VALUES (1)";
-  Log_io.save (Engine.log e) ~path;
-  let before = Log_io.load ~path in
+  Log_store.save_log_file (Engine.log e) ~path;
+  let before = Log_store.load_log_file ~path in
   run e "INSERT INTO t VALUES (2)";
   (* every save attempt tears (p = 1.0): the temp file gets a prefix,
      the rename never happens, the previous good log survives *)
   let fault = F.seeded ~torn_write:1.0 ~seed:3 () in
-  (match Log_io.save ~fault (Engine.log e) ~path with
+  (match Log_store.save_log_file ~fault (Engine.log e) ~path with
   | () -> Alcotest.fail "expected the torn write to escape"
   | exception F.Injected inj ->
       check Alcotest.string "site" F.Site.log_save inj.F.site);
-  check Alcotest.bool "previous log intact" true (Log_io.load ~path = before);
+  check Alcotest.bool "previous log intact" true
+    (Log_store.load_log_file ~path = before);
   (* and the torn temp file itself salvages without raising *)
   if Sys.file_exists (path ^ ".tmp") then
-    ignore (Log_io.load_salvage ~path:(path ^ ".tmp"))
+    ignore (Log_store.salvage_log_file ~path:(path ^ ".tmp"))
 
 let test_replay_reports_skips () =
   let e = Engine.create () in
@@ -333,8 +334,8 @@ let with_temp f =
 let test_uckp_roundtrip () =
   let _, ladder = laddered_engine () in
   with_temp @@ fun path ->
-  Dump.save_checkpoints ladder ~path;
-  let rungs = Dump.load_checkpoints ~path in
+  Log_store.save_checkpoints_file ladder ~path;
+  let rungs = Log_store.load_checkpoints_file ~path in
   check Alcotest.int "every rung round-trips" (Checkpoint.count ladder)
     (List.length rungs);
   (* each restored catalog is bit-identical to re-restoring the live
@@ -355,20 +356,20 @@ let test_uckp_roundtrip () =
 let test_uckp_torn_save_keeps_old_file () =
   let _, ladder = laddered_engine () in
   with_temp @@ fun path ->
-  Dump.save_checkpoints ladder ~path;
-  let before = Dump.load_checkpoints ~path in
+  Log_store.save_checkpoints_file ladder ~path;
+  let before = Log_store.load_checkpoints_file ~path in
   let fault = F.seeded ~torn_write:1.0 ~seed:5 () in
-  (match Dump.save_checkpoints ~fault ladder ~path with
+  (match Log_store.save_checkpoints_file ~fault ladder ~path with
   | () -> Alcotest.fail "expected the torn write to escape"
   | exception F.Injected inj ->
       check Alcotest.string "site" F.Site.checkpoint_save inj.F.site);
   check Alcotest.int "previous ladder file intact" (List.length before)
-    (List.length (Dump.load_checkpoints ~path))
+    (List.length (Log_store.load_checkpoints_file ~path))
 
 let test_uckp_bitflip_rejected () =
   let _, ladder = laddered_engine () in
   with_temp @@ fun path ->
-  Dump.save_checkpoints ladder ~path;
+  Log_store.save_checkpoints_file ladder ~path;
   let text =
     let ic = open_in_bin path in
     let s = really_input_string ic (in_channel_length ic) in
@@ -382,21 +383,21 @@ let test_uckp_bitflip_rejected () =
   let oc = open_out_bin path in
   output_bytes oc flipped;
   close_out oc;
-  (match Dump.load_checkpoints ~path with
+  (match Log_store.load_checkpoints_file ~path with
   | _ -> Alcotest.fail "a flipped byte must not load"
-  | exception Dump.Corrupt _ -> ());
+  | exception Log_store.Error _ -> ());
   (* and truncation at any point is Corrupt, never an escape or a torn
      partial ladder *)
   for cut = 0 to String.length text - 1 do
     let oc = open_out_bin path in
     output_string oc (String.sub text 0 cut);
     close_out oc;
-    match Dump.load_checkpoints ~path with
+    match Log_store.load_checkpoints_file ~path with
     | rungs ->
         if cut < String.length text then
           Alcotest.failf "cut at %d silently loaded %d rungs" cut
             (List.length rungs)
-    | exception Dump.Corrupt _ -> ()
+    | exception Log_store.Error _ -> ()
   done
 
 (* ------------------------------------------------------------------ *)
