@@ -155,11 +155,8 @@ let addr_of ~socket ~host ~port =
 
 (* ---------- shared history loading ---------- *)
 
-let load_history ?(checkpoint_every = 0) path =
+let exec_history eng path =
   let module Engine = Uv_db.Engine in
-  let eng = Engine.create () in
-  if checkpoint_every > 0 then
-    Engine.enable_checkpoints eng ~every:checkpoint_every;
   let stmts = Uv_sql.Parser.parse_script (read_file path) in
   List.iter
     (fun s ->
@@ -167,5 +164,12 @@ let load_history ?(checkpoint_every = 0) path =
       with Engine.Sql_error msg ->
         Printf.eprintf "warning: statement failed (%s): %s\n" msg
           (Uv_sql.Printer.stmt_compact s))
-    stmts;
+    stmts
+
+let load_history ?(checkpoint_every = 0) path =
+  let module Engine = Uv_db.Engine in
+  let eng = Engine.create () in
+  if checkpoint_every > 0 then
+    Engine.enable_checkpoints eng ~every:checkpoint_every;
+  exec_history eng path;
   eng

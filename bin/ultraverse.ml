@@ -672,15 +672,62 @@ let templates_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run path socket host port pool_workers replay_workers queue_capacity
-      max_clients deadline checkpoint_every no_plans json =
+  let run path socket host port store_dir sync_every sync_ms pool_workers
+      replay_workers queue_capacity max_clients deadline checkpoint_every
+      no_plans json =
     match Cli_args.addr_of ~socket ~host ~port with
     | Error msg ->
         prerr_endline msg;
         2
+    | Ok _ when path = None && store_dir = None ->
+        prerr_endline "serve: a HISTORY.SQL argument or --store DIR is required";
+        2
     | Ok addr ->
         let obs = Uv_obs.Trace.create () in
-        let eng = load_history ~checkpoint_every path in
+        let eng = Uv_db.Engine.create () in
+        if checkpoint_every > 0 then
+          Uv_db.Engine.enable_checkpoints eng ~every:checkpoint_every;
+        (* with --store, the store is the source of truth: the engine is
+           rebuilt from the salvaged acknowledged prefix, and HISTORY.SQL
+           only seeds a store that is still empty *)
+        let durable =
+          match store_dir with
+          | None ->
+              Option.iter (fun p -> Cli_args.exec_history eng p) path;
+              None
+          | Some dir ->
+              let dcfg =
+                {
+                  Uv_retroactive.Durable.default_config with
+                  Uv_retroactive.Durable.sync_every;
+                  sync_ms;
+                }
+              in
+              let dur, recovery =
+                Uv_retroactive.Durable.attach ~config:dcfg ~dir eng
+              in
+              let module D = Uv_retroactive.Durable in
+              (match (recovery.D.rec_records, path) with
+              | 0, Some p ->
+                  Cli_args.exec_history eng p;
+                  D.seed dur
+              | n, Some p when n > 0 ->
+                  Printf.eprintf
+                    "warning: store %s already holds %d records; %s ignored\n"
+                    dir n p
+              | _ -> ());
+              if not json then begin
+                Printf.printf
+                  "recovered %d records from %s (%d truncated as \
+                   unacknowledged, %d idempotency keys%s)\n"
+                  recovery.D.rec_records dir recovery.D.rec_truncated
+                  recovery.D.rec_keys
+                  (if recovery.D.rec_salvaged then "; store needed salvage"
+                   else "");
+                flush stdout
+              end;
+              Some dur
+        in
         let config =
           Whatif.Config.make ~workers:replay_workers ~obs ~checkpoint_every
             ~plans:(not no_plans) ()
@@ -698,7 +745,7 @@ let serve_cmd =
             default_deadline_ms = deadline;
           }
         in
-        let srv = Serve.start ~config:scfg ~obs service addr in
+        let srv = Serve.start ~config:scfg ~obs ?durable service addr in
         let endpoint =
           match addr with
           | Serve.Unix_sock p -> "unix:" ^ p
@@ -762,55 +809,106 @@ let serve_cmd =
       value & opt int Serve.default_config.Serve.max_clients
       & info [ "max-clients" ] ~doc:"concurrent client connections")
   in
+  let store_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "durable history store: ingest acknowledgments are withheld \
+             until the batch is fsynced here, and on startup the daemon \
+             recovers the acknowledged history from it (HISTORY.SQL then \
+             only seeds an empty store)")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ] ~docv:"N"
+          ~doc:
+            "group-commit width: flush as soon as N ingest batches are \
+             pending (1 = sync every batch)")
+  in
+  let sync_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "sync-ms" ] ~docv:"MS"
+          ~doc:
+            "group-commit window: a batch waits at most MS milliseconds \
+             for companions before the flush runs (0 = no window)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "serve what-if questions to concurrent clients over a framed \
           uv.serve/1 socket protocol while ingesting new transactions \
           (stop with SIGINT or a client shutdown request)")
-    Term.(const run $ Cli_args.history_pos $ Cli_args.socket $ Cli_args.tcp_host
-          $ Cli_args.tcp_port $ pool_workers $ replay_workers $ queue_capacity
+    Term.(const run $ Cli_args.history_pos_opt $ Cli_args.socket
+          $ Cli_args.tcp_host $ Cli_args.tcp_port $ store_dir $ sync_every
+          $ sync_ms $ pool_workers $ replay_workers $ queue_capacity
           $ max_clients $ Cli_args.deadline $ Cli_args.checkpoint_every
           $ Cli_args.no_plans $ Cli_args.json)
 
 let client_cmd =
   let module J = Uv_obs.Json in
-  let run action socket host port tau op stmt_text deadline sql json =
+  let run action socket host port tau op stmt_text deadline sql idem_key
+      retries json =
     match Cli_args.addr_of ~socket ~host ~port with
     | Error msg ->
         prerr_endline msg;
         2
     | Ok addr -> (
-        let result =
-          match
-            let c = Serve.Client.connect addr in
-            Fun.protect
-              ~finally:(fun () -> Serve.Client.close c)
-              (fun () ->
-                match action with
-                | "ping" -> Serve.Client.ping c
-                | "stats" -> Serve.Client.stats c
-                | "metrics" -> Serve.Client.metrics c
-                | "shutdown" -> Serve.Client.shutdown c
-                | "ingest" -> (
-                    match sql with
-                    | Some sql -> Serve.Client.ingest c sql
-                    | None -> Error "ingest needs --sql")
-                | "whatif" -> (
-                    match tau with
-                    | Some tau ->
-                        Serve.Client.whatif ?deadline_ms:deadline ~tau ~op
-                          ?stmt:stmt_text c ()
-                    | None -> Error "whatif needs --tau")
-                | a -> Error (Printf.sprintf "unknown action %S" a))
-          with
-          | r -> r
-          | exception Unix.Unix_error (e, _, _) ->
-              Error (Unix.error_message e)
+        (* every action reduces to one request payload; the transport —
+           single connection or bounded retry with reconnect — is chosen
+           by --retries *)
+        let payload =
+          match action with
+          | "ping" | "stats" | "metrics" | "health" | "shutdown" ->
+              Ok (J.Obj [ ("type", J.Str action) ])
+          | "ingest" -> (
+              match sql with
+              | Some sql ->
+                  Ok (Serve.Client.ingest_payload ?idem_key sql)
+              | None -> Error "ingest needs --sql")
+          | "whatif" -> (
+              match tau with
+              | Some tau ->
+                  Ok
+                    (Serve.Client.whatif_payload ?deadline_ms:deadline ~tau
+                       ~op ?stmt:stmt_text ())
+              | None -> Error "whatif needs --tau")
+          | a -> Error (Printf.sprintf "unknown action %S" a)
+        in
+        let result, attempts =
+          match payload with
+          | Error e -> (Error e, 0)
+          | Ok payload ->
+              if retries > 0 then
+                let r, attempts =
+                  Serve.Client.call_retry ~retries addr payload
+                in
+                (Result.map_error Serve.Client.error_to_string r, attempts)
+              else
+                ( (match
+                     let c = Serve.Client.connect addr in
+                     Fun.protect
+                       ~finally:(fun () -> Serve.Client.close c)
+                       (fun () -> Serve.Client.call c payload)
+                   with
+                  | r -> r
+                  | exception Unix.Unix_error (e, _, _) ->
+                      Error (Unix.error_message e)),
+                  1 )
+        in
+        let note_attempts () =
+          if retries > 0 && not json then
+            Printf.printf "(%d attempt%s)\n" attempts
+              (if attempts = 1 then "" else "s")
         in
         match result with
         | Error e ->
             prerr_endline ("client: " ^ e);
+            if retries > 0 then
+              Printf.eprintf "(%d attempt%s)\n" attempts
+                (if attempts = 1 then "" else "s");
             2
         | Ok (Serve.Client.Refused { code; message; retry_after_ms; phase }) ->
             if json then
@@ -826,17 +924,21 @@ let client_cmd =
                       @ (match retry_after_ms with
                         | Some ms -> [ ("retry_after_ms", J.Float ms) ]
                         | None -> [])
+                      @ (match phase with
+                        | Some p -> [ ("phase", J.Str p) ]
+                        | None -> [])
                       @
-                      match phase with
-                      | Some p -> [ ("phase", J.Str p) ]
-                      | None -> [])))
-            else
+                      if retries > 0 then [ ("attempts", J.Int attempts) ]
+                      else [])))
+            else begin
               Printf.eprintf "refused [%s]%s: %s%s\n" code
                 (match phase with Some p -> " in " ^ p | None -> "")
                 message
                 (match retry_after_ms with
                 | Some ms -> Printf.sprintf " (retry after %.0f ms)" ms
                 | None -> "");
+              note_attempts ()
+            end;
             1
         | Ok (Serve.Client.Result payload) ->
             (* metrics answers with a uv.metrics/1 payload; re-envelope
@@ -844,9 +946,18 @@ let client_cmd =
             let schema =
               if action = "metrics" then "uv.metrics/1" else "uv.serve/1"
             in
+            let payload =
+              match payload with
+              | J.Obj fields when json && retries > 0 && action <> "metrics" ->
+                  J.Obj (fields @ [ ("attempts", J.Int attempts) ])
+              | p -> p
+            in
             if json then
               print_endline (Uv_obs.Report.to_string ~schema payload)
-            else print_endline (J.pretty payload);
+            else begin
+              print_endline (J.pretty payload);
+              note_attempts ()
+            end;
             0)
   in
   let action =
@@ -854,7 +965,7 @@ let client_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"ACTION"
-          ~doc:"ping | stats | metrics | whatif | ingest | shutdown")
+          ~doc:"ping | stats | metrics | health | whatif | ingest | shutdown")
   in
   let sql =
     Arg.(
@@ -862,12 +973,33 @@ let client_cmd =
       & opt (some string) None
       & info [ "sql" ] ~doc:"SQL script to ingest (for $(b,ingest))")
   in
+  let idem_key =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "idem-key" ] ~docv:"KEY"
+          ~doc:
+            "idempotency key for $(b,ingest): the server deduplicates \
+             re-sends under the same key, making retries after a lost \
+             acknowledgment safe")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "retry the request up to N times on connection resets and \
+             saturated refusals (exponential backoff with jitter; \
+             deadline refusals are never retried); the attempt count is \
+             reported in the output")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"one-shot client for a running $(b,ultraverse serve) daemon")
     Term.(const run $ action $ Cli_args.socket $ Cli_args.tcp_host
           $ Cli_args.tcp_port $ Cli_args.tau_opt $ Cli_args.op
-          $ Cli_args.stmt_text $ Cli_args.deadline $ sql $ Cli_args.json)
+          $ Cli_args.stmt_text $ Cli_args.deadline $ sql $ idem_key
+          $ retries $ Cli_args.json)
 
 (* ------------------------------------------------------------------ *)
 (* workloads                                                            *)

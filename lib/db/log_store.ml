@@ -70,6 +70,10 @@ type t = {
   mutable manifest_len : int;
   mutable dirty : bool;
   mutable closed : bool;
+  mutable orphans : int list;
+      (* sequence numbers truncated away; their files are unlinked only
+         after the shrunk manifest is durable, so a crash mid-truncate
+         leaves a consistent (if longer) store *)
 }
 
 let manifest_name = "MANIFEST"
@@ -287,6 +291,7 @@ let open_ ?(fault = Uv_fault.Fault.disabled) ?fsync ?segment_cap dir =
     manifest_len = mlen;
     dirty = false;
     closed = false;
+    orphans = [];
   }
 
 let check_open t = if t.closed then invalid_arg "Log_store: store is closed"
@@ -561,7 +566,50 @@ let sync t =
        write_manifest t ~tail_row:[ row ]
      end
      else write_manifest t ~tail_row:[]);
+    (* the shrunk manifest is durable; truncated chunk files can go *)
+    List.iter
+      (fun seq -> try Sys.remove (seg_path t seq) with Sys_error _ -> ())
+      t.orphans;
+    t.orphans <- [];
     t.dirty <- false
+  end
+
+let truncate t n =
+  check_open t;
+  if n < 0 then invalid_arg "Log_store.truncate: negative length";
+  if n < length t then begin
+    (if t.tail_count > 0 && n >= t.tail_min then begin
+       (* the cut lies inside the open tail *)
+       let keep = n - t.tail_min + 1 in
+       let kept = Array.to_list (Array.sub (tail_array t) 0 keep) in
+       t.tail <- List.rev kept;
+       t.tail_count <- keep;
+       t.tail_nondet <- nondet_of_records kept
+     end
+     else begin
+       t.tail <- [];
+       t.tail_count <- 0;
+       t.tail_nondet <- 0;
+       let keep, drop = List.partition (fun i -> i.s.seg_min <= n) t.sealed in
+       t.sealed <- keep;
+       t.orphans <-
+         t.orphans @ List.map (fun i -> i.s.seg_seq) drop;
+       match List.rev keep with
+       | i :: _ when i.s.seg_min + seg_count i - 1 > n ->
+           (* boundary segment straddles the cut: re-open it as the
+              trimmed tail so appends keep filling it *)
+           let arr = seg_records t i in
+           let keep_n = n - i.s.seg_min + 1 in
+           let kept = Array.to_list (Array.sub arr 0 keep_n) in
+           t.sealed <- List.filter (fun j -> j != i) t.sealed;
+           t.tail <- List.rev kept;
+           t.tail_count <- keep_n;
+           t.tail_min <- i.s.seg_min;
+           t.tail_nondet <- nondet_of_records kept
+       | _ -> t.tail_min <- n + 1
+     end);
+    t.cache <- None;
+    t.dirty <- true
   end
 
 let close t =
@@ -747,8 +795,20 @@ let open_salvage ?(fault = Uv_fault.Fault.disabled) ?fsync dir =
             Some (found, bytes, true)
         | None ->
             if not crc_ok then begin
-              cut := Some (seq, 0, "segment checksum mismatch");
-              None
+              (* The file parses cleanly but disagrees with the manifest
+                 — the signature of a crash between a tail-segment write
+                 and the manifest update (the new file is the old one
+                 plus appended records). Per-record CRCs vouch for every
+                 parsed record, so keep the longest valid record prefix
+                 instead of dropping the segment: manifest-acknowledged
+                 records must survive salvage. *)
+              cut :=
+                Some
+                  ( seq,
+                    0,
+                    "segment/manifest checksum mismatch (longest valid \
+                     record prefix kept)" );
+              if found = 0 then None else Some (found, bytes, true)
             end
             else if expected <> None && Some found <> expected then begin
               cut :=
@@ -842,6 +902,7 @@ let open_salvage ?(fault = Uv_fault.Fault.disabled) ?fsync dir =
       manifest_len = 0;
       dirty = false;
       closed = false;
+      orphans = [];
     }
   in
   let report =

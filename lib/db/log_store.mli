@@ -148,6 +148,16 @@ val append_log : t -> Log.t -> unit
 (** {!append} the durable projection of every entry of an in-memory
     log, in order. *)
 
+val truncate : t -> int -> unit
+(** [truncate t n] drops every record with a global index above [n]
+    (no-op when [n >= length t]). Whole segments beyond the cut are
+    dropped, a boundary segment straddling it is re-opened as the
+    trimmed tail, and the change persists on the next {!sync} — the
+    shrunk manifest is written before any truncated chunk file is
+    unlinked, so a crash mid-truncate leaves a consistent (if longer)
+    store. Serve recovery uses this to cut an unacknowledged
+    partially-durable ingest batch back out of the history. *)
+
 (** {2 Streaming reads}
 
     All read paths decode one segment at a time; a one-segment cache
@@ -229,9 +239,13 @@ val open_salvage :
     manifest is rebuilt from the segment files on disk; the first
     damaged segment is trimmed to its longest valid record prefix and
     every later segment dropped (replaying past a hole would silently
-    reorder history — same contract as {!Log_io.salvage}). The returned
-    handle serves exactly the salvaged prefix; {!sync} would commit the
-    trim to the manifest. *)
+    reorder history — same contract as {!Log_io.salvage}). A segment
+    whose bytes disagree with the manifest CRC but parse cleanly — the
+    signature of a crash between a tail-segment write and the manifest
+    update — keeps its longest valid record prefix rather than being
+    dropped, so manifest-acknowledged records always survive. The
+    returned handle serves exactly the salvaged prefix; {!sync} would
+    commit the trim to the manifest. *)
 
 (** {2 Attached checkpoint ladder and base dump} *)
 

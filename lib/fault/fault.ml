@@ -126,4 +126,7 @@ module Site = struct
   let wave = "wave_exec.wave"
   let checkpoint = "engine.checkpoint"
   let checkpoint_save = "checkpoint.save"
+  let serve_ingest_append = "serve.ingest.append"
+  let serve_ingest_sync = "serve.ingest.sync"
+  let serve_ack = "serve.ack"
 end

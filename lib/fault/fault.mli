@@ -114,4 +114,20 @@ module Site : sig
   (** Probed by [Dump.save_checkpoints] ([Torn_write]): the checkpoint
       file receives only a prefix and the rename is skipped, so recovery
       must reject it on CRC and fall back to undo-only rollback. *)
+
+  val serve_ingest_append : string
+  (** Probed by the durable-ingest path after a batch executed but
+      before its records reach the store ([Stmt_fail] models the daemon
+      dying here); key = the batch's first global commit index. *)
+
+  val serve_ingest_sync : string
+  (** Probed inside the group-commit flush, between the intent journal
+      and the store sync ([Stmt_fail]): the batch is journalled but its
+      records may be only partially durable — recovery must truncate it
+      away. *)
+
+  val serve_ack : string
+  (** Probed after a batch is fully durable, before the acknowledgment
+      frame is written ([Stmt_fail]): the client never sees the ack and
+      re-sends; the idempotency key must deduplicate. *)
 end

@@ -1,0 +1,501 @@
+(* Durable acknowledged ingest: store-backed history, intent journal,
+   idempotency keys and group-commit fsync. See durable.mli for the
+   contract and the crash-window analysis. *)
+
+module Fault = Uv_fault.Fault
+module Log_store = Uv_db.Log_store
+module Engine = Uv_db.Engine
+module Log = Uv_db.Log
+module Log_io = Uv_db.Log_io
+
+type config = {
+  sync_every : int;
+  sync_ms : float;
+  fsync : bool;
+  fault : Fault.t;
+}
+
+let default_config =
+  { sync_every = 1; sync_ms = 0.; fsync = true; fault = Fault.disabled }
+
+type recovery = {
+  rec_records : int;
+  rec_truncated : int;
+  rec_keys : int;
+  rec_replay_skipped : int;
+  rec_salvaged : bool;
+}
+
+type ack = {
+  applied : int;
+  failed : int;
+  history_len : int;
+  duplicate : bool;
+}
+
+type stats = {
+  durable_len : int;
+  last_seal : int;
+  pending_batches : int;
+  keys : int;
+  flushes : int;
+  poisoned : bool;
+}
+
+type t = {
+  cfg : config;
+  dir : string;
+  store : Log_store.t;
+  eng : Engine.t;
+  journal_path : string;
+  mutable journal_fd : Unix.file_descr option;
+  key_acks : (string, ack) Hashtbl.t;
+  mutable exec : (Uv_sql.Ast.stmt list -> int * int) option;
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable pending : int;  (** batches appended but not yet flushed *)
+  mutable pending_since : float;  (** when the oldest pending batch arrived *)
+  mutable durable_upto : int;  (** store length covered by the last flush *)
+  mutable flushes : int;
+  mutable failed : exn option;  (** a crash site fired: handle is poisoned *)
+  mutable closing : bool;
+  mutable closed : bool;
+  mutable syncer : unit Domain.t option;
+  mutable recovery : recovery;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Intent journal (UVJNLv1).
+
+   <dir>/INGEST is a line-oriented append-only file:
+
+     UVJNLv1
+     B <len> # <crc32>
+     I <hex key|-> <start> <applied> <failed> # <crc32>
+
+   [B] sets the coverage baseline (store length known durable when the
+   line was written); [I] records one ingest batch's idempotency key
+   (hex-encoded; "-" when the client sent none) and exact global-index
+   range: the batch appended [applied] records starting at [start].
+   Each line's CRC-32 covers the text before " # ", so a torn tail is
+   detected and dropped like a torn ULOGv2 record. The journal is
+   compacted on attach (baseline + surviving intents). *)
+
+let journal_header = "UVJNLv1"
+
+let hex_of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    match
+      String.init (n / 2) (fun i ->
+          Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2)))
+    with
+    | decoded -> Some decoded
+    | exception _ -> None
+
+let seal_line body = body ^ " # " ^ Uv_util.Crc32.to_hex (Uv_util.Crc32.digest body)
+
+let unseal_line line =
+  match String.rindex_opt line '#' with
+  | Some i
+    when i >= 1
+         && line.[i - 1] = ' '
+         && String.length line = i + 10
+         && line.[i + 1] = ' ' -> (
+      let body = String.sub line 0 (i - 1) in
+      let hex = String.sub line (i + 2) 8 in
+      match Uv_util.Crc32.of_hex hex with
+      | Some crc when crc = Uv_util.Crc32.digest body -> Some body
+      | _ -> None)
+  | _ -> None
+
+type intent = {
+  in_key : string option;
+  in_start : int;  (** first global index the batch appended *)
+  in_applied : int;
+  in_failed : int;
+}
+
+let intent_line it =
+  let key = match it.in_key with None -> "-" | Some k -> hex_of_string k in
+  seal_line
+    (Printf.sprintf "I %s %d %d %d" key it.in_start it.in_applied it.in_failed)
+
+let baseline_line len = seal_line (Printf.sprintf "B %d" len)
+
+(* Longest valid prefix of the journal: (baseline, intents, torn?).
+   Stops at the first malformed or checksum-failing line — entries past
+   a hole cannot be trusted to be in append order. *)
+let parse_journal text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | header :: rest when String.equal header journal_header ->
+      let baseline = ref 0 and intents = ref [] and torn = ref false in
+      let parse_line line =
+        match unseal_line line with
+        | None -> false
+        | Some body -> (
+            match String.split_on_char ' ' body with
+            | [ "B"; len ] -> (
+                match int_of_string_opt len with
+                | Some n when n >= 0 ->
+                    baseline := max !baseline n;
+                    true
+                | _ -> false)
+            | [ "I"; key; start; applied; failed ] -> (
+                match
+                  ( (if String.equal key "-" then Some None
+                     else Option.map Option.some (string_of_hex key)),
+                    int_of_string_opt start,
+                    int_of_string_opt applied,
+                    int_of_string_opt failed )
+                with
+                | Some k, Some s, Some a, Some f when s >= 1 && a >= 0 && f >= 0
+                  ->
+                    intents :=
+                      { in_key = k; in_start = s; in_applied = a; in_failed = f }
+                      :: !intents;
+                    true
+                | _ -> false)
+            | _ -> false)
+      in
+      let rec go = function
+        | [] -> ()
+        | [ "" ] -> ()  (* trailing newline *)
+        | line :: rest ->
+            if parse_line line then go rest
+            else torn := true  (* stop at the first bad line *)
+      in
+      go rest;
+      (!baseline, List.rev !intents, !torn)
+  | [ "" ] | [] -> (0, [], false)
+  | _ -> (0, [], true)
+
+(* ------------------------------------------------------------------ *)
+(* Journal I/O on the live handle. *)
+
+let journal_open t =
+  let fd =
+    Unix.openfile t.journal_path Unix.[ O_WRONLY; O_APPEND; O_CREAT ] 0o644
+  in
+  t.journal_fd <- Some fd
+
+let journal_append t line =
+  match t.journal_fd with
+  | None -> ()
+  | Some fd ->
+      let bytes = Bytes.of_string (line ^ "\n") in
+      let n = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd bytes !written (n - !written)
+      done
+
+let journal_fsync t =
+  match t.journal_fd with
+  | Some fd when t.cfg.fsync -> Unix.fsync fd
+  | _ -> ()
+
+(* Rewrite the journal to baseline + surviving intents (atomic). *)
+let journal_compact ~fsync path ~baseline intents =
+  let b = Buffer.create 256 in
+  Buffer.add_string b journal_header;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (baseline_line baseline);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun it ->
+      Buffer.add_string b (intent_line it);
+      Buffer.add_char b '\n')
+    intents;
+  Uv_util.Safe_io.atomic_write ~fsync ~path (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Attach: salvage + truncate-to-coverage + replay. *)
+
+let attach ?(config = default_config) ~dir eng =
+  let config = { config with sync_every = max 1 config.sync_every } in
+  (* a first boot points at a directory that does not exist yet:
+     create it, as [Log_store.open_] would *)
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let store, sr =
+    Log_store.open_salvage ~fault:config.fault ~fsync:config.fsync dir
+  in
+  let durable_len = Log_store.length store in
+  let journal_path = Filename.concat dir "INGEST" in
+  let journal_text =
+    if Sys.file_exists journal_path then Uv_util.Safe_io.read_file journal_path
+    else ""
+  in
+  let baseline, intents, torn = parse_journal journal_text in
+  (* Coverage = acknowledged prefix. Walk intents in append order; an
+     intent whose range is fully inside the salvaged store extends
+     coverage, the first one that is not marks the crash frontier —
+     it and everything after it were never acknowledged. *)
+  let covered = ref (min baseline durable_len) in
+  let kept = ref [] in
+  (try
+     List.iter
+       (fun it ->
+         let finish = it.in_start + it.in_applied - 1 in
+         if it.in_start > !covered + 1 then raise Exit  (* gap: distrust *)
+         else if finish <= durable_len then begin
+           covered := max !covered finish;
+           kept := it :: !kept
+         end
+         else raise Exit)
+       intents
+   with Exit -> ());
+  let kept = List.rev !kept in
+  let truncated = durable_len - !covered in
+  if truncated > 0 then begin
+    Log_store.truncate store !covered;
+    Log_store.sync store
+  end;
+  let skipped = Log_store.replay store eng in
+  journal_compact ~fsync:config.fsync journal_path ~baseline:!covered kept;
+  let key_acks = Hashtbl.create 16 in
+  List.iter
+    (fun it ->
+      match it.in_key with
+      | None -> ()
+      | Some k ->
+          Hashtbl.replace key_acks k
+            {
+              applied = it.in_applied;
+              failed = it.in_failed;
+              history_len = it.in_start + it.in_applied - 1;
+              duplicate = true;
+            })
+    kept;
+  let t =
+    {
+      cfg = config;
+      dir;
+      store;
+      eng;
+      journal_path;
+      journal_fd = None;
+      key_acks;
+      exec = None;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      pending = 0;
+      pending_since = 0.;
+      durable_upto = !covered;
+      flushes = 0;
+      failed = None;
+      closing = false;
+      closed = false;
+      syncer = None;
+      recovery =
+        {
+          rec_records = !covered;
+          rec_truncated = max 0 truncated;
+          rec_keys = Hashtbl.length key_acks;
+          rec_replay_skipped = List.length skipped;
+          rec_salvaged =
+            torn || truncated > 0 || sr.Log_store.sr_manifest_rebuilt
+            || sr.Log_store.sr_cut_segment <> None;
+        };
+    }
+  in
+  journal_open t;
+  (t, t.recovery)
+
+let seed t =
+  let len = Log.length (Engine.log t.eng) in
+  if Log_store.length t.store <> 0 then
+    invalid_arg "Durable.seed: store is not empty";
+  Log_store.append_log t.store (Engine.log t.eng);
+  Log_store.sync t.store;
+  journal_append t (baseline_line len);
+  journal_fsync t;
+  t.durable_upto <- len
+
+(* ------------------------------------------------------------------ *)
+(* Group commit. *)
+
+let poison t exn =
+  t.failed <- Some exn;
+  Condition.broadcast t.cond
+
+let check_live t =
+  if t.closed then invalid_arg "Durable: closed";
+  match t.failed with Some e -> raise e | None -> ()
+
+(* Runs with [t.m] held. Journal first, then the store: an intent made
+   durable before its records can be truncated back out on recovery;
+   records durable before their intent are beyond coverage and equally
+   truncated — either order is safe, journal-first loses less. *)
+let flush_locked t =
+  if t.pending > 0 then begin
+    (try
+       journal_fsync t;
+       (match
+          Fault.check ~key:(Log_store.length t.store) t.cfg.fault
+            Fault.Site.serve_ingest_sync [ Fault.Stmt_fail ]
+        with
+       | Some inj -> raise (Fault.Injected inj)
+       | None -> ());
+       Log_store.sync t.store
+     with e ->
+       poison t e;
+       raise e);
+    t.durable_upto <- Log_store.length t.store;
+    t.pending <- 0;
+    t.flushes <- t.flushes + 1;
+    Condition.broadcast t.cond
+  end
+
+let windowed cfg = cfg.sync_every > 1 || cfg.sync_ms > 0.
+
+let syncer_loop t =
+  let tick = max 0.0005 (t.cfg.sync_ms /. 4000.) in
+  let rec loop () =
+    Mutex.lock t.m;
+    let stop = (t.closing && t.pending = 0) || t.failed <> None in
+    if stop then Mutex.unlock t.m
+    else begin
+      (if t.pending > 0 then
+         let age_ms = (Unix.gettimeofday () -. t.pending_since) *. 1000. in
+         if t.closing || age_ms >= t.cfg.sync_ms then
+           try flush_locked t with _ -> ());
+      Mutex.unlock t.m;
+      Unix.sleepf tick;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ~ingest t =
+  Mutex.lock t.m;
+  if t.exec <> None then begin
+    Mutex.unlock t.m;
+    invalid_arg "Durable.start: already started"
+  end;
+  t.exec <- Some ingest;
+  if windowed t.cfg then t.syncer <- Some (Domain.spawn (fun () -> syncer_loop t));
+  Mutex.unlock t.m
+
+let record_of_entry (e : Log.entry) =
+  { Log_io.r_sql = e.sql; r_nondet = e.nondet; r_app_txn = e.app_txn }
+
+let ingest ?key t stmts =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      check_live t;
+      if t.closing then invalid_arg "Durable.ingest: closing";
+      match Option.bind key (Hashtbl.find_opt t.key_acks) with
+      | Some ack -> ack  (* already durable: nothing re-executes *)
+      | None ->
+          let exec =
+            match t.exec with
+            | Some f -> f
+            | None -> invalid_arg "Durable.ingest: not started"
+          in
+          let n0 = Log_store.length t.store in
+          let applied, failed = exec stmts in
+          (* The service has applied the batch in memory; from here on,
+             a fired crash site poisons the handle — the in-memory
+             engine is ahead of disk, exactly like a killed daemon. *)
+          (match
+             Fault.check ~key:(n0 + 1) t.cfg.fault
+               Fault.Site.serve_ingest_append [ Fault.Stmt_fail ]
+           with
+          | Some inj ->
+              let e = Fault.Injected inj in
+              poison t e;
+              raise e
+          | None -> ());
+          let log = Engine.log t.eng in
+          let n1 = Log.length log in
+          (try
+             for i = n0 + 1 to n1 do
+               Log_store.append t.store (record_of_entry (Log.entry log i))
+             done;
+             journal_append t
+               (intent_line
+                  {
+                    in_key = key;
+                    in_start = n0 + 1;
+                    in_applied = applied;
+                    in_failed = failed;
+                  })
+           with e ->
+             poison t e;
+             raise e);
+          if t.pending = 0 then t.pending_since <- Unix.gettimeofday ();
+          t.pending <- t.pending + 1;
+          if (not (windowed t.cfg)) || t.pending >= t.cfg.sync_every then
+            flush_locked t
+          else
+            while t.durable_upto < n1 && t.failed = None do
+              Condition.wait t.cond t.m
+            done;
+          check_live t;
+          (match
+             Fault.check ~key:(n0 + 1) t.cfg.fault Fault.Site.serve_ack
+               [ Fault.Stmt_fail ]
+           with
+          | Some inj ->
+              let e = Fault.Injected inj in
+              poison t e;
+              raise e
+          | None -> ());
+          let ack = { applied; failed; history_len = n1; duplicate = false } in
+          (match key with
+          | Some k -> Hashtbl.replace t.key_acks k { ack with duplicate = true }
+          | None -> ());
+          ack)
+
+let stats t =
+  Mutex.lock t.m;
+  let last_seal =
+    match List.rev (Log_store.boundaries t.store) with x :: _ -> x | [] -> 0
+  in
+  let s =
+    {
+      durable_len = t.durable_upto;
+      last_seal;
+      pending_batches = t.pending;
+      keys = Hashtbl.length t.key_acks;
+      flushes = t.flushes;
+      poisoned = t.failed <> None;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let last_recovery t = t.recovery
+let dir t = t.dir
+
+let close t =
+  Mutex.lock t.m;
+  if t.closed then Mutex.unlock t.m
+  else begin
+    t.closing <- true;
+    (if t.failed = None then try flush_locked t with _ -> ());
+    let syncer = t.syncer in
+    t.syncer <- None;
+    Mutex.unlock t.m;
+    (match syncer with Some d -> Domain.join d | None -> ());
+    Mutex.lock t.m;
+    t.closed <- true;
+    (match t.journal_fd with
+    | Some fd ->
+        t.journal_fd <- None;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (if t.failed = None then
+       try Log_store.close t.store with _ -> ());
+    Mutex.unlock t.m
+  end

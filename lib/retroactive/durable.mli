@@ -1,0 +1,139 @@
+(** Durable acknowledged ingest for the serve daemon.
+
+    The serve daemon's contract is that an acknowledged ingest batch is
+    {e committed history}: it must survive a [SIGKILL] and be present,
+    bit-identical, after restart — otherwise every later what-if
+    answers over a history the client believes is longer than it is.
+    This module is the machinery behind that contract, shared by
+    [ultraverse serve] and the chaos harness:
+
+    - a {!Uv_db.Log_store} holds the history on disk; ingested batches
+      append to its live tail segment;
+    - an {e intent journal} ([<dir>/INGEST], per-line CRC) records each
+      batch's idempotency key and exact global-index range {e before}
+      the store is synced, so recovery can tell acknowledged batches
+      (fully durable, range within the salvaged prefix) from
+      unacknowledged ones (range beyond it — truncated back out, even
+      when a mid-batch segment seal made a prefix of the batch
+      durable);
+    - a {e group-commit buffer} batches fsyncs: a batch waits at most
+      [sync_ms] (or until [sync_every] batches are pending) before one
+      flush — journal first, then store — makes every waiter durable at
+      once. The acknowledgment is not sent until the flush covering the
+      batch completes: the daemon never lies to a client;
+    - {e idempotency keys}: a client that lost its connection before
+      the ack re-sends the batch with the same key; if the original
+      made it to disk the recorded ack is returned verbatim and nothing
+      re-executes.
+
+    {2 Crash windows}
+
+    With the order [exec → journal intent (fsync) → store sync → ack],
+    every window is covered:
+
+    + crash before the intent is durable: any records a mid-batch
+      segment seal pushed to disk lie beyond the journal's coverage —
+      recovery truncates to the last covered index;
+    + crash after the intent, before (or during) the store sync: the
+      intent's range exceeds the salvaged store length — recovery drops
+      the intent and truncates to its start − 1;
+    + crash after the sync, before the ack frame: batch and intent are
+      durable; the client re-sends under its key and receives the
+      recorded ack ([duplicate = true]) without re-execution.
+
+    Fault sites [serve.ingest.append], [serve.ingest.sync] and
+    [serve.ack] ({!Uv_fault.Fault.Site}) mark exactly these windows for
+    the chaos harness. *)
+
+type t
+
+type config = {
+  sync_every : int;
+      (** flush when this many batches are pending (clamped to ≥ 1);
+          [1] with [sync_ms = 0.] syncs inline on the ingesting domain *)
+  sync_ms : float;
+      (** longest a batch waits for companions before the flush runs
+          anyway; [0.] disables the window (every batch syncs inline) *)
+  fsync : bool;  (** [false] only in tests, to stay fast on slow disks *)
+  fault : Uv_fault.Fault.t;
+}
+
+val default_config : config
+(** [sync_every = 1], [sync_ms = 0.], [fsync = true], faults off:
+    maximum durability, one fsync pair per batch. *)
+
+(** What {!attach} found and did on startup. *)
+type recovery = {
+  rec_records : int;  (** records served after salvage and truncation *)
+  rec_truncated : int;
+      (** records cut back out as unacknowledged (beyond journal
+          coverage, or a partially-durable batch) *)
+  rec_keys : int;  (** idempotency keys restored for deduplication *)
+  rec_replay_skipped : int;
+      (** records the engine replay skipped on SQL errors (0 on a
+          faithful history) *)
+  rec_salvaged : bool;
+      (** the store or journal needed salvage (trimmed segment, rebuilt
+          manifest, or torn journal tail) — surface on [health] as
+          degraded *)
+}
+
+val attach :
+  ?config:config -> dir:string -> Uv_db.Engine.t -> t * recovery
+(** Open (or create) the store directory, salvage it, cut every
+    unacknowledged batch back out (see the crash-window list above),
+    replay the surviving history into [eng] — which must be freshly
+    created — and compact the intent journal. The engine afterwards
+    holds exactly the acknowledged history; build the
+    {!Whatif.Service} over it and call {!start}. *)
+
+val seed : t -> unit
+(** One-time initial load: append the attached engine's current log (a
+    history loaded from a script) to the empty store, set the journal
+    baseline, and sync. @raise Invalid_argument when the store is not
+    empty. *)
+
+val start : ingest:(Uv_sql.Ast.stmt list -> int * int) -> t -> unit
+(** Bind the execution path — [Whatif.Service.ingest] partially applied
+    to the service — and, when the config has a group-commit window,
+    spawn the syncer domain. Must be called once before {!ingest}. *)
+
+(** One acknowledged batch. *)
+type ack = {
+  applied : int;
+  failed : int;
+  history_len : int;  (** committed history length after the batch *)
+  duplicate : bool;
+      (** the idempotency key matched an already-durable batch; nothing
+          re-executed and the original ack is returned *)
+}
+
+val ingest : ?key:string -> t -> Uv_sql.Ast.stmt list -> ack
+(** Execute the batch through the bound ingest path, journal its
+    intent, append its records to the store's live segment, and block
+    until the group-commit flush covering it completes. When the
+    returned ack is in the caller's hands the batch is durable —
+    acknowledge the client only after this returns. Thread-safe; calls
+    from different connections batch into shared flushes. *)
+
+(** Supervision counters for the [health] endpoint. *)
+type stats = {
+  durable_len : int;  (** records covered by the last completed flush *)
+  last_seal : int;  (** last global index inside a sealed (full) segment *)
+  pending_batches : int;  (** batches waiting on the group-commit flush *)
+  keys : int;  (** idempotency keys held for deduplication *)
+  flushes : int;  (** group-commit flushes completed *)
+  poisoned : bool;
+      (** a crash site fired or a flush failed: the handle refuses
+          further ingest and the daemon should report itself degraded *)
+}
+
+val stats : t -> stats
+val last_recovery : t -> recovery
+(** The report {!attach} returned, kept for supervision. *)
+
+val dir : t -> string
+
+val close : t -> unit
+(** Final flush, stop the syncer domain, close the store and journal.
+    Idempotent. *)

@@ -52,6 +52,9 @@ type t = {
   svc : Whatif.Service.t;
   cfg : config;
   obs : Uv_obs.Trace.t;
+  durable : Durable.t option;
+      (* when attached, acked ingest batches are fsynced (group commit)
+         before the ack frame leaves the daemon *)
   listener : Unix.file_descr;
   sockaddr : Unix.sockaddr; (* for the self-connect shutdown poke *)
   sock_path : string option; (* unlinked on stop *)
@@ -63,11 +66,13 @@ type t = {
   mutable conns : conn list;
   mutable handlers : unit Domain.t list;
   mutable accept_d : unit Domain.t option;
+  mutable avg_run_ms : float; (* EWMA of completed what-if wall time *)
   started_ms : float;
   requests : int Atomic.t;
   whatifs : int Atomic.t;
   ingests : int Atomic.t;
   rejected : int Atomic.t; (* admission-control refusals *)
+  shed : int Atomic.t; (* deadline-aware admission rejections *)
   deadline_hits : int Atomic.t;
   bad_requests : int Atomic.t;
 }
@@ -145,6 +150,13 @@ let error_code (e : Whatif.Error.t) =
    suggested back-off *)
 let retry_after_ms t = 5.0 *. float_of_int (1 + Queue_pool.pending t.pool)
 
+(* EWMA of completed what-if wall time, the admission controller's cost
+   model; the first sample seeds it directly *)
+let note_run_ms t ms =
+  Mutex.lock t.lock;
+  t.avg_run_ms <- (if t.avg_run_ms = 0. then ms else (0.8 *. t.avg_run_ms) +. (0.2 *. ms));
+  Mutex.unlock t.lock
+
 let run_whatif t conn ~id ~deadline_ms ~enqueued_ms target =
   let elapsed = Uv_util.Clock.now_ms () -. enqueued_ms in
   let deadline =
@@ -161,7 +173,9 @@ let run_whatif t conn ~id ~deadline_ms ~enqueued_ms target =
       let remaining = Option.map (fun d -> d -. elapsed) deadline in
       let config = config_with_deadline (Whatif.Service.config t.svc) remaining in
       match Whatif.Service.run ~config t.svc target with
-      | Ok reply -> send conn (ok_payload ~id ~typ:"whatif" (whatif_result reply))
+      | Ok reply ->
+          note_run_ms t reply.Whatif.Service.outcome.Whatif.real_ms;
+          send conn (ok_payload ~id ~typ:"whatif" (whatif_result reply))
       | Error e ->
           let code = error_code e in
           if code = "deadline" then begin
@@ -205,6 +219,8 @@ let stats_json t =
       ("whatifs", J.Int (Atomic.get t.whatifs));
       ("ingests", J.Int (Atomic.get t.ingests));
       ("rejected_saturated", J.Int (Atomic.get t.rejected));
+      ("shed_admission", J.Int (Atomic.get t.shed));
+      ("avg_run_ms", J.Float (Mutex.protect t.lock (fun () -> t.avg_run_ms)));
       ("deadline_exceeded", J.Int (Atomic.get t.deadline_hits));
       ("bad_requests", J.Int (Atomic.get t.bad_requests));
       ("queue_pending", J.Int (Queue_pool.pending t.pool));
@@ -261,22 +277,98 @@ let handle_request t conn j =
     | "ingest" -> (
         match J.member "sql" j with
         | Some (J.Str sql) -> (
+            let idem_key =
+              match J.member "idem_key" j with
+              | Some (J.Str k) when k <> "" -> Some k
+              | _ -> None
+            in
             match Uv_sql.Parser.parse_script sql with
             | exception _ -> bad "unparsable sql"
-            | stmts ->
-                let applied, failed = Whatif.Service.ingest t.svc stmts in
-                Atomic.incr t.ingests;
-                Uv_obs.Trace.incr t.obs "serve.ingests";
-                send conn
-                  (ok_payload ~id ~typ
-                     (J.Obj
-                        [
-                          ("applied", J.Int applied);
-                          ("failed", J.Int failed);
-                          ( "history_len",
-                            J.Int (Whatif.Service.history_len t.svc) );
-                        ])))
+            | stmts -> (
+                let reply ~applied ~failed ~history_len ~durable ~duplicate =
+                  Atomic.incr t.ingests;
+                  Uv_obs.Trace.incr t.obs "serve.ingests";
+                  send conn
+                    (ok_payload ~id ~typ
+                       (J.Obj
+                          [
+                            ("applied", J.Int applied);
+                            ("failed", J.Int failed);
+                            ("history_len", J.Int history_len);
+                            ("durable", J.Bool durable);
+                            ("duplicate", J.Bool duplicate);
+                          ]))
+                in
+                match t.durable with
+                | None ->
+                    let applied, failed = Whatif.Service.ingest t.svc stmts in
+                    reply ~applied ~failed
+                      ~history_len:(Whatif.Service.history_len t.svc)
+                      ~durable:false ~duplicate:false
+                | Some dur -> (
+                    match Durable.ingest ?key:idem_key dur stmts with
+                    | ack ->
+                        reply ~applied:ack.Durable.applied
+                          ~failed:ack.Durable.failed
+                          ~history_len:ack.Durable.history_len ~durable:true
+                          ~duplicate:ack.Durable.duplicate
+                    | exception Uv_fault.Fault.Injected _ ->
+                        Uv_obs.Trace.incr t.obs "serve.ingest_faults";
+                        send conn
+                          (err_payload ~id ~typ ~code:"fault"
+                             "injected crash in the durable-ingest path")
+                    | exception exn ->
+                        send conn
+                          (err_payload ~id ~typ ~code:"internal"
+                             (Printexc.to_string exn)))))
         | _ -> bad "ingest needs a \"sql\" string")
+    | "health" ->
+        let waiting_writers, active_readers =
+          Whatif.Service.lock_pressure t.svc
+        in
+        let queue_pending = Queue_pool.pending t.pool in
+        let queue_capacity = Queue_pool.capacity t.pool in
+        let dstats = Option.map Durable.stats t.durable in
+        let drec = Option.map Durable.last_recovery t.durable in
+        let degraded =
+          (match dstats with Some s -> s.Durable.poisoned | None -> false)
+          || (match drec with Some r -> r.Durable.rec_salvaged | None -> false)
+          || queue_pending >= queue_capacity
+        in
+        let durable_json =
+          match (dstats, drec) with
+          | Some s, Some r ->
+              J.Obj
+                [
+                  ("durable_len", J.Int s.Durable.durable_len);
+                  ("last_seal", J.Int s.Durable.last_seal);
+                  ("pending_batches", J.Int s.Durable.pending_batches);
+                  ("idem_keys", J.Int s.Durable.keys);
+                  ("flushes", J.Int s.Durable.flushes);
+                  ("poisoned", J.Bool s.Durable.poisoned);
+                  ("recovered_records", J.Int r.Durable.rec_records);
+                  ("recovery_truncated", J.Int r.Durable.rec_truncated);
+                  ("recovery_salvaged", J.Bool r.Durable.rec_salvaged);
+                ]
+          | _ -> J.Null
+        in
+        send conn
+          (ok_payload ~id ~typ
+             (J.Obj
+                [
+                  ("schema", J.Str "uv.health/1");
+                  ("ok", J.Bool (not degraded));
+                  ("degraded", J.Bool degraded);
+                  ("history_len", J.Int (Whatif.Service.history_len t.svc));
+                  ("queue_pending", J.Int queue_pending);
+                  ("queue_capacity", J.Int queue_capacity);
+                  ("waiting_writers", J.Int waiting_writers);
+                  ("active_readers", J.Int active_readers);
+                  ( "avg_run_ms",
+                    J.Float (Mutex.protect t.lock (fun () -> t.avg_run_ms)) );
+                  ("shed_admission", J.Int (Atomic.get t.shed));
+                  ("durable", durable_json);
+                ]))
     | "whatif" -> (
         match parse_target j with
         | Error msg -> bad msg
@@ -285,6 +377,33 @@ let handle_request t conn j =
               Option.bind (J.member "deadline_ms" j) J.to_float
             in
             let enqueued_ms = Uv_util.Clock.now_ms () in
+            (* Deadline-aware shedding: when the queue backlog alone is
+               expected to eat the whole budget, refuse now — a cheap
+               typed error beats a doomed queue wait that would also
+               delay everyone behind it. *)
+            let predicted_wait_ms =
+              let avg = Mutex.protect t.lock (fun () -> t.avg_run_ms) in
+              avg
+              *. float_of_int (Queue_pool.pending t.pool)
+              /. float_of_int (max 1 (Queue_pool.workers t.pool))
+            in
+            let deadline =
+              match deadline_ms with
+              | Some _ -> deadline_ms
+              | None -> t.cfg.default_deadline_ms
+            in
+            match deadline with
+            | Some d when predicted_wait_ms > d ->
+                Atomic.incr t.shed;
+                Atomic.incr t.deadline_hits;
+                Uv_obs.Trace.incr t.obs "serve.shed_admission";
+                send conn
+                  (err_payload ~id ~typ ~code:"deadline" ~phase:"admission"
+                     ~retry_after_ms:(retry_after_ms t)
+                     (Printf.sprintf
+                        "predicted queue wait %.1f ms exceeds the %.1f ms budget"
+                        predicted_wait_ms d))
+            | _ -> (
             Atomic.incr t.whatifs;
             Uv_obs.Trace.incr t.obs "serve.whatifs";
             Atomic.incr conn.in_flight;
@@ -309,7 +428,7 @@ let handle_request t conn j =
                 Atomic.decr conn.in_flight;
                 send conn
                   (err_payload ~id ~typ ~code:"shutting_down"
-                     "server is shutting down")))
+                     "server is shutting down"))))
     | "shutdown" ->
         send conn (ok_payload ~id ~typ (J.Obj [ ("stopping", J.Bool true) ]))
         (* the caller runs [wait t; stop t]; the response frame is
@@ -437,10 +556,15 @@ let resolve_addr = function
       in
       Unix.ADDR_INET (ip, port)
 
-let start ?(config = default_config) ?obs svc addr =
+let start ?(config = default_config) ?obs ?durable svc addr =
   let obs = match obs with Some o -> o | None -> Uv_obs.Trace.create () in
   if Sys.os_type = "Unix" then
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* bind the durable layer's execution path to the service before any
+     connection can reach the ingest handler *)
+  Option.iter
+    (fun dur -> Durable.start ~ingest:(Whatif.Service.ingest svc) dur)
+    durable;
   let sockaddr = resolve_addr addr in
   let sock_path =
     match addr with
@@ -466,6 +590,7 @@ let start ?(config = default_config) ?obs svc addr =
       svc;
       cfg = config;
       obs;
+      durable;
       listener;
       sockaddr = Unix.getsockname listener (* Tcp (_, 0): the real port *);
       sock_path;
@@ -479,11 +604,13 @@ let start ?(config = default_config) ?obs svc addr =
       conns = [];
       handlers = [];
       accept_d = None;
+      avg_run_ms = 0.;
       started_ms = Uv_util.Clock.now_ms ();
       requests = Atomic.make 0;
       whatifs = Atomic.make 0;
       ingests = Atomic.make 0;
       rejected = Atomic.make 0;
+      shed = Atomic.make 0;
       deadline_hits = Atomic.make 0;
       bad_requests = Atomic.make 0;
     }
@@ -545,6 +672,8 @@ let stop t =
     t.handlers <- [];
     Mutex.unlock t.lock;
     Queue_pool.shutdown t.pool;
+    (* final group-commit flush: nothing acknowledged is left unsynced *)
+    Option.iter Durable.close t.durable;
     Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) t.sock_path
   end
 
@@ -601,7 +730,20 @@ module Client = struct
         | None -> Error "error reply without error object")
     | _ -> Error "reply without ok field"
 
-  let call c payload =
+  type error =
+    | Reset of string
+        (* the transport died mid-request (peer reset, closed socket,
+           refused connect): retryable once the request is idempotent *)
+    | Protocol of string
+        (* the reply violated the protocol: retrying cannot help *)
+
+  let error_to_string = function
+    | Reset m -> "connection reset: " ^ m
+    | Protocol m -> m
+
+  (* Every transport failure becomes a typed [error]; no [Unix_error]
+     or [Frame_io.Closed] escapes to the caller. *)
+  let call_typed c payload =
     let limits =
       { J.max_bytes = c.max_frame; max_depth = 64; max_string = c.max_frame }
     in
@@ -609,36 +751,83 @@ module Client = struct
       Frame_io.write_frame c.fd (Report.to_string ~schema payload);
       Frame_io.read_frame ~max_len:c.max_frame c.fd
     with
-    | exception Frame_io.Closed -> Error "connection closed"
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-    | Error e -> Error (Frame_io.error_to_string e)
+    | exception Frame_io.Closed -> Error (Reset "connection closed mid-request")
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Reset (fn ^ ": " ^ Unix.error_message e))
+    | Error `Closed -> Error (Reset "connection closed before the reply")
+    | Error (`Oversized _ as e) -> Error (Protocol (Frame_io.error_to_string e))
     | Ok reply -> (
         match Report.parse ~limits ~expect:schema reply with
-        | Error e -> Error e
-        | Ok j -> decode j)
+        | Error e -> Error (Protocol e)
+        | Ok j -> Result.map_error (fun e -> Protocol e) (decode j))
+
+  let call c payload = Result.map_error error_to_string (call_typed c payload)
+
+  (* Bounded retry with exponential backoff and deterministic jitter.
+     Retryable: a transport reset (reconnect — the old socket is dead)
+     and a [saturated] refusal (back off, honouring the server's
+     [retry_after_ms] hint). Final: success, [deadline] (the budget is
+     spent either way), every other refusal, and protocol damage. *)
+  let call_retry ?(retries = 4) ?(backoff_ms = 25.) ?(max_backoff_ms = 1000.)
+      ?(seed = 0) ?max_frame addr payload =
+    let prng = Uv_util.Prng.create (seed lxor 0x7e7a11) in
+    let backoff = ref (Float.max 1. backoff_ms) in
+    let attempt = ref 0 in
+    let result = ref (Error (Reset "not attempted")) in
+    let final = ref false in
+    while (not !final) && !attempt <= retries do
+      incr attempt;
+      if !attempt > 1 then begin
+        let ms = !backoff +. Uv_util.Prng.float prng (!backoff *. 0.5) in
+        Unix.sleepf (ms /. 1000.);
+        backoff := Float.min max_backoff_ms (!backoff *. 2.)
+      end;
+      (match connect ?max_frame addr with
+      | exception Unix.Unix_error (e, fn, _) ->
+          result := Error (Reset (fn ^ ": " ^ Unix.error_message e))
+      | c ->
+          result :=
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () -> call_typed c payload));
+      match !result with
+      | Ok (Refused { code = "saturated"; retry_after_ms; _ }) ->
+          Option.iter
+            (fun ms -> backoff := Float.min max_backoff_ms (Float.max !backoff ms))
+            retry_after_ms
+      | Error (Reset _) -> ()
+      | _ -> final := true
+    done;
+    (!result, !attempt)
 
   let simple c typ = call c (J.Obj [ ("type", J.Str typ) ])
   let ping c = simple c "ping"
   let stats c = simple c "stats"
   let metrics c = simple c "metrics"
+  let health c = simple c "health"
   let shutdown c = simple c "shutdown"
 
-  let whatif ?deadline_ms ?id ~tau ~op ?stmt c () =
-    let fields =
-      [ ("type", J.Str "whatif"); ("tau", J.Int tau); ("op", J.Str op) ]
+  let whatif_payload ?deadline_ms ?id ~tau ~op ?stmt () =
+    J.Obj
+      ([ ("type", J.Str "whatif"); ("tau", J.Int tau); ("op", J.Str op) ]
       @ (match id with Some i -> [ ("id", J.Int i) ] | None -> [])
       @ (match stmt with Some s -> [ ("stmt", J.Str s) ] | None -> [])
       @
       match deadline_ms with
       | Some d -> [ ("deadline_ms", J.Float d) ]
-      | None -> []
-    in
-    call c (J.Obj fields)
+      | None -> [])
 
-  let ingest ?id c sql =
-    let fields =
-      [ ("type", J.Str "ingest"); ("sql", J.Str sql) ]
-      @ match id with Some i -> [ ("id", J.Int i) ] | None -> []
-    in
-    call c (J.Obj fields)
+  let whatif ?deadline_ms ?id ~tau ~op ?stmt c () =
+    call c (whatif_payload ?deadline_ms ?id ~tau ~op ?stmt ())
+
+  let ingest_payload ?id ?idem_key sql =
+    J.Obj
+      ([ ("type", J.Str "ingest"); ("sql", J.Str sql) ]
+      @ (match id with Some i -> [ ("id", J.Int i) ] | None -> [])
+      @
+      match idem_key with
+      | Some k -> [ ("idem_key", J.Str k) ]
+      | None -> [])
+
+  let ingest ?id ?idem_key c sql = call c (ingest_payload ?id ?idem_key sql)
 end

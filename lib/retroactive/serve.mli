@@ -5,9 +5,9 @@
     big-endian length, then the payload) over a Unix-domain or TCP
     socket. Every payload, in both directions, is a compact
     [uv.serve/1] {!Uv_obs.Report} envelope. Requests carry a [type]
-    ([ping], [stats], [metrics], [ingest], [whatif], [shutdown]) and a
-    client-chosen [id] that is echoed verbatim in the response, so
-    clients may pipeline. Responses are either
+    ([ping], [stats], [metrics], [health], [ingest], [whatif],
+    [shutdown]) and a client-chosen [id] that is echoed verbatim in the
+    response, so clients may pipeline. Responses are either
 
     {v {"id":…, "ok":true,  "type":…, "result":{…}} v}
 
@@ -26,9 +26,26 @@
     Concurrency: what-if requests execute on a bounded
     {!Uv_util.Domain_pool.Queue} of worker domains over the shared
     {!Whatif.Service}; ingest runs exclusively (the service's writer
-    side) and republishes the cache snapshot. Each accepted connection
-    gets a reader domain; responses are written under a per-connection
-    mutex, so pipelined replies never interleave mid-frame. *)
+    side — a {e writer-priority} lock, so a saturating stream of
+    what-ifs cannot starve committed-history writes) and republishes
+    the cache snapshot. Each accepted connection gets a reader domain;
+    responses are written under a per-connection mutex, so pipelined
+    replies never interleave mid-frame.
+
+    Durability: when a {!Durable.t} is attached ({!start}'s [durable]
+    argument), [ingest] acknowledgments are withheld until the batch is
+    fsynced through the group-commit buffer — an acked batch survives
+    [kill -9]. Ingest frames may carry an [idem_key] string; re-sending
+    a batch under the same key after a lost ack returns the recorded
+    result ([duplicate: true]) without re-executing. The [health]
+    request returns a [uv.health/1] payload (degraded flag, queue
+    depths, lock pressure, durable-store watermarks) for supervisors.
+
+    Overload: beyond queue-full [saturated] refusals, the daemon sheds
+    deadline-doomed work at admission — when the queue backlog times
+    the average run cost already exceeds a request's budget, it is
+    refused immediately with [code deadline, phase admission] instead
+    of being queued to fail. *)
 
 type addr =
   | Unix_sock of string  (** path to a Unix-domain socket *)
@@ -56,12 +73,19 @@ val default_config : config
 type t
 
 val start :
-  ?config:config -> ?obs:Uv_obs.Trace.t -> Whatif.Service.t -> addr -> t
+  ?config:config ->
+  ?obs:Uv_obs.Trace.t ->
+  ?durable:Durable.t ->
+  Whatif.Service.t ->
+  addr ->
+  t
 (** Bind, listen, and spawn the accept loop. [obs] (default: a fresh
     live collector) receives [serve.*] counters and everything the
-    what-if runs record; the [metrics] endpoint scrapes it. [SIGPIPE]
-    is ignored process-wide on POSIX. @raise Unix.Unix_error when the
-    address cannot be bound. *)
+    what-if runs record; the [metrics] endpoint scrapes it. [durable]
+    (freshly attached, {e not} yet started — [start] binds it to the
+    service's ingest path and {!stop} closes it) makes ingest
+    acknowledgments crash-safe. [SIGPIPE] is ignored process-wide on
+    POSIX. @raise Unix.Unix_error when the address cannot be bound. *)
 
 val service : t -> Whatif.Service.t
 val obs : t -> Uv_obs.Trace.t
@@ -102,10 +126,45 @@ module Client : sig
         phase : string option;
       }  (** a typed error reply — the connection is still usable *)
 
-  val call : conn -> Uv_obs.Json.t -> (response, string) result
+  (** Typed transport failure — no raw [Unix.Unix_error] or
+      [Frame_io.Closed] reaches the caller. *)
+  type error =
+    | Reset of string
+        (** the transport died mid-request (peer reset, closed socket,
+            refused connect). Retryable — with an [idem_key] on ingest,
+            safely so even when the original request was executed. *)
+    | Protocol of string
+        (** the reply violated the protocol; retrying cannot help *)
+
+  val error_to_string : error -> string
+
+  val call_typed : conn -> Uv_obs.Json.t -> (response, error) result
   (** Send one request payload (the [uv.serve/1] envelope is added) and
-      block for the reply. [Error] means transport or protocol failure
-      — the connection should be closed. *)
+      block for the reply. On [Error] the connection should be closed. *)
+
+  val call : conn -> Uv_obs.Json.t -> (response, string) result
+  (** {!call_typed} with the error rendered — legacy convenience. *)
+
+  val call_retry :
+    ?retries:int ->
+    ?backoff_ms:float ->
+    ?max_backoff_ms:float ->
+    ?seed:int ->
+    ?max_frame:int ->
+    addr ->
+    Uv_obs.Json.t ->
+    (response, error) result * int
+  (** One logical request with bounded retry: up to [1 + retries]
+      attempts (default [retries = 4]), each on a fresh connection.
+      Retried: {!Reset} (reconnect) and [saturated] refusals (backing
+      off exponentially from [backoff_ms], default 25 ms, capped at
+      [max_backoff_ms], with deterministic jitter from [seed], and
+      honouring the server's [retry_after_ms] hint). {e Not} retried:
+      [deadline] refusals (the budget is spent either way), other
+      refusals, and {!Protocol} damage. Returns the final outcome and
+      the number of attempts used — surfaced by [ultraverse client] as
+      [attempts]. Pair with an [idem_key] on ingest so a retry after a
+      lost ack cannot double-apply. *)
 
   val ping : conn -> (response, string) result
 
@@ -121,8 +180,32 @@ module Client : sig
   (** [op] is [remove], [add] or [change]; [add]/[change] require
       [stmt]. *)
 
-  val ingest : ?id:int -> conn -> string -> (response, string) result
+  val whatif_payload :
+    ?deadline_ms:float ->
+    ?id:int ->
+    tau:int ->
+    op:string ->
+    ?stmt:string ->
+    unit ->
+    Uv_obs.Json.t
+  (** The request payload {!whatif} sends — for use with {!call_retry}. *)
+
+  val ingest :
+    ?id:int -> ?idem_key:string -> conn -> string -> (response, string) result
+  (** [idem_key] makes the batch safely re-sendable: the server
+      deduplicates on it after a lost acknowledgment. *)
+
+  val ingest_payload : ?id:int -> ?idem_key:string -> string -> Uv_obs.Json.t
+  (** The request payload {!ingest} sends — for use with {!call_retry}. *)
+
   val stats : conn -> (response, string) result
   val metrics : conn -> (response, string) result
+
+  val health : conn -> (response, string) result
+  (** The [uv.health/1] supervision payload: [ok]/[degraded], queue
+      depth and capacity, service-lock pressure, average run cost, and
+      (when a store is attached) the durable watermarks and recovery
+      report. *)
+
   val shutdown : conn -> (response, string) result
 end

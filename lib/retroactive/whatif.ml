@@ -723,7 +723,13 @@ module Service_impl = struct
       config;
       rowset;
       base;
-      lock = Uv_util.Rwlock.create ();
+      (* Writer priority: a waiting ingest blocks *new* runs from being
+         admitted, so a saturating stream of what-ifs cannot starve the
+         committed-history writer. Safe here because the service lock is
+         never read-acquired re-entrantly (run_fresh holds the read side
+         exactly once; the engine's own storage locks are separate,
+         reader-preferring instances). *)
+      lock = Uv_util.Rwlock.create ~writer_priority:true ();
       state = Atomic.make state;
       pinned;
       runs = Atomic.make 0;
@@ -761,6 +767,9 @@ module Service_impl = struct
 
   let engine t = t.eng
   let config t = t.config
+
+  let lock_pressure t =
+    (Uv_util.Rwlock.waiting_writers t.lock, Uv_util.Rwlock.active_readers t.lock)
 
   let history_len t =
     Uv_util.Rwlock.read t.lock (fun () ->

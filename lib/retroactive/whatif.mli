@@ -344,6 +344,14 @@ module Service : sig
   val history_len : t -> int
   (** Committed history length, read under the service lock. *)
 
+  val lock_pressure : t -> int * int
+  (** [(waiting writers, active readers)] on the service lock, sampled
+      without acquiring it — the [health] endpoint's view of ingest
+      back-pressure. The lock is writer-priority: a waiting ingest
+      blocks new run admissions, so the first component staying [> 0]
+      across samples is the signature of a stuck run, not of reader
+      starvation. *)
+
   val ingest : t -> Uv_sql.Ast.stmt list -> int * int
   (** Apply committed transactions to the shared history and republish
       the caches: [(applied, failed)]. Exclusive with every in-flight

@@ -14,20 +14,40 @@ let error_to_string = function
 
 exception Closed
 
+(* Partial transfers are the norm, not the exception: a signal landing
+   mid-syscall yields EINTR, a non-blocking socket yields EAGAIN with
+   the rest of the frame still in flight, and TCP delivers whatever the
+   window allows. Each case is handled explicitly — EINTR retries
+   immediately, EAGAIN parks in [select] until the descriptor is ready
+   again — so a frame arriving one byte at a time or across interrupted
+   syscalls is reassembled rather than dropped. *)
+let wait_readable fd = ignore (Unix.select [ fd ] [] [] (-1.0))
+let wait_writable fd = ignore (Unix.select [] [ fd ] [] (-1.0))
+
 let really_write fd buf off len =
   let sent = ref 0 in
   while !sent < len do
-    let k = Unix.write fd buf (off + !sent) (len - !sent) in
-    if k <= 0 then raise Closed;
-    sent := !sent + k
+    match Unix.write fd buf (off + !sent) (len - !sent) with
+    | k ->
+        if k <= 0 then raise Closed;
+        sent := !sent + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        try wait_writable fd
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ())
   done
 
 let really_read fd buf off len =
   let got = ref 0 in
   while !got < len do
-    let k = Unix.read fd buf (off + !got) (len - !got) in
-    if k = 0 then raise Closed;
-    got := !got + k
+    match Unix.read fd buf (off + !got) (len - !got) with
+    | k ->
+        if k = 0 then raise Closed;
+        got := !got + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+        try wait_readable fd
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ())
   done
 
 let write_frame fd payload =

@@ -24,14 +24,18 @@ exception Closed
 val write_frame : Unix.file_descr -> string -> unit
 (** Blocking write of one complete frame (single [write] sequence, so
     concurrent writers on a shared descriptor never interleave a
-    frame). Raises {!Closed} on a broken pipe — callers inside a server
-    must have [SIGPIPE] ignored, which {!Uv_retroactive.Serve.start}
-    arranges. *)
+    frame). Short writes are resumed; [EINTR] retries the syscall and
+    [EAGAIN]/[EWOULDBLOCK] (a non-blocking descriptor mid-frame) parks
+    in [select] until the descriptor is writable again. Raises
+    {!Closed} on a broken pipe — callers inside a server must have
+    [SIGPIPE] ignored, which {!Uv_retroactive.Serve.start} arranges. *)
 
 val read_frame :
   ?max_len:int -> Unix.file_descr -> (string, [> error ]) result
-(** Blocking read of one complete frame. [max_len] defaults to
-    {!default_max_len}. *)
+(** Blocking read of one complete frame. A frame delivered one byte at
+    a time, or across [EINTR]-interrupted or [EAGAIN]-deferred
+    syscalls, is reassembled — partial transfers never surface as
+    errors. [max_len] defaults to {!default_max_len}. *)
 
 (** Incremental decoder for non-blocking readers: feed whatever
     [Unix.read] produced, then pop zero or more complete frames. *)

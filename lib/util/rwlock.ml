@@ -1,26 +1,39 @@
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
+  writer_priority : bool;
   mutable readers : int;
   mutable writer : bool;
+  mutable waiting_writers : int;
 }
 
-let create () =
+let create ?(writer_priority = false) () =
   {
     mutex = Mutex.create ();
     cond = Condition.create ();
+    writer_priority;
     readers = 0;
     writer = false;
+    waiting_writers = 0;
   }
 
-(* Reader preference: a reader is admitted whenever no writer is active,
-   even if writers are queued. This makes nested read acquisition by one
-   domain safe (the outer hold guarantees no active writer), which the
-   storage layer relies on for subqueries evaluated during scans. Writer
-   starvation is not a concern for wave-sized bursts. *)
+(* Reader preference (the default): a reader is admitted whenever no
+   writer is active, even if writers are queued. This makes nested read
+   acquisition by one domain safe (the outer hold guarantees no active
+   writer), which the storage layer relies on for subqueries evaluated
+   during scans. Writer starvation is not a concern for wave-sized
+   bursts.
+
+   Writer priority: a queued writer also blocks *new* reader
+   admissions, so a continuous reader stream cannot starve a writer —
+   the writer waits for at most the read sections that were already
+   holding the lock when it queued. The price is that nested read
+   acquisition can deadlock (outer read held, writer queues, inner read
+   blocks), so this mode is only for lock users that never re-enter the
+   read side — the what-if service lock, not the storage tables. *)
 let read_lock t =
   Mutex.lock t.mutex;
-  while t.writer do
+  while t.writer || (t.writer_priority && t.waiting_writers > 0) do
     Condition.wait t.cond t.mutex
   done;
   t.readers <- t.readers + 1;
@@ -34,9 +47,11 @@ let read_unlock t =
 
 let write_lock t =
   Mutex.lock t.mutex;
+  t.waiting_writers <- t.waiting_writers + 1;
   while t.writer || t.readers > 0 do
     Condition.wait t.cond t.mutex
   done;
+  t.waiting_writers <- t.waiting_writers - 1;
   t.writer <- true;
   Mutex.unlock t.mutex
 
@@ -65,3 +80,15 @@ let write t f =
   | exception e ->
       write_unlock t;
       raise e
+
+let waiting_writers t =
+  Mutex.lock t.mutex;
+  let n = t.waiting_writers in
+  Mutex.unlock t.mutex;
+  n
+
+let active_readers t =
+  Mutex.lock t.mutex;
+  let n = t.readers in
+  Mutex.unlock t.mutex;
+  n

@@ -1,17 +1,36 @@
-(** A reader-preferring readers-writer lock.
+(** A readers-writer lock with a choice of admission policy.
 
-    Any number of readers share the lock; writers are exclusive. Readers
-    are admitted whenever no writer is {e active} (queued writers do not
-    block them), so one domain may acquire the read side recursively —
-    the storage layer's scans evaluate subqueries that re-enter the same
+    Any number of readers share the lock; writers are exclusive.
+
+    The default policy is {e reader preference}: readers are admitted
+    whenever no writer is {e active} (queued writers do not block
+    them), so one domain may acquire the read side recursively — the
+    storage layer's scans evaluate subqueries that re-enter the same
     table. The trade-off is writer starvation under a sustained reader
-    stream, acceptable for wave-sized replay bursts. *)
+    stream, acceptable for wave-sized replay bursts.
+
+    [create ~writer_priority:true] flips to {e writer priority}: a
+    queued writer blocks {e new} reader admissions, bounding its wait
+    by the read sections already in flight when it arrived — a
+    continuous reader stream can no longer starve it. Nested read
+    acquisition deadlocks under this policy (outer read held, writer
+    queues, inner read blocks behind it), so it is only for users that
+    never re-enter the read side — the what-if service lock uses it so
+    a saturating what-if stream cannot starve ingest. *)
 
 type t
 
-val create : unit -> t
+val create : ?writer_priority:bool -> unit -> t
+(** [writer_priority] defaults to [false] (reader preference). *)
+
 val read : t -> (unit -> 'a) -> 'a
 (** Run the callback holding the shared read side. *)
 
 val write : t -> (unit -> 'a) -> 'a
 (** Run the callback holding the exclusive write side. *)
+
+val waiting_writers : t -> int
+(** Writers currently blocked waiting for the lock (health probes). *)
+
+val active_readers : t -> int
+(** Readers currently holding the shared side (health probes). *)

@@ -114,6 +114,80 @@ serve_smoke() {
 step "serve smoke: concurrent clients, hash identity, clean shutdown" \
   serve_smoke
 
+# the durable daemon end to end: serve with a --store, ingest a batch
+# under an idempotency key, SIGKILL the daemon, restart it on the same
+# store, and prove (a) the acked batch survived (the re-send under the
+# same key is deduplicated, not re-executed), (b) the recovered daemon
+# serves the same what-if hash as a one-shot run over the combined
+# history, and (c) the health endpoint reports the restart as clean
+serve_crash_smoke() {
+  out="$(mktemp -d)"
+  sock1="$out/uv1.sock"
+  sock2="$out/uv2.sock"
+  store="$out/store"
+  bin=_build/default/bin/ultraverse.exe
+  batch="UPDATE accounts SET balance = balance + 5 WHERE owner = 'bob';"
+  trap 'rm -rf "$out"' EXIT
+
+  # first life: seed the store from the demo history, ingest one batch
+  "$bin" serve examples/histories/lint_demo.sql --socket "$sock1" \
+    --store "$store" --workers 2 > "$out/serve1.log" 2>&1 &
+  srv=$!
+  tries=0
+  while [ ! -S "$sock1" ] && [ $tries -lt 50 ]; do
+    sleep 0.1; tries=$((tries + 1))
+  done
+  [ -S "$sock1" ] || { cat "$out/serve1.log" >&2; return 1; }
+  "$bin" client ingest --socket "$sock1" --sql "$batch" \
+    --idem-key smoke-1 --json > "$out/ingest1.json" || return 1
+  grep -q '"durable":true' "$out/ingest1.json" || {
+    echo "ingest ack not marked durable" >&2; return 1; }
+
+  # the crash: the ack is in hand, so the batch must survive this
+  kill -9 "$srv" 2> /dev/null
+  wait "$srv" 2> /dev/null
+
+  # second life: same store, no history script — recovery only
+  "$bin" serve --socket "$sock2" --store "$store" --workers 2 \
+    > "$out/serve2.log" 2>&1 &
+  srv=$!
+  tries=0
+  while [ ! -S "$sock2" ] && [ $tries -lt 50 ]; do
+    sleep 0.1; tries=$((tries + 1))
+  done
+  [ -S "$sock2" ] || { cat "$out/serve2.log" >&2; return 1; }
+  grep -q 'idempotency keys' "$out/serve2.log" || {
+    echo "restart did not report recovery" >&2; return 1; }
+
+  # the client's post-crash re-send: deduplicated, not re-executed
+  "$bin" client ingest --socket "$sock2" --sql "$batch" \
+    --idem-key smoke-1 --retries 3 --json > "$out/ingest2.json" || return 1
+  grep -q '"duplicate":true' "$out/ingest2.json" || {
+    echo "re-sent batch was not deduplicated" >&2; return 1; }
+
+  # hash identity: recovered daemon == one-shot over the same history
+  cat examples/histories/lint_demo.sql > "$out/combined.sql"
+  printf '%s\n' "$batch" >> "$out/combined.sql"
+  "$bin" client whatif --socket "$sock2" --tau 2 --op remove --json \
+    > "$out/served.json" || return 1
+  "$bin" whatif "$out/combined.sql" --tau 2 --op remove --json \
+    > "$out/oneshot.json" || return 1
+  want="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/oneshot.json")"
+  got="$(grep -o '"final_db_hash":"[0-9a-f]*"' "$out/served.json")"
+  [ -n "$want" ] || return 1
+  if [ "$got" != "$want" ]; then
+    echo "recovered hash $got != one-shot $want" >&2; return 1
+  fi
+
+  "$bin" client health --socket "$sock2" --json > "$out/health.json" &&
+  grep -q '"schema":"uv.health/1"' "$out/health.json" &&
+  grep -q '"degraded":false' "$out/health.json" &&
+  "$bin" client shutdown --socket "$sock2" > /dev/null &&
+  wait "$srv"
+}
+step "serve crash smoke: SIGKILL, restart, idempotent re-send" \
+  serve_crash_smoke
+
 # crash-consistency smoke: persist a log, damage its tail at a fixed
 # byte offset, and prove fsck flags it (exit 1) while recover salvages
 # the valid prefix; plus a seeded chaos schedule through the test

@@ -1,0 +1,318 @@
+(* Chaos harness for the serve durability layer (DESIGN.md §13).
+
+   Every schedule simulates one daemon lifetime killed at a precise
+   crash window — before the batch reaches the store ([serve.ingest.append]),
+   between the intent journal and the store sync ([serve.ingest.sync]),
+   or after the sync but before the acknowledgment frame ([serve.ack]) —
+   over each of the paper's five workload histories. After the "kill"
+   the store directory is re-attached exactly as a restarted daemon
+   would, and the invariants of the durable-ingest contract are checked:
+
+   - every acknowledged batch is present after restart, bit-identical;
+   - an unacknowledged batch is either absent or (when the crash fell
+     after the sync) fully durable and deduplicated on re-send — never
+     partially visible;
+   - the client's re-sent and remaining batches apply cleanly, and the
+     completed universe is bit-identical — database hash and what-if
+     answer — to a one-shot run that never crashed. *)
+
+open Uv_db
+open Uv_retroactive
+module F = Uv_fault.Fault
+module W = Uv_workloads.Workload
+module R = Uv_transpiler.Runtime
+
+let check = Alcotest.check
+
+let run e sql = ignore (Engine.exec_sql e sql)
+
+let svc_config = Whatif.Config.make ~workers:1 ()
+
+let with_store_dir f =
+  let dir = Filename.temp_file "uv_chaos_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* one digest line per durable record: what "bit-identical" means for
+   committed history *)
+let record_digest (r : Log_io.record) =
+  Printf.sprintf "%s|%s|%s" r.Log_io.r_sql
+    (String.concat "," (List.map Uv_sql.Value.to_string r.Log_io.r_nondet))
+    (Option.value r.Log_io.r_app_txn ~default:"-")
+
+let log_records e = Log_io.records_of_log (Engine.log e)
+
+let replay_records e records =
+  List.iter
+    (fun (r : Log_io.record) ->
+      ignore
+        (Engine.exec_sql ?app_txn:r.Log_io.r_app_txn ~nondet:r.Log_io.r_nondet
+           e r.Log_io.r_sql))
+    records
+
+(* The ingest side of every schedule: deterministic, draw-free DML on a
+   dedicated table, so the completed universe is the same no matter
+   where the crash fell or how the engine PRNG advanced during replay —
+   the workload history (with its recorded RAND draws) is the seeded
+   baseline underneath. *)
+let audit_setup e =
+  run e "CREATE TABLE chaos_audit (id INT PRIMARY KEY, v INT)";
+  run e "INSERT INTO chaos_audit VALUES (1, 10)";
+  run e "INSERT INTO chaos_audit VALUES (2, 20)"
+
+let batches_per_schedule = 8
+let stmts_per_batch = 3
+
+let batch_sql i =
+  [
+    Printf.sprintf "INSERT INTO chaos_audit VALUES (%d, %d)" (100 + (2 * i))
+      (7 * i);
+    Printf.sprintf "UPDATE chaos_audit SET v = v + %d WHERE id = %d" i
+      (1 + (i mod 2));
+    Printf.sprintf "INSERT INTO chaos_audit VALUES (%d, %d)"
+      (101 + (2 * i))
+      (3 * i);
+  ]
+
+let batch_stmts i = Uv_sql.Parser.parse_script (String.concat ";" (batch_sql i))
+let batch_key i = Printf.sprintf "chaos-batch-%d" i
+
+(* first global index of batch [i] (1-based), given the seeded baseline
+   length — the fault-site key both crash sites are aimed with *)
+let batch_start ~base_len i = base_len + (stmts_per_batch * (i - 1)) + 1
+
+type crash = No_crash | At_append | At_sync | At_ack
+
+let crash_of_seed seed =
+  match seed mod 4 with
+  | 0 -> No_crash
+  | 1 -> At_append
+  | 2 -> At_sync
+  | _ -> At_ack
+
+let fault_of ~base_len seed =
+  let batch = 1 + (seed / 4 mod batches_per_schedule) in
+  let start = batch_start ~base_len batch in
+  let inj site key = [ { F.site; key; hit = 1; kind = F.Stmt_fail; arg = 0. } ] in
+  match crash_of_seed seed with
+  | No_crash -> (batch, F.disabled)
+  | At_append -> (batch, F.script (inj F.Site.serve_ingest_append start))
+  | At_sync ->
+      (* the sync site is probed with the store length after the batch's
+         records were appended *)
+      (batch,
+       F.script (inj F.Site.serve_ingest_sync (start + stmts_per_batch - 1)))
+  | At_ack -> (batch, F.script (inj F.Site.serve_ack start))
+
+(* What one workload's schedules share: the recorded baseline history
+   (replayed bit-identically into every lifetime) and the one-shot
+   oracle — the universe of a daemon that ingested all the batches and
+   never crashed. *)
+type oracle = {
+  o_base : Log_io.record list;
+  o_base_len : int;
+  o_total_len : int;
+  o_db_hash : int64;
+  o_whatif_hash : string;
+}
+
+(* a fresh engine that can replay this workload's history: schema,
+   deterministic population and the transpiled application installed,
+   log reset — exactly the state a daemon restores before attaching its
+   store (the baseline CALL records need the procedures) *)
+let fresh_engine (w : W.t) =
+  let e, _rt = W.setup ~mode:R.Transpiled w in
+  e
+
+let build_oracle (w : W.t) =
+  let eng, rt = W.setup ~mode:R.Transpiled w in
+  let prng = Uv_util.Prng.create 4242 in
+  let calls = w.W.target_call :: w.W.generate prng ~scale:1 ~n:10 ~dep_rate:0.3 in
+  ignore (W.run_history rt ~mode:R.Transpiled calls);
+  audit_setup eng;
+  let o_base = log_records eng in
+  let o_base_len = List.length o_base in
+  (* the one-shot path: same baseline, every batch ingested through the
+     service, no store, no crash *)
+  let e = fresh_engine w in
+  replay_records e o_base;
+  let svc = Whatif.Service.create ~config:svc_config e in
+  for i = 1 to batches_per_schedule do
+    let applied, failed = Whatif.Service.ingest svc (batch_stmts i) in
+    check Alcotest.int
+      (Printf.sprintf "%s: oracle batch %d applies fully" w.W.name i)
+      stmts_per_batch applied;
+    check Alcotest.int
+      (Printf.sprintf "%s: oracle batch %d clean" w.W.name i)
+      0 failed
+  done;
+  let o_whatif_hash =
+    match Whatif.Service.run svc { Analyzer.tau = 1; op = Analyzer.Remove } with
+    | Ok r -> Printf.sprintf "%Lx" r.outcome.Whatif.final_db_hash
+    | Error err ->
+        Alcotest.failf "%s: oracle what-if: %s" w.W.name
+          (Whatif.Error.to_string err)
+  in
+  {
+    o_base;
+    o_base_len;
+    o_total_len = o_base_len + (batches_per_schedule * stmts_per_batch);
+    o_db_hash = Engine.db_hash e;
+    o_whatif_hash;
+  }
+
+let run_schedule (w : W.t) oracle seed =
+  with_store_dir @@ fun dir ->
+  let crash_batch, fault = fault_of ~base_len:oracle.o_base_len seed in
+  let crash = crash_of_seed seed in
+  let ctx fmt =
+    Printf.ksprintf
+      (fun s -> Printf.sprintf "%s seed %d: %s" w.W.name seed s)
+      fmt
+  in
+  (* some schedules run the group-commit window (syncer domain), the
+     rest the inline flush *)
+  let dcfg windowed =
+    {
+      Durable.fsync = false;
+      fault;
+      sync_every = (if windowed then 4 else 1);
+      sync_ms = (if windowed then 2. else 0.);
+    }
+  in
+  (* ---- first life ---------------------------------------------- *)
+  let e1 = fresh_engine w in
+  let dur1, recov0 = Durable.attach ~config:(dcfg (seed mod 5 = 0)) ~dir e1 in
+  check Alcotest.int (ctx "fresh store is empty") 0 recov0.Durable.rec_records;
+  replay_records e1 oracle.o_base;
+  Durable.seed dur1;
+  let svc1 = Whatif.Service.create ~config:svc_config e1 in
+  Durable.start ~ingest:(Whatif.Service.ingest svc1) dur1;
+  let acked = ref [] and crashed = ref false in
+  (try
+     for i = 1 to batches_per_schedule do
+       let ack = Durable.ingest ~key:(batch_key i) dur1 (batch_stmts i) in
+       check Alcotest.bool (ctx "first send of batch %d not a duplicate" i)
+         false ack.Durable.duplicate;
+       acked := (i, ack) :: !acked
+     done
+   with F.Injected inj ->
+     crashed := true;
+     check Alcotest.bool (ctx "crash at the scripted site") true
+       (List.mem inj.F.site
+          [ F.Site.serve_ingest_append; F.Site.serve_ingest_sync;
+            F.Site.serve_ack ]));
+  check Alcotest.bool (ctx "schedule crashed iff a site was armed")
+    (crash <> No_crash) !crashed;
+  let acked = List.rev !acked in
+  let last_acked_len =
+    match List.rev acked with
+    | (_, ack) :: _ -> ack.Durable.history_len
+    | [] -> oracle.o_base_len
+  in
+  (* a poisoned handle refuses further work *)
+  if !crashed then
+    (match Durable.ingest ~key:"after-crash" dur1 (batch_stmts 1) with
+    | _ -> Alcotest.fail (ctx "poisoned handle accepted an ingest")
+    | exception _ -> ());
+  (* the kill: closing a poisoned handle must not flush — the disk
+     keeps the exact crash-window state *)
+  Durable.close dur1;
+  (* ---- second life: restart from the crash image ---------------- *)
+  let e2 = fresh_engine w in
+  let dur2, recov = Durable.attach ~config:(dcfg false) ~dir e2 in
+  Fun.protect ~finally:(fun () -> Durable.close dur2)
+  @@ fun () ->
+  check Alcotest.int (ctx "replay clean") 0 recov.Durable.rec_replay_skipped;
+  (* invariant: every acknowledged batch survives, bit-identical *)
+  check Alcotest.bool (ctx "acked history survives the kill") true
+    (recov.Durable.rec_records >= last_acked_len);
+  let first_life = List.map record_digest (log_records e1) in
+  let recovered = List.map record_digest (log_records e2) in
+  check Alcotest.int (ctx "recovered length matches the report")
+    recov.Durable.rec_records
+    (List.length recovered);
+  check Alcotest.(list string) (ctx "recovered history is a prefix")
+    (List.filteri (fun i _ -> i < List.length recovered) first_life)
+    recovered;
+  (* invariant: the unacknowledged batch is all-or-nothing *)
+  let expected_len =
+    match crash with
+    | No_crash -> oracle.o_total_len
+    | At_append | At_sync -> last_acked_len
+    | At_ack -> last_acked_len + stmts_per_batch
+  in
+  check Alcotest.int (ctx "recovery cut to a batch boundary") expected_len
+    recov.Durable.rec_records;
+  check Alcotest.int (ctx "idempotency keys recovered")
+    (match crash with
+    | No_crash -> batches_per_schedule
+    | At_append | At_sync -> crash_batch - 1
+    | At_ack -> crash_batch)
+    recov.Durable.rec_keys;
+  (* the client completes the schedule: re-send the batch whose ack was
+     lost (same key), then the never-attempted remainder *)
+  let svc2 = Whatif.Service.create ~config:svc_config e2 in
+  Durable.start ~ingest:(Whatif.Service.ingest svc2) dur2;
+  let resume_from = if !crashed then crash_batch else batches_per_schedule + 1 in
+  for i = resume_from to batches_per_schedule do
+    let ack = Durable.ingest ~key:(batch_key i) dur2 (batch_stmts i) in
+    if i = crash_batch then
+      check Alcotest.bool
+        (ctx "re-sent batch deduplicated iff it was durable")
+        (crash = At_ack) ack.Durable.duplicate;
+    check Alcotest.int (ctx "resumed batch %d applies fully" i)
+      stmts_per_batch
+      (if ack.Durable.duplicate then stmts_per_batch else ack.Durable.applied)
+  done;
+  (* invariant: the completed universe is the one-shot universe *)
+  check Alcotest.int (ctx "completed history length") oracle.o_total_len
+    (Whatif.Service.history_len svc2);
+  check Alcotest.int64 (ctx "database hash == one-shot run") oracle.o_db_hash
+    (Engine.db_hash e2);
+  check Alcotest.int (ctx "store durable to the full history")
+    oracle.o_total_len
+    (Durable.stats dur2).Durable.durable_len;
+  (* the served what-if answer is the one-shot answer (a full run per
+     schedule is costly — every fifth schedule samples it; the serve
+     protocol tests cover the socket path) *)
+  if seed mod 5 = 1 then
+    match Whatif.Service.run svc2 { Analyzer.tau = 1; op = Analyzer.Remove } with
+    | Ok r ->
+        check Alcotest.string (ctx "what-if hash == one-shot run")
+          oracle.o_whatif_hash
+          (Printf.sprintf "%Lx" r.outcome.Whatif.final_db_hash)
+    | Error err ->
+        Alcotest.failf "%s seed %d: post-recovery what-if: %s" w.W.name seed
+          (Whatif.Error.to_string err)
+
+(* the chaos gate: >= 100 kill-restart schedules per workload, covering
+   every crash site x batch position under both flush modes *)
+let seeds_per_workload = 100
+
+let test_chaos_workload (w : W.t) () =
+  let oracle = build_oracle w in
+  for seed = 1 to seeds_per_workload do
+    run_schedule w oracle seed
+  done
+
+let () =
+  Alcotest.run "uv_chaos_serve"
+    (List.map
+       (fun (w : W.t) ->
+         ( "kill-restart: " ^ w.W.name,
+           [
+             Alcotest.test_case
+               (Printf.sprintf "%d seeded schedules" seeds_per_workload)
+               `Slow (test_chaos_workload w);
+           ] ))
+       (W.all ()))

@@ -252,6 +252,258 @@ let test_ingest_visible_to_later_whatifs () =
           check Alcotest.int "the later run sees the longer history"
             (len_of before + 2) (len_of after)))
 
+(* ------------------------------------------------------------------ *)
+(* Durability: acked ingest on disk, restart recovery, health, retry    *)
+(* ------------------------------------------------------------------ *)
+
+let with_store_dir f =
+  let dir = Filename.temp_file "uv-serve-store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* no real fsyncs in unit tests: the crash windows themselves are the
+   chaos harness's business; here we test the protocol contract *)
+let dcfg = { Durable.default_config with Durable.fsync = false }
+
+let seed_history ?(n = 20) e =
+  ignore (Engine.exec_sql e "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+  for i = 1 to 4 do
+    ignore
+      (Engine.exec_sql e (Printf.sprintf "INSERT INTO acct VALUES (%d, 100)" i))
+  done;
+  for i = 1 to n do
+    ignore
+      (Engine.exec_sql e
+         (Printf.sprintf "UPDATE acct SET bal = bal + %d WHERE id = %d" i
+            (1 + (i mod 4))))
+  done
+
+(* the daemon's own bring-up sequence: attach, load the script history
+   on first boot, seed, serve *)
+let with_durable_server ~dir f =
+  let e = Engine.create () in
+  let dur, recov = Durable.attach ~config:dcfg ~dir e in
+  if recov.Durable.rec_records = 0 then begin
+    seed_history e;
+    Durable.seed dur
+  end;
+  let svc = Whatif.Service.create ~config:svc_config e in
+  Whatif.Service.publish svc;
+  let addr = Serve.Unix_sock (fresh_sock ()) in
+  let srv = Serve.start ~durable:dur svc addr in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) (fun () -> f srv addr svc dur)
+
+let batch_sql =
+  "UPDATE acct SET bal = bal + 7 WHERE id = 2; UPDATE acct SET bal = bal - 7 \
+   WHERE id = 3;"
+
+let test_durable_ack_means_on_disk () =
+  with_store_dir @@ fun dir ->
+  with_durable_server ~dir (fun _srv addr _svc dur ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let base = (Durable.stats dur).Durable.durable_len in
+          let r =
+            expect_result (Serve.Client.ingest ~idem_key:"batch-1" c batch_sql)
+          in
+          check Alcotest.bool "both applied" true
+            (member_exn "applied" r = J.Int 2);
+          check Alcotest.bool "ack is marked durable" true
+            (member_exn "durable" r = J.Bool true);
+          check Alcotest.bool "first send is no duplicate" true
+            (member_exn "duplicate" r = J.Bool false);
+          (* the ack in hand implies on-disk: an independent reader of
+             the store directory already sees the batch *)
+          let snap = Log_store.open_ dir in
+          check Alcotest.int "batch durable at ack time" (base + 2)
+            (Log_store.length snap);
+          Log_store.close snap;
+          (* lost-ack re-send under the same key: recorded ack returned,
+             nothing re-executes *)
+          let r2 =
+            expect_result (Serve.Client.ingest ~idem_key:"batch-1" c batch_sql)
+          in
+          check Alcotest.bool "re-send flagged duplicate" true
+            (member_exn "duplicate" r2 = J.Bool true);
+          check Alcotest.bool "original ack echoed" true
+            (member_exn "applied" r2 = J.Int 2);
+          let snap = Log_store.open_ dir in
+          check Alcotest.int "nothing re-executed" (base + 2)
+            (Log_store.length snap);
+          Log_store.close snap))
+
+(* byte-copy a store directory: the disk state at this instant is what
+   a [kill -9] would leave behind *)
+let snapshot_dir src dst =
+  Sys.mkdir dst 0o755;
+  Array.iter
+    (fun name ->
+      let ic = open_in_bin (Filename.concat src name) in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin (Filename.concat dst name) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc data))
+    (Sys.readdir src)
+
+let test_restart_recovers_acked_history () =
+  with_store_dir @@ fun dir ->
+  let crash_image = Filename.temp_file "uv-serve-crash" "" in
+  Sys.remove crash_image;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists crash_image then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat crash_image name))
+          (Sys.readdir crash_image);
+        Sys.rmdir crash_image
+      end)
+  @@ fun () ->
+  let served_hash =
+    with_durable_server ~dir (fun _srv addr _svc _dur ->
+        let c = Serve.Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            let r =
+              expect_result
+                (Serve.Client.ingest ~idem_key:"transfer-9" c batch_sql)
+            in
+            check Alcotest.bool "acked" true
+              (member_exn "durable" r = J.Bool true);
+            (* freeze the disk the instant the ack arrives — everything
+               after this line is a crash as far as recovery is
+               concerned *)
+            snapshot_dir dir crash_image;
+            match
+              member_exn "final_db_hash"
+                (expect_result (Serve.Client.whatif ~tau:3 ~op:"remove" c ()))
+            with
+            | J.Str h -> h
+            | j -> Alcotest.failf "hash not a string: %s" (J.to_string j)))
+  in
+  (* second life, from the crash image *)
+  let e2 = Engine.create () in
+  let dur2, recov = Durable.attach ~config:dcfg ~dir:crash_image e2 in
+  Fun.protect
+    ~finally:(fun () -> Durable.close dur2)
+    (fun () ->
+      check Alcotest.int "acked batch survived the crash" 0
+        recov.Durable.rec_truncated;
+      check Alcotest.int "idempotency key survived the crash" 1
+        recov.Durable.rec_keys;
+      check Alcotest.int "no replay errors" 0 recov.Durable.rec_replay_skipped;
+      let svc2 = Whatif.Service.create ~config:svc_config e2 in
+      Whatif.Service.publish svc2;
+      Durable.start ~ingest:(Whatif.Service.ingest svc2) dur2;
+      (* the client's post-crash re-send is deduplicated, not re-run *)
+      let stmts = Uv_sql.Parser.parse_script batch_sql in
+      let ack = Durable.ingest ~key:"transfer-9" dur2 stmts in
+      check Alcotest.bool "re-send after restart deduplicated" true
+        ack.Durable.duplicate;
+      (* and the recovered universe answers what-ifs identically *)
+      let restarted_hash =
+        match
+          Whatif.Service.run svc2 { Analyzer.tau = 3; op = Analyzer.Remove }
+        with
+        | Ok r -> Printf.sprintf "%Lx" r.outcome.Whatif.final_db_hash
+        | Error e -> Alcotest.failf "post-restart run: %s" (Whatif.Error.to_string e)
+      in
+      check Alcotest.string "what-if hash identical across restart"
+        served_hash restarted_hash)
+
+let test_health_endpoint () =
+  (* without a store: healthy, no durable section *)
+  with_server (fun _srv addr _svc ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let h = expect_result (Serve.Client.health c) in
+          check Alcotest.bool "schema tagged" true
+            (member_exn "schema" h = J.Str "uv.health/1");
+          check Alcotest.bool "healthy" true (member_exn "ok" h = J.Bool true);
+          check Alcotest.bool "not degraded" true
+            (member_exn "degraded" h = J.Bool false);
+          check Alcotest.bool "no durable section" true
+            (member_exn "durable" h = J.Null)));
+  (* with a store: watermarks present and consistent *)
+  with_store_dir @@ fun dir ->
+  with_durable_server ~dir (fun _srv addr _svc dur ->
+      let c = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          ignore
+            (expect_result (Serve.Client.ingest ~idem_key:"h1" c batch_sql));
+          let h = expect_result (Serve.Client.health c) in
+          check Alcotest.bool "healthy with store" true
+            (member_exn "ok" h = J.Bool true);
+          let d = member_exn "durable" h in
+          check Alcotest.bool "durable watermark matches the handle" true
+            (member_exn "durable_len" d
+            = J.Int (Durable.stats dur).Durable.durable_len);
+          check Alcotest.bool "keys counted" true
+            (member_exn "idem_keys" d = J.Int 1);
+          check Alcotest.bool "not poisoned" true
+            (member_exn "poisoned" d = J.Bool false);
+          check Alcotest.bool "queue depth reported" true
+            (match member_exn "queue_pending" h with
+            | J.Int n -> n >= 0
+            | _ -> false)))
+
+let test_client_retry_behaviour () =
+  (* connection refused: Reset, retried with backoff, attempts counted *)
+  let dead = Serve.Unix_sock (fresh_sock ()) in
+  (match
+     Serve.Client.call_retry ~retries:2 ~backoff_ms:1. dead
+       (J.Obj [ ("type", J.Str "ping") ])
+   with
+  | (Error (Serve.Client.Reset _), attempts) ->
+      check Alcotest.int "every retry attempted" 3 attempts
+  | (Error (Serve.Client.Protocol e), _) ->
+      Alcotest.failf "refused connect typed Protocol: %s" e
+  | (Ok _, _) -> Alcotest.fail "call to a dead socket succeeded");
+  with_server ~history:160 (fun _srv addr _svc ->
+      (* a live server: first attempt lands *)
+      (match
+         Serve.Client.call_retry ~retries:3 addr (J.Obj [ ("type", J.Str "ping") ])
+       with
+      | (Ok (Serve.Client.Result _), attempts) ->
+          check Alcotest.int "no spurious retries" 1 attempts
+      | (Ok (Serve.Client.Refused { code; _ }), _) ->
+          Alcotest.failf "ping refused: %s" code
+      | (Error e, _) ->
+          Alcotest.failf "transport: %s" (Serve.Client.error_to_string e));
+      (* a deadline refusal is final: the budget is spent either way *)
+      match
+        Serve.Client.call_retry ~retries:3 addr
+          (Serve.Client.whatif_payload ~deadline_ms:0.01 ~tau:3 ~op:"remove" ())
+      with
+      | (Ok (Serve.Client.Refused { code = "deadline"; _ }), attempts) ->
+          check Alcotest.int "deadline not retried" 1 attempts
+      | (Ok (Serve.Client.Refused { code; _ }), _) ->
+          Alcotest.failf "wrong code %s" code
+      | (Ok (Serve.Client.Result _), _) ->
+          Alcotest.fail "a microsecond budget was enough?"
+      | (Error e, _) ->
+          Alcotest.failf "transport: %s" (Serve.Client.error_to_string e))
+
 let test_client_shutdown_stops_server () =
   with_server (fun srv addr _svc ->
       let c = Serve.Client.connect addr in
@@ -285,6 +537,16 @@ let () =
             test_bad_request_typed_then_served;
           Alcotest.test_case "oversized frame closes" `Quick
             test_oversized_frame_closes;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "ack means on-disk; idem-key dedup" `Quick
+            test_durable_ack_means_on_disk;
+          Alcotest.test_case "restart recovers acked history" `Quick
+            test_restart_recovers_acked_history;
+          Alcotest.test_case "health endpoint" `Quick test_health_endpoint;
+          Alcotest.test_case "client retry behaviour" `Quick
+            test_client_retry_behaviour;
         ] );
       ( "lifecycle",
         [

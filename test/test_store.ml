@@ -282,6 +282,177 @@ let test_torn_sync_keeps_old_store () =
   Log_store.close after
 
 (* ------------------------------------------------------------------ *)
+(* Crash-window recovery on the live (open) segment                     *)
+(* ------------------------------------------------------------------ *)
+
+let sqls store = List.map (fun r -> r.Log_io.r_sql) (Log_store.records store)
+
+let test_crash_between_tail_write_and_manifest () =
+  (* sync writes the tail segment file first, the manifest second. A
+     crash between the two leaves a segment file that is a byte
+     superset of what the manifest acknowledges (same prefix, appended
+     records, stale CRC). Salvage must keep every manifest-acknowledged
+     record — dropping the whole segment on the CRC mismatch would lose
+     acked history. *)
+  with_store_dir @@ fun dir ->
+  let e = build_history ~txns:4 () in
+  let all = Log.length (Engine.log e) in
+  let n = all - 5 in
+  let store = Log_store.open_ ~segment_cap:1000 dir in
+  List.iteri
+    (fun i r -> if i < n then Log_store.append store r)
+    (Log_io.records_of_log (Engine.log e));
+  Log_store.close store;
+  let old_manifest = read_file (Filename.concat dir "MANIFEST") in
+  let store = Log_store.open_ dir in
+  check Alcotest.int "first sync acknowledged" n (Log_store.length store);
+  List.iteri
+    (fun i r -> if i >= n then Log_store.append store r)
+    (Log_io.records_of_log (Engine.log e));
+  Log_store.close store;
+  (* the crash: segment file holds [all] records, manifest says [n] *)
+  write_file (Filename.concat dir "MANIFEST") old_manifest;
+  let store, report = Log_store.open_salvage dir in
+  check Alcotest.bool "salvage flagged the mismatch" true
+    (report.Log_store.sr_cut_segment = Some 1);
+  check Alcotest.bool "every acknowledged record survives" true
+    (Log_store.length store >= n);
+  (* the extra durable-but-unacknowledged records parse cleanly, so the
+     longest valid prefix is the whole file; the Durable layer decides
+     their fate against its intent journal *)
+  check Alcotest.int "longest valid prefix kept" all (Log_store.length store);
+  let expect = List.map (fun (r : Log_io.record) -> r.Log_io.r_sql)
+      (Log_io.records_of_log (Engine.log e)) in
+  check Alcotest.(list string) "records bit-identical" expect (sqls store);
+  Log_store.close store
+
+let test_tail_truncation_every_byte () =
+  (* the manifest property extended to the open segment: cut the tail
+     segment file at every byte; open_salvage must never raise and must
+     serve an exact record prefix of the original history *)
+  with_store_dir @@ fun dir ->
+  let e = build_history ~txns:3 () in
+  fill_store dir ~cap:6 e;
+  let full = Log_store.open_ dir in
+  let expect = sqls full in
+  let tail =
+    match List.rev (Log_store.segments full) with
+    | t :: _ -> t
+    | [] -> Alcotest.fail "empty store"
+  in
+  Log_store.close full;
+  check Alcotest.bool "history ends in a partial (open) segment" true
+    (tail.Log_store.seg_max - tail.Log_store.seg_min + 1 < 6);
+  let tpath = Filename.concat dir tail.Log_store.seg_file in
+  let good = read_file tpath in
+  let is_prefix got =
+    List.length got <= List.length expect
+    && List.for_all2 (fun a b -> String.equal a b)
+         got
+         (List.filteri (fun i _ -> i < List.length got) expect)
+  in
+  for cut = 0 to String.length good - 1 do
+    write_file tpath (String.sub good 0 cut);
+    let store, report = Log_store.open_salvage dir in
+    let got = sqls store in
+    check Alcotest.bool
+      (Printf.sprintf "cut at byte %d salvages a record prefix" cut)
+      true (is_prefix got);
+    check Alcotest.bool
+      (Printf.sprintf "cut at byte %d keeps sealed history" cut)
+      true
+      (List.length got >= tail.Log_store.seg_min - 1);
+    if List.length got < List.length expect then
+      check Alcotest.bool
+        (Printf.sprintf "cut at byte %d diagnosed" cut)
+        true
+        (report.Log_store.sr_cut_segment <> None);
+    Log_store.close store
+  done;
+  write_file tpath good;
+  let store, _ = Log_store.open_salvage dir in
+  check Alcotest.(list string) "restored tail serves everything" expect
+    (sqls store);
+  Log_store.close store
+
+let test_truncate_records () =
+  with_store_dir @@ fun dir ->
+  let e = build_history ~txns:6 () in
+  fill_store dir ~cap:5 e;
+  let full = Log_store.open_ dir in
+  let expect = sqls full in
+  let all = List.length expect in
+  Log_store.close full;
+  let prefix k l = List.filteri (fun i _ -> i < k) l in
+  (* representative cuts: inside the tail, at a seal, inside a sealed
+     segment (dropping whole segments behind it), and to zero *)
+  List.iter
+    (fun n ->
+      let store = Log_store.open_ dir in
+      Log_store.truncate store n;
+      check Alcotest.int
+        (Printf.sprintf "in-memory length after truncate %d" n)
+        n (Log_store.length store);
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "records after truncate %d" n)
+        (prefix n expect) (sqls store);
+      Log_store.sync store;
+      Log_store.close store;
+      (* the cut is durable and the store reopens consistently *)
+      let back = Log_store.open_ dir in
+      check Alcotest.int
+        (Printf.sprintf "durable length after truncate %d" n)
+        n (Log_store.length back);
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "durable records after truncate %d" n)
+        (prefix n expect) (sqls back);
+      (* appends continue from the cut *)
+      Log_store.append back
+        { Log_io.r_sql = "INSERT INTO acct VALUES (77, 7)"; r_nondet = [];
+          r_app_txn = None };
+      check Alcotest.int "append after truncate" (n + 1)
+        (Log_store.length back);
+      Log_store.close back;
+      (* rebuild the full store for the next cut *)
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      fill_store dir ~cap:5 e)
+    [ all - 1; all - 3; 10; 5; 4; 1; 0 ];
+  (* truncating to the current length (or beyond) is a no-op *)
+  let store = Log_store.open_ dir in
+  Log_store.truncate store all;
+  Log_store.truncate store (all + 10);
+  check Alcotest.int "no-op truncate" all (Log_store.length store);
+  Log_store.close store
+
+let test_truncate_unlinks_orphans_after_manifest () =
+  with_store_dir @@ fun dir ->
+  let e = build_history ~txns:6 () in
+  fill_store dir ~cap:4 e;
+  let count_segs () =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".ulog")
+    |> List.length
+  in
+  let before = count_segs () in
+  check Alcotest.bool "several segment files" true (before >= 3);
+  let store = Log_store.open_ dir in
+  Log_store.truncate store 2;
+  (* crash-ordering: no chunk file may vanish before the shrunk
+     manifest is durable *)
+  check Alcotest.int "files intact before sync" before (count_segs ());
+  Log_store.sync store;
+  check Alcotest.bool "orphan chunks unlinked after sync" true
+    (count_segs () < before);
+  Log_store.close store;
+  let back = Log_store.open_ dir in
+  check Alcotest.int "reopened at the cut" 2 (Log_store.length back);
+  Log_store.close back
+
+(* ------------------------------------------------------------------ *)
 (* The joint replay-set path over a streamed store                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -343,6 +514,13 @@ let () =
             test_salvage_damaged_segment;
           Alcotest.test_case "torn sync keeps old store" `Quick
             test_torn_sync_keeps_old_store;
+          Alcotest.test_case "crash between tail write and manifest" `Quick
+            test_crash_between_tail_write_and_manifest;
+          Alcotest.test_case "tail truncation at every byte" `Quick
+            test_tail_truncation_every_byte;
+          Alcotest.test_case "truncate records" `Quick test_truncate_records;
+          Alcotest.test_case "truncate unlinks orphans after manifest" `Quick
+            test_truncate_unlinks_orphans_after_manifest;
         ] );
       ( "analysis",
         [

@@ -420,6 +420,60 @@ let test_rwlock_writer_progress_after_readers () =
   Alcotest.(check bool) "writer completed once readers drained" true
     (Atomic.get wrote)
 
+let test_rwlock_writer_priority_bounded_wait () =
+  (* the starvation regression the serve daemon relies on: under a
+     saturating stream of readers, a writer on a writer-priority lock
+     waits at most the read sections already in flight — queued behind
+     it, no *new* reader is admitted. The generous bound absorbs CI
+     scheduling noise; a reader-preferring lock fails it by seconds. *)
+  let l = Rwlock.create ~writer_priority:true () in
+  let stop = Atomic.make false in
+  let reads = Atomic.make 0 in
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Rwlock.read l (fun () ->
+                  Atomic.incr reads;
+                  Domain.cpu_relax ())
+            done))
+  in
+  (* let the reader stream saturate the lock first *)
+  while Atomic.get reads < 1000 do
+    Domain.cpu_relax ()
+  done;
+  let writes = 50 in
+  let t0 = Clock.now_ms () in
+  for _ = 1 to writes do
+    Rwlock.write l (fun () -> ())
+  done;
+  let elapsed = Clock.now_ms () -. t0 in
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  if elapsed > 2000.0 then
+    Alcotest.failf "%d writes took %.0f ms against the reader stream" writes
+      elapsed
+
+let test_rwlock_writer_priority_readers_still_share () =
+  (* priority only bites while a writer waits: with none queued, the
+     read side must still be concurrently shared *)
+  let l = Rwlock.create ~writer_priority:true () in
+  let n = 4 in
+  let inside = Atomic.make 0 in
+  let readers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Rwlock.read l (fun () ->
+                Atomic.incr inside;
+                while Atomic.get inside < n do
+                  Domain.cpu_relax ()
+                done)))
+  in
+  List.iter Domain.join readers;
+  check Alcotest.int "all readers inside at once" n (Atomic.get inside);
+  check Alcotest.int "no waiting writers" 0 (Rwlock.waiting_writers l);
+  check Alcotest.int "no active readers" 0 (Rwlock.active_readers l)
+
 let test_rwlock_read_write_interleave () =
   let l = Rwlock.create () in
   let v = ref 0 in
@@ -534,6 +588,84 @@ let test_frame_decoder_oversized () =
   match Frame_io.Decoder.next d with
   | Error (`Oversized n) -> check Alcotest.int "announced" 65536 n
   | Ok _ -> Alcotest.fail "oversized prefix accepted"
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Buffer.create (n + 4) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let test_frame_byte_at_a_time_nonblocking () =
+  (* deliver one frame a single byte at a time into a nonblocking
+     socket: read_frame must park on EAGAIN between bytes and still
+     assemble the exact payload — each of its internal reads is a
+     short transfer *)
+  with_socketpair (fun a b ->
+      Unix.set_nonblock b;
+      let payload = "one\x00byte\xffat a time " ^ String.make 200 'q' in
+      let stream = encode_frame payload in
+      let writer =
+        Domain.spawn (fun () ->
+            String.iter
+              (fun c ->
+                ignore (Unix.write a (Bytes.make 1 c) 0 1);
+                if Char.code c land 7 = 0 then Unix.sleepf 0.0002)
+              stream)
+      in
+      let got = Frame_io.read_frame b in
+      Domain.join writer;
+      match got with
+      | Ok got -> check Alcotest.string "payload" payload got
+      | Error e -> Alcotest.failf "read: %s" (Frame_io.error_to_string e))
+
+let test_frame_nonblocking_write_backpressure () =
+  (* a frame far larger than the socket buffer through a nonblocking
+     writer: write_frame must absorb partial writes and EAGAIN while a
+     slow reader drains the other end *)
+  with_socketpair (fun a b ->
+      Unix.set_nonblock a;
+      let payload = String.init (2 * 1024 * 1024) (fun i -> Char.chr (i land 0xff)) in
+      let writer = Domain.spawn (fun () -> Frame_io.write_frame a payload) in
+      let got = Frame_io.read_frame ~max_len:(4 * 1024 * 1024) b in
+      Domain.join writer;
+      match got with
+      | Ok got ->
+          Alcotest.(check bool) "payload intact" true (String.equal payload got)
+      | Error e -> Alcotest.failf "read: %s" (Frame_io.error_to_string e))
+
+let test_frame_interrupted_syscalls () =
+  (* pepper the process with signals while a large frame crosses a
+     socketpair: reads and writes interrupted by EINTR must resume,
+     not raise, and the payload must arrive intact *)
+  let previous = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.signal Sys.sigusr1 previous))
+    (fun () ->
+      with_socketpair (fun a b ->
+          let payload = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
+          let writer = Domain.spawn (fun () -> Frame_io.write_frame a payload) in
+          let stop = Atomic.make false in
+          let pid = Unix.getpid () in
+          let signaler =
+            Domain.spawn (fun () ->
+                while not (Atomic.get stop) do
+                  (try Unix.kill pid Sys.sigusr1 with Unix.Unix_error _ -> ());
+                  Unix.sleepf 0.0005
+                done)
+          in
+          let got = Frame_io.read_frame ~max_len:(2 lsl 20) b in
+          Atomic.set stop true;
+          Domain.join writer;
+          Domain.join signaler;
+          match got with
+          | Ok got ->
+              Alcotest.(check bool) "payload intact" true
+                (String.equal payload got)
+          | Error e -> Alcotest.failf "read: %s" (Frame_io.error_to_string e)))
 
 (* ------------------------------------------------------------------ *)
 (* Domain_pool.Queue                                                    *)
@@ -737,6 +869,10 @@ let () =
           Alcotest.test_case "readers overlap" `Quick test_rwlock_readers_overlap;
           Alcotest.test_case "writers exclusive" `Quick test_rwlock_writers_exclusive;
           Alcotest.test_case "writer progress" `Quick test_rwlock_writer_progress_after_readers;
+          Alcotest.test_case "writer priority bounded wait" `Quick
+            test_rwlock_writer_priority_bounded_wait;
+          Alcotest.test_case "writer priority readers share" `Quick
+            test_rwlock_writer_priority_readers_still_share;
           Alcotest.test_case "read/write interleave" `Quick test_rwlock_read_write_interleave;
         ] );
       ( "frame_io",
@@ -747,6 +883,12 @@ let () =
           Alcotest.test_case "closed mid-payload" `Quick test_frame_closed_mid_payload;
           Alcotest.test_case "decoder dribble" `Quick test_frame_decoder_dribble;
           Alcotest.test_case "decoder oversized" `Quick test_frame_decoder_oversized;
+          Alcotest.test_case "byte-at-a-time nonblocking" `Quick
+            test_frame_byte_at_a_time_nonblocking;
+          Alcotest.test_case "nonblocking write backpressure" `Quick
+            test_frame_nonblocking_write_backpressure;
+          Alcotest.test_case "interrupted syscalls" `Quick
+            test_frame_interrupted_syscalls;
         ] );
       ( "domain_pool.queue",
         [
