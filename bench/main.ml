@@ -580,6 +580,42 @@ let bench_abl_parallel () =
     (workloads ());
   G.print t
 
+(* per-experiment real worker counts for the uv.bench/1 report: a bare
+   wall_ms is unreadable across hosts without the parallelism that
+   produced it *)
+let experiment_workers : (string * int list) list ref = ref []
+
+let note_workers id ws =
+  if not (List.mem_assoc id !experiment_workers) then
+    experiment_workers := (id, ws) :: !experiment_workers
+
+(* --profile: per-wave queue-wait and lane-utilization histograms from
+   the wave executor's uv_obs counters, one row per (bench, workers) *)
+let profile = ref false
+
+let exec_profile_results : Uv_obs.Json.t list ref = ref []
+
+let profile_row bench workers obs =
+  let module J = Uv_obs.Json in
+  let hists =
+    match Uv_obs.Trace.metrics_payload obs with
+    | J.Obj fields -> (
+        match List.assoc_opt "histograms" fields with
+        | Some (J.Obj hs) -> hs
+        | _ -> [])
+    | _ -> []
+  in
+  let hist name =
+    match List.assoc_opt name hists with Some h -> h | None -> J.Null
+  in
+  J.Obj
+    [
+      ("bench", J.Str bench);
+      ("workers", J.Int workers);
+      ("queue_wait_ms", hist "replay.queue_wait_ms");
+      ("utilization", hist "replay.utilization");
+    ]
+
 let bench_exec_parallel () =
   (* the wave executor on real domains, not the simulated makespan: the
      same what-if runs at each worker count; wall times must shrink while
@@ -603,19 +639,29 @@ let bench_exec_parallel () =
   in
   List.iter
     (fun (w : W.t) ->
+      note_workers "exec-parallel" [ 1; 2; 4; 8 ];
+      (* join parked replay pools: an idle domain taxes every minor
+         collection of the serial build below *)
+      Uv_util.Domain_pool.drain ();
       let b = S.build ~scale ~mode:R.Transpiled ~n ~dep_rate w in
       let analyzer =
         Analyzer.analyze ~config:w.W.ri_config ~base:b.S.base (Engine.log b.S.eng)
       in
       let target = { Analyzer.tau = 1; op = Analyzer.Remove } in
-      let run workers =
+      let run ~obs workers =
         Whatif.run_exn
-          ~config:(Whatif.Config.make ~workers ())
+          ~config:(Whatif.Config.make ~workers ~obs ())
           ~analyzer b.S.eng target
       in
       let best workers =
         (* wall times are noisy at this scale: best of three *)
-        let outs = List.init 3 (fun _ -> run workers) in
+        let obs =
+          if !profile then Uv_obs.Trace.create () else Uv_obs.Trace.disabled
+        in
+        let outs = List.init 3 (fun _ -> run ~obs workers) in
+        if !profile then
+          exec_profile_results :=
+            profile_row w.W.name workers obs :: !exec_profile_results;
         let ms =
           List.fold_left
             (fun acc o ->
@@ -658,6 +704,7 @@ let bench_exec_parallel () =
 let repeat_results : Uv_obs.Json.t list ref = ref []
 
 let bench_whatif_repeat () =
+  note_workers "whatif-repeat" [ 1; 4 ];
   let n = sz 600 150 in
   let warm_runs = 5 in
   let t =
@@ -1542,6 +1589,12 @@ let () =
         Arg.Set json,
         "after the tables, emit a uv.bench/1 report of per-experiment wall \
          times as the last line" );
+      ( "--profile",
+        Arg.Set profile,
+        "collect per-wave queue-wait and lane-utilization histograms from \
+         the wave executor's uv_obs counters during exec-parallel (adds \
+         clock reads to the hot path; wall times get slightly noisier) — \
+         reported under exec_parallel_profile in the --json payload" );
     ]
   in
   Arg.parse args (fun _ -> ()) "ultraverse benchmark harness";
@@ -1577,13 +1630,27 @@ let () =
            (J.Obj
               ([
                  ("quick", J.Bool !quick);
+                 ("host_domains", J.Int (Domain.recommended_domain_count ()));
                  ( "experiments",
                    J.List
                      (List.map
                         (fun (id, ms) ->
-                          J.Obj [ ("id", J.Str id); ("wall_ms", J.Float ms) ])
+                          J.Obj
+                            ([ ("id", J.Str id); ("wall_ms", J.Float ms) ]
+                            @
+                            match List.assoc_opt id !experiment_workers with
+                            | Some ws ->
+                                [
+                                  ( "workers",
+                                    J.List (List.map (fun w -> J.Int w) ws) );
+                                ]
+                            | None -> []))
                         timings) );
                ]
+              @ (match !exec_profile_results with
+                | [] -> []
+                | rows ->
+                    [ ("exec_parallel_profile", J.List (List.rev rows)) ])
               @ (match !repeat_results with
                 | [] -> []
                 | rows -> [ ("whatif_repeat", J.List rows) ])

@@ -219,6 +219,181 @@ let with_bindings env bindings = { env with bindings }
 
 let lookup_binding env key = List.assoc_opt key env.bindings
 
+let cmp_value a b pred =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else Value.Bool (pred (Value.compare_sql a b))
+
+(* Precompiled row-binding builders: qualified names are concatenated
+   once per scan instead of once per row (the old [bindings_of] rebuilt
+   ["prefix.col"] strings for every row of every scan). Both orders are
+   kept so each call site binds exactly the list the interpreter built
+   before. *)
+let mk_binder ~qualified_first prefix cols =
+  let cols_a = Array.of_list cols in
+  let quals_a = Array.map (fun c -> prefix ^ "." ^ c) cols_a in
+  let n = Array.length cols_a in
+  fun (row : Value.t array) ->
+    let rec one (names : string array) i tail =
+      if i < 0 then tail
+      else one names (i - 1) ((Array.unsafe_get names i, row.(i)) :: tail)
+    in
+    if qualified_first then one quals_a (n - 1) (one cols_a (n - 1) [])
+    else one cols_a (n - 1) (one quals_a (n - 1) [])
+
+(* ------------------------------------------------------------------ *)
+(* Cursor-compiled predicates                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The scan hot path evaluated directly on the typed columns
+   ([Storage.Col]), mirroring [eval] over the same compilable subset as
+   [compile_expr] below — no per-row bindings, no boxing of cells the
+   predicate never reads, and unboxed cell-vs-literal comparisons.
+   [Var]s are frozen to their current values (a variable cannot change
+   while one statement filters rows). Anything effectful or out of scope
+   — function calls, subselects, EXISTS, other-table columns — refuses
+   compilation and the caller falls back to the interpreter, which is
+   always sound. Each case mirrors [eval] exactly; divergence here would
+   break bitwise replay identity. *)
+type cur_expr = Storage.Col.cur -> Value.t
+
+exception Not_compilable
+
+let compile_cur ~vars (sch : Schema.table) tname (e : expr) : cur_expr =
+  let offset name =
+    let rec find i = function
+      | [] -> raise Not_compilable
+      | (c : Schema.column) :: rest ->
+          if String.equal c.Schema.col_name name then i else find (i + 1) rest
+    in
+    find 0 sch.Schema.tbl_columns
+  in
+  let own_col = function
+    | Col (qual, name) when qual = None || qual = Some tname ->
+        Some (offset name)
+    | _ -> None
+  in
+  let cmp_pred = function
+    | Eq -> Some (fun c -> c = 0)
+    | Neq -> Some (fun c -> c <> 0)
+    | Lt -> Some (fun c -> c < 0)
+    | Le -> Some (fun c -> c <= 0)
+    | Gt -> Some (fun c -> c > 0)
+    | Ge -> Some (fun c -> c >= 0)
+    | _ -> None
+  in
+  let rec go e : cur_expr =
+    match e with
+    | Lit v -> fun _ -> v
+    | Var name -> (
+        match Hashtbl.find_opt vars name with
+        | Some v -> fun _ -> v
+        | None -> raise Not_compilable)
+    | Binop (And, a, b) ->
+        let ca = go a and cb = go b in
+        fun cur ->
+          if not (Value.to_bool (ca cur)) then Value.Bool false
+          else Value.Bool (Value.to_bool (cb cur))
+    | Binop (Or, a, b) ->
+        let ca = go a and cb = go b in
+        fun cur ->
+          if Value.to_bool (ca cur) then Value.Bool true
+          else Value.Bool (Value.to_bool (cb cur))
+    | Binop (Eq, l, Lit v) when own_col l <> None && not (Value.is_null v) ->
+        let i = Option.get (own_col l) in
+        fun cur ->
+          if Storage.Col.is_null cur i then Value.Null
+          else Value.Bool (Storage.Col.equal_lit cur i v)
+    | Binop (Eq, Lit v, r) when own_col r <> None && not (Value.is_null v) ->
+        let i = Option.get (own_col r) in
+        fun cur ->
+          if Storage.Col.is_null cur i then Value.Null
+          else Value.Bool (Storage.Col.equal_lit cur i v)
+    | Binop (op, l, Lit v)
+      when cmp_pred op <> None && own_col l <> None && not (Value.is_null v) ->
+        let i = Option.get (own_col l) in
+        let p = Option.get (cmp_pred op) in
+        fun cur ->
+          if Storage.Col.is_null cur i then Value.Null
+          else Value.Bool (p (Storage.Col.cmp_lit cur i v))
+    | Binop (op, Lit v, r)
+      when cmp_pred op <> None && own_col r <> None && not (Value.is_null v) ->
+        (* compare_sql is antisymmetric, so lit-vs-cell is -1 * cell-vs-lit *)
+        let i = Option.get (own_col r) in
+        let p = Option.get (cmp_pred op) in
+        fun cur ->
+          if Storage.Col.is_null cur i then Value.Null
+          else Value.Bool (p (-Storage.Col.cmp_lit cur i v))
+    | Col (qual, name) when qual = None || qual = Some tname ->
+        let i = offset name in
+        fun cur -> Storage.Col.value cur i
+    | Binop (op, a, b) ->
+        let ca = go a and cb = go b in
+        let f =
+          match op with
+          | Add -> Value.add
+          | Sub -> Value.sub
+          | Mul -> Value.mul
+          | Div -> Value.div
+          | Mod -> Value.modulo
+          | Eq -> fun x y -> cmp_value x y (fun c -> c = 0)
+          | Neq -> fun x y -> cmp_value x y (fun c -> c <> 0)
+          | Lt -> fun x y -> cmp_value x y (fun c -> c < 0)
+          | Le -> fun x y -> cmp_value x y (fun c -> c <= 0)
+          | Gt -> fun x y -> cmp_value x y (fun c -> c > 0)
+          | Ge -> fun x y -> cmp_value x y (fun c -> c >= 0)
+          | And | Or -> assert false
+        in
+        fun cur -> f (ca cur) (cb cur)
+    | Unop (Not, a) ->
+        let ca = go a in
+        fun cur -> Value.Bool (not (Value.to_bool (ca cur)))
+    | Unop (Neg, a) ->
+        let ca = go a in
+        fun cur -> Value.sub (Value.Int 0) (ca cur)
+    | Is_null (a, positive) -> (
+        match own_col a with
+        | Some i -> fun cur -> Value.Bool (Storage.Col.is_null cur i = positive)
+        | None ->
+            let ca = go a in
+            fun cur -> Value.Bool (Value.is_null (ca cur) = positive))
+    | Between (a, lo, hi) ->
+        let ca = go a and cl = go lo and ch = go hi in
+        fun cur ->
+          let v = ca cur in
+          let l = cl cur and h = ch cur in
+          if Value.is_null v || Value.is_null l || Value.is_null h then
+            Value.Null
+          else
+            Value.Bool (Value.compare_sql v l >= 0 && Value.compare_sql v h <= 0)
+    | In_list (a, items) ->
+        let ca = go a in
+        let citems = List.map go items in
+        fun cur ->
+          let v = ca cur in
+          Value.Bool (List.exists (fun ci -> Value.equal_sql v (ci cur)) citems)
+    | Col _ | Fun_call _ | Subselect _ | Exists _ -> raise Not_compilable
+  in
+  go e
+
+let compile_cur_opt vars sch tname w =
+  match compile_cur ~vars sch tname w with
+  | ce -> Some ce
+  | exception Not_compilable -> None
+
+(* Syntactic gate for batched mutation: an expression that cannot read
+   any table (no subselects, however nested) evaluates identically
+   against the pre-statement state and the mid-statement state, so the
+   storage writes it feeds may be applied as one batch. *)
+let rec expr_reads_tables = function
+  | Subselect _ | Exists _ -> true
+  | Fun_call (_, args) -> List.exists expr_reads_tables args
+  | Binop (_, a, b) -> expr_reads_tables a || expr_reads_tables b
+  | Unop (_, a) -> expr_reads_tables a
+  | In_list (a, items) -> List.exists expr_reads_tables (a :: items)
+  | Between (a, b, c) -> List.exists expr_reads_tables [ a; b; c ]
+  | Is_null (a, _) -> expr_reads_tables a
+  | Lit _ | Col _ | Var _ -> false
+
 let is_aggregate_name = function
   | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" -> true
   | "COUNT.D" | "SUM.D" | "AVG.D" | "MIN.D" | "MAX.D" -> true
@@ -330,10 +505,6 @@ and eval_binop t env op a b =
       | Ge -> cmp_value va vb (fun c -> c >= 0)
       | And | Or -> assert false)
 
-and cmp_value a b pred =
-  if Value.is_null a || Value.is_null b then Value.Null
-  else Value.Bool (pred (Value.compare_sql a b))
-
 and eval_fun t env name args =
   let v i = eval t env (List.nth args i) in
   match (name, List.length args) with
@@ -402,61 +573,87 @@ and source_rows t env (table_name : string) :
           (r.columns, r.rows)
       | None -> sql_error "unknown table or view %s" table_name)
 
-and bindings_of prefix cols row =
-  let qualified =
-    List.mapi (fun i c -> (prefix ^ "." ^ c, row.(i))) cols
-  in
-  let plain = List.mapi (fun i c -> (c, row.(i))) cols in
-  qualified @ plain
-
 and run_select t env (s : select) : result =
-  (* 1. build the joined row set *)
-  let sources, joined =
+  (* 1. build the joined row set; [where_done] marks that the WHERE was
+     already applied on the typed columns during the scan *)
+  let sources, joined, where_done =
     match s.sel_from with
-    | None -> ([], [ [] ])
+    | None -> ([], [ [] ], false)
     | Some (tbl, alias) ->
         let prefix = Option.value alias ~default:tbl in
-        let cols, rows =
-          (* single-table scan with an equality on an indexed column:
-             fetch candidates through the index *)
+        (* single-table scan of a base table with a cursor-compilable
+           WHERE: filter on the typed columns and materialize (and bind)
+           only the matching rows *)
+        let fast =
           match (s.sel_joins, s.sel_where, Catalog.table t.cat tbl) with
           | [], Some w, Some storage -> (
-              match index_probe t env storage w with
-              | Some ids ->
-                  ( Schema.column_names (Storage.schema storage),
-                    List.filter_map (fun id -> Storage.get storage id)
-                      (List.sort compare ids) )
-              | None -> source_rows t env tbl)
-          | _ -> source_rows t env tbl
+              match
+                compile_cur_opt env.vars (Storage.schema storage) prefix w
+              with
+              | None -> None
+              | Some ce ->
+                  let pred cur = Value.to_bool (ce cur) in
+                  let matches =
+                    match index_probe t env storage w with
+                    | Some ids ->
+                        Storage.Col.select_ids storage
+                          (List.sort compare ids) pred
+                    | None -> Storage.Col.select storage pred
+                  in
+                  Some
+                    ( Schema.column_names (Storage.schema storage),
+                      List.map snd matches ))
+          | _ -> None
         in
-        let base =
-          List.map (fun row -> bindings_of prefix cols row) rows
+        let (cols, rows), where_done =
+          match fast with
+          | Some cr -> (cr, true)
+          | None ->
+              let cr =
+                (* equality on an indexed column: fetch candidates
+                   through the index *)
+                match (s.sel_joins, s.sel_where, Catalog.table t.cat tbl) with
+                | [], Some w, Some storage -> (
+                    match index_probe t env storage w with
+                    | Some ids ->
+                        ( Schema.column_names (Storage.schema storage),
+                          List.filter_map (fun id -> Storage.get storage id)
+                            (List.sort compare ids) )
+                    | None -> source_rows t env tbl)
+                | _ -> source_rows t env tbl
+              in
+              (cr, false)
         in
+        let bind = mk_binder ~qualified_first:true prefix cols in
+        let base = List.map bind rows in
         let sources = ref [ (prefix, cols) ] in
         let acc = ref base in
         List.iter
           (fun j ->
             let jprefix = Option.value j.join_alias ~default:j.join_table in
             let jcols, jrows = source_rows t env j.join_table in
+            let jbind = mk_binder ~qualified_first:true jprefix jcols in
+            let jbound = List.map jbind jrows in
             sources := (jprefix, jcols) :: !sources;
             let next = ref [] in
             List.iter
               (fun left ->
                 List.iter
-                  (fun jrow ->
-                    let row_bindings = left @ bindings_of jprefix jcols jrow in
+                  (fun jb ->
+                    let row_bindings = left @ jb in
                     let jenv = with_bindings env (row_bindings @ env.bindings) in
                     if Value.to_bool (eval t jenv j.join_on) then
                       next := row_bindings :: !next)
-                  jrows)
+                  jbound)
               !acc;
             acc := List.rev !next)
           s.sel_joins;
-        (List.rev !sources, !acc)
+        (List.rev !sources, !acc, where_done)
   in
   (* 2. WHERE *)
   let filtered =
     match s.sel_where with
+    | _ when where_done -> joined
     | None -> joined
     | Some w ->
         List.filter
@@ -836,13 +1033,12 @@ and insert_row t table_name (columns : string list option) (values : Value.t lis
       | None -> sql_error "unknown table %s" table_name)
   | Some tbl ->
       let sch = Storage.schema tbl in
-      let ncols = List.length sch.Schema.tbl_columns in
+      let cols_a = Array.of_list sch.Schema.tbl_columns in
+      let ncols = Array.length cols_a in
       let row = Array.make ncols Value.Null in
       let set_col name v =
         match Storage.column_index tbl name with
-        | Some i ->
-            let col = List.nth sch.Schema.tbl_columns i in
-            row.(i) <- Value.coerce col.Schema.col_ty v
+        | Some i -> row.(i) <- Value.coerce cols_a.(i).Schema.col_ty v
         | None -> sql_error "unknown column %s.%s" table_name name
       in
       (match columns with
@@ -856,9 +1052,7 @@ and insert_row t table_name (columns : string list option) (values : Value.t lis
             sql_error "INSERT into %s: expected %d values, got %d" table_name ncols
               (List.length values);
           List.iteri
-            (fun i v ->
-              let col = List.nth sch.Schema.tbl_columns i in
-              row.(i) <- Value.coerce col.Schema.col_ty v)
+            (fun i v -> row.(i) <- Value.coerce cols_a.(i).Schema.col_ty v)
             values);
       (* AUTO_INCREMENT: fill a missing value, or bump past an explicit one.
          The assigned value is a recorded draw so replay reuses it (§4.4). *)
@@ -914,29 +1108,34 @@ and index_probe t env tbl (w : expr) : Storage.rowid list option =
   | _ -> None
 
 and matching_rows t env tbl where =
-  let cols = Schema.column_names (Storage.schema tbl) in
-  let name = Storage.name tbl in
-  let candidates =
-    match where with
-    | Some w -> (
-        match index_probe t env tbl w with
-        | Some ids ->
-            List.filter_map
-              (fun id -> Option.map (fun row -> (id, row)) (Storage.get tbl id))
-              (List.sort compare ids)
-        | None -> Storage.to_rows tbl)
-    | None -> Storage.to_rows tbl
-  in
-  candidates
-  |> List.filter (fun (_, row) ->
-         match where with
-         | None -> true
-         | Some w ->
-             let b =
-               List.mapi (fun i c -> (c, row.(i))) cols
-               @ List.mapi (fun i c -> (name ^ "." ^ c, row.(i))) cols
-             in
-             Value.to_bool (eval t (with_bindings env (b @ env.bindings)) w))
+  match where with
+  | None -> Storage.to_rows tbl
+  | Some w -> (
+      let name = Storage.name tbl in
+      match compile_cur_opt env.vars (Storage.schema tbl) name w with
+      | Some ce -> (
+          (* victims filtered on the typed columns; only matches box *)
+          let pred cur = Value.to_bool (ce cur) in
+          match index_probe t env tbl w with
+          | Some ids -> Storage.Col.select_ids tbl (List.sort compare ids) pred
+          | None -> Storage.Col.select tbl pred)
+      | None ->
+          let candidates =
+            match index_probe t env tbl w with
+            | Some ids ->
+                List.filter_map
+                  (fun id ->
+                    Option.map (fun row -> (id, row)) (Storage.get tbl id))
+                  (List.sort compare ids)
+            | None -> Storage.to_rows tbl
+          in
+          let cols = Schema.column_names (Storage.schema tbl) in
+          let bind = mk_binder ~qualified_first:false name cols in
+          List.filter
+            (fun (_, row) ->
+              Value.to_bool
+                (eval t (with_bindings env (bind row @ env.bindings)) w))
+            candidates)
 
 and resolve_write_target t table_name where =
   (* For UPDATE/DELETE on an updatable view, push the view predicate into
@@ -962,42 +1161,113 @@ and resolve_write_target t table_name where =
 and update_rows t env table_name assigns where : int =
   let tbl, where = resolve_write_target t table_name where in
   let sch = Storage.schema tbl in
-  let cols = Schema.column_names sch in
   let name = Storage.name tbl in
   let victims = matching_rows t env tbl where in
-  List.iter
-    (fun (rid, row) ->
-      let b =
-        List.mapi (fun i c -> (c, row.(i))) cols
-        @ List.mapi (fun i c -> (name ^ "." ^ c, row.(i))) cols
+  (match victims with
+  | [] -> ()
+  | _ ->
+      let cols = Schema.column_names sch in
+      let bind = mk_binder ~qualified_first:false name cols in
+      let cols_a = Array.of_list sch.Schema.tbl_columns in
+      (* assign targets resolve lazily at first use and cache — the
+         resolution/evaluation interleaving of the first victim must
+         reproduce the per-victim interpreter exactly (an unknown-column
+         error may interrupt a half-evaluated assign list) *)
+      let resolved = Array.make (List.length assigns) None in
+      let fresh_of row renv =
+        let fresh = Array.copy row in
+        List.iteri
+          (fun k (cname, e) ->
+            let i, ty =
+              match resolved.(k) with
+              | Some p -> p
+              | None ->
+                  let p =
+                    match Storage.column_index tbl cname with
+                    | Some i -> (i, cols_a.(i).Schema.col_ty)
+                    | None -> sql_error "unknown column %s.%s" name cname
+                  in
+                  resolved.(k) <- Some p;
+                  p
+            in
+            fresh.(i) <- Value.coerce ty (eval t renv e))
+          assigns;
+        fresh
       in
-      let renv = with_bindings env (b @ env.bindings) in
-      let fresh = Array.copy row in
-      List.iter
-        (fun (cname, e) ->
-          match Storage.column_index tbl cname with
-          | Some i ->
-              let col = List.nth sch.Schema.tbl_columns i in
-              fresh.(i) <- Value.coerce col.Schema.col_ty (eval t renv e)
-          | None -> sql_error "unknown column %s.%s" name cname)
-        assigns;
-      check_row_constraints t tbl (Some rid) fresh;
-      run_triggers t Before Ev_update name ~old_row:(Some row) ~new_row:(Some fresh);
-      ignore (j_update t tbl rid fresh);
-      run_triggers t After Ev_update name ~old_row:(Some row) ~new_row:(Some fresh))
-    victims;
+      (* One storage batch per statement when sequential semantics are
+         provably preserved: no UPDATE triggers, no assign reads any
+         table (so row images evaluated against the pre-statement state
+         equal the sequential ones), and no PRIMARY KEY / UNIQUE column
+         is assigned (so the per-victim constraint checks are
+         independent of the other victims' writes). *)
+      let keyed = Schema.primary_key_columns sch @ Schema.unique_columns sch in
+      let batchable =
+        Catalog.triggers_for t.cat name Ev_update = []
+        && List.for_all
+             (fun (cname, e) ->
+               (not (List.exists (String.equal cname) keyed))
+               && not (expr_reads_tables e))
+             assigns
+      in
+      if batchable then begin
+        let updates =
+          List.map
+            (fun (rid, row) ->
+              let renv = with_bindings env (bind row @ env.bindings) in
+              let fresh = fresh_of row renv in
+              check_row_constraints t tbl (Some rid) fresh;
+              (rid, fresh))
+            victims
+        in
+        let before = Storage.update_many tbl updates in
+        List.iter2
+          (fun (rid, fresh) (_, old) ->
+            t.journal <-
+              Log.U_row_update (name, rid, old, Array.copy fresh) :: t.journal;
+            t.rows_written <- t.rows_written + 1)
+          updates before;
+        mark_written t name
+      end
+      else
+        List.iter
+          (fun (rid, row) ->
+            let renv = with_bindings env (bind row @ env.bindings) in
+            let fresh = fresh_of row renv in
+            check_row_constraints t tbl (Some rid) fresh;
+            run_triggers t Before Ev_update name ~old_row:(Some row)
+              ~new_row:(Some fresh);
+            ignore (j_update t tbl rid fresh);
+            run_triggers t After Ev_update name ~old_row:(Some row)
+              ~new_row:(Some fresh))
+          victims);
   List.length victims
 
 and delete_rows t env table_name where : int =
   let tbl, where = resolve_write_target t table_name where in
   let name = Storage.name tbl in
   let victims = matching_rows t env tbl where in
-  List.iter
-    (fun (rid, row) ->
-      run_triggers t Before Ev_delete name ~old_row:(Some row) ~new_row:None;
-      ignore (j_delete t tbl rid);
-      run_triggers t After Ev_delete name ~old_row:(Some row) ~new_row:None)
-    victims;
+  (match victims with
+  | [] -> ()
+  | _ ->
+      if Catalog.triggers_for t.cat name Ev_delete = [] then begin
+        (* one storage batch and one hash-chain update per statement *)
+        let removed = Storage.delete_many tbl (List.map fst victims) in
+        List.iter
+          (fun (rid, row) ->
+            t.journal <- Log.U_row_delete (name, rid, row) :: t.journal;
+            t.rows_written <- t.rows_written + 1)
+          removed;
+        mark_written t name
+      end
+      else
+        List.iter
+          (fun (rid, row) ->
+            run_triggers t Before Ev_delete name ~old_row:(Some row)
+              ~new_row:None;
+            ignore (j_delete t tbl rid);
+            run_triggers t After Ev_delete name ~old_row:(Some row)
+              ~new_row:None)
+          victims);
   List.length victims
 
 (* ------------------------------------------------------------------ *)
@@ -1269,11 +1539,16 @@ type plan = {
   plan_table : string;
   plan_schema : Schema.table; (* the physical record captured at prepare *)
   plan_where : compiled_expr option;
+  plan_cur_where : cur_expr option;
+      (* the same predicate compiled against a column cursor: victims are
+         filtered on the typed columns and only matches materialize *)
   plan_probe : (string * Value.t) option; (* [col = literal] conjunct *)
+  plan_batchable : bool;
+      (* true when the assigns touch no PRIMARY KEY or UNIQUE column, so
+         the per-victim constraint checks are state-independent and the
+         row writes can go through one [Storage.update_many] batch *)
   plan_action : plan_action;
 }
-
-exception Not_compilable
 
 (* The compilable expression subset: column refs, literals, arithmetic,
    comparisons and short-circuit AND/OR, plus the other pure forms
@@ -1369,7 +1644,9 @@ let rec probe_of tname (w : expr) =
   | _ -> None
 
 let prepare cat (stmt : Ast.stmt) : plan option =
-  let build table where (mk : Storage.t -> Schema.table -> plan_action) event =
+  let no_vars : (string, Value.t) Hashtbl.t = Hashtbl.create 1 in
+  let build table where ~batchable
+      (mk : Storage.t -> Schema.table -> plan_action) event =
     match Catalog.table cat table with
     | None -> None (* view or unknown target: interpreter handles it *)
     | Some st ->
@@ -1382,14 +1659,27 @@ let prepare cat (stmt : Ast.stmt) : plan option =
                 plan_table = table;
                 plan_schema = sch;
                 plan_where = Option.map (compile_expr sch table) where;
+                plan_cur_where =
+                  Option.map (compile_cur ~vars:no_vars sch table) where;
                 plan_probe = Option.bind where (probe_of table);
+                plan_batchable = batchable sch;
                 plan_action = mk st sch;
               }
           with Not_compilable -> None
   in
   match stmt with
   | Update { table; assigns; where } ->
+      (* batchable when no PRIMARY KEY / UNIQUE column is assigned: the
+         constraint checks are then independent of the other victims'
+         writes, and compiled assigns are pure row functions already *)
       build table where
+        ~batchable:(fun sch ->
+          let keyed =
+            Schema.primary_key_columns sch @ Schema.unique_columns sch
+          in
+          List.for_all
+            (fun (cname, _) -> not (List.exists (String.equal cname) keyed))
+            assigns)
         (fun st sch ->
           P_update
             (List.map
@@ -1402,7 +1692,8 @@ let prepare cat (stmt : Ast.stmt) : plan option =
                assigns))
         Ev_update
   | Delete { table; where } ->
-      build table where (fun _ _ -> P_delete) Ev_delete
+      build table where ~batchable:(fun _ -> true) (fun _ _ -> P_delete)
+        Ev_delete
   | _ -> None
 
 (* Run a plan, or decline ([None]) when it no longer binds: table gone,
@@ -1423,27 +1714,49 @@ let try_plan t (p : plan) : result option =
         || Catalog.triggers_for t.cat p.plan_table event <> []
       then None
       else begin
-        let candidates =
-          match p.plan_probe with
-          | Some (_, Value.Null) -> [] (* col = NULL matches no row *)
-          | Some (col, v) -> (
-              match Storage.indexed_lookup st col v with
-              | Some ids ->
-                  List.filter_map
-                    (fun id ->
-                      Option.map (fun row -> (id, row)) (Storage.get st id))
-                    (List.sort compare ids)
-              | None -> Storage.to_rows st)
-          | None -> Storage.to_rows st
-        in
         let victims =
-          match p.plan_where with
-          | None -> candidates
-          | Some cw ->
-              List.filter (fun (_, row) -> Value.to_bool (cw row)) candidates
+          match p.plan_cur_where with
+          | Some cw -> (
+              (* filter on the typed columns; only matches materialize *)
+              let pred cur = Value.to_bool (cw cur) in
+              match p.plan_probe with
+              | Some (_, Value.Null) -> [] (* col = NULL matches no row *)
+              | Some (col, v) -> (
+                  match Storage.indexed_lookup st col v with
+                  | Some ids ->
+                      Storage.Col.select_ids st (List.sort compare ids) pred
+                  | None -> Storage.Col.select st pred)
+              | None -> Storage.Col.select st pred)
+          | None -> Storage.to_rows st (* no WHERE: every row is a victim *)
         in
-        (match p.plan_action with
-        | P_update assigns ->
+        (match (p.plan_action, victims) with
+        | _, [] -> ()
+        | P_update assigns, _ when p.plan_batchable ->
+            (* per-statement batch: one lock acquisition, one hash-chain
+               update; constraint checks against the pre-statement state
+               are equivalent because no keyed column is assigned *)
+            let updates =
+              List.map
+                (fun (rid, row) ->
+                  let fresh = Array.copy row in
+                  List.iter
+                    (fun (i, ty, ce) -> fresh.(i) <- Value.coerce ty (ce row))
+                    assigns;
+                  check_row_constraints t st (Some rid) fresh;
+                  (rid, fresh))
+                victims
+            in
+            let before = Storage.update_many st updates in
+            let name = Storage.name st in
+            List.iter2
+              (fun (rid, fresh) (_, old) ->
+                t.journal <-
+                  Log.U_row_update (name, rid, old, Array.copy fresh)
+                  :: t.journal;
+                t.rows_written <- t.rows_written + 1)
+              updates before;
+            mark_written t name
+        | P_update assigns, _ ->
             List.iter
               (fun (rid, row) ->
                 let fresh = Array.copy row in
@@ -1453,8 +1766,15 @@ let try_plan t (p : plan) : result option =
                 check_row_constraints t st (Some rid) fresh;
                 ignore (j_update t st rid fresh))
               victims
-        | P_delete ->
-            List.iter (fun (rid, _) -> ignore (j_delete t st rid)) victims);
+        | P_delete, _ ->
+            let removed = Storage.delete_many st (List.map fst victims) in
+            let name = Storage.name st in
+            List.iter
+              (fun (rid, row) ->
+                t.journal <- Log.U_row_delete (name, rid, row) :: t.journal;
+                t.rows_written <- t.rows_written + 1)
+              removed;
+            mark_written t name);
         Some { empty_result with rows_written = List.length victims }
       end
 

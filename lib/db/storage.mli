@@ -1,20 +1,30 @@
-(** Physical table storage.
+(** Physical table storage, columnar.
 
-    Rows are value arrays in schema column order, keyed by an internal
-    rowid. Every mutation keeps the table's incremental hash (§4.5) in
-    sync: inserts add the row digest, deletes subtract it, updates do
-    both — so reading the hash is O(1) at any commit point.
+    Each table is a struct-of-arrays: one typed column chunk per schema
+    column (a tag byte per slot plus unboxed [int array] / [float array]
+    payloads and an interned string pool), a validity array marking live
+    slots, and a rowid-to-slot map. [Value.t] is materialized only at
+    this API boundary — scans and compiled WHERE predicates read the
+    typed columns directly through {!Col}. Every mutation keeps the
+    table's incremental hash (§4.5) in sync — inserts add the row
+    digest, deletes subtract it, updates do both — and the batched entry
+    points ({!update_many}, {!delete_many}, {!Col.write}) fold one
+    hash-chain delta per statement instead of per row, so reading the
+    hash is O(1) at any commit point.
 
     Thread safety: every operation holds an internal per-table
-    readers-writer lock — reads (scans, lookups, hash) share it, while
-    mutations are exclusive — so statements touching disjoint tables, or
-    disjoint rows of one table as scheduled by the wave executor, may
-    run on concurrent domains, and concurrent full-table scans proceed
-    in parallel. [iter]/[fold] run their callbacks under the read side:
-    callbacks may re-enter reads (subqueries) but must not mutate the
-    table mid-scan. Row arrays are replaced on update, never mutated in
-    place, so rows obtained under the lock stay consistent after it is
-    released. *)
+    readers-writer lock in its writer-priority variant — reads (scans,
+    lookups, hash) share it, mutations are exclusive, and a queued
+    writer blocks new reader admissions so scan streams cannot starve
+    it. Statements touching disjoint tables, or disjoint rows of one
+    table as scheduled by the wave executor, may run on concurrent
+    domains. Under writer priority, nested read acquisition can
+    deadlock, so the callbacks of [iter]/[fold] and the predicates of
+    {!Col.select} must be pure row functions that never re-enter this
+    table's lock — the engine collects matching rows before mutating or
+    evaluating subqueries. Row arrays returned by reads are fresh
+    materializations, never aliased to storage, so they stay consistent
+    after the lock is released. *)
 
 open Uv_sql
 
@@ -74,6 +84,18 @@ val delete : t -> rowid -> Value.t array
 val update : t -> rowid -> Value.t array -> Value.t array
 (** Replace a row; returns the before-image. Raises [Not_found]. *)
 
+val update_many : t -> (rowid * Value.t array) list -> (rowid * Value.t array) list
+(** Replace a batch of rows under one lock acquisition and one
+    hash-chain update (per-statement batching): returns the
+    before-images in input order. Raises [Not_found] on the first
+    missing rowid, leaving earlier replacements applied — callers batch
+    only rowids they have just observed under the same statement. *)
+
+val delete_many : t -> rowid list -> (rowid * Value.t array) list
+(** Remove a batch of rows under one lock acquisition and one hash-chain
+    update: returns the removed images in input order. Same [Not_found]
+    contract as {!update_many}. *)
+
 val get : t -> rowid -> Value.t array option
 
 val iter : t -> (rowid -> Value.t array -> unit) -> unit
@@ -84,11 +106,16 @@ val to_rows : t -> (rowid * Value.t array) list
 (** Rows in ascending rowid order (deterministic iteration). *)
 
 val copy : t -> t
-(** Deep copy (snapshotting). *)
+(** Snapshot copy. Implemented copy-on-write: the column chunks, string
+    pool and indexes are shared until either side next mutates, so
+    snapshotting a table that is never written afterwards — most
+    checkpoint rungs — is O(1). Both sides remain fully independent
+    [t] values. *)
 
 val set_schema : t -> Schema.table -> (Value.t array -> Value.t array) -> unit
 (** [set_schema t schema remap] rewrites every row through [remap]
-    (ALTER TABLE), refreshing the hash. *)
+    (ALTER TABLE), rebuilding the column chunks and refreshing the
+    hash. *)
 
 val column_index : t -> string -> int option
 
@@ -115,3 +142,60 @@ val serialize_row : t -> Value.t array -> string
 
 val memory_bytes : t -> int
 (** Rough live size, for the RAM-overhead benches. *)
+
+(** Typed access to the column chunks, bypassing [Value.t] boxing.
+
+    Readers return the unboxed payload when the cell currently holds
+    that dynamic kind. The cursor API is the scan hot path: compiled
+    WHERE predicates evaluate against a cursor positioned on a slot,
+    and only matching rows are materialized. *)
+module Col : sig
+  type table := t
+
+  type cur
+  (** A cursor positioned on one live slot during {!select} /
+      {!select_ids}. Only valid inside the predicate callback. *)
+
+  val rowid : cur -> rowid
+
+  val width : cur -> int
+  (** Stored width of the current row (rows may be narrower than the
+      schema after ALTER TABLE). *)
+
+  val value : cur -> int -> Value.t
+  (** Materialize one cell. Raises [Invalid_argument] when the column
+      is beyond the stored row width, like [row.(i)] would. *)
+
+  val is_null : cur -> int -> bool
+  (** True when the cell is NULL or beyond the stored row width. *)
+
+  val cmp_lit : cur -> int -> Value.t -> int
+  (** [Value.compare_sql] of cell vs literal without boxing the cell in
+      the same-kind cases. Callers handle NULL on either side first. *)
+
+  val equal_lit : cur -> int -> Value.t -> bool
+  (** SQL equality of cell vs literal, unboxed in the common cases. *)
+
+  val select : table -> (cur -> bool) -> (rowid * Value.t array) list
+  (** Filtered scan in ascending rowid order, materializing only the
+      matching rows. The predicate runs under the table's read lock and
+      must be a pure row function (no storage re-entry). *)
+
+  val select_ids :
+    table -> rowid list -> (cur -> bool) -> (rowid * Value.t array) list
+  (** Like {!select} over an explicit candidate list (an index probe),
+      visited in the order given; unknown rowids are skipped. *)
+
+  val read_int : table -> rowid -> int -> int option
+  val read_float : table -> rowid -> int -> float option
+  val read_text : table -> rowid -> int -> string option
+  val read_bool : table -> rowid -> int -> bool option
+  (** Typed single-cell readers: [Some payload] when the cell holds that
+      dynamic kind, [None] otherwise (including NULL, a missing rowid,
+      or a column beyond the stored width). *)
+
+  val write : table -> rowid -> int -> Value.t -> unit
+  (** Rewrite one cell in place, maintaining the table hash and the
+      indexes. Raises [Not_found] on a missing rowid and
+      [Invalid_argument] on a column beyond the stored width. *)
+end

@@ -99,6 +99,12 @@ type t = {
   mutable scratch_members : int array; (* epoch-stamped; 0 = never *)
   mutable scratch_excluded : int array;
   mutable closure_epoch : int;
+  mutable dep_edges_cache : (bool array * (int * int) list) option;
+      (* last [dependency_edges] result keyed by its member set: every
+         run of one what-if target asks for the same edges (replay
+         scheduling, then the cost model), and repeated what-ifs over an
+         unchanged history hit it too. The pair is immutable, so a racy
+         publish is harmless — a loser just recomputes. *)
 }
 
 let length t = Array.length t.infos
@@ -260,6 +266,7 @@ let create ?(config = Rowset.default_config) ?base source =
     scratch_members = [||];
     scratch_excluded = [||];
     closure_epoch = 0;
+    dep_edges_cache = None;
   }
 
 let extend ?(obs = Uv_obs.Trace.disabled) t =
@@ -289,6 +296,7 @@ let extend ?(obs = Uv_obs.Trace.disabled) t =
             index_info t inf));
     t.infos <- Array.append t.infos (Array.of_list (List.rev !batch));
     t.joinable_cache <- None;
+    t.dep_edges_cache <- None;
     Uv_obs.Trace.with_span obs ~cat:"analyze" "analyze.index" (fun () ->
         let gen = Rowset.merge_generation t.row_state in
         if gen <> t.indexed_generation then begin
@@ -1147,7 +1155,7 @@ let entry_row_tokens t (inf : info) table ~write =
               s [])
   | _ -> [ "*" ]
 
-let dependency_edges t ~members =
+let dependency_edges_uncached t ~members =
   (* Conflict edges at cell granularity: accesses are bucketed by
      (column, first-RI-dimension value), so row-disjoint chains stay
      parallel (the source of TPC-C's and SEATS' replay parallelism,
@@ -1236,6 +1244,14 @@ let dependency_edges t ~members =
       end)
     t.infos;
   List.sort_uniq compare !edges
+
+let dependency_edges t ~members =
+  match t.dep_edges_cache with
+  | Some (m, e) when m = members -> e
+  | _ ->
+      let e = dependency_edges_uncached t ~members in
+      t.dep_edges_cache <- Some (Array.copy members, e);
+      e
 
 (* Write-write edges between members writing overlapping rows of one
    table, regardless of which columns they assign. [dependency_edges]

@@ -205,17 +205,29 @@ let execute ?(obs = Uv_obs.Trace.disabled) ?(fault = Uv_fault.Fault.disabled)
         incr subwaves;
         wave_boundary ();
         let arr = Array.of_list batch in
-        let results = Array.make (Array.length arr) None in
-        let sp = wave_span (Array.length arr) in
+        let n = Array.length arr in
+        let results = Array.make n None in
+        let sp = wave_span n in
         let dispatch = if traced then Uv_util.Clock.now_ms () else 0.0 in
+        (* Whole statement batches per pool slot: a lane claims a
+           contiguous chunk of the wave at once instead of one statement
+           per atomic pickup, so per-item dispatch (cursor contention,
+           condvar wakeups) amortizes over the chunk. A crashed lane
+           leaves its chunk's unfinished items as [None]; the redispatch
+           below re-chunks only those. *)
         let run_pool () =
-          Uv_util.Domain_pool.run pool ~count:(Array.length arr) (fun i ->
-              if results.(i) = None then begin
-                if traced then
-                  Uv_obs.Trace.observe obs "replay.queue_wait_ms"
-                    (Uv_util.Clock.now_ms () -. dispatch);
-                results.(i) <- Some (item_fn ~allow_crash:true arr.(i))
-              end)
+          let lanes = max 1 (Uv_util.Domain_pool.lanes pool) in
+          let chunks = max 1 (min n (lanes * 4)) in
+          let per = (n + chunks - 1) / chunks in
+          Uv_util.Domain_pool.run pool ~count:chunks (fun c ->
+              let lo = c * per and hi = min n ((c + 1) * per) - 1 in
+              if lo < n && traced then
+                Uv_obs.Trace.observe obs "replay.queue_wait_ms"
+                  (Uv_util.Clock.now_ms () -. dispatch);
+              for i = lo to hi do
+                if results.(i) = None then
+                  results.(i) <- Some (item_fn ~allow_crash:true arr.(i))
+              done)
         in
         (* caller-lane finish of whatever the pool left undone: exact
            same computation, no crash probes — the degradation path *)

@@ -20,6 +20,7 @@ type t = {
   mutable stop : bool;
   mutable domains : unit Domain.t list;
   mutable live : int; (* spawned domains still serving; pool mutex *)
+  mutable retired : bool; (* shutdown already called; pool mutex *)
   lanes : int;
 }
 
@@ -82,24 +83,81 @@ let worker t =
     end
   done
 
+(* Parked-pool freelist. [Domain.spawn] + [Domain.join] of a 7-lane
+   pool costs ~10ms on a small host — dwarfing the waves it serves — so
+   [shutdown] parks a healthy pool (idle workers stay blocked on the
+   condvar) and the next [create] of the same size adopts it instead of
+   spawning. Pools that lost a lane to [Worker_exit] are really joined:
+   a dead lane cannot be revived. The freelist is drained (and every
+   parked pool joined) at process exit. *)
+let park_mutex = Mutex.create ()
+let park_list : t list ref = ref []
+let park_cap = 4
+
+let destroy t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock park_mutex;
+      let ps = !park_list in
+      park_list := [];
+      Mutex.unlock park_mutex;
+      List.iter destroy ps)
+
+let drain () =
+  Mutex.lock park_mutex;
+  let ps = !park_list in
+  park_list := [];
+  Mutex.unlock park_mutex;
+  List.iter destroy ps
+
 let create ~workers =
   let lanes = max 1 workers in
   (* the OCaml runtime caps live domains (128 on 64-bit); stay well under *)
   let spawned = min (lanes - 1) 63 in
-  let t =
-    {
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      job = None;
-      gen = 0;
-      stop = false;
-      domains = [];
-      live = spawned;
-      lanes;
-    }
+  let adopted =
+    (* Adopt a parked pool of the requested size; join the rest. Even an
+       idle domain blocked on a condvar participates in every
+       stop-the-world minor collection (~20% tax on allocation-heavy
+       serial code with 7 of them), so mismatched pools must not
+       linger. *)
+    Mutex.lock park_mutex;
+    let mine, others = List.partition (fun p -> p.lanes = lanes) !park_list in
+    let r, leftover =
+      match mine with [] -> (None, []) | p :: rest -> (Some p, rest)
+    in
+    park_list := [];
+    Mutex.unlock park_mutex;
+    List.iter destroy others;
+    List.iter destroy leftover;
+    r
   in
-  t.domains <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker t));
-  t
+  match adopted with
+  | Some p ->
+      p.retired <- false;
+      p
+  | None ->
+      let t =
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          job = None;
+          gen = 0;
+          stop = false;
+          domains = [];
+          live = spawned;
+          retired = false;
+          lanes;
+        }
+      in
+      t.domains <- List.init spawned (fun _ -> Domain.spawn (fun () -> worker t));
+      t
 
 let lanes t = t.lanes
 
@@ -138,11 +196,23 @@ let run t ~count fn =
 
 let shutdown t =
   Mutex.lock t.mutex;
-  t.stop <- true;
-  Condition.broadcast t.cond;
+  let already = t.retired || t.stop in
+  if not already then t.retired <- true;
+  let healthy = t.live = List.length t.domains in
   Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  if already || t.domains = [] then ()
+  else if not healthy then destroy t
+  else begin
+    Mutex.lock park_mutex;
+    if List.length !park_list < park_cap then begin
+      park_list := t :: !park_list;
+      Mutex.unlock park_mutex
+    end
+    else begin
+      Mutex.unlock park_mutex;
+      destroy t
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bounded multi-producer task queue                                    *)

@@ -40,8 +40,18 @@ val run : t -> count:int -> (int -> unit) -> unit
     may call [run], one job at a time. *)
 
 val shutdown : t -> unit
-(** Join all spawned domains. The pool must not be used afterwards.
-    Idempotent. *)
+(** Release the pool. The pool must not be used afterwards. Idempotent.
+    A healthy pool (no lane died) is parked on a small process-wide
+    freelist and adopted by the next [create] of the same size instead
+    of respawning — [Domain.spawn]/[Domain.join] of a many-lane pool
+    costs ~10ms, dwarfing the waves it serves. [create] joins parked
+    pools of any other size (even a condvar-blocked idle domain taxes
+    every stop-the-world minor collection). Pools with dead lanes, and
+    parked pools at process exit, are really joined. *)
+
+val drain : unit -> unit
+(** Join every parked pool now. Call before a long serial phase so idle
+    parked domains stop taxing its minor collections. *)
 
 (** A bounded multi-producer task queue over spawned domains.
 

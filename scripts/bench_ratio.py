@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Equal-worker before/after wall-time ratio between two uv.bench/1 reports.
+
+Usage: bench_ratio.py BEFORE.json AFTER.json EXPERIMENT_ID
+
+Prints the before/after wall times and their ratio for the named
+experiment so CI logs carry the perf trend next to the artifact. Exits
+non-zero only when an input is unreadable or lacks the experiment —
+wall-clock regressions across heterogeneous CI hosts are a trend to
+watch, not a merge gate (hash identity, the correctness gate, is
+enforced inside the bench itself).
+"""
+
+import json
+import sys
+
+
+def wall_ms(path: str, experiment: str) -> float:
+    with open(path) as f:
+        doc = json.load(f)
+    for entry in doc["payload"]["experiments"]:
+        if entry["id"] == experiment:
+            return entry["wall_ms"]
+    raise SystemExit(f"{path}: no experiment {experiment!r}")
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        raise SystemExit(__doc__.strip())
+    before_path, after_path, experiment = sys.argv[1:]
+    before = wall_ms(before_path, experiment)
+    after = wall_ms(after_path, experiment)
+    ratio = before / after if after > 0 else float("inf")
+    print(
+        f"{experiment} equal-worker wall: {before:.1f} ms -> {after:.1f} ms "
+        f"({ratio:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

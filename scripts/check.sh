@@ -51,6 +51,15 @@ template_lint() {
 }
 step "template lint gate: five workloads" template_lint
 
+# the typed-column store vs the boxed model it replaced: the qcheck
+# property drives random insert/update/delete/cell-write interleavings
+# through both and requires identical Value.t reads, agreeing typed
+# readers and identical incremental table hashes
+columnar_smoke() {
+  dune exec test/test_db.exe -- test storage
+}
+step "columnar smoke: typed columns == boxed model" columnar_smoke
+
 step "bench smoke: parallel replay determinism" \
   dune exec bench/main.exe -- --smoke
 

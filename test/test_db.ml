@@ -69,6 +69,168 @@ let test_storage_copy_isolated () =
   check Alcotest.int "copy unchanged" 1 (Storage.row_count c);
   check Alcotest.int "original grew" 2 (Storage.row_count t)
 
+(* Property: the typed-column store is observationally identical to the
+   legacy boxed representation it replaced. The model IS that
+   representation — a rowid -> Value.t array Hashtbl plus a
+   serialize-based Table_hash — driven through the same random
+   insert/update/delete/cell-write interleaving. Every before-image and
+   final read must materialize the same [Value.t], the typed readers
+   must agree with the boxed cells, and the incremental table hash must
+   equal the model's serialize-and-sum hash. *)
+let prop_columnar_matches_boxed_model =
+  let sch =
+    Schema.table "t"
+      [
+        Schema.column "a" Value.Tint;
+        Schema.column "b" Value.Tfloat;
+        Schema.column "c" Value.Ttext;
+        Schema.column "d" Value.Tbool;
+      ]
+  in
+  let open QCheck in
+  let value_gen =
+    (* every dynamic kind lands in every column: the columns must handle
+       cells that disagree with their declared type, like the boxed
+       store did *)
+    Gen.oneof
+      [
+        Gen.return Value.Null;
+        Gen.map (fun i -> Value.Int i) (Gen.int_range (-50) 50);
+        Gen.map
+          (fun f -> Value.Float (float_of_int f /. 4.))
+          (Gen.int_range (-40) 40);
+        Gen.map
+          (fun s -> Value.Text s)
+          (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 6));
+        Gen.map (fun b -> Value.Bool b) Gen.bool;
+      ]
+  in
+  let row_gen =
+    Gen.map Array.of_list (Gen.list_size (Gen.return 4) value_gen)
+  in
+  let op_gen =
+    Gen.oneof
+      [
+        Gen.map (fun r -> `Insert r) row_gen;
+        Gen.map2 (fun k r -> `Update (k, r)) Gen.small_nat row_gen;
+        Gen.map (fun k -> `Delete k) Gen.small_nat;
+        Gen.map3
+          (fun k c v -> `Write (k, c, v))
+          Gen.small_nat (Gen.int_range 0 3) value_gen;
+      ]
+  in
+  let ops_arb =
+    make
+      ~print:(fun l -> Printf.sprintf "%d ops" (List.length l))
+      (Gen.list_size (Gen.int_range 1 120) op_gen)
+  in
+  qtest
+    (QCheck.Test.make ~name:"columnar store matches legacy boxed model"
+       ~count:200 ops_arb (fun ops ->
+         let t = Storage.create sch in
+         let model : (Storage.rowid, Value.t array) Hashtbl.t =
+           Hashtbl.create 16
+         in
+         let mh = Uv_util.Table_hash.create () in
+         let ok = ref true in
+         let same_row a b =
+           Array.length a = Array.length b
+           && Array.for_all2 Value.equal a b
+         in
+         let nth k =
+           (* the k-th live rowid in ascending order, if any *)
+           match
+             List.sort compare
+               (Hashtbl.fold (fun id _ acc -> id :: acc) model [])
+           with
+           | [] -> None
+           | ids -> Some (List.nth ids (k mod List.length ids))
+         in
+         List.iter
+           (fun op ->
+             match op with
+             | `Insert r ->
+                 let id = Storage.insert t r in
+                 Hashtbl.replace model id (Array.copy r);
+                 Uv_util.Table_hash.add_row mh (Storage.serialize_row t r)
+             | `Update (k, r) -> (
+                 match nth k with
+                 | None -> ()
+                 | Some id ->
+                     let before = Storage.update t id (Array.copy r) in
+                     let mbefore = Hashtbl.find model id in
+                     if not (same_row before mbefore) then ok := false;
+                     Uv_util.Table_hash.remove_row mh
+                       (Storage.serialize_row t mbefore);
+                     Uv_util.Table_hash.add_row mh (Storage.serialize_row t r);
+                     Hashtbl.replace model id (Array.copy r))
+             | `Delete k -> (
+                 match nth k with
+                 | None -> ()
+                 | Some id ->
+                     let removed = Storage.delete t id in
+                     let mremoved = Hashtbl.find model id in
+                     if not (same_row removed mremoved) then ok := false;
+                     Uv_util.Table_hash.remove_row mh
+                       (Storage.serialize_row t mremoved);
+                     Hashtbl.remove model id)
+             | `Write (k, c, v) -> (
+                 match nth k with
+                 | None -> ()
+                 | Some id ->
+                     Storage.Col.write t id c v;
+                     let row = Hashtbl.find model id in
+                     Uv_util.Table_hash.remove_row mh
+                       (Storage.serialize_row t row);
+                     row.(c) <- v;
+                     Uv_util.Table_hash.add_row mh (Storage.serialize_row t row)))
+           ops;
+         (* final state: boxed reads, typed reads and hash all agree *)
+         ok := !ok && Storage.row_count t = Hashtbl.length model;
+         ok :=
+           !ok
+           && Int64.equal (Storage.hash t) (Uv_util.Table_hash.value mh);
+         Hashtbl.iter
+           (fun id row ->
+             (match Storage.get t id with
+             | Some got -> if not (same_row got row) then ok := false
+             | None -> ok := false);
+             Array.iteri
+               (fun c cell ->
+                 let ti = Storage.Col.read_int t id c in
+                 let tf = Storage.Col.read_float t id c in
+                 let tt = Storage.Col.read_text t id c in
+                 let tb = Storage.Col.read_bool t id c in
+                 let expect =
+                   match cell with
+                   | Value.Int i ->
+                       ti = Some i && tf = None && tt = None && tb = None
+                   | Value.Float f ->
+                       tf = Some f && ti = None && tt = None && tb = None
+                   | Value.Text s ->
+                       tt = Some s && ti = None && tf = None && tb = None
+                   | Value.Bool b ->
+                       tb = Some b && ti = None && tf = None && tt = None
+                   | Value.Null ->
+                       ti = None && tf = None && tt = None && tb = None
+                 in
+                 if not expect then ok := false)
+               row)
+           model;
+         (* to_rows iterates ascending and covers exactly the live set *)
+         let listed = Storage.to_rows t in
+         ok := !ok && List.length listed = Hashtbl.length model;
+         ok :=
+           !ok
+           && List.for_all
+                (fun (id, r) ->
+                  match Hashtbl.find_opt model id with
+                  | Some m -> same_row r m
+                  | None -> false)
+                listed;
+         ok := !ok && List.sort compare (List.map fst listed) = List.map fst listed;
+         !ok))
+
 (* ------------------------------------------------------------------ *)
 (* Basic DML + SELECT                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -924,6 +1086,7 @@ let () =
             test_storage_hash_tracks_mutations;
           Alcotest.test_case "auto values" `Quick test_storage_auto_values;
           Alcotest.test_case "copy isolated" `Quick test_storage_copy_isolated;
+          prop_columnar_matches_boxed_model;
         ] );
       ( "dml",
         [
